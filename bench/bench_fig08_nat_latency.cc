@@ -1,0 +1,195 @@
+// Fig. 8: end-to-end RTT distribution for a NAT under six implementations:
+//   Switch-NAT            — in-switch, no fault tolerance
+//   FT Switch-NAT w/ctrl  — in-switch, state committed to an external
+//                           controller over the management network
+//   RedPlane-NAT          — in-switch, RedPlane state store (chain of 3)
+//   Server-NAT            — software NAT on a commodity server
+//   FT Server-NAT         — software NAT with synchronous replication
+//   FTMB-NAT (reported)   — constants from the FTMB paper, as in the
+//                           original evaluation (no implementation exists)
+//
+// Workload: a synthetic DC-like trace (heavy-tailed flow popularity, mixed
+// packet sizes) probed for RTT; internal rack servers talk to an external
+// echo host through the NAT.  Probing is failure-free (the paper's §7.1).
+#include <cstdio>
+
+#include "harness.h"
+
+using namespace redplane;
+using namespace redplane::bench;
+
+namespace {
+
+enum class Variant {
+  kSwitchNat,
+  kControllerFtNat,
+  kRedPlaneNat,
+  kServerNat,
+  kFtServerNat,
+};
+
+constexpr std::size_t kPackets = 100'000;
+constexpr std::size_t kFlows = 2'000;
+
+routing::TestbedConfig LatencyTestbedConfig() {
+  routing::TestbedConfig config;
+  // Calibration to the testbed's measured medians (see EXPERIMENTS.md):
+  // sub-microsecond fabric hops, ~60 us control-plane table installs.
+  config.fabric_link.propagation = Nanoseconds(500);
+  config.host_link.propagation = Nanoseconds(500);
+  config.store.service_time = Microseconds(2);
+  return config;
+}
+
+SampleSet RunNatVariant(Variant variant) {
+  Deployment deploy;
+  routing::TestbedConfig config = LatencyTestbedConfig();
+  apps::NatGlobalState store_pool(kNatIp, 5000, 4096, kInternalPrefix,
+                                  kInternalMask);
+  if (variant == Variant::kRedPlaneNat) {
+    config.store.initializer = [&store_pool](const net::PartitionKey& key) {
+      return store_pool.InitializeFlow(key);
+    };
+  }
+  deploy.Build(config);
+  auto& tb = deploy.testbed();
+  auto& sim = deploy.sim();
+
+  // Single-switch measurement (failure-free): disable agg1 so both
+  // directions of every flow cross the same NAT instance.
+  routing::FailureInjector injector(sim, *tb.fabric);
+  injector.FailNode(tb.agg[1]);
+  deploy.AnycastToAgg(kNatIp, 0);
+  sim.RunUntil(Seconds(1));  // let routing settle
+
+  apps::NatGlobalState local_pool(kNatIp, 5000, 4096, kInternalPrefix,
+                                  kInternalMask);
+  apps::NatApp nat(variant == Variant::kRedPlaneNat ? store_pool : local_pool);
+  auto initializer = [&local_pool](const net::PartitionKey& key) {
+    return local_pool.InitializeFlow(key);
+  };
+
+  baselines::ControllerNode* controller = nullptr;
+  std::unique_ptr<baselines::ControllerFtPipeline> controller_pipeline;
+  baselines::ServerNfNode* nf = nullptr;
+
+  switch (variant) {
+    case Variant::kSwitchNat:
+      deploy.DeployPlain(nat, initializer);
+      break;
+    case Variant::kControllerFtNat: {
+      // Controller reached over a 1 Gbps management network; itself chain
+      // replicated (commit latency covers the controller-side chain).
+      controller = tb.network->AddNode<baselines::ControllerNode>(
+          "controller", Microseconds(35));
+      controller_pipeline = std::make_unique<baselines::ControllerFtPipeline>(
+          *tb.agg[0], nat, *controller, Microseconds(45), initializer);
+      tb.agg[0]->SetPipeline(controller_pipeline.get());
+      break;
+    }
+    case Variant::kRedPlaneNat: {
+      core::RedPlaneConfig rp;
+      deploy.DeployRedPlane(nat, rp);
+      break;
+    }
+    case Variant::kServerNat:
+    case Variant::kFtServerNat: {
+      baselines::ServerNfConfig nf_config;
+      // Kernel-stack NAT: deep per-packet latency (~20 us each way through
+      // the stack) but enough CPU headroom not to queue at this offered
+      // load — the paper's server NATs are latency-bound, not
+      // throughput-bound, at the probe rate.
+      nf_config.service_time = Microseconds(2);
+      nf_config.nic_latency = Microseconds(20);
+      if (variant == Variant::kFtServerNat) {
+        nf_config.replication_latency = Microseconds(30);
+      }
+      nf = tb.network->AddNode<baselines::ServerNfNode>(
+          "nf", net::Ipv4Addr(172, 16, 3, 1), nat, nf_config, initializer);
+      // NF server hangs off the aggregation switch; steer app traffic
+      // through it (explicit routing, as software LB deployments do).
+      const PortId nf_port = static_cast<PortId>(tb.agg[0]->NumPorts());
+      tb.network->Connect(nf, 0, tb.agg[0], nf_port, config.host_link);
+      tb.fabric->RecomputeNow();
+      auto* fabric = tb.fabric.get();
+      auto* agg0 = tb.agg[0];
+      agg0->SetForwarder([fabric, agg0, nf_port](const net::Packet& pkt,
+                                                 PortId in_port)
+                             -> std::optional<PortId> {
+        const bool is_app_traffic =
+            pkt.udp.has_value() &&
+            (pkt.udp->dst_port == 80 || pkt.udp->src_port == 80);
+        if (is_app_traffic && in_port != nf_port) return nf_port;
+        return fabric->NextHop(agg0, pkt);
+      });
+      break;
+    }
+  }
+
+  // Probe: internal rack server -> external echo host, DC-like trace.
+  RttProbe probe(tb.rack_servers[0][0]);
+  InstallEcho(tb.external[0]);
+  Rng rng(1234);
+  trace::FlowMixConfig mix;
+  mix.num_packets = kPackets;
+  mix.num_flows = kFlows;
+  mix.src_base = routing::RackServerIp(0, 0);
+  mix.dst_base = routing::ExternalHostIp(0);
+  mix.dst_port = 80;
+  mix.proto = net::IpProto::kUdp;
+  mix.mean_interarrival = Microseconds(10);
+  auto packets = trace::GenerateFlowMix(rng, mix);
+  ShapeFlowChurn(packets, Microseconds(450));  // ~2.2k new flows/s churn
+  const SimTime start = sim.Now();
+  for (const auto& spec : packets) {
+    net::FlowKey flow = spec.flow;
+    flow.src_ip = routing::RackServerIp(0, 0);  // one probing host
+    flow.dst_ip = routing::ExternalHostIp(0);
+    const std::uint32_t pad =
+        spec.size_bytes > 62 ? spec.size_bytes - 62 : 8;
+    sim.ScheduleAt(start + spec.time,
+                   [&probe, flow, pad]() { probe.Send(flow, pad); });
+  }
+  sim.Run();
+  return std::move(probe.rtt_us());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 8: end-to-end RTT, NAT implementations ===\n");
+  std::printf("(%zu probe packets, %zu flows, DC-like trace, failure-free)\n\n",
+              kPackets, kFlows);
+
+  struct Row {
+    const char* name;
+    Variant variant;
+  };
+  const Row rows[] = {
+      {"Switch-NAT", Variant::kSwitchNat},
+      {"FT Switch-NAT w/ controller", Variant::kControllerFtNat},
+      {"RedPlane-NAT", Variant::kRedPlaneNat},
+      {"Server-NAT", Variant::kServerNat},
+      {"FT Server-NAT", Variant::kFtServerNat},
+  };
+  std::vector<std::pair<std::string, SampleSet>> results;
+  for (const Row& row : rows) {
+    results.emplace_back(row.name, RunNatVariant(row.variant));
+  }
+  for (auto& [name, samples] : results) {
+    PrintLatencySummary(name, samples);
+  }
+  // FTMB numbers are taken from the FTMB paper, exactly as the RedPlane
+  // authors did ("we use the latency reported in the original FTMB paper").
+  std::printf("%-28s  p50=%8.1f us  p90=%8.1f us  p99=%8.1f us  (reported)\n",
+              "FTMB-NAT (reported)", 100.0, 300.0, 1000.0);
+  std::printf("\nPaper anchors: Switch-NAT and RedPlane-NAT share p50/p90 "
+              "(7/8 us); their p99s are 110 and 142 us\n(control-plane "
+              "installs; RedPlane adds the lease round trip); controller-FT "
+              "p99 ~185 us;\nserver variants are 7-14x higher at the "
+              "median.\n\n");
+  for (auto& [name, samples] : results) {
+    PrintCdf(name, samples);
+  }
+  return 0;
+}

@@ -1,0 +1,218 @@
+// Fig. 10: replication bandwidth overhead per application — the share of
+// total traffic consumed by RedPlane protocol messages (requests and
+// responses) versus original packets.
+//
+// Paper anchors: ~0-1% for read-centric apps (NAT, firewall, LB), 12.8% for
+// EPC-SGW, negligible for HH detection (1 ms snapshots), and 51.2% for
+// Sync-Counter (whose requests carry headers plus the piggybacked packet).
+#include <cstdio>
+
+#include "harness.h"
+
+using namespace redplane;
+using namespace redplane::bench;
+
+namespace {
+
+constexpr std::size_t kPackets = 30'000;
+
+struct BandwidthResult {
+  double original = 0;
+  double requests = 0;
+  double responses = 0;
+
+  double OverheadPct() const {
+    const double total = original + requests + responses;
+    return total > 0 ? 100.0 * (requests + responses) / total : 0;
+  }
+};
+
+struct Harness {
+  Deployment deploy;
+  routing::Testbed* tb = nullptr;
+
+  void Build(std::function<std::vector<std::byte>(const net::PartitionKey&)>
+                 initializer = nullptr) {
+    routing::TestbedConfig config;
+    config.store.initializer = std::move(initializer);
+    deploy.Build(config);
+    tb = &deploy.testbed();
+    routing::FailureInjector injector(deploy.sim(), *tb->fabric);
+    injector.FailNode(tb->agg[1]);
+    deploy.sim().RunUntil(Seconds(1));
+  }
+
+  BandwidthResult Collect() {
+    // Drain to the end of the injected traffic plus a short settling tail;
+    // running longer would let periodic snapshot traffic accumulate against
+    // a finished workload and skew the ratio.
+    deploy.sim().RunUntil(inject_end + Milliseconds(5));
+    BandwidthResult result;
+    result.original = deploy.redplane(0)->original_bytes();
+    result.requests = deploy.redplane(0)->protocol_request_bytes();
+    result.responses = deploy.redplane(0)->protocol_response_bytes();
+    return result;
+  }
+
+  /// 64 B packets across flows with realistic gradual flow churn, as in
+  /// the paper's bandwidth experiments.  `num_users` > 0 spreads EPC
+  /// traffic over that many user addresses (all terminating at one rack
+  /// server, like anycast user prefixes).
+  void Inject(std::size_t flows, std::uint16_t vlan = 0,
+              std::size_t data_per_signaling = 0, std::size_t num_users = 0,
+              SimDuration interarrival = Microseconds(4),
+              SimDuration churn_gap = Milliseconds(1)) {
+    Rng rng(41);
+    auto& sim = deploy.sim();
+    std::vector<net::Ipv4Addr> users;
+    for (std::size_t u = 0; u < num_users; ++u) {
+      net::Ipv4Addr ip(100, 64, 0, static_cast<std::uint8_t>(10 + u));
+      tb->fabric->AssignAddress(tb->rack_servers[0][1], ip);
+      users.push_back(ip);
+    }
+    if (num_users > 0) tb->fabric->RecomputeNow();
+
+    trace::FlowMixConfig mix;
+    mix.num_packets = kPackets;
+    mix.num_flows = flows;
+    mix.realistic_sizes = false;  // 64 B
+    mix.mean_interarrival = interarrival;
+    mix.proto = net::IpProto::kUdp;
+    auto packets = trace::GenerateFlowMix(rng, mix);
+    ShapeFlowChurn(packets, churn_gap);
+    const SimTime start = sim.Now();
+    std::size_t since_signaling = 0;
+    std::size_t user_cursor = 0;
+    for (const auto& spec : packets) {
+      inject_end = start + spec.time;
+      const net::Ipv4Addr dst =
+          users.empty() ? routing::RackServerIp(0, 1)
+                        : users[user_cursor++ % users.size()];
+      if (data_per_signaling > 0 && ++since_signaling > data_per_signaling) {
+        since_signaling = 0;
+        sim.ScheduleAt(inject_end, [this, dst]() {
+          tb->external[0]->Send(apps::MakeSgwSignalingPacket(
+              routing::ExternalHostIp(0), dst, 7, net::Ipv4Addr(1, 1, 1, 1)));
+        });
+        continue;
+      }
+      net::FlowKey flow = spec.flow;
+      flow.src_ip = routing::ExternalHostIp(0);
+      flow.dst_ip = dst;
+      flow.dst_port = data_per_signaling > 0 ? apps::kSgwDataPort
+                                             : std::uint16_t{80};
+      sim.ScheduleAt(inject_end, [this, flow, vlan]() {
+        net::Packet pkt = net::MakeUdpPacket(flow, 0);  // min-size frame
+        pkt.vlan = vlan;
+        tb->external[0]->Send(std::move(pkt));
+      });
+    }
+  }
+
+  SimTime inject_end = 0;
+};
+
+BandwidthResult RunReadCentric(const char* which) {
+  auto nat_global = std::make_shared<apps::NatGlobalState>(
+      kNatIp, 5000, 4096, net::Ipv4Addr(10, 0, 0, 0), 0xff000000);
+  auto lb_global = std::make_shared<apps::LbGlobalState>(kVip, 80);
+  lb_global->AddBackend(routing::RackServerIp(0, 0), 80);
+
+  Harness h;
+  std::unique_ptr<core::SwitchApp> app;
+  if (std::string_view(which) == "nat") {
+    // "Internal" = the external hosts' prefix so min-size outbound flows
+    // allocate mappings.
+    h.Build([nat_global](const net::PartitionKey& key) {
+      return nat_global->InitializeFlow(key);
+    });
+    app = std::make_unique<apps::NatApp>(*nat_global);
+  } else if (std::string_view(which) == "firewall") {
+    h.Build();
+    app = std::make_unique<apps::FirewallApp>(net::Ipv4Addr(10, 0, 0, 0),
+                                              0xff000000);
+  } else {
+    h.Build([lb_global](const net::PartitionKey& key) {
+      return lb_global->InitializeFlow(key);
+    });
+    app = std::make_unique<apps::LoadBalancerApp>(*lb_global);
+  }
+  h.deploy.DeployRedPlane(*app);
+  // Long-lived flows with modest churn, as in the replayed traces.
+  h.Inject(/*flows=*/200);
+  return h.Collect();
+}
+
+BandwidthResult RunEpc() {
+  Harness h;
+  h.Build();
+  apps::EpcSgwApp sgw;
+  h.deploy.DeployRedPlane(sgw);
+  // A population of users; signaling (and therefore write-buffering)
+  // touches one user's partition at a time.
+  h.Inject(/*flows=*/200, 0, /*data_per_signaling=*/17, /*num_users=*/32);
+  return h.Collect();
+}
+
+BandwidthResult RunHeavyHitter() {
+  Harness h;
+  h.Build();
+  apps::HeavyHitterConfig cfg;
+  cfg.vlans = {1};
+  apps::HeavyHitterApp hh(cfg);
+  core::RedPlaneConfig rp;
+  rp.linearizable = false;
+  rp.snapshot_period = Milliseconds(1);
+  h.deploy.DeployRedPlane(hh, rp);
+  h.deploy.redplane(0)->StartSnapshotReplication(hh);
+  // Write-centric traffic runs at high rate; snapshot bandwidth is fixed,
+  // so its share is rate-dependent (the paper measures at ~Tbps-scale
+  // injection).
+  h.Inject(/*flows=*/200, /*vlan=*/1, 0, 0, /*interarrival=*/Nanoseconds(300));
+  return h.Collect();
+}
+
+BandwidthResult RunSyncCounter() {
+  Harness h;
+  h.Build();
+  apps::SyncCounterApp counter;
+  h.deploy.DeployRedPlane(counter);
+  h.Inject(/*flows=*/200);
+  return h.Collect();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 10: RedPlane replication bandwidth overhead ===\n");
+  std::printf("(64 B packets, 1000 flows, %zu packets per app)\n\n", kPackets);
+  struct Row {
+    const char* name;
+    BandwidthResult r;
+  };
+  const Row rows[] = {
+      {"NAT", RunReadCentric("nat")},
+      {"Firewall", RunReadCentric("firewall")},
+      {"Load balancer", RunReadCentric("lb")},
+      {"EPC-SGW", RunEpc()},
+      {"HH-detector", RunHeavyHitter()},
+      {"Sync-Counter", RunSyncCounter()},
+  };
+  TablePrinter table({"Application", "Original %", "RedPlane req %",
+                      "RedPlane resp %", "Overhead %"});
+  for (const Row& row : rows) {
+    const double total = row.r.original + row.r.requests + row.r.responses;
+    auto pct = [&](double v) {
+      return FormatDouble(total > 0 ? 100.0 * v / total : 0, 1);
+    };
+    table.Row({row.name, pct(row.r.original), pct(row.r.requests),
+               pct(row.r.responses),
+               FormatDouble(row.r.OverheadPct(), 1)});
+  }
+  std::printf("\nPaper anchors: read-centric apps ~0-1%% overhead (protocol "
+              "messages only for each flow's first packet);\nEPC-SGW 12.8%% "
+              "(signaling writes + buffered data); HH-detector <1%% at 1 ms "
+              "snapshots;\nSync-Counter ~51%% (every packet's request and "
+              "response carry headers plus the packet itself).\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Fig. 12: data-plane throughput of each application with and without
+// RedPlane at the paper's offered load (207.6 Mpps of 64 B packets; the
+// aggregation-to-core link caps forwarding at ~122.5 Mpps).
+//
+// Uses the calibrated analytic model (the paper itself uses an analytical
+// model for at-scale analysis); per-app parameters come from the measured
+// packet-level behaviour: synchronous-update fraction, buffered-read
+// fraction, and snapshot traffic.
+#include <cstdio>
+
+#include "core/analytic.h"
+#include "harness.h"
+
+using namespace redplane;
+using namespace redplane::bench;
+
+namespace {
+
+struct AppProfile {
+  const char* name;
+  double sync_update_fraction;
+  double read_buffer_fraction;
+  double snapshot_bps;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 12: throughput with and without RedPlane ===\n");
+  std::printf("(offered 207.6 Mpps of 64 B packets; fabric bottleneck "
+              "~122.5 Mpps; 2 store servers x 30 Mrps)\n\n");
+
+  // Per-app protocol behaviour (measured by the Fig. 10 bench):
+  //  * NAT / firewall / LB: replication only on flow arrival (~1e-4/pkt),
+  //  * EPC-SGW: 1/18 of packets write; data packets overlapping a write
+  //    buffer through the network (~2 per signaling event),
+  //  * HH-detector / Async-Counter: no per-packet coordination, snapshot
+  //    traffic only,
+  //  * Sync-Counter: every packet writes.
+  const AppProfile profiles[] = {
+      {"NAT", 1e-4, 0, 0},
+      {"Firewall", 1e-4, 0, 0},
+      {"Load balancer", 1e-4, 0, 0},
+      {"EPC-SGW", 1.0 / 18, 2.0 / 18, 0},
+      {"HH-detector", 0, 0, 35e6},
+      {"Async-Counter", 0, 0, 35e6},
+      {"Sync-Counter", 1.0, 0, 0},
+  };
+
+  TablePrinter table({"Application", "w/o RedPlane (Mpps)",
+                      "w/ RedPlane (Mpps)", "Bottleneck"});
+  for (const AppProfile& p : profiles) {
+    core::AnalyticConfig base;
+    const double without = core::PredictThroughput(base).throughput_pps / 1e6;
+
+    core::AnalyticConfig with = base;
+    with.sync_update_fraction = p.sync_update_fraction;
+    with.read_buffer_fraction = p.read_buffer_fraction;
+    with.snapshot_bps = p.snapshot_bps;
+    with.num_stores = 2;
+    with.store_rps = 30e6;
+    const auto result = core::PredictThroughput(with);
+    table.Row({p.name, FormatDouble(without, 1),
+               FormatDouble(result.throughput_pps / 1e6, 1),
+               result.bottleneck});
+  }
+  std::printf("\nPaper anchors: read-centric and async apps match the "
+              "~122.5 Mpps no-FT forwarding cap;\nEPC-SGW is slightly lower "
+              "(buffered data during replication); Sync-Counter drops to "
+              "about half,\nbottlenecked by the state store.\n");
+  return 0;
+}

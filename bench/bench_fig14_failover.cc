@@ -1,0 +1,153 @@
+// Fig. 14: end-to-end TCP throughput across a switch failure and recovery.
+//
+// An iperf-like TCP flow runs through an in-switch NAT on the testbed for
+// 60 seconds; the carrying aggregation switch fails at t=15 s and recovers
+// at t=40 s.  Three configurations:
+//   * Baseline (no failure),
+//   * Failure without RedPlane — the rerouted flow hits a NAT with no
+//     translation state and a switch-local port pool, so the connection's
+//     identity changes and it never recovers,
+//   * Failure + RedPlane — the standby switch migrates the mapping from
+//     the state store and throughput recovers within about a second
+//     (failure-detection delay + lease period), as in the paper.
+//
+// The fabric runs at 1 Gbps so a minute-long flow is tractable to simulate
+// packet by packet; failover dynamics are rate-independent (the paper's
+// absolute 100 Gbps plateau is a link-speed constant).
+#include <cstdio>
+
+#include "harness.h"
+#include "tcp/tcp.h"
+
+using namespace redplane;
+using namespace redplane::bench;
+
+namespace {
+
+constexpr SimTime kFailAt = Seconds(15);
+constexpr SimTime kRecoverAt = Seconds(40);
+constexpr SimTime kEnd = Seconds(60);
+
+enum class Mode { kBaseline, kFailureNoRedPlane, kFailureRedPlane };
+
+std::vector<double> RunTimeline(Mode mode) {
+  Deployment deploy;
+  auto store_pool = std::make_shared<apps::NatGlobalState>(
+      kNatIp, 5000, 128, kInternalPrefix, kInternalMask);
+  routing::TestbedConfig config;
+  config.fabric_link.bandwidth_bps = 1e9;
+  config.host_link.bandwidth_bps = 1e9;
+  config.store.lease_period = Milliseconds(500);
+  config.fabric.failure_detection_delay = Milliseconds(400);
+  config.store.initializer = [store_pool](const net::PartitionKey& key) {
+    return store_pool->InitializeFlow(key);
+  };
+  deploy.Build(config);
+  auto& tb = deploy.testbed();
+  auto& sim = deploy.sim();
+
+  apps::NatApp rp_nat(*store_pool);
+  // The no-FT baseline keeps a pool per switch: after a failure the
+  // survivor allocates fresh (different) mappings.
+  apps::NatGlobalState local_pool0(kNatIp, 5000, 128, kInternalPrefix,
+                                   kInternalMask);
+  apps::NatGlobalState local_pool1(kNatIp, 6000, 128, kInternalPrefix,
+                                   kInternalMask);
+  apps::NatApp plain_nat0(local_pool0);
+  apps::NatApp plain_nat1(local_pool1);
+  std::unique_ptr<baselines::PlainAppPipeline> plain[2];
+
+  core::RedPlaneConfig rp_config;
+  rp_config.lease_period = Milliseconds(500);
+  rp_config.renew_interval = Milliseconds(250);
+  if (mode == Mode::kFailureNoRedPlane) {
+    plain[0] = std::make_unique<baselines::PlainAppPipeline>(
+        *tb.agg[0], plain_nat0, [&](const net::PartitionKey& key) {
+          return local_pool0.InitializeFlow(key);
+        });
+    plain[1] = std::make_unique<baselines::PlainAppPipeline>(
+        *tb.agg[1], plain_nat1, [&](const net::PartitionKey& key) {
+          return local_pool1.InitializeFlow(key);
+        });
+    tb.agg[0]->SetPipeline(plain[0].get());
+    tb.agg[1]->SetPipeline(plain[1].get());
+  } else {
+    deploy.DeployRedPlane(rp_nat, rp_config);
+  }
+  deploy.AnycastToAgg(kNatIp, 0);
+
+  // TCP endpoints: sender inside rack 0, receiver outside the DC.
+  auto* sender = tb.network->AddNode<tcp::TcpSenderNode>(
+      "iperf-c", net::Ipv4Addr(192, 168, 10, 50));
+  auto* receiver = tb.network->AddNode<tcp::TcpReceiverNode>(
+      "iperf-s", net::Ipv4Addr(10, 0, 0, 50), 5001, Seconds(1));
+  tb.network->Connect(sender, 0, tb.tor[0], 6, config.host_link);
+  tb.network->Connect(receiver, 0, tb.core, 8, config.host_link);
+  tb.fabric->AssignAddress(sender, sender->ip());
+  tb.fabric->AssignAddress(receiver, receiver->ip());
+  tb.fabric->RecomputeNow();
+
+  routing::FailureInjector injector(sim, *tb.fabric);
+  if (mode != Mode::kBaseline) {
+    sim.ScheduleAt(kFailAt, [&]() {
+      injector.FailNode(tb.agg[0]);
+      // Anycast re-advertisement of the NAT address to the survivor.
+      tb.fabric->AssignAddress(tb.agg[1], kNatIp);
+    });
+    sim.ScheduleAt(kRecoverAt, [&]() {
+      injector.RecoverNode(tb.agg[0]);
+      // agg0 re-advertises; flows hash back across both paths.
+      tb.fabric->AssignAddress(tb.agg[0], kNatIp);
+    });
+  }
+
+  sender->Start({sender->ip(), receiver->ip(), 40000, 5001,
+                 net::IpProto::kTcp});
+  sim.RunUntil(kEnd);
+
+  std::vector<double> gbps;
+  for (std::size_t s = 0; s < static_cast<std::size_t>(kEnd / Seconds(1));
+       ++s) {
+    gbps.push_back(receiver->goodput().BucketSum(s) * 8.0 / 1e9);
+  }
+  return gbps;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 14: TCP throughput across switch failure/recovery "
+              "===\n");
+  std::printf("(1 Gbps fabric; failure at t=15 s, recovery at t=40 s; "
+              "1 s buckets)\n\n");
+  const auto baseline = RunTimeline(Mode::kBaseline);
+  const auto failure = RunTimeline(Mode::kFailureNoRedPlane);
+  const auto redplane = RunTimeline(Mode::kFailureRedPlane);
+
+  TablePrinter table({"t (s)", "Baseline (Gbps)", "Failure (Gbps)",
+                      "Failure+RedPlane (Gbps)"});
+  for (std::size_t s = 0; s < baseline.size(); ++s) {
+    table.Row({std::to_string(s), FormatDouble(baseline[s], 2),
+               FormatDouble(failure[s], 2), FormatDouble(redplane[s], 2)});
+  }
+
+  // Recovery time: first bucket after the failure where RedPlane goodput
+  // exceeds half the pre-failure average.
+  double pre = 0;
+  for (int s = 5; s < 15; ++s) pre += redplane[s];
+  pre /= 10;
+  int recovered_at = -1;
+  for (std::size_t s = 16; s < redplane.size(); ++s) {
+    if (redplane[s] > pre / 2) {
+      recovered_at = static_cast<int>(s);
+      break;
+    }
+  }
+  std::printf("\nRedPlane recovery: throughput back above 50%% of "
+              "pre-failure average at t=%d s (failure at 15 s);\nthe paper "
+              "reports ~1 s disruptions, set by failure detection plus the "
+              "lease period.\nWithout RedPlane the connection never "
+              "recovers (NAT identity lost).\n",
+              recovered_at);
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Fig. 15: switch packet-buffer occupancy due to request buffering, as a
+// function of traffic rate (20-100 Gbps) and request loss rate (0/1/2%).
+//
+// The most demanding scenario: a write-centric app issues one replication
+// request per packet; each request's truncated copy sits in the mirror
+// buffer until acknowledged.  Without loss the occupancy is the
+// bandwidth-delay product of the store path; with loss, unacknowledged
+// copies linger for the retransmission timeout, inflating the peak.
+#include <cstdio>
+
+#include "harness.h"
+
+using namespace redplane;
+using namespace redplane::bench;
+
+namespace {
+
+/// Runs the sync-counter at `rate_gbps` with `loss` on the store path for a
+/// short window and returns the peak mirror-buffer occupancy in KB.
+double MeasurePeakOccupancy(double rate_gbps, double loss) {
+  Deployment deploy;
+  routing::TestbedConfig config;
+  // The store must absorb one request per packet at line rate for this
+  // experiment (the paper's kernel-bypass store does); model a deeply
+  // pipelined server rather than a 1-request-at-a-time CPU, and give the
+  // store path LAG-like headroom (the experiment measures the switch's
+  // request buffering, not store-link congestion).
+  config.store.service_time = Nanoseconds(100);
+  config.fabric_link.bandwidth_bps = 400e9;
+  config.host_link.bandwidth_bps = 400e9;
+  deploy.Build(config);
+  auto& tb = deploy.testbed();
+  auto& sim = deploy.sim();
+  routing::FailureInjector injector(sim, *tb.fabric);
+  injector.FailNode(tb.agg[1]);
+  sim.RunUntil(Seconds(1));
+
+  // Impose the loss on the link between the busy aggregation switch and
+  // its rack-0 ToR (the path every replication request takes).
+  for (std::size_t i = 0; i < tb.network->NumLinks(); ++i) {
+    sim::Link* link = tb.network->GetLink(i);
+    const bool agg_tor =
+        (link->endpoint_a() == tb.agg[0] && link->endpoint_b() == tb.tor[0]) ||
+        (link->endpoint_b() == tb.agg[0] && link->endpoint_a() == tb.tor[0]);
+    if (agg_tor) link->set_loss_rate(loss);
+  }
+
+  apps::SyncCounterApp counter;
+  core::RedPlaneConfig rp;
+  rp.request_timeout = Milliseconds(1);
+  rp.retx_scan_interval = Microseconds(100);
+  deploy.DeployRedPlane(counter, rp);
+
+  // 1500 B packets at the requested rate for a 2 ms window.
+  const double pps = rate_gbps * 1e9 / 8.0 / 1500.0;
+  const SimDuration gap = static_cast<SimDuration>(1e9 / pps);
+  const SimDuration window = Milliseconds(2);
+  const SimTime start = sim.Now();
+  std::size_t flow = 0;
+  for (SimTime t = start; t < start + window; t += gap) {
+    net::FlowKey f{routing::ExternalHostIp(0), routing::RackServerIp(0, 0),
+                   static_cast<std::uint16_t>(10000 + (flow++ % 512)), 80,
+                   net::IpProto::kUdp};
+    sim.ScheduleAt(t, [&tb, f]() {
+      tb.external[0]->Send(net::MakeUdpPacket(f, 1438));
+    });
+  }
+  sim.RunUntil(start + window + Milliseconds(5));
+  return static_cast<double>(tb.agg[0]->mirror().PeakOccupancyBytes()) /
+         1024.0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 15: packet-buffer occupancy from request buffering "
+              "===\n");
+  std::printf("(sync-counter: every packet issues a replication request; "
+              "1500 B packets; peak over a 2 ms window)\n\n");
+  TablePrinter table({"Rate (Gbps)", "0% loss (KB)", "1% loss (KB)",
+                      "2% loss (KB)"});
+  for (double rate : {20.0, 40.0, 60.0, 80.0, 100.0}) {
+    std::vector<std::string> row{FormatDouble(rate, 0)};
+    for (double loss : {0.0, 0.01, 0.02}) {
+      row.push_back(FormatDouble(MeasurePeakOccupancy(rate, loss), 2));
+    }
+    table.Row(row);
+  }
+  std::printf("\nPaper anchors: <1.5 KB at 100 Gbps with no loss; growing "
+              "with loss (lost requests occupy the buffer\nfor a "
+              "retransmission timeout) to ~18 KB at 100 Gbps / 2%% — tiny "
+              "against the ASIC's tens of MB of buffer.\n");
+  return 0;
+}

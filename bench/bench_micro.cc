@@ -1,0 +1,109 @@
+// Microbenchmarks (google-benchmark): the per-packet primitives on the hot
+// paths of the simulator and the RedPlane protocol.
+#include <benchmark/benchmark.h>
+
+#include "apps/sketch.h"
+#include "core/protocol.h"
+#include "core/snapshot.h"
+#include "dataplane/register_array.h"
+#include "net/codec.h"
+#include "sim/simulator.h"
+
+using namespace redplane;
+
+namespace {
+
+net::Packet SamplePacket() {
+  net::FlowKey f{net::Ipv4Addr(10, 0, 0, 1), net::Ipv4Addr(192, 168, 10, 1),
+                 4321, 1234, net::IpProto::kTcp};
+  return net::MakeTcpPacket(f, net::TcpFlags::kAck, 42, 43, 512);
+}
+
+void BM_PacketSerialize(benchmark::State& state) {
+  const net::Packet pkt = SamplePacket();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::Serialize(pkt));
+  }
+}
+BENCHMARK(BM_PacketSerialize);
+
+void BM_PacketParse(benchmark::State& state) {
+  const auto wire = net::Serialize(SamplePacket());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::Parse(wire));
+  }
+}
+BENCHMARK(BM_PacketParse);
+
+void BM_ProtocolEncode(benchmark::State& state) {
+  core::Msg msg;
+  msg.type = core::MsgType::kLeaseRenewReq;
+  msg.key = net::PartitionKey::OfFlow(*SamplePacket().Flow());
+  msg.seq = 42;
+  msg.state.resize(16);
+  msg.piggyback = SamplePacket();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::EncodeMsg(msg));
+  }
+}
+BENCHMARK(BM_ProtocolEncode);
+
+void BM_ProtocolDecode(benchmark::State& state) {
+  core::Msg msg;
+  msg.type = core::MsgType::kLeaseRenewReq;
+  msg.key = net::PartitionKey::OfFlow(*SamplePacket().Flow());
+  msg.state.resize(16);
+  msg.piggyback = SamplePacket();
+  const auto bytes = core::EncodeMsg(msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::DecodeMsg(bytes));
+  }
+}
+BENCHMARK(BM_ProtocolDecode);
+
+void BM_FlowKeyHash(benchmark::State& state) {
+  const auto flow = *SamplePacket().Flow();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::HashFlowKey(flow));
+  }
+}
+BENCHMARK(BM_FlowKeyHash);
+
+void BM_SketchUpdate(benchmark::State& state) {
+  apps::CountMinSketch sketch("bm", 3, 64);
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    dp::PipelinePass pass;
+    benchmark::DoNotOptimize(sketch.Update(pass, ++key, 1));
+  }
+}
+BENCHMARK(BM_SketchUpdate);
+
+void BM_LazySnapshotUpdate(benchmark::State& state) {
+  core::LazySnapshotter<std::uint32_t> snap("bm", 64);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    dp::PipelinePass pass;
+    benchmark::DoNotOptimize(
+        snap.Update(pass, i++ % 64, [](std::uint32_t v) { return v + 1; }));
+  }
+}
+BENCHMARK(BM_LazySnapshotUpdate);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.Schedule(i, [&fired]() { ++fired; });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Protocol correctness verification (paper §5.5 / Appendix C).
+//
+// Exhaustively model-checks the RedPlane protocol — the C++ analogue of the
+// paper's TLA+ specification — across switch counts and adversarial
+// settings, reporting state-space sizes and the verified invariants.
+#include <cstdio>
+
+#include "harness.h"
+#include "modelcheck/checker.h"
+
+using namespace redplane;
+
+int main() {
+  std::printf("=== Protocol model checking (TLA+ spec, C++ port) ===\n");
+  std::printf("Invariants: SingleOwnerInvariant (at most one active lease, "
+              "held by the store's owner,\nnever outliving the store's), "
+              "durability (acked seq <= store seq), AtLeastOneAliveSwitch.\n");
+  std::printf("Plus bounded liveness: a state with all packets processed "
+              "and released is reachable.\n\n");
+
+  struct Case {
+    const char* name;
+    modelcheck::CheckerConfig config;
+  };
+  std::vector<Case> cases;
+  {
+    modelcheck::CheckerConfig c;
+    c.num_switches = 1;
+    c.total_packets = 4;
+    c.allow_failures = false;
+    c.allow_drops = false;
+    cases.push_back({"1 switch, reliable, no failures", c});
+  }
+  {
+    modelcheck::CheckerConfig c;
+    c.num_switches = 1;
+    c.total_packets = 3;
+    cases.push_back({"1 switch, drops + failures", c});
+  }
+  {
+    modelcheck::CheckerConfig c;
+    c.num_switches = 2;
+    c.total_packets = 3;
+    c.max_inflight = 3;
+    c.allow_failures = false;
+    cases.push_back({"2 switches, drops, no failures", c});
+  }
+  {
+    modelcheck::CheckerConfig c;
+    c.num_switches = 2;
+    c.total_packets = 2;
+    c.max_inflight = 3;
+    cases.push_back({"2 switches, drops + failures", c});
+  }
+  {
+    modelcheck::CheckerConfig c;
+    c.num_switches = 3;
+    c.total_packets = 2;
+    c.max_inflight = 3;
+    cases.push_back({"3 switches, drops + failures", c});
+  }
+  {
+    modelcheck::CheckerConfig c;
+    c.num_switches = 2;
+    c.total_packets = 2;
+    c.lease_period = 3;
+    cases.push_back({"2 switches, longer lease", c});
+  }
+
+  bench::TablePrinter table(
+      {"Configuration", "States", "Transitions", "Safe", "Goal reachable"});
+  bool all_ok = true;
+  for (const auto& c : cases) {
+    const auto result = modelcheck::CheckProtocol(c.config);
+    all_ok = all_ok && result.ok;
+    table.Row({c.name, std::to_string(result.states_explored),
+               std::to_string(result.transitions),
+               result.ok ? "yes" : ("VIOLATION: " + result.violation),
+               result.goal_reachable ? "yes" : "no"});
+  }
+  std::printf("\n%s\n", all_ok
+                            ? "All configurations verified: the protocol "
+                              "provides per-flow linearizability under "
+                              "reordering, loss, and fail-stop failures."
+                            : "VIOLATIONS FOUND — see above.");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,56 @@
+// Table 2: switch ASIC resources consumed by RedPlane (100K flows),
+// relative to a Tofino-class pipeline budget.
+//
+// Paper values for comparison: Match Crossbar 5.3%, Meter ALU 8.3%,
+// Gateway 9.9%, SRAM 13.2%, TCAM 11.8%, VLIW 5.5%, Hash Bits 3.7%.
+#include <cstdio>
+
+#include "dataplane/resources.h"
+#include "harness.h"
+
+using namespace redplane;
+
+int main() {
+  std::printf("=== Table 2: Switch ASIC resources used by RedPlane ===\n");
+  std::printf("(100K concurrent flows; fraction of a 12-stage Tofino-class "
+              "pipeline budget)\n\n");
+
+  const std::pair<const char*, double> kPaper[] = {
+      {"Match Crossbar", 0.053}, {"Meter ALU", 0.083}, {"Gateway", 0.099},
+      {"SRAM", 0.132},           {"TCAM", 0.118},      {"VLIW Instruction", 0.055},
+      {"Hash Bits", 0.037},
+  };
+
+  dp::ResourceModel model;
+  dp::PlaceRedPlaneObjects(model, 100'000);
+  const auto usage = model.FractionOfBudget(dp::PipelineBudget::Tofino());
+
+  bench::TablePrinter table({"Resource", "Measured", "Paper"});
+  for (const auto& [name, frac] : usage) {
+    double paper = 0;
+    for (const auto& [pname, pfrac] : kPaper) {
+      if (name == pname) paper = pfrac;
+    }
+    table.Row({name, FormatDouble(frac * 100, 1) + "%",
+               FormatDouble(paper * 100, 1) + "%"});
+  }
+
+  std::printf("\nScaling with concurrent flows (SRAM only; others fixed):\n");
+  bench::TablePrinter scaling({"Flows", "SRAM"});
+  for (std::uint64_t flows : {10'000ull, 50'000ull, 100'000ull, 200'000ull}) {
+    dp::ResourceModel m;
+    dp::PlaceRedPlaneObjects(m, flows);
+    const auto u = m.FractionOfBudget(dp::PipelineBudget::Tofino());
+    for (const auto& [name, frac] : u) {
+      if (name == std::string("SRAM")) {
+        scaling.Row({std::to_string(flows), FormatDouble(frac * 100, 1) + "%"});
+      }
+    }
+  }
+
+  std::printf("\nPlaced objects:\n");
+  for (const auto& obj : model.objects()) {
+    std::printf("  %s\n", obj.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,150 @@
+#include "harness.h"
+
+#include <cstdio>
+
+#include <set>
+
+#include "net/codec.h"
+
+namespace redplane::bench {
+
+Deployment::Deployment() = default;
+Deployment::~Deployment() = default;
+
+void Deployment::Build(routing::TestbedConfig config) {
+  testbed_ = std::make_unique<routing::Testbed>(
+      routing::BuildTestbed(sim_, config));
+}
+
+void Deployment::DeployRedPlane(core::SwitchApp& app,
+                                core::RedPlaneConfig config) {
+  auto shard_for = [this](const net::PartitionKey&) {
+    return testbed_->StoreHeadIp();
+  };
+  for (int i = 0; i < 2; ++i) {
+    redplane_[i] = std::make_unique<core::RedPlaneSwitch>(
+        *testbed_->agg[i], app, shard_for, config);
+    testbed_->agg[i]->SetPipeline(redplane_[i].get());
+  }
+}
+
+void Deployment::DeployPlain(
+    core::SwitchApp& app,
+    std::function<std::vector<std::byte>(const net::PartitionKey&)>
+        initializer) {
+  for (int i = 0; i < 2; ++i) {
+    plain_[i] = std::make_unique<baselines::PlainAppPipeline>(
+        *testbed_->agg[i], app, initializer);
+    testbed_->agg[i]->SetPipeline(plain_[i].get());
+  }
+}
+
+void Deployment::AnycastToAgg(net::Ipv4Addr ip, int i) {
+  testbed_->fabric->AssignAddress(testbed_->agg[i], ip);
+  testbed_->fabric->RecomputeNow();
+}
+
+RttProbe::RttProbe(sim::HostNode* probe_host) : host_(probe_host) {
+  host_->SetHandler([this](sim::HostNode&, net::Packet pkt) {
+    if (pkt.payload.size() < 8) return;
+    net::ByteReader r(pkt.payload);
+    const auto sent_at = static_cast<SimTime>(r.U64());
+    const SimTime now = host_->sim().Now();
+    if (now >= sent_at) {
+      rtt_us_.Add(ToMicroseconds(now - sent_at));
+      ++received_;
+    }
+  });
+}
+
+void RttProbe::Send(const net::FlowKey& flow, std::uint32_t pad) {
+  SendPacket(net::MakeUdpPacket(flow, pad));
+}
+
+void RttProbe::SendPacket(net::Packet pkt) {
+  pkt.payload.clear();
+  net::ByteWriter w(pkt.payload);
+  w.U64(static_cast<std::uint64_t>(host_->sim().Now()));
+  ++sent_;
+  host_->Send(std::move(pkt));
+}
+
+void InstallEcho(sim::HostNode* host) {
+  host->SetHandler([](sim::HostNode& self, net::Packet pkt) {
+    auto flow = pkt.Flow();
+    if (!flow.has_value()) return;
+    net::Packet reply;
+    if (pkt.tcp.has_value()) {
+      reply = net::MakeTcpPacket(flow->Reversed(), net::TcpFlags::kAck, 0, 0,
+                                 pkt.pad_bytes);
+    } else {
+      reply = net::MakeUdpPacket(flow->Reversed(), pkt.pad_bytes);
+    }
+    reply.payload = pkt.payload;  // timestamp rides back
+    self.Send(std::move(reply));
+  });
+}
+
+void PrintLatencySummary(const std::string& name, const SampleSet& samples) {
+  if (samples.Empty()) {
+    std::printf("%-28s  (no samples)\n", name.c_str());
+    return;
+  }
+  std::printf("%-28s  p50=%8.1f us  p90=%8.1f us  p99=%8.1f us  (n=%zu)\n",
+              name.c_str(), samples.Percentile(50), samples.Percentile(90),
+              samples.Percentile(99), samples.Count());
+}
+
+void PrintCdf(const std::string& name, const SampleSet& samples,
+              std::size_t points) {
+  if (samples.Empty()) return;
+  std::printf("  CDF %s:", name.c_str());
+  for (const auto& [value, frac] : samples.Cdf(points)) {
+    std::printf(" (%.1f,%.2f)", value, frac);
+  }
+  std::printf("\n");
+}
+
+void ShapeFlowChurn(std::vector<trace::TracePacket>& packets,
+                    SimDuration min_gap) {
+  std::vector<net::FlowKey> active;
+  std::set<net::FlowKey> seen;
+  SimTime last_intro = -min_gap;
+  std::size_t reuse_cursor = 0;
+  for (auto& pkt : packets) {
+    if (seen.count(pkt.flow)) continue;
+    if (pkt.time - last_intro >= min_gap || active.empty()) {
+      seen.insert(pkt.flow);
+      active.push_back(pkt.flow);
+      last_intro = pkt.time;
+    } else {
+      pkt.flow = active[reuse_cursor++ % active.size()];
+    }
+  }
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers) {
+  for (std::size_t i = 0; i < headers.size(); ++i) {
+    widths_.push_back(std::max<std::size_t>(headers[i].size() + 2,
+                                            i == 0 ? 34 : 16));
+  }
+  for (std::size_t i = 0; i < headers.size(); ++i) {
+    std::printf("%-*s", static_cast<int>(widths_[i]), headers[i].c_str());
+  }
+  std::printf("\n");
+  std::size_t total = 0;
+  for (auto w : widths_) total += w;
+  for (std::size_t i = 0; i < total; ++i) std::printf("-");
+  std::printf("\n");
+}
+
+void TablePrinter::Row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    std::size_t w = i < widths_.size() ? widths_[i] : 16;
+    if (cells[i].size() + 1 > w) w = cells[i].size() + 1;
+    std::printf("%-*s", static_cast<int>(w), cells[i].c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace redplane::bench

@@ -1,0 +1,80 @@
+// Quickstart: make a stateful in-switch application fault tolerant.
+//
+// Builds the paper's testbed (one core switch, two programmable aggregation
+// switches, two racks, a chain-replicated state store), wraps a per-flow
+// counter in RedPlane, streams a flow through one switch, fails that switch,
+// and shows the counter continuing — not resetting — on the other switch.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "apps/counter.h"
+#include "core/redplane_switch.h"
+#include "routing/failure.h"
+#include "routing/topology.h"
+
+using namespace redplane;
+
+int main() {
+  sim::Simulator sim;
+
+  // 1. Build the fabric: topology, ECMP routing, state store chain.
+  routing::TestbedConfig config;
+  config.store.lease_period = Milliseconds(100);
+  config.fabric.failure_detection_delay = Milliseconds(20);
+  routing::Testbed tb = routing::BuildTestbed(sim, config);
+
+  // 2. Write (or reuse) a stateful application.  SyncCounterApp updates its
+  //    per-flow state on every packet — RedPlane's worst case.
+  apps::SyncCounterApp app;
+
+  // 3. Wrap it in RedPlane on both programmable switches.  The wrap is the
+  //    entire integration surface: the app itself is unchanged.
+  core::RedPlaneConfig rp_config;
+  rp_config.lease_period = Milliseconds(100);
+  auto shard_for = [&](const net::PartitionKey&) { return tb.StoreHeadIp(); };
+  core::RedPlaneSwitch rp0(*tb.agg[0], app, shard_for, rp_config);
+  core::RedPlaneSwitch rp1(*tb.agg[1], app, shard_for, rp_config);
+  tb.agg[0]->SetPipeline(&rp0);
+  tb.agg[1]->SetPipeline(&rp1);
+
+  // 4. Stream a flow from an external host to a rack server.
+  int delivered = 0;
+  tb.rack_servers[0][0]->SetHandler(
+      [&](sim::HostNode&, net::Packet) { ++delivered; });
+  const net::FlowKey flow{routing::ExternalHostIp(0),
+                          routing::RackServerIp(0, 0), 1234, 80,
+                          net::IpProto::kUdp};
+  for (int i = 0; i < 20; ++i) {
+    tb.external[0]->Send(net::MakeUdpPacket(flow, 64));
+    sim.RunUntil(sim.Now() + Milliseconds(1));
+  }
+  std::printf("before failure: %d packets delivered\n", delivered);
+
+  // 5. Fail whichever switch is carrying the flow.
+  dp::SwitchNode* active =
+      rp0.stats().Get("app_pkts") > 0 ? tb.agg[0] : tb.agg[1];
+  core::RedPlaneSwitch* standby_rp = active == tb.agg[0] ? &rp1 : &rp0;
+  routing::FailureInjector injector(sim, *tb.fabric);
+  injector.FailNode(active);
+  std::printf("failed %s; rerouting + state migration in progress...\n",
+              active->name().c_str());
+  sim.RunUntil(sim.Now() + Milliseconds(200));
+
+  // 6. Keep streaming: the standby switch picks the flow up from the store.
+  for (int i = 0; i < 20; ++i) {
+    tb.external[0]->Send(net::MakeUdpPacket(flow, 64));
+    sim.RunUntil(sim.Now() + Milliseconds(1));
+  }
+  sim.Run();
+
+  std::printf("after failover: %d packets delivered\n", delivered);
+  std::printf("standby switch migrated %g flow(s) from the state store\n",
+              standby_rp->stats().Get("grants_migrate"));
+  const auto* rec = tb.store[0]->Find(net::PartitionKey::OfFlow(flow));
+  std::printf("durable counter at the store: seq=%llu (state survives "
+              "any single switch failure)\n",
+              rec ? static_cast<unsigned long long>(rec->last_applied_seq)
+                  : 0ull);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Bloom filter over lazily-snapshottable registers.
+//
+// The paper's §6 notes the bundled lazy-snapshot sketch can be adapted "to
+// implement similar data structures such as Bloom filters"; this is that
+// adaptation.  k hash functions set bits in a single register array whose
+// double-buffered layout supports consistent snapshots (Algorithm 1), so a
+// Bloom filter replicated in bounded-inconsistency mode recovers to a
+// consistent (at most ε stale) set after a switch failure — stale bits can
+// re-admit recently-validated members late, but never corrupt the filter.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/hash.h"
+#include "core/snapshot.h"
+
+namespace redplane::apps {
+
+class BloomFilter {
+ public:
+  /// `bits` slots (each stored as one 8-bit register cell so the snapshot
+  /// machinery applies uniformly), `hashes` probe positions per key.
+  BloomFilter(std::string name, std::size_t bits, std::size_t hashes)
+      : bits_(bits), hashes_(hashes), cells_(std::move(name), bits) {}
+
+  std::size_t bits() const { return bits_; }
+  std::size_t hashes() const { return hashes_; }
+
+  /// Data-plane insert: sets the k cells for `key`.  Uses one pipeline pass
+  /// per probe (hardware lays the probes out across stages; the model keeps
+  /// one register array, so each probe is its own pass).
+  void Insert(std::uint64_t key) {
+    for (std::size_t i = 0; i < hashes_; ++i) {
+      dp::PipelinePass pass;
+      cells_.Update(pass, Slot(key, i), [](std::uint8_t) {
+        return std::uint8_t{1};
+      });
+    }
+  }
+
+  /// Data-plane membership test against the live copy.
+  bool Contains(std::uint64_t key) const {
+    for (std::size_t i = 0; i < hashes_; ++i) {
+      if (cells_.PeekLive(Slot(key, i)) == 0) return false;
+    }
+    return true;
+  }
+
+  /// Snapshot interface passthroughs (for Snapshottable implementers).
+  void BeginSnapshot() {
+    dp::PipelinePass pass;
+    cells_.BeginSnapshot(pass);
+  }
+  std::uint8_t ReadSnapshotSlot(std::uint32_t index) {
+    dp::PipelinePass pass;
+    return cells_.SnapshotRead(pass, index);
+  }
+
+  void Reset() { cells_.Reset(); }
+
+ private:
+  std::size_t Slot(std::uint64_t key, std::size_t i) const {
+    return static_cast<std::size_t>(
+        Mix64(key ^ (i * 0x9e3779b97f4a7c15ull)) % bits_);
+  }
+
+  std::size_t bits_;
+  std::size_t hashes_;
+  mutable core::LazySnapshotter<std::uint8_t> cells_;
+};
+
+}  // namespace redplane::apps

@@ -1,0 +1,44 @@
+// Simplified EPC serving gateway (paper §6 app 4; cf. TurboEPC).
+//
+// A mixed-read/write application: per-user tunnel state (the TEID used to
+// encapsulate downlink traffic toward the user's eNodeB) is written by
+// control-plane signaling messages and read by every data packet.  Signaling
+// is ~5% of data traffic (the paper injects 1 signaling packet per 17 data
+// packets), so RedPlane replicates synchronously on that minority of packets.
+#pragma once
+
+#include "core/app.h"
+
+namespace redplane::apps {
+
+/// Per-user bearer state.
+struct SgwBearer {
+  std::uint32_t teid = 0;
+  std::uint32_t enb_ip = 0;
+  std::uint8_t attached = 0;
+};
+
+/// UDP destination port carrying GTP-C-like signaling in the workloads.
+constexpr std::uint16_t kSgwSignalingPort = 2123;
+/// UDP destination port of GTP-U-like user data.
+constexpr std::uint16_t kSgwDataPort = 2152;
+
+class EpcSgwApp : public core::SwitchApp {
+ public:
+  std::string_view name() const override { return "epc_sgw"; }
+
+  /// State partitions by user: the user's IP address as an object key
+  /// (destination for downlink traffic and for signaling about the user).
+  std::optional<net::PartitionKey> KeyOf(const net::Packet& pkt) const override;
+
+  core::ProcessResult Process(core::AppContext& ctx, net::Packet pkt,
+                              std::vector<std::byte>& state) override;
+  bool StateInMatchTable() const override { return true; }
+};
+
+/// Builds a signaling packet that (re)attaches `user_ip` with `teid` at
+/// `enb_ip` (workload-generation helper).
+net::Packet MakeSgwSignalingPacket(net::Ipv4Addr src, net::Ipv4Addr user_ip,
+                                   std::uint32_t teid, net::Ipv4Addr enb_ip);
+
+}  // namespace redplane::apps

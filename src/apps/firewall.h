@@ -1,0 +1,45 @@
+// Stateful firewall (paper §6 app 2).
+//
+// Admits inbound traffic only for connections previously established from
+// the internal network.  The per-connection state (keyed by the canonical,
+// internal-side 5-tuple) is written once — by the outbound SYN — and read
+// thereafter, exercising RedPlane's synchronous replication exactly once per
+// connection.
+#pragma once
+
+#include "core/app.h"
+
+namespace redplane::apps {
+
+struct FirewallEntry {
+  std::uint8_t established = 0;
+  std::uint8_t fin_seen = 0;
+};
+
+class FirewallApp : public core::SwitchApp {
+ public:
+  /// Traffic whose source matches prefix/mask is "internal".
+  FirewallApp(net::Ipv4Addr internal_prefix, std::uint32_t internal_mask)
+      : internal_prefix_(internal_prefix), internal_mask_(internal_mask) {}
+
+  std::string_view name() const override { return "firewall"; }
+
+  /// Canonicalizes both directions of a connection to the outbound key so
+  /// they share one state partition.
+  std::optional<net::PartitionKey> KeyOf(const net::Packet& pkt) const override;
+
+  core::ProcessResult Process(core::AppContext& ctx, net::Packet pkt,
+                              std::vector<std::byte>& state) override;
+  bool StateInMatchTable() const override { return true; }
+
+  bool IsInternal(net::Ipv4Addr addr) const {
+    return (addr.value & internal_mask_) ==
+           (internal_prefix_.value & internal_mask_);
+  }
+
+ private:
+  net::Ipv4Addr internal_prefix_;
+  std::uint32_t internal_mask_;
+};
+
+}  // namespace redplane::apps

@@ -1,0 +1,40 @@
+// In-switch key-value store (paper §7.2, Fig. 13).
+//
+// Requests are UDP packets with a custom header: an operation (read or
+// update), a 64-bit key, and a 64-bit value.  Each key is its own state
+// partition; updates are synchronous writes, reads are local.  Sweeping the
+// update ratio reproduces Fig. 13's throughput curves.
+#pragma once
+
+#include "core/app.h"
+
+namespace redplane::apps {
+
+constexpr std::uint16_t kKvUdpPort = 7700;
+
+enum class KvOp : std::uint8_t { kRead = 0, kUpdate = 1 };
+
+struct KvRequest {
+  KvOp op = KvOp::kRead;
+  std::uint64_t key = 0;
+  std::uint64_t value = 0;
+};
+
+/// Encodes a request into `pkt`'s payload (pkt must be UDP to kKvUdpPort).
+net::Packet MakeKvPacket(const net::FlowKey& flow, const KvRequest& req);
+
+/// Parses a KV request from a packet payload; nullopt if not a KV packet.
+std::optional<KvRequest> ParseKvPacket(const net::Packet& pkt);
+
+class KvStoreApp : public core::SwitchApp {
+ public:
+  std::string_view name() const override { return "kv_store"; }
+
+  /// Partitions by the KV key carried in the request.
+  std::optional<net::PartitionKey> KeyOf(const net::Packet& pkt) const override;
+
+  core::ProcessResult Process(core::AppContext& ctx, net::Packet pkt,
+                              std::vector<std::byte>& state) override;
+};
+
+}  // namespace redplane::apps

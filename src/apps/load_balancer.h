@@ -1,0 +1,61 @@
+// L4 load balancer (paper §6 app 3; cf. SilkRoad).
+//
+// Maps each client connection arriving at a virtual IP to a backend chosen
+// from the shared server pool.  Like the NAT, selection happens at the state
+// store (the pool is shared state): the flow initializer picks a backend, so
+// the data plane is read-centric and per-connection affinity survives switch
+// failure — the defining requirement for stateful load balancing.
+#pragma once
+
+#include "core/app.h"
+#include "statestore/pools.h"
+
+namespace redplane::apps {
+
+struct LbEntry {
+  std::uint32_t backend_ip = 0;
+  std::uint16_t backend_port = 0;
+};
+
+/// Shared LB state managed at the store: the backend pool.
+class LbGlobalState {
+ public:
+  LbGlobalState(net::Ipv4Addr vip, std::uint16_t vip_port)
+      : vip_(vip), vip_port_(vip_port) {}
+
+  void AddBackend(net::Ipv4Addr ip, std::uint16_t port,
+                  std::uint32_t weight = 1) {
+    pool_.Add({ip, port, weight});
+  }
+
+  /// The state-store initializer for LB flows.
+  std::vector<std::byte> InitializeFlow(const net::PartitionKey& key);
+
+  net::Ipv4Addr vip() const { return vip_; }
+  std::uint16_t vip_port() const { return vip_port_; }
+  store::BackendPool& pool() { return pool_; }
+
+ private:
+  net::Ipv4Addr vip_;
+  std::uint16_t vip_port_;
+  store::BackendPool pool_;
+};
+
+class LoadBalancerApp : public core::SwitchApp {
+ public:
+  explicit LoadBalancerApp(LbGlobalState& global) : global_(global) {}
+
+  std::string_view name() const override { return "load_balancer"; }
+
+  /// Canonicalizes both directions to the client->VIP key.
+  std::optional<net::PartitionKey> KeyOf(const net::Packet& pkt) const override;
+
+  core::ProcessResult Process(core::AppContext& ctx, net::Packet pkt,
+                              std::vector<std::byte>& state) override;
+  bool StateInMatchTable() const override { return true; }
+
+ private:
+  LbGlobalState& global_;
+};
+
+}  // namespace redplane::apps

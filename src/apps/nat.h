@@ -1,0 +1,78 @@
+// In-switch NAT (paper §6 app 1; Appendix B).
+//
+// Translates between an internal network and one external address.  The
+// translation entry is per-flow hard state: the forward direction (keyed by
+// the internal 5-tuple) rewrites src to the allocated external (IP, port);
+// the reverse direction (keyed by the external-side 5-tuple) rewrites dst
+// back to the internal endpoint.  Allocation happens at the state store —
+// the free port pool is shared state, sharded across and managed by store
+// servers (§3) — via the NatGlobalState initializer, so the switch data
+// plane never writes NAT state: the app is read-centric, which is why
+// RedPlane adds no per-packet latency for it (§7.1).
+#pragma once
+
+#include <mutex>
+#include <unordered_map>
+
+#include "core/app.h"
+#include "statestore/pools.h"
+
+namespace redplane::apps {
+
+/// Per-flow NAT state: the rewrite to apply in this flow's direction.
+struct NatEntry {
+  /// 0 = outbound (rewrite source), 1 = inbound (rewrite destination).
+  std::uint8_t direction = 0;
+  std::uint32_t rewrite_ip = 0;
+  std::uint16_t rewrite_port = 0;
+};
+
+/// The NAT's shared state, managed by the state store: the external port
+/// pool plus the bidirectional mapping registry that the per-flow
+/// initializer consults.  The paper shards this across store servers; the
+/// reproduction keeps one registry shared by all shards (equivalent to a
+/// single global-state shard) — see DESIGN.md.
+class NatGlobalState {
+ public:
+  NatGlobalState(net::Ipv4Addr external_ip, std::uint16_t first_port,
+                 std::uint16_t port_count, net::Ipv4Addr internal_prefix,
+                 std::uint32_t internal_mask);
+
+  /// The state-store initializer: produces the initial per-flow state for
+  /// `key`, allocating a port for new outbound flows and resolving the
+  /// registry for inbound flows.  Returns empty state for unknown inbound
+  /// flows (the switch will drop them).
+  std::vector<std::byte> InitializeFlow(const net::PartitionKey& key);
+
+  bool IsInternal(net::Ipv4Addr addr) const {
+    return (addr.value & internal_mask_) == (internal_prefix_.value & internal_mask_);
+  }
+  net::Ipv4Addr external_ip() const { return pool_.external_ip(); }
+  std::size_t FreePorts() const { return pool_.FreeCount(); }
+  std::size_t ActiveMappings() const { return by_port_.size(); }
+
+ private:
+  store::PortPool pool_;
+  net::Ipv4Addr internal_prefix_;
+  std::uint32_t internal_mask_;
+  /// ext_port -> internal endpoint.
+  std::unordered_map<std::uint16_t, std::pair<net::Ipv4Addr, std::uint16_t>>
+      by_port_;
+  /// internal 5-tuple -> ext_port.
+  std::unordered_map<net::FlowKey, std::uint16_t> by_flow_;
+};
+
+class NatApp : public core::SwitchApp {
+ public:
+  explicit NatApp(NatGlobalState& global) : global_(global) {}
+
+  std::string_view name() const override { return "nat"; }
+  core::ProcessResult Process(core::AppContext& ctx, net::Packet pkt,
+                              std::vector<std::byte>& state) override;
+  bool StateInMatchTable() const override { return true; }
+
+ private:
+  NatGlobalState& global_;
+};
+
+}  // namespace redplane::apps

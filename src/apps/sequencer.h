@@ -1,0 +1,41 @@
+// In-network sequencer (Table 1's mixed-read/write row; cf. NOPaxos).
+//
+// Stamps every message of a replication group with a monotonically
+// increasing group sequence number, letting receivers detect drops and
+// reorderings without a Paxos leader.  The counter is hard state: if a
+// switch fails and the counter restarts, receivers observe duplicate
+// sequence numbers — "incorrect sequencing", Table 1's failure symptom.
+// Under RedPlane the counter is per-group replicated state (every stamp is
+// a write), so the replacement switch continues the sequence exactly.
+#pragma once
+
+#include "core/app.h"
+
+namespace redplane::apps {
+
+/// UDP destination port carrying sequencer-addressed messages.
+constexpr std::uint16_t kSequencerPort = 7801;
+
+/// Builds a message addressed to `group` (the group id rides in the first
+/// payload bytes; the sequencer prepends the stamp on output).
+net::Packet MakeSequencedPacket(const net::FlowKey& flow, std::uint64_t group);
+
+/// Extracts (group, stamp) from a sequencer output packet.
+struct SequencedHeader {
+  std::uint64_t group = 0;
+  std::uint64_t stamp = 0;
+};
+std::optional<SequencedHeader> ParseSequencedPacket(const net::Packet& pkt);
+
+class SequencerApp : public core::SwitchApp {
+ public:
+  std::string_view name() const override { return "sequencer"; }
+
+  /// Partitions by replication group id.
+  std::optional<net::PartitionKey> KeyOf(const net::Packet& pkt) const override;
+
+  core::ProcessResult Process(core::AppContext& ctx, net::Packet pkt,
+                              std::vector<std::byte>& state) override;
+};
+
+}  // namespace redplane::apps

@@ -1,0 +1,73 @@
+#include "apps/sketch.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "net/codec.h"
+
+namespace redplane::apps {
+
+CountMinSketch::CountMinSketch(std::string name, std::size_t rows,
+                               std::size_t slots)
+    : slots_(slots) {
+  rows_.reserve(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    rows_.push_back(std::make_unique<core::LazySnapshotter<std::uint32_t>>(
+        name + "/row" + std::to_string(r), slots));
+  }
+}
+
+std::size_t CountMinSketch::SlotFor(std::size_t row,
+                                    std::uint64_t key_hash) const {
+  // Independent per-row hashing via a row-seeded mix.
+  return static_cast<std::size_t>(Mix64(key_hash ^ (row * 0x9e3779b97f4a7c15ull)) %
+                                  slots_);
+}
+
+std::uint32_t CountMinSketch::Update(const dp::PipelinePass& pass,
+                                     std::uint64_t key_hash,
+                                     std::uint32_t delta) {
+  std::uint32_t min_estimate = UINT32_MAX;
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    const std::uint32_t v = rows_[r]->Update(
+        pass, SlotFor(r, key_hash),
+        [delta](std::uint32_t old) { return old + delta; });
+    min_estimate = std::min(min_estimate, v);
+  }
+  return min_estimate;
+}
+
+std::uint32_t CountMinSketch::Estimate(std::uint64_t key_hash) const {
+  std::uint32_t min_estimate = UINT32_MAX;
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    min_estimate =
+        std::min(min_estimate, rows_[r]->PeekLive(SlotFor(r, key_hash)));
+  }
+  return min_estimate;
+}
+
+void CountMinSketch::BeginSnapshot(const dp::PipelinePass& pass) {
+  for (auto& row : rows_) row->BeginSnapshot(pass);
+}
+
+std::vector<std::byte> CountMinSketch::ReadSnapshotSlot(
+    const dp::PipelinePass& pass, std::uint32_t index) {
+  std::vector<std::byte> out;
+  net::ByteWriter w(out);
+  for (auto& row : rows_) {
+    w.U32(row->SnapshotRead(pass, index));
+  }
+  return out;
+}
+
+void CountMinSketch::Reset() {
+  for (auto& row : rows_) row->Reset();
+}
+
+std::size_t CountMinSketch::SramBytes() const {
+  std::size_t total = 0;
+  for (const auto& row : rows_) total += row->SramBytes();
+  return total;
+}
+
+}  // namespace redplane::apps

@@ -1,0 +1,55 @@
+// Count-min sketch over lazily-snapshottable register arrays.
+//
+// Each row is one register array with the paper's interleaved double-buffer
+// layout (core::LazySnapshotter), so the whole sketch supports a consistent
+// snapshot while packets keep updating it (Algorithm 1).  Rows hash the key
+// with independent CRC seeds, matching how Tofino hash units would be
+// configured.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/snapshot.h"
+
+namespace redplane::apps {
+
+class CountMinSketch {
+ public:
+  /// `rows` independent arrays of `slots` 32-bit counters.
+  CountMinSketch(std::string name, std::size_t rows, std::size_t slots);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t slots() const { return slots_; }
+
+  /// Data-plane update: adds `delta` to one slot per row; returns the new
+  /// minimum estimate (what a heavy-hitter gate would compare).
+  std::uint32_t Update(const dp::PipelinePass& pass, std::uint64_t key_hash,
+                       std::uint32_t delta);
+
+  /// Control-plane estimate of `key_hash`'s count (min over rows).
+  std::uint32_t Estimate(std::uint64_t key_hash) const;
+
+  /// Snapshot interface (driven by the RedPlane harness): flips all rows.
+  void BeginSnapshot(const dp::PipelinePass& pass);
+
+  /// Reads snapshot slot `index` of every row, concatenated (one value per
+  /// row — the layout that makes one replication message per index).
+  std::vector<std::byte> ReadSnapshotSlot(const dp::PipelinePass& pass,
+                                          std::uint32_t index);
+
+  void Reset();
+
+  std::size_t SramBytes() const;
+
+  /// Row/slot addressing (exposed for tests).
+  std::size_t SlotFor(std::size_t row, std::uint64_t key_hash) const;
+
+ private:
+  std::size_t slots_;
+  std::vector<std::unique_ptr<core::LazySnapshotter<std::uint32_t>>> rows_;
+};
+
+}  // namespace redplane::apps

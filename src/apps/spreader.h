@@ -1,0 +1,62 @@
+// Super-spreader detection (Table 1's write-centric row; cf. SpreadSketch).
+//
+// Flags sources that contact many *distinct* destinations (scanners,
+// worms).  Distinct counting uses per-source bitmap rows: destination
+// hashes set bits, and the estimate is the linear-counting correction of
+// the occupancy.  Rows live in lazily-snapshottable registers so the
+// structure replicates in bounded-inconsistency mode; a failure without
+// fault tolerance loses the bitmaps and produces "inaccurate detection".
+#pragma once
+
+#include <set>
+
+#include "core/app.h"
+#include "core/snapshot.h"
+
+namespace redplane::apps {
+
+struct SpreaderConfig {
+  /// Tracked source slots (sources hash onto slots).
+  std::size_t sources = 64;
+  /// Bits per source bitmap.
+  std::size_t bits_per_source = 32;
+  /// Distinct-destination estimate that flags a super-spreader.
+  double threshold = 16;
+};
+
+class SpreaderApp : public core::SwitchApp, public core::Snapshottable {
+ public:
+  explicit SpreaderApp(SpreaderConfig config = {});
+
+  // SwitchApp:
+  std::string_view name() const override { return "spreader"; }
+  std::optional<net::PartitionKey> KeyOf(const net::Packet& pkt) const override;
+  core::ProcessResult Process(core::AppContext& ctx, net::Packet pkt,
+                              std::vector<std::byte>& state) override;
+  void Reset() override;
+
+  // Snapshottable: one slot per (source slot, bitmap word).
+  std::vector<net::PartitionKey> SnapshotKeys() const override;
+  std::uint32_t NumSnapshotSlots() const override;
+  void BeginSnapshot(const net::PartitionKey& key) override;
+  std::vector<std::byte> ReadSnapshotSlot(const net::PartitionKey& key,
+                                          std::uint32_t index) override;
+
+  /// Linear-counting estimate of distinct destinations for `src`.
+  double EstimateDistinct(net::Ipv4Addr src) const;
+  /// Sources whose estimate crossed the threshold.
+  const std::set<std::uint32_t>& Spreaders() const { return spreaders_; }
+
+  const SpreaderConfig& config() const { return config_; }
+
+ private:
+  std::size_t SourceSlot(net::Ipv4Addr src) const;
+  std::size_t BitIndex(net::Ipv4Addr src, net::Ipv4Addr dst) const;
+
+  SpreaderConfig config_;
+  /// Bitmap bits stored one per register cell: index = slot * bits + bit.
+  core::LazySnapshotter<std::uint8_t> bitmap_;
+  std::set<std::uint32_t> spreaders_;
+};
+
+}  // namespace redplane::apps

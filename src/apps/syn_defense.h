@@ -1,0 +1,61 @@
+// SYN-flood defense (Table 1's DDoS row; cf. Poseidon).
+//
+// A SYN-proxy-style admission filter: a source proves liveness by
+// completing a handshake once; validated sources are remembered in a Bloom
+// filter and their subsequent SYNs pass through.  Unvalidated SYNs are
+// answered with a cookie challenge (modeled as dropping the SYN and
+// recording the half-open attempt).  The filter is write-centric and
+// approximate, so it replicates in bounded-inconsistency mode; without
+// fault tolerance a switch failure forgets every validated source and the
+// defense starts dropping valid packets — Table 1's failure symptom.
+#pragma once
+
+#include "apps/bloom.h"
+#include "core/app.h"
+#include "core/snapshot.h"
+
+namespace redplane::apps {
+
+struct SynDefenseConfig {
+  std::size_t bloom_bits = 256;
+  std::size_t bloom_hashes = 3;
+};
+
+class SynDefenseApp : public core::SwitchApp, public core::Snapshottable {
+ public:
+  explicit SynDefenseApp(SynDefenseConfig config = {});
+
+  // SwitchApp:
+  std::string_view name() const override { return "syn_defense"; }
+  /// Partitions as one object (the validated-source filter is global to
+  /// the defense, like the paper's per-VLAN sketches are to monitoring).
+  std::optional<net::PartitionKey> KeyOf(const net::Packet& pkt) const override;
+  core::ProcessResult Process(core::AppContext& ctx, net::Packet pkt,
+                              std::vector<std::byte>& state) override;
+  void Reset() override;
+
+  // Snapshottable:
+  std::vector<net::PartitionKey> SnapshotKeys() const override;
+  std::uint32_t NumSnapshotSlots() const override;
+  void BeginSnapshot(const net::PartitionKey& key) override;
+  std::vector<std::byte> ReadSnapshotSlot(const net::PartitionKey& key,
+                                          std::uint32_t index) override;
+
+  /// Restores the validated-source filter from a store snapshot (slot
+  /// index -> cell value), the failover path.
+  void RestoreSlot(std::uint32_t index, std::uint8_t value);
+
+  bool IsValidated(net::Ipv4Addr src) const;
+  std::uint64_t challenges_sent() const { return challenges_; }
+  std::uint64_t admitted() const { return admitted_; }
+
+ private:
+  SynDefenseConfig config_;
+  BloomFilter validated_;
+  /// Restored cells override the (empty) live filter after a failover.
+  std::vector<std::uint8_t> restored_;
+  std::uint64_t challenges_ = 0;
+  std::uint64_t admitted_ = 0;
+};
+
+}  // namespace redplane::apps

@@ -1,0 +1,74 @@
+#include "baselines/plain_pipeline.h"
+
+namespace redplane::baselines {
+
+PlainAppPipeline::PlainAppPipeline(
+    dp::SwitchNode& node, core::SwitchApp& app,
+    std::function<std::vector<std::byte>(const net::PartitionKey&)>
+        initializer)
+    : node_(node), app_(app), initializer_(std::move(initializer)) {}
+
+void PlainAppPipeline::Process(dp::SwitchContext& ctx, net::Packet pkt) {
+  const auto key = app_.KeyOf(pkt);
+  if (!key.has_value()) {
+    ctx.Forward(std::move(pkt));
+    return;
+  }
+  auto [it, inserted] = state_.try_emplace(*key);
+  Entry& entry = it->second;
+
+  if (inserted) {
+    if (initializer_) entry.state = initializer_(*key);
+    if (app_.StateInMatchTable()) {
+      // Table-backed state must be installed by the switch CPU before the
+      // data plane can use it; the first packet waits for that install.
+      entry.install_pending = true;
+      stats_.Add("cp_installs");
+      node_.control_plane().Submit(
+          entry.state.size() + 64,
+          [this, key = *key, pkt = std::move(pkt)]() mutable {
+            auto eit = state_.find(key);
+            if (eit == state_.end()) return;
+            eit->second.installed = true;
+            eit->second.install_pending = false;
+            node_.Recirculate([this, key, p = std::move(pkt)](
+                                  dp::SwitchContext& rctx) mutable {
+              auto it2 = state_.find(key);
+              if (it2 == state_.end()) return;
+              RunApp(rctx, it2->second, std::move(p));
+            });
+          });
+      return;
+    }
+    entry.installed = true;
+  }
+
+  if (entry.install_pending) {
+    // A burst arrived before the control plane finished; without RedPlane's
+    // network buffering the switch can only drop (or punt) these.
+    stats_.Add("install_pending_drops");
+    ctx.Drop(pkt);
+    return;
+  }
+  RunApp(ctx, entry, std::move(pkt));
+}
+
+void PlainAppPipeline::RunApp(dp::SwitchContext& ctx, Entry& entry,
+                              net::Packet pkt) {
+  core::AppContext actx;
+  actx.now = ctx.Now();
+  actx.switch_ip = node_.ip();
+  core::ProcessResult result = app_.Process(actx, std::move(pkt), entry.state);
+  stats_.Add("app_pkts");
+  if (result.state_modified) stats_.Add("state_writes");
+  for (auto& out : result.outputs) {
+    ctx.Forward(std::move(out));
+  }
+}
+
+void PlainAppPipeline::Reset() {
+  state_.clear();
+  app_.Reset();
+}
+
+}  // namespace redplane::baselines

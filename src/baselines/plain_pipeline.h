@@ -1,0 +1,50 @@
+// Non-fault-tolerant in-switch application harness ("Switch-NAT" et al.).
+//
+// Runs a SwitchApp directly on the switch with purely local per-flow state.
+// New flows get their state from a local initializer (e.g. a switch-local
+// NAT port pool); when the app keeps state in match tables the install goes
+// through the control plane (the paper's Switch-NAT tail latency).  On
+// switch failure all state is simply lost — the problem RedPlane exists to
+// fix, and the baseline every experiment compares against.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "common/stats.h"
+#include "core/app.h"
+#include "dataplane/pipeline.h"
+
+namespace redplane::baselines {
+
+class PlainAppPipeline : public dp::PipelineHandler {
+ public:
+  /// `initializer` produces initial state for a new partition (may be null:
+  /// new flows start with empty state).
+  PlainAppPipeline(dp::SwitchNode& node, core::SwitchApp& app,
+                   std::function<std::vector<std::byte>(
+                       const net::PartitionKey&)> initializer = nullptr);
+
+  void Process(dp::SwitchContext& ctx, net::Packet pkt) override;
+  void Reset() override;
+
+  Counters& stats() { return stats_; }
+  std::size_t NumFlows() const { return state_.size(); }
+
+ private:
+  struct Entry {
+    std::vector<std::byte> state;
+    bool installed = false;
+    bool install_pending = false;
+  };
+
+  void RunApp(dp::SwitchContext& ctx, Entry& entry, net::Packet pkt);
+
+  dp::SwitchNode& node_;
+  core::SwitchApp& app_;
+  std::function<std::vector<std::byte>(const net::PartitionKey&)> initializer_;
+  std::unordered_map<net::PartitionKey, Entry> state_;
+  Counters stats_;
+};
+
+}  // namespace redplane::baselines

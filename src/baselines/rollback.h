@@ -1,0 +1,53 @@
+// Rollback-recovery baseline (FTMB-style, §2.2 / Fig. 2b).
+//
+// Logs every packet to an external controller so traffic can be replayed on
+// a replacement after failure.  On a hardware switch the only path to the
+// logger is the ASIC-to-CPU PCIe channel, whose bandwidth is orders of
+// magnitude below the data rate — so at line rate the log drops packets and
+// replay reconstructs the wrong state.  This pipeline quantifies exactly
+// that: it forwards traffic normally, attempts to log each packet through
+// the control plane, and counts how many log entries the channel had to
+// shed.  The replay check in the tests shows the resulting state divergence.
+#pragma once
+
+#include <deque>
+
+#include "common/stats.h"
+#include "core/app.h"
+#include "dataplane/pipeline.h"
+
+namespace redplane::baselines {
+
+class RollbackPipeline : public dp::PipelineHandler {
+ public:
+  /// `max_queued_logs` models the bounded DMA ring toward the CPU; packets
+  /// that find it full are forwarded but not logged (the §2.2 failure).
+  RollbackPipeline(dp::SwitchNode& node, core::SwitchApp& app,
+                   std::size_t max_queued_logs = 1024);
+
+  void Process(dp::SwitchContext& ctx, net::Packet pkt) override;
+  void Reset() override;
+
+  /// Replays the captured log through a fresh app instance and returns the
+  /// reconstructed per-partition state (what a replacement switch would
+  /// recover).  Compare against the live state to measure divergence.
+  std::unordered_map<net::PartitionKey, std::vector<std::byte>> Replay(
+      core::SwitchApp& fresh_app) const;
+
+  std::uint64_t packets_logged() const { return logged_; }
+  std::uint64_t packets_not_logged() const { return not_logged_; }
+  Counters& stats() { return stats_; }
+
+ private:
+  dp::SwitchNode& node_;
+  core::SwitchApp& app_;
+  std::size_t max_queued_logs_;
+  std::unordered_map<net::PartitionKey, std::vector<std::byte>> state_;
+  /// The controller-side log (successfully transferred packets).
+  std::vector<net::Packet> log_;
+  std::uint64_t logged_ = 0;
+  std::uint64_t not_logged_ = 0;
+  Counters stats_;
+};
+
+}  // namespace redplane::baselines

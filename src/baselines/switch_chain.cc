@@ -1,0 +1,99 @@
+#include "baselines/switch_chain.h"
+
+#include "core/protocol.h"
+
+namespace redplane::baselines {
+
+SwitchChainPipeline::SwitchChainPipeline(dp::SwitchNode& node,
+                                         core::SwitchApp& app,
+                                         std::optional<net::Ipv4Addr> next_hop_ip,
+                                         std::uint16_t chain_port)
+    : node_(node),
+      app_(app),
+      next_hop_ip_(next_hop_ip),
+      chain_port_(chain_port) {}
+
+void SwitchChainPipeline::Process(dp::SwitchContext& ctx, net::Packet pkt) {
+  if (pkt.IsUdpTo(chain_port_)) {
+    if (pkt.ip.has_value() && pkt.ip->dst == node_.ip()) {
+      ApplyChainUpdate(ctx, std::move(pkt));
+    } else {
+      ctx.Forward(std::move(pkt));  // transit chain traffic
+    }
+    return;
+  }
+
+  const auto key = app_.KeyOf(pkt);
+  if (!key.has_value()) {
+    ctx.Forward(std::move(pkt));
+    return;
+  }
+  core::AppContext actx;
+  actx.now = ctx.Now();
+  actx.switch_ip = node_.ip();
+  auto& state = state_[*key];
+  core::ProcessResult result = app_.Process(actx, std::move(pkt), state);
+  stats_.Add("app_pkts");
+
+  if (result.state_modified && next_hop_ip_.has_value()) {
+    // Forward the update (and the withheld output) down the chain; the
+    // tail releases it.  There is no ack and no retransmission — the data
+    // plane has neither — so a drop on the inter-switch link silently
+    // desynchronizes the replicas.
+    core::Msg update;
+    update.type = core::MsgType::kLeaseRenewReq;
+    update.key = *key;
+    update.state = state;
+    if (!result.outputs.empty()) {
+      update.piggyback = std::move(result.outputs.front());
+    }
+    net::Packet chain_pkt =
+        core::MakeProtocolPacket(node_.ip(), *next_hop_ip_, update);
+    chain_pkt.udp->dst_port = chain_port_;
+    chain_pkt.udp->src_port = chain_port_;
+    stats_.Add("chain_updates_sent");
+    ctx.Forward(std::move(chain_pkt));
+    return;
+  }
+
+  for (auto& out : result.outputs) {
+    ctx.Forward(std::move(out));
+  }
+}
+
+void SwitchChainPipeline::ApplyChainUpdate(dp::SwitchContext& ctx,
+                                           net::Packet pkt) {
+  auto msg = core::DecodeMsg(pkt.payload);
+  if (!msg.has_value()) {
+    stats_.Add("malformed_chain_updates");
+    return;
+  }
+  state_[msg->key] = msg->state;
+  stats_.Add("chain_updates_applied");
+  if (next_hop_ip_.has_value()) {
+    net::Packet fwd = core::MakeProtocolPacket(node_.ip(), *next_hop_ip_, *msg);
+    fwd.udp->dst_port = chain_port_;
+    fwd.udp->src_port = chain_port_;
+    ctx.Forward(std::move(fwd));
+    return;
+  }
+  // Tail: the update is replicated everywhere; release the output.
+  if (msg->piggyback.has_value()) {
+    ctx.Forward(std::move(*msg->piggyback));
+  }
+}
+
+std::size_t SwitchChainPipeline::ReplicaStateBytes() const {
+  std::size_t total = 0;
+  for (const auto& [key, bytes] : state_) {
+    total += sizeof(key) + bytes.size();
+  }
+  return total;
+}
+
+void SwitchChainPipeline::Reset() {
+  state_.clear();
+  app_.Reset();
+}
+
+}  // namespace redplane::baselines

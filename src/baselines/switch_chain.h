@@ -1,0 +1,56 @@
+// Chain replication across switch data planes (§2.2 / Fig. 2c).
+//
+// State updates replicate hop by hop between switches entirely in the data
+// plane: a state-updating packet traverses head -> ... -> tail, each switch
+// applying the update, and only the tail releases it.  This keeps up with
+// line rate but has the three §2.2 flaws the tests demonstrate: inter-switch
+// links are unreliable, so a lost chain hop silently diverges the replicas
+// (no retransmission exists in the data plane); every replica burns scarce
+// switch SRAM for the same state; and routing must steer updating packets
+// through the chain explicitly.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/app.h"
+#include "dataplane/pipeline.h"
+
+namespace redplane::baselines {
+
+class SwitchChainPipeline : public dp::PipelineHandler {
+ public:
+  /// `next_hop_ip` is the successor switch's address (unset for the tail).
+  /// Chain-internal updates are carried as UDP packets to `chain_port`.
+  SwitchChainPipeline(dp::SwitchNode& node, core::SwitchApp& app,
+                      std::optional<net::Ipv4Addr> next_hop_ip,
+                      std::uint16_t chain_port = 5199);
+
+  void Process(dp::SwitchContext& ctx, net::Packet pkt) override;
+  void Reset() override;
+
+  /// Replica state, for divergence checks in tests.
+  const std::unordered_map<net::PartitionKey, std::vector<std::byte>>& state()
+      const {
+    return state_;
+  }
+
+  /// SRAM consumed by this replica's copy of the state (every chain member
+  /// pays this; the resource-overhead flaw of the approach).
+  std::size_t ReplicaStateBytes() const;
+
+  Counters& stats() { return stats_; }
+
+ private:
+  void ApplyChainUpdate(dp::SwitchContext& ctx, net::Packet pkt);
+
+  dp::SwitchNode& node_;
+  core::SwitchApp& app_;
+  std::optional<net::Ipv4Addr> next_hop_ip_;
+  std::uint16_t chain_port_;
+  std::unordered_map<net::PartitionKey, std::vector<std::byte>> state_;
+  Counters stats_;
+};
+
+}  // namespace redplane::baselines

@@ -1,0 +1,42 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace redplane {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+
+LogLevel SetLogLevel(LogLevel level) {
+  LogLevel prev = g_level;
+  g_level = level;
+  return prev;
+}
+
+void LogLine(LogLevel level, const char* file, int line,
+             const std::string& message) {
+  // Strip directories from the file name for readability.
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line,
+               message.c_str());
+}
+
+}  // namespace redplane

@@ -1,0 +1,62 @@
+// Minimal leveled logger.
+//
+// The simulator is deterministic and single-threaded, so the logger is
+// deliberately simple: a global level, a global sink (stderr by default),
+// and printf-free streaming macros that evaluate their arguments only when
+// the level is enabled.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace redplane {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Returns the current global log level.
+LogLevel GetLogLevel();
+
+/// Sets the global log level; returns the previous level.
+LogLevel SetLogLevel(LogLevel level);
+
+/// Emits one formatted line to the sink.  Internal; use the RP_LOG macro.
+void LogLine(LogLevel level, const char* file, int line,
+             const std::string& message);
+
+namespace internal {
+
+/// Accumulates a log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { LogLine(level_, file_, line_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace redplane
+
+#define RP_LOG(level)                                                     \
+  if (::redplane::LogLevel::level < ::redplane::GetLogLevel()) {          \
+  } else                                                                  \
+    ::redplane::internal::LogMessage(::redplane::LogLevel::level,         \
+                                     __FILE__, __LINE__)                  \
+        .stream()

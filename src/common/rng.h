@@ -1,0 +1,73 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the reproduction (link loss, traffic
+// generation, ECMP tie-breaks, ...) draws from an Rng seeded by the owning
+// experiment, so that a run is reproducible bit-for-bit from its seed.  We
+// implement xoshiro256** (public domain, Blackman & Vigna) seeded via
+// SplitMix64 rather than relying on std::mt19937, whose streams differ in
+// subtle ways across standard library versions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace redplane {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+std::uint64_t SplitMix64(std::uint64_t& state);
+
+/// xoshiro256** pseudo random generator with convenience distributions.
+class Rng {
+ public:
+  /// Constructs a generator whose entire stream is determined by `seed`.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Returns the next raw 64-bit output.
+  std::uint64_t Next();
+
+  /// Returns a uniformly distributed value in [0, bound). `bound` must be > 0.
+  std::uint64_t NextBounded(std::uint64_t bound);
+
+  /// Returns a uniformly distributed integer in [lo, hi] inclusive.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Returns a uniformly distributed double in [0, 1).
+  double UniformDouble();
+
+  /// Returns true with probability `p` (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double Exponential(double mean);
+
+  /// Samples an index in [0, weights.size()) proportionally to the weights.
+  std::size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Forks a child generator with an independent stream derived from this
+  /// generator's state and `stream_id`; used to give each component its own
+  /// stream so adding a component does not perturb the others.
+  Rng Fork(std::uint64_t stream_id);
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+/// Zipf-distributed integer sampler over [0, n), exponent `theta`.
+///
+/// Uses the standard rejection-inversion-free CDF-table approach: O(n) setup,
+/// O(log n) per sample.  Adequate for the key-popularity workloads used in
+/// the evaluation.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double theta);
+
+  std::size_t Sample(Rng& rng) const;
+
+  std::size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace redplane

@@ -1,0 +1,121 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace redplane {
+
+void SampleSet::Add(double value) {
+  samples_.push_back(value);
+  sorted_ = false;
+}
+
+void SampleSet::EnsureSorted() const {
+  if (!sorted_) {
+    auto& mut = const_cast<std::vector<double>&>(samples_);
+    std::sort(mut.begin(), mut.end());
+    const_cast<bool&>(sorted_) = true;
+  }
+}
+
+double SampleSet::Min() const {
+  assert(!samples_.empty());
+  EnsureSorted();
+  return samples_.front();
+}
+
+double SampleSet::Max() const {
+  assert(!samples_.empty());
+  EnsureSorted();
+  return samples_.back();
+}
+
+double SampleSet::Mean() const {
+  assert(!samples_.empty());
+  double sum = 0.0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double SampleSet::Percentile(double p) const {
+  assert(!samples_.empty());
+  EnsureSorted();
+  if (p <= 0.0) return samples_.front();
+  if (p >= 100.0) return samples_.back();
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+std::vector<std::pair<double, double>> SampleSet::Cdf(
+    std::size_t max_points) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty()) return out;
+  EnsureSorted();
+  const std::size_t n = samples_.size();
+  const std::size_t step = std::max<std::size_t>(1, n / max_points);
+  for (std::size_t i = 0; i < n; i += step) {
+    out.emplace_back(samples_[i],
+                     static_cast<double>(i + 1) / static_cast<double>(n));
+  }
+  if (out.back().second < 1.0) out.emplace_back(samples_.back(), 1.0);
+  return out;
+}
+
+void SampleSet::Reset() {
+  samples_.clear();
+  sorted_ = true;
+}
+
+TimeSeries::TimeSeries(SimDuration bucket) : bucket_(bucket) {
+  assert(bucket > 0);
+}
+
+void TimeSeries::Add(SimTime t, double value) {
+  assert(t >= 0);
+  const std::size_t idx = static_cast<std::size_t>(t / bucket_);
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0.0);
+  buckets_[idx] += value;
+}
+
+double TimeSeries::BucketSum(std::size_t i) const {
+  return i < buckets_.size() ? buckets_[i] : 0.0;
+}
+
+void Counters::Add(const std::string& name, double delta) {
+  for (auto& [k, v] : entries_) {
+    if (k == name) {
+      v += delta;
+      return;
+    }
+  }
+  entries_.emplace_back(name, delta);
+}
+
+double Counters::Get(const std::string& name) const {
+  for (const auto& [k, v] : entries_) {
+    if (k == name) return v;
+  }
+  return 0.0;
+}
+
+std::vector<std::pair<std::string, double>> Counters::Sorted() const {
+  auto out = entries_;
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+void Counters::Reset() { entries_.clear(); }
+
+std::string FormatDouble(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+}  // namespace redplane

@@ -1,0 +1,91 @@
+// Statistics collection for the evaluation harnesses.
+//
+// The benches reproduce the paper's figures from percentile summaries, CDFs,
+// time series, and counters; this module provides those accumulators.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace redplane {
+
+/// Collects raw samples and answers percentile / CDF queries.
+///
+/// Samples are stored and sorted lazily on first query.  Suitable for the
+/// evaluation scale here (up to a few million samples per run).
+class SampleSet {
+ public:
+  void Add(double value);
+
+  std::size_t Count() const { return samples_.size(); }
+  bool Empty() const { return samples_.empty(); }
+
+  double Min() const;
+  double Max() const;
+  double Mean() const;
+
+  /// Returns the p-th percentile (p in [0, 100]) via linear interpolation.
+  double Percentile(double p) const;
+
+  /// Returns (value, cumulative_fraction) pairs suitable for plotting a CDF,
+  /// downsampled to at most `max_points` points.
+  std::vector<std::pair<double, double>> Cdf(std::size_t max_points = 200) const;
+
+  /// Clears all samples.
+  void Reset();
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Accumulates a value over fixed-width time buckets, e.g. bytes per 100 ms
+/// interval for the failover throughput timeline (Fig. 14).
+class TimeSeries {
+ public:
+  /// `bucket` is the width of one bucket in simulated nanoseconds.
+  explicit TimeSeries(SimDuration bucket);
+
+  /// Adds `value` to the bucket containing time `t`.
+  void Add(SimTime t, double value);
+
+  SimDuration bucket() const { return bucket_; }
+
+  /// Number of buckets covering everything added so far.
+  std::size_t NumBuckets() const { return buckets_.size(); }
+
+  /// Sum accumulated in bucket `i` (0 if never touched).
+  double BucketSum(std::size_t i) const;
+
+  /// Start time of bucket `i`.
+  SimTime BucketStart(std::size_t i) const {
+    return static_cast<SimTime>(i) * bucket_;
+  }
+
+ private:
+  SimDuration bucket_;
+  std::vector<double> buckets_;
+};
+
+/// Simple named counter set used by components to report totals (packets
+/// forwarded, replication requests sent, bytes on the wire, ...).
+class Counters {
+ public:
+  void Add(const std::string& name, double delta = 1.0);
+  double Get(const std::string& name) const;
+  std::vector<std::pair<std::string, double>> Sorted() const;
+  void Reset();
+
+ private:
+  std::vector<std::pair<std::string, double>> entries_;
+};
+
+/// Formats `v` with `digits` decimal places (reporting helper).
+std::string FormatDouble(double v, int digits = 2);
+
+}  // namespace redplane

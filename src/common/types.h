@@ -1,0 +1,51 @@
+// Core scalar types shared across the RedPlane reproduction.
+//
+// All simulated time is kept as an integral count of nanoseconds.  Using a
+// single integral representation (rather than std::chrono duration types on
+// every interface) keeps the discrete-event simulator allocation-free and
+// makes event ordering and hashing trivial, while the helpers below keep the
+// call sites readable.
+#pragma once
+
+#include <cstdint>
+
+namespace redplane {
+
+/// Simulated time, in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// A time delta in nanoseconds.
+using SimDuration = std::int64_t;
+
+constexpr SimDuration kNanosecond = 1;
+constexpr SimDuration kMicrosecond = 1'000;
+constexpr SimDuration kMillisecond = 1'000'000;
+constexpr SimDuration kSecond = 1'000'000'000;
+
+constexpr SimDuration Nanoseconds(std::int64_t n) { return n; }
+constexpr SimDuration Microseconds(std::int64_t n) { return n * kMicrosecond; }
+constexpr SimDuration Milliseconds(std::int64_t n) { return n * kMillisecond; }
+constexpr SimDuration Seconds(std::int64_t n) { return n * kSecond; }
+
+/// Converts a nanosecond count to (floating point) seconds, for reporting.
+constexpr double ToSeconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+/// Converts a nanosecond count to (floating point) microseconds.
+constexpr double ToMicroseconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMicrosecond);
+}
+
+/// Identifies a node (switch, server, host) in the simulated network.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+constexpr NodeId kInvalidNode = 0xffffffffu;
+
+/// Identifies a port on a node.
+using PortId = std::uint16_t;
+
+constexpr PortId kInvalidPort = 0xffffu;
+
+}  // namespace redplane

@@ -1,0 +1,70 @@
+// Analytic (fluid) throughput model for scale experiments.
+//
+// The paper's Fig. 12/13 inject 207.6 Mpps, far beyond what a packet-level
+// discrete-event simulation can process; the authors themselves supplement
+// the testbed with an "analytical model-based simulation" for scale (§7.2).
+// This model computes the sustainable forwarding rate as the tightest of
+// three bottlenecks: the fabric link rate, the switch pipeline rate, and the
+// state-store service rate divided by the fraction of packets that must
+// synchronously visit the store.  Protocol bytes (requests + echoed
+// responses) share fabric links with original traffic, which the model
+// charges explicitly.  Small packet-level simulations validate the model's
+// ranking and crossover behaviour in the test suite.
+#pragma once
+
+#include <cstdint>
+
+namespace redplane::core {
+
+struct AnalyticConfig {
+  /// Offered load in packets/second.
+  double offered_pps = 207.6e6;
+  /// Original packet size in bytes (64 B in the paper's experiments).
+  double packet_bytes = 64;
+  /// Bottleneck fabric link rate in bits/second (the aggregation-to-core
+  /// link in the testbed; it caps forwarding at ~122.5 Mpps for 64 B).
+  double link_bps = 100e9;
+  /// Per-store-server NIC rate for the switch<->store path, which in the
+  /// testbed is disjoint from the data bottleneck link (aggregation->ToR->
+  /// store server vs aggregation->core).
+  double store_link_bps = 100e9;
+  /// Switch pipeline forwarding capacity in packets/second.
+  double switch_pps = 4.8e9;
+  /// Per-state-store-server request service rate (requests/second).
+  double store_rps = 35e6;
+  /// Number of state-store shards serving this workload.
+  int num_stores = 1;
+  /// Fraction of packets that synchronously produce a replication request
+  /// (0 for read-centric / async apps, 1 for the sync counter).
+  double sync_update_fraction = 0.0;
+  /// Fraction of packets that must buffer through the network because a
+  /// write is in flight (reads overlapping writes; adds request traffic but
+  /// not store-side application work beyond an echo).
+  double read_buffer_fraction = 0.0;
+  /// Protocol bytes added per replication request beyond the original
+  /// packet (headers; the piggybacked original is counted separately).
+  double protocol_overhead_bytes = 70;
+  /// Asynchronous snapshot traffic in bits/second (bounded-inconsistency
+  /// mode); rides the same links but does not gate per-packet forwarding.
+  double snapshot_bps = 0.0;
+};
+
+struct AnalyticResult {
+  /// Sustainable application throughput, packets/second.
+  double throughput_pps = 0.0;
+  /// Which bottleneck bound it: "offered", "link", "switch", or "store".
+  const char* bottleneck = "offered";
+  /// Fraction of fabric bandwidth consumed by protocol messages.
+  double protocol_bw_fraction = 0.0;
+};
+
+/// Evaluates the model.
+AnalyticResult PredictThroughput(const AnalyticConfig& config);
+
+/// Bandwidth consumed by periodic snapshot replication (Fig. 11): one
+/// message per slot per structure per period.
+/// Returns bits/second on the store-facing links.
+double SnapshotBandwidthBps(int num_structures, int slots_per_structure,
+                            double snapshot_hz, double bytes_per_message);
+
+}  // namespace redplane::core

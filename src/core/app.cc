@@ -1,0 +1,12 @@
+#include "core/app.h"
+
+namespace redplane::core {
+
+std::optional<net::PartitionKey> SwitchApp::KeyOf(
+    const net::Packet& pkt) const {
+  auto flow = pkt.Flow();
+  if (!flow.has_value()) return std::nullopt;
+  return net::PartitionKey::OfFlow(*flow);
+}
+
+}  // namespace redplane::core

@@ -1,0 +1,59 @@
+#include "core/epsilon.h"
+
+namespace redplane::core {
+
+EpsilonTracker::EpsilonTracker(
+    SimDuration bound,
+    std::function<void(const net::PartitionKey&)> on_exceeded)
+    : bound_(bound), on_exceeded_(std::move(on_exceeded)) {}
+
+void EpsilonTracker::BeginRound(const net::PartitionKey& key,
+                                std::uint64_t round, std::uint32_t total,
+                                SimTime started_at) {
+  auto& st = keys_[key];
+  st.round = round;
+  st.total = total;
+  st.acked = 0;
+  st.round_started_at = started_at;
+}
+
+void EpsilonTracker::SlotAcked(const net::PartitionKey& key,
+                               std::uint64_t round, SimTime now) {
+  (void)now;
+  auto it = keys_.find(key);
+  if (it == keys_.end()) return;
+  auto& st = it->second;
+  if (round != st.round) return;  // ack for a superseded round
+  if (st.acked >= st.total) return;
+  if (++st.acked == st.total) {
+    // The snapshot captured state as of the flip (round start); that is the
+    // freshness the store now guarantees.
+    st.last_complete_at = st.round_started_at;
+    st.in_violation = false;
+  }
+}
+
+SimDuration EpsilonTracker::Staleness(const net::PartitionKey& key,
+                                      SimTime now) const {
+  auto it = keys_.find(key);
+  if (it == keys_.end() || it->second.last_complete_at < 0) return -1;
+  return now - it->second.last_complete_at;
+}
+
+void EpsilonTracker::Check(SimTime now) {
+  for (auto& [key, st] : keys_) {
+    const SimDuration age =
+        st.last_complete_at < 0 ? now : now - st.last_complete_at;
+    if (age > bound_) {
+      if (!st.in_violation) {
+        st.in_violation = true;
+        ++violations_;
+        if (on_exceeded_) on_exceeded_(key);
+      }
+    } else {
+      st.in_violation = false;
+    }
+  }
+}
+
+}  // namespace redplane::core

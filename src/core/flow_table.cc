@@ -1,0 +1,47 @@
+#include "core/flow_table.h"
+
+#include <algorithm>
+
+namespace redplane::core {
+
+FlowEntry& FlowTable::GetOrCreate(const net::PartitionKey& key) {
+  return entries_[key];
+}
+
+FlowEntry* FlowTable::Find(const net::PartitionKey& key) {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+const FlowEntry* FlowTable::Find(const net::PartitionKey& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void FlowTable::Erase(const net::PartitionKey& key) { entries_.erase(key); }
+
+void FlowTable::NoteSend(FlowEntry& entry, std::uint64_t seq, SimTime now) {
+  entry.pending_sends.emplace_back(seq, now);
+  // Bound memory: outstanding requests are capped by retransmission anyway.
+  if (entry.pending_sends.size() > 256) entry.pending_sends.pop_front();
+}
+
+void FlowTable::NoteAck(FlowEntry& entry, std::uint64_t seq,
+                        SimDuration lease_period) {
+  entry.last_acked_seq = std::max(entry.last_acked_seq, seq);
+  // The lease is valid for lease_period after the *send* of the newest
+  // request the store has acknowledged; using send time keeps the switch's
+  // view conservative relative to the store's.
+  SimTime newest_send = 0;
+  while (!entry.pending_sends.empty() &&
+         entry.pending_sends.front().first <= seq) {
+    newest_send = entry.pending_sends.front().second;
+    entry.pending_sends.pop_front();
+  }
+  if (newest_send > 0) {
+    entry.lease_expiry =
+        std::max(entry.lease_expiry, newest_send + lease_period);
+  }
+}
+
+}  // namespace redplane::core

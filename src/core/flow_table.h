@@ -1,0 +1,81 @@
+// Switch-side per-flow protocol state.
+//
+// On hardware this is the SRAM the paper charges in §7.4: a key-digest table
+// resolving the flow to a slot, plus register arrays holding the lease
+// expiration time, the current sequence number, and the last acknowledged
+// sequence number.  The model keeps the same fields (plus the application's
+// per-flow state blob, standing in for the app's own tables/registers) in a
+// hash map; the Table 2 bench charges the hardware layout separately.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "net/flow.h"
+
+namespace redplane::core {
+
+enum class FlowStatus : std::uint8_t {
+  /// No lease; an Init request is in flight (or about to be sent).
+  kInitPending,
+  /// Lease held; state installed and usable.
+  kActive,
+};
+
+struct FlowEntry {
+  FlowStatus status = FlowStatus::kInitPending;
+  /// The application's per-flow state (conceptually the app's registers /
+  /// table entries for this flow).
+  std::vector<std::byte> state;
+  /// True once state has been installed (grant received).
+  bool has_state = false;
+  /// Last sequence number assigned to a write of this flow.
+  std::uint64_t cur_seq = 0;
+  /// Highest sequence number acknowledged by the state store.
+  std::uint64_t last_acked_seq = 0;
+  /// Local lease expiry (conservatively derived from request *send* times,
+  /// so the switch always believes its lease ends no later than the store
+  /// does).
+  SimTime lease_expiry = 0;
+  /// True while an explicit kLeaseRenewOnly is outstanding.
+  bool renew_in_flight = false;
+  /// Send times of outstanding lease-renewing requests, by sequence number;
+  /// consulted on ack to compute the conservative expiry above.
+  std::deque<std::pair<std::uint64_t, SimTime>> pending_sends;
+  /// How many times packets of this flow have looped through the network
+  /// buffer while waiting for the lease grant.
+  std::uint32_t init_loops = 0;
+
+  bool WritesInFlight() const { return cur_seq > last_acked_seq; }
+  bool LeaseActive(SimTime now) const {
+    return status == FlowStatus::kActive && lease_expiry > now;
+  }
+};
+
+class FlowTable {
+ public:
+  FlowEntry& GetOrCreate(const net::PartitionKey& key);
+  FlowEntry* Find(const net::PartitionKey& key);
+  const FlowEntry* Find(const net::PartitionKey& key) const;
+  void Erase(const net::PartitionKey& key);
+  std::size_t Size() const { return entries_.size(); }
+
+  /// Clears everything (switch failure: all SRAM state is lost).
+  void Reset() { entries_.clear(); }
+
+  /// Records a lease-renewing request send for expiry accounting.
+  static void NoteSend(FlowEntry& entry, std::uint64_t seq, SimTime now);
+
+  /// Processes an ack for `seq`: advances last_acked_seq and extends the
+  /// lease to (send time of that request) + lease_period.
+  static void NoteAck(FlowEntry& entry, std::uint64_t seq,
+                      SimDuration lease_period);
+
+ private:
+  std::unordered_map<net::PartitionKey, FlowEntry> entries_;
+};
+
+}  // namespace redplane::core

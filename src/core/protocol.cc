@@ -1,0 +1,141 @@
+#include "core/protocol.h"
+
+#include "common/logging.h"
+
+namespace redplane::core {
+
+namespace {
+
+constexpr std::uint16_t kMagic = 0x9D1A;
+
+void EncodeKey(net::ByteWriter& w, const net::PartitionKey& key) {
+  w.U8(static_cast<std::uint8_t>(key.kind));
+  switch (key.kind) {
+    case net::PartitionKey::Kind::kFlow:
+      w.U32(key.flow.src_ip.value);
+      w.U32(key.flow.dst_ip.value);
+      w.U16(key.flow.src_port);
+      w.U16(key.flow.dst_port);
+      w.U8(static_cast<std::uint8_t>(key.flow.proto));
+      break;
+    case net::PartitionKey::Kind::kVlan:
+      w.U16(key.vlan);
+      break;
+    case net::PartitionKey::Kind::kObject:
+      w.U64(key.object);
+      break;
+  }
+}
+
+bool DecodeKey(net::ByteReader& r, net::PartitionKey& key) {
+  key.kind = static_cast<net::PartitionKey::Kind>(r.U8());
+  switch (key.kind) {
+    case net::PartitionKey::Kind::kFlow:
+      key.flow.src_ip = net::Ipv4Addr(r.U32());
+      key.flow.dst_ip = net::Ipv4Addr(r.U32());
+      key.flow.src_port = r.U16();
+      key.flow.dst_port = r.U16();
+      key.flow.proto = static_cast<net::IpProto>(r.U8());
+      return r.ok();
+    case net::PartitionKey::Kind::kVlan:
+      key.vlan = r.U16();
+      return r.ok();
+    case net::PartitionKey::Kind::kObject:
+      key.object = r.U64();
+      return r.ok();
+  }
+  return false;
+}
+
+}  // namespace
+
+std::size_t HeaderWireSize(const net::PartitionKey& key) {
+  // magic(2) + type(1) + ack(1) + seq(8) + snapshot_index(4) + reply_to(4) +
+  // chain_hop(1) + key-kind(1) + key body + state-len(2) + piggy-len(2).
+  std::size_t key_size = 0;
+  switch (key.kind) {
+    case net::PartitionKey::Kind::kFlow: key_size = 13; break;
+    case net::PartitionKey::Kind::kVlan: key_size = 2; break;
+    case net::PartitionKey::Kind::kObject: key_size = 8; break;
+  }
+  return 2 + 1 + 1 + 8 + 4 + 4 + 1 + 1 + key_size + 2 + 2;
+}
+
+std::vector<std::byte> EncodeMsg(const Msg& msg) {
+  std::vector<std::byte> out;
+  net::ByteWriter w(out);
+  w.U16(kMagic);
+  w.U8(static_cast<std::uint8_t>(msg.type));
+  w.U8(static_cast<std::uint8_t>(msg.ack));
+  w.U64(msg.seq);
+  w.U32(msg.snapshot_index);
+  w.U32(msg.reply_to.value);
+  w.U8(msg.chain_hop);
+  EncodeKey(w, msg.key);
+  w.U16(static_cast<std::uint16_t>(msg.state.size()));
+  std::vector<std::byte> piggy;
+  if (msg.piggyback.has_value()) piggy = net::Serialize(*msg.piggyback);
+  w.U16(static_cast<std::uint16_t>(piggy.size()));
+  w.Bytes(msg.state);
+  w.Bytes(piggy);
+  return out;
+}
+
+std::optional<Msg> DecodeMsg(std::span<const std::byte> payload) {
+  net::ByteReader r(payload);
+  if (r.U16() != kMagic) return std::nullopt;
+  Msg msg;
+  msg.type = static_cast<MsgType>(r.U8());
+  msg.ack = static_cast<AckKind>(r.U8());
+  msg.seq = r.U64();
+  msg.snapshot_index = r.U32();
+  msg.reply_to = net::Ipv4Addr(r.U32());
+  msg.chain_hop = r.U8();
+  if (!DecodeKey(r, msg.key)) return std::nullopt;
+  const std::uint16_t state_len = r.U16();
+  const std::uint16_t piggy_len = r.U16();
+  msg.state = r.Bytes(state_len);
+  if (!r.ok()) return std::nullopt;
+  if (piggy_len > 0) {
+    const auto piggy_bytes = r.Bytes(piggy_len);
+    if (!r.ok()) return std::nullopt;
+    auto inner = net::Parse(piggy_bytes);
+    if (!inner.has_value()) {
+      RP_LOG(kWarn) << "RedPlane message with malformed piggyback";
+      return std::nullopt;
+    }
+    msg.piggyback = std::move(inner);
+  }
+  return msg;
+}
+
+net::Packet MakeProtocolPacket(net::Ipv4Addr src_ip, net::Ipv4Addr dst_ip,
+                               const Msg& msg) {
+  net::Packet p;
+  p.id = net::NextPacketId();
+  p.eth = net::EthernetHeader{};
+  net::Ipv4Header ip;
+  ip.src = src_ip;
+  ip.dst = dst_ip;
+  ip.protocol = net::IpProto::kUdp;
+  p.ip = ip;
+  net::UdpHeader udp;
+  udp.src_port = kRedPlaneUdpPort;
+  udp.dst_port = kRedPlaneUdpPort;
+  p.udp = udp;
+  p.payload = EncodeMsg(msg);
+  return p;
+}
+
+bool IsProtocolPacket(const net::Packet& pkt) {
+  return pkt.udp.has_value() && pkt.udp->dst_port == kRedPlaneUdpPort &&
+         pkt.payload.size() >= 2 &&
+         static_cast<std::uint8_t>(pkt.payload[0]) == (kMagic >> 8) &&
+         static_cast<std::uint8_t>(pkt.payload[1]) == (kMagic & 0xff);
+}
+
+std::optional<Msg> DecodeFromPacket(const net::Packet& pkt) {
+  return DecodeMsg(pkt.payload);
+}
+
+}  // namespace redplane::core

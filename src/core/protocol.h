@@ -1,0 +1,114 @@
+// The RedPlane state replication protocol: message model and wire codec.
+//
+// Messages follow the paper's Fig. 4 format: standard Ethernet/IP/UDP headers
+// addressing the state store or the switch, then a RedPlane header (sequence
+// number, message type, flow key), then — depending on type — the state value
+// and/or a piggybacked output packet.  The piggyback is a fully serialized
+// inner packet: the network and the state store's memory act as delay-line
+// storage for outputs that may not be released until their state update is
+// durable (§5.1, "Piggybacking output packets").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "net/codec.h"
+#include "net/flow.h"
+#include "net/packet.h"
+
+namespace redplane::core {
+
+/// UDP port the state store listens on; switches use it as the source port
+/// of requests so responses route back symmetrically.
+constexpr std::uint16_t kRedPlaneUdpPort = 5123;
+
+/// Request messages (switch -> state store).
+/// Responses (state store -> switch) all use type kAck with an AckKind.
+enum class MsgType : std::uint8_t {
+  /// "Init": lease request for a flow this switch has no state for.  The
+  /// store grants a lease and returns existing state if the flow previously
+  /// lived on another switch (migration, paper step 4).
+  kLeaseNewReq = 1,
+  /// "Repl": a state write with lease renewal; carries the new state value
+  /// and the piggybacked output packet (paper step 2).
+  kLeaseRenewReq = 2,
+  /// Explicit periodic lease renewal with no state write (read-centric
+  /// flows renew every lease_renew_interval, §5.3).
+  kLeaseRenewOnly = 3,
+  /// A read packet that arrived while a write was still in flight; buffered
+  /// through the network until the store has applied the latest write
+  /// (§5.1, end of "Piggybacking output packets").
+  kReadBufferReq = 4,
+  /// Bounded-inconsistency mode: one snapshot slot value (§5.4).
+  kSnapshotRepl = 5,
+  /// Any response from the state store.
+  kAck = 6,
+};
+
+enum class AckKind : std::uint8_t {
+  kNone = 0,
+  /// Lease granted for a new flow (no prior state).
+  kLeaseGrantNew = 1,
+  /// Lease granted with migrated state attached.
+  kLeaseGrantMigrate = 2,
+  /// Write applied (or was a duplicate); piggyback returned for release.
+  kWriteAck = 3,
+  /// Buffered read returned for release.
+  kReadReturn = 4,
+  /// Snapshot slot recorded.
+  kSnapshotAck = 5,
+  /// Lease renewal (no write) confirmed.
+  kRenewAck = 6,
+  /// Lease denied: another switch holds it.  (The store normally buffers
+  /// instead of denying; deny is used when buffering capacity is exceeded.)
+  kLeaseDenied = 7,
+};
+
+/// A RedPlane protocol message (header + optional state + optional
+/// piggybacked output packet).
+struct Msg {
+  MsgType type = MsgType::kAck;
+  AckKind ack = AckKind::kNone;
+  /// Per-flow monotonically increasing sequence number (§5.2).
+  std::uint64_t seq = 0;
+  net::PartitionKey key;
+  /// State value: the write payload on kLeaseRenewReq / kSnapshotRepl, the
+  /// migrated state on kLeaseGrantMigrate.
+  std::vector<std::byte> state;
+  /// Snapshot slot index (kSnapshotRepl only).
+  std::uint32_t snapshot_index = 0;
+  /// Address the final response should be sent to (the requesting switch).
+  /// Carried so the tail of a replication chain can answer directly.
+  net::Ipv4Addr reply_to;
+  /// 0 for a request from a switch; incremented per chain-internal hop.
+  std::uint8_t chain_hop = 0;
+  /// Piggybacked output packet, if any.
+  std::optional<net::Packet> piggyback;
+};
+
+/// Serializes `msg` into payload bytes (everything after the UDP header).
+std::vector<std::byte> EncodeMsg(const Msg& msg);
+
+/// Parses payload bytes back into a message; nullopt if malformed.
+std::optional<Msg> DecodeMsg(std::span<const std::byte> payload);
+
+/// Size in bytes of the RedPlane header alone (no state, no piggyback); used
+/// for bandwidth accounting and mirror truncation.
+std::size_t HeaderWireSize(const net::PartitionKey& key);
+
+/// Builds the full UDP packet carrying `msg` from `src_ip` to `dst_ip`.
+/// Requests target the store's kRedPlaneUdpPort; acks target the switch's.
+net::Packet MakeProtocolPacket(net::Ipv4Addr src_ip, net::Ipv4Addr dst_ip,
+                               const Msg& msg);
+
+/// True if `pkt` looks like a RedPlane protocol packet (UDP to/from the
+/// RedPlane port).
+bool IsProtocolPacket(const net::Packet& pkt);
+
+/// Decodes the protocol message carried by `pkt` (which must satisfy
+/// IsProtocolPacket); nullopt if the payload is malformed.
+std::optional<Msg> DecodeFromPacket(const net::Packet& pkt);
+
+}  // namespace redplane::core

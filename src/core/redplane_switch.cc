@@ -1,0 +1,473 @@
+#include "core/redplane_switch.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace redplane::core {
+
+namespace {
+
+/// Mirror-buffer sequence for one snapshot slot: unique per (round, index)
+/// and ordered so that acknowledging a slot clears superseded rounds too.
+std::uint64_t SnapSeq(std::uint64_t round, std::uint32_t index) {
+  return (round << 20) | index;
+}
+
+std::uint64_t RetxKey(const net::PartitionKey& key, std::uint64_t seq) {
+  return HashCombine(net::HashPartitionKey(key), seq);
+}
+
+}  // namespace
+
+RedPlaneSwitch::RedPlaneSwitch(
+    dp::SwitchNode& node, SwitchApp& app,
+    std::function<net::Ipv4Addr(const net::PartitionKey&)> shard_for,
+    RedPlaneConfig config)
+    : node_(node),
+      app_(app),
+      shard_for_(std::move(shard_for)),
+      config_(config) {
+  assert(shard_for_);
+  node_.mirror().set_truncate_to(config_.mirror_truncate_bytes);
+}
+
+RedPlaneSwitch::~RedPlaneSwitch() = default;
+
+void RedPlaneSwitch::Process(dp::SwitchContext& ctx, net::Packet pkt) {
+  if (IsProtocolPacket(pkt)) {
+    if (pkt.ip.has_value() && pkt.ip->dst == node_.ip()) {
+      stats_.Add("resp_bytes", static_cast<double>(pkt.WireSize()));
+      auto msg = DecodeFromPacket(pkt);
+      if (!msg.has_value()) {
+        stats_.Add("malformed_acks");
+        return;
+      }
+      HandleAck(ctx, std::move(*msg));
+      return;
+    }
+    // Transit protocol traffic (another switch <-> store): plain L3.
+    ctx.Forward(std::move(pkt));
+    return;
+  }
+  HandleAppPacket(ctx, std::move(pkt));
+}
+
+void RedPlaneSwitch::HandleAppPacket(dp::SwitchContext& ctx, net::Packet pkt) {
+  const auto key = app_.KeyOf(pkt);
+  if (!key.has_value()) {
+    ctx.Forward(std::move(pkt));
+    return;
+  }
+  stats_.Add("orig_bytes", static_cast<double>(pkt.WireSize()));
+  stats_.Add("app_pkts");
+  const SimTime now = ctx.Now();
+
+  FlowEntry* entry = flows_.Find(*key);
+  if (entry != nullptr && entry->LeaseActive(now)) {
+    // Proactive renewal for read-centric flows (§5.3): writes renew
+    // implicitly, so only renew explicitly when the lease is aging and no
+    // write is about to do it for us.
+    if (!entry->renew_in_flight && !entry->WritesInFlight() &&
+        entry->lease_expiry - now < config_.renew_interval) {
+      Msg renew;
+      renew.type = MsgType::kLeaseRenewOnly;
+      renew.key = *key;
+      renew.seq = entry->cur_seq;
+      renew.reply_to = node_.ip();
+      entry->renew_in_flight = true;
+      stats_.Add("renewals_sent");
+      SendRequest(renew, /*mirror=*/false);
+      // Record the send time for expiry extension on kRenewAck.
+      renew_sent_at_[RetxKey(*key, 0)] = now;
+    }
+    RunApp(ctx, *key, *entry, std::move(pkt));
+    return;
+  }
+
+  if (entry != nullptr && entry->status == FlowStatus::kInitPending) {
+    // Lease grant still pending: buffer this packet through the network
+    // (§5.1): it loops store-and-back until the grant lands.  Each packet
+    // carries its own loop count (in the otherwise-unused snapshot_index
+    // field) so a busy flow cannot exhaust a shared budget.
+    ++entry->init_loops;  // statistics only
+    Msg buf;
+    buf.type = MsgType::kReadBufferReq;
+    buf.key = *key;
+    buf.seq = 0;  // marks an unprocessed input looping pre-grant
+    buf.snapshot_index = 0;
+    buf.reply_to = node_.ip();
+    buf.piggyback = std::move(pkt);
+    stats_.Add("init_loop_buffered");
+    SendRequest(buf, /*mirror=*/false);
+    return;
+  }
+
+  // No lease (new flow here, or an expired one): acquire it.  The packet
+  // rides along as the piggyback and comes back with the grant.
+  FlowEntry& fresh = flows_.GetOrCreate(*key);
+  fresh = FlowEntry{};  // expired entries are re-initialized from scratch
+  fresh.status = FlowStatus::kInitPending;
+  init_sent_at_[RetxKey(*key, 0)] = now;
+  Msg init;
+  init.type = MsgType::kLeaseNewReq;
+  init.key = *key;
+  init.seq = 0;
+  init.reply_to = node_.ip();
+  init.piggyback = std::move(pkt);
+  stats_.Add("inits_sent");
+  SendRequest(init, /*mirror=*/true);
+}
+
+void RedPlaneSwitch::RunApp(dp::SwitchContext& ctx,
+                            const net::PartitionKey& key, FlowEntry& entry,
+                            net::Packet pkt) {
+  AppContext actx;
+  actx.now = ctx.Now();
+  actx.switch_ip = node_.ip();
+  ProcessResult result = app_.Process(actx, std::move(pkt), entry.state);
+
+  if (result.state_modified && config_.linearizable) {
+    // Synchronous replication: the write leaves as a replication request
+    // carrying the new state; the output rides piggybacked and is released
+    // by the ack (never before the update is durable).
+    ++entry.cur_seq;
+    Msg repl;
+    repl.type = MsgType::kLeaseRenewReq;
+    repl.key = key;
+    repl.seq = entry.cur_seq;
+    repl.reply_to = node_.ip();
+    repl.state = entry.state;
+    if (!result.outputs.empty()) {
+      if (result.outputs.size() > 1) {
+        // Protocol carries one piggyback; multi-output writes are not used
+        // by the bundled applications.
+        RP_LOG(kWarn) << app_.name() << ": write produced "
+                      << result.outputs.size()
+                      << " outputs; piggybacking the first only";
+      }
+      repl.piggyback = std::move(result.outputs.front());
+    }
+    FlowTable::NoteSend(entry, entry.cur_seq, ctx.Now());
+    stats_.Add("writes_replicated");
+    SendRequest(repl, /*mirror=*/true);
+    return;
+  }
+
+  if (config_.linearizable && entry.WritesInFlight()) {
+    // A read while writes are in flight: its output may depend on state not
+    // yet durable, so it buffers through the network until the newest write
+    // is acknowledged (§5.1).
+    for (auto& out : result.outputs) {
+      Msg buf;
+      buf.type = MsgType::kReadBufferReq;
+      buf.key = key;
+      buf.seq = entry.cur_seq;
+      buf.reply_to = node_.ip();
+      buf.piggyback = std::move(out);
+      stats_.Add("reads_buffered");
+      SendRequest(buf, /*mirror=*/false);
+    }
+    return;
+  }
+
+  // Read with nothing in flight (or any packet in bounded-inconsistency
+  // mode): release immediately.
+  for (auto& out : result.outputs) {
+    ReleaseOutput(ctx, std::move(out));
+  }
+}
+
+void RedPlaneSwitch::HandleAck(dp::SwitchContext& ctx, Msg msg) {
+  FlowEntry* entry = flows_.Find(msg.key);
+  switch (msg.ack) {
+    case AckKind::kLeaseGrantNew:
+    case AckKind::kLeaseGrantMigrate: {
+      if (entry == nullptr || entry->status != FlowStatus::kInitPending) {
+        stats_.Add("stale_grants");
+        return;
+      }
+      node_.mirror().Acknowledge(msg.key, msg.seq);
+      stats_.Add(msg.ack == AckKind::kLeaseGrantMigrate ? "grants_migrate"
+                                                        : "grants_new");
+      const auto sent_it = init_sent_at_.find(RetxKey(msg.key, 0));
+      const SimTime sent_at =
+          sent_it == init_sent_at_.end() ? ctx.Now() : sent_it->second;
+      if (sent_it != init_sent_at_.end()) init_sent_at_.erase(sent_it);
+      retx_counts_.erase(RetxKey(msg.key, 0));
+
+      auto install = [this, key = msg.key, state = msg.state, seq = msg.seq,
+                      sent_at, piggy = std::move(msg.piggyback)]() mutable {
+        FlowEntry* e = flows_.Find(key);
+        if (e == nullptr || e->status != FlowStatus::kInitPending) return;
+        e->state = std::move(state);
+        e->has_state = true;
+        e->cur_seq = seq;
+        e->last_acked_seq = seq;
+        e->lease_expiry = sent_at + config_.lease_period;
+        e->status = FlowStatus::kActive;
+        e->init_loops = 0;
+        if (piggy.has_value()) {
+          // The first packet of the flow, returned with the grant: process
+          // it now on a fresh pipeline pass.
+          node_.Recirculate([this, p = std::move(*piggy)](
+                                dp::SwitchContext& rctx) mutable {
+            stats_.Add("orig_bytes", -static_cast<double>(p.WireSize()));
+            HandleAppPacket(rctx, std::move(p));
+          });
+        }
+      };
+      if (app_.StateInMatchTable()) {
+        // Match-table state installs only via the switch control plane.
+        stats_.Add("cp_installs");
+        node_.control_plane().Submit(msg.state.size() + 64, std::move(install));
+      } else {
+        install();
+      }
+      return;
+    }
+    case AckKind::kWriteAck: {
+      if (entry != nullptr) {
+        FlowTable::NoteAck(*entry, msg.seq, config_.lease_period);
+      }
+      node_.mirror().Acknowledge(msg.key, msg.seq);
+      retx_counts_.erase(RetxKey(msg.key, msg.seq));
+      if (msg.piggyback.has_value()) {
+        ReleaseOutput(ctx, std::move(*msg.piggyback));
+      }
+      return;
+    }
+    case AckKind::kReadReturn: {
+      if (!msg.piggyback.has_value()) return;
+      if (msg.seq == 0) {
+        // An unprocessed input that looped while the grant was pending.
+        if (entry != nullptr && entry->status == FlowStatus::kInitPending) {
+          // Still no lease (e.g. a control-plane install in progress):
+          // loop again, bounded per packet.
+          if (msg.snapshot_index >= config_.max_init_loops) {
+            stats_.Add("init_loop_drops");
+            return;  // permitted input loss
+          }
+          Msg buf;
+          buf.type = MsgType::kReadBufferReq;
+          buf.key = msg.key;
+          buf.seq = 0;
+          buf.snapshot_index = msg.snapshot_index + 1;
+          buf.reply_to = node_.ip();
+          buf.piggyback = std::move(msg.piggyback);
+          stats_.Add("init_loop_buffered");
+          SendRequest(buf, /*mirror=*/false);
+          return;
+        }
+        // Lease landed (or flow was forgotten): run the input through the
+        // pipeline again.
+        node_.Recirculate([this, p = std::move(*msg.piggyback)](
+                              dp::SwitchContext& rctx) mutable {
+          stats_.Add("orig_bytes", -static_cast<double>(p.WireSize()));
+          HandleAppPacket(rctx, std::move(p));
+        });
+      } else {
+        // A processed output whose awaited write is now durable.
+        ReleaseOutput(ctx, std::move(*msg.piggyback));
+      }
+      return;
+    }
+    case AckKind::kRenewAck: {
+      if (entry == nullptr) return;
+      entry->renew_in_flight = false;
+      const auto it = renew_sent_at_.find(RetxKey(msg.key, 0));
+      if (it != renew_sent_at_.end()) {
+        entry->lease_expiry =
+            std::max(entry->lease_expiry, it->second + config_.lease_period);
+        renew_sent_at_.erase(it);
+      }
+      return;
+    }
+    case AckKind::kLeaseDenied: {
+      // Another switch owns the flow; forget it here (its packets will
+      // re-init if routing brings them back).
+      stats_.Add("lease_denials");
+      flows_.Erase(msg.key);
+      node_.mirror().Acknowledge(msg.key, UINT64_MAX);
+      return;
+    }
+    case AckKind::kSnapshotAck: {
+      if (epsilon_ != nullptr) {
+        epsilon_->SlotAcked(msg.key, msg.seq, ctx.Now());
+      }
+      node_.mirror().Acknowledge(msg.key, SnapSeq(msg.seq, msg.snapshot_index));
+      retx_counts_.erase(
+          RetxKey(msg.key, SnapSeq(msg.seq, msg.snapshot_index)));
+      return;
+    }
+    case AckKind::kNone:
+      stats_.Add("malformed_acks");
+      return;
+  }
+}
+
+void RedPlaneSwitch::SendRequest(const Msg& msg, bool mirror) {
+  net::Packet pkt =
+      MakeProtocolPacket(node_.ip(), shard_for_(msg.key), msg);
+  stats_.Add("req_bytes", static_cast<double>(pkt.WireSize()));
+  stats_.Add("reqs_sent");
+  if (mirror) {
+    Msg truncated = msg;
+    if (!config_.mirror_include_piggyback) truncated.piggyback.reset();
+    const std::uint64_t mirror_seq =
+        msg.type == MsgType::kSnapshotRepl
+            ? SnapSeq(msg.seq, msg.snapshot_index)
+            : msg.seq;
+    node_.mirror().Mirror(msg.key, mirror_seq, EncodeMsg(truncated),
+                          node_.sim().Now());
+    if (!retx_scan_running_) {
+      retx_scan_running_ = true;
+      const std::uint64_t epoch = epoch_;
+      node_.sim().Schedule(config_.retx_scan_interval, [this, epoch]() {
+        if (epoch == epoch_) ScanRetransmits();
+      });
+    }
+  }
+  node_.ForwardPacket(std::move(pkt), kInvalidPort);
+}
+
+void RedPlaneSwitch::ScanRetransmits() {
+  if (node_.mirror().NumEntries() == 0) {
+    retx_scan_running_ = false;
+    return;
+  }
+  const SimTime now = node_.sim().Now();
+  std::vector<std::pair<net::PartitionKey, std::uint64_t>> give_up;
+  node_.mirror().ForEach([&](dp::MirroredEntry& e) {
+    if (now - e.last_sent_at < config_.request_timeout) return;
+    // Give-up horizon: a write is abandoned after max_retransmissions
+    // timeouts; a lease acquisition (seq 0) legitimately waits out another
+    // switch's lease at the store, so it lives for two lease periods.
+    const SimDuration horizon =
+        e.seq == 0 ? 2 * config_.lease_period
+                   : static_cast<SimDuration>(config_.max_retransmissions) *
+                         config_.request_timeout;
+    if (now - e.enqueued_at > horizon) {
+      give_up.emplace_back(e.key, e.seq);
+      return;
+    }
+    ++retx_counts_[RetxKey(e.key, e.seq)];
+    auto msg = DecodeMsg(e.data);
+    if (!msg.has_value()) {
+      give_up.emplace_back(e.key, e.seq);
+      return;
+    }
+    e.last_sent_at = now;
+    stats_.Add("retransmits");
+    net::Packet pkt =
+        MakeProtocolPacket(node_.ip(), shard_for_(msg->key), *msg);
+    stats_.Add("req_bytes", static_cast<double>(pkt.WireSize()));
+    node_.ForwardPacket(std::move(pkt), kInvalidPort);
+  });
+  for (const auto& [key, seq] : give_up) {
+    stats_.Add("retx_give_ups");
+    node_.mirror().Acknowledge(key, seq);
+    retx_counts_.erase(RetxKey(key, seq));
+    if (seq == 0) {
+      // An abandoned lease acquisition must not leave a zombie
+      // kInitPending entry behind (it would drop the flow's packets
+      // forever); forget the flow so its next packet restarts the
+      // acquisition — the store absorbs the duplicate Init.
+      FlowEntry* entry = flows_.Find(key);
+      if (entry != nullptr && entry->status == FlowStatus::kInitPending) {
+        flows_.Erase(key);
+        init_sent_at_.erase(RetxKey(key, 0));
+      }
+    }
+  }
+  const std::uint64_t epoch = epoch_;
+  node_.sim().Schedule(config_.retx_scan_interval, [this, epoch]() {
+    if (epoch == epoch_) ScanRetransmits();
+  });
+}
+
+void RedPlaneSwitch::StartSnapshotReplication(Snapshottable& snap) {
+  snapshottable_ = &snap;
+  if (epsilon_ == nullptr) {
+    epsilon_ = std::make_unique<EpsilonTracker>(
+        config_.epsilon_bound, [this](const net::PartitionKey&) {
+          stats_.Add("epsilon_violations");
+        });
+  }
+  // One batch per T_snap; packet i addresses slot i (§5.4).  Generated
+  // packets are spaced a pipeline-pass apart.
+  node_.packet_generator().Start(
+      config_.snapshot_period, snapshottable_->NumSnapshotSlots(),
+      node_.config().pipeline_latency,
+      [this](std::uint32_t index) { SnapshotBurstSlot(index); });
+  // Periodic ε audit.
+  const std::uint64_t epoch = epoch_;
+  node_.sim().Schedule(config_.epsilon_bound,
+                       [this, epoch]() { EpsilonAuditTick(epoch); });
+}
+
+void RedPlaneSwitch::EpsilonAuditTick(std::uint64_t epoch) {
+  if (epoch != epoch_ || epsilon_ == nullptr) return;
+  epsilon_->Check(node_.sim().Now());
+  node_.sim().Schedule(config_.epsilon_bound,
+                       [this, epoch]() { EpsilonAuditTick(epoch); });
+}
+
+void RedPlaneSwitch::SnapshotBurstSlot(std::uint32_t index) {
+  if (snapshottable_ == nullptr) return;
+  const SimTime now = node_.sim().Now();
+  const auto keys = snapshottable_->SnapshotKeys();
+  if (index == 0) {
+    ++snapshot_round_;
+    for (const auto& key : keys) {
+      snapshottable_->BeginSnapshot(key);
+      if (epsilon_ != nullptr) {
+        epsilon_->BeginRound(key, snapshot_round_,
+                             snapshottable_->NumSnapshotSlots(), now);
+      }
+    }
+  }
+  for (const auto& key : keys) {
+    Msg msg;
+    msg.type = MsgType::kSnapshotRepl;
+    msg.key = key;
+    msg.seq = snapshot_round_;
+    msg.snapshot_index = index;
+    msg.reply_to = node_.ip();
+    msg.state = snapshottable_->ReadSnapshotSlot(key, index);
+    stats_.Add("snapshot_slots_sent");
+    SendRequest(msg, /*mirror=*/true);
+  }
+}
+
+void RedPlaneSwitch::ReleaseOutput(dp::SwitchContext& ctx, net::Packet pkt) {
+  (void)ctx;
+  stats_.Add("outputs_released");
+  // Bandwidth accounting counts what the switch sends and receives (the
+  // paper's Fig. 10 methodology), so the released output counts as original
+  // traffic alongside its arrival.
+  stats_.Add("orig_bytes", static_cast<double>(pkt.WireSize()));
+  node_.ForwardPacket(std::move(pkt), kInvalidPort);
+}
+
+void RedPlaneSwitch::Reset() {
+  ++epoch_;
+  flows_.Reset();
+  retx_counts_.clear();
+  init_sent_at_.clear();
+  renew_sent_at_.clear();
+  retx_scan_running_ = false;
+  app_.Reset();
+}
+
+void RedPlaneSwitch::OnRecovery() {
+  ++epoch_;
+  retx_scan_running_ = false;
+  if (snapshottable_ != nullptr) {
+    StartSnapshotReplication(*snapshottable_);
+  }
+}
+
+}  // namespace redplane::core

@@ -1,0 +1,153 @@
+// The RedPlane-enabled application: the switch-side half of the protocol.
+//
+// Wraps a SwitchApp (the developer's P4 program analogue) in the RedPlane
+// control blocks of paper §5/§6 and Appendix B:
+//
+//  * lease acquisition & migration — a packet for a flow with no local lease
+//    triggers a kLeaseNewReq; the grant installs the flow's state (via the
+//    control plane when the app keeps state in match tables) and releases
+//    the piggybacked packet,
+//  * synchronous replication (linearizable mode) — a state-modifying packet
+//    increments the flow's sequence number and leaves as a kLeaseRenewReq
+//    carrying the new state and the output packet; the output is released
+//    only when the store's ack returns it,
+//  * network buffering — reads that arrive while writes are in flight (and
+//    packets that arrive while the lease grant is pending) loop through the
+//    store as kReadBufferReq, using the network as buffer memory,
+//  * sequencing & retransmission — every state-bearing request is mirrored
+//    (truncated to the replication header) into the switch's packet buffer
+//    and resent if unacknowledged within the timeout (§5.2),
+//  * lease renewal — read-centric flows renew every renew_interval,
+//  * periodic snapshot replication (bounded-inconsistency mode) — for apps
+//    implementing Snapshottable, the packet generator emits per-slot
+//    kSnapshotRepl bursts every snapshot_period (§5.4).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "common/stats.h"
+#include "core/app.h"
+#include "core/epsilon.h"
+#include "core/flow_table.h"
+#include "core/protocol.h"
+#include "core/snapshot.h"
+#include "dataplane/pipeline.h"
+
+namespace redplane::core {
+
+struct RedPlaneConfig {
+  /// Lease validity period (must match the store's; 1 s in the prototype).
+  SimDuration lease_period = Seconds(1);
+  /// Explicit renewal cadence for read-centric flows (0.5 s in the paper).
+  SimDuration renew_interval = Milliseconds(500);
+  /// Retransmit an unacknowledged request after this long.
+  SimDuration request_timeout = Microseconds(500);
+  /// Cadence of the mirror recirculation loop that checks timeouts.
+  SimDuration retx_scan_interval = Microseconds(100);
+  /// Mirror truncation: bytes of a request kept for retransmission
+  /// (replication header + state value; never the piggybacked output
+  /// unless mirror_include_piggyback is set).
+  std::size_t mirror_truncate_bytes = 128;
+  /// Ablation switch: mirror the full request including the piggybacked
+  /// output (what RedPlane deliberately avoids; §5.2).
+  bool mirror_include_piggyback = false;
+  /// Give up on a request after this many retransmissions (the flow entry
+  /// is dropped and re-initialized by the next packet).
+  std::uint32_t max_retransmissions = 50;
+  /// Linearizable mode: replicate every write synchronously.  When false,
+  /// writes stay local and the app's Snapshottable structures are
+  /// replicated periodically (bounded-inconsistency mode).
+  bool linearizable = true;
+  /// Snapshot period T_snap for bounded-inconsistency mode.
+  SimDuration snapshot_period = Milliseconds(1);
+  /// ε bound for the inconsistency tracker.
+  SimDuration epsilon_bound = Milliseconds(10);
+  /// Max loops through the network buffer while awaiting a lease grant
+  /// before a packet is dropped (loss is permitted by the model).
+  std::uint32_t max_init_loops = 64;
+};
+
+class RedPlaneSwitch : public dp::PipelineHandler {
+ public:
+  /// `shard_for` maps a partition key to the responsible state-store (chain
+  /// head) address — the preconfigured lookup table of §5.1.2.
+  RedPlaneSwitch(dp::SwitchNode& node, SwitchApp& app,
+                 std::function<net::Ipv4Addr(const net::PartitionKey&)>
+                     shard_for,
+                 RedPlaneConfig config = {});
+  ~RedPlaneSwitch() override;
+
+  // PipelineHandler:
+  void Process(dp::SwitchContext& ctx, net::Packet pkt) override;
+  void Reset() override;
+  void OnRecovery() override;
+
+  /// Starts periodic snapshot replication (requires the app to implement
+  /// Snapshottable).  Normally called once after construction for apps in
+  /// bounded-inconsistency mode.
+  void StartSnapshotReplication(Snapshottable& snap);
+
+  const FlowTable& flow_table() const { return flows_; }
+  Counters& stats() { return stats_; }
+  EpsilonTracker* epsilon_tracker() { return epsilon_.get(); }
+  const RedPlaneConfig& config() const { return config_; }
+
+  /// Bandwidth accounting: bytes of protocol requests/responses vs original
+  /// packets seen, for the Fig. 10 bench.
+  double protocol_request_bytes() const { return stats_.Get("req_bytes"); }
+  double protocol_response_bytes() const { return stats_.Get("resp_bytes"); }
+  double original_bytes() const { return stats_.Get("orig_bytes"); }
+
+ private:
+  /// Handles a protocol ack addressed to this switch.
+  void HandleAck(dp::SwitchContext& ctx, Msg msg);
+
+  /// Handles a normal application packet.
+  void HandleAppPacket(dp::SwitchContext& ctx, net::Packet pkt);
+
+  /// Runs the app on `pkt` under an active lease and replicates/releases
+  /// per the consistency mode.
+  void RunApp(dp::SwitchContext& ctx, const net::PartitionKey& key,
+              FlowEntry& entry, net::Packet pkt);
+
+  /// Sends `msg` to the store shard for its key, optionally mirroring it
+  /// for retransmission.
+  void SendRequest(const Msg& msg, bool mirror);
+
+  /// The periodic mirror-recirculation scan (retransmission loop).
+  void ScanRetransmits();
+
+  /// Periodic ε-bound audit in bounded-inconsistency mode.
+  void EpsilonAuditTick(std::uint64_t epoch);
+
+  /// Emits one snapshot replication burst.
+  void SnapshotBurstSlot(std::uint32_t index);
+
+  /// Releases an output packet toward its destination.
+  void ReleaseOutput(dp::SwitchContext& ctx, net::Packet pkt);
+
+  dp::SwitchNode& node_;
+  SwitchApp& app_;
+  std::function<net::Ipv4Addr(const net::PartitionKey&)> shard_for_;
+  RedPlaneConfig config_;
+  FlowTable flows_;
+  Counters stats_;
+
+  // Bounded-inconsistency mode.
+  Snapshottable* snapshottable_ = nullptr;
+  std::unique_ptr<EpsilonTracker> epsilon_;
+  std::uint64_t snapshot_round_ = 0;
+
+  // Retransmission bookkeeping: hash(key,seq) -> resend count.
+  std::unordered_map<std::uint64_t, std::uint32_t> retx_counts_;
+  // hash(key,0) -> send time of the outstanding Init / RenewOnly, consulted
+  // on the matching ack to derive a conservative lease expiry.
+  std::unordered_map<std::uint64_t, SimTime> init_sent_at_;
+  std::unordered_map<std::uint64_t, SimTime> renew_sent_at_;
+  bool retx_scan_running_ = false;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace redplane::core

@@ -1,0 +1,142 @@
+// Lazy snapshotting of register arrays (paper §5.4, Algorithm 1).
+//
+// The switch architecture permits one access per register array per packet,
+// so an atomic copy of a whole array is impossible.  Instead two copies of
+// the structure are interleaved: a 1-bit flag names the active copy and a
+// per-index 1-bit array records which copy each index last updated.  The
+// first packet to touch an index after a snapshot flip synchronizes the two
+// copies before updating; snapshot-read packets then harvest the frozen
+// pre-flip values while traffic keeps updating the live copy.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dataplane/register_array.h"
+#include "net/flow.h"
+
+namespace redplane::core {
+
+template <typename T>
+class LazySnapshotter {
+ public:
+  LazySnapshotter(std::string name, std::size_t slots)
+      : values_(name + "/pairs", slots),
+        last_updated_(name + "/last_updated", slots, 0),
+        active_flag_(name + "/active", 1, 0) {}
+
+  std::size_t slots() const { return values_.size(); }
+
+  /// Data-plane update of slot `index` (SKETCH_UPDATE in Algorithm 1):
+  /// applies `fn` to the live value and returns the result.
+  T Update(const dp::PipelinePass& pass, std::size_t index,
+           const std::function<T(T)>& fn) {
+    const std::uint8_t active = active_flag_.Read(pass, 0);
+    const std::uint8_t last = last_updated_.ReadModifyWrite(
+        pass, index, [active](std::uint8_t& v) {
+          const std::uint8_t old = v;
+          v = active;
+          return old;
+        });
+    return values_.ReadModifyWrite(pass, index, [&](std::pair<T, T>& pair) {
+      T& active_val = active == 0 ? pair.first : pair.second;
+      T& other_val = active == 0 ? pair.second : pair.first;
+      if (last != active) {
+        // First touch since the flip: synchronize copies, then update the
+        // active one; the inactive copy now preserves the snapshot value.
+        active_val = other_val;
+      }
+      active_val = fn(active_val);
+      return active_val;
+    });
+  }
+
+  /// Begins a snapshot: flips the active copy.  Must not be called while a
+  /// previous snapshot burst is still being read (callers gate on period >
+  /// burst length; the hardware enforces the same by design).
+  void BeginSnapshot(const dp::PipelinePass& pass) {
+    active_flag_.ReadModifyWrite(pass, 0, [](std::uint8_t& v) {
+      v ^= 1;
+      return v;
+    });
+  }
+
+  /// Snapshot read of slot `index` (SNAPSHOT_READ in Algorithm 1): returns
+  /// the value the slot held at the moment of the flip.
+  T SnapshotRead(const dp::PipelinePass& pass, std::size_t index) {
+    const std::uint8_t active = active_flag_.Read(pass, 0);
+    const std::uint8_t last = last_updated_.ReadModifyWrite(
+        pass, index, [active](std::uint8_t& v) {
+          const std::uint8_t old = v;
+          v = active;
+          return old;
+        });
+    return values_.ReadModifyWrite(pass, index, [&](std::pair<T, T>& pair) {
+      T& active_val = active == 0 ? pair.first : pair.second;
+      T& other_val = active == 0 ? pair.second : pair.first;
+      if (last != active) {
+        // Untouched since the flip: the previously-live copy still holds
+        // the snapshot value; synchronize so later updates start from it.
+        active_val = other_val;
+        return other_val;
+      }
+      // Touched since the flip: the inactive copy preserves the snapshot.
+      return other_val;
+    });
+  }
+
+  /// Control-plane peek at the live value (tests/verification only).
+  T PeekLive(std::size_t index) const {
+    const std::uint8_t active = active_flag_.Peek(0);
+    const std::uint8_t last = last_updated_.Peek(index);
+    const auto& pair = values_.Peek(index);
+    const T active_val = active == 0 ? pair.first : pair.second;
+    const T other_val = active == 0 ? pair.second : pair.first;
+    return last == active ? active_val : other_val;
+  }
+
+  void Reset() {
+    values_.Reset();
+    last_updated_.Reset();
+    active_flag_.Reset();
+  }
+
+  std::size_t SramBytes() const {
+    return values_.SramBytes() + last_updated_.SramBytes() +
+           active_flag_.SramBytes();
+  }
+
+ private:
+  dp::RegisterArray<std::pair<T, T>> values_;
+  dp::RegisterArray<std::uint8_t> last_updated_;
+  dp::RegisterArray<std::uint8_t> active_flag_;
+};
+
+/// Implemented by write-centric applications that opt into the
+/// bounded-inconsistency mode.  The RedPlane harness drives the packet
+/// generator: every T_snap it begins a snapshot per key and emits one
+/// kSnapshotRepl message per slot.
+class Snapshottable {
+ public:
+  virtual ~Snapshottable() = default;
+
+  /// The partition keys whose structures are snapshotted (e.g. one per
+  /// tenant VLAN for the heavy-hitter detector).
+  virtual std::vector<net::PartitionKey> SnapshotKeys() const = 0;
+
+  /// Slots per structure (the packet generator batch size).
+  virtual std::uint32_t NumSnapshotSlots() const = 0;
+
+  /// Flips the double buffer for `key` (first packet of a burst).
+  virtual void BeginSnapshot(const net::PartitionKey& key) = 0;
+
+  /// Reads snapshot slot `index` for `key`, serialized for replication.
+  virtual std::vector<std::byte> ReadSnapshotSlot(const net::PartitionKey& key,
+                                                  std::uint32_t index) = 0;
+};
+
+}  // namespace redplane::core

@@ -1,0 +1,36 @@
+#include "dataplane/control_plane.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace redplane::dp {
+
+SimTime ControlPlane::Submit(std::size_t bytes,
+                             std::function<void()> on_complete) {
+  const auto transfer = static_cast<SimDuration>(std::ceil(
+      static_cast<double>(bytes) * 8.0 / config_.pcie_bandwidth_bps * 1e9));
+  // The channel serializes transfers; CPU processing is pipelined with the
+  // next transfer but each op's completion waits for its own CPU time and
+  // the return crossing.
+  const SimTime start = std::max(sim_.Now(), busy_until_);
+  busy_until_ = start + transfer + config_.table_op_cpu_time;
+  const SimTime done =
+      busy_until_ + 2 * config_.pcie_latency;  // up + completion back
+  ++pending_;
+  const std::uint64_t epoch = epoch_;
+  sim_.ScheduleAt(done, [this, epoch, fn = std::move(on_complete)]() {
+    if (epoch != epoch_) return;  // switch failed while op was queued
+    --pending_;
+    ++completed_;
+    fn();
+  });
+  return done;
+}
+
+void ControlPlane::Reset() {
+  ++epoch_;
+  pending_ = 0;
+  busy_until_ = 0;
+}
+
+}  // namespace redplane::dp

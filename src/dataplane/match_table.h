@@ -1,0 +1,66 @@
+// Match-action tables.
+//
+// Exact-match tables on Tofino are writable only from the control plane (via
+// the PCIe channel modeled in control_plane.h); the data plane may only look
+// entries up.  The API separates the two: Lookup() is const and available to
+// pipeline code, Insert/Erase are meant to be called from ControlPlane
+// completion callbacks.  Like registers, tables are volatile across a switch
+// failure.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace redplane::dp {
+
+template <typename Key, typename Value>
+class MatchTable {
+ public:
+  MatchTable(std::string name, std::size_t capacity)
+      : name_(std::move(name)), capacity_(capacity) {}
+
+  const std::string& name() const { return name_; }
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Data-plane lookup.
+  std::optional<Value> Lookup(const Key& key) const {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  bool Contains(const Key& key) const { return entries_.count(key) != 0; }
+
+  /// Control-plane insert; returns false when the table is full.
+  bool Insert(const Key& key, const Value& value) {
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      it->second = value;
+      return true;
+    }
+    if (entries_.size() >= capacity_) return false;
+    entries_.emplace(key, value);
+    return true;
+  }
+
+  /// Control-plane erase; returns true if an entry was removed.
+  bool Erase(const Key& key) { return entries_.erase(key) != 0; }
+
+  /// Clears the table (switch failure / reboot).
+  void Reset() { entries_.clear(); }
+
+  /// Approximate SRAM footprint for the resource model.
+  std::size_t SramBytes() const {
+    return capacity_ * (sizeof(Key) + sizeof(Value));
+  }
+
+ private:
+  std::string name_;
+  std::size_t capacity_;
+  std::unordered_map<Key, Value> entries_;
+};
+
+}  // namespace redplane::dp

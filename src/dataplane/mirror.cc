@@ -1,0 +1,43 @@
+#include "dataplane/mirror.h"
+
+#include <algorithm>
+
+namespace redplane::dp {
+
+void MirrorSession::Mirror(const net::PartitionKey& key, std::uint64_t seq,
+                           std::vector<std::byte> data, SimTime now) {
+  MirroredEntry entry;
+  entry.key = key;
+  entry.seq = seq;
+  if (data.size() > truncate_to_) data.resize(truncate_to_);
+  entry.data = std::move(data);
+  entry.enqueued_at = now;
+  entry.last_sent_at = now;
+  occupancy_ += entry.bytes();
+  peak_ = std::max(peak_, occupancy_);
+  entries_.push_back(std::move(entry));
+}
+
+void MirrorSession::Acknowledge(const net::PartitionKey& key,
+                                std::uint64_t acked_seq) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->key == key && it->seq <= acked_seq) {
+      occupancy_ -= it->bytes();
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void MirrorSession::ForEach(const std::function<void(MirroredEntry&)>& fn) {
+  for (auto& entry : entries_) fn(entry);
+}
+
+void MirrorSession::Reset() {
+  entries_.clear();
+  occupancy_ = 0;
+  peak_ = 0;
+}
+
+}  // namespace redplane::dp

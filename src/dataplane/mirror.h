@@ -1,0 +1,80 @@
+// Egress-to-egress packet mirroring with truncation.
+//
+// RedPlane's retransmission mechanism (§5.2) keeps a truncated copy of each
+// in-flight replication request circulating between egress and the traffic
+// manager until the matching ack arrives.  The model tracks those copies in a
+// buffer charged against the switch's packet buffer, reports the peak
+// occupancy (reproducing Fig. 15), and lets the owner iterate entries on each
+// recirculation interval to decide retransmission.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "net/flow.h"
+
+namespace redplane::dp {
+
+/// One mirrored (truncated) request held in the traffic manager.
+struct MirroredEntry {
+  net::PartitionKey key;
+  std::uint64_t seq = 0;
+  /// The truncated copy itself (replication header + state value, no
+  /// piggybacked output); what a retransmission resends.
+  std::vector<std::byte> data;
+  /// Timestamp metadata carried by the mirror copy (for timeout checks).
+  SimTime enqueued_at = 0;
+  SimTime last_sent_at = 0;
+
+  std::size_t bytes() const { return data.size(); }
+};
+
+class MirrorSession {
+ public:
+  /// `truncate_to` caps the bytes retained per mirrored packet, modeling the
+  /// ASIC's mirror truncation; Tofino supports truncating to the first N
+  /// bytes, which RedPlane sets to cover only the replication header.
+  MirrorSession(std::string name, std::size_t truncate_to)
+      : name_(std::move(name)), truncate_to_(truncate_to) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Reconfigures the truncation length (set once at program install).
+  void set_truncate_to(std::size_t n) { truncate_to_ = n; }
+  std::size_t truncate_to() const { return truncate_to_; }
+
+  /// Mirrors a request: stores the truncated copy `data` keyed by (key,
+  /// seq).  `data` is clipped to the session's truncation length.
+  void Mirror(const net::PartitionKey& key, std::uint64_t seq,
+              std::vector<std::byte> data, SimTime now);
+
+  /// Drops every mirrored copy for `key` with seq <= `acked_seq` (an ack for
+  /// sequence n confirms all earlier writes of the flow too).
+  void Acknowledge(const net::PartitionKey& key, std::uint64_t acked_seq);
+
+  /// Visits each live entry; the visitor may mutate `last_sent_at`.
+  void ForEach(const std::function<void(MirroredEntry&)>& fn);
+
+  /// Current buffer occupancy in bytes.
+  std::size_t OccupancyBytes() const { return occupancy_; }
+  /// High-water mark since construction/reset.
+  std::size_t PeakOccupancyBytes() const { return peak_; }
+  std::size_t NumEntries() const { return entries_.size(); }
+
+  void ResetPeak() { peak_ = occupancy_; }
+  /// Clears everything (switch failure).
+  void Reset();
+
+ private:
+  std::string name_;
+  std::size_t truncate_to_;
+  std::list<MirroredEntry> entries_;
+  std::size_t occupancy_ = 0;
+  std::size_t peak_ = 0;
+};
+
+}  // namespace redplane::dp

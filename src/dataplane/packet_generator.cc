@@ -1,0 +1,42 @@
+#include "dataplane/packet_generator.h"
+
+#include <cassert>
+
+namespace redplane::dp {
+
+void PacketGenerator::Start(SimDuration period, std::uint32_t batch_size,
+                            SimDuration intra_gap,
+                            std::function<void(std::uint32_t)> fn) {
+  assert(period > 0 && batch_size > 0);
+  ++epoch_;
+  running_ = true;
+  period_ = period;
+  batch_size_ = batch_size;
+  intra_gap_ = intra_gap;
+  fn_ = std::move(fn);
+  const std::uint64_t epoch = epoch_;
+  sim_.Schedule(period_, [this, epoch]() {
+    if (epoch == epoch_ && running_) EmitBatch();
+  });
+}
+
+void PacketGenerator::Stop() {
+  running_ = false;
+  ++epoch_;
+}
+
+void PacketGenerator::EmitBatch() {
+  ++batches_;
+  for (std::uint32_t i = 0; i < batch_size_; ++i) {
+    const std::uint64_t epoch = epoch_;
+    sim_.Schedule(static_cast<SimDuration>(i) * intra_gap_, [this, i, epoch]() {
+      if (epoch == epoch_ && running_) fn_(i);
+    });
+  }
+  const std::uint64_t epoch = epoch_;
+  sim_.Schedule(period_, [this, epoch]() {
+    if (epoch == epoch_ && running_) EmitBatch();
+  });
+}
+
+}  // namespace redplane::dp

@@ -1,0 +1,150 @@
+#include "dataplane/resources.h"
+
+#include <cmath>
+
+namespace redplane::dp {
+
+const char* ResourceName(ResourceKind kind) {
+  switch (kind) {
+    case ResourceKind::kMatchCrossbar: return "Match Crossbar";
+    case ResourceKind::kMeterAlu: return "Meter ALU";
+    case ResourceKind::kGateway: return "Gateway";
+    case ResourceKind::kSram: return "SRAM";
+    case ResourceKind::kTcam: return "TCAM";
+    case ResourceKind::kVliw: return "VLIW Instruction";
+    case ResourceKind::kHashBits: return "Hash Bits";
+    case ResourceKind::kNumKinds: break;
+  }
+  return "?";
+}
+
+double PipelineBudget::Total(ResourceKind kind) const {
+  const double n = stages;
+  switch (kind) {
+    case ResourceKind::kMatchCrossbar: return match_crossbar_bits * n;
+    case ResourceKind::kMeterAlu: return meter_alus * n;
+    case ResourceKind::kGateway: return gateways * n;
+    case ResourceKind::kSram: return sram_bytes * n;
+    case ResourceKind::kTcam: return tcam_bits * n;
+    case ResourceKind::kVliw: return vliw_slots * n;
+    case ResourceKind::kHashBits: return hash_bits * n;
+    case ResourceKind::kNumKinds: break;
+  }
+  return 0;
+}
+
+PipelineBudget PipelineBudget::Tofino() { return PipelineBudget{}; }
+
+void ResourceModel::Charge(ResourceKind kind, double amount) {
+  usage_[static_cast<int>(kind)] += amount;
+}
+
+void ResourceModel::AddExactTable(const std::string& name,
+                                  std::uint64_t entries,
+                                  std::uint32_t key_bits,
+                                  std::uint32_t value_bits) {
+  objects_.push_back("exact:" + name);
+  // Hash-way SRAM layout carries ~20% overhead over raw key+value bits.
+  Charge(ResourceKind::kSram,
+         static_cast<double>(entries) * (key_bits + value_bits) / 8.0 * 1.2);
+  Charge(ResourceKind::kMatchCrossbar, key_bits);
+  // Way-select hash: ~13 bits per way, 4 ways.
+  Charge(ResourceKind::kHashBits, 52);
+  Charge(ResourceKind::kVliw, 1);
+}
+
+void ResourceModel::AddTernaryTable(const std::string& name,
+                                    std::uint64_t entries,
+                                    std::uint32_t key_bits,
+                                    std::uint32_t value_bits) {
+  objects_.push_back("ternary:" + name);
+  // TCAM is allocated in 44-bit slices.
+  const double slices = std::ceil(static_cast<double>(key_bits) / 44.0);
+  Charge(ResourceKind::kTcam, static_cast<double>(entries) * slices * 44.0);
+  Charge(ResourceKind::kSram, static_cast<double>(entries) * value_bits / 8.0);
+  Charge(ResourceKind::kMatchCrossbar, key_bits);
+  Charge(ResourceKind::kVliw, 1);
+}
+
+void ResourceModel::AddRegisterArray(const std::string& name,
+                                     std::uint64_t entries,
+                                     std::uint32_t width_bits) {
+  objects_.push_back("register:" + name);
+  // Word-aligned SRAM with ~10% ECC/alignment overhead.
+  Charge(ResourceKind::kSram,
+         static_cast<double>(entries) * width_bits / 8.0 * 1.1);
+  Charge(ResourceKind::kMeterAlu, 1);   // one stateful ALU per array
+  Charge(ResourceKind::kMatchCrossbar, 128);  // index + operand bus
+  Charge(ResourceKind::kHashBits, 16);  // index hash
+  Charge(ResourceKind::kVliw, 1);
+}
+
+void ResourceModel::AddGateways(const std::string& name, std::uint32_t count) {
+  objects_.push_back("gateway:" + name);
+  Charge(ResourceKind::kGateway, count);
+}
+
+void ResourceModel::AddHashComputation(const std::string& name,
+                                       std::uint32_t bits) {
+  objects_.push_back("hash:" + name);
+  Charge(ResourceKind::kHashBits, bits);
+}
+
+void ResourceModel::AddActions(const std::string& name,
+                               std::uint32_t vliw_slots) {
+  objects_.push_back("actions:" + name);
+  Charge(ResourceKind::kVliw, vliw_slots);
+}
+
+std::vector<std::pair<std::string, double>> ResourceModel::FractionOfBudget(
+    const PipelineBudget& budget) const {
+  std::vector<std::pair<std::string, double>> out;
+  for (int i = 0; i < static_cast<int>(ResourceKind::kNumKinds); ++i) {
+    const auto kind = static_cast<ResourceKind>(i);
+    const double total = budget.Total(kind);
+    out.emplace_back(ResourceName(kind), total > 0 ? usage_[i] / total : 0.0);
+  }
+  return out;
+}
+
+void PlaceRedPlaneObjects(ResourceModel& model,
+                          std::uint64_t concurrent_flows) {
+  // Per-flow bookkeeping (§7.4: "lease expiration time, current sequence
+  // number, and last acknowledged sequence number"), indexed by a flow slot
+  // resolved through a key-digest table.
+  model.AddExactTable("flow_key_digest", concurrent_flows, /*key=*/48,
+                      /*value=*/20);
+  model.AddRegisterArray("lease_expiry", concurrent_flows, 32);
+  model.AddRegisterArray("current_seq", concurrent_flows, 32);
+  model.AddRegisterArray("last_acked_seq", concurrent_flows, 32);
+  model.AddRegisterArray("lease_renew_timer", concurrent_flows / 64, 64);
+
+  // State-store addressing: flow hash -> server IP/UDP port (§5.1.2).
+  model.AddExactTable("state_store_map", 256, /*key=*/32, /*value=*/96);
+  // Protocol message dispatch on the RedPlane header type field.
+  model.AddExactTable("msg_type_dispatch", 32, /*key=*/16, /*value=*/8);
+  // Lease-state management actions keyed on flow slot + lease status.
+  model.AddExactTable("lease_mgmt", 1024, /*key=*/104, /*value=*/32);
+
+  // Range matches for ack processing and request timeout checks (§7.4:
+  // "RedPlane uses TCAM to implement acknowledgment processing and request
+  // timeout management, which need range matches").
+  // Range keys are truncated to fit one 44-bit TCAM slice (timestamps and
+  // sequence numbers are compared on their low-order bits, as the real P4
+  // implementation does with range-match shifts).
+  model.AddTernaryTable("req_timeout_check", 8192, /*key=*/40, /*value=*/8);
+  model.AddTernaryTable("ack_seq_window", 8192, /*key=*/40, /*value=*/8);
+
+  // Control-flow branches: request vs ack vs normal packet, lease present,
+  // buffering decisions, retransmission path, snapshot path.
+  model.AddGateways("redplane_branches", 19);
+
+  // Flow-key hash used to pick the state-store shard.
+  model.AddHashComputation("store_shard_hash", 64);
+  model.AddHashComputation("seq_gen_hash", 36);
+
+  // Header encap/decap for protocol messages and piggybacked outputs.
+  model.AddActions("redplane_hdr_encap_decap", 12);
+}
+
+}  // namespace redplane::dp

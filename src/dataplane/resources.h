@@ -1,0 +1,99 @@
+// Switch ASIC resource accounting.
+//
+// Reproduces the quantity reported in the paper's Table 2: the fraction of
+// each pipeline resource class consumed by RedPlane's data-plane objects.
+// The budgets approximate a Tofino-class pipeline (12 match-action stages);
+// the charging rules follow how the Tofino compiler places P4 objects:
+// exact tables consume SRAM + match crossbar + hash bits, ternary/range
+// tables consume TCAM, register arrays consume SRAM + a stateful (meter)
+// ALU, conditionals consume gateways, and every action consumes VLIW slots.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace redplane::dp {
+
+/// Resource classes reported by the Tofino compiler (Table 2's rows).
+enum class ResourceKind : int {
+  kMatchCrossbar = 0,
+  kMeterAlu,
+  kGateway,
+  kSram,
+  kTcam,
+  kVliw,
+  kHashBits,
+  kNumKinds,
+};
+
+const char* ResourceName(ResourceKind kind);
+
+/// Total pipeline budget (all stages combined), in the units used by the
+/// charging rules below.
+struct PipelineBudget {
+  int stages = 12;
+  /// Per-stage capacities.
+  double match_crossbar_bits = 1536;
+  double meter_alus = 4;
+  double gateways = 16;
+  double sram_bytes = 128.0 * 1024 * 10;  // 10 blocks x 128 KB equivalent
+  double tcam_bits = 24 * 512 * 44;       // 24 blocks x 512 entries x 44b
+  double vliw_slots = 32;
+  double hash_bits = 832;
+
+  double Total(ResourceKind kind) const;
+
+  /// A Tofino-1-like default.
+  static PipelineBudget Tofino();
+};
+
+/// Accumulates placed objects and answers usage queries.
+class ResourceModel {
+ public:
+  /// Exact-match table with `entries` entries; key/value widths in bits.
+  void AddExactTable(const std::string& name, std::uint64_t entries,
+                     std::uint32_t key_bits, std::uint32_t value_bits);
+
+  /// Ternary or range table (placed in TCAM).
+  void AddTernaryTable(const std::string& name, std::uint64_t entries,
+                       std::uint32_t key_bits, std::uint32_t value_bits);
+
+  /// Stateful register array (SRAM + one stateful ALU per stage replica).
+  void AddRegisterArray(const std::string& name, std::uint64_t entries,
+                        std::uint32_t width_bits);
+
+  /// Conditional branches in the control flow.
+  void AddGateways(const std::string& name, std::uint32_t count);
+
+  /// Standalone hash computation (e.g. sketch index, ECMP).
+  void AddHashComputation(const std::string& name, std::uint32_t bits);
+
+  /// Header/metadata rewrite actions.
+  void AddActions(const std::string& name, std::uint32_t vliw_slots);
+
+  /// Absolute usage for one resource kind.
+  double Usage(ResourceKind kind) const { return usage_[static_cast<int>(kind)]; }
+
+  /// Usage as a fraction (0..1) of `budget` for each kind, in Table 2 order.
+  std::vector<std::pair<std::string, double>> FractionOfBudget(
+      const PipelineBudget& budget) const;
+
+  /// Placed objects, for reporting.
+  const std::vector<std::string>& objects() const { return objects_; }
+
+ private:
+  void Charge(ResourceKind kind, double amount);
+
+  double usage_[static_cast<int>(ResourceKind::kNumKinds)] = {};
+  std::vector<std::string> objects_;
+};
+
+/// Registers every data-plane object the RedPlane library adds to an
+/// application, sized for `concurrent_flows` tracked flows, mirroring §6's
+/// inventory (lease request generation & management, sequence numbers,
+/// request timeout management, ack processing).  Used by the Table 2 bench
+/// and by tests.
+void PlaceRedPlaneObjects(ResourceModel& model, std::uint64_t concurrent_flows);
+
+}  // namespace redplane::dp

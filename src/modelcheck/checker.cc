@@ -1,0 +1,332 @@
+#include "modelcheck/checker.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace redplane::modelcheck {
+
+namespace {
+
+enum MsgKind : std::uint8_t {
+  kInitReq = 1,
+  kInitResp = 2,
+  kWriteReq = 3,
+  kWriteResp = 4,
+  kDeny = 5,
+};
+
+struct MCMsg {
+  std::uint8_t kind = 0;
+  std::uint8_t sw = 0;
+  std::uint8_t seq = 0;
+  /// For kInitResp: the store's remaining lease ticks at grant time (the
+  /// switch adopts this, keeping its view conservative).
+  std::uint8_t lease = 0;
+
+  auto operator<=>(const MCMsg&) const = default;
+};
+
+struct SwState {
+  bool up = true;
+  bool has_lease = false;
+  bool awaiting_grant = false;
+  std::uint8_t lease_left = 0;
+  std::uint8_t cur_seq = 0;
+  std::uint8_t acked_seq = 0;
+  std::uint8_t queued = 0;
+
+  auto operator<=>(const SwState&) const = default;
+};
+
+constexpr std::uint8_t kNoOwner = 0xff;
+
+struct MCState {
+  std::uint8_t owner = kNoOwner;
+  std::uint8_t store_lease = 0;
+  std::uint8_t store_seq = 0;
+  std::uint8_t to_inject = 0;
+  std::uint8_t released = 0;
+  std::vector<SwState> sw;
+  std::vector<MCMsg> inflight;  // kept sorted: canonical multiset
+
+  auto operator<=>(const MCState&) const = default;
+
+  void Canonicalize() { std::sort(inflight.begin(), inflight.end()); }
+
+  std::string Key() const {
+    std::string k;
+    k.reserve(8 + sw.size() * 8 + inflight.size() * 4);
+    k.push_back(static_cast<char>(owner));
+    k.push_back(static_cast<char>(store_lease));
+    k.push_back(static_cast<char>(store_seq));
+    k.push_back(static_cast<char>(to_inject));
+    k.push_back(static_cast<char>(released));
+    for (const SwState& s : sw) {
+      k.push_back(static_cast<char>((s.up ? 1 : 0) | (s.has_lease ? 2 : 0) |
+                                    (s.awaiting_grant ? 4 : 0)));
+      k.push_back(static_cast<char>(s.lease_left));
+      k.push_back(static_cast<char>(s.cur_seq));
+      k.push_back(static_cast<char>(s.acked_seq));
+      k.push_back(static_cast<char>(s.queued));
+    }
+    for (const MCMsg& m : inflight) {
+      k.push_back(static_cast<char>(m.kind));
+      k.push_back(static_cast<char>(m.sw));
+      k.push_back(static_cast<char>(m.seq));
+      k.push_back(static_cast<char>(m.lease));
+    }
+    return k;
+  }
+};
+
+/// Checks the safety invariants; returns an empty string if they hold.
+std::string CheckInvariants(const MCState& s, const CheckerConfig& config) {
+  int active_leases = 0;
+  for (std::size_t i = 0; i < s.sw.size(); ++i) {
+    const SwState& sw = s.sw[i];
+    if (sw.has_lease && sw.lease_left > 0) {
+      ++active_leases;
+      if (s.owner != static_cast<std::uint8_t>(i)) {
+        return "SingleOwnerInvariant: switch " + std::to_string(i) +
+               " holds an active lease but the store owner is " +
+               std::to_string(s.owner);
+      }
+      if (sw.lease_left > s.store_lease) {
+        return "SingleOwnerInvariant: switch " + std::to_string(i) +
+               " lease outlives the store's";
+      }
+    }
+    if (sw.acked_seq > s.store_seq) {
+      return "DurabilityInvariant: switch " + std::to_string(i) +
+             " saw ack for seq " + std::to_string(sw.acked_seq) +
+             " but store has only " + std::to_string(s.store_seq);
+    }
+  }
+  if (active_leases > 1) {
+    return "SingleOwnerInvariant: " + std::to_string(active_leases) +
+           " simultaneous active leases";
+  }
+  if (config.allow_failures) {
+    int alive = 0;
+    for (const SwState& sw : s.sw) alive += sw.up ? 1 : 0;
+    if (alive < 1) return "AtLeastOneAliveSwitch violated";
+  }
+  return {};
+}
+
+}  // namespace
+
+CheckerResult CheckProtocol(const CheckerConfig& config) {
+  CheckerResult result;
+
+  MCState init;
+  init.to_inject = static_cast<std::uint8_t>(config.total_packets);
+  init.sw.resize(config.num_switches);
+
+  std::unordered_set<std::string> visited;
+  std::deque<MCState> frontier;
+  visited.insert(init.Key());
+  frontier.push_back(init);
+
+  auto visit = [&](MCState next) {
+    next.Canonicalize();
+    ++result.transitions;
+    auto [it, inserted] = visited.insert(next.Key());
+    (void)it;
+    if (inserted) frontier.push_back(std::move(next));
+  };
+
+  while (!frontier.empty()) {
+    if (visited.size() > config.max_states) {
+      result.violation = "state-space bound exceeded";
+      return result;
+    }
+    MCState s = std::move(frontier.front());
+    frontier.pop_front();
+    ++result.states_explored;
+
+    const std::string inv = CheckInvariants(s, config);
+    if (!inv.empty()) {
+      result.violation = inv;
+      return result;
+    }
+    if (s.to_inject == 0 && s.released == config.total_packets) {
+      result.goal_reachable = true;
+    }
+
+    const int n = config.num_switches;
+
+    // 1. Inject a packet at any up switch.
+    if (s.to_inject > 0) {
+      for (int i = 0; i < n; ++i) {
+        if (!s.sw[i].up || s.sw[i].queued >= config.max_queued) continue;
+        MCState next = s;
+        --next.to_inject;
+        ++next.sw[i].queued;
+        visit(std::move(next));
+      }
+    }
+
+    // 2. Switch steps.
+    for (int i = 0; i < n; ++i) {
+      const SwState& sw = s.sw[i];
+      if (!sw.up) continue;
+      // 2a. Request a lease for queued work.
+      if (sw.queued > 0 && (!sw.has_lease || sw.lease_left == 0) &&
+          !sw.awaiting_grant &&
+          s.inflight.size() < static_cast<std::size_t>(config.max_inflight)) {
+        MCState next = s;
+        next.sw[i].awaiting_grant = true;
+        next.sw[i].has_lease = false;
+        next.inflight.push_back(
+            {kInitReq, static_cast<std::uint8_t>(i), 0, 0});
+        visit(std::move(next));
+      }
+      // 2b. Process a packet under an active lease: counter write.
+      if (sw.queued > 0 && sw.has_lease && sw.lease_left > 0 &&
+          s.inflight.size() < static_cast<std::size_t>(config.max_inflight)) {
+        MCState next = s;
+        --next.sw[i].queued;
+        ++next.sw[i].cur_seq;
+        next.inflight.push_back({kWriteReq, static_cast<std::uint8_t>(i),
+                                 next.sw[i].cur_seq, 0});
+        visit(std::move(next));
+      }
+      // 2c. Retransmit an unacknowledged write (mirror loop).
+      if (sw.has_lease && sw.cur_seq > sw.acked_seq &&
+          s.inflight.size() < static_cast<std::size_t>(config.max_inflight)) {
+        MCState next = s;
+        next.inflight.push_back(
+            {kWriteReq, static_cast<std::uint8_t>(i), sw.cur_seq, 0});
+        visit(std::move(next));
+      }
+    }
+
+    // 3. Deliver any in-flight message (arbitrary order = reordering).
+    for (std::size_t mi = 0; mi < s.inflight.size(); ++mi) {
+      const MCMsg m = s.inflight[mi];
+      MCState next = s;
+      next.inflight.erase(next.inflight.begin() + mi);
+      switch (m.kind) {
+        case kInitReq: {
+          const bool lease_free = next.owner == kNoOwner ||
+                                  next.owner == m.sw ||
+                                  next.store_lease == 0;
+          if (lease_free) {
+            next.owner = m.sw;
+            next.store_lease = static_cast<std::uint8_t>(config.lease_period);
+            next.inflight.push_back(
+                {kInitResp, m.sw, next.store_seq, next.store_lease});
+          } else {
+            // Buffered at the store until the lease lapses: model by
+            // leaving the request in flight (re-delivered later).
+            next.inflight.push_back(m);
+          }
+          break;
+        }
+        case kWriteReq: {
+          if (next.owner != m.sw && next.store_lease > 0) {
+            next.inflight.push_back({kDeny, m.sw, next.store_seq, 0});
+            break;
+          }
+          if (m.seq > next.store_seq) next.store_seq = m.seq;
+          next.owner = m.sw;
+          next.store_lease = static_cast<std::uint8_t>(config.lease_period);
+          next.inflight.push_back(
+              {kWriteResp, m.sw, next.store_seq, next.store_lease});
+          break;
+        }
+        case kInitResp: {
+          SwState& sw = next.sw[m.sw];
+          if (sw.up && sw.awaiting_grant) {
+            sw.awaiting_grant = false;
+            sw.has_lease = true;
+            sw.lease_left = m.lease;
+            sw.cur_seq = m.seq;
+            sw.acked_seq = m.seq;
+          }
+          break;
+        }
+        case kWriteResp: {
+          SwState& sw = next.sw[m.sw];
+          if (sw.up && sw.has_lease) {
+            if (m.seq > sw.acked_seq) {
+              sw.acked_seq = m.seq;
+              ++next.released;  // piggybacked output leaves the system
+            }
+            sw.lease_left = std::max(sw.lease_left, m.lease);
+          }
+          break;
+        }
+        case kDeny: {
+          SwState& sw = next.sw[m.sw];
+          sw.has_lease = false;
+          sw.lease_left = 0;
+          break;
+        }
+      }
+      if (next.inflight.size() <=
+          static_cast<std::size_t>(config.max_inflight)) {
+        visit(std::move(next));
+      }
+    }
+
+    // 4. Drop any in-flight message.
+    if (config.allow_drops) {
+      for (std::size_t mi = 0; mi < s.inflight.size(); ++mi) {
+        MCState next = s;
+        next.inflight.erase(next.inflight.begin() + mi);
+        visit(std::move(next));
+      }
+    }
+
+    // 5. Lease timer tick: all positive lease counters decrement together —
+    // including lease values carried by in-flight grants.  (The lease a
+    // response conveys is anchored at the store's grant instant; time spent
+    // in flight must count against it, exactly as the implementation's
+    // send-time-based expiry accounting does.  Without this aging a switch
+    // could adopt a lease longer than the store's remaining one.)
+    {
+      bool any = s.store_lease > 0;
+      for (const SwState& sw : s.sw) any = any || sw.lease_left > 0;
+      for (const MCMsg& m : s.inflight) any = any || m.lease > 0;
+      if (any) {
+        MCState next = s;
+        if (next.store_lease > 0) --next.store_lease;
+        if (next.store_lease == 0) next.owner = kNoOwner;
+        for (SwState& sw : next.sw) {
+          if (sw.lease_left > 0) --sw.lease_left;
+        }
+        for (MCMsg& m : next.inflight) {
+          if (m.lease > 0) --m.lease;
+        }
+        visit(std::move(next));
+      }
+    }
+
+    // 6. Failures and recoveries.
+    if (config.allow_failures) {
+      int alive = 0;
+      for (const SwState& sw : s.sw) alive += sw.up ? 1 : 0;
+      for (int i = 0; i < n; ++i) {
+        if (s.sw[i].up && alive > 1) {
+          MCState next = s;
+          // Fail-stop: all volatile state (lease view, seqs, queue) lost.
+          next.sw[i] = SwState{};
+          next.sw[i].up = false;
+          visit(std::move(next));
+        } else if (!s.sw[i].up) {
+          MCState next = s;
+          next.sw[i].up = true;
+          visit(std::move(next));
+        }
+      }
+    }
+  }
+
+  result.ok = true;
+  return result;
+}
+
+}  // namespace redplane::modelcheck

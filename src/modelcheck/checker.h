@@ -1,0 +1,55 @@
+// Explicit-state model checker for the RedPlane protocol.
+//
+// A C++ port of the paper's TLA+ specification (Appendix C), exhaustively
+// exploring a bounded abstraction of the protocol: N switches running the
+// per-flow counter (every packet writes), one state store with leases, an
+// unreliable network (arbitrary reordering via multiset delivery, optional
+// drops), lease-timer ticks, and fail-stop switch failures/recoveries.
+//
+// Checked invariants, mirroring the spec:
+//  * SingleOwnerInvariant — a switch that believes it holds an active lease
+//    is the store's current owner, and its remaining lease never exceeds
+//    the store's (leases are granted with the store's remaining time, so
+//    the switch view is conservative),
+//  * store sequence monotonicity / no lost durable write — a switch's
+//    acknowledged sequence number never exceeds the store's applied one,
+//  * AtLeastOneAliveSwitch (configuration guard),
+// plus a bounded liveness check: a state where every injected packet has
+// been processed and released is reachable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace redplane::modelcheck {
+
+struct CheckerConfig {
+  int num_switches = 2;
+  int total_packets = 3;
+  /// Lease period in abstract ticks.
+  int lease_period = 2;
+  /// Bound on in-flight messages (multiset size).
+  int max_inflight = 4;
+  /// Bound on per-switch queued packets.
+  int max_queued = 2;
+  bool allow_failures = true;
+  bool allow_drops = true;
+  /// Exploration cap; exceeding it fails the run (raise the bound).
+  std::size_t max_states = 5'000'000;
+};
+
+struct CheckerResult {
+  bool ok = false;
+  std::size_t states_explored = 0;
+  std::size_t transitions = 0;
+  /// True if a "all packets processed & released" state is reachable.
+  bool goal_reachable = false;
+  /// Human-readable description of the first violation (empty if ok).
+  std::string violation;
+};
+
+/// Runs the exhaustive check.
+CheckerResult CheckProtocol(const CheckerConfig& config);
+
+}  // namespace redplane::modelcheck

@@ -1,0 +1,228 @@
+#include "modelcheck/linearizability.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+#include <unordered_map>
+
+namespace redplane::modelcheck {
+
+void HistoryRecorder::Input(std::uint64_t packet_id, SimTime time) {
+  events_.push_back({HistoryEvent::Kind::kInput, packet_id, time, 0});
+  ++inputs_;
+}
+
+void HistoryRecorder::Output(std::uint64_t packet_id, SimTime time,
+                             std::uint64_t value) {
+  events_.push_back({HistoryEvent::Kind::kOutput, packet_id, time, value});
+  ++outputs_;
+}
+
+std::vector<HistoryEvent> HistoryRecorder::Sorted() const {
+  auto out = events_;
+  std::stable_sort(out.begin(), out.end(),
+                   [](const HistoryEvent& a, const HistoryEvent& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.kind < b.kind;
+                   });
+  return out;
+}
+
+namespace {
+
+struct Fail {
+  std::string* why;
+  bool operator()(const std::string& msg) const {
+    if (why != nullptr) *why = msg;
+    return false;
+  }
+};
+
+}  // namespace
+
+bool CheckCounterLinearizable(const std::vector<HistoryEvent>& history,
+                              std::string* why) {
+  Fail fail{why};
+
+  // Index inputs and outputs.
+  std::unordered_map<std::uint64_t, std::size_t> input_order;  // id -> arrival idx
+  std::vector<std::uint64_t> input_ids;
+  std::unordered_map<std::uint64_t, SimTime> input_time;
+  struct Out {
+    std::uint64_t id;
+    SimTime time;
+    std::uint64_t value;
+  };
+  std::vector<Out> outputs;
+  std::size_t inputs_seen = 0;
+
+  for (const HistoryEvent& e : history) {
+    if (e.kind == HistoryEvent::Kind::kInput) {
+      if (input_order.count(e.packet_id)) {
+        return fail("duplicate input for packet " +
+                    std::to_string(e.packet_id));
+      }
+      input_order[e.packet_id] = input_ids.size();
+      input_time[e.packet_id] = e.time;
+      input_ids.push_back(e.packet_id);
+      ++inputs_seen;
+    } else {
+      if (!input_order.count(e.packet_id)) {
+        return fail("output without input for packet " +
+                    std::to_string(e.packet_id));
+      }
+      // Physical causality: value v needs >= v inputs already injected.
+      if (e.value > inputs_seen) {
+        return fail("output value " + std::to_string(e.value) +
+                    " exceeds inputs injected so far (" +
+                    std::to_string(inputs_seen) + ")");
+      }
+      outputs.push_back({e.packet_id, e.time, e.value});
+    }
+  }
+  const std::size_t n = input_ids.size();
+
+  // (1) Each output pins its input at position `value` in S; values must be
+  // unique, in range, and an input can have at most one output.
+  std::unordered_map<std::uint64_t, std::uint64_t> pos_of;  // id -> position
+  std::map<std::uint64_t, std::uint64_t> id_at;             // position -> id
+  for (const Out& o : outputs) {
+    if (o.value == 0 || o.value > n) {
+      return fail("output value " + std::to_string(o.value) +
+                  " out of range 1.." + std::to_string(n));
+    }
+    auto it = pos_of.find(o.id);
+    if (it != pos_of.end()) {
+      if (it->second != o.value) {
+        return fail("packet " + std::to_string(o.id) +
+                    " emitted two different counter values");
+      }
+      continue;  // duplicate (retransmitted) identical output: harmless
+    }
+    if (id_at.count(o.value)) {
+      return fail("two packets share counter value " +
+                  std::to_string(o.value));
+    }
+    pos_of[o.id] = o.value;
+    id_at[o.value] = o.id;
+  }
+
+  // (2) Real-time edges: O_x at time t precedes every input injected after
+  // t.  All such x are pinned.  For each input y, compute the largest pinned
+  // position among x with O_x.time < I_y.time: y must sit above it.
+  std::vector<std::uint64_t> lower_bound_pos(n, 0);  // by arrival idx
+  {
+    // Sweep events in time order, maintaining the max pinned position of
+    // outputs emitted so far.
+    auto sorted = history;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const HistoryEvent& a, const HistoryEvent& b) {
+                       if (a.time != b.time) return a.time < b.time;
+                       // Outputs at time t constrain inputs strictly later;
+                       // process inputs first on ties.
+                       return a.kind < b.kind;
+                     });
+    std::uint64_t max_pinned = 0;
+    for (const HistoryEvent& e : sorted) {
+      if (e.kind == HistoryEvent::Kind::kOutput) {
+        auto it = pos_of.find(e.packet_id);
+        if (it != pos_of.end()) max_pinned = std::max(max_pinned, it->second);
+      } else {
+        lower_bound_pos[input_order[e.packet_id]] = max_pinned;
+      }
+    }
+  }
+
+  // Pinned inputs must respect their own lower bounds.
+  for (const auto& [id, pos] : pos_of) {
+    const std::uint64_t lb = lower_bound_pos[input_order[id]];
+    if (pos <= lb && lb != 0) {
+      // pos must be strictly greater than every pinned predecessor's pos.
+      // lb is the max such pos, unless lb belongs to this same input's own
+      // output (impossible: an output cannot precede its own input).
+      return fail("pinned packet " + std::to_string(id) + " at position " +
+                  std::to_string(pos) +
+                  " ordered before an already-externalized output at " +
+                  std::to_string(lb));
+    }
+  }
+
+  // Unpinned inputs need distinct free positions above their lower bounds.
+  std::vector<std::uint64_t> free_positions;
+  for (std::uint64_t p = 1; p <= n; ++p) {
+    if (!id_at.count(p)) free_positions.push_back(p);
+  }
+  std::vector<std::uint64_t> demands;  // lower bounds of unpinned inputs
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!pos_of.count(input_ids[i])) {
+      demands.push_back(lower_bound_pos[i]);
+    }
+  }
+  std::sort(demands.begin(), demands.end());
+  // Greedy: the k-th smallest demand takes the k-th smallest free slot.
+  for (std::size_t k = 0; k < demands.size(); ++k) {
+    if (free_positions[k] <= demands[k]) {
+      return fail("no serial order: an unobserved input cannot be placed "
+                  "after all outputs that preceded it");
+    }
+  }
+  return true;
+}
+
+bool BruteForceCheck(
+    const std::vector<HistoryEvent>& history,
+    const std::function<std::uint64_t(std::size_t)>& program) {
+  std::vector<std::uint64_t> input_ids;
+  std::unordered_map<std::uint64_t, std::size_t> arrival;  // id -> event idx
+  struct Out {
+    std::uint64_t id;
+    std::size_t event_idx;
+    std::uint64_t value;
+  };
+  std::vector<Out> outputs;
+  for (std::size_t i = 0; i < history.size(); ++i) {
+    const HistoryEvent& e = history[i];
+    if (e.kind == HistoryEvent::Kind::kInput) {
+      arrival[e.packet_id] = i;
+      input_ids.push_back(e.packet_id);
+    } else {
+      outputs.push_back({e.packet_id, i, e.value});
+    }
+  }
+  const std::size_t n = input_ids.size();
+  if (n > 9) return false;  // guard: factorial search only for tiny cases
+
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  do {
+    // S = input_ids[perm[0]], input_ids[perm[1]], ...
+    std::unordered_map<std::uint64_t, std::size_t> pos;  // id -> 1-based pos
+    for (std::size_t i = 0; i < n; ++i) pos[input_ids[perm[i]]] = i + 1;
+
+    bool ok = true;
+    // (1) outputs match the program run on S.
+    for (const Out& o : outputs) {
+      if (program(pos[o.id]) != o.value) {
+        ok = false;
+        break;
+      }
+    }
+    // (2) real-time order: O_x before I_y in H => x before y in S.
+    if (ok) {
+      for (const Out& o : outputs) {
+        for (const auto& [id, idx] : arrival) {
+          if (idx > o.event_idx && pos[id] < pos[o.id]) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) break;
+      }
+    }
+    if (ok) return true;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return false;
+}
+
+}  // namespace redplane::modelcheck

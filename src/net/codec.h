@@ -1,0 +1,72 @@
+// Byte-level serialization of packets.
+//
+// All multi-byte fields are network byte order (big-endian).  Parse errors
+// are reported via std::optional rather than exceptions: a malformed frame on
+// a network is an expected input, not a programming error.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace redplane::net {
+
+/// Appends big-endian integers to a byte buffer.  Exposed for the RedPlane
+/// protocol codec, which extends packets with its own header.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<std::byte>& out) : out_(out) {}
+
+  void U8(std::uint8_t v);
+  void U16(std::uint16_t v);
+  void U32(std::uint32_t v);
+  void U64(std::uint64_t v);
+  void Bytes(std::span<const std::byte> data);
+
+  std::size_t Size() const { return out_.size(); }
+  /// Overwrites a previously written 16-bit field at `offset`.
+  void PatchU16(std::size_t offset, std::uint16_t v);
+
+ private:
+  std::vector<std::byte>& out_;
+};
+
+/// Reads big-endian integers from a byte buffer; all reads are bounds
+/// checked and flip a sticky error flag on overrun.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data) : data_(data) {}
+
+  std::uint8_t U8();
+  std::uint16_t U16();
+  std::uint32_t U32();
+  std::uint64_t U64();
+  std::vector<std::byte> Bytes(std::size_t n);
+  void Skip(std::size_t n);
+
+  std::size_t Remaining() const { return data_.size() - pos_; }
+  bool ok() const { return ok_; }
+
+ private:
+  bool Ensure(std::size_t n);
+
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Serializes a packet to wire bytes (Ethernet/IP/UDP-or-TCP/payload).
+/// Pad bytes are emitted as zeros.  Length and checksum fields are computed.
+std::vector<std::byte> Serialize(const Packet& p);
+
+/// Parses wire bytes back into a structured packet.  The parsed packet's
+/// `payload` holds everything after the innermost recognized header (pad
+/// bytes are not distinguishable from payload on the wire, so they come back
+/// inside `payload`).  Returns nullopt on malformed input or bad checksums.
+std::optional<Packet> Parse(std::span<const std::byte> wire);
+
+}  // namespace redplane::net

@@ -1,0 +1,88 @@
+// Flow identification.
+//
+// RedPlane partitions application state by a key derived from the packet
+// header (§2, "State partitioning").  The canonical key is the IP 5-tuple;
+// applications may instead partition by VLAN id or an application-specific
+// object id.  FlowKey models the 5-tuple; PartitionKey generalizes it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/headers.h"
+
+namespace redplane::net {
+
+/// The IP 5-tuple.
+struct FlowKey {
+  Ipv4Addr src_ip;
+  Ipv4Addr dst_ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  IpProto proto = IpProto::kUdp;
+
+  auto operator<=>(const FlowKey&) const = default;
+
+  /// The key for the reverse direction of this flow.
+  FlowKey Reversed() const {
+    return FlowKey{dst_ip, src_ip, dst_port, src_port, proto};
+  }
+};
+
+/// Stable 64-bit hash of a flow key (used for sharding and ECMP seeds).
+std::uint64_t HashFlowKey(const FlowKey& key);
+
+std::string ToString(const FlowKey& key);
+
+/// A generalized partition key: either a 5-tuple flow, a VLAN id, or an
+/// application object id.  RedPlane replicates state per partition key.
+struct PartitionKey {
+  enum class Kind : std::uint8_t { kFlow, kVlan, kObject };
+
+  Kind kind = Kind::kFlow;
+  FlowKey flow;           // valid when kind == kFlow
+  std::uint16_t vlan = 0; // valid when kind == kVlan
+  std::uint64_t object = 0; // valid when kind == kObject
+
+  static PartitionKey OfFlow(const FlowKey& f) {
+    PartitionKey k;
+    k.kind = Kind::kFlow;
+    k.flow = f;
+    return k;
+  }
+  static PartitionKey OfVlan(std::uint16_t v) {
+    PartitionKey k;
+    k.kind = Kind::kVlan;
+    k.vlan = v;
+    return k;
+  }
+  static PartitionKey OfObject(std::uint64_t o) {
+    PartitionKey k;
+    k.kind = Kind::kObject;
+    k.object = o;
+    return k;
+  }
+
+  auto operator<=>(const PartitionKey&) const = default;
+};
+
+std::uint64_t HashPartitionKey(const PartitionKey& key);
+std::string ToString(const PartitionKey& key);
+
+}  // namespace redplane::net
+
+namespace std {
+template <>
+struct hash<redplane::net::FlowKey> {
+  size_t operator()(const redplane::net::FlowKey& k) const {
+    return static_cast<size_t>(redplane::net::HashFlowKey(k));
+  }
+};
+template <>
+struct hash<redplane::net::PartitionKey> {
+  size_t operator()(const redplane::net::PartitionKey& k) const {
+    return static_cast<size_t>(redplane::net::HashPartitionKey(k));
+  }
+};
+}  // namespace std

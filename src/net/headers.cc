@@ -1,0 +1,35 @@
+#include "net/headers.h"
+
+#include <cstdio>
+
+namespace redplane::net {
+
+std::string ToString(Ipv4Addr addr) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (addr.value >> 24) & 0xff,
+                (addr.value >> 16) & 0xff, (addr.value >> 8) & 0xff,
+                addr.value & 0xff);
+  return buf;
+}
+
+std::string ToString(const MacAddr& mac) {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x",
+                mac.bytes[0], mac.bytes[1], mac.bytes[2], mac.bytes[3],
+                mac.bytes[4], mac.bytes[5]);
+  return buf;
+}
+
+std::uint16_t InternetChecksum(const std::uint8_t* data, std::size_t len) {
+  std::uint32_t sum = 0;
+  while (len > 1) {
+    sum += (static_cast<std::uint32_t>(data[0]) << 8) | data[1];
+    data += 2;
+    len -= 2;
+  }
+  if (len == 1) sum += static_cast<std::uint32_t>(data[0]) << 8;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+}  // namespace redplane::net

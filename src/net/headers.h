@@ -1,0 +1,111 @@
+// Protocol header definitions (Ethernet, IPv4, UDP, TCP).
+//
+// Headers are plain value structs; byte-level serialization lives in
+// net/codec.h.  Addresses are strong types so an IPv4 address cannot be
+// confused with a port or a node id at a call site.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace redplane::net {
+
+/// An IPv4 address held in host byte order.
+struct Ipv4Addr {
+  std::uint32_t value = 0;
+
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t v) : value(v) {}
+  /// Builds an address from dotted-quad components.
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d)
+      : value((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+              (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  auto operator<=>(const Ipv4Addr&) const = default;
+};
+
+/// Renders an address as dotted quad, e.g. "10.0.0.1".
+std::string ToString(Ipv4Addr addr);
+
+/// A 48-bit MAC address.
+struct MacAddr {
+  std::array<std::uint8_t, 6> bytes{};
+  auto operator<=>(const MacAddr&) const = default;
+};
+
+std::string ToString(const MacAddr& mac);
+
+enum class EtherType : std::uint16_t {
+  kIpv4 = 0x0800,
+  kArp = 0x0806,
+};
+
+struct EthernetHeader {
+  MacAddr dst;
+  MacAddr src;
+  EtherType ethertype = EtherType::kIpv4;
+
+  static constexpr std::size_t kWireSize = 14;
+};
+
+/// IP protocol numbers used in this codebase.
+enum class IpProto : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+struct Ipv4Header {
+  std::uint8_t dscp = 0;
+  std::uint16_t identification = 0;
+  std::uint8_t ttl = 64;
+  IpProto protocol = IpProto::kUdp;
+  Ipv4Addr src;
+  Ipv4Addr dst;
+  /// Filled in by the codec on serialize; validated on parse.
+  std::uint16_t total_length = 0;
+
+  static constexpr std::size_t kWireSize = 20;  // no options
+};
+
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  /// Filled in by the codec on serialize; validated on parse.
+  std::uint16_t length = 0;
+
+  static constexpr std::size_t kWireSize = 8;
+};
+
+/// TCP flag bits (RFC 793 order).
+struct TcpFlags {
+  static constexpr std::uint8_t kFin = 0x01;
+  static constexpr std::uint8_t kSyn = 0x02;
+  static constexpr std::uint8_t kRst = 0x04;
+  static constexpr std::uint8_t kPsh = 0x08;
+  static constexpr std::uint8_t kAck = 0x10;
+};
+
+struct TcpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;
+  std::uint16_t window = 65535;
+
+  bool syn() const { return flags & TcpFlags::kSyn; }
+  bool fin() const { return flags & TcpFlags::kFin; }
+  bool rst() const { return flags & TcpFlags::kRst; }
+  bool ack_flag() const { return flags & TcpFlags::kAck; }
+
+  static constexpr std::size_t kWireSize = 20;  // no options
+};
+
+/// RFC 1071 Internet checksum over a byte range (used for IPv4 headers).
+std::uint16_t InternetChecksum(const std::uint8_t* data, std::size_t len);
+
+}  // namespace redplane::net

@@ -1,0 +1,71 @@
+// L3 routing fabric with 5-tuple ECMP (§2 "Network model").
+//
+// Every node with an IP address is a routing destination.  For each switch
+// the fabric computes, per destination, the set of output ports on shortest
+// paths through nodes/links that switch currently *believes* are up; ECMP
+// load-balances across the set by hashing the 5-tuple (the partition key),
+// which gives RedPlane the best-effort flow affinity the paper assumes.
+// Failures propagate into switches' beliefs after a detection delay (BGP/BFD
+// style), producing the transient blackholes and reroutes the failover
+// experiment measures.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dataplane/pipeline.h"
+#include "net/headers.h"
+#include "sim/network.h"
+
+namespace redplane::routing {
+
+struct FabricConfig {
+  /// Delay between a node/link state change and neighbors rerouting.
+  SimDuration failure_detection_delay = Milliseconds(500);
+  /// ECMP hash input.  The paper's network model assumes ECMP is
+  /// "configured to use the partition key as their hash key" so packets of
+  /// one partition share a path; the default hashes the 5-tuple (right for
+  /// flow-partitioned apps), and object-partitioned deployments (e.g. the
+  /// EPC-SGW, keyed by user address) switch to destination-based hashing.
+  enum class EcmpHash { kFiveTuple, kDstAddress } ecmp_hash =
+      EcmpHash::kFiveTuple;
+};
+
+class RoutingFabric {
+ public:
+  RoutingFabric(sim::Network& network, FabricConfig config = {});
+
+  /// Declares that `node` owns `ip` (hosts, servers, switch protocol IPs).
+  void AssignAddress(sim::Node* node, net::Ipv4Addr ip);
+
+  /// Installs ECMP forwarders on every switch and computes initial routes.
+  /// Call after the topology and addresses are final.
+  void Install();
+
+  /// Notifies the fabric of a node or link state change; routes recompute
+  /// after the detection delay.  (FailureInjector calls this.)
+  void NotifyTopologyChange();
+
+  /// Immediate recompute (initial bring-up or tests).
+  void RecomputeNow();
+
+  /// The node owning `ip`, if any.
+  sim::Node* NodeFor(net::Ipv4Addr ip) const;
+
+  /// Resolves the forwarding decision a given switch would make (exposed
+  /// for tests).
+  std::optional<PortId> NextHop(sim::Node* at, const net::Packet& pkt) const;
+
+ private:
+  void Rebuild();
+
+  sim::Network& network_;
+  FabricConfig config_;
+  std::unordered_map<std::uint32_t, sim::Node*> by_ip_;
+  /// routes_[node id][dest node id] = candidate output ports.
+  std::vector<std::unordered_map<NodeId, std::vector<PortId>>> routes_;
+  bool recompute_pending_ = false;
+};
+
+}  // namespace redplane::routing

@@ -1,0 +1,41 @@
+#include "routing/failure.h"
+
+namespace redplane::routing {
+
+void FailureInjector::ScheduleNodeFailure(sim::Node* node, SimTime at,
+                                          SimTime recover_at) {
+  sim_.ScheduleAt(at, [this, node]() { FailNode(node); });
+  if (recover_at >= 0) {
+    sim_.ScheduleAt(recover_at, [this, node]() { RecoverNode(node); });
+  }
+}
+
+void FailureInjector::ScheduleLinkFailure(sim::Link* link, SimTime at,
+                                          SimTime recover_at) {
+  sim_.ScheduleAt(at, [this, link]() { FailLink(link); });
+  if (recover_at >= 0) {
+    sim_.ScheduleAt(recover_at, [this, link]() { RecoverLink(link); });
+  }
+}
+
+void FailureInjector::FailNode(sim::Node* node) {
+  node->SetUp(false);
+  fabric_.NotifyTopologyChange();
+}
+
+void FailureInjector::RecoverNode(sim::Node* node) {
+  node->SetUp(true);
+  fabric_.NotifyTopologyChange();
+}
+
+void FailureInjector::FailLink(sim::Link* link) {
+  link->SetUp(false);
+  fabric_.NotifyTopologyChange();
+}
+
+void FailureInjector::RecoverLink(sim::Link* link) {
+  link->SetUp(true);
+  fabric_.NotifyTopologyChange();
+}
+
+}  // namespace redplane::routing

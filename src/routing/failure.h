@@ -1,0 +1,37 @@
+// Failure injection.
+//
+// Schedules fail-stop switch failures, recoveries, and link cuts, flipping
+// the node/link state and notifying the routing fabric so reroutes happen
+// after the configured detection delay — the sequence behind Fig. 14.
+#pragma once
+
+#include "routing/ecmp.h"
+#include "sim/link.h"
+#include "sim/node.h"
+#include "sim/simulator.h"
+
+namespace redplane::routing {
+
+class FailureInjector {
+ public:
+  FailureInjector(sim::Simulator& sim, RoutingFabric& fabric)
+      : sim_(sim), fabric_(fabric) {}
+
+  /// Fails `node` at `at`; if `recover_at` >= 0, brings it back then.
+  void ScheduleNodeFailure(sim::Node* node, SimTime at, SimTime recover_at);
+
+  /// Cuts `link` at `at`; if `recover_at` >= 0, restores it then.
+  void ScheduleLinkFailure(sim::Link* link, SimTime at, SimTime recover_at);
+
+  /// Immediate versions (tests).
+  void FailNode(sim::Node* node);
+  void RecoverNode(sim::Node* node);
+  void FailLink(sim::Link* link);
+  void RecoverLink(sim::Link* link);
+
+ private:
+  sim::Simulator& sim_;
+  RoutingFabric& fabric_;
+};
+
+}  // namespace redplane::routing

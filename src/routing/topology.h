@@ -1,0 +1,72 @@
+// The paper's testbed topology (Appendix D, Fig. 17).
+//
+// Three layers: one core switch, two Tofino-class programmable aggregation
+// switches (where the RedPlane applications run), and two ToR switches with
+// two servers each; four additional hosts hang off the core and emulate
+// endpoints outside the data center.  The state store runs on one server in
+// each rack plus one core-attached server (the chain replication group of
+// 3).  ECMP on the core spreads flows across the two aggregation switches;
+// when one fails, flows reroute to the other — the scenario RedPlane's
+// migration handles.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "dataplane/pipeline.h"
+#include "routing/ecmp.h"
+#include "sim/host.h"
+#include "sim/network.h"
+#include "statestore/server.h"
+
+namespace redplane::routing {
+
+struct TestbedConfig {
+  sim::LinkConfig fabric_link;        // switch-to-switch links
+  sim::LinkConfig host_link;          // server uplinks
+  dp::SwitchConfig programmable;      // aggregation switch config
+  store::StoreConfig store;           // state store servers
+  FabricConfig fabric;                // routing / failure detection
+  std::uint64_t seed = 42;
+  /// Chain replication group size for the store (1 disables chaining).
+  int store_chain_size = 3;
+
+  TestbedConfig() {
+    fabric_link.bandwidth_bps = 100e9;
+    fabric_link.propagation = Microseconds(1);
+    host_link.bandwidth_bps = 100e9;
+    host_link.propagation = Microseconds(1);
+  }
+};
+
+/// All the pieces of the built testbed, for experiments to wire up.
+struct Testbed {
+  std::unique_ptr<sim::Network> network;
+  std::unique_ptr<RoutingFabric> fabric;
+
+  dp::SwitchNode* core = nullptr;
+  std::array<dp::SwitchNode*, 2> agg{};   // the programmable switches
+  std::array<dp::SwitchNode*, 2> tor{};
+  /// rack_servers[rack][i]: two workload servers per rack.
+  std::array<std::array<sim::HostNode*, 2>, 2> rack_servers{};
+  /// Hosts outside the datacenter, attached to the core.
+  std::array<sim::HostNode*, 4> external{};
+  /// State store chain: store[0] is the head.
+  std::vector<store::StateStoreServer*> store;
+
+  /// IPs: aggregation switches get protocol addresses; store head IP is
+  /// what partition maps should point at.
+  net::Ipv4Addr StoreHeadIp() const { return store.front()->ip(); }
+};
+
+/// Builds the testbed; `sim` must outlive the returned object.
+Testbed BuildTestbed(sim::Simulator& sim, const TestbedConfig& config = {});
+
+/// Well-known addresses used by BuildTestbed (exposed for workloads).
+net::Ipv4Addr RackServerIp(int rack, int index);
+net::Ipv4Addr ExternalHostIp(int index);
+net::Ipv4Addr AggSwitchIp(int index);
+net::Ipv4Addr StoreServerIp(int index);
+
+}  // namespace redplane::routing

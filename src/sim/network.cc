@@ -1,0 +1,36 @@
+#include "sim/network.h"
+
+namespace redplane::sim {
+
+Network::Network(Simulator& sim, std::uint64_t seed) : sim_(sim), rng_(seed) {}
+
+Link* Network::Connect(Node* a, PortId port_a, Node* b, PortId port_b,
+                       const LinkConfig& config) {
+  auto link =
+      std::make_unique<Link>(sim_, config, rng_.Fork(links_.size() + 0x11));
+  Link* raw = link.get();
+  raw->Connect(a, port_a, b, port_b);
+  links_.push_back(std::move(link));
+  return raw;
+}
+
+Node* Network::GetNode(NodeId id) const {
+  return id < nodes_.size() ? nodes_[id].get() : nullptr;
+}
+
+Node* Network::FindNode(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+Link* Network::FindLink(const Node* a, const Node* b) const {
+  for (const auto& link : links_) {
+    if ((link->endpoint_a() == a && link->endpoint_b() == b) ||
+        (link->endpoint_a() == b && link->endpoint_b() == a)) {
+      return link.get();
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace redplane::sim

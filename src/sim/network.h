@@ -1,0 +1,59 @@
+// Owns the nodes and links of a simulated network and provides lookup.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/link.h"
+#include "sim/node.h"
+#include "sim/simulator.h"
+
+namespace redplane::sim {
+
+class Network {
+ public:
+  explicit Network(Simulator& sim, std::uint64_t seed = 1);
+
+  Simulator& sim() { return sim_; }
+
+  /// Constructs and registers a node of type T (a Node subclass whose
+  /// constructor is T(Simulator&, NodeId, std::string, Args...)).
+  template <typename T, typename... Args>
+  T* AddNode(const std::string& name, Args&&... args) {
+    const NodeId id = static_cast<NodeId>(nodes_.size());
+    auto node = std::make_unique<T>(sim_, id, name, std::forward<Args>(args)...);
+    T* raw = node.get();
+    by_name_[name] = raw;
+    nodes_.push_back(std::move(node));
+    return raw;
+  }
+
+  /// Creates a link between two nodes on the given ports.
+  Link* Connect(Node* a, PortId port_a, Node* b, PortId port_b,
+                const LinkConfig& config = {});
+
+  Node* GetNode(NodeId id) const;
+  Node* FindNode(const std::string& name) const;
+
+  std::size_t NumNodes() const { return nodes_.size(); }
+  std::size_t NumLinks() const { return links_.size(); }
+  Link* GetLink(std::size_t i) const { return links_[i].get(); }
+
+  /// Returns the link between the two nodes, or nullptr.
+  Link* FindLink(const Node* a, const Node* b) const;
+
+  /// Root RNG for deriving component streams.
+  Rng& rng() { return rng_; }
+
+ private:
+  Simulator& sim_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::unordered_map<std::string, Node*> by_name_;
+};
+
+}  // namespace redplane::sim

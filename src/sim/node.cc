@@ -1,0 +1,36 @@
+#include "sim/node.h"
+
+#include "sim/link.h"
+
+namespace redplane::sim {
+
+Node::Node(Simulator& sim, NodeId id, std::string name)
+    : sim_(sim), id_(id), name_(std::move(name)) {}
+
+Node::~Node() = default;
+
+void Node::AttachLink(PortId port, Link* link) {
+  if (port >= links_.size()) links_.resize(port + 1, nullptr);
+  links_[port] = link;
+}
+
+Link* Node::LinkAt(PortId port) const {
+  return port < links_.size() ? links_[port] : nullptr;
+}
+
+void Node::SendTo(PortId port, net::Packet pkt) {
+  if (!up_) {
+    counters_.Add("drop_node_down");
+    return;
+  }
+  Link* link = LinkAt(port);
+  if (link == nullptr) {
+    counters_.Add("drop_no_link");
+    return;
+  }
+  counters_.Add("tx_pkts");
+  counters_.Add("tx_bytes", static_cast<double>(pkt.WireSize()));
+  link->Transmit(id_, std::move(pkt));
+}
+
+}  // namespace redplane::sim

@@ -1,0 +1,64 @@
+// Base class for simulated network elements (switches, servers, hosts).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace redplane::sim {
+
+class Link;
+
+class Node {
+ public:
+  Node(Simulator& sim, NodeId id, std::string name);
+  virtual ~Node();
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  Simulator& sim() { return sim_; }
+
+  /// Delivers a packet arriving on `in_port`.  Called by Link.
+  virtual void HandlePacket(net::Packet pkt, PortId in_port) = 0;
+
+  /// Marks this node as failed/recovered.  A failed node silently drops all
+  /// deliveries; subclasses may also clear volatile state on failure.
+  virtual void SetUp(bool up) { up_ = up; }
+  bool IsUp() const { return up_; }
+
+  /// Registers `link` on `port` (called by Link::Connect).
+  void AttachLink(PortId port, Link* link);
+
+  /// Link attached to `port`, or nullptr.
+  Link* LinkAt(PortId port) const;
+
+  /// Number of ports with a link attached (ports are dense from 0).
+  std::size_t NumPorts() const { return links_.size(); }
+
+  /// Transmits `pkt` out of `port`.  Drops silently (with a counter) if the
+  /// port has no link or the node is down.
+  void SendTo(PortId port, net::Packet pkt);
+
+  /// Per-node counters ("tx_pkts", "rx_pkts", "drop_no_link", ...).
+  Counters& counters() { return counters_; }
+  const Counters& counters() const { return counters_; }
+
+ protected:
+  Simulator& sim_;
+
+ private:
+  NodeId id_;
+  std::string name_;
+  bool up_ = true;
+  std::vector<Link*> links_;
+  Counters counters_;
+};
+
+}  // namespace redplane::sim

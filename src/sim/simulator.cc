@@ -1,0 +1,60 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace redplane::sim {
+
+EventId Simulator::Schedule(SimDuration delay, std::function<void()> fn) {
+  return ScheduleAt(now_ + std::max<SimDuration>(delay, 0), std::move(fn));
+}
+
+EventId Simulator::ScheduleAt(SimTime t, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  queue_.push(Event{std::max(t, now_), id, std::move(fn)});
+  ++pending_;
+  return id;
+}
+
+void Simulator::Cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return;
+  cancelled_.push_back(id);
+}
+
+bool Simulator::PopAndRunOne(SimTime limit) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.time > limit) return false;
+    // Skip tombstoned events.
+    auto it = std::find(cancelled_.begin(), cancelled_.end(), top.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      queue_.pop();
+      --pending_;
+      continue;
+    }
+    Event ev = std::move(const_cast<Event&>(top));
+    queue_.pop();
+    --pending_;
+    assert(ev.time >= now_);
+    now_ = ev.time;
+    ++processed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::Run(std::size_t limit) {
+  std::size_t count = 0;
+  while (count < limit && PopAndRunOne(INT64_MAX)) ++count;
+  return count;
+}
+
+void Simulator::RunUntil(SimTime t) {
+  while (PopAndRunOne(t)) {
+  }
+  now_ = std::max(now_, t);
+}
+
+}  // namespace redplane::sim

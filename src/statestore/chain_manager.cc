@@ -1,0 +1,113 @@
+#include "statestore/chain_manager.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace redplane::store {
+
+ChainManager::ChainManager(sim::Simulator& sim,
+                           std::vector<StateStoreServer*> replicas,
+                           ChainManagerConfig config)
+    : sim_(sim), config_(config), all_(replicas), active_(std::move(replicas)) {
+  assert(!active_.empty());
+  Rewire();
+}
+
+void ChainManager::Start() {
+  if (started_) return;
+  started_ = true;
+  sim_.Schedule(config_.probe_interval, [this]() {
+    Probe();
+    started_ = false;
+    Start();
+  });
+}
+
+net::Ipv4Addr ChainManager::HeadIp() const {
+  return active_.empty() ? net::Ipv4Addr() : active_.front()->ip();
+}
+
+void ChainManager::Rewire() {
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    active_[i]->SetIsHead(i == 0);
+    if (i + 1 < active_.size()) {
+      active_[i]->SetChainSuccessor(active_[i + 1]->ip());
+    } else {
+      active_[i]->ClearChainSuccessor();  // the last replica is the tail
+    }
+  }
+}
+
+void ChainManager::Probe() {
+  // Detect failed replicas and splice them out.
+  std::vector<StateStoreServer*> survivors;
+  survivors.reserve(active_.size());
+  bool changed = false;
+  for (StateStoreServer* replica : active_) {
+    if (replica->IsUp()) {
+      survivors.push_back(replica);
+    } else {
+      changed = true;
+      RP_LOG(kInfo) << "chain manager: replica " << replica->name()
+                    << " failed; splicing out";
+    }
+  }
+  if (changed) {
+    active_ = std::move(survivors);
+    ++reconfigurations_;
+    Rewire();
+    // A middle/tail splice may have lost chain-internal forwards; resync
+    // every surviving downstream replica from the head to restore the
+    // prefix property (management-plane copy).
+    if (active_.size() > 1) {
+      auto snapshot = active_.front()->ExportFlows();
+      for (std::size_t i = 1; i < active_.size(); ++i) {
+        StateStoreServer* target = active_[i];
+        sim_.Schedule(config_.resync_delay, [target, snapshot]() {
+          if (target->IsUp()) {
+            target->ImportFlows(snapshot);
+          }
+        });
+      }
+    }
+  }
+
+  // Re-admit recovered replicas as tails.
+  if (config_.readmit_recovered) {
+    for (StateStoreServer* replica : all_) {
+      const bool in_active =
+          std::find(active_.begin(), active_.end(), replica) != active_.end();
+      const bool rejoining =
+          std::find(rejoining_.begin(), rejoining_.end(), replica) !=
+          rejoining_.end();
+      if (!in_active && !rejoining && replica->IsUp()) {
+        Readmit(replica);
+      }
+    }
+  }
+}
+
+void ChainManager::Readmit(StateStoreServer* replica) {
+  rejoining_.push_back(replica);
+  RP_LOG(kInfo) << "chain manager: resyncing " << replica->name()
+                << " for tail re-admission";
+  // Copy the current tail's state after the resync delay, then append.
+  StateStoreServer* source = active_.empty() ? nullptr : active_.back();
+  auto snapshot = source != nullptr
+                      ? source->ExportFlows()
+                      : std::unordered_map<net::PartitionKey, FlowRecord>{};
+  sim_.Schedule(config_.resync_delay, [this, replica, snapshot]() {
+    rejoining_.erase(
+        std::remove(rejoining_.begin(), rejoining_.end(), replica),
+        rejoining_.end());
+    if (!replica->IsUp()) return;  // died again during resync
+    replica->ImportFlows(snapshot);
+    active_.push_back(replica);
+    ++reconfigurations_;
+    Rewire();
+  });
+}
+
+}  // namespace redplane::store

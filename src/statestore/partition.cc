@@ -1,0 +1,22 @@
+#include "statestore/partition.h"
+
+#include <cassert>
+
+namespace redplane::store {
+
+PartitionMap::PartitionMap(std::vector<net::Ipv4Addr> shard_ips)
+    : shard_ips_(std::move(shard_ips)) {
+  assert(!shard_ips_.empty());
+}
+
+std::size_t PartitionMap::ShardIndexFor(const net::PartitionKey& key) const {
+  assert(!shard_ips_.empty());
+  return static_cast<std::size_t>(net::HashPartitionKey(key) %
+                                  shard_ips_.size());
+}
+
+net::Ipv4Addr PartitionMap::ShardFor(const net::PartitionKey& key) const {
+  return shard_ips_[ShardIndexFor(key)];
+}
+
+}  // namespace redplane::store

@@ -1,0 +1,34 @@
+// Partitioning of flow state across state-store shards.
+//
+// The store is partitioned by flow key (§5.1.1); a switch finds the
+// responsible shard by hashing the key and looking the result up in a
+// preconfigured table (modeled here; on the switch this is an exact-match
+// table indexed by hash bucket).
+#pragma once
+
+#include <vector>
+
+#include "net/flow.h"
+
+namespace redplane::store {
+
+class PartitionMap {
+ public:
+  PartitionMap() = default;
+  /// `shard_ips` lists the chain-head IP of each shard.
+  explicit PartitionMap(std::vector<net::Ipv4Addr> shard_ips);
+
+  /// The chain-head address responsible for `key`.
+  net::Ipv4Addr ShardFor(const net::PartitionKey& key) const;
+
+  /// Index of the shard responsible for `key`.
+  std::size_t ShardIndexFor(const net::PartitionKey& key) const;
+
+  std::size_t NumShards() const { return shard_ips_.size(); }
+  bool Empty() const { return shard_ips_.empty(); }
+
+ private:
+  std::vector<net::Ipv4Addr> shard_ips_;
+};
+
+}  // namespace redplane::store

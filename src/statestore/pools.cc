@@ -1,0 +1,61 @@
+#include "statestore/pools.h"
+
+#include <algorithm>
+
+namespace redplane::store {
+
+PortPool::PortPool(net::Ipv4Addr external_ip, std::uint16_t first_port,
+                   std::uint16_t count)
+    : external_ip_(external_ip),
+      first_port_(first_port),
+      capacity_(count),
+      allocated_(count, false) {
+  free_.reserve(count);
+  // LIFO order starting from the lowest port.
+  for (std::uint16_t i = count; i > 0; --i) {
+    free_.push_back(static_cast<std::uint16_t>(first_port + i - 1));
+  }
+}
+
+std::optional<std::uint16_t> PortPool::Allocate() {
+  if (free_.empty()) return std::nullopt;
+  const std::uint16_t port = free_.back();
+  free_.pop_back();
+  allocated_[port - first_port_] = true;
+  return port;
+}
+
+void PortPool::Release(std::uint16_t port) {
+  if (port < first_port_ ||
+      port >= first_port_ + static_cast<std::uint16_t>(capacity_)) {
+    return;
+  }
+  const std::size_t idx = port - first_port_;
+  if (!allocated_[idx]) return;
+  allocated_[idx] = false;
+  free_.push_back(port);
+}
+
+void BackendPool::Add(const Backend& backend) { backends_.push_back(backend); }
+
+std::optional<BackendPool::Backend> BackendPool::Pick() {
+  if (backends_.empty()) return std::nullopt;
+  if (cursor_ >= backends_.size()) cursor_ = 0;
+  const Backend& chosen = backends_[cursor_];
+  if (++credit_ >= chosen.weight) {
+    credit_ = 0;
+    cursor_ = (cursor_ + 1) % backends_.size();
+  }
+  return chosen;
+}
+
+void BackendPool::Remove(net::Ipv4Addr ip, std::uint16_t port) {
+  backends_.erase(std::remove_if(backends_.begin(), backends_.end(),
+                                 [&](const Backend& b) {
+                                   return b.ip == ip && b.port == port;
+                                 }),
+                  backends_.end());
+  if (cursor_ >= backends_.size()) cursor_ = 0;
+}
+
+}  // namespace redplane::store

@@ -1,0 +1,71 @@
+// Shared ("global") application state managed by the state store.
+//
+// Per-flow state replicates through the RedPlane protocol, but some
+// applications also have state shared across flows — the NAT's pool of free
+// external ports, the load balancer's pool of backend servers (§3 "Scope",
+// §6).  Such state is sharded across and managed by the state-store servers:
+// the store's per-application initializer consults these pools when it
+// creates a flow's initial state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/flow.h"
+
+namespace redplane::store {
+
+/// A pool of external (IP, port) pairs for NAT allocations.
+class PortPool {
+ public:
+  /// Pool of `count` ports starting at `first_port` on `external_ip`.
+  PortPool(net::Ipv4Addr external_ip, std::uint16_t first_port,
+           std::uint16_t count);
+
+  /// Allocates the lowest free port, or nullopt when exhausted.
+  std::optional<std::uint16_t> Allocate();
+
+  /// Returns a port to the pool.  Double-frees are ignored.
+  void Release(std::uint16_t port);
+
+  net::Ipv4Addr external_ip() const { return external_ip_; }
+  std::size_t FreeCount() const { return free_.size(); }
+  std::size_t Capacity() const { return capacity_; }
+
+ private:
+  net::Ipv4Addr external_ip_;
+  std::uint16_t first_port_;
+  std::size_t capacity_;
+  std::vector<std::uint16_t> free_;  // LIFO free list
+  std::vector<bool> allocated_;
+};
+
+/// A weighted-round-robin pool of backend servers for the load balancer.
+class BackendPool {
+ public:
+  struct Backend {
+    net::Ipv4Addr ip;
+    std::uint16_t port = 0;
+    std::uint32_t weight = 1;
+  };
+
+  void Add(const Backend& backend);
+
+  /// Picks the next backend (weighted round robin); nullopt if empty.
+  std::optional<Backend> Pick();
+
+  /// Removes a backend (e.g. failed server); existing flow mappings are
+  /// unaffected — per-flow state pins them.
+  void Remove(net::Ipv4Addr ip, std::uint16_t port);
+
+  std::size_t Size() const { return backends_.size(); }
+
+ private:
+  std::vector<Backend> backends_;
+  std::size_t cursor_ = 0;
+  std::uint32_t credit_ = 0;
+};
+
+}  // namespace redplane::store

@@ -1,0 +1,370 @@
+#include "statestore/server.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace redplane::store {
+
+using core::AckKind;
+using core::Msg;
+using core::MsgType;
+
+StateStoreServer::StateStoreServer(sim::Simulator& sim, NodeId id,
+                                   std::string name, net::Ipv4Addr ip,
+                                   StoreConfig config)
+    : Node(sim, id, std::move(name)), ip_(ip), config_(config) {}
+
+void StateStoreServer::HandlePacket(net::Packet pkt, PortId in_port) {
+  (void)in_port;
+  if (!core::IsProtocolPacket(pkt)) {
+    counters().Add("non_protocol_drops");
+    return;
+  }
+  auto msg = core::DecodeFromPacket(pkt);
+  if (!msg.has_value()) {
+    counters().Add("malformed_drops");
+    return;
+  }
+  // FIFO service: one CPU core draining a kernel-bypass queue.
+  const SimTime start = std::max(sim_.Now(), busy_until_);
+  busy_until_ = start + config_.service_time;
+  busy_time_ += config_.service_time;
+  const std::uint64_t epoch = epoch_;
+  sim_.ScheduleAt(busy_until_, [this, epoch, m = std::move(*msg)]() mutable {
+    if (epoch != epoch_ || !IsUp()) return;
+    ProcessMsg(std::move(m));
+  });
+}
+
+void StateStoreServer::SetUp(bool up) {
+  const bool was_up = IsUp();
+  Node::SetUp(up);
+  if (was_up && !up) {
+    ++epoch_;
+    flows_.clear();
+    pending_inits_.clear();
+    waiting_reads_.clear();
+    busy_until_ = 0;
+    counters().Add("failures");
+  }
+}
+
+void StateStoreServer::ProcessMsg(Msg msg) {
+  if (msg.chain_hop > 0) {
+    // Chain-internal: the head already decided; apply and continue.
+    ApplyAndContinue(std::move(msg));
+    return;
+  }
+  if (!is_head_) {
+    // A request from a switch reached a non-head replica (stale partition
+    // map); drop — the switch will retransmit toward the right head.
+    counters().Add("misdirected_drops");
+    return;
+  }
+  switch (msg.type) {
+    case MsgType::kLeaseNewReq: HandleInit(std::move(msg)); break;
+    case MsgType::kLeaseRenewReq: HandleRepl(std::move(msg)); break;
+    case MsgType::kLeaseRenewOnly: HandleRenewOnly(std::move(msg)); break;
+    case MsgType::kReadBufferReq: HandleReadBuffer(std::move(msg)); break;
+    case MsgType::kSnapshotRepl: HandleSnapshot(std::move(msg)); break;
+    case MsgType::kAck:
+      counters().Add("unexpected_acks");
+      break;
+  }
+}
+
+FlowRecord& StateStoreServer::GetOrCreate(const net::PartitionKey& key) {
+  return flows_[key];
+}
+
+bool StateStoreServer::LeaseActiveByOther(const FlowRecord& rec,
+                                          net::Ipv4Addr requester) const {
+  return rec.owner.value != 0 && rec.owner != requester &&
+         rec.lease_expiry > sim_.Now();
+}
+
+void StateStoreServer::HandleInit(Msg msg) {
+  counters().Add("init_reqs");
+  FlowRecord& rec = GetOrCreate(msg.key);
+  if (LeaseActiveByOther(rec, msg.reply_to)) {
+    // Another switch owns the flow: buffer the request until the lease
+    // lapses (the spec's BUFFERING branch), bounded by configuration.
+    // Retransmitted Inits from a switch already waiting are absorbed.
+    auto& queue = pending_inits_[msg.key];
+    for (const PendingInit& pending : queue) {
+      if (pending.msg.reply_to == msg.reply_to) {
+        counters().Add("init_dedup");
+        return;
+      }
+    }
+    if (queue.size() >= config_.max_buffered_inits) {
+      Msg deny;
+      deny.type = MsgType::kAck;
+      deny.ack = AckKind::kLeaseDenied;
+      deny.key = msg.key;
+      deny.seq = rec.last_applied_seq;
+      SendMsg(msg.reply_to, deny);
+      counters().Add("lease_denied");
+      return;
+    }
+    const net::PartitionKey key = msg.key;
+    const SimTime retry_at = rec.lease_expiry + Microseconds(1);
+    queue.push_back(PendingInit{std::move(msg)});
+    counters().Add("init_buffered");
+    sim_.ScheduleAt(retry_at, [this, key]() { PumpPendingInits(key); });
+    return;
+  }
+
+  // Grant.  A brand-new flow may get application-assigned initial state
+  // (e.g. a NAT port allocation) from the registered initializer.
+  if (!rec.exists) {
+    rec.exists = true;
+    if (config_.initializer) {
+      rec.state = config_.initializer(msg.key);
+    }
+    msg.ack = AckKind::kLeaseGrantNew;
+    counters().Add("grants_new");
+  } else {
+    msg.ack = AckKind::kLeaseGrantMigrate;
+    counters().Add("grants_migrate");
+  }
+  // Carry the authoritative state and sequence number to the switch (and to
+  // the chain replicas, which apply the same ownership change).
+  msg.state = rec.state;
+  msg.seq = rec.last_applied_seq;
+  ++msg.chain_hop;  // decided; apply locally, then continue down the chain
+  ApplyAndContinue(std::move(msg));
+}
+
+void StateStoreServer::HandleRepl(Msg msg) {
+  counters().Add("repl_reqs");
+  FlowRecord& rec = GetOrCreate(msg.key);
+  if (LeaseActiveByOther(rec, msg.reply_to)) {
+    Msg deny;
+    deny.type = MsgType::kAck;
+    deny.ack = AckKind::kLeaseDenied;
+    deny.key = msg.key;
+    deny.seq = rec.last_applied_seq;
+    SendMsg(msg.reply_to, deny);
+    counters().Add("lease_denied");
+    return;
+  }
+  if (msg.seq <= rec.last_applied_seq) {
+    // Stale or duplicate (Fig. 6b): do not apply — the stored state is at
+    // least as new, and is already durable chain-wide.  Ack with the
+    // applied sequence number so the switch clears its retransmit buffer,
+    // and release any piggybacked output (its effects are subsumed by the
+    // newer durable state).
+    counters().Add("stale_writes");
+    Msg ack;
+    ack.type = MsgType::kAck;
+    ack.ack = AckKind::kWriteAck;
+    ack.key = msg.key;
+    ack.seq = rec.last_applied_seq;
+    ack.piggyback = std::move(msg.piggyback);
+    SendMsg(msg.reply_to, ack);
+    return;
+  }
+  rec.exists = true;
+  msg.ack = AckKind::kWriteAck;
+  ++msg.chain_hop;
+  ApplyAndContinue(std::move(msg));
+}
+
+void StateStoreServer::HandleRenewOnly(Msg msg) {
+  counters().Add("renew_reqs");
+  FlowRecord& rec = GetOrCreate(msg.key);
+  if (LeaseActiveByOther(rec, msg.reply_to)) {
+    Msg deny;
+    deny.type = MsgType::kAck;
+    deny.ack = AckKind::kLeaseDenied;
+    deny.key = msg.key;
+    deny.seq = rec.last_applied_seq;
+    SendMsg(msg.reply_to, deny);
+    counters().Add("lease_denied");
+    return;
+  }
+  msg.ack = AckKind::kRenewAck;
+  msg.seq = rec.last_applied_seq;
+  ++msg.chain_hop;
+  ApplyAndContinue(std::move(msg));
+}
+
+void StateStoreServer::HandleReadBuffer(Msg msg) {
+  counters().Add("read_buffer_reqs");
+  // A buffered read must be released only after the write it observed at the
+  // switch (sequence `msg.seq`) is durable.  Route it through the chain so
+  // it orders behind those writes; the tail releases or parks it.
+  msg.ack = AckKind::kReadReturn;
+  ++msg.chain_hop;
+  ApplyAndContinue(std::move(msg));
+}
+
+void StateStoreServer::HandleSnapshot(Msg msg) {
+  counters().Add("snapshot_reqs");
+  FlowRecord& rec = GetOrCreate(msg.key);
+  auto it = rec.snapshot_slots.find(msg.snapshot_index);
+  if (it != rec.snapshot_slots.end() && msg.seq <= it->second.second) {
+    // Stale snapshot slot; ack without applying.
+    Msg ack;
+    ack.type = MsgType::kAck;
+    ack.ack = AckKind::kSnapshotAck;
+    ack.key = msg.key;
+    ack.seq = msg.seq;
+    ack.snapshot_index = msg.snapshot_index;
+    SendMsg(msg.reply_to, ack);
+    return;
+  }
+  rec.exists = true;
+  msg.ack = AckKind::kSnapshotAck;
+  ++msg.chain_hop;
+  ApplyAndContinue(std::move(msg));
+}
+
+void StateStoreServer::ApplyAndContinue(Msg msg) {
+  FlowRecord& rec = GetOrCreate(msg.key);
+  switch (msg.type) {
+    case MsgType::kLeaseNewReq:
+      rec.exists = true;
+      rec.state = msg.state;
+      rec.last_applied_seq = msg.seq;
+      rec.owner = msg.reply_to;
+      rec.lease_expiry = sim_.Now() + config_.lease_period;
+      break;
+    case MsgType::kLeaseRenewReq:
+      rec.exists = true;
+      if (msg.seq > rec.last_applied_seq) {
+        rec.state = msg.state;
+        rec.last_applied_seq = msg.seq;
+      }
+      rec.owner = msg.reply_to;
+      rec.lease_expiry = sim_.Now() + config_.lease_period;
+      break;
+    case MsgType::kLeaseRenewOnly:
+      rec.owner = msg.reply_to;
+      rec.lease_expiry = sim_.Now() + config_.lease_period;
+      break;
+    case MsgType::kReadBufferReq:
+      if (IsTail() &&
+          (rec.last_applied_seq < msg.seq ||
+           (rec.owner.value != 0 && rec.owner != msg.reply_to &&
+            rec.lease_expiry > sim_.Now()))) {
+        // Park the read: either its awaited write is not yet durable, or
+        // the requesting switch does not own the flow yet (packets looping
+        // while a migration grant is buffered behind the old lease).  It
+        // is released by PumpWaitingReads when the blocking condition
+        // clears, or dropped if it outlives a lease period (packet loss is
+        // permitted by the correctness model).
+        waiting_reads_[msg.key].push_back(std::move(msg));
+        counters().Add("reads_parked");
+        return;
+      }
+      break;
+    case MsgType::kSnapshotRepl: {
+      rec.exists = true;
+      auto& slot = rec.snapshot_slots[msg.snapshot_index];
+      if (msg.seq > slot.second) {
+        slot.first = msg.state;
+        slot.second = msg.seq;
+      }
+      rec.last_snapshot_at = sim_.Now();
+      break;
+    }
+    case MsgType::kAck:
+      return;
+  }
+  const net::PartitionKey key = msg.key;
+  ForwardOrRespond(std::move(msg));
+  PumpWaitingReads(key);
+}
+
+void StateStoreServer::ForwardOrRespond(Msg msg) {
+  if (successor_.has_value()) {
+    ++msg.chain_hop;
+    counters().Add("chain_forwards");
+    SendMsg(*successor_, msg);
+    return;
+  }
+  Respond(msg);
+}
+
+void StateStoreServer::Respond(const Msg& request) {
+  Msg resp;
+  resp.type = MsgType::kAck;
+  resp.ack = request.ack;
+  resp.key = request.key;
+  resp.seq = request.seq;
+  resp.snapshot_index = request.snapshot_index;
+  resp.piggyback = request.piggyback;
+  if (request.ack == AckKind::kLeaseGrantNew ||
+      request.ack == AckKind::kLeaseGrantMigrate) {
+    resp.state = request.state;
+  }
+  counters().Add("responses");
+  SendMsg(request.reply_to, resp);
+}
+
+void StateStoreServer::SendMsg(net::Ipv4Addr dst, const Msg& msg) {
+  net::Packet pkt = core::MakeProtocolPacket(ip_, dst, msg);
+  SendTo(0, std::move(pkt));
+}
+
+void StateStoreServer::PumpPendingInits(const net::PartitionKey& key) {
+  auto it = pending_inits_.find(key);
+  if (it == pending_inits_.end() || it->second.empty()) return;
+  FlowRecord& rec = GetOrCreate(key);
+  // Grant to the first waiter whose blocker has lapsed; later waiters are
+  // retried when this new lease lapses in turn.
+  while (!it->second.empty()) {
+    if (LeaseActiveByOther(rec, it->second.front().msg.reply_to)) {
+      const SimTime retry_at = rec.lease_expiry + Microseconds(1);
+      sim_.ScheduleAt(retry_at, [this, key]() { PumpPendingInits(key); });
+      return;
+    }
+    Msg msg = std::move(it->second.front().msg);
+    it->second.pop_front();
+    HandleInit(std::move(msg));
+  }
+  pending_inits_.erase(key);
+}
+
+void StateStoreServer::PumpWaitingReads(const net::PartitionKey& key) {
+  auto it = waiting_reads_.find(key);
+  if (it == waiting_reads_.end()) return;
+  FlowRecord& rec = GetOrCreate(key);
+  auto& reads = it->second;
+  bool reschedule = false;
+  for (auto rit = reads.begin(); rit != reads.end();) {
+    const bool seq_ready = rec.last_applied_seq >= rit->seq;
+    const bool ownership_blocked = rec.owner.value != 0 &&
+                                   rec.owner != rit->reply_to &&
+                                   rec.lease_expiry > sim_.Now();
+    if (seq_ready && !ownership_blocked) {
+      Respond(*rit);
+      rit = reads.erase(rit);
+    } else {
+      // Waiting for a write (pumped on the next apply) or for the blocking
+      // lease to lapse (pumped by the rescheduled check below).
+      reschedule = reschedule || ownership_blocked;
+      ++rit;
+    }
+  }
+  if (reads.empty()) {
+    waiting_reads_.erase(it);
+  } else if (reschedule) {
+    // Re-examine when the blocking lease lapses (the owner may never
+    // return; the parked packets are then released toward the requester,
+    // which re-evaluates under its own — possibly absent — lease).
+    const SimTime retry_at = rec.lease_expiry + Microseconds(1);
+    sim_.ScheduleAt(retry_at, [this, key]() { PumpWaitingReads(key); });
+  }
+}
+
+const FlowRecord* StateStoreServer::Find(const net::PartitionKey& key) const {
+  auto it = flows_.find(key);
+  return it == flows_.end() ? nullptr : &it->second;
+}
+
+}  // namespace redplane::store

@@ -1,0 +1,152 @@
+// The external state store server (§5.1.1).
+//
+// An in-memory key-value store partitioned by flow, with three RedPlane
+// specific behaviours layered on top of plain storage:
+//
+//  * lease management — at most one switch owns a flow at a time; Init
+//    requests for an owned flow are buffered until the lease lapses (the
+//    TLA+ spec's BUFFERING branch),
+//  * per-flow sequence filtering — replication requests carry monotonically
+//    increasing sequence numbers and a stale sequence number is discarded
+//    rather than applied (Fig. 6b); writes carry the full new state value so
+//    gaps are safe to skip over,
+//  * piggyback echo — the output packet riding on a replication request is
+//    returned in the ack, making store memory the switch's delay line.
+//
+// Durability across server failures uses chain replication (group of 3 in
+// the prototype): the head decides, every replica applies, and the tail
+// answers the switch.  Decisions are stamped into the forwarded message so
+// replicas never diverge.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/protocol.h"
+#include "net/packet.h"
+#include "sim/node.h"
+
+namespace redplane::store {
+
+struct StoreConfig {
+  /// Lease validity period granted to a switch (§5.3; 1 s in the prototype).
+  SimDuration lease_period = Seconds(1);
+  /// CPU time to process one request (kernel-bypass I/O; a few µs).
+  SimDuration service_time = Microseconds(2);
+  /// Upper bound on Init requests buffered per flow while another switch
+  /// holds the lease; beyond this the store answers kLeaseDenied.
+  std::size_t max_buffered_inits = 64;
+  /// Optional application hook: produces the initial state for a brand-new
+  /// flow (e.g. a NAT allocation from the shared port pool, §6).  When
+  /// empty, new flows start with empty state.
+  std::function<std::vector<std::byte>(const net::PartitionKey&)> initializer;
+};
+
+/// Per-flow record held by every replica of a shard.
+struct FlowRecord {
+  std::vector<std::byte> state;
+  std::uint64_t last_applied_seq = 0;
+  /// Lease owner switch IP; 0 when unowned.
+  net::Ipv4Addr owner;
+  SimTime lease_expiry = 0;
+  /// True once the flow has been initialized (distinguishes "new flow" from
+  /// "failover to existing state", §5.1.2 cases 1 and 2).
+  bool exists = false;
+  /// Snapshot slots for bounded-inconsistency state (index -> value, seq).
+  std::map<std::uint32_t, std::pair<std::vector<std::byte>, std::uint64_t>>
+      snapshot_slots;
+  SimTime last_snapshot_at = 0;
+};
+
+class StateStoreServer : public sim::Node {
+ public:
+  StateStoreServer(sim::Simulator& sim, NodeId id, std::string name,
+                   net::Ipv4Addr ip, StoreConfig config = {});
+
+  net::Ipv4Addr ip() const { return ip_; }
+  const StoreConfig& config() const { return config_; }
+
+  /// Configures this replica's successor in the chain (unset = tail).
+  void SetChainSuccessor(net::Ipv4Addr next) { successor_ = next; }
+  /// Makes this replica the tail.
+  void ClearChainSuccessor() { successor_.reset(); }
+  bool IsTail() const { return !successor_.has_value(); }
+  /// Marks this replica as the chain head (only the head accepts switch
+  /// requests; a single stand-alone server is both head and tail).
+  void SetIsHead(bool head) { is_head_ = head; }
+
+  void HandlePacket(net::Packet pkt, PortId in_port) override;
+
+  /// Fail-stop: going down clears the in-memory state (DRAM) and cancels
+  /// queued work; a recovered replica rejoins empty and must be resynced by
+  /// the chain manager before serving.
+  void SetUp(bool up) override;
+
+  /// Full state export/import, used by chain reconfiguration to resync a
+  /// (re)joining replica from a live one (management-plane copy).
+  std::unordered_map<net::PartitionKey, FlowRecord> ExportFlows() const {
+    return flows_;
+  }
+  void ImportFlows(std::unordered_map<net::PartitionKey, FlowRecord> flows) {
+    flows_ = std::move(flows);
+  }
+
+  /// Read-only access for tests and reporting.
+  const FlowRecord* Find(const net::PartitionKey& key) const;
+  std::size_t NumFlows() const { return flows_.size(); }
+
+  /// Sum of wall-clock-busy time, for utilization reporting.
+  SimDuration busy_time() const { return busy_time_; }
+
+ private:
+  struct PendingInit {
+    core::Msg msg;
+  };
+
+  void ProcessMsg(core::Msg msg);
+  void HandleInit(core::Msg msg);
+  void HandleRepl(core::Msg msg);
+  void HandleRenewOnly(core::Msg msg);
+  void HandleReadBuffer(core::Msg msg);
+  void HandleSnapshot(core::Msg msg);
+
+  /// Applies the (head-stamped) decision carried by a chain-internal
+  /// message, then forwards down-chain or answers the switch.
+  void ApplyAndContinue(core::Msg msg);
+
+  /// Sends `msg` to `dst` out of the server's uplink port.
+  void SendMsg(net::Ipv4Addr dst, const core::Msg& msg);
+
+  /// Forwards a decided request to the successor, or answers if tail.
+  void ForwardOrRespond(core::Msg msg);
+
+  /// Builds and sends the response for a decided request.
+  void Respond(const core::Msg& request);
+
+  FlowRecord& GetOrCreate(const net::PartitionKey& key);
+  bool LeaseActiveByOther(const FlowRecord& rec, net::Ipv4Addr requester) const;
+
+  /// Re-examines buffered Inits for `key` (called when a lease lapses).
+  void PumpPendingInits(const net::PartitionKey& key);
+
+  /// Releases buffered reads whose awaited sequence number has been applied.
+  void PumpWaitingReads(const net::PartitionKey& key);
+
+  net::Ipv4Addr ip_;
+  StoreConfig config_;
+  std::optional<net::Ipv4Addr> successor_;
+  bool is_head_ = true;
+  std::unordered_map<net::PartitionKey, FlowRecord> flows_;
+  std::unordered_map<net::PartitionKey, std::deque<PendingInit>> pending_inits_;
+  std::unordered_map<net::PartitionKey, std::vector<core::Msg>> waiting_reads_;
+  SimTime busy_until_ = 0;
+  SimDuration busy_time_ = 0;
+  /// Bumped on failure so queued service completions are invalidated.
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace redplane::store

@@ -1,0 +1,126 @@
+#include "trace/workload.h"
+
+#include <algorithm>
+
+#include "apps/epc_sgw.h"
+
+namespace redplane::trace {
+
+std::uint32_t SampleDcPacketSize(Rng& rng) {
+  // Bimodal mix per the IMC'10 DC measurement: ~half minimum-size (acks,
+  // control), a heavy mode at MTU (bulk transfer), and a spread between.
+  const double u = rng.UniformDouble();
+  if (u < 0.45) return 64;
+  if (u < 0.55) return static_cast<std::uint32_t>(rng.UniformInt(100, 300));
+  if (u < 0.70) return static_cast<std::uint32_t>(rng.UniformInt(300, 1000));
+  if (u < 0.80) return static_cast<std::uint32_t>(rng.UniformInt(1000, 1400));
+  return 1500;
+}
+
+net::FlowKey FlowForIndex(const FlowMixConfig& config, std::size_t i) {
+  net::FlowKey flow;
+  flow.src_ip = net::Ipv4Addr(
+      static_cast<std::uint32_t>(config.src_base.value + (i % 251)));
+  flow.dst_ip = net::Ipv4Addr(
+      static_cast<std::uint32_t>(config.dst_base.value + (i % 3)));
+  flow.src_port = static_cast<std::uint16_t>(20000 + (i % 40000));
+  flow.dst_port = config.dst_port;
+  flow.proto = config.proto;
+  return flow;
+}
+
+std::vector<TracePacket> GenerateFlowMix(Rng& rng,
+                                         const FlowMixConfig& config) {
+  std::vector<TracePacket> out;
+  out.reserve(config.num_packets);
+  ZipfSampler zipf(config.num_flows, std::max(config.zipf_theta, 1e-9));
+  SimTime now = 0;
+  for (std::size_t i = 0; i < config.num_packets; ++i) {
+    now += static_cast<SimDuration>(
+        rng.Exponential(static_cast<double>(config.mean_interarrival)));
+    TracePacket pkt;
+    pkt.time = now;
+    const std::size_t flow_idx =
+        config.zipf_theta > 0 ? zipf.Sample(rng)
+                              : rng.NextBounded(config.num_flows);
+    pkt.flow = FlowForIndex(config, flow_idx);
+    pkt.size_bytes = config.realistic_sizes ? SampleDcPacketSize(rng) : 64;
+    pkt.vlan = config.vlan;
+    out.push_back(pkt);
+  }
+  return out;
+}
+
+std::vector<TracePacket> GenerateEpcMix(Rng& rng, const EpcMixConfig& config) {
+  std::vector<TracePacket> out;
+  out.reserve(config.num_packets);
+  SimTime now = 0;
+  std::size_t since_signaling = 0;
+  for (std::size_t i = 0; i < config.num_packets; ++i) {
+    now += static_cast<SimDuration>(
+        rng.Exponential(static_cast<double>(config.mean_interarrival)));
+    TracePacket pkt;
+    pkt.time = now;
+    const std::uint32_t user =
+        static_cast<std::uint32_t>(rng.NextBounded(config.num_users));
+    pkt.flow.src_ip = config.internet_src;
+    pkt.flow.dst_ip = net::Ipv4Addr(config.user_base.value + user);
+    pkt.flow.src_port = 40000;
+    pkt.flow.proto = net::IpProto::kUdp;
+    if (++since_signaling > config.data_per_signaling) {
+      since_signaling = 0;
+      pkt.signaling = true;
+      pkt.flow.dst_port = apps::kSgwSignalingPort;
+      pkt.size_bytes = 80;
+    } else {
+      pkt.flow.dst_port = apps::kSgwDataPort;
+      pkt.size_bytes = SampleDcPacketSize(rng);
+    }
+    out.push_back(pkt);
+  }
+  return out;
+}
+
+std::vector<KvOpEvent> GenerateKvOps(Rng& rng, const KvOpsConfig& config) {
+  std::vector<KvOpEvent> out;
+  out.reserve(config.num_ops);
+  SimTime now = 0;
+  for (std::size_t i = 0; i < config.num_ops; ++i) {
+    now += static_cast<SimDuration>(
+        rng.Exponential(static_cast<double>(config.mean_interarrival)));
+    KvOpEvent ev;
+    ev.time = now;
+    ev.request.key = rng.NextBounded(config.num_keys);
+    if (rng.Bernoulli(config.update_ratio)) {
+      ev.request.op = apps::KvOp::kUpdate;
+      ev.request.value = rng.Next();
+    } else {
+      ev.request.op = apps::KvOp::kRead;
+    }
+    out.push_back(ev);
+  }
+  return out;
+}
+
+net::Packet MaterializePacket(const TracePacket& spec) {
+  if (spec.signaling) {
+    // Signaling installs a bearer for the user: TEID derived from the user
+    // address, eNB chosen from the user address too (deterministic).
+    return apps::MakeSgwSignalingPacket(
+        spec.flow.src_ip, spec.flow.dst_ip,
+        /*teid=*/spec.flow.dst_ip.value & 0xffff,
+        /*enb_ip=*/net::Ipv4Addr(192, 168, 11, 10));
+  }
+  const std::uint32_t headers = 14 + 20 + 20;
+  const std::uint32_t pad =
+      spec.size_bytes > headers ? spec.size_bytes - headers : 0;
+  net::Packet pkt = spec.flow.proto == net::IpProto::kTcp
+                        ? net::MakeTcpPacket(spec.flow, net::TcpFlags::kAck, 0,
+                                             0, pad)
+                        : net::MakeUdpPacket(spec.flow, pad);
+  pkt.vlan = spec.vlan;
+  pkt.created_at = spec.time;
+  return pkt;
+}
+
+}  // namespace redplane::trace

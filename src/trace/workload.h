@@ -1,0 +1,91 @@
+// Workload and trace synthesis.
+//
+// The paper replays real data-center and enterprise traces [1, 2]; those are
+// not redistributable, so these generators synthesize traces matching their
+// published characteristics: heavy-tailed flow popularity, the DC packet-size
+// mix (64-1500 B with modes at the extremes), Poisson arrivals, the EPC
+// 1-signaling-per-17-data mix, and uniform-key KV operation streams with a
+// configurable update ratio.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/kv_store.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "net/flow.h"
+#include "net/packet.h"
+
+namespace redplane::trace {
+
+struct TracePacket {
+  SimTime time = 0;
+  net::FlowKey flow;
+  std::uint32_t size_bytes = 64;
+  /// VLAN tag (0 = untagged); used by per-tenant workloads.
+  std::uint16_t vlan = 0;
+  /// True for EPC signaling packets.
+  bool signaling = false;
+};
+
+struct FlowMixConfig {
+  std::size_t num_packets = 100'000;
+  std::size_t num_flows = 1'000;
+  /// Zipf exponent for flow popularity (0 = uniform).
+  double zipf_theta = 1.05;
+  /// Mean packet inter-arrival time.
+  SimDuration mean_interarrival = Microseconds(10);
+  /// Source/destination address pools.
+  net::Ipv4Addr src_base{10, 0, 0, 10};
+  net::Ipv4Addr dst_base{192, 168, 10, 10};
+  std::uint16_t dst_port = 80;
+  net::IpProto proto = net::IpProto::kTcp;
+  /// Draw packet sizes from the empirical DC mix; false = fixed 64 B.
+  bool realistic_sizes = true;
+  std::uint16_t vlan = 0;
+};
+
+/// Synthesizes a data-center-like packet trace.
+std::vector<TracePacket> GenerateFlowMix(Rng& rng, const FlowMixConfig& config);
+
+/// One packet size drawn from the published DC distribution (64-1500 B,
+/// bimodal at the extremes).
+std::uint32_t SampleDcPacketSize(Rng& rng);
+
+/// The flow key used for flow index `i` under `config` (for result checks).
+net::FlowKey FlowForIndex(const FlowMixConfig& config, std::size_t i);
+
+struct EpcMixConfig {
+  std::size_t num_packets = 100'000;
+  std::size_t num_users = 500;
+  /// One signaling packet per this many data packets (17 in the paper).
+  std::size_t data_per_signaling = 17;
+  SimDuration mean_interarrival = Microseconds(10);
+  net::Ipv4Addr user_base{100, 64, 0, 10};
+  net::Ipv4Addr internet_src{10, 0, 0, 10};
+};
+
+/// Synthesizes the cellular-core mix: tunnel data with periodic signaling.
+std::vector<TracePacket> GenerateEpcMix(Rng& rng, const EpcMixConfig& config);
+
+struct KvOpsConfig {
+  std::size_t num_ops = 100'000;
+  std::size_t num_keys = 10'000;
+  double update_ratio = 0.5;
+  SimDuration mean_interarrival = Microseconds(10);
+  net::FlowKey client_flow;
+};
+
+struct KvOpEvent {
+  SimTime time = 0;
+  apps::KvRequest request;
+};
+
+/// Uniform-random-key operation stream (Fig. 13 workload).
+std::vector<KvOpEvent> GenerateKvOps(Rng& rng, const KvOpsConfig& config);
+
+/// Materializes a trace packet (builds headers and pad bytes).
+net::Packet MaterializePacket(const TracePacket& spec);
+
+}  // namespace redplane::trace

@@ -1,0 +1,158 @@
+// Fuzzing the wire codecs: random bytes and random mutations of valid
+// frames must never crash or mis-round-trip the parsers.  On a network
+// element, malformed input is a normal event, not an error path.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/protocol.h"
+#include "net/codec.h"
+
+namespace redplane {
+namespace {
+
+net::Packet RandomPacket(Rng& rng) {
+  net::FlowKey flow;
+  flow.src_ip = net::Ipv4Addr(static_cast<std::uint32_t>(rng.Next()));
+  flow.dst_ip = net::Ipv4Addr(static_cast<std::uint32_t>(rng.Next()));
+  flow.src_port = static_cast<std::uint16_t>(rng.Next());
+  flow.dst_port = static_cast<std::uint16_t>(rng.Next());
+  flow.proto = rng.Bernoulli(0.5) ? net::IpProto::kTcp : net::IpProto::kUdp;
+  net::Packet pkt =
+      flow.proto == net::IpProto::kTcp
+          ? net::MakeTcpPacket(flow, static_cast<std::uint8_t>(rng.Next()),
+                               static_cast<std::uint32_t>(rng.Next()),
+                               static_cast<std::uint32_t>(rng.Next()),
+                               static_cast<std::uint32_t>(rng.NextBounded(1400)))
+          : net::MakeUdpPacket(flow,
+                               static_cast<std::uint32_t>(rng.NextBounded(1400)));
+  if (rng.Bernoulli(0.3)) pkt.vlan = static_cast<std::uint16_t>(rng.NextBounded(4095) + 1);
+  const std::size_t payload = rng.NextBounded(64);
+  for (std::size_t i = 0; i < payload; ++i) {
+    pkt.payload.push_back(std::byte{static_cast<std::uint8_t>(rng.Next())});
+  }
+  return pkt;
+}
+
+class CodecFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecFuzz, RandomBytesNeverCrashPacketParser) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<std::byte> junk(rng.NextBounded(200));
+    for (auto& b : junk) b = std::byte{static_cast<std::uint8_t>(rng.Next())};
+    (void)net::Parse(junk);  // must not crash; result may be anything valid
+  }
+}
+
+TEST_P(CodecFuzz, MutatedValidFramesNeverCrash) {
+  Rng rng(GetParam() + 1000);
+  for (int i = 0; i < 500; ++i) {
+    auto wire = net::Serialize(RandomPacket(rng));
+    // Flip 1-4 random bytes.
+    const int flips = 1 + static_cast<int>(rng.NextBounded(4));
+    for (int f = 0; f < flips; ++f) {
+      wire[rng.NextBounded(wire.size())] ^=
+          std::byte{static_cast<std::uint8_t>(rng.Next() | 1)};
+    }
+    (void)net::Parse(wire);
+    // Truncate to a random prefix.
+    auto truncated = wire;
+    truncated.resize(rng.NextBounded(wire.size() + 1));
+    (void)net::Parse(truncated);
+  }
+}
+
+TEST_P(CodecFuzz, ValidFramesAlwaysRoundTrip) {
+  Rng rng(GetParam() + 2000);
+  for (int i = 0; i < 500; ++i) {
+    const net::Packet pkt = RandomPacket(rng);
+    const auto parsed = net::Parse(net::Serialize(pkt));
+    ASSERT_TRUE(parsed.has_value());
+    ASSERT_TRUE(parsed->Flow().has_value());
+    EXPECT_EQ(*parsed->Flow(), *pkt.Flow());
+    EXPECT_EQ(parsed->vlan, pkt.vlan);
+    EXPECT_EQ(parsed->payload.size(), pkt.payload.size() + pkt.pad_bytes);
+  }
+}
+
+TEST_P(CodecFuzz, RandomBytesNeverCrashProtocolDecoder) {
+  Rng rng(GetParam() + 3000);
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<std::byte> junk(rng.NextBounded(300));
+    for (auto& b : junk) b = std::byte{static_cast<std::uint8_t>(rng.Next())};
+    (void)core::DecodeMsg(junk);
+  }
+}
+
+TEST_P(CodecFuzz, MutatedProtocolMessagesNeverCrash) {
+  Rng rng(GetParam() + 4000);
+  for (int i = 0; i < 500; ++i) {
+    core::Msg msg;
+    msg.type = static_cast<core::MsgType>(1 + rng.NextBounded(6));
+    msg.seq = rng.Next();
+    msg.key = net::PartitionKey::OfObject(rng.Next());
+    msg.state.resize(rng.NextBounded(64));
+    if (rng.Bernoulli(0.5)) msg.piggyback = RandomPacket(rng);
+    auto bytes = core::EncodeMsg(msg);
+    const int flips = 1 + static_cast<int>(rng.NextBounded(4));
+    for (int f = 0; f < flips; ++f) {
+      bytes[rng.NextBounded(bytes.size())] ^=
+          std::byte{static_cast<std::uint8_t>(rng.Next() | 1)};
+    }
+    (void)core::DecodeMsg(bytes);
+    auto truncated = bytes;
+    truncated.resize(rng.NextBounded(bytes.size() + 1));
+    (void)core::DecodeMsg(truncated);
+  }
+}
+
+TEST_P(CodecFuzz, ProtocolMessagesAlwaysRoundTrip) {
+  Rng rng(GetParam() + 5000);
+  for (int i = 0; i < 500; ++i) {
+    core::Msg msg;
+    msg.type = static_cast<core::MsgType>(1 + rng.NextBounded(6));
+    msg.ack = static_cast<core::AckKind>(rng.NextBounded(8));
+    msg.seq = rng.Next();
+    msg.snapshot_index = static_cast<std::uint32_t>(rng.Next());
+    msg.reply_to = net::Ipv4Addr(static_cast<std::uint32_t>(rng.Next()));
+    msg.chain_hop = static_cast<std::uint8_t>(rng.NextBounded(4));
+    switch (rng.NextBounded(3)) {
+      case 0: {
+        net::FlowKey f;
+        f.src_ip = net::Ipv4Addr(static_cast<std::uint32_t>(rng.Next()));
+        f.dst_ip = net::Ipv4Addr(static_cast<std::uint32_t>(rng.Next()));
+        f.src_port = static_cast<std::uint16_t>(rng.Next());
+        f.dst_port = static_cast<std::uint16_t>(rng.Next());
+        f.proto = net::IpProto::kUdp;
+        msg.key = net::PartitionKey::OfFlow(f);
+        break;
+      }
+      case 1:
+        msg.key = net::PartitionKey::OfVlan(
+            static_cast<std::uint16_t>(rng.NextBounded(4096)));
+        break;
+      default:
+        msg.key = net::PartitionKey::OfObject(rng.Next());
+    }
+    msg.state.resize(rng.NextBounded(128));
+    for (auto& b : msg.state) {
+      b = std::byte{static_cast<std::uint8_t>(rng.Next())};
+    }
+    const auto decoded = core::DecodeMsg(core::EncodeMsg(msg));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->type, msg.type);
+    EXPECT_EQ(decoded->ack, msg.ack);
+    EXPECT_EQ(decoded->seq, msg.seq);
+    EXPECT_EQ(decoded->snapshot_index, msg.snapshot_index);
+    EXPECT_EQ(decoded->reply_to, msg.reply_to);
+    EXPECT_EQ(decoded->chain_hop, msg.chain_hop);
+    EXPECT_EQ(decoded->key, msg.key);
+    EXPECT_EQ(decoded->state, msg.state);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzz,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace redplane

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace redplane {
+namespace {
+
+TEST(TypesTest, DurationHelpers) {
+  EXPECT_EQ(Microseconds(1), 1000);
+  EXPECT_EQ(Milliseconds(1), 1'000'000);
+  EXPECT_EQ(Seconds(1), 1'000'000'000);
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(2)), 2.0);
+  EXPECT_DOUBLE_EQ(ToMicroseconds(Microseconds(7)), 7.0);
+}
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.UniformDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(19);
+  double sum = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) sum += rng.Exponential(50.0);
+  EXPECT_NEAR(sum / trials, 50.0, 1.5);
+}
+
+TEST(RngTest, ForkedStreamsIndependent) {
+  Rng root(21);
+  Rng a = root.Fork(1);
+  Rng b = root.Fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(23);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 40000; ++i) ++counts[rng.WeightedIndex(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.25);
+}
+
+TEST(ZipfTest, SkewsTowardLowIndices) {
+  Rng rng(29);
+  ZipfSampler zipf(100, 1.2);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.Sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], 10 * counts[99] / 2);
+}
+
+TEST(ZipfTest, ThetaZeroNearlyUniform) {
+  Rng rng(31);
+  ZipfSampler zipf(10, 1e-9);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.Sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 600);
+}
+
+TEST(HashTest, Fnv1aMatchesKnownVector) {
+  // FNV-1a 64 of empty input is the offset basis.
+  EXPECT_EQ(Fnv1a64(std::string_view{}), 0xcbf29ce484222325ull);
+  EXPECT_NE(Fnv1a64("a"), Fnv1a64("b"));
+}
+
+TEST(HashTest, Crc32MatchesKnownVector) {
+  // CRC32("123456789") = 0xCBF43926 (IEEE).
+  const std::string_view s = "123456789";
+  EXPECT_EQ(Crc32(std::as_bytes(std::span(s.data(), s.size()))), 0xcbf43926u);
+}
+
+TEST(HashTest, Mix64Bijective) {
+  std::set<std::uint64_t> outs;
+  for (std::uint64_t i = 0; i < 1000; ++i) outs.insert(Mix64(i));
+  EXPECT_EQ(outs.size(), 1000u);
+}
+
+TEST(StatsTest, PercentilesOfKnownSet) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.Add(i);
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 100.0);
+  EXPECT_NEAR(s.Percentile(50), 50.5, 0.01);
+  EXPECT_NEAR(s.Percentile(99), 99.01, 0.1);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 100.0);
+  EXPECT_NEAR(s.Mean(), 50.5, 1e-9);
+}
+
+TEST(StatsTest, CdfMonotonicAndComplete) {
+  SampleSet s;
+  Rng rng(37);
+  for (int i = 0; i < 5000; ++i) s.Add(rng.UniformDouble());
+  const auto cdf = s.Cdf(100);
+  ASSERT_FALSE(cdf.empty());
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+    EXPECT_GE(cdf[i].second, cdf[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(StatsTest, TimeSeriesBucketing) {
+  TimeSeries ts(Milliseconds(100));
+  ts.Add(Milliseconds(10), 5);
+  ts.Add(Milliseconds(90), 7);
+  ts.Add(Milliseconds(150), 1);
+  EXPECT_EQ(ts.NumBuckets(), 2u);
+  EXPECT_DOUBLE_EQ(ts.BucketSum(0), 12);
+  EXPECT_DOUBLE_EQ(ts.BucketSum(1), 1);
+  EXPECT_DOUBLE_EQ(ts.BucketSum(5), 0);
+  EXPECT_EQ(ts.BucketStart(1), Milliseconds(100));
+}
+
+TEST(StatsTest, CountersAccumulateAndSort) {
+  Counters c;
+  c.Add("b");
+  c.Add("a", 2.5);
+  c.Add("b", 3);
+  EXPECT_DOUBLE_EQ(c.Get("a"), 2.5);
+  EXPECT_DOUBLE_EQ(c.Get("b"), 4.0);
+  EXPECT_DOUBLE_EQ(c.Get("missing"), 0.0);
+  const auto sorted = c.Sorted();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].first, "a");
+}
+
+TEST(StatsTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace redplane

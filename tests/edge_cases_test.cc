@@ -1,0 +1,262 @@
+// Edge cases across modules that the mainline tests don't reach: malformed
+// and hostile inputs, boundary conditions, and failure-timing corners.
+#include <gtest/gtest.h>
+
+#include "apps/counter.h"
+#include "apps/epc_sgw.h"
+#include "core/flow_table.h"
+#include "core/protocol.h"
+#include "core/redplane_switch.h"
+#include "net/codec.h"
+#include "routing/failure.h"
+#include "routing/topology.h"
+#include "sim/host.h"
+#include "sim/network.h"
+#include "statestore/server.h"
+
+namespace redplane {
+namespace {
+
+TEST(FlowTableTest, NoteAckAdvancesLeaseFromSendTime) {
+  core::FlowEntry entry;
+  core::FlowTable::NoteSend(entry, 1, Milliseconds(10));
+  core::FlowTable::NoteSend(entry, 2, Milliseconds(20));
+  core::FlowTable::NoteAck(entry, 2, Milliseconds(100));
+  EXPECT_EQ(entry.last_acked_seq, 2u);
+  // Expiry anchored at the newest acked *send* time (20 ms), not receipt.
+  EXPECT_EQ(entry.lease_expiry, Milliseconds(120));
+  EXPECT_TRUE(entry.pending_sends.empty());
+}
+
+TEST(FlowTableTest, NoteAckOutOfOrderKeepsNewerPendings) {
+  core::FlowEntry entry;
+  core::FlowTable::NoteSend(entry, 1, Milliseconds(10));
+  core::FlowTable::NoteSend(entry, 2, Milliseconds(20));
+  core::FlowTable::NoteSend(entry, 3, Milliseconds(30));
+  core::FlowTable::NoteAck(entry, 1, Milliseconds(50));
+  EXPECT_EQ(entry.pending_sends.size(), 2u);
+  EXPECT_EQ(entry.last_acked_seq, 1u);
+  // A stale (already covered) ack does not regress anything.
+  core::FlowTable::NoteAck(entry, 1, Milliseconds(50));
+  EXPECT_EQ(entry.last_acked_seq, 1u);
+  EXPECT_EQ(entry.pending_sends.size(), 2u);
+}
+
+TEST(FlowTableTest, WritesInFlightAndLeaseActive) {
+  core::FlowEntry entry;
+  EXPECT_FALSE(entry.WritesInFlight());
+  entry.cur_seq = 3;
+  entry.last_acked_seq = 2;
+  EXPECT_TRUE(entry.WritesInFlight());
+  entry.status = core::FlowStatus::kActive;
+  entry.lease_expiry = Milliseconds(10);
+  EXPECT_TRUE(entry.LeaseActive(Milliseconds(9)));
+  EXPECT_FALSE(entry.LeaseActive(Milliseconds(10)));
+}
+
+TEST(StoreEdgeTest, NonProtocolAndMalformedPacketsCounted) {
+  sim::Simulator sim;
+  sim::Network net(sim, 1);
+  auto* store = net.AddNode<store::StateStoreServer>(
+      "store", net::Ipv4Addr(172, 16, 1, 1));
+  // Non-protocol UDP.
+  net::FlowKey f{net::Ipv4Addr(1, 1, 1, 1), net::Ipv4Addr(172, 16, 1, 1), 5,
+                 80, net::IpProto::kUdp};
+  store->HandlePacket(net::MakeUdpPacket(f, 10), 0);
+  // Right port, garbage payload.
+  net::FlowKey f2 = f;
+  f2.dst_port = core::kRedPlaneUdpPort;
+  auto junk = net::MakeUdpPacket(f2, 0);
+  junk.payload = {std::byte{0x9d}, std::byte{0x1a}, std::byte{0xff}};
+  store->HandlePacket(std::move(junk), 0);
+  sim.Run();
+  EXPECT_DOUBLE_EQ(store->counters().Get("non_protocol_drops"), 1.0);
+  EXPECT_DOUBLE_EQ(store->counters().Get("malformed_drops"), 1.0);
+}
+
+TEST(StoreEdgeTest, MisdirectedRequestToNonHeadDropped) {
+  sim::Simulator sim;
+  sim::Network net(sim, 1);
+  auto* replica = net.AddNode<store::StateStoreServer>(
+      "mid", net::Ipv4Addr(172, 16, 1, 2));
+  replica->SetIsHead(false);
+  core::Msg msg;
+  msg.type = core::MsgType::kLeaseNewReq;
+  msg.key = net::PartitionKey::OfObject(1);
+  msg.reply_to = net::Ipv4Addr(172, 16, 0, 1);
+  replica->HandlePacket(
+      core::MakeProtocolPacket(msg.reply_to, replica->ip(), msg), 0);
+  sim.Run();
+  EXPECT_DOUBLE_EQ(replica->counters().Get("misdirected_drops"), 1.0);
+  EXPECT_EQ(replica->NumFlows(), 0u);
+}
+
+TEST(StoreEdgeTest, BufferedInitCapDenies) {
+  sim::Simulator sim;
+  sim::Network net(sim, 1);
+  store::StoreConfig cfg;
+  cfg.max_buffered_inits = 1;
+  auto* store = net.AddNode<store::StateStoreServer>(
+      "store", net::Ipv4Addr(172, 16, 1, 1), cfg);
+  auto* sink = net.AddNode<sim::HostNode>("sink", net::Ipv4Addr(9, 9, 9, 9));
+  net.Connect(store, 0, sink, 0);
+  std::vector<core::AckKind> acks;
+  sink->SetHandler([&](sim::HostNode&, net::Packet pkt) {
+    auto msg = core::DecodeFromPacket(pkt);
+    if (msg.has_value()) acks.push_back(msg->ack);
+  });
+
+  const auto key = net::PartitionKey::OfObject(7);
+  auto send_init = [&](std::uint8_t owner_octet) {
+    core::Msg msg;
+    msg.type = core::MsgType::kLeaseNewReq;
+    msg.key = key;
+    msg.reply_to = net::Ipv4Addr(172, 16, 0, owner_octet);
+    store->HandlePacket(
+        core::MakeProtocolPacket(msg.reply_to, store->ip(), msg), 0);
+  };
+  send_init(1);  // granted
+  sim.Run();
+  send_init(2);  // buffered (slot 1 of 1)
+  send_init(3);  // over the cap -> denied immediately
+  sim.RunUntil(sim.Now() + Milliseconds(1));
+  ASSERT_GE(acks.size(), 2u);
+  EXPECT_EQ(acks.back(), core::AckKind::kLeaseDenied);
+  // The buffered one is eventually granted when the lease lapses.
+  sim.Run();
+  EXPECT_EQ(acks.back(), core::AckKind::kLeaseGrantMigrate);
+}
+
+TEST(StoreEdgeTest, FailureClearsStateAndCancelsQueuedWork) {
+  sim::Simulator sim;
+  sim::Network net(sim, 1);
+  store::StoreConfig cfg;
+  cfg.service_time = Milliseconds(1);  // long, so work is queued
+  auto* store = net.AddNode<store::StateStoreServer>(
+      "store", net::Ipv4Addr(172, 16, 1, 1), cfg);
+  auto* sink = net.AddNode<sim::HostNode>("sink", net::Ipv4Addr(9, 9, 9, 9));
+  net.Connect(store, 0, sink, 0);
+  int acked = 0;
+  sink->SetHandler([&](sim::HostNode&, net::Packet) { ++acked; });
+
+  core::Msg msg;
+  msg.type = core::MsgType::kLeaseNewReq;
+  msg.key = net::PartitionKey::OfObject(1);
+  msg.reply_to = net::Ipv4Addr(9, 9, 9, 9);
+  store->HandlePacket(core::MakeProtocolPacket(msg.reply_to, store->ip(), msg),
+                      0);
+  store->SetUp(false);  // crash before the queued request is served
+  sim.Run();
+  EXPECT_EQ(acked, 0);
+  EXPECT_EQ(store->NumFlows(), 0u);
+  store->SetUp(true);
+  EXPECT_EQ(store->NumFlows(), 0u);  // DRAM lost
+}
+
+TEST(RoutingEdgeTest, NextHopForUnroutablePacket) {
+  sim::Simulator sim;
+  routing::Testbed tb = routing::BuildTestbed(sim);
+  // Unknown destination: no route.
+  net::FlowKey f{routing::ExternalHostIp(0), net::Ipv4Addr(9, 9, 9, 9), 1, 2,
+                 net::IpProto::kUdp};
+  EXPECT_FALSE(tb.fabric->NextHop(tb.core, net::MakeUdpPacket(f, 0))
+                   .has_value());
+  // Packet without an IP header: no route.
+  net::Packet bare;
+  EXPECT_FALSE(tb.fabric->NextHop(tb.core, bare).has_value());
+  // Destination is the asking node itself: no route (terminates here).
+  net::FlowKey self{routing::ExternalHostIp(0), routing::AggSwitchIp(0), 1, 2,
+                    net::IpProto::kUdp};
+  EXPECT_FALSE(
+      tb.fabric->NextHop(tb.agg[0], net::MakeUdpPacket(self, 0)).has_value());
+}
+
+TEST(RoutingEdgeTest, IsolatedDestinationUnreachableUntilRecovery) {
+  sim::Simulator sim;
+  routing::TestbedConfig cfg;
+  cfg.fabric.failure_detection_delay = Milliseconds(1);
+  routing::Testbed tb = routing::BuildTestbed(sim, cfg);
+  routing::FailureInjector injector(sim, *tb.fabric);
+  // Cut both of rack 0's uplinks: its servers become unreachable.
+  injector.FailLink(tb.network->FindLink(tb.agg[0], tb.tor[0]));
+  injector.FailLink(tb.network->FindLink(tb.agg[1], tb.tor[0]));
+  sim.RunUntil(Milliseconds(5));
+  net::FlowKey f{routing::ExternalHostIp(0), routing::RackServerIp(0, 0), 1,
+                 2, net::IpProto::kUdp};
+  EXPECT_FALSE(tb.fabric->NextHop(tb.core, net::MakeUdpPacket(f, 0))
+                   .has_value());
+  injector.RecoverLink(tb.network->FindLink(tb.agg[0], tb.tor[0]));
+  sim.RunUntil(Milliseconds(10));
+  EXPECT_TRUE(tb.fabric->NextHop(tb.core, net::MakeUdpPacket(f, 0))
+                  .has_value());
+}
+
+TEST(RedPlaneEdgeTest, MalformedAckCountedNotCrashed) {
+  sim::Simulator sim;
+  sim::Network net(sim, 1);
+  dp::SwitchConfig cfg;
+  cfg.switch_ip = net::Ipv4Addr(172, 16, 0, 1);
+  auto* sw = net.AddNode<dp::SwitchNode>("sw", cfg);
+  apps::SyncCounterApp app;
+  core::RedPlaneSwitch rp(
+      *sw, app, [](const net::PartitionKey&) { return net::Ipv4Addr(); });
+  sw->SetPipeline(&rp);
+
+  net::FlowKey f{net::Ipv4Addr(1, 1, 1, 1), cfg.switch_ip, 5,
+                 core::kRedPlaneUdpPort, net::IpProto::kUdp};
+  auto pkt = net::MakeUdpPacket(f, 0);
+  pkt.payload = {std::byte{0x9d}, std::byte{0x1a}, std::byte{0x00}};
+  sw->HandlePacket(std::move(pkt), 0);
+  sim.Run();
+  EXPECT_DOUBLE_EQ(rp.stats().Get("malformed_acks"), 1.0);
+}
+
+TEST(RedPlaneEdgeTest, NonAppTrafficForwardedUntouched) {
+  sim::Simulator sim;
+  sim::Network net(sim, 1);
+  dp::SwitchConfig cfg;
+  cfg.switch_ip = net::Ipv4Addr(172, 16, 0, 1);
+  auto* sw = net.AddNode<dp::SwitchNode>("sw", cfg);
+  auto* sink = net.AddNode<sim::HostNode>("sink", net::Ipv4Addr(2, 2, 2, 2));
+  net.Connect(sw, 0, sink, 0);
+  sw->SetForwarder([](const net::Packet&, PortId) { return PortId{0}; });
+  apps::EpcSgwApp app;  // claims only SGW ports
+  core::RedPlaneSwitch rp(
+      *sw, app, [](const net::PartitionKey&) { return net::Ipv4Addr(); });
+  sw->SetPipeline(&rp);
+  int delivered = 0;
+  sink->SetHandler([&](sim::HostNode&, net::Packet) { ++delivered; });
+  net::FlowKey f{net::Ipv4Addr(1, 1, 1, 1), net::Ipv4Addr(2, 2, 2, 2), 5, 80,
+                 net::IpProto::kUdp};
+  sw->HandlePacket(net::MakeUdpPacket(f, 10), 0);
+  sim.Run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_DOUBLE_EQ(rp.stats().Get("app_pkts"), 0.0);
+}
+
+TEST(ProtocolEdgeTest, OversizeStateStillRoundTrips) {
+  core::Msg msg;
+  msg.type = core::MsgType::kLeaseRenewReq;
+  msg.key = net::PartitionKey::OfObject(1);
+  msg.state.resize(60'000, std::byte{0x5a});  // near the u16 length cap
+  const auto decoded = core::DecodeMsg(core::EncodeMsg(msg));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->state.size(), 60'000u);
+}
+
+TEST(SgwEdgeTest, TruncatedSignalingIgnored) {
+  apps::EpcSgwApp sgw;
+  std::vector<std::byte> state;
+  core::AppContext ctx;
+  net::FlowKey f{net::Ipv4Addr(1, 1, 1, 1), net::Ipv4Addr(100, 64, 0, 1),
+                 9000, apps::kSgwSignalingPort, net::IpProto::kUdp};
+  auto pkt = net::MakeUdpPacket(f, 0);
+  pkt.payload = {std::byte{1}, std::byte{2}};  // too short for teid+enb
+  const auto result = sgw.Process(ctx, std::move(pkt), state);
+  EXPECT_TRUE(result.outputs.empty());
+  EXPECT_FALSE(result.state_modified);
+  EXPECT_TRUE(state.empty());
+}
+
+}  // namespace
+}  // namespace redplane

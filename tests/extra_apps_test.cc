@@ -1,0 +1,316 @@
+// Tests for the remaining Table 1 application classes: SYN-flood defense
+// (Bloom-filter validated sources), in-network sequencer, and
+// super-spreader detection — including each one's failure symptom and its
+// RedPlane remedy.
+#include <gtest/gtest.h>
+
+#include "apps/bloom.h"
+#include "apps/sequencer.h"
+#include "apps/spreader.h"
+#include "apps/syn_defense.h"
+#include "common/rng.h"
+#include "core/redplane_switch.h"
+#include "net/codec.h"
+#include "sim/host.h"
+#include "sim/network.h"
+#include "statestore/server.h"
+
+namespace redplane::apps {
+namespace {
+
+// ---------------------------------------------------------------- Bloom --
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter bloom("b", 512, 3);
+  Rng rng(3);
+  std::vector<std::uint64_t> members;
+  for (int i = 0; i < 30; ++i) {
+    members.push_back(rng.Next());
+    bloom.Insert(members.back());
+  }
+  for (std::uint64_t m : members) {
+    EXPECT_TRUE(bloom.Contains(m));
+  }
+}
+
+TEST(BloomFilterTest, LowFalsePositiveRateWhenSparse) {
+  BloomFilter bloom("b", 2048, 3);
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) bloom.Insert(rng.Next());
+  int false_positives = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (bloom.Contains(rng.Next())) ++false_positives;
+  }
+  EXPECT_LT(false_positives, 30);  // <3% at this load factor
+}
+
+TEST(BloomFilterTest, SnapshotFreezesBitsAtFlip) {
+  BloomFilter bloom("b", 64, 2);
+  bloom.Insert(42);
+  bloom.BeginSnapshot();
+  bloom.Insert(77);  // after the flip: not in the snapshot
+  int snapshot_bits = 0;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    snapshot_bits += bloom.ReadSnapshotSlot(i);
+  }
+  EXPECT_LE(snapshot_bits, 2);  // only key 42's probes
+  EXPECT_TRUE(bloom.Contains(77));  // live copy unaffected
+}
+
+// ---------------------------------------------------------- SYN defense --
+
+net::Packet Syn(net::Ipv4Addr src) {
+  net::FlowKey f{src, net::Ipv4Addr(192, 168, 10, 1), 1234, 80,
+                 net::IpProto::kTcp};
+  return net::MakeTcpPacket(f, net::TcpFlags::kSyn, 1, 0, 0);
+}
+
+net::Packet Ack(net::Ipv4Addr src) {
+  net::FlowKey f{src, net::Ipv4Addr(192, 168, 10, 1), 1234, 80,
+                 net::IpProto::kTcp};
+  return net::MakeTcpPacket(f, net::TcpFlags::kAck, 2, 1, 0);
+}
+
+TEST(SynDefenseTest, UnvalidatedSynChallengedThenAdmitted) {
+  SynDefenseApp app;
+  core::AppContext ctx;
+  std::vector<std::byte> state;
+  const net::Ipv4Addr client(10, 0, 0, 1);
+
+  auto first = app.Process(ctx, Syn(client), state);
+  EXPECT_TRUE(first.outputs.empty());  // challenged
+  EXPECT_EQ(app.challenges_sent(), 1u);
+
+  auto proof = app.Process(ctx, Ack(client), state);
+  EXPECT_EQ(proof.outputs.size(), 1u);  // handshake proof admits + validates
+  EXPECT_TRUE(app.IsValidated(client));
+
+  auto retry = app.Process(ctx, Syn(client), state);
+  EXPECT_EQ(retry.outputs.size(), 1u);  // validated source passes
+}
+
+TEST(SynDefenseTest, FailureDropsValidSourcesWithoutSnapshotRestore) {
+  SynDefenseApp app;
+  core::AppContext ctx;
+  std::vector<std::byte> state;
+  const net::Ipv4Addr client(10, 0, 0, 1);
+  app.Process(ctx, Ack(client), state);  // validate
+  ASSERT_TRUE(app.IsValidated(client));
+
+  // Capture a snapshot (what RedPlane would have replicated).
+  app.BeginSnapshot(net::PartitionKey::OfObject(0x5f1d));
+  std::vector<std::uint8_t> snapshot;
+  for (std::uint32_t i = 0; i < app.NumSnapshotSlots(); ++i) {
+    snapshot.push_back(
+        static_cast<std::uint8_t>(app.ReadSnapshotSlot(
+            net::PartitionKey::OfObject(0x5f1d), i)[0]));
+  }
+
+  // Switch failure: filter gone, valid client gets challenged again —
+  // Table 1's "dropping valid packets".
+  app.Reset();
+  auto dropped = app.Process(ctx, Syn(client), state);
+  EXPECT_TRUE(dropped.outputs.empty());
+
+  // Failover restore from the replicated snapshot: client admitted.
+  for (std::uint32_t i = 0; i < snapshot.size(); ++i) {
+    app.RestoreSlot(i, snapshot[i]);
+  }
+  EXPECT_TRUE(app.IsValidated(client));
+  auto admitted = app.Process(ctx, Syn(client), state);
+  EXPECT_EQ(admitted.outputs.size(), 1u);
+}
+
+// ------------------------------------------------------------ Sequencer --
+
+TEST(SequencerTest, StampsMonotonicallyPerGroup) {
+  SequencerApp app;
+  core::AppContext ctx;
+  std::vector<std::byte> g1_state, g2_state;
+  net::FlowKey f{net::Ipv4Addr(1, 1, 1, 1), net::Ipv4Addr(2, 2, 2, 2), 5,
+                 kSequencerPort, net::IpProto::kUdp};
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    auto result = app.Process(ctx, MakeSequencedPacket(f, 7), g1_state);
+    ASSERT_EQ(result.outputs.size(), 1u);
+    EXPECT_TRUE(result.state_modified);
+    const auto hdr = ParseSequencedPacket(result.outputs[0]);
+    ASSERT_TRUE(hdr.has_value());
+    EXPECT_EQ(hdr->group, 7u);
+    EXPECT_EQ(hdr->stamp, i);
+  }
+  // Independent group: its own sequence.
+  auto other = app.Process(ctx, MakeSequencedPacket(f, 9), g2_state);
+  EXPECT_EQ(ParseSequencedPacket(other.outputs[0])->stamp, 1u);
+}
+
+TEST(SequencerTest, KeyOfPartitionsByGroup) {
+  SequencerApp app;
+  net::FlowKey f{net::Ipv4Addr(1, 1, 1, 1), net::Ipv4Addr(2, 2, 2, 2), 5,
+                 kSequencerPort, net::IpProto::kUdp};
+  EXPECT_EQ(*app.KeyOf(MakeSequencedPacket(f, 3)),
+            net::PartitionKey::OfObject(3));
+  EXPECT_NE(*app.KeyOf(MakeSequencedPacket(f, 3)),
+            *app.KeyOf(MakeSequencedPacket(f, 4)));
+  net::FlowKey other = f;
+  other.dst_port = 80;
+  EXPECT_FALSE(app.KeyOf(net::MakeUdpPacket(other, 20)).has_value());
+}
+
+/// End to end: the sequencer through RedPlane continues its sequence after
+/// failover — no duplicate stamps (NOPaxos's correctness requirement).
+TEST(SequencerTest, FailoverNeverDuplicatesStampsUnderRedPlane) {
+  sim::Simulator sim;
+  sim::Network net(sim, 9);
+  auto* src = net.AddNode<sim::HostNode>("src", net::Ipv4Addr(10, 0, 0, 1));
+  auto* dst = net.AddNode<sim::HostNode>("dst", net::Ipv4Addr(192, 168, 10, 1));
+  dp::SwitchConfig c1, c2;
+  c1.switch_ip = net::Ipv4Addr(172, 16, 0, 1);
+  c2.switch_ip = net::Ipv4Addr(172, 16, 0, 2);
+  auto* sw1 = net.AddNode<dp::SwitchNode>("sw1", c1);
+  auto* sw2 = net.AddNode<dp::SwitchNode>("sw2", c2);
+  store::StoreConfig store_cfg;
+  store_cfg.lease_period = Milliseconds(5);
+  auto* store = net.AddNode<store::StateStoreServer>(
+      "store", net::Ipv4Addr(172, 16, 1, 1), store_cfg);
+  auto* hub = net.AddNode<sim::HostNode>("hub", net::Ipv4Addr(9, 9, 9, 9));
+  net.Connect(src, 0, sw1, 0);
+  net.Connect(src, 1, sw2, 0);
+  net.Connect(dst, 0, sw1, 1);
+  net.Connect(dst, 1, sw2, 1);
+  net.Connect(sw1, 2, hub, 0);
+  net.Connect(sw2, 2, hub, 1);
+  net.Connect(store, 0, hub, 2);
+  hub->SetHandler([&](sim::HostNode& self, net::Packet pkt) {
+    if (!pkt.ip.has_value()) return;
+    if (pkt.ip->dst == store->ip()) self.SendTo(2, std::move(pkt));
+    else if (pkt.ip->dst == c1.switch_ip) self.SendTo(0, std::move(pkt));
+    else if (pkt.ip->dst == c2.switch_ip) self.SendTo(1, std::move(pkt));
+  });
+  auto fwd = [&](const net::Packet& pkt, PortId) -> std::optional<PortId> {
+    if (!pkt.ip.has_value()) return std::nullopt;
+    if (pkt.ip->dst == src->ip()) return PortId{0};
+    if (pkt.ip->dst == dst->ip()) return PortId{1};
+    return PortId{2};
+  };
+  sw1->SetForwarder(fwd);
+  sw2->SetForwarder(fwd);
+
+  SequencerApp app;
+  core::RedPlaneConfig rp_cfg;
+  rp_cfg.lease_period = Milliseconds(5);
+  auto shard = [&](const net::PartitionKey&) { return store->ip(); };
+  core::RedPlaneSwitch rp1(*sw1, app, shard, rp_cfg);
+  core::RedPlaneSwitch rp2(*sw2, app, shard, rp_cfg);
+  sw1->SetPipeline(&rp1);
+  sw2->SetPipeline(&rp2);
+
+  std::vector<std::uint64_t> stamps;
+  dst->SetHandler([&](sim::HostNode&, net::Packet pkt) {
+    const auto hdr = ParseSequencedPacket(pkt);
+    if (hdr.has_value()) stamps.push_back(hdr->stamp);
+  });
+
+  net::FlowKey f{src->ip(), dst->ip(), 5, kSequencerPort, net::IpProto::kUdp};
+  for (int i = 0; i < 5; ++i) {
+    src->SendTo(0, MakeSequencedPacket(f, 1));
+    sim.RunUntil(sim.Now() + Milliseconds(1));
+  }
+  sw1->SetUp(false);  // the sequencer's switch dies
+  for (int i = 0; i < 5; ++i) {
+    src->SendTo(1, MakeSequencedPacket(f, 1));
+    sim.RunUntil(sim.Now() + Milliseconds(2));
+  }
+  sim.RunUntil(sim.Now() + Milliseconds(50));
+
+  ASSERT_GE(stamps.size(), 9u);
+  std::set<std::uint64_t> unique(stamps.begin(), stamps.end());
+  EXPECT_EQ(unique.size(), stamps.size()) << "duplicate sequence stamps";
+  EXPECT_EQ(*std::max_element(stamps.begin(), stamps.end()), stamps.size());
+}
+
+// -------------------------------------------------------------- Spreader --
+
+TEST(SpreaderTest, FlagsScannersNotNormalSources) {
+  SpreaderConfig cfg;
+  cfg.threshold = 12;
+  SpreaderApp app(cfg);
+  core::AppContext ctx;
+  std::vector<std::byte> state;
+  const net::Ipv4Addr scanner(10, 0, 0, 66);
+  const net::Ipv4Addr normal(10, 0, 0, 7);
+
+  // The scanner touches 30 distinct destinations, the normal source one.
+  for (int i = 0; i < 30; ++i) {
+    net::FlowKey f{scanner, net::Ipv4Addr(192, 168, 1, static_cast<std::uint8_t>(i + 1)),
+                   1000, 80, net::IpProto::kTcp};
+    app.Process(ctx, net::MakeTcpPacket(f, net::TcpFlags::kSyn, 1, 0, 0),
+                state);
+  }
+  for (int i = 0; i < 30; ++i) {
+    net::FlowKey f{normal, net::Ipv4Addr(192, 168, 1, 1), 1000, 80,
+                   net::IpProto::kTcp};
+    app.Process(ctx, net::MakeTcpPacket(f, net::TcpFlags::kSyn, 1, 0, 0),
+                state);
+  }
+  EXPECT_GE(app.EstimateDistinct(scanner), cfg.threshold);
+  EXPECT_LT(app.EstimateDistinct(normal), 3.0);
+  EXPECT_EQ(app.Spreaders().count(scanner.value), 1u);
+  EXPECT_EQ(app.Spreaders().count(normal.value), 0u);
+}
+
+TEST(SpreaderTest, EstimateTracksDistinctCount) {
+  SpreaderApp app;
+  core::AppContext ctx;
+  std::vector<std::byte> state;
+  const net::Ipv4Addr src(10, 0, 0, 1);
+  double prev = 0;
+  for (int n = 1; n <= 12; ++n) {
+    net::FlowKey f{src, net::Ipv4Addr(192, 168, 2, static_cast<std::uint8_t>(n)),
+                   1000, 80, net::IpProto::kUdp};
+    app.Process(ctx, net::MakeUdpPacket(f, 0), state);
+    const double est = app.EstimateDistinct(src);
+    EXPECT_GE(est, prev - 0.01);  // monotone non-decreasing
+    prev = est;
+  }
+  // Repeating a destination does not move the estimate.
+  net::FlowKey f{src, net::Ipv4Addr(192, 168, 2, 1), 1000, 80,
+                 net::IpProto::kUdp};
+  for (int i = 0; i < 20; ++i) {
+    app.Process(ctx, net::MakeUdpPacket(f, 0), state);
+  }
+  EXPECT_NEAR(app.EstimateDistinct(src), prev, 0.01);
+  // And the estimate is in the right ballpark for 12 distinct.
+  EXPECT_GT(prev, 7.0);
+  EXPECT_LT(prev, 20.0);
+}
+
+TEST(SpreaderTest, SnapshotCoversWholeBitmap) {
+  SpreaderApp app;
+  EXPECT_EQ(app.NumSnapshotSlots(),
+            app.config().sources * app.config().bits_per_source);
+  app.BeginSnapshot(net::PartitionKey::OfObject(0x51c4));
+  EXPECT_EQ(app.ReadSnapshotSlot(net::PartitionKey::OfObject(0x51c4), 0)
+                .size(),
+            1u);
+}
+
+TEST(SpreaderTest, ResetModelsFailureLoss) {
+  SpreaderApp app;
+  core::AppContext ctx;
+  std::vector<std::byte> state;
+  const net::Ipv4Addr scanner(10, 0, 0, 66);
+  for (int i = 0; i < 30; ++i) {
+    net::FlowKey f{scanner,
+                   net::Ipv4Addr(192, 168, 1, static_cast<std::uint8_t>(i + 1)),
+                   1000, 80, net::IpProto::kTcp};
+    app.Process(ctx, net::MakeTcpPacket(f, net::TcpFlags::kSyn, 1, 0, 0),
+                state);
+  }
+  EXPECT_GT(app.EstimateDistinct(scanner), 10.0);
+  app.Reset();  // switch failure: statistics gone -> inaccurate detection
+  EXPECT_DOUBLE_EQ(app.EstimateDistinct(scanner), 0.0);
+  EXPECT_TRUE(app.Spreaders().empty());
+}
+
+}  // namespace
+}  // namespace redplane::apps

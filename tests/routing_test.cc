@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "routing/failure.h"
+#include "routing/topology.h"
+
+namespace redplane::routing {
+namespace {
+
+net::Packet PacketTo(net::Ipv4Addr src, net::Ipv4Addr dst,
+                     std::uint16_t src_port = 1000) {
+  net::FlowKey f{src, dst, src_port, 80, net::IpProto::kUdp};
+  return net::MakeUdpPacket(f, 10);
+}
+
+TEST(TestbedTest, BuildsExpectedShape) {
+  sim::Simulator sim;
+  Testbed tb = BuildTestbed(sim);
+  EXPECT_NE(tb.core, nullptr);
+  EXPECT_NE(tb.agg[0], nullptr);
+  EXPECT_NE(tb.tor[1], nullptr);
+  EXPECT_EQ(tb.store.size(), 3u);
+  EXPECT_EQ(tb.StoreHeadIp(), StoreServerIp(0));
+  EXPECT_FALSE(tb.store[0]->IsTail());
+  EXPECT_TRUE(tb.store[2]->IsTail());
+}
+
+TEST(TestbedTest, EndToEndDeliveryExternalToRack) {
+  sim::Simulator sim;
+  Testbed tb = BuildTestbed(sim);
+  int delivered = 0;
+  tb.rack_servers[0][0]->SetHandler(
+      [&](sim::HostNode&, net::Packet) { ++delivered; });
+  tb.external[0]->Send(PacketTo(ExternalHostIp(0), RackServerIp(0, 0)));
+  sim.Run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(TestbedTest, RackToRackAndRackToExternal) {
+  sim::Simulator sim;
+  Testbed tb = BuildTestbed(sim);
+  int at_rack1 = 0, at_ext = 0;
+  tb.rack_servers[1][1]->SetHandler(
+      [&](sim::HostNode&, net::Packet) { ++at_rack1; });
+  tb.external[2]->SetHandler([&](sim::HostNode&, net::Packet) { ++at_ext; });
+  tb.rack_servers[0][0]->Send(PacketTo(RackServerIp(0, 0), RackServerIp(1, 1)));
+  tb.rack_servers[0][0]->Send(PacketTo(RackServerIp(0, 0), ExternalHostIp(2)));
+  sim.Run();
+  EXPECT_EQ(at_rack1, 1);
+  EXPECT_EQ(at_ext, 1);
+}
+
+TEST(EcmpTest, FlowAffinityIsStable) {
+  sim::Simulator sim;
+  Testbed tb = BuildTestbed(sim);
+  const net::Packet pkt = PacketTo(ExternalHostIp(0), RackServerIp(0, 0));
+  const auto first = tb.fabric->NextHop(tb.core, pkt);
+  ASSERT_TRUE(first.has_value());
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(tb.fabric->NextHop(tb.core, pkt), first);
+  }
+}
+
+TEST(EcmpTest, FlowsSpreadAcrossAggregationSwitches) {
+  sim::Simulator sim;
+  Testbed tb = BuildTestbed(sim);
+  std::set<PortId> ports;
+  for (std::uint16_t p = 1000; p < 1100; ++p) {
+    const auto hop =
+        tb.fabric->NextHop(tb.core, PacketTo(ExternalHostIp(0),
+                                             RackServerIp(0, 0), p));
+    ASSERT_TRUE(hop.has_value());
+    ports.insert(*hop);
+  }
+  EXPECT_EQ(ports.size(), 2u);  // both agg switches carry traffic
+}
+
+TEST(EcmpTest, ProtocolAddressesRoutable) {
+  sim::Simulator sim;
+  Testbed tb = BuildTestbed(sim);
+  // Aggregation switch IPs and the store head are reachable destinations.
+  EXPECT_TRUE(
+      tb.fabric->NextHop(tb.core, PacketTo(ExternalHostIp(0), AggSwitchIp(0)))
+          .has_value());
+  EXPECT_TRUE(tb.fabric
+                  ->NextHop(tb.agg[0],
+                            PacketTo(AggSwitchIp(0), tb.StoreHeadIp()))
+                  .has_value());
+}
+
+TEST(FailureTest, AggFailureReroutesAfterDetectionDelay) {
+  sim::Simulator sim;
+  TestbedConfig cfg;
+  cfg.fabric.failure_detection_delay = Milliseconds(10);
+  Testbed tb = BuildTestbed(sim, cfg);
+  FailureInjector injector(sim, *tb.fabric);
+
+  // Find a flow that the core hashes onto agg0.
+  std::uint16_t port = 1000;
+  for (;; ++port) {
+    const auto hop =
+        tb.fabric->NextHop(tb.core, PacketTo(ExternalHostIp(0),
+                                             RackServerIp(0, 0), port));
+    ASSERT_TRUE(hop.has_value());
+    if (*hop == 0) break;  // core port 0 -> agg0
+  }
+  const net::Packet probe = PacketTo(ExternalHostIp(0), RackServerIp(0, 0),
+                                     port);
+
+  injector.FailNode(tb.agg[0]);
+  // Before detection: the stale route still points at the dead switch.
+  EXPECT_EQ(tb.fabric->NextHop(tb.core, probe), PortId{0});
+  sim.RunUntil(Milliseconds(11));
+  // After detection: rerouted to agg1 (core port 1).
+  EXPECT_EQ(tb.fabric->NextHop(tb.core, probe), PortId{1});
+
+  injector.RecoverNode(tb.agg[0]);
+  sim.RunUntil(Milliseconds(22));
+  EXPECT_EQ(tb.fabric->NextHop(tb.core, probe), PortId{0});
+}
+
+TEST(FailureTest, PacketsBlackholeDuringDetectionWindow) {
+  sim::Simulator sim;
+  TestbedConfig cfg;
+  cfg.fabric.failure_detection_delay = Milliseconds(10);
+  Testbed tb = BuildTestbed(sim, cfg);
+  FailureInjector injector(sim, *tb.fabric);
+  int delivered = 0;
+  tb.rack_servers[0][0]->SetHandler(
+      [&](sim::HostNode&, net::Packet) { ++delivered; });
+
+  // Fail agg0 and immediately send 100 flows; those hashed to agg0 vanish
+  // until reroute, those on agg1 still arrive.
+  injector.FailNode(tb.agg[0]);
+  for (std::uint16_t p = 0; p < 100; ++p) {
+    tb.external[0]->Send(
+        PacketTo(ExternalHostIp(0), RackServerIp(0, 0),
+                 static_cast<std::uint16_t>(2000 + p)));
+  }
+  sim.RunUntil(Milliseconds(5));
+  EXPECT_GT(delivered, 20);
+  EXPECT_LT(delivered, 80);
+
+  // After reroute all flows flow again.
+  sim.RunUntil(Milliseconds(15));
+  const int before = delivered;
+  for (std::uint16_t p = 0; p < 100; ++p) {
+    tb.external[0]->Send(
+        PacketTo(ExternalHostIp(0), RackServerIp(0, 0),
+                 static_cast<std::uint16_t>(2000 + p)));
+  }
+  sim.Run();
+  EXPECT_EQ(delivered - before, 100);
+}
+
+TEST(FailureTest, LinkFailureReroutesWithoutKillingSwitch) {
+  sim::Simulator sim;
+  TestbedConfig cfg;
+  cfg.fabric.failure_detection_delay = Milliseconds(1);
+  Testbed tb = BuildTestbed(sim, cfg);
+  FailureInjector injector(sim, *tb.fabric);
+
+  sim::Link* core_agg0 = tb.network->FindLink(tb.core, tb.agg[0]);
+  ASSERT_NE(core_agg0, nullptr);
+  injector.FailLink(core_agg0);
+  sim.RunUntil(Milliseconds(2));
+  // Everything still reachable via agg1.
+  int delivered = 0;
+  tb.rack_servers[0][0]->SetHandler(
+      [&](sim::HostNode&, net::Packet) { ++delivered; });
+  for (std::uint16_t p = 0; p < 50; ++p) {
+    tb.external[0]->Send(
+        PacketTo(ExternalHostIp(0), RackServerIp(0, 0),
+                 static_cast<std::uint16_t>(3000 + p)));
+  }
+  sim.Run();
+  EXPECT_EQ(delivered, 50);
+  // The switch itself is still up (it keeps its state; §5.3's Fig. 7 case).
+  EXPECT_TRUE(tb.agg[0]->IsUp());
+}
+
+TEST(FailureTest, ScheduledFailureAndRecovery) {
+  sim::Simulator sim;
+  Testbed tb = BuildTestbed(sim);
+  FailureInjector injector(sim, *tb.fabric);
+  injector.ScheduleNodeFailure(tb.agg[0], Seconds(1), Seconds(2));
+  sim.RunUntil(Milliseconds(1500));
+  EXPECT_FALSE(tb.agg[0]->IsUp());
+  sim.RunUntil(Milliseconds(2500));
+  EXPECT_TRUE(tb.agg[0]->IsUp());
+}
+
+}  // namespace
+}  // namespace redplane::routing

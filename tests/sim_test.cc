@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include "sim/host.h"
+#include "sim/link.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace redplane::sim {
+namespace {
+
+net::FlowKey TestFlow() {
+  return {net::Ipv4Addr(1, 1, 1, 1), net::Ipv4Addr(2, 2, 2, 2), 10, 20,
+          net::IpProto::kUdp};
+}
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(Microseconds(30), [&]() { order.push_back(3); });
+  sim.Schedule(Microseconds(10), [&]() { order.push_back(1); });
+  sim.Schedule(Microseconds(20), [&]() { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), Microseconds(30));
+}
+
+TEST(SimulatorTest, EqualTimestampsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(Microseconds(5), [&order, i]() { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(1, [&]() {
+    ++fired;
+    sim.Schedule(1, [&]() { ++fired; });
+  });
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.Now(), 2);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.Schedule(10, [&]() { fired = true; });
+  sim.Cancel(id);
+  sim.Run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockEvenWhenIdle) {
+  Simulator sim;
+  sim.RunUntil(Seconds(5));
+  EXPECT_EQ(sim.Now(), Seconds(5));
+}
+
+TEST(SimulatorTest, RunUntilLeavesLaterEvents) {
+  Simulator sim;
+  bool early = false, late = false;
+  sim.Schedule(10, [&]() { early = true; });
+  sim.Schedule(100, [&]() { late = true; });
+  sim.RunUntil(50);
+  EXPECT_TRUE(early);
+  EXPECT_FALSE(late);
+  sim.Run();
+  EXPECT_TRUE(late);
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToNow) {
+  Simulator sim;
+  sim.Schedule(100, [&]() {
+    sim.Schedule(-50, [&]() { EXPECT_EQ(sim.Now(), 100); });
+  });
+  sim.Run();
+}
+
+class SinkNode : public Node {
+ public:
+  using Node::Node;
+  void HandlePacket(net::Packet pkt, PortId) override {
+    arrivals.emplace_back(sim_.Now(), pkt.id);
+  }
+  std::vector<std::pair<SimTime, net::PacketId>> arrivals;
+};
+
+TEST(LinkTest, PropagationAndSerializationDelay) {
+  Simulator sim;
+  Network net(sim, 1);
+  auto* a = net.AddNode<SinkNode>("a");
+  auto* b = net.AddNode<SinkNode>("b");
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 8e9;  // 1 byte/ns
+  cfg.propagation = Microseconds(5);
+  net.Connect(a, 0, b, 0, cfg);
+
+  net::Packet p = net::MakeUdpPacket(TestFlow(), 0);  // 64 B min frame
+  const auto size = p.WireSize();
+  a->SendTo(0, std::move(p));
+  sim.Run();
+  ASSERT_EQ(b->arrivals.size(), 1u);
+  EXPECT_EQ(b->arrivals[0].first,
+            static_cast<SimTime>(size) + Microseconds(5));
+}
+
+TEST(LinkTest, BackToBackPacketsQueueBehindSerialization) {
+  Simulator sim;
+  Network net(sim, 1);
+  auto* a = net.AddNode<SinkNode>("a");
+  auto* b = net.AddNode<SinkNode>("b");
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 8e9;
+  cfg.propagation = 0;
+  net.Connect(a, 0, b, 0, cfg);
+
+  for (int i = 0; i < 3; ++i) {
+    a->SendTo(0, net::MakeUdpPacket(TestFlow(), 0));
+  }
+  sim.Run();
+  ASSERT_EQ(b->arrivals.size(), 3u);
+  EXPECT_EQ(b->arrivals[1].first - b->arrivals[0].first, 64);
+  EXPECT_EQ(b->arrivals[2].first - b->arrivals[1].first, 64);
+}
+
+TEST(LinkTest, LossRateDropsApproximately) {
+  Simulator sim;
+  Network net(sim, 99);
+  auto* a = net.AddNode<SinkNode>("a");
+  auto* b = net.AddNode<SinkNode>("b");
+  LinkConfig cfg;
+  cfg.loss_rate = 0.2;
+  Link* link = net.Connect(a, 0, b, 0, cfg);
+
+  const int total = 20000;
+  for (int i = 0; i < total; ++i) {
+    a->SendTo(0, net::MakeUdpPacket(TestFlow(), 0));
+  }
+  sim.Run();
+  EXPECT_NEAR(static_cast<double>(link->packets_dropped()) / total, 0.2, 0.02);
+  EXPECT_EQ(link->packets_delivered() + link->packets_dropped(),
+            static_cast<std::uint64_t>(total));
+}
+
+TEST(LinkTest, ReorderJitterReordersSomePackets) {
+  Simulator sim;
+  Network net(sim, 7);
+  auto* a = net.AddNode<SinkNode>("a");
+  auto* b = net.AddNode<SinkNode>("b");
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 100e9;
+  cfg.reorder_jitter = Microseconds(10);
+  net.Connect(a, 0, b, 0, cfg);
+
+  std::vector<net::PacketId> sent;
+  for (int i = 0; i < 200; ++i) {
+    auto p = net::MakeUdpPacket(TestFlow(), 0);
+    sent.push_back(p.id);
+    a->SendTo(0, std::move(p));
+  }
+  sim.Run();
+  ASSERT_EQ(b->arrivals.size(), 200u);
+  bool reordered = false;
+  for (std::size_t i = 1; i < b->arrivals.size(); ++i) {
+    if (b->arrivals[i].second < b->arrivals[i - 1].second) reordered = true;
+  }
+  EXPECT_TRUE(reordered);
+}
+
+TEST(LinkTest, DownLinkDropsInFlightAndNew) {
+  Simulator sim;
+  Network net(sim, 1);
+  auto* a = net.AddNode<SinkNode>("a");
+  auto* b = net.AddNode<SinkNode>("b");
+  LinkConfig cfg;
+  cfg.propagation = Microseconds(100);
+  Link* link = net.Connect(a, 0, b, 0, cfg);
+
+  a->SendTo(0, net::MakeUdpPacket(TestFlow(), 0));
+  sim.Schedule(Microseconds(10), [&]() { link->SetUp(false); });
+  sim.Run();
+  EXPECT_TRUE(b->arrivals.empty());
+  // New traffic while down also drops.
+  a->SendTo(0, net::MakeUdpPacket(TestFlow(), 0));
+  sim.Run();
+  EXPECT_TRUE(b->arrivals.empty());
+  // Recovery restores delivery.
+  link->SetUp(true);
+  a->SendTo(0, net::MakeUdpPacket(TestFlow(), 0));
+  sim.Run();
+  EXPECT_EQ(b->arrivals.size(), 1u);
+}
+
+TEST(NodeTest, DownNodeNeitherSendsNorReceives) {
+  Simulator sim;
+  Network net(sim, 1);
+  auto* a = net.AddNode<SinkNode>("a");
+  auto* b = net.AddNode<SinkNode>("b");
+  net.Connect(a, 0, b, 0);
+
+  b->SetUp(false);
+  a->SendTo(0, net::MakeUdpPacket(TestFlow(), 0));
+  sim.Run();
+  EXPECT_TRUE(b->arrivals.empty());
+
+  a->SetUp(false);
+  a->SendTo(0, net::MakeUdpPacket(TestFlow(), 0));
+  sim.Run();
+  EXPECT_DOUBLE_EQ(a->counters().Get("drop_node_down"), 1.0);
+}
+
+TEST(NetworkTest, LookupByNameAndId) {
+  Simulator sim;
+  Network net(sim, 1);
+  auto* a = net.AddNode<SinkNode>("alpha");
+  auto* b = net.AddNode<SinkNode>("beta");
+  EXPECT_EQ(net.FindNode("alpha"), a);
+  EXPECT_EQ(net.GetNode(b->id()), b);
+  EXPECT_EQ(net.FindNode("gamma"), nullptr);
+  Link* l = net.Connect(a, 0, b, 0);
+  EXPECT_EQ(net.FindLink(a, b), l);
+  EXPECT_EQ(net.FindLink(b, a), l);
+}
+
+TEST(HostTest, HandlerReceivesAndEchoes) {
+  Simulator sim;
+  Network net(sim, 1);
+  auto* h1 = net.AddNode<HostNode>("h1", net::Ipv4Addr(1, 1, 1, 1));
+  auto* h2 = net.AddNode<HostNode>("h2", net::Ipv4Addr(2, 2, 2, 2));
+  net.Connect(h1, 0, h2, 0);
+  int h1_got = 0;
+  h1->SetHandler([&](HostNode&, net::Packet) { ++h1_got; });
+  h2->SetHandler([&](HostNode& self, net::Packet pkt) {
+    self.Send(std::move(pkt));  // echo
+  });
+  h1->Send(net::MakeUdpPacket(TestFlow(), 0));
+  sim.Run();
+  EXPECT_EQ(h1_got, 1);
+}
+
+}  // namespace
+}  // namespace redplane::sim

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "core/epsilon.h"
+#include "core/snapshot.h"
+
+namespace redplane::core {
+namespace {
+
+using Snap = LazySnapshotter<std::uint32_t>;
+
+std::uint32_t Inc(std::uint32_t v) { return v + 1; }
+
+TEST(LazySnapshotTest, UpdatesVisibleLive) {
+  Snap snap("s", 8);
+  for (int i = 0; i < 5; ++i) {
+    dp::PipelinePass pass;
+    snap.Update(pass, 3, Inc);
+  }
+  EXPECT_EQ(snap.PeekLive(3), 5u);
+  EXPECT_EQ(snap.PeekLive(0), 0u);
+}
+
+TEST(LazySnapshotTest, SnapshotReadReturnsValueAtFlip) {
+  Snap snap("s", 4);
+  for (int i = 0; i < 7; ++i) {
+    dp::PipelinePass pass;
+    snap.Update(pass, 1, Inc);
+  }
+  {
+    dp::PipelinePass pass;
+    snap.BeginSnapshot(pass);
+  }
+  // Updates after the flip must not affect the snapshot.
+  for (int i = 0; i < 3; ++i) {
+    dp::PipelinePass pass;
+    snap.Update(pass, 1, Inc);
+  }
+  dp::PipelinePass pass;
+  EXPECT_EQ(snap.SnapshotRead(pass, 1), 7u);
+  EXPECT_EQ(snap.PeekLive(1), 10u);
+}
+
+TEST(LazySnapshotTest, UntouchedSlotsReadPreFlipValue) {
+  Snap snap("s", 4);
+  {
+    dp::PipelinePass pass;
+    snap.Update(pass, 2, Inc);
+  }
+  {
+    dp::PipelinePass pass;
+    snap.BeginSnapshot(pass);
+  }
+  dp::PipelinePass p1, p2;
+  EXPECT_EQ(snap.SnapshotRead(p1, 2), 1u);
+  EXPECT_EQ(snap.SnapshotRead(p2, 0), 0u);
+}
+
+TEST(LazySnapshotTest, ConsecutiveSnapshotsEachConsistent) {
+  Snap snap("s", 2);
+  auto update = [&](std::size_t idx) {
+    dp::PipelinePass pass;
+    snap.Update(pass, idx, Inc);
+  };
+  auto read_snapshot = [&](std::size_t idx) {
+    dp::PipelinePass pass;
+    return snap.SnapshotRead(pass, idx);
+  };
+  update(0);
+  update(0);
+  update(1);
+  {
+    dp::PipelinePass pass;
+    snap.BeginSnapshot(pass);
+  }
+  EXPECT_EQ(read_snapshot(0), 2u);
+  EXPECT_EQ(read_snapshot(1), 1u);
+  update(0);
+  {
+    dp::PipelinePass pass;
+    snap.BeginSnapshot(pass);
+  }
+  EXPECT_EQ(read_snapshot(0), 3u);
+  EXPECT_EQ(read_snapshot(1), 1u);
+  // A third snapshot with no intervening updates.
+  {
+    dp::PipelinePass pass;
+    snap.BeginSnapshot(pass);
+  }
+  EXPECT_EQ(read_snapshot(0), 3u);
+  EXPECT_EQ(read_snapshot(1), 1u);
+}
+
+TEST(LazySnapshotTest, ResetClearsBothCopies) {
+  Snap snap("s", 4);
+  {
+    dp::PipelinePass pass;
+    snap.Update(pass, 0, Inc);
+  }
+  {
+    dp::PipelinePass pass;
+    snap.BeginSnapshot(pass);
+  }
+  snap.Reset();
+  EXPECT_EQ(snap.PeekLive(0), 0u);
+  dp::PipelinePass pass;
+  EXPECT_EQ(snap.SnapshotRead(pass, 0), 0u);
+}
+
+/// Property sweep: random interleavings of updates and snapshot bursts; a
+/// snapshot burst must observe exactly the reference values at flip time,
+/// and live values must track a reference array exactly.
+class LazySnapshotProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LazySnapshotProperty, RandomInterleavingsMatchReference) {
+  constexpr std::size_t kSlots = 16;
+  Snap snap("s", kSlots);
+  std::array<std::uint32_t, kSlots> reference{};
+  Rng rng(GetParam());
+
+  for (int round = 0; round < 20; ++round) {
+    // Random updates.
+    const int updates = static_cast<int>(rng.NextBounded(50));
+    for (int i = 0; i < updates; ++i) {
+      const std::size_t idx = rng.NextBounded(kSlots);
+      dp::PipelinePass pass;
+      snap.Update(pass, idx, Inc);
+      ++reference[idx];
+    }
+    // Flip and capture the reference at the flip instant.
+    {
+      dp::PipelinePass pass;
+      snap.BeginSnapshot(pass);
+    }
+    const auto frozen = reference;
+    // Interleave the snapshot-read burst with more updates, as the real
+    // data plane does.
+    std::array<std::uint32_t, kSlots> observed{};
+    for (std::size_t idx = 0; idx < kSlots; ++idx) {
+      if (rng.Bernoulli(0.5)) {
+        const std::size_t up = rng.NextBounded(kSlots);
+        dp::PipelinePass pass;
+        snap.Update(pass, up, Inc);
+        ++reference[up];
+      }
+      dp::PipelinePass pass;
+      observed[idx] = snap.SnapshotRead(pass, idx);
+    }
+    for (std::size_t idx = 0; idx < kSlots; ++idx) {
+      ASSERT_EQ(observed[idx], frozen[idx])
+          << "round " << round << " slot " << idx;
+    }
+    // Live values still exact.
+    for (std::size_t idx = 0; idx < kSlots; ++idx) {
+      ASSERT_EQ(snap.PeekLive(idx), reference[idx]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LazySnapshotProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 99, 1234));
+
+TEST(EpsilonTrackerTest, CompletedRoundResetsStaleness) {
+  int violations = 0;
+  EpsilonTracker tracker(Milliseconds(10),
+                         [&](const net::PartitionKey&) { ++violations; });
+  const auto key = net::PartitionKey::OfVlan(1);
+  tracker.BeginRound(key, 1, 3, Milliseconds(0));
+  tracker.SlotAcked(key, 1, Milliseconds(1));
+  tracker.SlotAcked(key, 1, Milliseconds(1));
+  EXPECT_EQ(tracker.Staleness(key, Milliseconds(5)), -1);  // incomplete
+  tracker.SlotAcked(key, 1, Milliseconds(2));
+  EXPECT_EQ(tracker.Staleness(key, Milliseconds(5)), Milliseconds(5));
+  tracker.Check(Milliseconds(9));
+  EXPECT_EQ(violations, 0);
+  tracker.Check(Milliseconds(11));
+  EXPECT_EQ(violations, 1);
+  // Violation fires once per episode.
+  tracker.Check(Milliseconds(12));
+  EXPECT_EQ(violations, 1);
+  // A fresh complete round clears the violation.
+  tracker.BeginRound(key, 2, 1, Milliseconds(12));
+  tracker.SlotAcked(key, 2, Milliseconds(13));
+  tracker.Check(Milliseconds(14));
+  EXPECT_EQ(tracker.violations(), 1u);
+  tracker.Check(Milliseconds(30));
+  EXPECT_EQ(tracker.violations(), 2u);
+}
+
+TEST(EpsilonTrackerTest, StaleRoundAcksIgnored) {
+  EpsilonTracker tracker(Milliseconds(10), nullptr);
+  const auto key = net::PartitionKey::OfVlan(1);
+  tracker.BeginRound(key, 1, 2, 0);
+  tracker.SlotAcked(key, 1, 1);
+  tracker.BeginRound(key, 2, 2, Milliseconds(1));
+  tracker.SlotAcked(key, 1, 2);  // late ack for superseded round
+  EXPECT_EQ(tracker.Staleness(key, Milliseconds(2)), -1);
+  tracker.SlotAcked(key, 2, 3);
+  tracker.SlotAcked(key, 2, 4);
+  EXPECT_EQ(tracker.Staleness(key, Milliseconds(2)), Milliseconds(1));
+}
+
+}  // namespace
+}  // namespace redplane::core

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "sim/network.h"
+#include "tcp/tcp.h"
+
+namespace redplane::tcp {
+namespace {
+
+constexpr net::Ipv4Addr kSender(10, 0, 0, 1);
+constexpr net::Ipv4Addr kReceiver(192, 168, 10, 1);
+
+net::FlowKey IperfFlow() {
+  return {kSender, kReceiver, 40000, 5001, net::IpProto::kTcp};
+}
+
+struct TcpHarness {
+  explicit TcpHarness(const sim::LinkConfig& link, TcpConfig config = {}) {
+    net = std::make_unique<sim::Network>(sim, 3);
+    sender = net->AddNode<TcpSenderNode>("snd", kSender, config);
+    receiver = net->AddNode<TcpReceiverNode>("rcv", kReceiver, 5001);
+    this->link = net->Connect(sender, 0, receiver, 0, link);
+  }
+  sim::Simulator sim;
+  std::unique_ptr<sim::Network> net;
+  TcpSenderNode* sender;
+  TcpReceiverNode* receiver;
+  sim::Link* link;
+};
+
+TEST(TcpTest, HandshakeEstablishes) {
+  sim::LinkConfig link;
+  TcpHarness h(link);
+  h.sender->Start(IperfFlow());
+  h.sim.RunUntil(Milliseconds(10));
+  EXPECT_TRUE(h.sender->connected());
+  EXPECT_GT(h.receiver->bytes_delivered(), 0u);
+}
+
+TEST(TcpTest, SaturatesCleanLink) {
+  sim::LinkConfig link;
+  link.bandwidth_bps = 1e9;
+  link.propagation = Microseconds(50);
+  TcpHarness h(link);
+  h.sender->Start(IperfFlow());
+  h.sim.RunUntil(Seconds(2));
+  // Goodput over the second half should be near link rate (>70%).
+  const double bytes = static_cast<double>(h.receiver->bytes_delivered());
+  const double gbps = bytes * 8 / 2.0 / 1e9;
+  EXPECT_GT(gbps, 0.7);
+  EXPECT_LE(gbps, 1.01);
+  EXPECT_EQ(h.sender->timeouts(), 0u);
+}
+
+TEST(TcpTest, RecoversFromRandomLoss) {
+  sim::LinkConfig link;
+  link.bandwidth_bps = 1e9;
+  link.propagation = Microseconds(50);
+  link.loss_rate = 0.005;
+  TcpHarness h(link);
+  h.sender->Start(IperfFlow());
+  h.sim.RunUntil(Seconds(2));
+  EXPECT_GT(h.sender->retransmissions(), 0u);
+  // Still makes solid progress despite loss.
+  EXPECT_GT(h.receiver->bytes_delivered(), 10'000'000u);
+  // Delivered bytes never exceed acked-window progress + one window.
+  EXPECT_LE(h.receiver->bytes_delivered(),
+            h.sender->bytes_acked() + 64ull * 9000);
+}
+
+TEST(TcpTest, BlackholeCausesRtoThenRecovery) {
+  sim::LinkConfig link;
+  link.bandwidth_bps = 1e9;
+  link.propagation = Microseconds(50);
+  TcpHarness h(link);
+  h.sender->Start(IperfFlow());
+  h.sim.RunUntil(Milliseconds(500));
+  const std::uint64_t before = h.receiver->bytes_delivered();
+  h.link->SetUp(false);
+  h.sim.RunUntil(Milliseconds(1500));
+  EXPECT_EQ(h.receiver->bytes_delivered(), before);  // nothing during outage
+  EXPECT_GT(h.sender->timeouts(), 0u);
+  h.link->SetUp(true);
+  h.sim.RunUntil(Seconds(4));
+  EXPECT_GT(h.receiver->bytes_delivered(), before + 1'000'000u);
+}
+
+TEST(TcpTest, GoodputTimeSeriesShowsOutage) {
+  sim::LinkConfig link;
+  link.bandwidth_bps = 1e9;
+  link.propagation = Microseconds(50);
+  TcpHarness h(link);
+  h.sender->Start(IperfFlow());
+  // Outage from 1.0 s to 1.5 s.
+  h.sim.Schedule(Seconds(1), [&]() { h.link->SetUp(false); });
+  h.sim.Schedule(Milliseconds(1500), [&]() { h.link->SetUp(true); });
+  h.sim.RunUntil(Seconds(3));
+  const TimeSeries& ts = h.receiver->goodput();
+  // Bucket at 0.9 s: flowing; bucket at 1.2 s: zero; bucket at 2.5 s: flowing.
+  EXPECT_GT(ts.BucketSum(9), 0.0);
+  EXPECT_DOUBLE_EQ(ts.BucketSum(12), 0.0);
+  EXPECT_GT(ts.BucketSum(25), 0.0);
+}
+
+TEST(TcpTest, SequenceWraparoundComparisons) {
+  EXPECT_TRUE(SeqLt(0xfffffff0u, 0x10u));   // wrapped
+  EXPECT_FALSE(SeqLt(0x10u, 0xfffffff0u));
+  EXPECT_TRUE(SeqLeq(5u, 5u));
+  EXPECT_TRUE(SeqLt(5u, 6u));
+}
+
+TEST(TcpTest, ReceiverReassemblesOutOfOrderSegments) {
+  sim::LinkConfig link;
+  link.bandwidth_bps = 1e9;
+  link.propagation = Microseconds(20);
+  link.reorder_jitter = Microseconds(100);
+  TcpHarness h(link);
+  h.sender->Start(IperfFlow());
+  h.sim.RunUntil(Seconds(1));
+  // Despite reordering, delivery is exactly the in-order prefix: delivered
+  // bytes match the sender's acked bytes (no duplication, no gaps).
+  EXPECT_GT(h.receiver->bytes_delivered(), 1'000'000u);
+  EXPECT_GE(h.receiver->bytes_delivered(), h.sender->bytes_acked());
+}
+
+}  // namespace
+}  // namespace redplane::tcp
