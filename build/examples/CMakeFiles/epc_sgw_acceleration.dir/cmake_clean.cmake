@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epc_sgw_acceleration.dir/epc_sgw_acceleration.cpp.o"
+  "CMakeFiles/epc_sgw_acceleration.dir/epc_sgw_acceleration.cpp.o.d"
+  "epc_sgw_acceleration"
+  "epc_sgw_acceleration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epc_sgw_acceleration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

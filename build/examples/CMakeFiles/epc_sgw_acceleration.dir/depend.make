@@ -1,0 +1,2 @@
+# Empty dependencies file for epc_sgw_acceleration.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heavy_hitter_monitoring.dir/heavy_hitter_monitoring.cpp.o"
+  "CMakeFiles/heavy_hitter_monitoring.dir/heavy_hitter_monitoring.cpp.o.d"
+  "heavy_hitter_monitoring"
+  "heavy_hitter_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heavy_hitter_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_store_scaling.dir/kv_store_scaling.cpp.o"
+  "CMakeFiles/kv_store_scaling.dir/kv_store_scaling.cpp.o.d"
+  "kv_store_scaling"
+  "kv_store_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_store_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

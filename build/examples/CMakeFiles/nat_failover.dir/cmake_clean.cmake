@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nat_failover.dir/nat_failover.cpp.o"
+  "CMakeFiles/nat_failover.dir/nat_failover.cpp.o.d"
+  "nat_failover"
+  "nat_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nat_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

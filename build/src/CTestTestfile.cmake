@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("net")
+subdirs("sim")
+subdirs("dataplane")
+subdirs("core")
+subdirs("statestore")
+subdirs("apps")
+subdirs("routing")
+subdirs("tcp")
+subdirs("baselines")
+subdirs("modelcheck")
+subdirs("trace")

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/counter.cc" "src/apps/CMakeFiles/redplane_apps.dir/counter.cc.o" "gcc" "src/apps/CMakeFiles/redplane_apps.dir/counter.cc.o.d"
+  "/root/repo/src/apps/epc_sgw.cc" "src/apps/CMakeFiles/redplane_apps.dir/epc_sgw.cc.o" "gcc" "src/apps/CMakeFiles/redplane_apps.dir/epc_sgw.cc.o.d"
+  "/root/repo/src/apps/firewall.cc" "src/apps/CMakeFiles/redplane_apps.dir/firewall.cc.o" "gcc" "src/apps/CMakeFiles/redplane_apps.dir/firewall.cc.o.d"
+  "/root/repo/src/apps/heavy_hitter.cc" "src/apps/CMakeFiles/redplane_apps.dir/heavy_hitter.cc.o" "gcc" "src/apps/CMakeFiles/redplane_apps.dir/heavy_hitter.cc.o.d"
+  "/root/repo/src/apps/kv_store.cc" "src/apps/CMakeFiles/redplane_apps.dir/kv_store.cc.o" "gcc" "src/apps/CMakeFiles/redplane_apps.dir/kv_store.cc.o.d"
+  "/root/repo/src/apps/load_balancer.cc" "src/apps/CMakeFiles/redplane_apps.dir/load_balancer.cc.o" "gcc" "src/apps/CMakeFiles/redplane_apps.dir/load_balancer.cc.o.d"
+  "/root/repo/src/apps/nat.cc" "src/apps/CMakeFiles/redplane_apps.dir/nat.cc.o" "gcc" "src/apps/CMakeFiles/redplane_apps.dir/nat.cc.o.d"
+  "/root/repo/src/apps/sequencer.cc" "src/apps/CMakeFiles/redplane_apps.dir/sequencer.cc.o" "gcc" "src/apps/CMakeFiles/redplane_apps.dir/sequencer.cc.o.d"
+  "/root/repo/src/apps/sketch.cc" "src/apps/CMakeFiles/redplane_apps.dir/sketch.cc.o" "gcc" "src/apps/CMakeFiles/redplane_apps.dir/sketch.cc.o.d"
+  "/root/repo/src/apps/spreader.cc" "src/apps/CMakeFiles/redplane_apps.dir/spreader.cc.o" "gcc" "src/apps/CMakeFiles/redplane_apps.dir/spreader.cc.o.d"
+  "/root/repo/src/apps/syn_defense.cc" "src/apps/CMakeFiles/redplane_apps.dir/syn_defense.cc.o" "gcc" "src/apps/CMakeFiles/redplane_apps.dir/syn_defense.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/redplane_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/statestore/CMakeFiles/redplane_statestore.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/redplane_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/redplane_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/redplane_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/redplane_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redplane_apps.dir/counter.cc.o"
+  "CMakeFiles/redplane_apps.dir/counter.cc.o.d"
+  "CMakeFiles/redplane_apps.dir/epc_sgw.cc.o"
+  "CMakeFiles/redplane_apps.dir/epc_sgw.cc.o.d"
+  "CMakeFiles/redplane_apps.dir/firewall.cc.o"
+  "CMakeFiles/redplane_apps.dir/firewall.cc.o.d"
+  "CMakeFiles/redplane_apps.dir/heavy_hitter.cc.o"
+  "CMakeFiles/redplane_apps.dir/heavy_hitter.cc.o.d"
+  "CMakeFiles/redplane_apps.dir/kv_store.cc.o"
+  "CMakeFiles/redplane_apps.dir/kv_store.cc.o.d"
+  "CMakeFiles/redplane_apps.dir/load_balancer.cc.o"
+  "CMakeFiles/redplane_apps.dir/load_balancer.cc.o.d"
+  "CMakeFiles/redplane_apps.dir/nat.cc.o"
+  "CMakeFiles/redplane_apps.dir/nat.cc.o.d"
+  "CMakeFiles/redplane_apps.dir/sequencer.cc.o"
+  "CMakeFiles/redplane_apps.dir/sequencer.cc.o.d"
+  "CMakeFiles/redplane_apps.dir/sketch.cc.o"
+  "CMakeFiles/redplane_apps.dir/sketch.cc.o.d"
+  "CMakeFiles/redplane_apps.dir/spreader.cc.o"
+  "CMakeFiles/redplane_apps.dir/spreader.cc.o.d"
+  "CMakeFiles/redplane_apps.dir/syn_defense.cc.o"
+  "CMakeFiles/redplane_apps.dir/syn_defense.cc.o.d"
+  "libredplane_apps.a"
+  "libredplane_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redplane_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redplane_baselines.dir/controller_ft.cc.o"
+  "CMakeFiles/redplane_baselines.dir/controller_ft.cc.o.d"
+  "CMakeFiles/redplane_baselines.dir/plain_pipeline.cc.o"
+  "CMakeFiles/redplane_baselines.dir/plain_pipeline.cc.o.d"
+  "CMakeFiles/redplane_baselines.dir/rollback.cc.o"
+  "CMakeFiles/redplane_baselines.dir/rollback.cc.o.d"
+  "CMakeFiles/redplane_baselines.dir/server_nf.cc.o"
+  "CMakeFiles/redplane_baselines.dir/server_nf.cc.o.d"
+  "CMakeFiles/redplane_baselines.dir/switch_chain.cc.o"
+  "CMakeFiles/redplane_baselines.dir/switch_chain.cc.o.d"
+  "libredplane_baselines.a"
+  "libredplane_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redplane_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

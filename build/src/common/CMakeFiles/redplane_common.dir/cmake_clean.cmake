@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redplane_common.dir/hash.cc.o"
+  "CMakeFiles/redplane_common.dir/hash.cc.o.d"
+  "CMakeFiles/redplane_common.dir/logging.cc.o"
+  "CMakeFiles/redplane_common.dir/logging.cc.o.d"
+  "CMakeFiles/redplane_common.dir/rng.cc.o"
+  "CMakeFiles/redplane_common.dir/rng.cc.o.d"
+  "CMakeFiles/redplane_common.dir/stats.cc.o"
+  "CMakeFiles/redplane_common.dir/stats.cc.o.d"
+  "libredplane_common.a"
+  "libredplane_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redplane_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

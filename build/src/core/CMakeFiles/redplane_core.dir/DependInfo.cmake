@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analytic.cc" "src/core/CMakeFiles/redplane_core.dir/analytic.cc.o" "gcc" "src/core/CMakeFiles/redplane_core.dir/analytic.cc.o.d"
+  "/root/repo/src/core/app.cc" "src/core/CMakeFiles/redplane_core.dir/app.cc.o" "gcc" "src/core/CMakeFiles/redplane_core.dir/app.cc.o.d"
+  "/root/repo/src/core/epsilon.cc" "src/core/CMakeFiles/redplane_core.dir/epsilon.cc.o" "gcc" "src/core/CMakeFiles/redplane_core.dir/epsilon.cc.o.d"
+  "/root/repo/src/core/flow_table.cc" "src/core/CMakeFiles/redplane_core.dir/flow_table.cc.o" "gcc" "src/core/CMakeFiles/redplane_core.dir/flow_table.cc.o.d"
+  "/root/repo/src/core/protocol.cc" "src/core/CMakeFiles/redplane_core.dir/protocol.cc.o" "gcc" "src/core/CMakeFiles/redplane_core.dir/protocol.cc.o.d"
+  "/root/repo/src/core/redplane_switch.cc" "src/core/CMakeFiles/redplane_core.dir/redplane_switch.cc.o" "gcc" "src/core/CMakeFiles/redplane_core.dir/redplane_switch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dataplane/CMakeFiles/redplane_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/redplane_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/redplane_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/redplane_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redplane_core.dir/analytic.cc.o"
+  "CMakeFiles/redplane_core.dir/analytic.cc.o.d"
+  "CMakeFiles/redplane_core.dir/app.cc.o"
+  "CMakeFiles/redplane_core.dir/app.cc.o.d"
+  "CMakeFiles/redplane_core.dir/epsilon.cc.o"
+  "CMakeFiles/redplane_core.dir/epsilon.cc.o.d"
+  "CMakeFiles/redplane_core.dir/flow_table.cc.o"
+  "CMakeFiles/redplane_core.dir/flow_table.cc.o.d"
+  "CMakeFiles/redplane_core.dir/protocol.cc.o"
+  "CMakeFiles/redplane_core.dir/protocol.cc.o.d"
+  "CMakeFiles/redplane_core.dir/redplane_switch.cc.o"
+  "CMakeFiles/redplane_core.dir/redplane_switch.cc.o.d"
+  "libredplane_core.a"
+  "libredplane_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redplane_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

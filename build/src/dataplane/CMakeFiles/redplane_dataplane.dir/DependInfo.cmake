@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataplane/control_plane.cc" "src/dataplane/CMakeFiles/redplane_dataplane.dir/control_plane.cc.o" "gcc" "src/dataplane/CMakeFiles/redplane_dataplane.dir/control_plane.cc.o.d"
+  "/root/repo/src/dataplane/mirror.cc" "src/dataplane/CMakeFiles/redplane_dataplane.dir/mirror.cc.o" "gcc" "src/dataplane/CMakeFiles/redplane_dataplane.dir/mirror.cc.o.d"
+  "/root/repo/src/dataplane/packet_generator.cc" "src/dataplane/CMakeFiles/redplane_dataplane.dir/packet_generator.cc.o" "gcc" "src/dataplane/CMakeFiles/redplane_dataplane.dir/packet_generator.cc.o.d"
+  "/root/repo/src/dataplane/pipeline.cc" "src/dataplane/CMakeFiles/redplane_dataplane.dir/pipeline.cc.o" "gcc" "src/dataplane/CMakeFiles/redplane_dataplane.dir/pipeline.cc.o.d"
+  "/root/repo/src/dataplane/resources.cc" "src/dataplane/CMakeFiles/redplane_dataplane.dir/resources.cc.o" "gcc" "src/dataplane/CMakeFiles/redplane_dataplane.dir/resources.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/redplane_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/redplane_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/redplane_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redplane_dataplane.dir/control_plane.cc.o"
+  "CMakeFiles/redplane_dataplane.dir/control_plane.cc.o.d"
+  "CMakeFiles/redplane_dataplane.dir/mirror.cc.o"
+  "CMakeFiles/redplane_dataplane.dir/mirror.cc.o.d"
+  "CMakeFiles/redplane_dataplane.dir/packet_generator.cc.o"
+  "CMakeFiles/redplane_dataplane.dir/packet_generator.cc.o.d"
+  "CMakeFiles/redplane_dataplane.dir/pipeline.cc.o"
+  "CMakeFiles/redplane_dataplane.dir/pipeline.cc.o.d"
+  "CMakeFiles/redplane_dataplane.dir/resources.cc.o"
+  "CMakeFiles/redplane_dataplane.dir/resources.cc.o.d"
+  "libredplane_dataplane.a"
+  "libredplane_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redplane_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redplane_modelcheck.dir/checker.cc.o"
+  "CMakeFiles/redplane_modelcheck.dir/checker.cc.o.d"
+  "CMakeFiles/redplane_modelcheck.dir/linearizability.cc.o"
+  "CMakeFiles/redplane_modelcheck.dir/linearizability.cc.o.d"
+  "libredplane_modelcheck.a"
+  "libredplane_modelcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redplane_modelcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

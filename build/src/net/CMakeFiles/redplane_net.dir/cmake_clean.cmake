@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redplane_net.dir/codec.cc.o"
+  "CMakeFiles/redplane_net.dir/codec.cc.o.d"
+  "CMakeFiles/redplane_net.dir/flow.cc.o"
+  "CMakeFiles/redplane_net.dir/flow.cc.o.d"
+  "CMakeFiles/redplane_net.dir/headers.cc.o"
+  "CMakeFiles/redplane_net.dir/headers.cc.o.d"
+  "CMakeFiles/redplane_net.dir/packet.cc.o"
+  "CMakeFiles/redplane_net.dir/packet.cc.o.d"
+  "libredplane_net.a"
+  "libredplane_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redplane_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

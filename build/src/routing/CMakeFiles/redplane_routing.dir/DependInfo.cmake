@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/ecmp.cc" "src/routing/CMakeFiles/redplane_routing.dir/ecmp.cc.o" "gcc" "src/routing/CMakeFiles/redplane_routing.dir/ecmp.cc.o.d"
+  "/root/repo/src/routing/failure.cc" "src/routing/CMakeFiles/redplane_routing.dir/failure.cc.o" "gcc" "src/routing/CMakeFiles/redplane_routing.dir/failure.cc.o.d"
+  "/root/repo/src/routing/topology.cc" "src/routing/CMakeFiles/redplane_routing.dir/topology.cc.o" "gcc" "src/routing/CMakeFiles/redplane_routing.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/statestore/CMakeFiles/redplane_statestore.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/redplane_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/redplane_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/redplane_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/redplane_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/redplane_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redplane_routing.dir/ecmp.cc.o"
+  "CMakeFiles/redplane_routing.dir/ecmp.cc.o.d"
+  "CMakeFiles/redplane_routing.dir/failure.cc.o"
+  "CMakeFiles/redplane_routing.dir/failure.cc.o.d"
+  "CMakeFiles/redplane_routing.dir/topology.cc.o"
+  "CMakeFiles/redplane_routing.dir/topology.cc.o.d"
+  "libredplane_routing.a"
+  "libredplane_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redplane_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redplane_sim.dir/link.cc.o"
+  "CMakeFiles/redplane_sim.dir/link.cc.o.d"
+  "CMakeFiles/redplane_sim.dir/network.cc.o"
+  "CMakeFiles/redplane_sim.dir/network.cc.o.d"
+  "CMakeFiles/redplane_sim.dir/node.cc.o"
+  "CMakeFiles/redplane_sim.dir/node.cc.o.d"
+  "CMakeFiles/redplane_sim.dir/simulator.cc.o"
+  "CMakeFiles/redplane_sim.dir/simulator.cc.o.d"
+  "libredplane_sim.a"
+  "libredplane_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redplane_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/statestore/chain_manager.cc" "src/statestore/CMakeFiles/redplane_statestore.dir/chain_manager.cc.o" "gcc" "src/statestore/CMakeFiles/redplane_statestore.dir/chain_manager.cc.o.d"
+  "/root/repo/src/statestore/partition.cc" "src/statestore/CMakeFiles/redplane_statestore.dir/partition.cc.o" "gcc" "src/statestore/CMakeFiles/redplane_statestore.dir/partition.cc.o.d"
+  "/root/repo/src/statestore/pools.cc" "src/statestore/CMakeFiles/redplane_statestore.dir/pools.cc.o" "gcc" "src/statestore/CMakeFiles/redplane_statestore.dir/pools.cc.o.d"
+  "/root/repo/src/statestore/server.cc" "src/statestore/CMakeFiles/redplane_statestore.dir/server.cc.o" "gcc" "src/statestore/CMakeFiles/redplane_statestore.dir/server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/redplane_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/redplane_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/redplane_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/redplane_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/redplane_dataplane.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redplane_statestore.dir/chain_manager.cc.o"
+  "CMakeFiles/redplane_statestore.dir/chain_manager.cc.o.d"
+  "CMakeFiles/redplane_statestore.dir/partition.cc.o"
+  "CMakeFiles/redplane_statestore.dir/partition.cc.o.d"
+  "CMakeFiles/redplane_statestore.dir/pools.cc.o"
+  "CMakeFiles/redplane_statestore.dir/pools.cc.o.d"
+  "CMakeFiles/redplane_statestore.dir/server.cc.o"
+  "CMakeFiles/redplane_statestore.dir/server.cc.o.d"
+  "libredplane_statestore.a"
+  "libredplane_statestore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redplane_statestore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

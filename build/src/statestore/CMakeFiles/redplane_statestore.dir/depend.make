@@ -1,0 +1,2 @@
+# Empty dependencies file for redplane_statestore.
+# This may be replaced when dependencies are built.

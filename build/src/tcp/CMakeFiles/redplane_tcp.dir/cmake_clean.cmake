@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redplane_tcp.dir/tcp.cc.o"
+  "CMakeFiles/redplane_tcp.dir/tcp.cc.o.d"
+  "libredplane_tcp.a"
+  "libredplane_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redplane_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

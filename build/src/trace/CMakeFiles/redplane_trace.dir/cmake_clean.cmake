@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redplane_trace.dir/workload.cc.o"
+  "CMakeFiles/redplane_trace.dir/workload.cc.o.d"
+  "libredplane_trace.a"
+  "libredplane_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redplane_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines_test.cc" "tests/CMakeFiles/baselines_test.dir/baselines_test.cc.o" "gcc" "tests/CMakeFiles/baselines_test.dir/baselines_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/redplane_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/modelcheck/CMakeFiles/redplane_modelcheck.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/redplane_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/redplane_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/redplane_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/redplane_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/statestore/CMakeFiles/redplane_statestore.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/redplane_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/redplane_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/redplane_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/redplane_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/redplane_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_manager_test.dir/chain_manager_test.cc.o"
+  "CMakeFiles/chain_manager_test.dir/chain_manager_test.cc.o.d"
+  "chain_manager_test"
+  "chain_manager_test.pdb"
+  "chain_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

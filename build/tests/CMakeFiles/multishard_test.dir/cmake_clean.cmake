@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multishard_test.dir/multishard_test.cc.o"
+  "CMakeFiles/multishard_test.dir/multishard_test.cc.o.d"
+  "multishard_test"
+  "multishard_test.pdb"
+  "multishard_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multishard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

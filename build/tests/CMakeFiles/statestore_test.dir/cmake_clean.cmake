@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statestore_test.dir/statestore_test.cc.o"
+  "CMakeFiles/statestore_test.dir/statestore_test.cc.o.d"
+  "statestore_test"
+  "statestore_test.pdb"
+  "statestore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statestore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
