@@ -41,7 +41,7 @@ routing::TestbedConfig LatencyTestbedConfig() {
   return config;
 }
 
-SampleSet RunNatVariant(Variant variant) {
+SampleSet RunNatVariant(Variant variant, ObsSession* obs) {
   Deployment deploy;
   routing::TestbedConfig config = LatencyTestbedConfig();
   apps::NatGlobalState store_pool(kNatIp, 5000, 4096, kInternalPrefix,
@@ -90,6 +90,15 @@ SampleSet RunNatVariant(Variant variant) {
     case Variant::kRedPlaneNat: {
       core::RedPlaneConfig rp;
       deploy.DeployRedPlane(nat, rp);
+      if (obs != nullptr) {
+        // Trace/sample only the RedPlane variant: that is the system under
+        // study, and attaching after routing settles keeps the trace focused
+        // on protocol traffic.
+        obs->AttachTracer(sim);
+        obs->Watch(deploy.redplane(0)->stats());
+        for (auto* server : tb.store) obs->Watch(server->counters());
+        obs->StartSampling(sim, Milliseconds(100), Seconds(4));
+      }
       break;
     }
     case Variant::kServerNat:
@@ -151,12 +160,20 @@ SampleSet RunNatVariant(Variant variant) {
                    [&probe, flow, pad]() { probe.Send(flow, pad); });
   }
   sim.Run();
+  if (obs != nullptr && variant == Variant::kRedPlaneNat) {
+    obs->SampleOnce(sim.Now());
+    // The hub and tracer hold non-owning references into this run's
+    // deployment; release them before it is destroyed.
+    obs->UnwatchAll();
+    obs->DetachTracer();
+  }
   return std::move(probe.rtt_us());
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ObsSession obs(argc, argv);
   std::printf("=== Fig. 8: end-to-end RTT, NAT implementations ===\n");
   std::printf("(%zu probe packets, %zu flows, DC-like trace, failure-free)\n\n",
               kPackets, kFlows);
@@ -174,7 +191,8 @@ int main() {
   };
   std::vector<std::pair<std::string, SampleSet>> results;
   for (const Row& row : rows) {
-    results.emplace_back(row.name, RunNatVariant(row.variant));
+    results.emplace_back(row.name,
+                         RunNatVariant(row.variant, obs.enabled() ? &obs : nullptr));
   }
   for (auto& [name, samples] : results) {
     PrintLatencySummary(name, samples);
@@ -191,5 +209,6 @@ int main() {
   for (auto& [name, samples] : results) {
     PrintCdf(name, samples);
   }
+  obs.Finish();
   return 0;
 }

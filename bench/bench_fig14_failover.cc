@@ -30,7 +30,7 @@ constexpr SimTime kEnd = Seconds(60);
 
 enum class Mode { kBaseline, kFailureNoRedPlane, kFailureRedPlane };
 
-std::vector<double> RunTimeline(Mode mode) {
+std::vector<double> RunTimeline(Mode mode, ObsSession* obs = nullptr) {
   Deployment deploy;
   auto store_pool = std::make_shared<apps::NatGlobalState>(
       kNatIp, 5000, 128, kInternalPrefix, kInternalMask);
@@ -76,6 +76,14 @@ std::vector<double> RunTimeline(Mode mode) {
   }
   deploy.AnycastToAgg(kNatIp, 0);
 
+  if (obs != nullptr && mode == Mode::kFailureRedPlane) {
+    obs->AttachTracer(sim);
+    obs->Watch(deploy.redplane(0)->stats());
+    obs->Watch(deploy.redplane(1)->stats());
+    for (auto* server : tb.store) obs->Watch(server->counters());
+    obs->StartSampling(sim, Milliseconds(100), kEnd);
+  }
+
   // TCP endpoints: sender inside rack 0, receiver outside the DC.
   auto* sender = tb.network->AddNode<tcp::TcpSenderNode>(
       "iperf-c", net::Ipv4Addr(192, 168, 10, 50));
@@ -104,6 +112,11 @@ std::vector<double> RunTimeline(Mode mode) {
   sender->Start({sender->ip(), receiver->ip(), 40000, 5001,
                  net::IpProto::kTcp});
   sim.RunUntil(kEnd);
+  if (obs != nullptr && mode == Mode::kFailureRedPlane) {
+    obs->SampleOnce(sim.Now());
+    obs->UnwatchAll();
+    obs->DetachTracer();
+  }
 
   std::vector<double> gbps;
   for (std::size_t s = 0; s < static_cast<std::size_t>(kEnd / Seconds(1));
@@ -115,14 +128,16 @@ std::vector<double> RunTimeline(Mode mode) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ObsSession obs(argc, argv);
   std::printf("=== Fig. 14: TCP throughput across switch failure/recovery "
               "===\n");
   std::printf("(1 Gbps fabric; failure at t=15 s, recovery at t=40 s; "
               "1 s buckets)\n\n");
+  ObsSession* obs_ptr = obs.enabled() ? &obs : nullptr;
   const auto baseline = RunTimeline(Mode::kBaseline);
   const auto failure = RunTimeline(Mode::kFailureNoRedPlane);
-  const auto redplane = RunTimeline(Mode::kFailureRedPlane);
+  const auto redplane = RunTimeline(Mode::kFailureRedPlane, obs_ptr);
 
   TablePrinter table({"t (s)", "Baseline (Gbps)", "Failure (Gbps)",
                       "Failure+RedPlane (Gbps)"});
@@ -149,5 +164,6 @@ int main() {
               "lease period.\nWithout RedPlane the connection never "
               "recovers (NAT identity lost).\n",
               recovered_at);
+  obs.Finish();
   return 0;
 }

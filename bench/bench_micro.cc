@@ -7,6 +7,9 @@
 #include "core/snapshot.h"
 #include "dataplane/register_array.h"
 #include "net/codec.h"
+#include "common/stats.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "sim/simulator.h"
 
 using namespace redplane;
@@ -103,6 +106,78 @@ void BM_SimulatorEventThroughput(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_SimulatorEventThroughput);
+
+// --- Observability-layer overhead -----------------------------------------
+
+// The default state: no tracer attached / tracing disabled.  A TraceHandle
+// emit must cost no more than a couple of loads and a predictable branch.
+void BM_TraceEmitDisabled(benchmark::State& state) {
+  obs::TraceHandle handle("bench");
+  for (auto _ : state) {
+    if (handle.armed()) {
+      handle.Emit(obs::Ev::kIngress, 0x1234, 1, 64.0);
+    }
+    benchmark::DoNotOptimize(&handle);
+  }
+}
+BENCHMARK(BM_TraceEmitDisabled);
+
+void BM_TraceEmitEnabled(benchmark::State& state) {
+  obs::Tracer tracer(1u << 12);
+  tracer.SetEnabled(true);
+  obs::Tracer* prev = obs::SetGlobalTracer(&tracer);
+  obs::TraceHandle handle("bench");
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    if (handle.armed()) {
+      handle.Emit(obs::Ev::kIngress, 0x1234, ++seq, 64.0);
+    }
+  }
+  benchmark::DoNotOptimize(tracer.size());
+  obs::SetGlobalTracer(prev);
+}
+BENCHMARK(BM_TraceEmitEnabled);
+
+// Typed handle vs the string-keyed APIs it replaced on the hot path.
+void BM_MetricCounterAdd(benchmark::State& state) {
+  obs::MetricRegistry registry("bench");
+  obs::Counter counter = registry.RegisterCounter("pkts");
+  for (auto _ : state) {
+    counter.Add();
+  }
+  benchmark::DoNotOptimize(registry.Get("pkts"));
+}
+BENCHMARK(BM_MetricCounterAdd);
+
+void BM_MetricRegistryStringAdd(benchmark::State& state) {
+  obs::MetricRegistry registry("bench");
+  for (auto _ : state) {
+    registry.Add("pkts");
+  }
+  benchmark::DoNotOptimize(registry.Get("pkts"));
+}
+BENCHMARK(BM_MetricRegistryStringAdd);
+
+void BM_LegacyCountersAdd(benchmark::State& state) {
+  Counters counters;
+  for (auto _ : state) {
+    counters.Add("pkts");
+  }
+  benchmark::DoNotOptimize(counters.Get("pkts"));
+}
+BENCHMARK(BM_LegacyCountersAdd);
+
+void BM_MetricHistogramRecord(benchmark::State& state) {
+  obs::MetricRegistry registry("bench");
+  obs::Histogram hist = registry.RegisterHistogram("rtt_us");
+  double v = 1.0;
+  for (auto _ : state) {
+    hist.Record(v);
+    v = v < 1e6 ? v * 1.1 : 1.0;
+  }
+  benchmark::DoNotOptimize(hist.Count());
+}
+BENCHMARK(BM_MetricHistogramRecord);
 
 }  // namespace
 

@@ -1,7 +1,8 @@
 #include "harness.h"
 
 #include <cstdio>
-
+#include <fstream>
+#include <iostream>
 #include <set>
 
 #include "net/codec.h"
@@ -145,6 +146,117 @@ void TablePrinter::Row(const std::vector<std::string>& cells) {
     std::printf("%-*s", static_cast<int>(w), cells[i].c_str());
   }
   std::printf("\n");
+}
+
+namespace {
+
+/// Consumes `--<flag>=value` or `--<flag> value` from argv; returns the
+/// value (empty when absent).
+std::string TakeFlag(int& argc, char** argv, const std::string& flag) {
+  const std::string prefix = "--" + flag + "=";
+  const std::string bare = "--" + flag;
+  std::string value;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      value = arg.substr(prefix.size());
+      continue;
+    }
+    if (arg == bare && i + 1 < argc) {
+      value = argv[++i];
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  return value;
+}
+
+}  // namespace
+
+ObsSession::ObsSession(int& argc, char** argv) : tracer_(1u << 18) {
+  trace_path_ = TakeFlag(argc, argv, "trace-out");
+  metrics_path_ = TakeFlag(argc, argv, "metrics-out");
+}
+
+ObsSession::~ObsSession() {
+  Finish();
+  DetachTracer();
+}
+
+void ObsSession::AttachTracer(sim::Simulator& sim) {
+  if (!enabled()) return;
+  tracer_.SetClock([&sim]() { return sim.Now(); });
+  if (!attached_) {
+    prev_tracer_ = obs::SetGlobalTracer(&tracer_);
+    attached_ = true;
+  }
+  tracer_.SetEnabled(trace_enabled());
+}
+
+void ObsSession::DetachTracer() {
+  if (!attached_) return;
+  tracer_.SetEnabled(false);
+  tracer_.ClearClock();
+  obs::SetGlobalTracer(prev_tracer_);
+  prev_tracer_ = nullptr;
+  attached_ = false;
+}
+
+void ObsSession::Watch(const obs::MetricRegistry& registry) {
+  if (!metrics_enabled()) return;
+  hub_.Register(&registry);
+}
+
+void ObsSession::UnwatchAll() { hub_.Clear(); }
+
+void ObsSession::StartSampling(sim::Simulator& sim, SimDuration period,
+                               SimTime horizon) {
+  if (!metrics_enabled() || period <= 0) return;
+  // The simulator runs until its queue drains, so a self-rescheduling
+  // sampler would never let it terminate; pre-schedule a bounded horizon.
+  for (SimTime t = period; t <= horizon; t += period) {
+    sim.ScheduleAt(t, [this, &sim]() { SampleOnce(sim.Now()); });
+  }
+}
+
+void ObsSession::SampleOnce(SimTime t) {
+  if (!metrics_enabled()) return;
+  series_.Append(hub_.Snapshot(t));
+}
+
+void ObsSession::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (trace_enabled()) {
+    std::ofstream os(trace_path_);
+    tracer_.WriteChromeTrace(os);
+    os.flush();
+    if (os) {
+      std::printf("\n[obs] wrote %zu trace events (%llu evicted) to %s\n",
+                  tracer_.size(),
+                  static_cast<unsigned long long>(tracer_.evicted()),
+                  trace_path_.c_str());
+    } else {
+      std::fprintf(stderr, "[obs] ERROR: failed to write trace to %s\n",
+                   trace_path_.c_str());
+    }
+    std::printf("[obs] per-phase latency breakdown:\n");
+    tracer_.PrintBreakdown(std::cout);
+  }
+  if (metrics_enabled()) {
+    std::ofstream os(metrics_path_);
+    series_.WriteJson(os);
+    os.flush();
+    if (os) {
+      std::printf("[obs] wrote %zu metric snapshots to %s\n", series_.Size(),
+                  metrics_path_.c_str());
+    } else {
+      std::fprintf(stderr, "[obs] ERROR: failed to write metrics to %s\n",
+                   metrics_path_.c_str());
+    }
+  }
 }
 
 }  // namespace redplane::bench

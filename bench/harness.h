@@ -25,6 +25,8 @@
 #include "baselines/server_nf.h"
 #include "common/stats.h"
 #include "core/redplane_switch.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "routing/failure.h"
 #include "routing/topology.h"
 #include "trace/workload.h"
@@ -112,6 +114,59 @@ void PrintCdf(const std::string& name, const SampleSet& samples,
 /// control-plane install queue in a way no production trace does.
 void ShapeFlowChurn(std::vector<trace::TracePacket>& packets,
                     SimDuration min_gap);
+
+/// Observability session for benches: owns a Tracer, a MetricsHub and a
+/// time-series log, driven by the `--trace-out=FILE` / `--metrics-out=FILE`
+/// command-line flags (both `--flag=value` and `--flag value` forms).
+/// When neither flag is given the session is inert and adds no overhead.
+///
+/// Lifecycle per experiment run:
+///   AttachTracer(sim)  — clock the tracer off the simulator, install it as
+///                        the process-global tracer and enable recording
+///   Watch(registry)    — include a component's metrics in snapshots
+///   StartSampling(...) — pre-schedule periodic MetricsHub snapshots up to a
+///                        bounded horizon (the simulator runs until its
+///                        queue drains, so sampling must not self-reschedule)
+///   SampleOnce(t)      — take one extra snapshot (e.g. after sim.Run())
+///   UnwatchAll() + DetachTracer() — BEFORE the watched components are
+///                        destroyed (the hub holds non-owning pointers)
+///   Finish()           — write the trace / metrics JSON files and print the
+///                        per-phase latency breakdown
+class ObsSession {
+ public:
+  /// Parses and removes the observability flags from argv.
+  ObsSession(int& argc, char** argv);
+  ~ObsSession();
+
+  bool trace_enabled() const { return !trace_path_.empty(); }
+  bool metrics_enabled() const { return !metrics_path_.empty(); }
+  bool enabled() const { return trace_enabled() || metrics_enabled(); }
+
+  void AttachTracer(sim::Simulator& sim);
+  void DetachTracer();
+
+  void Watch(const obs::MetricRegistry& registry);
+  void UnwatchAll();
+
+  /// Pre-schedules snapshots at `period` intervals in (0, horizon].
+  void StartSampling(sim::Simulator& sim, SimDuration period, SimTime horizon);
+  void SampleOnce(SimTime t);
+
+  /// Writes the output files and prints the phase breakdown; idempotent.
+  void Finish();
+
+  obs::Tracer& tracer() { return tracer_; }
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+  obs::Tracer tracer_;
+  obs::MetricsHub hub_;
+  obs::TimeSeriesLog series_;
+  obs::Tracer* prev_tracer_ = nullptr;
+  bool attached_ = false;
+  bool finished_ = false;
+};
 
 /// Markdown-ish table printer.
 class TablePrinter {

@@ -32,7 +32,9 @@ ControllerFtPipeline::ControllerFtPipeline(
       app_(app),
       controller_(controller),
       mgmt_rtt_(mgmt_rtt),
-      initializer_(std::move(initializer)) {}
+      initializer_(std::move(initializer)) {
+  stats_.set_component(node.name() + "/ctrl_ft");
+}
 
 void ControllerFtPipeline::Process(dp::SwitchContext& ctx, net::Packet pkt) {
   const auto key = app_.KeyOf(pkt);

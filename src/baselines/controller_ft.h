@@ -12,7 +12,7 @@
 #include <functional>
 #include <unordered_map>
 
-#include "common/stats.h"
+#include "obs/metrics.h"
 #include "core/app.h"
 #include "dataplane/pipeline.h"
 #include "sim/host.h"
@@ -66,7 +66,7 @@ class ControllerFtPipeline : public dp::PipelineHandler {
   /// switch).  Returns the number of partitions restored.
   std::size_t RestoreFromController();
 
-  Counters& stats() { return stats_; }
+  obs::MetricRegistry& stats() { return stats_; }
 
  private:
   struct Entry {
@@ -83,7 +83,7 @@ class ControllerFtPipeline : public dp::PipelineHandler {
   SimDuration mgmt_rtt_;
   std::function<std::vector<std::byte>(const net::PartitionKey&)> initializer_;
   std::unordered_map<net::PartitionKey, Entry> state_;
-  Counters stats_;
+  obs::MetricRegistry stats_;
 };
 
 }  // namespace redplane::baselines

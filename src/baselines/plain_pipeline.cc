@@ -6,7 +6,9 @@ PlainAppPipeline::PlainAppPipeline(
     dp::SwitchNode& node, core::SwitchApp& app,
     std::function<std::vector<std::byte>(const net::PartitionKey&)>
         initializer)
-    : node_(node), app_(app), initializer_(std::move(initializer)) {}
+    : node_(node), app_(app), initializer_(std::move(initializer)) {
+  stats_.set_component(node.name() + "/plain");
+}
 
 void PlainAppPipeline::Process(dp::SwitchContext& ctx, net::Packet pkt) {
   const auto key = app_.KeyOf(pkt);

@@ -11,7 +11,7 @@
 #include <functional>
 #include <unordered_map>
 
-#include "common/stats.h"
+#include "obs/metrics.h"
 #include "core/app.h"
 #include "dataplane/pipeline.h"
 
@@ -28,7 +28,7 @@ class PlainAppPipeline : public dp::PipelineHandler {
   void Process(dp::SwitchContext& ctx, net::Packet pkt) override;
   void Reset() override;
 
-  Counters& stats() { return stats_; }
+  obs::MetricRegistry& stats() { return stats_; }
   std::size_t NumFlows() const { return state_.size(); }
 
  private:
@@ -44,7 +44,7 @@ class PlainAppPipeline : public dp::PipelineHandler {
   core::SwitchApp& app_;
   std::function<std::vector<std::byte>(const net::PartitionKey&)> initializer_;
   std::unordered_map<net::PartitionKey, Entry> state_;
-  Counters stats_;
+  obs::MetricRegistry stats_;
 };
 
 }  // namespace redplane::baselines

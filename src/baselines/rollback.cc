@@ -4,7 +4,9 @@ namespace redplane::baselines {
 
 RollbackPipeline::RollbackPipeline(dp::SwitchNode& node, core::SwitchApp& app,
                                    std::size_t max_queued_logs)
-    : node_(node), app_(app), max_queued_logs_(max_queued_logs) {}
+    : node_(node), app_(app), max_queued_logs_(max_queued_logs) {
+  stats_.set_component(node.name() + "/rollback");
+}
 
 void RollbackPipeline::Process(dp::SwitchContext& ctx, net::Packet pkt) {
   const auto key = app_.KeyOf(pkt);

@@ -12,7 +12,7 @@
 
 #include <deque>
 
-#include "common/stats.h"
+#include "obs/metrics.h"
 #include "core/app.h"
 #include "dataplane/pipeline.h"
 
@@ -36,7 +36,7 @@ class RollbackPipeline : public dp::PipelineHandler {
 
   std::uint64_t packets_logged() const { return logged_; }
   std::uint64_t packets_not_logged() const { return not_logged_; }
-  Counters& stats() { return stats_; }
+  obs::MetricRegistry& stats() { return stats_; }
 
  private:
   dp::SwitchNode& node_;
@@ -47,7 +47,7 @@ class RollbackPipeline : public dp::PipelineHandler {
   std::vector<net::Packet> log_;
   std::uint64_t logged_ = 0;
   std::uint64_t not_logged_ = 0;
-  Counters stats_;
+  obs::MetricRegistry stats_;
 };
 
 }  // namespace redplane::baselines

@@ -13,7 +13,9 @@ ServerNfNode::ServerNfNode(
       ip_(ip),
       app_(app),
       config_(config),
-      initializer_(std::move(initializer)) {}
+      initializer_(std::move(initializer)) {
+  stats_.set_component(this->name() + "/nf");
+}
 
 void ServerNfNode::HandlePacket(net::Packet pkt, PortId in_port) {
   (void)in_port;

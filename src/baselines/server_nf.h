@@ -13,7 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "common/stats.h"
+#include "obs/metrics.h"
 #include "core/app.h"
 #include "sim/host.h"
 
@@ -41,7 +41,7 @@ class ServerNfNode : public sim::Node {
 
   void HandlePacket(net::Packet pkt, PortId in_port) override;
 
-  Counters& stats() { return stats_; }
+  obs::MetricRegistry& stats() { return stats_; }
 
  private:
   void RunApp(net::Packet pkt);
@@ -52,7 +52,7 @@ class ServerNfNode : public sim::Node {
   std::function<std::vector<std::byte>(const net::PartitionKey&)> initializer_;
   std::unordered_map<net::PartitionKey, std::vector<std::byte>> state_;
   SimTime busy_until_ = 0;
-  Counters stats_;
+  obs::MetricRegistry stats_;
 };
 
 }  // namespace redplane::baselines

@@ -11,7 +11,9 @@ SwitchChainPipeline::SwitchChainPipeline(dp::SwitchNode& node,
     : node_(node),
       app_(app),
       next_hop_ip_(next_hop_ip),
-      chain_port_(chain_port) {}
+      chain_port_(chain_port) {
+  stats_.set_component(node.name() + "/chain");
+}
 
 void SwitchChainPipeline::Process(dp::SwitchContext& ctx, net::Packet pkt) {
   if (pkt.IsUdpTo(chain_port_)) {

@@ -13,7 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "common/stats.h"
+#include "obs/metrics.h"
 #include "core/app.h"
 #include "dataplane/pipeline.h"
 
@@ -40,7 +40,7 @@ class SwitchChainPipeline : public dp::PipelineHandler {
   /// pays this; the resource-overhead flaw of the approach).
   std::size_t ReplicaStateBytes() const;
 
-  Counters& stats() { return stats_; }
+  obs::MetricRegistry& stats() { return stats_; }
 
  private:
   void ApplyChainUpdate(dp::SwitchContext& ctx, net::Packet pkt);
@@ -50,7 +50,7 @@ class SwitchChainPipeline : public dp::PipelineHandler {
   std::optional<net::Ipv4Addr> next_hop_ip_;
   std::uint16_t chain_port_;
   std::unordered_map<net::PartitionKey, std::vector<std::byte>> state_;
-  Counters stats_;
+  obs::MetricRegistry stats_;
 };
 
 }  // namespace redplane::baselines

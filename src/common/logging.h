@@ -6,8 +6,12 @@
 // the level is enabled.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
+#include <string_view>
+
+#include "common/types.h"
 
 namespace redplane {
 
@@ -20,11 +24,26 @@ enum class LogLevel : int {
   kOff = 5,
 };
 
-/// Returns the current global log level.
+/// Returns the current global log level.  On first call, honors the
+/// REDPLANE_LOG_LEVEL environment variable (name or numeric value).
 LogLevel GetLogLevel();
 
 /// Sets the global log level; returns the previous level.
 LogLevel SetLogLevel(LogLevel level);
+
+/// Parses "trace"/"debug"/"info"/"warn"/"error"/"off" (case-insensitive) or a
+/// numeric level into `*out`.  Returns false (leaving `*out` untouched) on
+/// unrecognized input.
+bool ParseLogLevel(std::string_view text, LogLevel* out);
+
+/// Registers a simulated-time source so log lines carry a `[t=1.234ms]`
+/// prefix.  `owner` identifies the registrant (typically the simulator);
+/// the last registration wins.
+void SetLogClock(const void* owner, std::function<SimTime()> clock);
+
+/// Removes the clock iff `owner` is the current registrant (so a destroyed
+/// simulator cannot clear a newer one's clock).
+void ClearLogClock(const void* owner);
 
 /// Emits one formatted line to the sink.  Internal; use the RP_LOG macro.
 void LogLine(LogLevel level, const char* file, int line,

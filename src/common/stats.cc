@@ -87,20 +87,18 @@ double TimeSeries::BucketSum(std::size_t i) const {
 }
 
 void Counters::Add(const std::string& name, double delta) {
-  for (auto& [k, v] : entries_) {
-    if (k == name) {
-      v += delta;
-      return;
-    }
+  auto it = index_.find(name);
+  if (it != index_.end()) {
+    entries_[it->second].second += delta;
+    return;
   }
+  index_.emplace(name, entries_.size());
   entries_.emplace_back(name, delta);
 }
 
 double Counters::Get(const std::string& name) const {
-  for (const auto& [k, v] : entries_) {
-    if (k == name) return v;
-  }
-  return 0.0;
+  auto it = index_.find(name);
+  return it != index_.end() ? entries_[it->second].second : 0.0;
 }
 
 std::vector<std::pair<std::string, double>> Counters::Sorted() const {
@@ -110,7 +108,10 @@ std::vector<std::pair<std::string, double>> Counters::Sorted() const {
   return out;
 }
 
-void Counters::Reset() { entries_.clear(); }
+void Counters::Reset() {
+  entries_.clear();
+  index_.clear();
+}
 
 std::string FormatDouble(double v, int digits) {
   char buf[64];

@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
@@ -74,6 +75,11 @@ class TimeSeries {
 
 /// Simple named counter set used by components to report totals (packets
 /// forwarded, replication requests sent, bytes on the wire, ...).
+///
+/// Backed by a hash index so Add/Get are O(1) rather than a linear scan;
+/// Sorted() still returns a stable name-ordered view.  New hot-path code
+/// should prefer the typed handles in obs::MetricRegistry; this class stays
+/// for benches and tests that accumulate ad-hoc counters.
 class Counters {
  public:
   void Add(const std::string& name, double delta = 1.0);
@@ -82,7 +88,8 @@ class Counters {
   void Reset();
 
  private:
-  std::vector<std::pair<std::string, double>> entries_;
+  std::vector<std::pair<std::string, double>> entries_;  // insertion order
+  std::unordered_map<std::string, std::size_t> index_;   // name -> slot
 };
 
 /// Formats `v` with `digits` decimal places (reporting helper).

@@ -29,9 +29,39 @@ RedPlaneSwitch::RedPlaneSwitch(
     : node_(node),
       app_(app),
       shard_for_(std::move(shard_for)),
-      config_(config) {
+      config_(config),
+      stats_(node.name() + "/rp"),
+      trace_(node.name() + "/rp") {
   assert(shard_for_);
   node_.mirror().set_truncate_to(config_.mirror_truncate_bytes);
+  m_.app_pkts = stats_.RegisterCounter("app_pkts");
+  m_.orig_bytes = stats_.RegisterCounter("orig_bytes");
+  m_.req_bytes = stats_.RegisterCounter("req_bytes");
+  m_.resp_bytes = stats_.RegisterCounter("resp_bytes");
+  m_.reqs_sent = stats_.RegisterCounter("reqs_sent");
+  m_.inits_sent = stats_.RegisterCounter("inits_sent");
+  m_.renewals_sent = stats_.RegisterCounter("renewals_sent");
+  m_.writes_replicated = stats_.RegisterCounter("writes_replicated");
+  m_.reads_buffered = stats_.RegisterCounter("reads_buffered");
+  m_.init_loop_buffered = stats_.RegisterCounter("init_loop_buffered");
+  m_.init_loop_drops = stats_.RegisterCounter("init_loop_drops");
+  m_.grants_new = stats_.RegisterCounter("grants_new");
+  m_.grants_migrate = stats_.RegisterCounter("grants_migrate");
+  m_.stale_grants = stats_.RegisterCounter("stale_grants");
+  m_.cp_installs = stats_.RegisterCounter("cp_installs");
+  m_.lease_denials = stats_.RegisterCounter("lease_denials");
+  m_.retransmits = stats_.RegisterCounter("retransmits");
+  m_.retx_give_ups = stats_.RegisterCounter("retx_give_ups");
+  m_.outputs_released = stats_.RegisterCounter("outputs_released");
+  m_.malformed_acks = stats_.RegisterCounter("malformed_acks");
+  m_.snapshot_slots_sent = stats_.RegisterCounter("snapshot_slots_sent");
+  m_.epsilon_violations = stats_.RegisterCounter("epsilon_violations");
+  m_.write_rtt_us = stats_.RegisterHistogram("write_rtt_us");
+  stats_.AddCallbackGauge(
+      "active_flows", [this] { return static_cast<double>(flows_.Size()); });
+  stats_.AddCallbackGauge("mirror_occupancy_bytes", [this] {
+    return static_cast<double>(node_.mirror().OccupancyBytes());
+  });
 }
 
 RedPlaneSwitch::~RedPlaneSwitch() = default;
@@ -39,10 +69,10 @@ RedPlaneSwitch::~RedPlaneSwitch() = default;
 void RedPlaneSwitch::Process(dp::SwitchContext& ctx, net::Packet pkt) {
   if (IsProtocolPacket(pkt)) {
     if (pkt.ip.has_value() && pkt.ip->dst == node_.ip()) {
-      stats_.Add("resp_bytes", static_cast<double>(pkt.WireSize()));
+      m_.resp_bytes.Add(static_cast<double>(pkt.WireSize()));
       auto msg = DecodeFromPacket(pkt);
       if (!msg.has_value()) {
-        stats_.Add("malformed_acks");
+        m_.malformed_acks.Add();
         return;
       }
       HandleAck(ctx, std::move(*msg));
@@ -61,8 +91,8 @@ void RedPlaneSwitch::HandleAppPacket(dp::SwitchContext& ctx, net::Packet pkt) {
     ctx.Forward(std::move(pkt));
     return;
   }
-  stats_.Add("orig_bytes", static_cast<double>(pkt.WireSize()));
-  stats_.Add("app_pkts");
+  m_.orig_bytes.Add(static_cast<double>(pkt.WireSize()));
+  m_.app_pkts.Add();
   const SimTime now = ctx.Now();
 
   FlowEntry* entry = flows_.Find(*key);
@@ -78,7 +108,11 @@ void RedPlaneSwitch::HandleAppPacket(dp::SwitchContext& ctx, net::Packet pkt) {
       renew.seq = entry->cur_seq;
       renew.reply_to = node_.ip();
       entry->renew_in_flight = true;
-      stats_.Add("renewals_sent");
+      m_.renewals_sent.Add();
+      if (trace_.armed()) {
+        trace_.Emit(obs::Ev::kRenewSent, net::HashPartitionKey(*key),
+                    entry->cur_seq);
+      }
       SendRequest(renew, /*mirror=*/false);
       // Record the send time for expiry extension on kRenewAck.
       renew_sent_at_[RetxKey(*key, 0)] = now;
@@ -100,7 +134,11 @@ void RedPlaneSwitch::HandleAppPacket(dp::SwitchContext& ctx, net::Packet pkt) {
     buf.snapshot_index = 0;
     buf.reply_to = node_.ip();
     buf.piggyback = std::move(pkt);
-    stats_.Add("init_loop_buffered");
+    m_.init_loop_buffered.Add();
+    if (trace_.armed()) {
+      trace_.Emit(obs::Ev::kBufferedReadLoop, net::HashPartitionKey(*key), 0,
+                  static_cast<double>(entry->init_loops));
+    }
     SendRequest(buf, /*mirror=*/false);
     return;
   }
@@ -117,7 +155,10 @@ void RedPlaneSwitch::HandleAppPacket(dp::SwitchContext& ctx, net::Packet pkt) {
   init.seq = 0;
   init.reply_to = node_.ip();
   init.piggyback = std::move(pkt);
-  stats_.Add("inits_sent");
+  m_.inits_sent.Add();
+  if (trace_.armed()) {
+    trace_.Emit(obs::Ev::kLeaseMiss, net::HashPartitionKey(*key));
+  }
   SendRequest(init, /*mirror=*/true);
 }
 
@@ -151,7 +192,12 @@ void RedPlaneSwitch::RunApp(dp::SwitchContext& ctx,
       repl.piggyback = std::move(result.outputs.front());
     }
     FlowTable::NoteSend(entry, entry.cur_seq, ctx.Now());
-    stats_.Add("writes_replicated");
+    m_.writes_replicated.Add();
+    if (trace_.armed()) {
+      trace_.Emit(obs::Ev::kReplicationSent, net::HashPartitionKey(key),
+                  entry.cur_seq,
+                  static_cast<double>(repl.state.size()));
+    }
     SendRequest(repl, /*mirror=*/true);
     return;
   }
@@ -167,7 +213,11 @@ void RedPlaneSwitch::RunApp(dp::SwitchContext& ctx,
       buf.seq = entry.cur_seq;
       buf.reply_to = node_.ip();
       buf.piggyback = std::move(out);
-      stats_.Add("reads_buffered");
+      m_.reads_buffered.Add();
+      if (trace_.armed()) {
+        trace_.Emit(obs::Ev::kBufferedRead, net::HashPartitionKey(key),
+                    entry.cur_seq);
+      }
       SendRequest(buf, /*mirror=*/false);
     }
     return;
@@ -186,12 +236,20 @@ void RedPlaneSwitch::HandleAck(dp::SwitchContext& ctx, Msg msg) {
     case AckKind::kLeaseGrantNew:
     case AckKind::kLeaseGrantMigrate: {
       if (entry == nullptr || entry->status != FlowStatus::kInitPending) {
-        stats_.Add("stale_grants");
+        m_.stale_grants.Add();
         return;
       }
       node_.mirror().Acknowledge(msg.key, msg.seq);
-      stats_.Add(msg.ack == AckKind::kLeaseGrantMigrate ? "grants_migrate"
-                                                        : "grants_new");
+      const bool migrate = msg.ack == AckKind::kLeaseGrantMigrate;
+      if (migrate) {
+        m_.grants_migrate.Add();
+      } else {
+        m_.grants_new.Add();
+      }
+      if (trace_.armed()) {
+        trace_.Emit(migrate ? obs::Ev::kFailoverRehome : obs::Ev::kLeaseGrant,
+                    net::HashPartitionKey(msg.key), msg.seq);
+      }
       const auto sent_it = init_sent_at_.find(RetxKey(msg.key, 0));
       const SimTime sent_at =
           sent_it == init_sent_at_.end() ? ctx.Now() : sent_it->second;
@@ -214,14 +272,14 @@ void RedPlaneSwitch::HandleAck(dp::SwitchContext& ctx, Msg msg) {
           // it now on a fresh pipeline pass.
           node_.Recirculate([this, p = std::move(*piggy)](
                                 dp::SwitchContext& rctx) mutable {
-            stats_.Add("orig_bytes", -static_cast<double>(p.WireSize()));
+            m_.orig_bytes.Add(-static_cast<double>(p.WireSize()));
             HandleAppPacket(rctx, std::move(p));
           });
         }
       };
       if (app_.StateInMatchTable()) {
         // Match-table state installs only via the switch control plane.
-        stats_.Add("cp_installs");
+        m_.cp_installs.Add();
         node_.control_plane().Submit(msg.state.size() + 64, std::move(install));
       } else {
         install();
@@ -230,10 +288,23 @@ void RedPlaneSwitch::HandleAck(dp::SwitchContext& ctx, Msg msg) {
     }
     case AckKind::kWriteAck: {
       if (entry != nullptr) {
+        // Write replication RTT, measured send-to-ack from the pending-send
+        // record the ack is about to consume.
+        for (const auto& [seq, sent_at] : entry->pending_sends) {
+          if (seq == msg.seq) {
+            m_.write_rtt_us.Record(
+                static_cast<double>(ctx.Now() - sent_at) / 1e3);
+            break;
+          }
+        }
         FlowTable::NoteAck(*entry, msg.seq, config_.lease_period);
       }
       node_.mirror().Acknowledge(msg.key, msg.seq);
       retx_counts_.erase(RetxKey(msg.key, msg.seq));
+      if (trace_.armed()) {
+        trace_.Emit(obs::Ev::kAckReleased, net::HashPartitionKey(msg.key),
+                    msg.seq);
+      }
       if (msg.piggyback.has_value()) {
         ReleaseOutput(ctx, std::move(*msg.piggyback));
       }
@@ -247,7 +318,12 @@ void RedPlaneSwitch::HandleAck(dp::SwitchContext& ctx, Msg msg) {
           // Still no lease (e.g. a control-plane install in progress):
           // loop again, bounded per packet.
           if (msg.snapshot_index >= config_.max_init_loops) {
-            stats_.Add("init_loop_drops");
+            m_.init_loop_drops.Add();
+            if (trace_.armed()) {
+              trace_.Emit(obs::Ev::kOutputDropped,
+                          net::HashPartitionKey(msg.key), 0,
+                          static_cast<double>(msg.snapshot_index));
+            }
             return;  // permitted input loss
           }
           Msg buf;
@@ -257,7 +333,12 @@ void RedPlaneSwitch::HandleAck(dp::SwitchContext& ctx, Msg msg) {
           buf.snapshot_index = msg.snapshot_index + 1;
           buf.reply_to = node_.ip();
           buf.piggyback = std::move(msg.piggyback);
-          stats_.Add("init_loop_buffered");
+          m_.init_loop_buffered.Add();
+          if (trace_.armed()) {
+            trace_.Emit(obs::Ev::kBufferedReadLoop,
+                        net::HashPartitionKey(msg.key), 0,
+                        static_cast<double>(msg.snapshot_index + 1));
+          }
           SendRequest(buf, /*mirror=*/false);
           return;
         }
@@ -265,11 +346,15 @@ void RedPlaneSwitch::HandleAck(dp::SwitchContext& ctx, Msg msg) {
         // pipeline again.
         node_.Recirculate([this, p = std::move(*msg.piggyback)](
                               dp::SwitchContext& rctx) mutable {
-          stats_.Add("orig_bytes", -static_cast<double>(p.WireSize()));
+          m_.orig_bytes.Add(-static_cast<double>(p.WireSize()));
           HandleAppPacket(rctx, std::move(p));
         });
       } else {
         // A processed output whose awaited write is now durable.
+        if (trace_.armed()) {
+          trace_.Emit(obs::Ev::kAckReleased, net::HashPartitionKey(msg.key),
+                      msg.seq);
+        }
         ReleaseOutput(ctx, std::move(*msg.piggyback));
       }
       return;
@@ -277,6 +362,10 @@ void RedPlaneSwitch::HandleAck(dp::SwitchContext& ctx, Msg msg) {
     case AckKind::kRenewAck: {
       if (entry == nullptr) return;
       entry->renew_in_flight = false;
+      if (trace_.armed()) {
+        trace_.Emit(obs::Ev::kRenewAck, net::HashPartitionKey(msg.key),
+                    msg.seq);
+      }
       const auto it = renew_sent_at_.find(RetxKey(msg.key, 0));
       if (it != renew_sent_at_.end()) {
         entry->lease_expiry =
@@ -288,7 +377,10 @@ void RedPlaneSwitch::HandleAck(dp::SwitchContext& ctx, Msg msg) {
     case AckKind::kLeaseDenied: {
       // Another switch owns the flow; forget it here (its packets will
       // re-init if routing brings them back).
-      stats_.Add("lease_denials");
+      m_.lease_denials.Add();
+      if (trace_.armed()) {
+        trace_.Emit(obs::Ev::kLeaseDenied, net::HashPartitionKey(msg.key));
+      }
       flows_.Erase(msg.key);
       node_.mirror().Acknowledge(msg.key, UINT64_MAX);
       return;
@@ -303,7 +395,7 @@ void RedPlaneSwitch::HandleAck(dp::SwitchContext& ctx, Msg msg) {
       return;
     }
     case AckKind::kNone:
-      stats_.Add("malformed_acks");
+      m_.malformed_acks.Add();
       return;
   }
 }
@@ -311,8 +403,8 @@ void RedPlaneSwitch::HandleAck(dp::SwitchContext& ctx, Msg msg) {
 void RedPlaneSwitch::SendRequest(const Msg& msg, bool mirror) {
   net::Packet pkt =
       MakeProtocolPacket(node_.ip(), shard_for_(msg.key), msg);
-  stats_.Add("req_bytes", static_cast<double>(pkt.WireSize()));
-  stats_.Add("reqs_sent");
+  m_.req_bytes.Add(static_cast<double>(pkt.WireSize()));
+  m_.reqs_sent.Add();
   if (mirror) {
     Msg truncated = msg;
     if (!config_.mirror_include_piggyback) truncated.piggyback.reset();
@@ -360,14 +452,21 @@ void RedPlaneSwitch::ScanRetransmits() {
       return;
     }
     e.last_sent_at = now;
-    stats_.Add("retransmits");
+    m_.retransmits.Add();
+    if (trace_.armed()) {
+      trace_.Emit(obs::Ev::kRetransmit, net::HashPartitionKey(e.key), e.seq,
+                  static_cast<double>(retx_counts_[RetxKey(e.key, e.seq)]));
+    }
     net::Packet pkt =
         MakeProtocolPacket(node_.ip(), shard_for_(msg->key), *msg);
-    stats_.Add("req_bytes", static_cast<double>(pkt.WireSize()));
+    m_.req_bytes.Add(static_cast<double>(pkt.WireSize()));
     node_.ForwardPacket(std::move(pkt), kInvalidPort);
   });
   for (const auto& [key, seq] : give_up) {
-    stats_.Add("retx_give_ups");
+    m_.retx_give_ups.Add();
+    if (trace_.armed()) {
+      trace_.Emit(obs::Ev::kRetxGiveUp, net::HashPartitionKey(key), seq);
+    }
     node_.mirror().Acknowledge(key, seq);
     retx_counts_.erase(RetxKey(key, seq));
     if (seq == 0) {
@@ -393,7 +492,7 @@ void RedPlaneSwitch::StartSnapshotReplication(Snapshottable& snap) {
   if (epsilon_ == nullptr) {
     epsilon_ = std::make_unique<EpsilonTracker>(
         config_.epsilon_bound, [this](const net::PartitionKey&) {
-          stats_.Add("epsilon_violations");
+          m_.epsilon_violations.Add();
         });
   }
   // One batch per T_snap; packet i addresses slot i (§5.4).  Generated
@@ -437,18 +536,23 @@ void RedPlaneSwitch::SnapshotBurstSlot(std::uint32_t index) {
     msg.snapshot_index = index;
     msg.reply_to = node_.ip();
     msg.state = snapshottable_->ReadSnapshotSlot(key, index);
-    stats_.Add("snapshot_slots_sent");
+    m_.snapshot_slots_sent.Add();
+    if (trace_.armed()) {
+      trace_.Emit(obs::Ev::kSnapshotSent, net::HashPartitionKey(key),
+                  SnapSeq(snapshot_round_, index),
+                  static_cast<double>(msg.state.size()));
+    }
     SendRequest(msg, /*mirror=*/true);
   }
 }
 
 void RedPlaneSwitch::ReleaseOutput(dp::SwitchContext& ctx, net::Packet pkt) {
   (void)ctx;
-  stats_.Add("outputs_released");
+  m_.outputs_released.Add();
   // Bandwidth accounting counts what the switch sends and receives (the
   // paper's Fig. 10 methodology), so the released output counts as original
   // traffic alongside its arrival.
-  stats_.Add("orig_bytes", static_cast<double>(pkt.WireSize()));
+  m_.orig_bytes.Add(static_cast<double>(pkt.WireSize()));
   node_.ForwardPacket(std::move(pkt), kInvalidPort);
 }
 

@@ -27,13 +27,14 @@
 #include <memory>
 #include <optional>
 
-#include "common/stats.h"
 #include "core/app.h"
 #include "core/epsilon.h"
 #include "core/flow_table.h"
 #include "core/protocol.h"
 #include "core/snapshot.h"
 #include "dataplane/pipeline.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 
 namespace redplane::core {
 
@@ -90,15 +91,15 @@ class RedPlaneSwitch : public dp::PipelineHandler {
   void StartSnapshotReplication(Snapshottable& snap);
 
   const FlowTable& flow_table() const { return flows_; }
-  Counters& stats() { return stats_; }
+  obs::MetricRegistry& stats() { return stats_; }
   EpsilonTracker* epsilon_tracker() { return epsilon_.get(); }
   const RedPlaneConfig& config() const { return config_; }
 
   /// Bandwidth accounting: bytes of protocol requests/responses vs original
   /// packets seen, for the Fig. 10 bench.
-  double protocol_request_bytes() const { return stats_.Get("req_bytes"); }
-  double protocol_response_bytes() const { return stats_.Get("resp_bytes"); }
-  double original_bytes() const { return stats_.Get("orig_bytes"); }
+  double protocol_request_bytes() const { return m_.req_bytes.value(); }
+  double protocol_response_bytes() const { return m_.resp_bytes.value(); }
+  double original_bytes() const { return m_.orig_bytes.value(); }
 
  private:
   /// Handles a protocol ack addressed to this switch.
@@ -133,7 +134,37 @@ class RedPlaneSwitch : public dp::PipelineHandler {
   std::function<net::Ipv4Addr(const net::PartitionKey&)> shard_for_;
   RedPlaneConfig config_;
   FlowTable flows_;
-  Counters stats_;
+  obs::MetricRegistry stats_;
+  obs::TraceHandle trace_;
+
+  /// Typed handles into stats_ for every hot-path counter (registered once
+  /// at construction; updated O(1) per packet).
+  struct Metrics {
+    obs::Counter app_pkts;
+    obs::Counter orig_bytes;
+    obs::Counter req_bytes;
+    obs::Counter resp_bytes;
+    obs::Counter reqs_sent;
+    obs::Counter inits_sent;
+    obs::Counter renewals_sent;
+    obs::Counter writes_replicated;
+    obs::Counter reads_buffered;
+    obs::Counter init_loop_buffered;
+    obs::Counter init_loop_drops;
+    obs::Counter grants_new;
+    obs::Counter grants_migrate;
+    obs::Counter stale_grants;
+    obs::Counter cp_installs;
+    obs::Counter lease_denials;
+    obs::Counter retransmits;
+    obs::Counter retx_give_ups;
+    obs::Counter outputs_released;
+    obs::Counter malformed_acks;
+    obs::Counter snapshot_slots_sent;
+    obs::Counter epsilon_violations;
+    obs::Histogram write_rtt_us;
+  };
+  Metrics m_;
 
   // Bounded-inconsistency mode.
   Snapshottable* snapshottable_ = nullptr;

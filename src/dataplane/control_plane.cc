@@ -18,10 +18,12 @@ SimTime ControlPlane::Submit(std::size_t bytes,
       busy_until_ + 2 * config_.pcie_latency;  // up + completion back
   ++pending_;
   const std::uint64_t epoch = epoch_;
-  sim_.ScheduleAt(done, [this, epoch, fn = std::move(on_complete)]() {
+  sim_.ScheduleAt(done, [this, epoch, bytes, fn = std::move(on_complete)]() {
     if (epoch != epoch_) return;  // switch failed while op was queued
     --pending_;
     ++completed_;
+    trace_.Emit(obs::Ev::kCpInstalled, 0, completed_,
+                static_cast<double>(bytes));
     fn();
   });
   return done;

@@ -10,8 +10,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 
 #include "common/types.h"
+#include "obs/tracer.h"
 #include "sim/simulator.h"
 
 namespace redplane::dp {
@@ -32,6 +34,9 @@ class ControlPlane {
  public:
   ControlPlane(sim::Simulator& sim, ControlPlaneConfig config)
       : sim_(sim), config_(config) {}
+
+  /// Names this channel in trace exports (set by the owning switch).
+  void SetTraceName(std::string name) { trace_.SetName(std::move(name)); }
 
   /// Submits a data-to-CPU operation carrying `bytes` of data; `on_complete`
   /// runs when the CPU has processed it and the completion has crossed back
@@ -56,6 +61,7 @@ class ControlPlane {
   std::size_t pending_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t epoch_ = 0;
+  obs::TraceHandle trace_;
 };
 
 }  // namespace redplane::dp

@@ -15,18 +15,28 @@ void MirrorSession::Mirror(const net::PartitionKey& key, std::uint64_t seq,
   entry.last_sent_at = now;
   occupancy_ += entry.bytes();
   peak_ = std::max(peak_, occupancy_);
+  if (trace_.armed()) {
+    trace_.Emit(obs::Ev::kMirrored, net::HashPartitionKey(key), seq,
+                static_cast<double>(entry.bytes()));
+  }
   entries_.push_back(std::move(entry));
 }
 
 void MirrorSession::Acknowledge(const net::PartitionKey& key,
                                 std::uint64_t acked_seq) {
+  std::size_t cleared = 0;
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->key == key && it->seq <= acked_seq) {
       occupancy_ -= it->bytes();
       it = entries_.erase(it);
+      ++cleared;
     } else {
       ++it;
     }
+  }
+  if (cleared > 0 && trace_.armed()) {
+    trace_.Emit(obs::Ev::kMirrorCleared, net::HashPartitionKey(key), acked_seq,
+                static_cast<double>(cleared));
   }
 }
 

@@ -16,6 +16,7 @@
 
 #include "common/types.h"
 #include "net/flow.h"
+#include "obs/tracer.h"
 
 namespace redplane::dp {
 
@@ -39,7 +40,7 @@ class MirrorSession {
   /// ASIC's mirror truncation; Tofino supports truncating to the first N
   /// bytes, which RedPlane sets to cover only the replication header.
   MirrorSession(std::string name, std::size_t truncate_to)
-      : name_(std::move(name)), truncate_to_(truncate_to) {}
+      : name_(std::move(name)), truncate_to_(truncate_to), trace_(name_) {}
 
   const std::string& name() const { return name_; }
 
@@ -72,6 +73,7 @@ class MirrorSession {
  private:
   std::string name_;
   std::size_t truncate_to_;
+  obs::TraceHandle trace_;
   std::list<MirroredEntry> entries_;
   std::size_t occupancy_ = 0;
   std::size_t peak_ = 0;

@@ -27,6 +27,8 @@ void PacketGenerator::Stop() {
 
 void PacketGenerator::EmitBatch() {
   ++batches_;
+  trace_.Emit(obs::Ev::kPktgenBatch, 0, batches_,
+              static_cast<double>(batch_size_));
   for (std::uint32_t i = 0; i < batch_size_; ++i) {
     const std::uint64_t epoch = epoch_;
     sim_.Schedule(static_cast<SimDuration>(i) * intra_gap_, [this, i, epoch]() {

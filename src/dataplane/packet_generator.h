@@ -8,8 +8,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 
 #include "common/types.h"
+#include "obs/tracer.h"
 #include "sim/simulator.h"
 
 namespace redplane::dp {
@@ -17,6 +19,9 @@ namespace redplane::dp {
 class PacketGenerator {
  public:
   explicit PacketGenerator(sim::Simulator& sim) : sim_(sim) {}
+
+  /// Names this generator in trace exports (set by the owning switch).
+  void SetTraceName(std::string name) { trace_.SetName(std::move(name)); }
 
   /// Starts generating: every `period`, emit a batch of `batch_size`
   /// generated packets by invoking `fn(index)` for index in [0, batch_size).
@@ -43,6 +48,7 @@ class PacketGenerator {
   std::function<void(std::uint32_t)> fn_;
   std::uint64_t batches_ = 0;
   std::uint64_t epoch_ = 0;
+  obs::TraceHandle trace_;
 };
 
 }  // namespace redplane::dp

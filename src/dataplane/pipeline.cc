@@ -27,7 +27,10 @@ SwitchNode::SwitchNode(sim::Simulator& sim, NodeId id, std::string name,
       pktgen_(sim),
       // RedPlane truncates mirrored requests to the replication header; 64
       // bytes comfortably covers Ethernet+IP+UDP+RedPlane header.
-      mirror_(this->name() + "/mirror", 64) {}
+      mirror_(this->name() + "/mirror", 64) {
+  control_plane_.SetTraceName(this->name() + "/cp");
+  pktgen_.SetTraceName(this->name() + "/pktgen");
+}
 
 SwitchNode::~SwitchNode() = default;
 
@@ -38,6 +41,11 @@ void SwitchNode::HandlePacket(net::Packet pkt, PortId in_port) {
   sim_.Schedule(config_.pipeline_latency, [this, epoch, in_port,
                                            pkt = std::move(pkt)]() mutable {
     if (epoch != epoch_ || !IsUp()) return;
+    if (trace().armed()) {
+      const auto flow = pkt.Flow();
+      trace().Emit(obs::Ev::kPipeline, flow ? net::HashFlowKey(*flow) : 0,
+                   pkt.id, static_cast<double>(pkt.WireSize()));
+    }
     if (handler_ != nullptr) {
       SwitchContext ctx(*this, in_port);
       handler_->Process(ctx, std::move(pkt));
@@ -84,6 +92,7 @@ void SwitchNode::ForwardPacket(net::Packet pkt, PortId in_port) {
 
 void SwitchNode::Recirculate(std::function<void(SwitchContext&)> fn) {
   const std::uint64_t epoch = epoch_;
+  trace().Emit(obs::Ev::kRecirculate);
   sim_.Schedule(config_.recirculation_latency, [this, epoch,
                                                 fn = std::move(fn)]() {
     if (epoch != epoch_ || !IsUp()) return;

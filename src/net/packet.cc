@@ -12,6 +12,10 @@ PacketId NextPacketId() {
   return g_next_packet_id.fetch_add(1, std::memory_order_relaxed);
 }
 
+void ResetPacketIds() {
+  g_next_packet_id.store(1, std::memory_order_relaxed);
+}
+
 std::size_t Packet::WireSize() const {
   std::size_t size = 0;
   if (eth) size += EthernetHeader::kWireSize;

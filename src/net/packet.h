@@ -59,6 +59,12 @@ struct Packet {
 /// Allocates a fresh packet id (process-wide monotonic counter).
 PacketId NextPacketId();
 
+/// Restarts the packet id counter at 1.  Only for tests that run several
+/// simulations in one process and compare their traces byte-for-byte:
+/// packet ids appear in trace exports, so each "run" must start from the
+/// same counter state.
+void ResetPacketIds();
+
 /// Convenience builders used throughout tests and workloads.
 Packet MakeUdpPacket(const FlowKey& flow, std::uint32_t pad_bytes);
 Packet MakeTcpPacket(const FlowKey& flow, std::uint8_t flags,

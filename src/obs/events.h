@@ -1,0 +1,68 @@
+// Event taxonomy for the per-packet lifecycle tracer.
+//
+// Every trace record carries one of these event kinds.  The taxonomy follows
+// the RedPlane protocol lifecycle: a packet enters the fabric (kIngress),
+// misses or hits its lease at a switch (kLeaseMiss / kLeaseGrant), gets its
+// write replicated to the state store (kReplicationSent -> kStoreRecv ->
+// kStoreApplied -> kStoreResponded -> kAckReleased), may loop through the
+// network-buffering read path (kBufferedRead / kBufferedReadLoop), may be
+// retransmitted from the mirror buffer (kMirrored / kRetransmit), and on
+// switch failure re-homes its flow state at a standby (kFailoverRehome).
+// Infrastructure events (link drops, node failure/recovery, reroutes,
+// control-plane installs) interleave with the packet lifecycle so a trace
+// explains *why* a tail sample is slow.
+#pragma once
+
+#include <cstdint>
+
+namespace redplane::obs {
+
+enum class Ev : std::uint8_t {
+  // --- sim layer ---
+  kIngress = 0,       // packet admitted at a host edge (flow id = flow hash)
+  kHostRecv,          // packet delivered to a host sink
+  kLinkDrop,          // link dropped a packet (down / loss / stale epoch)
+  kLinkDown,          // link transitioned to down
+  kLinkUp,            // link transitioned to up
+  kNodeFailure,       // node fail-stop
+  kNodeRecovery,      // node came back up
+  // --- routing layer ---
+  kReroute,           // fabric recomputed routes after a topology change
+  // --- dataplane layer ---
+  kPipeline,          // packet entered a switch pipeline pass
+  kRecirculate,       // packet recirculated through the pipeline
+  kMirrored,          // protocol request copied into the mirror buffer
+  kMirrorCleared,     // mirror entries released by a cumulative ack
+  kCpInstalled,       // control-plane table install completed
+  kPktgenBatch,       // packet generator emitted a batch
+  // --- protocol state machine (switch side) ---
+  kLeaseMiss,         // packet arrived for a key with no active lease
+  kLeaseGrant,        // lease granted for a fresh (unowned) key
+  kFailoverRehome,    // lease migrated: flow re-homed after a failure
+  kReplicationSent,   // write replication request sent to the store
+  kRenewSent,         // periodic lease renewal sent
+  kRenewAck,          // lease renewal acknowledged
+  kBufferedRead,      // read-intensive packet sent into the network buffer
+  kBufferedReadLoop,  // buffered read looped back, still waiting for lease
+  kRetransmit,        // mirror-buffered request retransmitted
+  kRetxGiveUp,        // retransmission abandoned after the give-up horizon
+  kAckReleased,       // output released to the app after store ack
+  kLeaseDenied,       // store denied the lease (capacity / ownership)
+  kSnapshotSent,      // bounded-inconsistency snapshot slot sent
+  kOutputDropped,     // held output dropped (reset / failure)
+  // --- state store ---
+  kStoreRecv,         // protocol request received by a store replica
+  kStoreApplied,      // write applied to the store's flow record
+  kStoreBuffered,     // init buffered behind an unexpired lease
+  kStoreReadParked,   // buffered read parked behind in-flight writes
+  kStoreDenied,       // store rejected a request (stale / misdirected)
+  kStoreResponded,    // store sent its response/ack
+};
+
+/// Stable display name for an event kind (used in trace exports).
+const char* EvName(Ev ev);
+
+/// Total number of event kinds (for tables indexed by Ev).
+inline constexpr int kNumEvents = static_cast<int>(Ev::kStoreResponded) + 1;
+
+}  // namespace redplane::obs

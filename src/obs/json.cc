@@ -1,0 +1,188 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+
+namespace redplane::obs {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  // Integral values (counters, byte totals) print exactly.
+  if (v == std::floor(v) && std::fabs(v) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+namespace {
+
+/// Recursive-descent JSON syntax checker.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  bool ParseDocument() {
+    SkipWs();
+    if (!ParseValue()) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  bool Consume(char c) {
+    if (AtEnd() || Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void SkipWs() {
+    while (!AtEnd() && (Peek() == ' ' || Peek() == '\t' || Peek() == '\n' ||
+                        Peek() == '\r')) {
+      ++pos_;
+    }
+  }
+  bool ConsumeLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool ParseValue() {
+    if (depth_ > 512 || AtEnd()) return false;
+    switch (Peek()) {
+      case '{': return ParseObject();
+      case '[': return ParseArray();
+      case '"': return ParseString();
+      case 't': return ConsumeLiteral("true");
+      case 'f': return ConsumeLiteral("false");
+      case 'n': return ConsumeLiteral("null");
+      default: return ParseNumber();
+    }
+  }
+
+  bool ParseObject() {
+    ++depth_;
+    if (!Consume('{')) return false;
+    SkipWs();
+    if (Consume('}')) { --depth_; return true; }
+    while (true) {
+      SkipWs();
+      if (!ParseString()) return false;
+      SkipWs();
+      if (!Consume(':')) return false;
+      SkipWs();
+      if (!ParseValue()) return false;
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume('}')) { --depth_; return true; }
+      return false;
+    }
+  }
+
+  bool ParseArray() {
+    ++depth_;
+    if (!Consume('[')) return false;
+    SkipWs();
+    if (Consume(']')) { --depth_; return true; }
+    while (true) {
+      SkipWs();
+      if (!ParseValue()) return false;
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume(']')) { --depth_; return true; }
+      return false;
+    }
+  }
+
+  bool ParseString() {
+    if (!Consume('"')) return false;
+    while (!AtEnd()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (AtEnd()) return false;
+        char e = text_[pos_++];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (AtEnd() || !std::isxdigit(static_cast<unsigned char>(
+                               text_[pos_]))) {
+              return false;
+            }
+            ++pos_;
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                   e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;
+      }
+    }
+    return false;
+  }
+
+  bool ParseNumber() {
+    const std::size_t start = pos_;
+    if (Consume('-')) {}
+    if (AtEnd()) return false;
+    if (Consume('0')) {
+      // no leading zeros
+    } else {
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) return false;
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    if (!AtEnd() && Peek() == '.') {
+      ++pos_;
+      if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) return false;
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) return false;
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+bool ValidateJson(std::string_view text) {
+  return Parser(text).ParseDocument();
+}
+
+}  // namespace redplane::obs

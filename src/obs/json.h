@@ -1,0 +1,29 @@
+// Minimal JSON helpers for the observability exporters.
+//
+// The trace and metrics exporters emit JSON by hand (no third-party JSON
+// dependency); these helpers keep the escaping and number formatting in one
+// place, byte-stable across runs (no locale, no pointer-derived ordering) so
+// that identical simulations produce identical export files.  ValidateJson is
+// a strict syntax checker used by tests to guarantee the emitted documents
+// parse.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace redplane::obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included).
+std::string JsonEscape(std::string_view s);
+
+/// Formats a double deterministically: integral values print without a
+/// fractional part, everything else with enough digits to be useful for
+/// reporting.  NaN/Inf (not representable in JSON) print as 0.
+std::string JsonNumber(double v);
+
+/// Strict JSON syntax check over a complete document.  Returns true iff
+/// `text` is one valid JSON value (with surrounding whitespace allowed).
+bool ValidateJson(std::string_view text);
+
+}  // namespace redplane::obs

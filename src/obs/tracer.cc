@@ -1,0 +1,257 @@
+#include "obs/tracer.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace redplane::obs {
+
+const char* EvName(Ev ev) {
+  switch (ev) {
+    case Ev::kIngress: return "ingress";
+    case Ev::kHostRecv: return "host_recv";
+    case Ev::kLinkDrop: return "link_drop";
+    case Ev::kLinkDown: return "link_down";
+    case Ev::kLinkUp: return "link_up";
+    case Ev::kNodeFailure: return "node_failure";
+    case Ev::kNodeRecovery: return "node_recovery";
+    case Ev::kReroute: return "reroute";
+    case Ev::kPipeline: return "pipeline";
+    case Ev::kRecirculate: return "recirculate";
+    case Ev::kMirrored: return "mirrored";
+    case Ev::kMirrorCleared: return "mirror_cleared";
+    case Ev::kCpInstalled: return "cp_installed";
+    case Ev::kPktgenBatch: return "pktgen_batch";
+    case Ev::kLeaseMiss: return "lease_miss";
+    case Ev::kLeaseGrant: return "lease_grant";
+    case Ev::kFailoverRehome: return "failover_rehome";
+    case Ev::kReplicationSent: return "replication_sent";
+    case Ev::kRenewSent: return "renew_sent";
+    case Ev::kRenewAck: return "renew_ack";
+    case Ev::kBufferedRead: return "buffered_read";
+    case Ev::kBufferedReadLoop: return "buffered_read_loop";
+    case Ev::kRetransmit: return "retransmit";
+    case Ev::kRetxGiveUp: return "retx_give_up";
+    case Ev::kAckReleased: return "ack_released";
+    case Ev::kLeaseDenied: return "lease_denied";
+    case Ev::kSnapshotSent: return "snapshot_sent";
+    case Ev::kOutputDropped: return "output_dropped";
+    case Ev::kStoreRecv: return "store_recv";
+    case Ev::kStoreApplied: return "store_applied";
+    case Ev::kStoreBuffered: return "store_buffered";
+    case Ev::kStoreReadParked: return "store_read_parked";
+    case Ev::kStoreDenied: return "store_denied";
+    case Ev::kStoreResponded: return "store_responded";
+  }
+  return "?";
+}
+
+namespace internal {
+Tracer* g_tracer = nullptr;
+}  // namespace internal
+
+Tracer* SetGlobalTracer(Tracer* tracer) {
+  Tracer* prev = internal::g_tracer;
+  internal::g_tracer = tracer;
+  return prev;
+}
+
+bool TraceFilter::Matches(const TraceRecord& r, const Tracer& tracer) const {
+  if (flow != 0 && r.flow != flow) return false;
+  if (!component.empty() && tracer.ComponentName(r.component) != component) {
+    return false;
+  }
+  return true;
+}
+
+Tracer::Tracer(std::size_t capacity) {
+  if (capacity == 0) capacity = 1;
+  ring_.resize(capacity);
+  components_.emplace_back("?");  // id 0 = unknown
+}
+
+std::uint16_t Tracer::Intern(std::string_view name) {
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (components_[i] == name) return static_cast<std::uint16_t>(i);
+  }
+  if (components_.size() >= 0xFFFF) return 0;
+  components_.emplace_back(name);
+  return static_cast<std::uint16_t>(components_.size() - 1);
+}
+
+const std::string& Tracer::ComponentName(std::uint16_t id) const {
+  static const std::string kUnknown = "?";
+  return id < components_.size() ? components_[id] : kUnknown;
+}
+
+void Tracer::Emit(std::uint16_t component, Ev ev, std::uint64_t flow,
+                  std::uint64_t seq, double arg) {
+  if (!enabled_) return;
+  if (flow_filter_ != 0 && flow != 0 && flow != flow_filter_) return;
+  TraceRecord rec;
+  rec.t = NowOrZero();
+  rec.order = next_order_++;
+  rec.ev = ev;
+  rec.component = component;
+  rec.flow = flow;
+  rec.seq = seq;
+  rec.arg = arg;
+  if (count_ < ring_.size()) {
+    ring_[(head_ + count_) % ring_.size()] = rec;
+    ++count_;
+  } else {
+    ring_[head_] = rec;
+    head_ = (head_ + 1) % ring_.size();
+    ++evicted_;
+  }
+}
+
+std::vector<TraceRecord> Tracer::Records(const TraceFilter& filter) const {
+  std::vector<TraceRecord> out;
+  out.reserve(count_);
+  for (std::size_t i = 0; i < count_; ++i) {
+    const TraceRecord& r = ring_[(head_ + i) % ring_.size()];
+    if (filter.Matches(r, *this)) out.push_back(r);
+  }
+  return out;
+}
+
+void Tracer::Clear() {
+  head_ = 0;
+  count_ = 0;
+  evicted_ = 0;
+  next_order_ = 0;
+}
+
+void Tracer::Reset() {
+  Clear();
+  components_.clear();
+  components_.emplace_back("?");
+  ++generation_;
+}
+
+void Tracer::WriteChromeTrace(std::ostream& os, const TraceFilter& filter) const {
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  // Thread-name metadata: one sim "thread" per component.
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n  {\"ph\": \"M\", \"pid\": 1, \"tid\": " << i
+       << ", \"name\": \"thread_name\", \"args\": {\"name\": \""
+       << JsonEscape(components_[i]) << "\"}}";
+  }
+  char ts_buf[48];
+  for (std::size_t i = 0; i < count_; ++i) {
+    const TraceRecord& r = ring_[(head_ + i) % ring_.size()];
+    if (!filter.Matches(r, *this)) continue;
+    if (!first) os << ",";
+    first = false;
+    // Chrome trace timestamps are microseconds; keep ns precision.
+    std::snprintf(ts_buf, sizeof(ts_buf), "%lld.%03lld",
+                  static_cast<long long>(r.t / 1000),
+                  static_cast<long long>(r.t % 1000));
+    os << "\n  {\"ph\": \"i\", \"s\": \"t\", \"cat\": \"redplane\", \"ts\": "
+       << ts_buf << ", \"pid\": 1, \"tid\": " << r.component
+       << ", \"name\": \"" << EvName(r.ev) << "\", \"args\": {\"flow\": \""
+       << std::hex << r.flow << std::dec << "\", \"seq\": " << r.seq
+       << ", \"arg\": " << JsonNumber(r.arg) << "}}";
+  }
+  os << "\n]}\n";
+}
+
+std::string Tracer::ChromeTraceJson(const TraceFilter& filter) const {
+  std::ostringstream oss;
+  WriteChromeTrace(oss, filter);
+  return oss.str();
+}
+
+namespace {
+
+struct PhaseDef {
+  const char* name;
+  Ev begin;
+  Ev end;
+  bool seq_matched;  // pair on (flow, seq); otherwise on flow alone
+  int alt;           // index of a mutually-exclusive phase sharing this
+                     // begin event, or -1 (a lease miss ends in either a
+                     // grant or a rehome, never both)
+};
+
+// Protocol phases reconstructed from begin/end event pairs.  Ordered
+// roughly along the packet lifecycle; the breakdown table keeps this order.
+constexpr PhaseDef kPhases[] = {
+    {"lease_acquire", Ev::kLeaseMiss, Ev::kLeaseGrant, false, 1},
+    {"failover_rehome", Ev::kLeaseMiss, Ev::kFailoverRehome, false, 0},
+    {"write_replication_rtt", Ev::kReplicationSent, Ev::kAckReleased, true, -1},
+    {"switch_to_store", Ev::kReplicationSent, Ev::kStoreRecv, true, -1},
+    {"store_apply", Ev::kStoreRecv, Ev::kStoreApplied, true, -1},
+    {"store_respond", Ev::kStoreApplied, Ev::kStoreResponded, true, -1},
+    {"store_to_switch", Ev::kStoreResponded, Ev::kAckReleased, true, -1},
+    {"buffered_read_rtt", Ev::kBufferedRead, Ev::kAckReleased, true, -1},
+    {"retx_delay", Ev::kReplicationSent, Ev::kRetransmit, true, -1},
+};
+
+}  // namespace
+
+std::vector<PhaseStats> Tracer::LatencyBreakdown() const {
+  constexpr std::size_t kNumPhases = sizeof(kPhases) / sizeof(kPhases[0]);
+  std::vector<PhaseStats> stats(kNumPhases);
+  // Open begin events per phase, keyed by (flow, seq) — std::map for
+  // deterministic behaviour independent of hash seeding.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, SimTime> open[kNumPhases];
+  for (std::size_t p = 0; p < kNumPhases; ++p) stats[p].name = kPhases[p].name;
+  for (std::size_t i = 0; i < count_; ++i) {
+    const TraceRecord& r = ring_[(head_ + i) % ring_.size()];
+    for (std::size_t p = 0; p < kNumPhases; ++p) {
+      const PhaseDef& def = kPhases[p];
+      const std::uint64_t seq_key = def.seq_matched ? r.seq : 0;
+      if (r.ev == def.begin) {
+        // Keep the earliest unmatched begin for this key.
+        open[p].emplace(std::make_pair(r.flow, seq_key), r.t);
+      } else if (r.ev == def.end) {
+        auto it = open[p].find(std::make_pair(r.flow, seq_key));
+        if (it != open[p].end()) {
+          stats[p].samples_us.Add(static_cast<double>(r.t - it->second) / 1e3);
+          open[p].erase(it);
+          // A mutually-exclusive alternative phase consumed the same begin:
+          // close it too so a later begin can't pair against a stale one.
+          if (def.alt >= 0) {
+            open[static_cast<std::size_t>(def.alt)].erase(
+                std::make_pair(r.flow, seq_key));
+          }
+        }
+      }
+    }
+  }
+  std::vector<PhaseStats> out;
+  for (auto& s : stats) {
+    if (!s.samples_us.Empty()) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void Tracer::PrintBreakdown(std::ostream& os) const {
+  auto phases = LatencyBreakdown();
+  os << "Per-phase latency breakdown (us):\n";
+  os << "  " << std::left << std::setw(24) << "phase" << std::right
+     << std::setw(10) << "count" << std::setw(12) << "p50" << std::setw(12)
+     << "p99" << std::setw(12) << "max" << "\n";
+  if (phases.empty()) {
+    os << "  (no completed phase pairs recorded)\n";
+    return;
+  }
+  for (const auto& ph : phases) {
+    os << "  " << std::left << std::setw(24) << ph.name << std::right
+       << std::setw(10) << ph.samples_us.Count() << std::setw(12)
+       << FormatDouble(ph.samples_us.Percentile(50.0), 3) << std::setw(12)
+       << FormatDouble(ph.samples_us.Percentile(99.0), 3) << std::setw(12)
+       << FormatDouble(ph.samples_us.Max(), 3) << "\n";
+  }
+}
+
+}  // namespace redplane::obs

@@ -1,0 +1,171 @@
+// Deterministic per-packet lifecycle tracer.
+//
+// A Tracer records fixed-size event records into a bounded ring buffer.
+// Timestamps come from an injected clock (the simulator registers
+// `Simulator::Now`), so identical seeds produce byte-identical trace
+// exports.  Components emit through a `TraceHandle`, which caches its
+// interned component id and compiles down to two loads and a branch when
+// tracing is disabled — cheap enough to leave in every hot path.
+//
+// Exports: Chrome `trace_event` JSON (loadable in Perfetto / chrome://tracing)
+// and a per-phase latency-breakdown table (p50/p99 per protocol phase),
+// reconstructed by pairing begin/end events per (flow, seq).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "obs/events.h"
+
+namespace redplane::obs {
+
+/// One trace record.  `flow` is a pre-hashed flow/key identifier (callers
+/// hash with net::HashFlowKey / net::HashPartitionKey); `seq` disambiguates
+/// per-write lifecycles; `arg` carries an event-specific payload (bytes,
+/// counts, ...).
+struct TraceRecord {
+  SimTime t = 0;
+  std::uint64_t order = 0;  // global emission index; breaks timestamp ties
+  Ev ev = Ev::kIngress;
+  std::uint16_t component = 0;
+  std::uint64_t flow = 0;
+  std::uint64_t seq = 0;
+  double arg = 0.0;
+};
+
+/// Record-selection predicate for queries and exports.  Zero/empty fields
+/// match everything.
+struct TraceFilter {
+  std::uint64_t flow = 0;            // match this flow id only (0 = any)
+  std::string component;             // match this component name only
+  bool Matches(const TraceRecord& r, const class Tracer& tracer) const;
+};
+
+/// Per-phase latency summary produced by Tracer::LatencyBreakdown().
+struct PhaseStats {
+  std::string name;
+  SampleSet samples_us;  // one sample per completed begin→end pair, in µs
+};
+
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1u << 16;
+
+  explicit Tracer(std::size_t capacity = kDefaultCapacity);
+
+  // --- configuration ---
+  void SetClock(std::function<SimTime()> clock) { clock_ = std::move(clock); }
+  void ClearClock() { clock_ = nullptr; }
+  void SetEnabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+  /// Record-time flow filter: when nonzero, only records with this flow id
+  /// (or flow == 0, i.e. non-flow events) are kept.
+  void SetFlowFilter(std::uint64_t flow) { flow_filter_ = flow; }
+
+  // --- component interning ---
+  /// Interns `name`, returning its stable component id.
+  std::uint16_t Intern(std::string_view name);
+  const std::string& ComponentName(std::uint16_t id) const;
+  /// Bumps whenever the name table is cleared; TraceHandles revalidate
+  /// their cached id against this.
+  std::uint64_t generation() const { return generation_; }
+
+  // --- recording ---
+  void Emit(std::uint16_t component, Ev ev, std::uint64_t flow = 0,
+            std::uint64_t seq = 0, double arg = 0.0);
+
+  // --- inspection ---
+  std::size_t size() const { return count_; }
+  std::size_t capacity() const { return ring_.size(); }
+  /// Number of records evicted from the ring since the last Clear().
+  std::uint64_t evicted() const { return evicted_; }
+  /// Records in emission order (oldest first), optionally filtered.
+  std::vector<TraceRecord> Records(const TraceFilter& filter = {}) const;
+
+  /// Drops recorded events (keeps component names and configuration).
+  void Clear();
+  /// Clear() plus drops interned component names (bumps generation).
+  void Reset();
+
+  // --- export ---
+  void WriteChromeTrace(std::ostream& os, const TraceFilter& filter = {}) const;
+  std::string ChromeTraceJson(const TraceFilter& filter = {}) const;
+
+  /// Pairs begin/end events per (flow, seq) into protocol phases and returns
+  /// per-phase latency summaries (skips phases with no completed pairs).
+  std::vector<PhaseStats> LatencyBreakdown() const;
+  /// Renders LatencyBreakdown() as an aligned table.
+  void PrintBreakdown(std::ostream& os) const;
+
+ private:
+  SimTime NowOrZero() const { return clock_ ? clock_() : 0; }
+
+  std::vector<TraceRecord> ring_;
+  std::size_t head_ = 0;   // index of oldest record
+  std::size_t count_ = 0;  // live records in the ring
+  std::uint64_t evicted_ = 0;
+  std::uint64_t next_order_ = 0;
+  bool enabled_ = false;
+  std::uint64_t flow_filter_ = 0;
+  std::function<SimTime()> clock_;
+  std::vector<std::string> components_;
+  std::uint64_t generation_ = 1;
+};
+
+namespace internal {
+extern Tracer* g_tracer;
+}  // namespace internal
+
+/// Process-global tracer (null when none installed). Single-threaded, like
+/// the simulator.
+inline Tracer* GlobalTracer() { return internal::g_tracer; }
+
+/// Installs `tracer` as the global tracer; returns the previous one.
+Tracer* SetGlobalTracer(Tracer* tracer);
+
+/// Cached per-component emitter.  Copyable; re-resolves its interned id when
+/// the global tracer or its generation changes.
+class TraceHandle {
+ public:
+  TraceHandle() = default;
+  explicit TraceHandle(std::string name) : name_(std::move(name)) {}
+
+  void SetName(std::string name) {
+    name_ = std::move(name);
+    cached_tracer_ = nullptr;  // force re-intern
+  }
+  const std::string& name() const { return name_; }
+
+  /// True when emitting would actually record — callers guard any expensive
+  /// argument computation (flow hashing, byte counting) behind this.
+  bool armed() const {
+    Tracer* t = internal::g_tracer;
+    return t != nullptr && t->enabled();
+  }
+
+  void Emit(Ev ev, std::uint64_t flow = 0, std::uint64_t seq = 0,
+            double arg = 0.0) const {
+    Tracer* t = internal::g_tracer;
+    if (t == nullptr || !t->enabled()) return;
+    if (cached_tracer_ != t || cached_generation_ != t->generation()) {
+      cached_tracer_ = t;
+      cached_generation_ = t->generation();
+      cached_id_ = t->Intern(name_.empty() ? std::string_view("?") : name_);
+    }
+    t->Emit(cached_id_, ev, flow, seq, arg);
+  }
+
+ private:
+  std::string name_;
+  mutable Tracer* cached_tracer_ = nullptr;
+  mutable std::uint64_t cached_generation_ = 0;
+  mutable std::uint16_t cached_id_ = 0;
+};
+
+}  // namespace redplane::obs

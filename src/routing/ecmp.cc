@@ -6,6 +6,7 @@
 #include "common/hash.h"
 #include "common/logging.h"
 #include "net/flow.h"
+#include "obs/tracer.h"
 
 namespace redplane::routing {
 
@@ -47,6 +48,11 @@ void RoutingFabric::NotifyTopologyChange() {
 void RoutingFabric::RecomputeNow() { Rebuild(); }
 
 void RoutingFabric::Rebuild() {
+  static obs::TraceHandle trace("fabric");
+  if (trace.armed()) {
+    trace.Emit(obs::Ev::kReroute, 0, 0,
+               static_cast<double>(network_.NumNodes()));
+  }
   const std::size_t n = network_.NumNodes();
   routes_.assign(n, {});
 

@@ -27,11 +27,23 @@ class HostNode : public Node {
   }
 
   /// Transmits out of the host's single uplink.
-  void Send(net::Packet pkt) { SendTo(0, std::move(pkt)); }
+  void Send(net::Packet pkt) {
+    if (trace().armed()) {
+      const auto flow = pkt.Flow();
+      trace().Emit(obs::Ev::kIngress, flow ? net::HashFlowKey(*flow) : 0, pkt.id,
+                   static_cast<double>(pkt.WireSize()));
+    }
+    SendTo(0, std::move(pkt));
+  }
 
   void HandlePacket(net::Packet pkt, PortId in_port) override {
     (void)in_port;
     if (!IsUp()) return;
+    if (trace().armed()) {
+      const auto flow = pkt.Flow();
+      trace().Emit(obs::Ev::kHostRecv, flow ? net::HashFlowKey(*flow) : 0,
+                   pkt.id, static_cast<double>(pkt.WireSize()));
+    }
     if (handler_) {
       handler_(*this, std::move(pkt));
     } else {

@@ -21,11 +21,13 @@ void Link::Connect(Node* a, PortId port_a, Node* b, PortId port_b) {
   port_b_ = port_b;
   a->AttachLink(port_a, this);
   b->AttachLink(port_b, this);
+  trace_.SetName("link:" + a->name() + "-" + b->name());
 }
 
 void Link::SetUp(bool up) {
   if (up_ == up) return;
   up_ = up;
+  trace_.Emit(up ? obs::Ev::kLinkUp : obs::Ev::kLinkDown);
   if (!up) ++epoch_;  // invalidate in-flight deliveries
 }
 
@@ -33,10 +35,12 @@ void Link::Transmit(NodeId from, net::Packet pkt) {
   assert(a_ != nullptr && b_ != nullptr);
   if (!up_) {
     ++dropped_;
+    trace_.Emit(obs::Ev::kLinkDrop, 0, 0, static_cast<double>(pkt.WireSize()));
     return;
   }
   if (config_.loss_rate > 0 && rng_.Bernoulli(config_.loss_rate)) {
     ++dropped_;
+    trace_.Emit(obs::Ev::kLinkDrop, 0, 0, static_cast<double>(pkt.WireSize()));
     return;
   }
 
@@ -66,17 +70,13 @@ void Link::Transmit(NodeId from, net::Packet pkt) {
 
 void Link::Deliver(Node* to, PortId port, net::Packet pkt,
                    std::uint64_t epoch) {
-  if (!up_ || epoch != epoch_) {
+  if (!up_ || epoch != epoch_ || !to->IsUp()) {
     ++dropped_;
-    return;
-  }
-  if (!to->IsUp()) {
-    ++dropped_;
+    trace_.Emit(obs::Ev::kLinkDrop, 0, 0, static_cast<double>(pkt.WireSize()));
     return;
   }
   ++delivered_;
-  to->counters().Add("rx_pkts");
-  to->counters().Add("rx_bytes", static_cast<double>(pkt.WireSize()));
+  to->NoteRx(pkt.WireSize());
   to->HandlePacket(std::move(pkt), port);
 }
 

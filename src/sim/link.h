@@ -13,6 +13,7 @@
 #include "common/rng.h"
 #include "common/types.h"
 #include "net/packet.h"
+#include "obs/tracer.h"
 #include "sim/simulator.h"
 
 namespace redplane::sim {
@@ -81,6 +82,7 @@ class Link {
   std::uint64_t epoch_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
+  obs::TraceHandle trace_;  // named "link:a-b" once connected
 };
 
 }  // namespace redplane::sim

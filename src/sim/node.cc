@@ -5,9 +5,23 @@
 namespace redplane::sim {
 
 Node::Node(Simulator& sim, NodeId id, std::string name)
-    : sim_(sim), id_(id), name_(std::move(name)) {}
+    : sim_(sim), id_(id), name_(std::move(name)), metrics_(name_), trace_(name_) {
+  tx_pkts_ = metrics_.RegisterCounter("tx_pkts");
+  tx_bytes_ = metrics_.RegisterCounter("tx_bytes");
+  rx_pkts_ = metrics_.RegisterCounter("rx_pkts");
+  rx_bytes_ = metrics_.RegisterCounter("rx_bytes");
+  drop_node_down_ = metrics_.RegisterCounter("drop_node_down");
+  drop_no_link_ = metrics_.RegisterCounter("drop_no_link");
+}
 
 Node::~Node() = default;
+
+void Node::SetUp(bool up) {
+  if (up_ != up) {
+    trace_.Emit(up ? obs::Ev::kNodeRecovery : obs::Ev::kNodeFailure);
+  }
+  up_ = up;
+}
 
 void Node::AttachLink(PortId port, Link* link) {
   if (port >= links_.size()) links_.resize(port + 1, nullptr);
@@ -20,16 +34,16 @@ Link* Node::LinkAt(PortId port) const {
 
 void Node::SendTo(PortId port, net::Packet pkt) {
   if (!up_) {
-    counters_.Add("drop_node_down");
+    drop_node_down_.Add();
     return;
   }
   Link* link = LinkAt(port);
   if (link == nullptr) {
-    counters_.Add("drop_no_link");
+    drop_no_link_.Add();
     return;
   }
-  counters_.Add("tx_pkts");
-  counters_.Add("tx_bytes", static_cast<double>(pkt.WireSize()));
+  tx_pkts_.Add();
+  tx_bytes_.Add(static_cast<double>(pkt.WireSize()));
   link->Transmit(id_, std::move(pkt));
 }
 

@@ -4,9 +4,10 @@
 #include <string>
 #include <vector>
 
-#include "common/stats.h"
 #include "common/types.h"
 #include "net/packet.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "sim/simulator.h"
 
 namespace redplane::sim {
@@ -30,7 +31,7 @@ class Node {
 
   /// Marks this node as failed/recovered.  A failed node silently drops all
   /// deliveries; subclasses may also clear volatile state on failure.
-  virtual void SetUp(bool up) { up_ = up; }
+  virtual void SetUp(bool up);
   bool IsUp() const { return up_; }
 
   /// Registers `link` on `port` (called by Link::Connect).
@@ -46,11 +47,22 @@ class Node {
   /// port has no link or the node is down.
   void SendTo(PortId port, net::Packet pkt);
 
-  /// Per-node counters ("tx_pkts", "rx_pkts", "drop_no_link", ...).
-  Counters& counters() { return counters_; }
-  const Counters& counters() const { return counters_; }
+  /// Per-node metric registry ("tx_pkts", "rx_pkts", "drop_no_link", ...).
+  /// Typed handles for the hot-path counters are pre-registered; ad-hoc
+  /// counters still work through the string API.
+  obs::MetricRegistry& counters() { return metrics_; }
+  const obs::MetricRegistry& counters() const { return metrics_; }
+
+  /// Accounts a delivery into this node (called by Link on the hot path).
+  void NoteRx(std::size_t wire_bytes) {
+    rx_pkts_.Add();
+    rx_bytes_.Add(static_cast<double>(wire_bytes));
+  }
 
  protected:
+  /// Per-node trace emitter (component name = node name).
+  const obs::TraceHandle& trace() const { return trace_; }
+
   Simulator& sim_;
 
  private:
@@ -58,7 +70,15 @@ class Node {
   std::string name_;
   bool up_ = true;
   std::vector<Link*> links_;
-  Counters counters_;
+  obs::MetricRegistry metrics_;
+  obs::TraceHandle trace_;
+  // Typed hot-path counters into metrics_.
+  obs::Counter tx_pkts_;
+  obs::Counter tx_bytes_;
+  obs::Counter rx_pkts_;
+  obs::Counter rx_bytes_;
+  obs::Counter drop_node_down_;
+  obs::Counter drop_no_link_;
 };
 
 }  // namespace redplane::sim

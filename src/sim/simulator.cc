@@ -3,7 +3,15 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/logging.h"
+
 namespace redplane::sim {
+
+Simulator::Simulator() {
+  SetLogClock(this, [this] { return now_; });
+}
+
+Simulator::~Simulator() { ClearLogClock(this); }
 
 EventId Simulator::Schedule(SimDuration delay, std::function<void()> fn) {
   return ScheduleAt(now_ + std::max<SimDuration>(delay, 0), std::move(fn));

@@ -19,7 +19,11 @@ using EventId = std::uint64_t;
 
 class Simulator {
  public:
-  Simulator() = default;
+  /// Construction registers this simulator's clock with the logger, so
+  /// RP_LOG lines carry simulated time (`[t=1.234ms]`); destruction
+  /// unregisters it (last simulator constructed wins).
+  Simulator();
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 

@@ -14,17 +14,40 @@ using core::MsgType;
 StateStoreServer::StateStoreServer(sim::Simulator& sim, NodeId id,
                                    std::string name, net::Ipv4Addr ip,
                                    StoreConfig config)
-    : Node(sim, id, std::move(name)), ip_(ip), config_(config) {}
+    : Node(sim, id, std::move(name)), ip_(ip), config_(config) {
+  auto& reg = counters();
+  m_.non_protocol_drops = reg.RegisterCounter("non_protocol_drops");
+  m_.malformed_drops = reg.RegisterCounter("malformed_drops");
+  m_.misdirected_drops = reg.RegisterCounter("misdirected_drops");
+  m_.unexpected_acks = reg.RegisterCounter("unexpected_acks");
+  m_.failures = reg.RegisterCounter("failures");
+  m_.init_reqs = reg.RegisterCounter("init_reqs");
+  m_.init_dedup = reg.RegisterCounter("init_dedup");
+  m_.init_buffered = reg.RegisterCounter("init_buffered");
+  m_.lease_denied = reg.RegisterCounter("lease_denied");
+  m_.grants_new = reg.RegisterCounter("grants_new");
+  m_.grants_migrate = reg.RegisterCounter("grants_migrate");
+  m_.repl_reqs = reg.RegisterCounter("repl_reqs");
+  m_.stale_writes = reg.RegisterCounter("stale_writes");
+  m_.renew_reqs = reg.RegisterCounter("renew_reqs");
+  m_.read_buffer_reqs = reg.RegisterCounter("read_buffer_reqs");
+  m_.snapshot_reqs = reg.RegisterCounter("snapshot_reqs");
+  m_.reads_parked = reg.RegisterCounter("reads_parked");
+  m_.chain_forwards = reg.RegisterCounter("chain_forwards");
+  m_.responses = reg.RegisterCounter("responses");
+  reg.AddCallbackGauge(
+      "num_flows", [this] { return static_cast<double>(flows_.size()); });
+}
 
 void StateStoreServer::HandlePacket(net::Packet pkt, PortId in_port) {
   (void)in_port;
   if (!core::IsProtocolPacket(pkt)) {
-    counters().Add("non_protocol_drops");
+    m_.non_protocol_drops.Add();
     return;
   }
   auto msg = core::DecodeFromPacket(pkt);
   if (!msg.has_value()) {
-    counters().Add("malformed_drops");
+    m_.malformed_drops.Add();
     return;
   }
   // FIFO service: one CPU core draining a kernel-bypass queue.
@@ -47,11 +70,15 @@ void StateStoreServer::SetUp(bool up) {
     pending_inits_.clear();
     waiting_reads_.clear();
     busy_until_ = 0;
-    counters().Add("failures");
+    m_.failures.Add();
   }
 }
 
 void StateStoreServer::ProcessMsg(Msg msg) {
+  if (trace().armed()) {
+    trace().Emit(obs::Ev::kStoreRecv, net::HashPartitionKey(msg.key), msg.seq,
+                 static_cast<double>(msg.chain_hop));
+  }
   if (msg.chain_hop > 0) {
     // Chain-internal: the head already decided; apply and continue.
     ApplyAndContinue(std::move(msg));
@@ -60,7 +87,11 @@ void StateStoreServer::ProcessMsg(Msg msg) {
   if (!is_head_) {
     // A request from a switch reached a non-head replica (stale partition
     // map); drop — the switch will retransmit toward the right head.
-    counters().Add("misdirected_drops");
+    m_.misdirected_drops.Add();
+    if (trace().armed()) {
+      trace().Emit(obs::Ev::kStoreDenied, net::HashPartitionKey(msg.key),
+                   msg.seq);
+    }
     return;
   }
   switch (msg.type) {
@@ -70,7 +101,7 @@ void StateStoreServer::ProcessMsg(Msg msg) {
     case MsgType::kReadBufferReq: HandleReadBuffer(std::move(msg)); break;
     case MsgType::kSnapshotRepl: HandleSnapshot(std::move(msg)); break;
     case MsgType::kAck:
-      counters().Add("unexpected_acks");
+      m_.unexpected_acks.Add();
       break;
   }
 }
@@ -86,7 +117,7 @@ bool StateStoreServer::LeaseActiveByOther(const FlowRecord& rec,
 }
 
 void StateStoreServer::HandleInit(Msg msg) {
-  counters().Add("init_reqs");
+  m_.init_reqs.Add();
   FlowRecord& rec = GetOrCreate(msg.key);
   if (LeaseActiveByOther(rec, msg.reply_to)) {
     // Another switch owns the flow: buffer the request until the lease
@@ -95,7 +126,7 @@ void StateStoreServer::HandleInit(Msg msg) {
     auto& queue = pending_inits_[msg.key];
     for (const PendingInit& pending : queue) {
       if (pending.msg.reply_to == msg.reply_to) {
-        counters().Add("init_dedup");
+        m_.init_dedup.Add();
         return;
       }
     }
@@ -106,13 +137,20 @@ void StateStoreServer::HandleInit(Msg msg) {
       deny.key = msg.key;
       deny.seq = rec.last_applied_seq;
       SendMsg(msg.reply_to, deny);
-      counters().Add("lease_denied");
+      m_.lease_denied.Add();
+      if (trace().armed()) {
+        trace().Emit(obs::Ev::kStoreDenied, net::HashPartitionKey(msg.key), 0);
+      }
       return;
     }
     const net::PartitionKey key = msg.key;
     const SimTime retry_at = rec.lease_expiry + Microseconds(1);
     queue.push_back(PendingInit{std::move(msg)});
-    counters().Add("init_buffered");
+    m_.init_buffered.Add();
+    if (trace().armed()) {
+      trace().Emit(obs::Ev::kStoreBuffered, net::HashPartitionKey(key), 0,
+                   static_cast<double>(queue.size()));
+    }
     sim_.ScheduleAt(retry_at, [this, key]() { PumpPendingInits(key); });
     return;
   }
@@ -125,10 +163,10 @@ void StateStoreServer::HandleInit(Msg msg) {
       rec.state = config_.initializer(msg.key);
     }
     msg.ack = AckKind::kLeaseGrantNew;
-    counters().Add("grants_new");
+    m_.grants_new.Add();
   } else {
     msg.ack = AckKind::kLeaseGrantMigrate;
-    counters().Add("grants_migrate");
+    m_.grants_migrate.Add();
   }
   // Carry the authoritative state and sequence number to the switch (and to
   // the chain replicas, which apply the same ownership change).
@@ -139,7 +177,7 @@ void StateStoreServer::HandleInit(Msg msg) {
 }
 
 void StateStoreServer::HandleRepl(Msg msg) {
-  counters().Add("repl_reqs");
+  m_.repl_reqs.Add();
   FlowRecord& rec = GetOrCreate(msg.key);
   if (LeaseActiveByOther(rec, msg.reply_to)) {
     Msg deny;
@@ -148,7 +186,11 @@ void StateStoreServer::HandleRepl(Msg msg) {
     deny.key = msg.key;
     deny.seq = rec.last_applied_seq;
     SendMsg(msg.reply_to, deny);
-    counters().Add("lease_denied");
+    m_.lease_denied.Add();
+    if (trace().armed()) {
+      trace().Emit(obs::Ev::kStoreDenied, net::HashPartitionKey(msg.key),
+                   msg.seq);
+    }
     return;
   }
   if (msg.seq <= rec.last_applied_seq) {
@@ -157,7 +199,7 @@ void StateStoreServer::HandleRepl(Msg msg) {
     // applied sequence number so the switch clears its retransmit buffer,
     // and release any piggybacked output (its effects are subsumed by the
     // newer durable state).
-    counters().Add("stale_writes");
+    m_.stale_writes.Add();
     Msg ack;
     ack.type = MsgType::kAck;
     ack.ack = AckKind::kWriteAck;
@@ -174,7 +216,7 @@ void StateStoreServer::HandleRepl(Msg msg) {
 }
 
 void StateStoreServer::HandleRenewOnly(Msg msg) {
-  counters().Add("renew_reqs");
+  m_.renew_reqs.Add();
   FlowRecord& rec = GetOrCreate(msg.key);
   if (LeaseActiveByOther(rec, msg.reply_to)) {
     Msg deny;
@@ -183,7 +225,11 @@ void StateStoreServer::HandleRenewOnly(Msg msg) {
     deny.key = msg.key;
     deny.seq = rec.last_applied_seq;
     SendMsg(msg.reply_to, deny);
-    counters().Add("lease_denied");
+    m_.lease_denied.Add();
+    if (trace().armed()) {
+      trace().Emit(obs::Ev::kStoreDenied, net::HashPartitionKey(msg.key),
+                   msg.seq);
+    }
     return;
   }
   msg.ack = AckKind::kRenewAck;
@@ -193,7 +239,7 @@ void StateStoreServer::HandleRenewOnly(Msg msg) {
 }
 
 void StateStoreServer::HandleReadBuffer(Msg msg) {
-  counters().Add("read_buffer_reqs");
+  m_.read_buffer_reqs.Add();
   // A buffered read must be released only after the write it observed at the
   // switch (sequence `msg.seq`) is durable.  Route it through the chain so
   // it orders behind those writes; the tail releases or parks it.
@@ -203,7 +249,7 @@ void StateStoreServer::HandleReadBuffer(Msg msg) {
 }
 
 void StateStoreServer::HandleSnapshot(Msg msg) {
-  counters().Add("snapshot_reqs");
+  m_.snapshot_reqs.Add();
   FlowRecord& rec = GetOrCreate(msg.key);
   auto it = rec.snapshot_slots.find(msg.snapshot_index);
   if (it != rec.snapshot_slots.end() && msg.seq <= it->second.second) {
@@ -238,6 +284,10 @@ void StateStoreServer::ApplyAndContinue(Msg msg) {
       if (msg.seq > rec.last_applied_seq) {
         rec.state = msg.state;
         rec.last_applied_seq = msg.seq;
+        if (trace().armed()) {
+          trace().Emit(obs::Ev::kStoreApplied, net::HashPartitionKey(msg.key),
+                       msg.seq, static_cast<double>(msg.state.size()));
+        }
       }
       rec.owner = msg.reply_to;
       rec.lease_expiry = sim_.Now() + config_.lease_period;
@@ -257,8 +307,12 @@ void StateStoreServer::ApplyAndContinue(Msg msg) {
         // is released by PumpWaitingReads when the blocking condition
         // clears, or dropped if it outlives a lease period (packet loss is
         // permitted by the correctness model).
+        if (trace().armed()) {
+          trace().Emit(obs::Ev::kStoreReadParked,
+                       net::HashPartitionKey(msg.key), msg.seq);
+        }
         waiting_reads_[msg.key].push_back(std::move(msg));
-        counters().Add("reads_parked");
+        m_.reads_parked.Add();
         return;
       }
       break;
@@ -283,7 +337,7 @@ void StateStoreServer::ApplyAndContinue(Msg msg) {
 void StateStoreServer::ForwardOrRespond(Msg msg) {
   if (successor_.has_value()) {
     ++msg.chain_hop;
-    counters().Add("chain_forwards");
+    m_.chain_forwards.Add();
     SendMsg(*successor_, msg);
     return;
   }
@@ -302,7 +356,11 @@ void StateStoreServer::Respond(const Msg& request) {
       request.ack == AckKind::kLeaseGrantMigrate) {
     resp.state = request.state;
   }
-  counters().Add("responses");
+  m_.responses.Add();
+  if (trace().armed()) {
+    trace().Emit(obs::Ev::kStoreResponded, net::HashPartitionKey(request.key),
+                 request.seq);
+  }
   SendMsg(request.reply_to, resp);
 }
 

@@ -136,6 +136,31 @@ class StateStoreServer : public sim::Node {
   /// Releases buffered reads whose awaited sequence number has been applied.
   void PumpWaitingReads(const net::PartitionKey& key);
 
+  /// Typed handles into counters() for every hot-path counter (registered
+  /// once at construction; updated O(1) per request).
+  struct Metrics {
+    obs::Counter non_protocol_drops;
+    obs::Counter malformed_drops;
+    obs::Counter misdirected_drops;
+    obs::Counter unexpected_acks;
+    obs::Counter failures;
+    obs::Counter init_reqs;
+    obs::Counter init_dedup;
+    obs::Counter init_buffered;
+    obs::Counter lease_denied;
+    obs::Counter grants_new;
+    obs::Counter grants_migrate;
+    obs::Counter repl_reqs;
+    obs::Counter stale_writes;
+    obs::Counter renew_reqs;
+    obs::Counter read_buffer_reqs;
+    obs::Counter snapshot_reqs;
+    obs::Counter reads_parked;
+    obs::Counter chain_forwards;
+    obs::Counter responses;
+  };
+  Metrics m_;
+
   net::Ipv4Addr ip_;
   StoreConfig config_;
   std::optional<net::Ipv4Addr> successor_;

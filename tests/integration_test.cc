@@ -8,6 +8,7 @@
 #include "apps/nat.h"
 #include "baselines/plain_pipeline.h"
 #include "core/redplane_switch.h"
+#include "obs/tracer.h"
 #include "routing/failure.h"
 #include "routing/topology.h"
 #include "statestore/partition.h"
@@ -334,6 +335,103 @@ TEST(IntegrationTest, ChainStoreServerFailureMidRunStillAnswersFromHead) {
   tb.external[0]->Send(net::MakeUdpPacket(data, 100));
   sim.Run();
   EXPECT_EQ(delivered, 2);  // signaling ack + the data packet
+}
+
+TEST(IntegrationTest, TracedNatFailoverEmitsRehomeSequence) {
+  sim::Simulator sim;
+  TestbedConfig cfg;
+  cfg.store.lease_period = Milliseconds(50);
+  cfg.fabric.failure_detection_delay = Milliseconds(5);
+  constexpr net::Ipv4Addr kNatIp(100, 100, 0, 1);
+  apps::NatGlobalState nat_global(kNatIp, 5000, 256, kInternalPrefix,
+                                  kInternalMask);
+  cfg.store.initializer = [&nat_global](const net::PartitionKey& key) {
+    return nat_global.InitializeFlow(key);
+  };
+  Testbed tb = BuildTestbed(sim, cfg);
+
+  obs::Tracer tracer;
+  tracer.SetClock([&sim]() { return sim.Now(); });
+  tracer.SetEnabled(true);
+  obs::Tracer* prev = obs::SetGlobalTracer(&tracer);
+
+  apps::NatApp nat(nat_global);
+  core::RedPlaneConfig rp_cfg;
+  rp_cfg.lease_period = Milliseconds(50);
+  rp_cfg.renew_interval = Milliseconds(25);
+  RedPlaneDeployment deploy(tb, nat, rp_cfg);
+  tb.fabric->AssignAddress(tb.agg[0], kNatIp);
+  tb.fabric->RecomputeNow();
+  routing::FailureInjector injector(sim, *tb.fabric);
+
+  tb.external[0]->SetHandler([](sim::HostNode& self, net::Packet pkt) {
+    if (auto f = pkt.Flow()) self.Send(net::MakeUdpPacket(f->Reversed(), 10));
+  });
+  net::FlowKey flow{RackServerIp(0, 0), ExternalHostIp(0), 7777, 80,
+                    net::IpProto::kUdp};
+  tb.rack_servers[0][0]->Send(net::MakeUdpPacket(flow, 100));
+  sim.RunUntil(sim.Now() + Milliseconds(10));
+
+  // Kill the switch holding this flow's lease (reverse-direction traffic
+  // gives the other switch app packets too, so consult the flow table),
+  // then keep traffic flowing so the standby rehomes the mapping.
+  const auto key = net::PartitionKey::OfFlow(flow);
+  const int active = deploy.rp[0]->flow_table().Find(key) != nullptr ? 0 : 1;
+  ASSERT_NE(deploy.rp[active]->flow_table().Find(key), nullptr);
+  injector.FailNode(tb.agg[active]);
+  tb.fabric->AssignAddress(tb.agg[1 - active], kNatIp);
+  for (int i = 0; i < 30; ++i) {
+    tb.rack_servers[0][0]->Send(net::MakeUdpPacket(flow, 100));
+    sim.RunUntil(sim.Now() + Milliseconds(5));
+  }
+  sim.Run();
+  obs::SetGlobalTracer(prev);
+
+  EXPECT_GT(deploy.rp[1 - active]->stats().Get("grants_migrate"), 0.0);
+
+  // The flow's lifecycle, filtered by its partition-key hash, must show the
+  // failover sequence: lease acquired on the active switch, node failure,
+  // then a lease miss on the standby resolved by a migrate grant (rehome).
+  obs::TraceFilter filter;
+  filter.flow = net::HashPartitionKey(key);
+  const auto records = tracer.Records(filter);
+  ASSERT_FALSE(records.empty());
+  auto find_after = [&](std::size_t from, obs::Ev ev) -> std::size_t {
+    for (std::size_t i = from; i < records.size(); ++i) {
+      if (records[i].ev == ev) return i;
+    }
+    return records.size();
+  };
+  const std::size_t first_miss = find_after(0, obs::Ev::kLeaseMiss);
+  const std::size_t first_grant = find_after(first_miss, obs::Ev::kLeaseGrant);
+  ASSERT_LT(first_grant, records.size());
+
+  // The failure itself is a non-flow event; locate it in the full stream.
+  const auto all = tracer.Records();
+  std::size_t failure_order = 0;
+  for (const auto& r : all) {
+    if (r.ev == obs::Ev::kNodeFailure) {
+      failure_order = r.order;
+      break;
+    }
+  }
+  ASSERT_GT(failure_order, 0u);
+  EXPECT_LT(records[first_grant].order, failure_order);
+
+  // After the failure: a new miss on the standby, answered by a rehome.
+  std::size_t post_miss = records.size();
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (records[i].ev == obs::Ev::kLeaseMiss &&
+        records[i].order > failure_order) {
+      post_miss = i;
+      break;
+    }
+  }
+  ASSERT_LT(post_miss, records.size());
+  const std::size_t rehome = find_after(post_miss, obs::Ev::kFailoverRehome);
+  ASSERT_LT(rehome, records.size());
+  EXPECT_EQ(tracer.ComponentName(records[post_miss].component),
+            tracer.ComponentName(records[rehome].component));
 }
 
 }  // namespace

@@ -1,0 +1,376 @@
+// Tests for the observability layer (src/obs): tracer ring semantics, span
+// ordering, histogram/percentile agreement with SampleSet, JSON validity,
+// phase pairing, and end-to-end trace determinism on the full testbed.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "apps/nat.h"
+#include "common/logging.h"
+#include "common/stats.h"
+#include "core/redplane_switch.h"
+#include "net/flow.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+#include "routing/topology.h"
+
+namespace redplane {
+namespace {
+
+using obs::Ev;
+using obs::TraceFilter;
+using obs::TraceRecord;
+using obs::Tracer;
+
+/// RAII guard that installs a tracer as the process-global one.
+struct GlobalTracerGuard {
+  explicit GlobalTracerGuard(Tracer* t) : prev(obs::SetGlobalTracer(t)) {}
+  ~GlobalTracerGuard() { obs::SetGlobalTracer(prev); }
+  Tracer* prev;
+};
+
+TEST(TracerTest, RingBufferEvictsOldest) {
+  Tracer tracer(4);
+  tracer.SetEnabled(true);
+  const std::uint16_t comp = tracer.Intern("c");
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    tracer.Emit(comp, Ev::kIngress, /*flow=*/1, /*seq=*/i);
+  }
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.capacity(), 4u);
+  EXPECT_EQ(tracer.evicted(), 6u);
+  const auto records = tracer.Records();
+  ASSERT_EQ(records.size(), 4u);
+  // Oldest-first, and only the newest four survive.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(records[i].seq, 6 + i);
+    EXPECT_EQ(records[i].order, 6 + i);
+  }
+}
+
+TEST(TracerTest, SpanOrderingPreservesEmissionOrderOnEqualTimestamps) {
+  Tracer tracer;
+  tracer.SetEnabled(true);
+  SimTime now = 500;
+  tracer.SetClock([&now]() { return now; });
+  const std::uint16_t comp = tracer.Intern("c");
+  tracer.Emit(comp, Ev::kIngress, 1, 1);
+  tracer.Emit(comp, Ev::kLeaseMiss, 1, 1);
+  tracer.Emit(comp, Ev::kReplicationSent, 1, 1);
+  now = 900;
+  tracer.Emit(comp, Ev::kAckReleased, 1, 1);
+  const auto records = tracer.Records();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records[0].t, 500);
+  EXPECT_EQ(records[2].t, 500);
+  EXPECT_EQ(records[3].t, 900);
+  // Equal timestamps keep emission order via the order field.
+  EXPECT_LT(records[0].order, records[1].order);
+  EXPECT_LT(records[1].order, records[2].order);
+  EXPECT_EQ(records[0].ev, Ev::kIngress);
+  EXPECT_EQ(records[1].ev, Ev::kLeaseMiss);
+  EXPECT_EQ(records[2].ev, Ev::kReplicationSent);
+}
+
+TEST(TracerTest, FlowFilterKeepsMatchingAndNonFlowRecords) {
+  Tracer tracer;
+  tracer.SetEnabled(true);
+  tracer.SetFlowFilter(42);
+  const std::uint16_t comp = tracer.Intern("c");
+  tracer.Emit(comp, Ev::kIngress, 42);
+  tracer.Emit(comp, Ev::kIngress, 7);    // filtered out
+  tracer.Emit(comp, Ev::kNodeFailure, 0);  // non-flow event: kept
+  EXPECT_EQ(tracer.size(), 2u);
+  const auto records = tracer.Records();
+  EXPECT_EQ(records[0].flow, 42u);
+  EXPECT_EQ(records[1].flow, 0u);
+}
+
+TEST(TracerTest, QueryFilterSelectsByFlowAndComponent) {
+  Tracer tracer;
+  tracer.SetEnabled(true);
+  const std::uint16_t a = tracer.Intern("alpha");
+  const std::uint16_t b = tracer.Intern("beta");
+  tracer.Emit(a, Ev::kIngress, 1);
+  tracer.Emit(b, Ev::kIngress, 1);
+  tracer.Emit(a, Ev::kIngress, 2);
+  TraceFilter by_flow;
+  by_flow.flow = 1;
+  EXPECT_EQ(tracer.Records(by_flow).size(), 2u);
+  TraceFilter by_comp;
+  by_comp.component = "alpha";
+  EXPECT_EQ(tracer.Records(by_comp).size(), 2u);
+  TraceFilter both;
+  both.flow = 2;
+  both.component = "beta";
+  EXPECT_TRUE(tracer.Records(both).empty());
+}
+
+TEST(TracerTest, TraceHandleRevalidatesAfterReset) {
+  Tracer tracer;
+  tracer.SetEnabled(true);
+  GlobalTracerGuard guard(&tracer);
+  obs::TraceHandle handle("widget");
+  EXPECT_TRUE(handle.armed());
+  handle.Emit(Ev::kIngress);
+  tracer.Reset();  // drops names, bumps generation
+  handle.Emit(Ev::kHostRecv);
+  const auto records = tracer.Records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(tracer.ComponentName(records[0].component), "widget");
+}
+
+TEST(TracerTest, DisabledTracerRecordsNothing) {
+  Tracer tracer;
+  GlobalTracerGuard guard(&tracer);
+  obs::TraceHandle handle("c");
+  EXPECT_FALSE(handle.armed());
+  handle.Emit(Ev::kIngress, 1, 2, 3.0);
+  EXPECT_EQ(tracer.size(), 0u);
+}
+
+TEST(TracerTest, ChromeTraceExportIsValidJson) {
+  Tracer tracer;
+  tracer.SetEnabled(true);
+  SimTime now = 0;
+  tracer.SetClock([&now]() { return now; });
+  const std::uint16_t comp = tracer.Intern("sw0/rp");
+  for (int i = 0; i < 20; ++i) {
+    now += 1337;
+    tracer.Emit(comp, static_cast<Ev>(i % obs::kNumEvents),
+                net::HashFlowKey({net::Ipv4Addr(10, 0, 0, 1),
+                                  net::Ipv4Addr(10, 0, 0, 2),
+                                  static_cast<std::uint16_t>(i), 80,
+                                  net::IpProto::kUdp}),
+                i, i * 1.5);
+  }
+  const std::string json = tracer.ChromeTraceJson();
+  EXPECT_TRUE(obs::ValidateJson(json)) << json;
+  // Spot-check shape: metadata names the component, events carry µs stamps.
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("sw0/rp"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+}
+
+TEST(TracerTest, LatencyBreakdownPairsBeginEndPerFlowSeq) {
+  Tracer tracer;
+  tracer.SetEnabled(true);
+  SimTime now = 0;
+  tracer.SetClock([&now]() { return now; });
+  const std::uint16_t sw = tracer.Intern("sw");
+  const std::uint16_t store = tracer.Intern("store");
+  // One write lifecycle: sent at 1 µs, received at 3 µs, acked at 9 µs.
+  now = 1000;
+  tracer.Emit(sw, Ev::kReplicationSent, 5, 1);
+  now = 3000;
+  tracer.Emit(store, Ev::kStoreRecv, 5, 1);
+  now = 9000;
+  tracer.Emit(sw, Ev::kAckReleased, 5, 1);
+  const auto phases = tracer.LatencyBreakdown();
+  double rtt = -1, to_store = -1;
+  for (const auto& phase : phases) {
+    if (phase.name == "write_replication_rtt") rtt = phase.samples_us.Mean();
+    if (phase.name == "switch_to_store") to_store = phase.samples_us.Mean();
+  }
+  EXPECT_DOUBLE_EQ(rtt, 8.0);
+  EXPECT_DOUBLE_EQ(to_store, 2.0);
+}
+
+TEST(TracerTest, LatencyBreakdownDistinguishesGrantFromRehome) {
+  Tracer tracer;
+  tracer.SetEnabled(true);
+  SimTime now = 0;
+  tracer.SetClock([&now]() { return now; });
+  const std::uint16_t sw = tracer.Intern("sw");
+  // Flow 1: fresh lease (miss -> grant).  Flow 2: failover (miss -> rehome).
+  now = 0;
+  tracer.Emit(sw, Ev::kLeaseMiss, 1);
+  now = 4000;
+  tracer.Emit(sw, Ev::kLeaseGrant, 1);
+  now = 10000;
+  tracer.Emit(sw, Ev::kLeaseMiss, 2);
+  now = 16000;
+  tracer.Emit(sw, Ev::kFailoverRehome, 2);
+  double acquire = -1, rehome = -1;
+  for (const auto& phase : tracer.LatencyBreakdown()) {
+    if (phase.name == "lease_acquire") acquire = phase.samples_us.Mean();
+    if (phase.name == "failover_rehome") rehome = phase.samples_us.Mean();
+  }
+  EXPECT_DOUBLE_EQ(acquire, 4.0);
+  EXPECT_DOUBLE_EQ(rehome, 6.0);
+}
+
+TEST(MetricsTest, HistogramPercentilesAgreeWithSampleSet) {
+  obs::HistogramCell hist;
+  SampleSet exact;
+  // Deterministic log-uniform-ish values spanning several octaves.
+  std::uint64_t lcg = 12345;
+  for (int i = 0; i < 20000; ++i) {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    const double unit = static_cast<double>(lcg >> 11) / 9007199254740992.0;
+    const double v = 1.0 + unit * unit * 5000.0;
+    hist.Record(v);
+    exact.Add(v);
+  }
+  for (double p : {10.0, 50.0, 90.0, 99.0}) {
+    const double approx = hist.Percentile(p);
+    const double truth = exact.Percentile(p);
+    // Log-linear buckets (16/octave) guarantee ~4.4 % relative error.
+    EXPECT_NEAR(approx, truth, truth * 0.10)
+        << "p" << p << ": approx=" << approx << " exact=" << truth;
+  }
+  EXPECT_DOUBLE_EQ(hist.Percentile(0), exact.Min());
+  EXPECT_DOUBLE_EQ(hist.Percentile(100), exact.Max());
+}
+
+TEST(MetricsTest, RegistryTypedAndStringApisShareCells) {
+  obs::MetricRegistry registry("test");
+  registry.Add("pkts");                      // string API first
+  auto pkts = registry.RegisterCounter("pkts");  // typed handle, same cell
+  pkts.Add(2);
+  EXPECT_DOUBLE_EQ(registry.Get("pkts"), 3.0);
+  // Kind mismatch yields an inert handle rather than corrupting the cell.
+  auto wrong = registry.RegisterHistogram("pkts");
+  wrong.Record(1.0);
+  EXPECT_DOUBLE_EQ(registry.Get("pkts"), 3.0);
+}
+
+TEST(MetricsTest, RegistryResetZeroesButKeepsRegistrations) {
+  obs::MetricRegistry registry("test");
+  auto c = registry.RegisterCounter("c");
+  auto h = registry.RegisterHistogram("h");
+  c.Add(5);
+  h.Record(1.0);
+  registry.Reset();
+  EXPECT_DOUBLE_EQ(registry.Get("c"), 0.0);
+  EXPECT_EQ(h.Count(), 0u);
+  c.Add();  // handles stay live after Reset
+  EXPECT_DOUBLE_EQ(registry.Get("c"), 1.0);
+}
+
+TEST(MetricsTest, HubSnapshotPrefixesComponentAndSorts) {
+  obs::MetricRegistry a("beta");
+  obs::MetricRegistry b("alpha");
+  a.Add("x", 1);
+  b.Add("y", 2);
+  b.AddCallbackGauge("z", []() { return 7.0; });
+  obs::MetricsHub hub;
+  hub.Register(&a);
+  hub.Register(&b);
+  const auto snap = hub.Snapshot(123);
+  ASSERT_EQ(snap.values.size(), 3u);
+  EXPECT_EQ(snap.values[0].name, "alpha.y");
+  EXPECT_EQ(snap.values[1].name, "alpha.z");
+  EXPECT_EQ(snap.values[2].name, "beta.x");
+  EXPECT_DOUBLE_EQ(snap.values[1].value, 7.0);
+  EXPECT_TRUE(obs::ValidateJson(snap.Json()));
+}
+
+TEST(MetricsTest, TimeSeriesJsonRoundTrips) {
+  obs::MetricRegistry registry("comp");
+  auto hist = registry.RegisterHistogram("lat_us");
+  hist.Record(10);
+  hist.Record(20);
+  obs::MetricsHub hub;
+  hub.Register(&registry);
+  obs::TimeSeriesLog log;
+  log.Append(hub.Snapshot(1000));
+  registry.Add("ctr", 4);
+  log.Append(hub.Snapshot(2000));
+  EXPECT_EQ(log.Size(), 2u);
+  const std::string json = log.Json();
+  EXPECT_TRUE(obs::ValidateJson(json)) << json;
+  EXPECT_NE(json.find("\"t_ns\": 1000"), std::string::npos);
+  EXPECT_NE(json.find("comp.lat_us"), std::string::npos);
+}
+
+TEST(JsonTest, ValidatorAcceptsAndRejects) {
+  EXPECT_TRUE(obs::ValidateJson("{\"a\": [1, 2.5, -3e2, \"x\\n\", true, null]}"));
+  EXPECT_TRUE(obs::ValidateJson("[]"));
+  EXPECT_FALSE(obs::ValidateJson("{\"a\": }"));
+  EXPECT_FALSE(obs::ValidateJson("{'a': 1}"));
+  EXPECT_FALSE(obs::ValidateJson("[1, 2,]"));
+  EXPECT_FALSE(obs::ValidateJson("{\"a\": 1} trailing"));
+  EXPECT_FALSE(obs::ValidateJson("01"));
+}
+
+TEST(JsonTest, NumberFormatting) {
+  EXPECT_EQ(obs::JsonNumber(42.0), "42");
+  EXPECT_EQ(obs::JsonNumber(-3.0), "-3");
+  EXPECT_EQ(obs::JsonNumber(0.5), "0.5");
+}
+
+TEST(LoggingTest, ParseLogLevelAcceptsNamesAndDigits) {
+  LogLevel level;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("WARN", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(ParseLogLevel("off", &level));
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+}
+
+// --- End-to-end determinism ------------------------------------------------
+
+/// Runs a small NAT workload on the full testbed with tracing enabled and
+/// returns the Chrome-trace export.
+std::string RunTracedNat(Tracer& tracer) {
+  net::ResetPacketIds();  // packet ids appear in the trace export
+  constexpr net::Ipv4Addr kInternalPrefix(192, 168, 0, 0);
+  constexpr std::uint32_t kInternalMask = 0xffff0000;
+  constexpr net::Ipv4Addr kNatIp(100, 100, 0, 1);
+
+  apps::NatGlobalState nat_global(kNatIp, 5000, 256, kInternalPrefix,
+                                  kInternalMask);
+  routing::TestbedConfig cfg;
+  cfg.store.initializer = [&nat_global](const net::PartitionKey& key) {
+    return nat_global.InitializeFlow(key);
+  };
+  sim::Simulator sim;
+  routing::Testbed tb = routing::BuildTestbed(sim, cfg);
+
+  tracer.SetClock([&sim]() { return sim.Now(); });
+  tracer.SetEnabled(true);
+  GlobalTracerGuard guard(&tracer);
+
+  apps::NatApp nat(nat_global);
+  auto shard_for = [&tb](const net::PartitionKey&) { return tb.StoreHeadIp(); };
+  core::RedPlaneSwitch rp0(*tb.agg[0], nat, shard_for);
+  core::RedPlaneSwitch rp1(*tb.agg[1], nat, shard_for);
+  tb.agg[0]->SetPipeline(&rp0);
+  tb.agg[1]->SetPipeline(&rp1);
+  tb.fabric->AssignAddress(tb.agg[0], kNatIp);
+  tb.fabric->RecomputeNow();
+
+  tb.external[0]->SetHandler([](sim::HostNode& self, net::Packet pkt) {
+    if (auto flow = pkt.Flow()) {
+      self.Send(net::MakeUdpPacket(flow->Reversed(), 10));
+    }
+  });
+  for (int i = 0; i < 4; ++i) {
+    net::FlowKey flow{routing::RackServerIp(0, 0), routing::ExternalHostIp(0),
+                      static_cast<std::uint16_t>(7000 + i), 80,
+                      net::IpProto::kUdp};
+    tb.rack_servers[0][0]->Send(net::MakeUdpPacket(flow, 100));
+    sim.RunUntil(sim.Now() + Milliseconds(1));
+  }
+  sim.Run();
+  tracer.ClearClock();
+  tracer.SetEnabled(false);
+  return tracer.ChromeTraceJson();
+}
+
+TEST(ObsDeterminismTest, SameSeedProducesByteIdenticalTraces) {
+  Tracer t1, t2;
+  const std::string json1 = RunTracedNat(t1);
+  const std::string json2 = RunTracedNat(t2);
+  EXPECT_FALSE(json1.empty());
+  EXPECT_GT(t1.size(), 0u);
+  EXPECT_TRUE(obs::ValidateJson(json1));
+  EXPECT_EQ(json1, json2);
+}
+
+}  // namespace
+}  // namespace redplane
