@@ -2,15 +2,38 @@
 // paths of the simulator and the RedPlane protocol.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include "apps/sketch.h"
 #include "core/protocol.h"
 #include "core/snapshot.h"
 #include "dataplane/register_array.h"
+#include "net/buffer.h"
 #include "net/codec.h"
-#include "common/stats.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "sim/simulator.h"
+
+// Process-wide heap-allocation counter, used to prove the steady-state event
+// dispatch path allocates nothing (BM_EventDispatchSteadyState).
+static std::atomic<std::uint64_t> g_heap_allocs{0};
+
+void* operator new(std::size_t n) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 using namespace redplane;
 
@@ -93,6 +116,97 @@ void BM_LazySnapshotUpdate(benchmark::State& state) {
 }
 BENCHMARK(BM_LazySnapshotUpdate);
 
+// --- Zero-copy message core ------------------------------------------------
+
+// Hop-to-hop packet forwarding: copying a queued packet is a refcount bump on
+// the shared payload buffer, not a memcpy of the bytes.
+void BM_LinkHopForward(benchmark::State& state) {
+  net::Packet pkt = SamplePacket();
+  std::vector<std::byte> body(512, std::byte{0xAB});
+  pkt.payload = std::move(body);
+  for (auto _ : state) {
+    net::Packet hop = pkt;  // what each link/pipeline hop does
+    benchmark::DoNotOptimize(hop.payload.data());
+  }
+}
+BENCHMARK(BM_LinkHopForward);
+
+// The same hop with the pre-zero-copy payload representation (a value
+// vector): every hop memcpys the body.
+void BM_LinkHopForwardDeepCopy(benchmark::State& state) {
+  net::Packet pkt = SamplePacket();
+  std::vector<std::byte> body(512, std::byte{0xAB});
+  for (auto _ : state) {
+    net::Packet hop = pkt;
+    std::vector<std::byte> copied = body;  // what a value payload cost
+    hop.payload = std::move(copied);
+    benchmark::DoNotOptimize(hop.payload.data());
+  }
+}
+BENCHMARK(BM_LinkHopForwardDeepCopy);
+
+core::Msg SampleChainMsg() {
+  core::Msg msg;
+  msg.type = core::MsgType::kLeaseRenewReq;
+  msg.key = net::PartitionKey::OfFlow(*SamplePacket().Flow());
+  msg.seq = 42;
+  msg.state.resize(16);
+  msg.piggyback = SamplePacket();
+  return msg;
+}
+
+// A chain replica's per-hop work, zero-copy style: parse a view over the
+// received bytes, patch the mutable header field in place, hand the same
+// buffer to the successor.
+void BM_ChainHopForwardZeroCopy(benchmark::State& state) {
+  net::BufferView payload{core::EncodeMsg(SampleChainMsg())};
+  for (auto _ : state) {
+    auto v = core::MsgView::Parse(std::move(payload));
+    v->SetChainHop(static_cast<std::uint8_t>(v->chain_hop() + 1));
+    payload = v->bytes();  // "send": the buffer moves on unchanged
+    benchmark::DoNotOptimize(payload.data());
+  }
+}
+BENCHMARK(BM_ChainHopForwardZeroCopy);
+
+// The same hop the way the code did it before the zero-copy core: fully
+// decode the message (materializing state + piggyback), bump the hop count,
+// and re-encode everything.
+void BM_ChainHopReencode(benchmark::State& state) {
+  const net::Buffer payload = core::EncodeMsg(SampleChainMsg());
+  for (auto _ : state) {
+    auto msg = core::DecodeMsg(payload);
+    msg->chain_hop = static_cast<std::uint8_t>(msg->chain_hop + 1);
+    benchmark::DoNotOptimize(core::EncodeMsg(*msg));
+  }
+}
+BENCHMARK(BM_ChainHopReencode);
+
+// Steady-state event dispatch: after warm-up the slab free list satisfies
+// every Schedule and the inline callable storage absorbs the lambda, so one
+// schedule+dispatch round trip performs zero heap allocations.
+void BM_EventDispatchSteadyState(benchmark::State& state) {
+  sim::Simulator sim;
+  std::uint64_t fired = 0;
+  for (int i = 0; i < 64; ++i) {
+    sim.Schedule(i, [&fired]() { ++fired; });
+  }
+  sim.Run();  // warm the slab, the queue and the free list
+  const std::uint64_t allocs_before =
+      g_heap_allocs.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    sim.Schedule(1, [&fired]() { ++fired; });
+    sim.Run();
+  }
+  const std::uint64_t allocs_after =
+      g_heap_allocs.load(std::memory_order_relaxed);
+  benchmark::DoNotOptimize(fired);
+  state.counters["heap_allocs_per_dispatch"] = benchmark::Counter(
+      static_cast<double>(allocs_after - allocs_before) /
+      static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_EventDispatchSteadyState);
+
 void BM_SimulatorEventThroughput(benchmark::State& state) {
   for (auto _ : state) {
     sim::Simulator sim;
@@ -157,15 +271,6 @@ void BM_MetricRegistryStringAdd(benchmark::State& state) {
   benchmark::DoNotOptimize(registry.Get("pkts"));
 }
 BENCHMARK(BM_MetricRegistryStringAdd);
-
-void BM_LegacyCountersAdd(benchmark::State& state) {
-  Counters counters;
-  for (auto _ : state) {
-    counters.Add("pkts");
-  }
-  benchmark::DoNotOptimize(counters.Get("pkts"));
-}
-BENCHMARK(BM_LegacyCountersAdd);
 
 void BM_MetricHistogramRecord(benchmark::State& state) {
   obs::MetricRegistry registry("bench");

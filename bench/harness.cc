@@ -63,9 +63,10 @@ void RttProbe::Send(const net::FlowKey& flow, std::uint32_t pad) {
 }
 
 void RttProbe::SendPacket(net::Packet pkt) {
-  pkt.payload.clear();
-  net::ByteWriter w(pkt.payload);
+  std::vector<std::byte> buf;
+  net::ByteWriter w(buf);
   w.U64(static_cast<std::uint64_t>(host_->sim().Now()));
+  pkt.payload = std::move(buf);
   ++sent_;
   host_->Send(std::move(pkt));
 }

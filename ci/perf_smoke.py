@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Perf smoke test: run bench_micro and fail on regression.
+
+Two kinds of checks:
+
+ 1. Machine-independent invariants of the zero-copy core — these must hold
+    on any hardware:
+      * steady-state event dispatch performs zero heap allocations,
+      * zero-copy hop forwarding beats the deep-copy/re-encode path by at
+        least 2x (the PR's acceptance bar).
+ 2. Absolute regression against the recorded baseline (BENCH_PR2.json):
+    each benchmark must stay within --tolerance (default 25%) of its
+    baseline time.  Skipped with --no-absolute on hardware that does not
+    match the baseline machine.
+
+Usage:
+  ci/perf_smoke.py --bench build/bench/bench_micro [--baseline BENCH_PR2.json]
+                   [--tolerance 0.25] [--no-absolute]
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+
+def run_bench(bench_path):
+    out = subprocess.run(
+        [
+            bench_path,
+            "--benchmark_format=json",
+            "--benchmark_min_time=0.2",
+            "--benchmark_repetitions=3",
+            "--benchmark_report_aggregates_only=true",
+        ],
+        check=True,
+        capture_output=True,
+        text=True,
+    )
+    results = {}
+    counters = {}
+    for b in json.loads(out.stdout)["benchmarks"]:
+        if b.get("aggregate_name") != "median":
+            continue
+        name = b["run_name"]
+        results[name] = b["real_time"]
+        for key in ("heap_allocs_per_dispatch",):
+            if key in b:
+                counters.setdefault(name, {})[key] = b[key]
+    return results, counters
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--bench", required=True)
+    ap.add_argument("--baseline", default="BENCH_PR2.json")
+    ap.add_argument("--tolerance", type=float, default=0.25)
+    ap.add_argument("--no-absolute", action="store_true")
+    args = ap.parse_args()
+
+    results, counters = run_bench(args.bench)
+    failures = []
+
+    # --- Invariant checks (machine-independent) ---
+    allocs = counters.get("BM_EventDispatchSteadyState", {}).get(
+        "heap_allocs_per_dispatch"
+    )
+    if allocs is None:
+        failures.append("BM_EventDispatchSteadyState did not report "
+                        "heap_allocs_per_dispatch")
+    elif allocs != 0:
+        failures.append(
+            f"steady-state event dispatch allocates ({allocs}/dispatch)")
+
+    for fast, slow, label in [
+        ("BM_LinkHopForward", "BM_LinkHopForwardDeepCopy", "hop-forward"),
+        ("BM_ChainHopForwardZeroCopy", "BM_ChainHopReencode", "chain-hop"),
+    ]:
+        if fast not in results or slow not in results:
+            failures.append(f"missing benchmark pair for {label}")
+            continue
+        if results[fast] * 2 > results[slow]:
+            failures.append(
+                f"{label}: zero-copy path ({results[fast]:.1f} ns) is not "
+                f">=2x faster than copy path ({results[slow]:.1f} ns)")
+
+    # --- Absolute regression vs recorded baseline ---
+    if not args.no_absolute:
+        with open(args.baseline) as f:
+            baseline = json.load(f)["reference_ns"]
+        for name, base_ns in baseline.items():
+            got = results.get(name)
+            if got is None:
+                failures.append(f"baseline benchmark {name} missing from run")
+            elif got > base_ns * (1.0 + args.tolerance):
+                failures.append(
+                    f"{name}: {got:.1f} ns vs baseline {base_ns:.1f} ns "
+                    f"(+{(got / base_ns - 1) * 100:.0f}%, tolerance "
+                    f"{args.tolerance * 100:.0f}%)")
+
+    for name in sorted(results):
+        print(f"  {name}: {results[name]:.2f} ns")
+    if failures:
+        print("\nPERF SMOKE FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nperf smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

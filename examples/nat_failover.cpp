@@ -42,8 +42,10 @@ net::FlowKey FlowI(int i) {
 
 net::Packet TaggedPacket(int flow_id) {
   net::Packet pkt = net::MakeUdpPacket(FlowI(flow_id), 80);
-  net::ByteWriter w(pkt.payload);
+  std::vector<std::byte> buf;
+  net::ByteWriter w(buf);
   w.U16(static_cast<std::uint16_t>(flow_id));
+  pkt.payload = std::move(buf);
   return pkt;
 }
 

@@ -55,9 +55,11 @@ net::Packet MakeSgwSignalingPacket(net::Ipv4Addr src, net::Ipv4Addr user_ip,
   flow.dst_port = kSgwSignalingPort;
   flow.proto = net::IpProto::kUdp;
   net::Packet pkt = net::MakeUdpPacket(flow, 0);
-  net::ByteWriter w(pkt.payload);
+  std::vector<std::byte> buf;
+  net::ByteWriter w(buf);
   w.U32(teid);
   w.U32(enb_ip.value);
+  pkt.payload = std::move(buf);
   return pkt;
 }
 

@@ -9,10 +9,12 @@ net::Packet MakeKvPacket(const net::FlowKey& flow, const KvRequest& req) {
   // back with kKvUdpPort as the source, so transit switches do not
   // re-interpret them as requests.
   net::Packet pkt = net::MakeUdpPacket(flow, 0);
-  net::ByteWriter w(pkt.payload);
+  std::vector<std::byte> buf;
+  net::ByteWriter w(buf);
   w.U8(static_cast<std::uint8_t>(req.op));
   w.U64(req.key);
   w.U64(req.value);
+  pkt.payload = std::move(buf);
   return pkt;
 }
 

@@ -8,9 +8,11 @@ net::Packet MakeSequencedPacket(const net::FlowKey& flow,
                                 std::uint64_t group) {
   net::Packet pkt = net::MakeUdpPacket(flow, 0);
   pkt.udp->dst_port = kSequencerPort;
-  net::ByteWriter w(pkt.payload);
+  std::vector<std::byte> buf;
+  net::ByteWriter w(buf);
   w.U64(group);
   w.U64(0);  // stamp placeholder, filled by the sequencer
+  pkt.payload = std::move(buf);
   return pkt;
 }
 
@@ -50,10 +52,11 @@ core::ProcessResult SequencerApp::Process(core::AppContext& ctx,
 
   net::ByteReader r(pkt.payload);
   const std::uint64_t group = r.U64();
-  pkt.payload.clear();
-  net::ByteWriter w(pkt.payload);
+  std::vector<std::byte> buf;
+  net::ByteWriter w(buf);
   w.U64(group);
   w.U64(stamp);
+  pkt.payload = std::move(buf);
   result.outputs.push_back(std::move(pkt));
   return result;
 }

@@ -34,6 +34,10 @@ ControllerFtPipeline::ControllerFtPipeline(
       mgmt_rtt_(mgmt_rtt),
       initializer_(std::move(initializer)) {
   stats_.set_component(node.name() + "/ctrl_ft");
+  m_.app_pkts = stats_.RegisterCounter("app_pkts");
+  m_.controller_commits = stats_.RegisterCounter("controller_commits");
+  m_.controller_refreshes = stats_.RegisterCounter("controller_refreshes");
+  m_.commit_pending_drops = stats_.RegisterCounter("commit_pending_drops");
 }
 
 void ControllerFtPipeline::Process(dp::SwitchContext& ctx, net::Packet pkt) {
@@ -50,13 +54,13 @@ void ControllerFtPipeline::Process(dp::SwitchContext& ctx, net::Packet pkt) {
     // New state commits to the controller synchronously: PCIe to the switch
     // CPU, management network to the controller, controller replication,
     // and back.  The first packet waits for the full chain.
-    stats_.Add("controller_commits");
+    m_.controller_commits.Add();
     node_.control_plane().Submit(
         entry.state.size() + 64, [this, key = *key, pkt = std::move(pkt)]() mutable {
           node_.sim().Schedule(mgmt_rtt_, [this, key, p = std::move(pkt)]() mutable {
             auto eit = state_.find(key);
             if (eit == state_.end()) return;
-            controller_.counters().Add("commits_received");
+            controller_.NoteCommitReceived();
             eit->second.committed = true;
             node_.Recirculate([this, key, p2 = std::move(p)](
                                   dp::SwitchContext& rctx) mutable {
@@ -70,7 +74,7 @@ void ControllerFtPipeline::Process(dp::SwitchContext& ctx, net::Packet pkt) {
   }
 
   if (!entry.committed) {
-    stats_.Add("commit_pending_drops");
+    m_.commit_pending_drops.Add();
     ctx.Drop(pkt);
     return;
   }
@@ -84,12 +88,12 @@ void ControllerFtPipeline::RunApp(dp::SwitchContext& ctx,
   actx.now = ctx.Now();
   actx.switch_ip = node_.ip();
   core::ProcessResult result = app_.Process(actx, std::move(pkt), entry.state);
-  stats_.Add("app_pkts");
+  m_.app_pkts.Add();
   if (result.state_modified) {
     // Asynchronously refresh the controller copy (write-back).  The paper's
     // controller approaches cannot do this per packet at line rate; the
     // rollback baseline demonstrates that failure mode.
-    stats_.Add("controller_refreshes");
+    m_.controller_refreshes.Add();
     node_.sim().Schedule(mgmt_rtt_, [this, key, state = entry.state]() mutable {
       controller_.CommitDirect(key, std::move(state));
     });

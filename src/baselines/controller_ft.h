@@ -26,7 +26,12 @@ class ControllerNode : public sim::Node {
  public:
   ControllerNode(sim::Simulator& sim, NodeId id, std::string name,
                  SimDuration commit_latency)
-      : Node(sim, id, std::move(name)), commit_latency_(commit_latency) {}
+      : Node(sim, id, std::move(name)), commit_latency_(commit_latency) {
+    commits_received_ = counters().RegisterCounter("commits_received");
+  }
+
+  /// Called by a pipeline when its synchronous commit round trip lands.
+  void NoteCommitReceived() { commits_received_.Add(); }
 
   void HandlePacket(net::Packet pkt, PortId in_port) override;
 
@@ -48,6 +53,7 @@ class ControllerNode : public sim::Node {
   SimDuration commit_latency_;
   std::unordered_map<net::PartitionKey, std::vector<std::byte>> committed_;
   std::uint64_t commits_ = 0;
+  obs::Counter commits_received_;
 };
 
 class ControllerFtPipeline : public dp::PipelineHandler {
@@ -84,6 +90,15 @@ class ControllerFtPipeline : public dp::PipelineHandler {
   std::function<std::vector<std::byte>(const net::PartitionKey&)> initializer_;
   std::unordered_map<net::PartitionKey, Entry> state_;
   obs::MetricRegistry stats_;
+
+  /// Typed handles into stats_ (registered once at construction).
+  struct Metrics {
+    obs::Counter app_pkts;
+    obs::Counter controller_commits;
+    obs::Counter controller_refreshes;
+    obs::Counter commit_pending_drops;
+  };
+  Metrics m_;
 };
 
 }  // namespace redplane::baselines

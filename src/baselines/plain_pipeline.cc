@@ -8,6 +8,10 @@ PlainAppPipeline::PlainAppPipeline(
         initializer)
     : node_(node), app_(app), initializer_(std::move(initializer)) {
   stats_.set_component(node.name() + "/plain");
+  m_.app_pkts = stats_.RegisterCounter("app_pkts");
+  m_.state_writes = stats_.RegisterCounter("state_writes");
+  m_.cp_installs = stats_.RegisterCounter("cp_installs");
+  m_.install_pending_drops = stats_.RegisterCounter("install_pending_drops");
 }
 
 void PlainAppPipeline::Process(dp::SwitchContext& ctx, net::Packet pkt) {
@@ -25,7 +29,7 @@ void PlainAppPipeline::Process(dp::SwitchContext& ctx, net::Packet pkt) {
       // Table-backed state must be installed by the switch CPU before the
       // data plane can use it; the first packet waits for that install.
       entry.install_pending = true;
-      stats_.Add("cp_installs");
+      m_.cp_installs.Add();
       node_.control_plane().Submit(
           entry.state.size() + 64,
           [this, key = *key, pkt = std::move(pkt)]() mutable {
@@ -48,7 +52,7 @@ void PlainAppPipeline::Process(dp::SwitchContext& ctx, net::Packet pkt) {
   if (entry.install_pending) {
     // A burst arrived before the control plane finished; without RedPlane's
     // network buffering the switch can only drop (or punt) these.
-    stats_.Add("install_pending_drops");
+    m_.install_pending_drops.Add();
     ctx.Drop(pkt);
     return;
   }
@@ -61,8 +65,8 @@ void PlainAppPipeline::RunApp(dp::SwitchContext& ctx, Entry& entry,
   actx.now = ctx.Now();
   actx.switch_ip = node_.ip();
   core::ProcessResult result = app_.Process(actx, std::move(pkt), entry.state);
-  stats_.Add("app_pkts");
-  if (result.state_modified) stats_.Add("state_writes");
+  m_.app_pkts.Add();
+  if (result.state_modified) m_.state_writes.Add();
   for (auto& out : result.outputs) {
     ctx.Forward(std::move(out));
   }

@@ -45,6 +45,15 @@ class PlainAppPipeline : public dp::PipelineHandler {
   std::function<std::vector<std::byte>(const net::PartitionKey&)> initializer_;
   std::unordered_map<net::PartitionKey, Entry> state_;
   obs::MetricRegistry stats_;
+
+  /// Typed handles into stats_ (registered once at construction).
+  struct Metrics {
+    obs::Counter app_pkts;
+    obs::Counter state_writes;
+    obs::Counter cp_installs;
+    obs::Counter install_pending_drops;
+  };
+  Metrics m_;
 };
 
 }  // namespace redplane::baselines

@@ -6,6 +6,7 @@ RollbackPipeline::RollbackPipeline(dp::SwitchNode& node, core::SwitchApp& app,
                                    std::size_t max_queued_logs)
     : node_(node), app_(app), max_queued_logs_(max_queued_logs) {
   stats_.set_component(node.name() + "/rollback");
+  app_pkts_ = stats_.RegisterCounter("app_pkts");
 }
 
 void RollbackPipeline::Process(dp::SwitchContext& ctx, net::Packet pkt) {
@@ -31,7 +32,7 @@ void RollbackPipeline::Process(dp::SwitchContext& ctx, net::Packet pkt) {
   actx.switch_ip = node_.ip();
   auto& state = state_[*key];
   core::ProcessResult result = app_.Process(actx, std::move(pkt), state);
-  stats_.Add("app_pkts");
+  app_pkts_.Add();
   for (auto& out : result.outputs) {
     ctx.Forward(std::move(out));
   }

@@ -48,6 +48,7 @@ class RollbackPipeline : public dp::PipelineHandler {
   std::uint64_t logged_ = 0;
   std::uint64_t not_logged_ = 0;
   obs::MetricRegistry stats_;
+  obs::Counter app_pkts_;
 };
 
 }  // namespace redplane::baselines

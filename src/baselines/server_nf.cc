@@ -15,6 +15,8 @@ ServerNfNode::ServerNfNode(
       config_(config),
       initializer_(std::move(initializer)) {
   stats_.set_component(this->name() + "/nf");
+  m_.app_pkts = stats_.RegisterCounter("app_pkts");
+  m_.replications = stats_.RegisterCounter("replications");
 }
 
 void ServerNfNode::HandlePacket(net::Packet pkt, PortId in_port) {
@@ -43,14 +45,14 @@ void ServerNfNode::RunApp(net::Packet pkt) {
   actx.switch_ip = ip_;
   core::ProcessResult result =
       app_.Process(actx, std::move(pkt), it->second);
-  stats_.Add("app_pkts");
+  m_.app_pkts.Add();
 
   const bool must_replicate =
       (result.state_modified || inserted) && config_.replication_latency > 0;
   const SimDuration release_delay =
       config_.nic_latency +
       (must_replicate ? config_.replication_latency : 0);
-  if (must_replicate) stats_.Add("replications");
+  if (must_replicate) m_.replications.Add();
 
   for (auto& out : result.outputs) {
     sim_.Schedule(release_delay, [this, o = std::move(out)]() mutable {

@@ -53,6 +53,13 @@ class ServerNfNode : public sim::Node {
   std::unordered_map<net::PartitionKey, std::vector<std::byte>> state_;
   SimTime busy_until_ = 0;
   obs::MetricRegistry stats_;
+
+  /// Typed handles into stats_ (registered once at construction).
+  struct Metrics {
+    obs::Counter app_pkts;
+    obs::Counter replications;
+  };
+  Metrics m_;
 };
 
 }  // namespace redplane::baselines

@@ -13,6 +13,11 @@ SwitchChainPipeline::SwitchChainPipeline(dp::SwitchNode& node,
       next_hop_ip_(next_hop_ip),
       chain_port_(chain_port) {
   stats_.set_component(node.name() + "/chain");
+  m_.app_pkts = stats_.RegisterCounter("app_pkts");
+  m_.chain_updates_sent = stats_.RegisterCounter("chain_updates_sent");
+  m_.chain_updates_applied = stats_.RegisterCounter("chain_updates_applied");
+  m_.malformed_chain_updates =
+      stats_.RegisterCounter("malformed_chain_updates");
 }
 
 void SwitchChainPipeline::Process(dp::SwitchContext& ctx, net::Packet pkt) {
@@ -35,7 +40,7 @@ void SwitchChainPipeline::Process(dp::SwitchContext& ctx, net::Packet pkt) {
   actx.switch_ip = node_.ip();
   auto& state = state_[*key];
   core::ProcessResult result = app_.Process(actx, std::move(pkt), state);
-  stats_.Add("app_pkts");
+  m_.app_pkts.Add();
 
   if (result.state_modified && next_hop_ip_.has_value()) {
     // Forward the update (and the withheld output) down the chain; the
@@ -53,7 +58,7 @@ void SwitchChainPipeline::Process(dp::SwitchContext& ctx, net::Packet pkt) {
         core::MakeProtocolPacket(node_.ip(), *next_hop_ip_, update);
     chain_pkt.udp->dst_port = chain_port_;
     chain_pkt.udp->src_port = chain_port_;
-    stats_.Add("chain_updates_sent");
+    m_.chain_updates_sent.Add();
     ctx.Forward(std::move(chain_pkt));
     return;
   }
@@ -65,23 +70,30 @@ void SwitchChainPipeline::Process(dp::SwitchContext& ctx, net::Packet pkt) {
 
 void SwitchChainPipeline::ApplyChainUpdate(dp::SwitchContext& ctx,
                                            net::Packet pkt) {
-  auto msg = core::DecodeMsg(pkt.payload);
+  auto msg = core::MsgView::Parse(pkt.payload);
   if (!msg.has_value()) {
-    stats_.Add("malformed_chain_updates");
+    m_.malformed_chain_updates.Add();
     return;
   }
-  state_[msg->key] = msg->state;
-  stats_.Add("chain_updates_applied");
+  state_[msg->key()] = msg->state().ToVector();
+  m_.chain_updates_applied.Add();
   if (next_hop_ip_.has_value()) {
-    net::Packet fwd = core::MakeProtocolPacket(node_.ip(), *next_hop_ip_, *msg);
+    // Forward the received bytes verbatim — the replica never re-encodes.
+    net::Packet fwd =
+        core::MakeProtocolPacketRaw(node_.ip(), *next_hop_ip_, msg->bytes());
     fwd.udp->dst_port = chain_port_;
     fwd.udp->src_port = chain_port_;
     ctx.Forward(std::move(fwd));
     return;
   }
-  // Tail: the update is replicated everywhere; release the output.
-  if (msg->piggyback.has_value()) {
-    ctx.Forward(std::move(*msg->piggyback));
+  // Tail: the update is replicated everywhere; release the output (parsed
+  // here for the first time — transit hops never touched it).
+  if (msg->has_piggyback()) {
+    if (auto piggy = msg->PiggybackPacket()) {
+      ctx.Forward(std::move(*piggy));
+    } else {
+      m_.malformed_chain_updates.Add();
+    }
   }
 }
 

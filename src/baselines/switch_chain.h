@@ -51,6 +51,15 @@ class SwitchChainPipeline : public dp::PipelineHandler {
   std::uint16_t chain_port_;
   std::unordered_map<net::PartitionKey, std::vector<std::byte>> state_;
   obs::MetricRegistry stats_;
+
+  /// Typed handles into stats_ (registered once at construction).
+  struct Metrics {
+    obs::Counter app_pkts;
+    obs::Counter chain_updates_sent;
+    obs::Counter chain_updates_applied;
+    obs::Counter malformed_chain_updates;
+  };
+  Metrics m_;
 };
 
 }  // namespace redplane::baselines

@@ -86,33 +86,6 @@ double TimeSeries::BucketSum(std::size_t i) const {
   return i < buckets_.size() ? buckets_[i] : 0.0;
 }
 
-void Counters::Add(const std::string& name, double delta) {
-  auto it = index_.find(name);
-  if (it != index_.end()) {
-    entries_[it->second].second += delta;
-    return;
-  }
-  index_.emplace(name, entries_.size());
-  entries_.emplace_back(name, delta);
-}
-
-double Counters::Get(const std::string& name) const {
-  auto it = index_.find(name);
-  return it != index_.end() ? entries_[it->second].second : 0.0;
-}
-
-std::vector<std::pair<std::string, double>> Counters::Sorted() const {
-  auto out = entries_;
-  std::sort(out.begin(), out.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  return out;
-}
-
-void Counters::Reset() {
-  entries_.clear();
-  index_.clear();
-}
-
 std::string FormatDouble(double v, int digits) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", digits, v);

@@ -73,25 +73,6 @@ class TimeSeries {
   std::vector<double> buckets_;
 };
 
-/// Simple named counter set used by components to report totals (packets
-/// forwarded, replication requests sent, bytes on the wire, ...).
-///
-/// Backed by a hash index so Add/Get are O(1) rather than a linear scan;
-/// Sorted() still returns a stable name-ordered view.  New hot-path code
-/// should prefer the typed handles in obs::MetricRegistry; this class stays
-/// for benches and tests that accumulate ad-hoc counters.
-class Counters {
- public:
-  void Add(const std::string& name, double delta = 1.0);
-  double Get(const std::string& name) const;
-  std::vector<std::pair<std::string, double>> Sorted() const;
-  void Reset();
-
- private:
-  std::vector<std::pair<std::string, double>> entries_;  // insertion order
-  std::unordered_map<std::string, std::size_t> index_;   // name -> slot
-};
-
 /// Formats `v` with `digits` decimal places (reporting helper).
 std::string FormatDouble(double v, int digits = 2);
 

@@ -1,5 +1,7 @@
 #include "core/protocol.h"
 
+#include <atomic>
+
 #include "common/logging.h"
 
 namespace redplane::core {
@@ -7,6 +9,8 @@ namespace redplane::core {
 namespace {
 
 constexpr std::uint16_t kMagic = 0x9D1A;
+
+std::atomic<std::uint64_t> g_encode_count{0};
 
 void EncodeKey(net::ByteWriter& w, const net::PartitionKey& key) {
   w.U8(static_cast<std::uint8_t>(key.kind));
@@ -61,7 +65,8 @@ std::size_t HeaderWireSize(const net::PartitionKey& key) {
   return 2 + 1 + 1 + 8 + 4 + 4 + 1 + 1 + key_size + 2 + 2;
 }
 
-std::vector<std::byte> EncodeMsg(const Msg& msg) {
+net::Buffer EncodeMsg(const Msg& msg) {
+  g_encode_count.fetch_add(1, std::memory_order_relaxed);
   std::vector<std::byte> out;
   net::ByteWriter w(out);
   w.U16(kMagic);
@@ -73,44 +78,87 @@ std::vector<std::byte> EncodeMsg(const Msg& msg) {
   w.U8(msg.chain_hop);
   EncodeKey(w, msg.key);
   w.U16(static_cast<std::uint16_t>(msg.state.size()));
-  std::vector<std::byte> piggy;
-  if (msg.piggyback.has_value()) piggy = net::Serialize(*msg.piggyback);
-  w.U16(static_cast<std::uint16_t>(piggy.size()));
-  w.Bytes(msg.state);
-  w.Bytes(piggy);
-  return out;
+  if (msg.piggyback.has_value()) {
+    const std::vector<std::byte> piggy = net::Serialize(*msg.piggyback);
+    w.U16(static_cast<std::uint16_t>(piggy.size()));
+    w.Bytes(msg.state);
+    w.Bytes(piggy);
+  } else {
+    // Splice pre-serialized piggyback bytes verbatim (echo paths).
+    w.U16(static_cast<std::uint16_t>(msg.piggyback_raw.size()));
+    w.Bytes(msg.state);
+    w.Bytes(msg.piggyback_raw);
+  }
+  return net::Buffer::FromVector(std::move(out));
+}
+
+std::optional<MsgView> MsgView::Parse(net::BufferView payload) {
+  if (payload.size() < wire::kOffKeyKind + 1) return std::nullopt;
+  if (payload.U16At(wire::kOffMagic) != kMagic) return std::nullopt;
+  MsgView v;
+  // Decode the key eagerly (it is read on every dispatch) and derive the
+  // fixed section offsets from its size.
+  net::ByteReader r(payload.span().subspan(wire::kOffKeyKind));
+  if (!DecodeKey(r, v.key_)) return std::nullopt;
+  const std::size_t key_end =
+      wire::kOffKeyKind + (payload.size() - wire::kOffKeyKind - r.Remaining());
+  if (payload.size() < key_end + 4) return std::nullopt;
+  v.state_len_ = payload.U16At(key_end);
+  v.piggy_len_ = payload.U16At(key_end + 2);
+  v.state_off_ = static_cast<std::uint32_t>(key_end + 4);
+  if (payload.size() <
+      v.state_off_ + static_cast<std::size_t>(v.state_len_) + v.piggy_len_) {
+    return std::nullopt;
+  }
+  v.bytes_ = std::move(payload);
+  return v;
+}
+
+std::optional<net::Packet> MsgView::PiggybackPacket() const {
+  if (piggy_len_ == 0) return std::nullopt;
+  return net::Parse(piggyback_bytes());
+}
+
+Msg MsgView::ToMsg() const {
+  Msg msg;
+  msg.type = type();
+  msg.ack = ack();
+  msg.seq = seq();
+  msg.snapshot_index = snapshot_index();
+  msg.reply_to = reply_to();
+  msg.chain_hop = chain_hop();
+  msg.key = key_;
+  msg.state = state().ToVector();
+  msg.piggyback_raw = piggyback_bytes();
+  return msg;
 }
 
 std::optional<Msg> DecodeMsg(std::span<const std::byte> payload) {
-  net::ByteReader r(payload);
-  if (r.U16() != kMagic) return std::nullopt;
-  Msg msg;
-  msg.type = static_cast<MsgType>(r.U8());
-  msg.ack = static_cast<AckKind>(r.U8());
-  msg.seq = r.U64();
-  msg.snapshot_index = r.U32();
-  msg.reply_to = net::Ipv4Addr(r.U32());
-  msg.chain_hop = r.U8();
-  if (!DecodeKey(r, msg.key)) return std::nullopt;
-  const std::uint16_t state_len = r.U16();
-  const std::uint16_t piggy_len = r.U16();
-  msg.state = r.Bytes(state_len);
-  if (!r.ok()) return std::nullopt;
-  if (piggy_len > 0) {
-    const auto piggy_bytes = r.Bytes(piggy_len);
-    if (!r.ok()) return std::nullopt;
-    auto inner = net::Parse(piggy_bytes);
+  // Compatibility decoder over a non-owning span: copy once into an owned
+  // buffer, then view-parse.  Callers that already hold a BufferView should
+  // prefer MsgView::Parse (zero-copy).
+  auto view = MsgView::Parse(net::Buffer::CopyOf(payload));
+  if (!view.has_value()) return std::nullopt;
+  Msg msg = view->ToMsg();
+  if (view->has_piggyback()) {
+    auto inner = view->PiggybackPacket();
     if (!inner.has_value()) {
       RP_LOG(kWarn) << "RedPlane message with malformed piggyback";
       return std::nullopt;
     }
     msg.piggyback = std::move(inner);
+    msg.piggyback_raw.clear();
   }
   return msg;
 }
 
 net::Packet MakeProtocolPacket(net::Ipv4Addr src_ip, net::Ipv4Addr dst_ip,
                                const Msg& msg) {
+  return MakeProtocolPacketRaw(src_ip, dst_ip, EncodeMsg(msg));
+}
+
+net::Packet MakeProtocolPacketRaw(net::Ipv4Addr src_ip, net::Ipv4Addr dst_ip,
+                                  net::BufferView payload) {
   net::Packet p;
   p.id = net::NextPacketId();
   p.eth = net::EthernetHeader{};
@@ -123,7 +171,7 @@ net::Packet MakeProtocolPacket(net::Ipv4Addr src_ip, net::Ipv4Addr dst_ip,
   udp.src_port = kRedPlaneUdpPort;
   udp.dst_port = kRedPlaneUdpPort;
   p.udp = udp;
-  p.payload = EncodeMsg(msg);
+  p.payload = std::move(payload);
   return p;
 }
 
@@ -135,7 +183,27 @@ bool IsProtocolPacket(const net::Packet& pkt) {
 }
 
 std::optional<Msg> DecodeFromPacket(const net::Packet& pkt) {
-  return DecodeMsg(pkt.payload);
+  auto view = MsgView::Parse(pkt.payload);
+  if (!view.has_value()) return std::nullopt;
+  Msg msg = view->ToMsg();
+  if (view->has_piggyback()) {
+    auto inner = view->PiggybackPacket();
+    if (!inner.has_value()) {
+      RP_LOG(kWarn) << "RedPlane message with malformed piggyback";
+      return std::nullopt;
+    }
+    msg.piggyback = std::move(inner);
+    msg.piggyback_raw.clear();
+  }
+  return msg;
+}
+
+std::uint64_t EncodeCount() {
+  return g_encode_count.load(std::memory_order_relaxed);
+}
+
+void ResetEncodeCount() {
+  g_encode_count.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace redplane::core

@@ -7,6 +7,15 @@
 // inner packet: the network and the state store's memory act as delay-line
 // storage for outputs that may not be released until their state update is
 // durable (§5.1, "Piggybacking output packets").
+//
+// Encode-once discipline: `EncodeMsg` runs once per request at the message's
+// origin and produces an immutable `net::Buffer`.  Every mutable header field
+// sits at a fixed offset before the variable-length key/state/piggyback tail
+// (see `wire::` below), so chain replicas patch `chain_hop` and the head's
+// stamped decision (`ack`, `seq`) in place via `MsgView` setters and forward
+// the same bytes verbatim — a hop never re-serializes the state value or the
+// piggybacked packet.  Read paths use the view accessors and materialize a
+// full `Msg` only where state is retained.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +23,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "net/buffer.h"
 #include "net/codec.h"
 #include "net/flow.h"
 #include "net/packet.h"
@@ -66,6 +76,21 @@ enum class AckKind : std::uint8_t {
   kLeaseDenied = 7,
 };
 
+/// Fixed byte offsets of the RedPlane header within an encoded message.
+/// Every field a chain hop may patch precedes the variable-length key, so
+/// its offset is layout-constant — this is what makes in-place patching of
+/// forwarded messages safe (DESIGN.md §8).
+namespace wire {
+constexpr std::size_t kOffMagic = 0;          // u16
+constexpr std::size_t kOffType = 2;           // u8
+constexpr std::size_t kOffAck = 3;            // u8
+constexpr std::size_t kOffSeq = 4;            // u64
+constexpr std::size_t kOffSnapshotIndex = 12; // u32
+constexpr std::size_t kOffReplyTo = 16;       // u32
+constexpr std::size_t kOffChainHop = 20;      // u8
+constexpr std::size_t kOffKeyKind = 21;       // u8, then the key body
+}  // namespace wire
+
 /// A RedPlane protocol message (header + optional state + optional
 /// piggybacked output packet).
 struct Msg {
@@ -86,22 +111,100 @@ struct Msg {
   std::uint8_t chain_hop = 0;
   /// Piggybacked output packet, if any.
   std::optional<net::Packet> piggyback;
+  /// Already-serialized piggyback bytes, spliced verbatim into the encoding
+  /// when `piggyback` is empty.  Lets a store echo a request's piggyback in
+  /// its response without ever parsing or re-serializing the inner packet.
+  net::BufferView piggyback_raw;
 };
 
 /// Serializes `msg` into payload bytes (everything after the UDP header).
-std::vector<std::byte> EncodeMsg(const Msg& msg);
+/// Called once per message at its origin; forwarding patches the buffer.
+net::Buffer EncodeMsg(const Msg& msg);
 
-/// Parses payload bytes back into a message; nullopt if malformed.
+/// Parses payload bytes back into a message, including the piggybacked
+/// inner packet; nullopt if malformed.
 std::optional<Msg> DecodeMsg(std::span<const std::byte> payload);
 
 /// Size in bytes of the RedPlane header alone (no state, no piggyback); used
 /// for bandwidth accounting and mirror truncation.
 std::size_t HeaderWireSize(const net::PartitionKey& key);
 
+/// A validated, lazily-decoded window onto an encoded message.  Copies share
+/// the underlying buffer; accessors read fields at their wire offsets, and
+/// the Set* methods patch mutable header fields in place (copy-on-write if
+/// the buffer is shared), so chain hops forward without re-encoding.
+class MsgView {
+ public:
+  MsgView() = default;
+
+  /// Validates magic, key kind and section bounds (the piggyback bytes are
+  /// NOT parsed — use PiggybackPacket()/DecodeMsg where they are consumed).
+  static std::optional<MsgView> Parse(net::BufferView payload);
+
+  MsgType type() const {
+    return static_cast<MsgType>(bytes_.U8At(wire::kOffType));
+  }
+  AckKind ack() const {
+    return static_cast<AckKind>(bytes_.U8At(wire::kOffAck));
+  }
+  std::uint64_t seq() const { return bytes_.U64At(wire::kOffSeq); }
+  std::uint32_t snapshot_index() const {
+    return bytes_.U32At(wire::kOffSnapshotIndex);
+  }
+  net::Ipv4Addr reply_to() const {
+    return net::Ipv4Addr(bytes_.U32At(wire::kOffReplyTo));
+  }
+  std::uint8_t chain_hop() const { return bytes_.U8At(wire::kOffChainHop); }
+  const net::PartitionKey& key() const { return key_; }
+
+  /// The state value, as a zero-copy slice of the message bytes.
+  net::BufferView state() const { return bytes_.Slice(state_off_, state_len_); }
+  bool has_piggyback() const { return piggy_len_ > 0; }
+  /// The serialized piggyback, as a zero-copy slice (for verbatim echo).
+  net::BufferView piggyback_bytes() const {
+    return bytes_.Slice(state_off_ + state_len_, piggy_len_);
+  }
+  /// Parses the piggybacked inner packet on demand; nullopt if absent or
+  /// malformed.
+  std::optional<net::Packet> PiggybackPacket() const;
+
+  /// --- in-place header patching (copy-on-write when shared) ---
+  void SetType(MsgType t) {
+    bytes_.PatchU8(wire::kOffType, static_cast<std::uint8_t>(t));
+  }
+  void SetAck(AckKind a) {
+    bytes_.PatchU8(wire::kOffAck, static_cast<std::uint8_t>(a));
+  }
+  void SetSeq(std::uint64_t s) { bytes_.PatchU64(wire::kOffSeq, s); }
+  void SetSnapshotIndex(std::uint32_t i) {
+    bytes_.PatchU32(wire::kOffSnapshotIndex, i);
+  }
+  void SetChainHop(std::uint8_t h) { bytes_.PatchU8(wire::kOffChainHop, h); }
+
+  /// The full encoded message — forward these bytes verbatim.
+  const net::BufferView& bytes() const { return bytes_; }
+
+  /// Materializes header + state into a Msg.  The piggyback stays raw
+  /// (`piggyback_raw`), so materializing never parses the inner packet.
+  Msg ToMsg() const;
+
+ private:
+  net::BufferView bytes_;
+  net::PartitionKey key_;
+  std::uint32_t state_off_ = 0;
+  std::uint16_t state_len_ = 0;
+  std::uint16_t piggy_len_ = 0;
+};
+
 /// Builds the full UDP packet carrying `msg` from `src_ip` to `dst_ip`.
 /// Requests target the store's kRedPlaneUdpPort; acks target the switch's.
 net::Packet MakeProtocolPacket(net::Ipv4Addr src_ip, net::Ipv4Addr dst_ip,
                                const Msg& msg);
+
+/// Same, but carrying an already-encoded message verbatim (chain forwarding,
+/// retransmission): no protocol bytes are touched or copied.
+net::Packet MakeProtocolPacketRaw(net::Ipv4Addr src_ip, net::Ipv4Addr dst_ip,
+                                  net::BufferView payload);
 
 /// True if `pkt` looks like a RedPlane protocol packet (UDP to/from the
 /// RedPlane port).
@@ -110,5 +213,10 @@ bool IsProtocolPacket(const net::Packet& pkt);
 /// Decodes the protocol message carried by `pkt` (which must satisfy
 /// IsProtocolPacket); nullopt if the payload is malformed.
 std::optional<Msg> DecodeFromPacket(const net::Packet& pkt);
+
+/// Number of EncodeMsg calls since reset — the copy-regression tests assert
+/// forwarding paths stay encode-free.
+std::uint64_t EncodeCount();
+void ResetEncodeCount();
 
 }  // namespace redplane::core

@@ -70,7 +70,7 @@ void RedPlaneSwitch::Process(dp::SwitchContext& ctx, net::Packet pkt) {
   if (IsProtocolPacket(pkt)) {
     if (pkt.ip.has_value() && pkt.ip->dst == node_.ip()) {
       m_.resp_bytes.Add(static_cast<double>(pkt.WireSize()));
-      auto msg = DecodeFromPacket(pkt);
+      auto msg = MsgView::Parse(pkt.payload);
       if (!msg.has_value()) {
         m_.malformed_acks.Add();
         return;
@@ -230,17 +230,30 @@ void RedPlaneSwitch::RunApp(dp::SwitchContext& ctx,
   }
 }
 
-void RedPlaneSwitch::HandleAck(dp::SwitchContext& ctx, Msg msg) {
-  FlowEntry* entry = flows_.Find(msg.key);
-  switch (msg.ack) {
+void RedPlaneSwitch::HandleAck(dp::SwitchContext& ctx, MsgView msg) {
+  const net::PartitionKey key = msg.key();
+  const std::uint64_t seq = msg.seq();
+  FlowEntry* entry = flows_.Find(key);
+  switch (msg.ack()) {
     case AckKind::kLeaseGrantNew:
     case AckKind::kLeaseGrantMigrate: {
       if (entry == nullptr || entry->status != FlowStatus::kInitPending) {
         m_.stale_grants.Add();
         return;
       }
-      node_.mirror().Acknowledge(msg.key, msg.seq);
-      const bool migrate = msg.ack == AckKind::kLeaseGrantMigrate;
+      // The grant's piggyback (the flow's first packet) is consumed below,
+      // so parse it up front; a grant with a malformed piggyback is dropped
+      // whole, as a malformed ack.
+      std::optional<net::Packet> piggy;
+      if (msg.has_piggyback()) {
+        piggy = msg.PiggybackPacket();
+        if (!piggy.has_value()) {
+          m_.malformed_acks.Add();
+          return;
+        }
+      }
+      node_.mirror().Acknowledge(key, seq);
+      const bool migrate = msg.ack() == AckKind::kLeaseGrantMigrate;
       if (migrate) {
         m_.grants_migrate.Add();
       } else {
@@ -248,16 +261,17 @@ void RedPlaneSwitch::HandleAck(dp::SwitchContext& ctx, Msg msg) {
       }
       if (trace_.armed()) {
         trace_.Emit(migrate ? obs::Ev::kFailoverRehome : obs::Ev::kLeaseGrant,
-                    net::HashPartitionKey(msg.key), msg.seq);
+                    net::HashPartitionKey(key), seq);
       }
-      const auto sent_it = init_sent_at_.find(RetxKey(msg.key, 0));
+      const auto sent_it = init_sent_at_.find(RetxKey(key, 0));
       const SimTime sent_at =
           sent_it == init_sent_at_.end() ? ctx.Now() : sent_it->second;
       if (sent_it != init_sent_at_.end()) init_sent_at_.erase(sent_it);
-      retx_counts_.erase(RetxKey(msg.key, 0));
+      retx_counts_.erase(RetxKey(key, 0));
 
-      auto install = [this, key = msg.key, state = msg.state, seq = msg.seq,
-                      sent_at, piggy = std::move(msg.piggyback)]() mutable {
+      const std::size_t state_size = msg.state().size();
+      auto install = [this, key, state = msg.state().ToVector(), seq, sent_at,
+                      piggy = std::move(piggy)]() mutable {
         FlowEntry* e = flows_.Find(key);
         if (e == nullptr || e->status != FlowStatus::kInitPending) return;
         e->state = std::move(state);
@@ -280,7 +294,7 @@ void RedPlaneSwitch::HandleAck(dp::SwitchContext& ctx, Msg msg) {
       if (app_.StateInMatchTable()) {
         // Match-table state installs only via the switch control plane.
         m_.cp_installs.Add();
-        node_.control_plane().Submit(msg.state.size() + 64, std::move(install));
+        node_.control_plane().Submit(state_size + 64, std::move(install));
       } else {
         install();
       }
@@ -290,72 +304,84 @@ void RedPlaneSwitch::HandleAck(dp::SwitchContext& ctx, Msg msg) {
       if (entry != nullptr) {
         // Write replication RTT, measured send-to-ack from the pending-send
         // record the ack is about to consume.
-        for (const auto& [seq, sent_at] : entry->pending_sends) {
-          if (seq == msg.seq) {
+        for (const auto& [pseq, sent_at] : entry->pending_sends) {
+          if (pseq == seq) {
             m_.write_rtt_us.Record(
                 static_cast<double>(ctx.Now() - sent_at) / 1e3);
             break;
           }
         }
-        FlowTable::NoteAck(*entry, msg.seq, config_.lease_period);
+        FlowTable::NoteAck(*entry, seq, config_.lease_period);
       }
-      node_.mirror().Acknowledge(msg.key, msg.seq);
-      retx_counts_.erase(RetxKey(msg.key, msg.seq));
+      node_.mirror().Acknowledge(key, seq);
+      retx_counts_.erase(RetxKey(key, seq));
       if (trace_.armed()) {
-        trace_.Emit(obs::Ev::kAckReleased, net::HashPartitionKey(msg.key),
-                    msg.seq);
+        trace_.Emit(obs::Ev::kAckReleased, net::HashPartitionKey(key), seq);
       }
-      if (msg.piggyback.has_value()) {
-        ReleaseOutput(ctx, std::move(*msg.piggyback));
+      if (msg.has_piggyback()) {
+        if (auto piggy = msg.PiggybackPacket()) {
+          ReleaseOutput(ctx, std::move(*piggy));
+        } else {
+          m_.malformed_acks.Add();
+        }
       }
       return;
     }
     case AckKind::kReadReturn: {
-      if (!msg.piggyback.has_value()) return;
-      if (msg.seq == 0) {
+      if (!msg.has_piggyback()) return;
+      if (seq == 0) {
         // An unprocessed input that looped while the grant was pending.
         if (entry != nullptr && entry->status == FlowStatus::kInitPending) {
           // Still no lease (e.g. a control-plane install in progress):
           // loop again, bounded per packet.
-          if (msg.snapshot_index >= config_.max_init_loops) {
+          if (msg.snapshot_index() >= config_.max_init_loops) {
             m_.init_loop_drops.Add();
             if (trace_.armed()) {
-              trace_.Emit(obs::Ev::kOutputDropped,
-                          net::HashPartitionKey(msg.key), 0,
-                          static_cast<double>(msg.snapshot_index));
+              trace_.Emit(obs::Ev::kOutputDropped, net::HashPartitionKey(key),
+                          0, static_cast<double>(msg.snapshot_index()));
             }
             return;  // permitted input loss
           }
+          // Re-loop without ever parsing the buffered input: its serialized
+          // bytes are spliced verbatim into the next request.
           Msg buf;
           buf.type = MsgType::kReadBufferReq;
-          buf.key = msg.key;
+          buf.key = key;
           buf.seq = 0;
-          buf.snapshot_index = msg.snapshot_index + 1;
+          buf.snapshot_index = msg.snapshot_index() + 1;
           buf.reply_to = node_.ip();
-          buf.piggyback = std::move(msg.piggyback);
+          buf.piggyback_raw = msg.piggyback_bytes();
           m_.init_loop_buffered.Add();
           if (trace_.armed()) {
-            trace_.Emit(obs::Ev::kBufferedReadLoop,
-                        net::HashPartitionKey(msg.key), 0,
-                        static_cast<double>(msg.snapshot_index + 1));
+            trace_.Emit(obs::Ev::kBufferedReadLoop, net::HashPartitionKey(key),
+                        0, static_cast<double>(msg.snapshot_index() + 1));
           }
           SendRequest(buf, /*mirror=*/false);
           return;
         }
         // Lease landed (or flow was forgotten): run the input through the
         // pipeline again.
-        node_.Recirculate([this, p = std::move(*msg.piggyback)](
+        auto piggy = msg.PiggybackPacket();
+        if (!piggy.has_value()) {
+          m_.malformed_acks.Add();
+          return;
+        }
+        node_.Recirculate([this, p = std::move(*piggy)](
                               dp::SwitchContext& rctx) mutable {
           m_.orig_bytes.Add(-static_cast<double>(p.WireSize()));
           HandleAppPacket(rctx, std::move(p));
         });
       } else {
         // A processed output whose awaited write is now durable.
-        if (trace_.armed()) {
-          trace_.Emit(obs::Ev::kAckReleased, net::HashPartitionKey(msg.key),
-                      msg.seq);
+        auto piggy = msg.PiggybackPacket();
+        if (!piggy.has_value()) {
+          m_.malformed_acks.Add();
+          return;
         }
-        ReleaseOutput(ctx, std::move(*msg.piggyback));
+        if (trace_.armed()) {
+          trace_.Emit(obs::Ev::kAckReleased, net::HashPartitionKey(key), seq);
+        }
+        ReleaseOutput(ctx, std::move(*piggy));
       }
       return;
     }
@@ -363,10 +389,9 @@ void RedPlaneSwitch::HandleAck(dp::SwitchContext& ctx, Msg msg) {
       if (entry == nullptr) return;
       entry->renew_in_flight = false;
       if (trace_.armed()) {
-        trace_.Emit(obs::Ev::kRenewAck, net::HashPartitionKey(msg.key),
-                    msg.seq);
+        trace_.Emit(obs::Ev::kRenewAck, net::HashPartitionKey(key), seq);
       }
-      const auto it = renew_sent_at_.find(RetxKey(msg.key, 0));
+      const auto it = renew_sent_at_.find(RetxKey(key, 0));
       if (it != renew_sent_at_.end()) {
         entry->lease_expiry =
             std::max(entry->lease_expiry, it->second + config_.lease_period);
@@ -379,19 +404,18 @@ void RedPlaneSwitch::HandleAck(dp::SwitchContext& ctx, Msg msg) {
       // re-init if routing brings them back).
       m_.lease_denials.Add();
       if (trace_.armed()) {
-        trace_.Emit(obs::Ev::kLeaseDenied, net::HashPartitionKey(msg.key));
+        trace_.Emit(obs::Ev::kLeaseDenied, net::HashPartitionKey(key));
       }
-      flows_.Erase(msg.key);
-      node_.mirror().Acknowledge(msg.key, UINT64_MAX);
+      flows_.Erase(key);
+      node_.mirror().Acknowledge(key, UINT64_MAX);
       return;
     }
     case AckKind::kSnapshotAck: {
       if (epsilon_ != nullptr) {
-        epsilon_->SlotAcked(msg.key, msg.seq, ctx.Now());
+        epsilon_->SlotAcked(key, seq, ctx.Now());
       }
-      node_.mirror().Acknowledge(msg.key, SnapSeq(msg.seq, msg.snapshot_index));
-      retx_counts_.erase(
-          RetxKey(msg.key, SnapSeq(msg.seq, msg.snapshot_index)));
+      node_.mirror().Acknowledge(key, SnapSeq(seq, msg.snapshot_index()));
+      retx_counts_.erase(RetxKey(key, SnapSeq(seq, msg.snapshot_index())));
       return;
     }
     case AckKind::kNone:
@@ -401,18 +425,28 @@ void RedPlaneSwitch::HandleAck(dp::SwitchContext& ctx, Msg msg) {
 }
 
 void RedPlaneSwitch::SendRequest(const Msg& msg, bool mirror) {
+  // Encode once; the wire packet and the mirror copy share the buffer.
+  net::Buffer payload = EncodeMsg(msg);
   net::Packet pkt =
-      MakeProtocolPacket(node_.ip(), shard_for_(msg.key), msg);
+      MakeProtocolPacketRaw(node_.ip(), shard_for_(msg.key), payload);
   m_.req_bytes.Add(static_cast<double>(pkt.WireSize()));
   m_.reqs_sent.Add();
   if (mirror) {
-    Msg truncated = msg;
-    if (!config_.mirror_include_piggyback) truncated.piggyback.reset();
+    net::BufferView mdata{payload};
+    const bool has_piggy =
+        msg.piggyback.has_value() || !msg.piggyback_raw.empty();
+    if (!config_.mirror_include_piggyback && has_piggy) {
+      // Slice off the piggybacked output and zero its length field; the
+      // patch copies only the retained prefix (CoW), never the output.
+      const std::size_t sans_piggy = HeaderWireSize(msg.key) + msg.state.size();
+      mdata = mdata.Prefix(sans_piggy);
+      mdata.PatchU16(HeaderWireSize(msg.key) - 2, 0);
+    }
     const std::uint64_t mirror_seq =
         msg.type == MsgType::kSnapshotRepl
             ? SnapSeq(msg.seq, msg.snapshot_index)
             : msg.seq;
-    node_.mirror().Mirror(msg.key, mirror_seq, EncodeMsg(truncated),
+    node_.mirror().Mirror(msg.key, mirror_seq, std::move(mdata),
                           node_.sim().Now());
     if (!retx_scan_running_) {
       retx_scan_running_ = true;
@@ -446,7 +480,10 @@ void RedPlaneSwitch::ScanRetransmits() {
       return;
     }
     ++retx_counts_[RetxKey(e.key, e.seq)];
-    auto msg = DecodeMsg(e.data);
+    // Resend the mirrored bytes verbatim — no decode/re-encode.  A copy
+    // truncated below its own header cannot be resent (it would be dropped
+    // by the store anyway), so it is abandoned like a dead request.
+    auto msg = MsgView::Parse(e.data);
     if (!msg.has_value()) {
       give_up.emplace_back(e.key, e.seq);
       return;
@@ -458,7 +495,7 @@ void RedPlaneSwitch::ScanRetransmits() {
                   static_cast<double>(retx_counts_[RetxKey(e.key, e.seq)]));
     }
     net::Packet pkt =
-        MakeProtocolPacket(node_.ip(), shard_for_(msg->key), *msg);
+        MakeProtocolPacketRaw(node_.ip(), shard_for_(msg->key()), e.data);
     m_.req_bytes.Add(static_cast<double>(pkt.WireSize()));
     node_.ForwardPacket(std::move(pkt), kInvalidPort);
   });

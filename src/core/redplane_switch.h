@@ -102,8 +102,10 @@ class RedPlaneSwitch : public dp::PipelineHandler {
   double original_bytes() const { return m_.orig_bytes.value(); }
 
  private:
-  /// Handles a protocol ack addressed to this switch.
-  void HandleAck(dp::SwitchContext& ctx, Msg msg);
+  /// Handles a protocol ack addressed to this switch.  Operates on the
+  /// received bytes directly; the piggybacked packet is parsed only on the
+  /// paths that consume it.
+  void HandleAck(dp::SwitchContext& ctx, MsgView msg);
 
   /// Handles a normal application packet.
   void HandleAppPacket(dp::SwitchContext& ctx, net::Packet pkt);

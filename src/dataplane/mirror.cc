@@ -5,12 +5,11 @@
 namespace redplane::dp {
 
 void MirrorSession::Mirror(const net::PartitionKey& key, std::uint64_t seq,
-                           std::vector<std::byte> data, SimTime now) {
+                           net::BufferView data, SimTime now) {
   MirroredEntry entry;
   entry.key = key;
   entry.seq = seq;
-  if (data.size() > truncate_to_) data.resize(truncate_to_);
-  entry.data = std::move(data);
+  entry.data = data.Prefix(truncate_to_);
   entry.enqueued_at = now;
   entry.last_sent_at = now;
   occupancy_ += entry.bytes();

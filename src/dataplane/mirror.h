@@ -12,9 +12,9 @@
 #include <functional>
 #include <list>
 #include <string>
-#include <vector>
 
 #include "common/types.h"
+#include "net/buffer.h"
 #include "net/flow.h"
 #include "obs/tracer.h"
 
@@ -25,8 +25,9 @@ struct MirroredEntry {
   net::PartitionKey key;
   std::uint64_t seq = 0;
   /// The truncated copy itself (replication header + state value, no
-  /// piggybacked output); what a retransmission resends.
-  std::vector<std::byte> data;
+  /// piggybacked output); what a retransmission resends.  A view sharing
+  /// the request's encode-once buffer — truncation is a slice, not a copy.
+  net::BufferView data;
   /// Timestamp metadata carried by the mirror copy (for timeout checks).
   SimTime enqueued_at = 0;
   SimTime last_sent_at = 0;
@@ -49,9 +50,10 @@ class MirrorSession {
   std::size_t truncate_to() const { return truncate_to_; }
 
   /// Mirrors a request: stores the truncated copy `data` keyed by (key,
-  /// seq).  `data` is clipped to the session's truncation length.
+  /// seq).  `data` is clipped to the session's truncation length (a
+  /// zero-copy slice of the encoded request).
   void Mirror(const net::PartitionKey& key, std::uint64_t seq,
-              std::vector<std::byte> data, SimTime now);
+              net::BufferView data, SimTime now);
 
   /// Drops every mirrored copy for `key` with seq <= `acked_seq` (an ack for
   /// sequence n confirms all earlier writes of the flow too).

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "net/buffer.h"
 #include "net/flow.h"
 #include "net/headers.h"
 
@@ -35,8 +36,10 @@ struct Packet {
   /// 802.1Q VLAN id, if tagged (0 = untagged).
   std::uint16_t vlan = 0;
 
-  /// Interpreted payload bytes (e.g. an encoded RedPlane message).
-  std::vector<std::byte> payload;
+  /// Interpreted payload bytes (e.g. an encoded RedPlane message).  A view:
+  /// copying the packet shares the payload's backing store (see buffer.h),
+  /// so per-hop forwarding never copies payload bytes.
+  BufferView payload;
   /// Additional opaque payload bytes counted in the wire size only.
   std::uint32_t pad_bytes = 0;
 

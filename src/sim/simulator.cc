@@ -11,43 +11,37 @@ Simulator::Simulator() {
   SetLogClock(this, [this] { return now_; });
 }
 
-Simulator::~Simulator() { ClearLogClock(this); }
-
-EventId Simulator::Schedule(SimDuration delay, std::function<void()> fn) {
-  return ScheduleAt(now_ + std::max<SimDuration>(delay, 0), std::move(fn));
-}
-
-EventId Simulator::ScheduleAt(SimTime t, std::function<void()> fn) {
-  const EventId id = next_id_++;
-  queue_.push(Event{std::max(t, now_), id, std::move(fn)});
-  ++pending_;
-  return id;
+Simulator::~Simulator() {
+  ClearLogClock(this);
+  // Destroy the callables of events still queued (cancelled-and-popped
+  // slots are already back on the free list and not in the queue).
+  while (!queue_.empty()) {
+    ReleaseSlot(queue_.top().slot);
+    queue_.pop();
+  }
 }
 
 void Simulator::Cancel(EventId id) {
   if (id == 0 || id >= next_id_) return;
-  cancelled_.push_back(id);
+  cancelled_.insert(id);
 }
 
 bool Simulator::PopAndRunOne(SimTime limit) {
   while (!queue_.empty()) {
-    const Event& top = queue_.top();
+    const QueuedEvent top = queue_.top();
     if (top.time > limit) return false;
-    // Skip tombstoned events.
-    auto it = std::find(cancelled_.begin(), cancelled_.end(), top.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      queue_.pop();
-      --pending_;
-      continue;
-    }
-    Event ev = std::move(const_cast<Event&>(top));
     queue_.pop();
     --pending_;
-    assert(ev.time >= now_);
-    now_ = ev.time;
+    // Skip tombstoned events.
+    if (!cancelled_.empty() && cancelled_.erase(top.id) > 0) {
+      ReleaseSlot(top.slot);
+      continue;
+    }
+    assert(top.time >= now_);
+    now_ = top.time;
     ++processed_;
-    ev.fn();
+    InvokeSlot(top.slot);  // may schedule more events; slab blocks never move
+    ReleaseSlot(top.slot);
     return true;
   }
   return false;

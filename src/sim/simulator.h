@@ -3,11 +3,29 @@
 // Single-threaded, deterministic: events at equal timestamps fire in
 // scheduling order (a monotonic tiebreak sequence), so a given seed always
 // produces an identical run.
+//
+// Event storage is allocation-free in steady state: callables live in slabs
+// of fixed-size slots recycled through free lists (heap fallback only for
+// captures larger than the inline budget), and the priority queue holds
+// plain {time, id, slot} records.  Once the slabs and queue are warm,
+// scheduling and dispatching an event touches no allocator.  Two slot
+// classes keep the cache footprint proportional to what events actually
+// capture: small captures (a `this` pointer and a few words — the vast
+// majority) get one-cache-line slots, while packet-carrying callables get
+// kInlineCallableSize-byte slots.  Slabs grow in fixed blocks that never
+// move, so slot addresses stay stable while a running callable schedules
+// further events (growing a flat vector would move the storage out from
+// under the callable being invoked).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <memory>
+#include <new>
 #include <queue>
+#include <type_traits>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -19,6 +37,15 @@ using EventId = std::uint64_t;
 
 class Simulator {
  public:
+  /// Callables with captures up to this size are stored inline in the large
+  /// slab (covers a Packet plus several pointers); larger ones fall back to
+  /// one heap allocation.
+  static constexpr std::size_t kInlineCallableSize = 256;
+
+  /// Captures at or below this size use the small slab, whose slots fit a
+  /// single cache line including their dispatch metadata.
+  static constexpr std::size_t kSmallCallableSize = 32;
+
   /// Construction registers this simulator's clock with the logger, so
   /// RP_LOG lines carry simulated time (`[t=1.234ms]`); destruction
   /// unregisters it (last simulator constructed wins).
@@ -32,10 +59,30 @@ class Simulator {
 
   /// Schedules `fn` to run `delay` from now (delay may be 0; negative delays
   /// are clamped to 0).  Returns an id usable with Cancel().
-  EventId Schedule(SimDuration delay, std::function<void()> fn);
+  template <typename F>
+  EventId Schedule(SimDuration delay, F&& fn) {
+    return ScheduleAt(now_ + (delay > 0 ? delay : 0), std::forward<F>(fn));
+  }
 
   /// Schedules `fn` at absolute time `t` (clamped to Now()).
-  EventId ScheduleAt(SimTime t, std::function<void()> fn);
+  template <typename F>
+  EventId ScheduleAt(SimTime t, F&& fn) {
+    using Fn = std::decay_t<F>;
+    std::uint32_t slot;
+    if constexpr (sizeof(Fn) <= kSmallCallableSize &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      slot = small_slab_.Alloc();
+      small_slab_.Emplace(slot, std::forward<F>(fn));
+    } else {
+      slot = large_slab_.Alloc();
+      large_slab_.Emplace(slot, std::forward<F>(fn));
+      slot |= kLargeSlot;
+    }
+    const EventId id = next_id_++;
+    queue_.push(QueuedEvent{t > now_ ? t : now_, id, slot});
+    ++pending_;
+    return id;
+  }
 
   /// Cancels a pending event.  Cancelling an already-fired or unknown event
   /// is a no-op.  O(1): the event is tombstoned and skipped when popped.
@@ -56,16 +103,116 @@ class Simulator {
   std::size_t PendingEvents() const { return pending_; }
 
  private:
-  struct Event {
+  static constexpr std::uint32_t kNoSlot = UINT32_MAX;
+  /// Slot-index tag bit selecting the large slab.
+  static constexpr std::uint32_t kLargeSlot = 0x80000000u;
+  /// Slabs grow one fixed block at a time, keeping cold-start allocation
+  /// O(events / block) rather than per-event.
+  static constexpr std::uint32_t kSlotsPerBlock = 64;
+
+  struct QueuedEvent {
     SimTime time;
     EventId id;
-    std::function<void()> fn;
+    std::uint32_t slot;
 
-    bool operator>(const Event& other) const {
+    bool operator>(const QueuedEvent& other) const {
       if (time != other.time) return time > other.time;
       return id > other.id;
     }
   };
+
+  /// Free-listed pool of slots with `N` bytes of inline callable storage.
+  /// Blocks are never moved or freed before the simulator dies, so a slot
+  /// reference stays valid across any amount of scheduling.
+  template <std::size_t N>
+  class Slab {
+   public:
+    /// One cell: inline storage for the type-erased callable, or a heap
+    /// pointer when the callable exceeds the inline budget.
+    struct Slot {
+      alignas(std::max_align_t) std::byte storage[N];
+      void (*invoke)(void*) = nullptr;
+      void (*destroy)(void*) = nullptr;
+      void* heap = nullptr;
+      std::uint32_t next_free = kNoSlot;
+    };
+
+    std::uint32_t Alloc() {
+      if (free_head_ != kNoSlot) {
+        const std::uint32_t index = free_head_;
+        free_head_ = At(index).next_free;
+        return index;
+      }
+      if (size_ == blocks_.size() * kSlotsPerBlock) {
+        // Default-init, not value-init: zeroing each slot's inline storage
+        // would memset the whole block for bytes the callable overwrites.
+        blocks_.push_back(
+            std::make_unique_for_overwrite<Slot[]>(kSlotsPerBlock));
+      }
+      return size_++;
+    }
+
+    template <typename F>
+    void Emplace(std::uint32_t index, F&& fn) {
+      using Fn = std::decay_t<F>;
+      Slot& s = At(index);
+      if constexpr (sizeof(Fn) <= N &&
+                    alignof(Fn) <= alignof(std::max_align_t)) {
+        ::new (static_cast<void*>(s.storage)) Fn(std::forward<F>(fn));
+        s.heap = nullptr;
+        s.invoke = [](void* p) { (*std::launder(static_cast<Fn*>(p)))(); };
+        s.destroy = [](void* p) { std::launder(static_cast<Fn*>(p))->~Fn(); };
+      } else {
+        s.heap = new Fn(std::forward<F>(fn));
+        s.invoke = [](void* p) { (*static_cast<Fn*>(p))(); };
+        s.destroy = [](void* p) { delete static_cast<Fn*>(p); };
+      }
+    }
+
+    void Invoke(std::uint32_t index) {
+      Slot& s = At(index);
+      s.invoke(s.heap != nullptr ? s.heap : static_cast<void*>(s.storage));
+    }
+
+    /// Destroys the slot's callable (if still present) and returns the slot
+    /// to the free list.
+    void Release(std::uint32_t index) {
+      Slot& s = At(index);
+      if (s.destroy != nullptr) {
+        s.destroy(s.heap != nullptr ? s.heap : static_cast<void*>(s.storage));
+        s.destroy = nullptr;
+        s.invoke = nullptr;
+        s.heap = nullptr;
+      }
+      s.next_free = free_head_;
+      free_head_ = index;
+    }
+
+   private:
+    Slot& At(std::uint32_t index) {
+      return blocks_[index / kSlotsPerBlock][index % kSlotsPerBlock];
+    }
+
+    std::vector<std::unique_ptr<Slot[]>> blocks_;
+    std::uint32_t size_ = 0;
+    std::uint32_t free_head_ = kNoSlot;
+  };
+
+  void InvokeSlot(std::uint32_t slot) {
+    if ((slot & kLargeSlot) != 0) {
+      large_slab_.Invoke(slot & ~kLargeSlot);
+    } else {
+      small_slab_.Invoke(slot);
+    }
+  }
+
+  void ReleaseSlot(std::uint32_t slot) {
+    if ((slot & kLargeSlot) != 0) {
+      large_slab_.Release(slot & ~kLargeSlot);
+    } else {
+      small_slab_.Release(slot);
+    }
+  }
 
   bool PopAndRunOne(SimTime limit);
 
@@ -73,8 +220,13 @@ class Simulator {
   EventId next_id_ = 1;
   std::uint64_t processed_ = 0;
   std::size_t pending_ = 0;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
-  std::vector<EventId> cancelled_;  // sorted insertion not needed; small
+  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, std::greater<>>
+      queue_;
+  Slab<kSmallCallableSize> small_slab_;
+  Slab<kInlineCallableSize> large_slab_;
+  /// Tombstones for cancelled-but-not-yet-popped events (O(1) insert/erase;
+  /// the old linear-scanned vector degraded under retransmit-heavy runs).
+  std::unordered_set<EventId> cancelled_;
 };
 
 }  // namespace redplane::sim

@@ -62,14 +62,18 @@ void ChainManager::Probe() {
     // every surviving downstream replica from the head to restore the
     // prefix property (management-plane copy).
     if (active_.size() > 1) {
-      auto snapshot = active_.front()->ExportFlows();
+      // Snapshot the head's state once at decision time (ExportFlows is a
+      // reference; the copy per target is the only one made), hand each
+      // target its own copy, and move it in on delivery.
+      const auto& snapshot = active_.front()->ExportFlows();
       for (std::size_t i = 1; i < active_.size(); ++i) {
         StateStoreServer* target = active_[i];
-        sim_.Schedule(config_.resync_delay, [target, snapshot]() {
-          if (target->IsUp()) {
-            target->ImportFlows(snapshot);
-          }
-        });
+        sim_.Schedule(config_.resync_delay,
+                      [target, copy = snapshot]() mutable {
+                        if (target->IsUp()) {
+                          target->ImportFlows(std::move(copy));
+                        }
+                      });
       }
     }
   }
@@ -98,12 +102,13 @@ void ChainManager::Readmit(StateStoreServer* replica) {
   auto snapshot = source != nullptr
                       ? source->ExportFlows()
                       : std::unordered_map<net::PartitionKey, FlowRecord>{};
-  sim_.Schedule(config_.resync_delay, [this, replica, snapshot]() {
+  sim_.Schedule(config_.resync_delay,
+                [this, replica, snapshot = std::move(snapshot)]() mutable {
     rejoining_.erase(
         std::remove(rejoining_.begin(), rejoining_.end(), replica),
         rejoining_.end());
     if (!replica->IsUp()) return;  // died again during resync
-    replica->ImportFlows(snapshot);
+    replica->ImportFlows(std::move(snapshot));
     active_.push_back(replica);
     ++reconfigurations_;
     Rewire();

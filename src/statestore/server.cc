@@ -10,6 +10,7 @@ namespace redplane::store {
 using core::AckKind;
 using core::Msg;
 using core::MsgType;
+using core::MsgView;
 
 StateStoreServer::StateStoreServer(sim::Simulator& sim, NodeId id,
                                    std::string name, net::Ipv4Addr ip,
@@ -45,7 +46,10 @@ void StateStoreServer::HandlePacket(net::Packet pkt, PortId in_port) {
     m_.non_protocol_drops.Add();
     return;
   }
-  auto msg = core::DecodeFromPacket(pkt);
+  // View-parse in place: header + bounds validation without copying the
+  // payload or parsing the piggybacked inner packet (which the store only
+  // ever echoes, never consumes).
+  auto msg = MsgView::Parse(pkt.payload);
   if (!msg.has_value()) {
     m_.malformed_drops.Add();
     return;
@@ -74,12 +78,12 @@ void StateStoreServer::SetUp(bool up) {
   }
 }
 
-void StateStoreServer::ProcessMsg(Msg msg) {
+void StateStoreServer::ProcessMsg(MsgView msg) {
   if (trace().armed()) {
-    trace().Emit(obs::Ev::kStoreRecv, net::HashPartitionKey(msg.key), msg.seq,
-                 static_cast<double>(msg.chain_hop));
+    trace().Emit(obs::Ev::kStoreRecv, net::HashPartitionKey(msg.key()),
+                 msg.seq(), static_cast<double>(msg.chain_hop()));
   }
-  if (msg.chain_hop > 0) {
+  if (msg.chain_hop() > 0) {
     // Chain-internal: the head already decided; apply and continue.
     ApplyAndContinue(std::move(msg));
     return;
@@ -89,13 +93,13 @@ void StateStoreServer::ProcessMsg(Msg msg) {
     // map); drop — the switch will retransmit toward the right head.
     m_.misdirected_drops.Add();
     if (trace().armed()) {
-      trace().Emit(obs::Ev::kStoreDenied, net::HashPartitionKey(msg.key),
-                   msg.seq);
+      trace().Emit(obs::Ev::kStoreDenied, net::HashPartitionKey(msg.key()),
+                   msg.seq());
     }
     return;
   }
-  switch (msg.type) {
-    case MsgType::kLeaseNewReq: HandleInit(std::move(msg)); break;
+  switch (msg.type()) {
+    case MsgType::kLeaseNewReq: HandleInit(msg.ToMsg()); break;
     case MsgType::kLeaseRenewReq: HandleRepl(std::move(msg)); break;
     case MsgType::kLeaseRenewOnly: HandleRenewOnly(std::move(msg)); break;
     case MsgType::kReadBufferReq: HandleReadBuffer(std::move(msg)); break;
@@ -116,6 +120,18 @@ bool StateStoreServer::LeaseActiveByOther(const FlowRecord& rec,
          rec.lease_expiry > sim_.Now();
 }
 
+void StateStoreServer::SendDeny(const net::PartitionKey& key,
+                                net::Ipv4Addr requester,
+                                std::uint64_t last_applied_seq) {
+  Msg deny;
+  deny.type = MsgType::kAck;
+  deny.ack = AckKind::kLeaseDenied;
+  deny.key = key;
+  deny.seq = last_applied_seq;
+  SendMsg(requester, deny);
+  m_.lease_denied.Add();
+}
+
 void StateStoreServer::HandleInit(Msg msg) {
   m_.init_reqs.Add();
   FlowRecord& rec = GetOrCreate(msg.key);
@@ -131,13 +147,7 @@ void StateStoreServer::HandleInit(Msg msg) {
       }
     }
     if (queue.size() >= config_.max_buffered_inits) {
-      Msg deny;
-      deny.type = MsgType::kAck;
-      deny.ack = AckKind::kLeaseDenied;
-      deny.key = msg.key;
-      deny.seq = rec.last_applied_seq;
-      SendMsg(msg.reply_to, deny);
-      m_.lease_denied.Add();
+      SendDeny(msg.key, msg.reply_to, rec.last_applied_seq);
       if (trace().armed()) {
         trace().Emit(obs::Ev::kStoreDenied, net::HashPartitionKey(msg.key), 0);
       }
@@ -176,130 +186,126 @@ void StateStoreServer::HandleInit(Msg msg) {
   ApplyAndContinue(std::move(msg));
 }
 
-void StateStoreServer::HandleRepl(Msg msg) {
+void StateStoreServer::HandleRepl(MsgView msg) {
   m_.repl_reqs.Add();
-  FlowRecord& rec = GetOrCreate(msg.key);
-  if (LeaseActiveByOther(rec, msg.reply_to)) {
-    Msg deny;
-    deny.type = MsgType::kAck;
-    deny.ack = AckKind::kLeaseDenied;
-    deny.key = msg.key;
-    deny.seq = rec.last_applied_seq;
-    SendMsg(msg.reply_to, deny);
-    m_.lease_denied.Add();
+  FlowRecord& rec = GetOrCreate(msg.key());
+  if (LeaseActiveByOther(rec, msg.reply_to())) {
+    SendDeny(msg.key(), msg.reply_to(), rec.last_applied_seq);
     if (trace().armed()) {
-      trace().Emit(obs::Ev::kStoreDenied, net::HashPartitionKey(msg.key),
-                   msg.seq);
+      trace().Emit(obs::Ev::kStoreDenied, net::HashPartitionKey(msg.key()),
+                   msg.seq());
     }
     return;
   }
-  if (msg.seq <= rec.last_applied_seq) {
+  if (msg.seq() <= rec.last_applied_seq) {
     // Stale or duplicate (Fig. 6b): do not apply — the stored state is at
     // least as new, and is already durable chain-wide.  Ack with the
     // applied sequence number so the switch clears its retransmit buffer,
     // and release any piggybacked output (its effects are subsumed by the
-    // newer durable state).
+    // newer durable state).  The piggyback bytes are echoed verbatim.
     m_.stale_writes.Add();
     Msg ack;
     ack.type = MsgType::kAck;
     ack.ack = AckKind::kWriteAck;
-    ack.key = msg.key;
+    ack.key = msg.key();
     ack.seq = rec.last_applied_seq;
-    ack.piggyback = std::move(msg.piggyback);
-    SendMsg(msg.reply_to, ack);
+    ack.piggyback_raw = msg.piggyback_bytes();
+    SendMsg(msg.reply_to(), ack);
     return;
   }
   rec.exists = true;
-  msg.ack = AckKind::kWriteAck;
-  ++msg.chain_hop;
+  // Stamp the head's decision into the buffer; replicas forward verbatim.
+  msg.SetAck(AckKind::kWriteAck);
+  msg.SetChainHop(msg.chain_hop() + 1);
   ApplyAndContinue(std::move(msg));
 }
 
-void StateStoreServer::HandleRenewOnly(Msg msg) {
+void StateStoreServer::HandleRenewOnly(MsgView msg) {
   m_.renew_reqs.Add();
-  FlowRecord& rec = GetOrCreate(msg.key);
-  if (LeaseActiveByOther(rec, msg.reply_to)) {
-    Msg deny;
-    deny.type = MsgType::kAck;
-    deny.ack = AckKind::kLeaseDenied;
-    deny.key = msg.key;
-    deny.seq = rec.last_applied_seq;
-    SendMsg(msg.reply_to, deny);
-    m_.lease_denied.Add();
+  FlowRecord& rec = GetOrCreate(msg.key());
+  if (LeaseActiveByOther(rec, msg.reply_to())) {
+    SendDeny(msg.key(), msg.reply_to(), rec.last_applied_seq);
     if (trace().armed()) {
-      trace().Emit(obs::Ev::kStoreDenied, net::HashPartitionKey(msg.key),
-                   msg.seq);
+      trace().Emit(obs::Ev::kStoreDenied, net::HashPartitionKey(msg.key()),
+                   msg.seq());
     }
     return;
   }
-  msg.ack = AckKind::kRenewAck;
-  msg.seq = rec.last_applied_seq;
-  ++msg.chain_hop;
+  msg.SetAck(AckKind::kRenewAck);
+  msg.SetSeq(rec.last_applied_seq);
+  msg.SetChainHop(msg.chain_hop() + 1);
   ApplyAndContinue(std::move(msg));
 }
 
-void StateStoreServer::HandleReadBuffer(Msg msg) {
+void StateStoreServer::HandleReadBuffer(MsgView msg) {
   m_.read_buffer_reqs.Add();
   // A buffered read must be released only after the write it observed at the
   // switch (sequence `msg.seq`) is durable.  Route it through the chain so
   // it orders behind those writes; the tail releases or parks it.
-  msg.ack = AckKind::kReadReturn;
-  ++msg.chain_hop;
+  msg.SetAck(AckKind::kReadReturn);
+  msg.SetChainHop(msg.chain_hop() + 1);
   ApplyAndContinue(std::move(msg));
 }
 
-void StateStoreServer::HandleSnapshot(Msg msg) {
+void StateStoreServer::HandleSnapshot(MsgView msg) {
   m_.snapshot_reqs.Add();
-  FlowRecord& rec = GetOrCreate(msg.key);
-  auto it = rec.snapshot_slots.find(msg.snapshot_index);
-  if (it != rec.snapshot_slots.end() && msg.seq <= it->second.second) {
+  FlowRecord& rec = GetOrCreate(msg.key());
+  auto it = rec.snapshot_slots.find(msg.snapshot_index());
+  if (it != rec.snapshot_slots.end() && msg.seq() <= it->second.second) {
     // Stale snapshot slot; ack without applying.
     Msg ack;
     ack.type = MsgType::kAck;
     ack.ack = AckKind::kSnapshotAck;
-    ack.key = msg.key;
-    ack.seq = msg.seq;
-    ack.snapshot_index = msg.snapshot_index;
-    SendMsg(msg.reply_to, ack);
+    ack.key = msg.key();
+    ack.seq = msg.seq();
+    ack.snapshot_index = msg.snapshot_index();
+    SendMsg(msg.reply_to(), ack);
     return;
   }
   rec.exists = true;
-  msg.ack = AckKind::kSnapshotAck;
-  ++msg.chain_hop;
+  msg.SetAck(AckKind::kSnapshotAck);
+  msg.SetChainHop(msg.chain_hop() + 1);
   ApplyAndContinue(std::move(msg));
 }
 
-void StateStoreServer::ApplyAndContinue(Msg msg) {
-  FlowRecord& rec = GetOrCreate(msg.key);
-  switch (msg.type) {
+void StateStoreServer::ApplyAndContinue(Msg&& msg) {
+  auto view = MsgView::Parse(core::EncodeMsg(msg));
+  assert(view.has_value());
+  ApplyAndContinue(std::move(*view));
+}
+
+void StateStoreServer::ApplyAndContinue(MsgView msg) {
+  FlowRecord& rec = GetOrCreate(msg.key());
+  switch (msg.type()) {
     case MsgType::kLeaseNewReq:
       rec.exists = true;
-      rec.state = msg.state;
-      rec.last_applied_seq = msg.seq;
-      rec.owner = msg.reply_to;
+      rec.state = msg.state().ToVector();
+      rec.last_applied_seq = msg.seq();
+      rec.owner = msg.reply_to();
       rec.lease_expiry = sim_.Now() + config_.lease_period;
       break;
     case MsgType::kLeaseRenewReq:
       rec.exists = true;
-      if (msg.seq > rec.last_applied_seq) {
-        rec.state = msg.state;
-        rec.last_applied_seq = msg.seq;
+      if (msg.seq() > rec.last_applied_seq) {
+        rec.state = msg.state().ToVector();
+        rec.last_applied_seq = msg.seq();
         if (trace().armed()) {
-          trace().Emit(obs::Ev::kStoreApplied, net::HashPartitionKey(msg.key),
-                       msg.seq, static_cast<double>(msg.state.size()));
+          trace().Emit(obs::Ev::kStoreApplied,
+                       net::HashPartitionKey(msg.key()), msg.seq(),
+                       static_cast<double>(msg.state().size()));
         }
       }
-      rec.owner = msg.reply_to;
+      rec.owner = msg.reply_to();
       rec.lease_expiry = sim_.Now() + config_.lease_period;
       break;
     case MsgType::kLeaseRenewOnly:
-      rec.owner = msg.reply_to;
+      rec.owner = msg.reply_to();
       rec.lease_expiry = sim_.Now() + config_.lease_period;
       break;
     case MsgType::kReadBufferReq:
       if (IsTail() &&
-          (rec.last_applied_seq < msg.seq ||
-           (rec.owner.value != 0 && rec.owner != msg.reply_to &&
+          (rec.last_applied_seq < msg.seq() ||
+           (rec.owner.value != 0 && rec.owner != msg.reply_to() &&
             rec.lease_expiry > sim_.Now()))) {
         // Park the read: either its awaited write is not yet durable, or
         // the requesting switch does not own the flow yet (packets looping
@@ -309,19 +315,19 @@ void StateStoreServer::ApplyAndContinue(Msg msg) {
         // permitted by the correctness model).
         if (trace().armed()) {
           trace().Emit(obs::Ev::kStoreReadParked,
-                       net::HashPartitionKey(msg.key), msg.seq);
+                       net::HashPartitionKey(msg.key()), msg.seq());
         }
-        waiting_reads_[msg.key].push_back(std::move(msg));
+        waiting_reads_[msg.key()].push_back(std::move(msg));
         m_.reads_parked.Add();
         return;
       }
       break;
     case MsgType::kSnapshotRepl: {
       rec.exists = true;
-      auto& slot = rec.snapshot_slots[msg.snapshot_index];
-      if (msg.seq > slot.second) {
-        slot.first = msg.state;
-        slot.second = msg.seq;
+      auto& slot = rec.snapshot_slots[msg.snapshot_index()];
+      if (msg.seq() > slot.second) {
+        slot.first = msg.state().ToVector();
+        slot.second = msg.seq();
       }
       rec.last_snapshot_at = sim_.Now();
       break;
@@ -329,43 +335,48 @@ void StateStoreServer::ApplyAndContinue(Msg msg) {
     case MsgType::kAck:
       return;
   }
-  const net::PartitionKey key = msg.key;
+  const net::PartitionKey key = msg.key();
   ForwardOrRespond(std::move(msg));
   PumpWaitingReads(key);
 }
 
-void StateStoreServer::ForwardOrRespond(Msg msg) {
+void StateStoreServer::ForwardOrRespond(MsgView msg) {
   if (successor_.has_value()) {
-    ++msg.chain_hop;
+    msg.SetChainHop(msg.chain_hop() + 1);
     m_.chain_forwards.Add();
-    SendMsg(*successor_, msg);
+    SendRaw(*successor_, msg.bytes());
     return;
   }
   Respond(msg);
 }
 
-void StateStoreServer::Respond(const Msg& request) {
+void StateStoreServer::Respond(const MsgView& request) {
   Msg resp;
   resp.type = MsgType::kAck;
-  resp.ack = request.ack;
-  resp.key = request.key;
-  resp.seq = request.seq;
-  resp.snapshot_index = request.snapshot_index;
-  resp.piggyback = request.piggyback;
-  if (request.ack == AckKind::kLeaseGrantNew ||
-      request.ack == AckKind::kLeaseGrantMigrate) {
-    resp.state = request.state;
+  resp.ack = request.ack();
+  resp.key = request.key();
+  resp.seq = request.seq();
+  resp.snapshot_index = request.snapshot_index();
+  resp.piggyback_raw = request.piggyback_bytes();
+  if (request.ack() == AckKind::kLeaseGrantNew ||
+      request.ack() == AckKind::kLeaseGrantMigrate) {
+    resp.state = request.state().ToVector();
   }
   m_.responses.Add();
   if (trace().armed()) {
-    trace().Emit(obs::Ev::kStoreResponded, net::HashPartitionKey(request.key),
-                 request.seq);
+    trace().Emit(obs::Ev::kStoreResponded,
+                 net::HashPartitionKey(request.key()), request.seq());
   }
-  SendMsg(request.reply_to, resp);
+  SendMsg(request.reply_to(), resp);
 }
 
 void StateStoreServer::SendMsg(net::Ipv4Addr dst, const Msg& msg) {
   net::Packet pkt = core::MakeProtocolPacket(ip_, dst, msg);
+  SendTo(0, std::move(pkt));
+}
+
+void StateStoreServer::SendRaw(net::Ipv4Addr dst, net::BufferView payload) {
+  net::Packet pkt = core::MakeProtocolPacketRaw(ip_, dst, std::move(payload));
   SendTo(0, std::move(pkt));
 }
 
@@ -395,9 +406,9 @@ void StateStoreServer::PumpWaitingReads(const net::PartitionKey& key) {
   auto& reads = it->second;
   bool reschedule = false;
   for (auto rit = reads.begin(); rit != reads.end();) {
-    const bool seq_ready = rec.last_applied_seq >= rit->seq;
+    const bool seq_ready = rec.last_applied_seq >= rit->seq();
     const bool ownership_blocked = rec.owner.value != 0 &&
-                                   rec.owner != rit->reply_to &&
+                                   rec.owner != rit->reply_to() &&
                                    rec.lease_expiry > sim_.Now();
     if (seq_ready && !ownership_blocked) {
       Respond(*rit);

@@ -17,6 +17,14 @@
 // the prototype): the head decides, every replica applies, and the tail
 // answers the switch.  Decisions are stamped into the forwarded message so
 // replicas never diverge.
+//
+// Zero-copy dispatch: requests are processed as `core::MsgView`s over the
+// received payload buffer.  The head stamps its decision (`ack`, `seq`,
+// `chain_hop`) by patching fixed-offset header fields in place, and every
+// chain hop forwards the same bytes verbatim — state and piggyback are never
+// re-serialized; state bytes are copied exactly once per replica, into the
+// flow record.  Only cold paths (lease grants, denies, responses) build and
+// encode a fresh `core::Msg`.
 #pragma once
 
 #include <deque>
@@ -87,11 +95,14 @@ class StateStoreServer : public sim::Node {
   void SetUp(bool up) override;
 
   /// Full state export/import, used by chain reconfiguration to resync a
-  /// (re)joining replica from a live one (management-plane copy).
-  std::unordered_map<net::PartitionKey, FlowRecord> ExportFlows() const {
+  /// (re)joining replica from a live one (management-plane copy).  Export
+  /// returns a reference — the caller decides if and when to copy; Import
+  /// is move-only so resync transfers ownership instead of copying twice.
+  const std::unordered_map<net::PartitionKey, FlowRecord>& ExportFlows()
+      const {
     return flows_;
   }
-  void ImportFlows(std::unordered_map<net::PartitionKey, FlowRecord> flows) {
+  void ImportFlows(std::unordered_map<net::PartitionKey, FlowRecord>&& flows) {
     flows_ = std::move(flows);
   }
 
@@ -107,28 +118,38 @@ class StateStoreServer : public sim::Node {
     core::Msg msg;
   };
 
-  void ProcessMsg(core::Msg msg);
+  void ProcessMsg(core::MsgView msg);
   void HandleInit(core::Msg msg);
-  void HandleRepl(core::Msg msg);
-  void HandleRenewOnly(core::Msg msg);
-  void HandleReadBuffer(core::Msg msg);
-  void HandleSnapshot(core::Msg msg);
+  void HandleRepl(core::MsgView msg);
+  void HandleRenewOnly(core::MsgView msg);
+  void HandleReadBuffer(core::MsgView msg);
+  void HandleSnapshot(core::MsgView msg);
 
   /// Applies the (head-stamped) decision carried by a chain-internal
   /// message, then forwards down-chain or answers the switch.
-  void ApplyAndContinue(core::Msg msg);
+  void ApplyAndContinue(core::MsgView msg);
+  /// Same, for a locally-built message: encodes it once, then runs the
+  /// view-based path (local apply + verbatim forwarding).
+  void ApplyAndContinue(core::Msg&& msg);
 
-  /// Sends `msg` to `dst` out of the server's uplink port.
+  /// Sends `msg` to `dst` out of the server's uplink port (encodes once).
   void SendMsg(net::Ipv4Addr dst, const core::Msg& msg);
+  /// Sends already-encoded protocol bytes verbatim — no copy, no encode.
+  void SendRaw(net::Ipv4Addr dst, net::BufferView payload);
 
   /// Forwards a decided request to the successor, or answers if tail.
-  void ForwardOrRespond(core::Msg msg);
+  void ForwardOrRespond(core::MsgView msg);
 
-  /// Builds and sends the response for a decided request.
-  void Respond(const core::Msg& request);
+  /// Builds and sends the response for a decided request.  The request's
+  /// piggyback bytes are spliced into the response without being parsed.
+  void Respond(const core::MsgView& request);
 
   FlowRecord& GetOrCreate(const net::PartitionKey& key);
   bool LeaseActiveByOther(const FlowRecord& rec, net::Ipv4Addr requester) const;
+
+  /// Sends a kLeaseDenied ack for `key` to `requester`.
+  void SendDeny(const net::PartitionKey& key, net::Ipv4Addr requester,
+                std::uint64_t last_applied_seq);
 
   /// Re-examines buffered Inits for `key` (called when a lease lapses).
   void PumpPendingInits(const net::PartitionKey& key);
@@ -167,7 +188,10 @@ class StateStoreServer : public sim::Node {
   bool is_head_ = true;
   std::unordered_map<net::PartitionKey, FlowRecord> flows_;
   std::unordered_map<net::PartitionKey, std::deque<PendingInit>> pending_inits_;
-  std::unordered_map<net::PartitionKey, std::vector<core::Msg>> waiting_reads_;
+  /// Parked reads keep a view of the original request buffer alive until
+  /// their awaited write is durable (or the blocking lease lapses).
+  std::unordered_map<net::PartitionKey, std::vector<core::MsgView>>
+      waiting_reads_;
   SimTime busy_until_ = 0;
   SimDuration busy_time_ = 0;
   /// Bumped on failure so queued service completions are invalidated.

@@ -200,6 +200,39 @@ TEST(ChainManagerTest, RecoveredReplicaRejoinsAsTailWithState) {
   EXPECT_EQ(h.replicas[2]->Find(key)->last_applied_seq, 10u);
 }
 
+TEST(ChainManagerTest, ResyncDoesNotMutateSourceReplica) {
+  ChainHarness h;
+  h.SendPaced(5);
+
+  // ExportFlows is a cheap const view, not a copy: same address every call.
+  const auto* export1 = &h.replicas[0]->ExportFlows();
+  const auto* export2 = &h.replicas[0]->ExportFlows();
+  EXPECT_EQ(export1, export2);
+
+  // Snapshot the head's records before a splice-triggered resync.
+  const auto before = *export1;  // deliberate deep copy for comparison
+  ASSERT_FALSE(before.empty());
+
+  h.replicas[1]->SetUp(false);
+  h.sim.RunUntil(h.sim.Now() + Milliseconds(10));  // probe + resync fire
+  ASSERT_EQ(h.manager->ActiveChain().size(), 2u);
+
+  // The resync copied state into the tail without disturbing the source.
+  const auto& after = h.replicas[0]->ExportFlows();
+  ASSERT_EQ(after.size(), before.size());
+  for (const auto& [key, rec] : before) {
+    const auto it = after.find(key);
+    ASSERT_NE(it, after.end());
+    EXPECT_EQ(it->second.last_applied_seq, rec.last_applied_seq);
+    EXPECT_EQ(it->second.state, rec.state);
+  }
+  // The target really did receive the records.
+  const auto key = net::PartitionKey::OfFlow(TheFlow());
+  ASSERT_NE(h.replicas[2]->Find(key), nullptr);
+  EXPECT_EQ(h.replicas[2]->Find(key)->last_applied_seq,
+            before.at(key).last_applied_seq);
+}
+
 TEST(ChainManagerTest, SurvivesSequentialFailuresDownToOne) {
   ChainHarness h;
   ChainManagerConfig cfg;

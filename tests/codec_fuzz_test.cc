@@ -27,9 +27,9 @@ net::Packet RandomPacket(Rng& rng) {
                                static_cast<std::uint32_t>(rng.NextBounded(1400)));
   if (rng.Bernoulli(0.3)) pkt.vlan = static_cast<std::uint16_t>(rng.NextBounded(4095) + 1);
   const std::size_t payload = rng.NextBounded(64);
-  for (std::size_t i = 0; i < payload; ++i) {
-    pkt.payload.push_back(std::byte{static_cast<std::uint8_t>(rng.Next())});
-  }
+  std::vector<std::byte> body(payload);
+  for (auto& b : body) b = std::byte{static_cast<std::uint8_t>(rng.Next())};
+  pkt.payload = std::move(body);
   return pkt;
 }
 
@@ -93,7 +93,7 @@ TEST_P(CodecFuzz, MutatedProtocolMessagesNeverCrash) {
     msg.key = net::PartitionKey::OfObject(rng.Next());
     msg.state.resize(rng.NextBounded(64));
     if (rng.Bernoulli(0.5)) msg.piggyback = RandomPacket(rng);
-    auto bytes = core::EncodeMsg(msg);
+    auto bytes = net::BufferView(core::EncodeMsg(msg)).ToVector();
     const int flips = 1 + static_cast<int>(rng.NextBounded(4));
     for (int f = 0; f < flips; ++f) {
       bytes[rng.NextBounded(bytes.size())] ^=
@@ -148,6 +148,80 @@ TEST_P(CodecFuzz, ProtocolMessagesAlwaysRoundTrip) {
     EXPECT_EQ(decoded->chain_hop, msg.chain_hop);
     EXPECT_EQ(decoded->key, msg.key);
     EXPECT_EQ(decoded->state, msg.state);
+  }
+}
+
+// The zero-copy forwarding path patches mutable header fields directly in
+// the encoded bytes instead of decode-mutate-re-encode.  For random messages
+// and random patch sets, the two must produce identical bytes.
+TEST_P(CodecFuzz, InPlaceHeaderPatchMatchesFullReencode) {
+  Rng rng(GetParam() + 6000);
+  for (int i = 0; i < 500; ++i) {
+    core::Msg msg;
+    msg.type = static_cast<core::MsgType>(1 + rng.NextBounded(6));
+    msg.ack = static_cast<core::AckKind>(rng.NextBounded(8));
+    msg.seq = rng.Next();
+    msg.snapshot_index = static_cast<std::uint32_t>(rng.Next());
+    msg.reply_to = net::Ipv4Addr(static_cast<std::uint32_t>(rng.Next()));
+    msg.chain_hop = static_cast<std::uint8_t>(rng.NextBounded(4));
+    switch (rng.NextBounded(3)) {
+      case 0:
+        msg.key = net::PartitionKey::OfVlan(
+            static_cast<std::uint16_t>(rng.NextBounded(4096)));
+        break;
+      case 1:
+        msg.key = net::PartitionKey::OfObject(rng.Next());
+        break;
+      default: {
+        net::FlowKey f;
+        f.src_ip = net::Ipv4Addr(static_cast<std::uint32_t>(rng.Next()));
+        f.dst_ip = net::Ipv4Addr(static_cast<std::uint32_t>(rng.Next()));
+        f.src_port = static_cast<std::uint16_t>(rng.Next());
+        f.dst_port = static_cast<std::uint16_t>(rng.Next());
+        f.proto = net::IpProto::kTcp;
+        msg.key = net::PartitionKey::OfFlow(f);
+      }
+    }
+    msg.state.resize(rng.NextBounded(64));
+    for (auto& b : msg.state) {
+      b = std::byte{static_cast<std::uint8_t>(rng.Next())};
+    }
+    if (rng.Bernoulli(0.5)) msg.piggyback = RandomPacket(rng);
+
+    auto view = core::MsgView::Parse(core::EncodeMsg(msg));
+    ASSERT_TRUE(view.has_value());
+
+    // Random subset of the mutable fields (what replicas/stores stamp).
+    if (rng.Bernoulli(0.7)) {
+      const auto v = static_cast<std::uint8_t>(rng.NextBounded(8));
+      view->SetChainHop(v);
+      msg.chain_hop = v;
+    }
+    if (rng.Bernoulli(0.5)) {
+      const auto v = static_cast<core::AckKind>(rng.NextBounded(8));
+      view->SetAck(v);
+      msg.ack = v;
+    }
+    if (rng.Bernoulli(0.5)) {
+      const auto v = static_cast<core::MsgType>(1 + rng.NextBounded(6));
+      view->SetType(v);
+      msg.type = v;
+    }
+    if (rng.Bernoulli(0.3)) {
+      const std::uint64_t v = rng.Next();
+      view->SetSeq(v);
+      msg.seq = v;
+    }
+    if (rng.Bernoulli(0.3)) {
+      const auto v = static_cast<std::uint32_t>(rng.Next());
+      view->SetSnapshotIndex(v);
+      msg.snapshot_index = v;
+    }
+
+    const net::Buffer reencoded = core::EncodeMsg(msg);
+    ASSERT_EQ(view->bytes().size(), reencoded.size());
+    EXPECT_TRUE(view->bytes() == net::BufferView(reencoded))
+        << "patched bytes diverge from re-encode at iteration " << i;
   }
 }
 

@@ -179,19 +179,6 @@ TEST(StatsTest, TimeSeriesBucketing) {
   EXPECT_EQ(ts.BucketStart(1), Milliseconds(100));
 }
 
-TEST(StatsTest, CountersAccumulateAndSort) {
-  Counters c;
-  c.Add("b");
-  c.Add("a", 2.5);
-  c.Add("b", 3);
-  EXPECT_DOUBLE_EQ(c.Get("a"), 2.5);
-  EXPECT_DOUBLE_EQ(c.Get("b"), 4.0);
-  EXPECT_DOUBLE_EQ(c.Get("missing"), 0.0);
-  const auto sorted = c.Sorted();
-  ASSERT_EQ(sorted.size(), 2u);
-  EXPECT_EQ(sorted[0].first, "a");
-}
-
 TEST(StatsTest, FormatDouble) {
   EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
   EXPECT_EQ(FormatDouble(2.0, 0), "2");

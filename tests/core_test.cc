@@ -29,10 +29,11 @@ class CountingEchoApp : public SwitchApp {
       net::ByteReader r(pkt.payload);
       original_id = r.U64();
     }
-    pkt.payload.clear();
-    net::ByteWriter w(pkt.payload);
+    std::vector<std::byte> buf;
+    net::ByteWriter w(buf);
     w.U64(original_id);
     w.U64(count);
+    pkt.payload = std::move(buf);
     result.outputs.push_back(std::move(pkt));
     return result;
   }
@@ -139,8 +140,10 @@ struct CoreHarness {
     net::Packet pkt = net::MakeUdpPacket(flow, 20);
     const net::PacketId id = pkt.id;
     // Stamp the original id so the counting app can echo it.
-    net::ByteWriter w(pkt.payload);
+    std::vector<std::byte> buf;
+    net::ByteWriter w(buf);
     w.U64(id);
+    pkt.payload = std::move(buf);
     src->SendTo(sw == 1 ? 0 : 1, std::move(pkt));
     history.Input(id, sim.Now());
     return id;

@@ -115,9 +115,11 @@ TEST_P(CodecRoundTrip, SerializeParsePreservesFields) {
                                  c.pad)
                  : MakeUdpPacket(f, c.pad);
   p.vlan = c.vlan;
+  std::vector<std::byte> body;
   for (std::size_t i = 0; i < c.payload_bytes; ++i) {
-    p.payload.push_back(std::byte{static_cast<std::uint8_t>(i * 7)});
+    body.push_back(std::byte{static_cast<std::uint8_t>(i * 7)});
   }
+  p.payload = std::move(body);
 
   const auto wire = Serialize(p);
   const auto parsed = Parse(wire);

@@ -52,10 +52,11 @@ class CountingEchoApp : public core::SwitchApp {
       net::ByteReader r(pkt.payload);
       original_id = r.U64();
     }
-    pkt.payload.clear();
-    net::ByteWriter w(pkt.payload);
+    std::vector<std::byte> buf;
+    net::ByteWriter w(buf);
     w.U64(original_id);
     w.U64(count);
+    pkt.payload = std::move(buf);
     result.outputs.push_back(std::move(pkt));
     return result;
   }
@@ -164,8 +165,10 @@ TEST_P(ProtocolFuzz, AdversarialScheduleStaysLinearizable) {
                                             : current_switch;
     if (sw_down[use]) continue;  // both down is excluded above
     net::Packet pkt = net::MakeUdpPacket(TheFlow(), 20);
-    net::ByteWriter w(pkt.payload);
+    std::vector<std::byte> buf;
+    net::ByteWriter w(buf);
     w.U64(pkt.id);
+    pkt.payload = std::move(buf);
     history.Input(pkt.id, sim.Now());
     src->SendTo(use == 0 ? 0 : 1, std::move(pkt));
   }

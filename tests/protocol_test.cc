@@ -104,9 +104,9 @@ TEST(ProtocolTest, MalformedRejected) {
   Msg msg;
   msg.type = MsgType::kLeaseNewReq;
   msg.key = FlowKey1();
-  auto bytes = EncodeMsg(msg);
-  bytes.resize(bytes.size() - 4);
-  EXPECT_FALSE(DecodeMsg(bytes).has_value());
+  const net::Buffer bytes = EncodeMsg(msg);
+  EXPECT_FALSE(
+      DecodeMsg(bytes.span().subspan(0, bytes.size() - 4)).has_value());
 }
 
 TEST(ProtocolTest, ProtocolPacketDetection) {

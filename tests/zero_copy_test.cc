@@ -1,0 +1,219 @@
+// Copy/alloc regression tests for the zero-copy message core.
+//
+// The contract under test (DESIGN.md §8): a replication request is encoded
+// exactly once at the switch, chain replicas forward the same bytes after
+// patching header fields in place, and hop-to-hop packet forwarding never
+// duplicates payload bytes.  The Buffer instrumentation counters make any
+// regression (an accidental re-encode or deep copy on the forwarding path)
+// an immediate test failure instead of a silent slowdown.
+#include <gtest/gtest.h>
+
+#include "core/protocol.h"
+#include "core/redplane_switch.h"
+#include "net/buffer.h"
+#include "sim/host.h"
+#include "sim/network.h"
+#include "statestore/server.h"
+
+namespace redplane {
+namespace {
+
+// --- Buffer/BufferView unit coverage ---------------------------------------
+
+TEST(BufferTest, CopyAndSliceShareBackingStore) {
+  std::vector<std::byte> bytes(64, std::byte{0x5c});
+  net::BufferView v(std::move(bytes));  // adopts, no copy
+  net::BufferView copy = v;
+  net::BufferView slice = v.Slice(8, 16);
+  EXPECT_EQ(copy.data(), v.data());
+  EXPECT_EQ(slice.data(), v.data() + 8);
+  EXPECT_EQ(slice.size(), 16u);
+  EXPECT_EQ(v.Prefix(1000).size(), 64u);  // Prefix clamps
+}
+
+TEST(BufferTest, PatchInPlaceWhenUniqueCopiesWhenShared) {
+  std::vector<std::byte> bytes(32, std::byte{0});
+  net::BufferView unique_view(std::move(bytes));
+  net::Buffer::ResetCounters();
+  unique_view.PatchU16(4, 0xBEEF);  // sole owner: in place
+  EXPECT_EQ(net::Buffer::DeepCopies(), 0u);
+  EXPECT_EQ(unique_view.U16At(4), 0xBEEF);
+
+  net::BufferView shared = unique_view;  // now two owners
+  shared.PatchU16(4, 0x1234);            // must copy-on-write
+  EXPECT_EQ(net::Buffer::DeepCopies(), 1u);
+  EXPECT_EQ(shared.U16At(4), 0x1234);
+  EXPECT_EQ(unique_view.U16At(4), 0xBEEF);  // original undisturbed
+}
+
+TEST(BufferTest, PacketCopySharesPayload) {
+  net::FlowKey f{net::Ipv4Addr(1, 1, 1, 1), net::Ipv4Addr(2, 2, 2, 2), 7, 8,
+                 net::IpProto::kUdp};
+  net::Packet pkt = net::MakeUdpPacket(f, 0);
+  pkt.payload = std::vector<std::byte>(256, std::byte{0xab});
+  net::Buffer::ResetCounters();
+  net::Packet hop1 = pkt;  // what every link/pipeline hop does
+  net::Packet hop2 = hop1;
+  EXPECT_EQ(hop2.payload.data(), pkt.payload.data());
+  EXPECT_EQ(net::Buffer::DeepCopies(), 0u);
+  EXPECT_EQ(net::Buffer::Allocations(), 0u);
+}
+
+// --- End-to-end: multi-hop write replication -------------------------------
+
+constexpr net::Ipv4Addr kSrcIp(10, 0, 0, 1);
+constexpr net::Ipv4Addr kDstIp(192, 168, 10, 1);
+constexpr net::Ipv4Addr kSwIp(172, 16, 0, 1);
+
+net::FlowKey TheFlow() {
+  return {kSrcIp, kDstIp, 1000, 80, net::IpProto::kUdp};
+}
+
+/// NAT-style write-per-packet app: every packet mutates the flow's state, so
+/// every packet leaves the switch as a replication request with the output
+/// piggybacked (the paper's linearizable write path).
+class WriteApp : public core::SwitchApp {
+ public:
+  std::string_view name() const override { return "write_app"; }
+  core::ProcessResult Process(core::AppContext&, net::Packet pkt,
+                              std::vector<std::byte>& state) override {
+    core::ProcessResult result;
+    core::SetState(state,
+                   core::StateAs<std::uint64_t>(state).value_or(0) + 1);
+    result.state_modified = true;
+    result.outputs.push_back(std::move(pkt));
+    return result;
+  }
+};
+
+/// One RedPlane switch against a fixed store chain of `chain_size` replicas.
+struct WriteChainHarness {
+  explicit WriteChainHarness(int chain_size) {
+    net = std::make_unique<sim::Network>(sim, 7);
+    src = net->AddNode<sim::HostNode>("src", kSrcIp);
+    dst = net->AddNode<sim::HostNode>("dst", kDstIp);
+    dp::SwitchConfig cfg;
+    cfg.switch_ip = kSwIp;
+    sw = net->AddNode<dp::SwitchNode>("sw", cfg);
+    hub = net->AddNode<sim::HostNode>("hub", net::Ipv4Addr(9, 9, 9, 9));
+    net->Connect(src, 0, sw, 0);
+    net->Connect(dst, 0, sw, 1);
+    net->Connect(sw, 2, hub, 0);
+    store::StoreConfig store_cfg;
+    store_cfg.lease_period = Seconds(2);
+    for (int i = 0; i < chain_size; ++i) {
+      auto* server = net->AddNode<store::StateStoreServer>(
+          "store" + std::to_string(i), net::Ipv4Addr(172, 16, 1, 1 + i),
+          store_cfg);
+      net->Connect(server, 0, hub, static_cast<PortId>(1 + i));
+      replicas.push_back(server);
+    }
+    for (int i = 0; i < chain_size; ++i) {
+      replicas[i]->SetIsHead(i == 0);
+      if (i + 1 < chain_size) {
+        replicas[i]->SetChainSuccessor(replicas[i + 1]->ip());
+      }
+    }
+    hub->SetHandler([this](sim::HostNode& self, net::Packet pkt) {
+      if (!pkt.ip.has_value()) return;
+      if (pkt.ip->dst == kSwIp) {
+        self.SendTo(0, std::move(pkt));
+        return;
+      }
+      for (std::size_t i = 0; i < replicas.size(); ++i) {
+        if (pkt.ip->dst == replicas[i]->ip()) {
+          self.SendTo(static_cast<PortId>(1 + i), std::move(pkt));
+          return;
+        }
+      }
+    });
+    sw->SetForwarder(
+        [](const net::Packet& pkt, PortId) -> std::optional<PortId> {
+          if (!pkt.ip.has_value()) return std::nullopt;
+          if (pkt.ip->dst == kSrcIp) return PortId{0};
+          if (pkt.ip->dst == kDstIp) return PortId{1};
+          return PortId{2};
+        });
+
+    core::RedPlaneConfig rp_cfg;
+    rp_cfg.lease_period = Seconds(2);
+    rp_cfg.renew_interval = Seconds(1);
+    rp_cfg.request_timeout = Milliseconds(5);  // no spurious retransmits
+    rp = std::make_unique<core::RedPlaneSwitch>(
+        *sw, app,
+        [this](const net::PartitionKey&) { return replicas[0]->ip(); },
+        rp_cfg);
+    sw->SetPipeline(rp.get());
+    dst->SetHandler([this](sim::HostNode&, net::Packet) { ++delivered; });
+  }
+
+  void SendPaced(int n) {
+    for (int i = 0; i < n; ++i) {
+      src->Send(net::MakeUdpPacket(TheFlow(), 20));
+      sim.RunUntil(sim.Now() + Milliseconds(1));
+    }
+  }
+
+  sim::Simulator sim;
+  std::unique_ptr<sim::Network> net;
+  sim::HostNode* src;
+  sim::HostNode* dst;
+  sim::HostNode* hub;
+  dp::SwitchNode* sw;
+  std::vector<store::StateStoreServer*> replicas;
+  WriteApp app;
+  std::unique_ptr<core::RedPlaneSwitch> rp;
+  int delivered = 0;
+};
+
+struct WriteCosts {
+  std::uint64_t encodes = 0;
+  std::uint64_t deep_copies = 0;
+};
+
+/// Runs `writes` steady-state writes through a chain of `chain_size` and
+/// returns the protocol-encode and byte-copy counts they incurred.
+WriteCosts MeasureWrites(int chain_size, int writes) {
+  WriteChainHarness h(chain_size);
+  // Warm up: lease acquisition plus the first write settle out of band.
+  h.SendPaced(2);
+  h.sim.RunUntil(h.sim.Now() + Milliseconds(20));
+  EXPECT_EQ(h.delivered, 2);
+
+  core::ResetEncodeCount();
+  net::Buffer::ResetCounters();
+  h.SendPaced(writes);
+  h.sim.RunUntil(h.sim.Now() + Milliseconds(50));
+  EXPECT_EQ(h.delivered, 2 + writes);
+  // Every write is durable at every replica before its output released.
+  const auto key = net::PartitionKey::OfFlow(TheFlow());
+  for (auto* replica : h.replicas) {
+    const auto* rec = replica->Find(key);
+    EXPECT_NE(rec, nullptr);
+    if (rec != nullptr) {
+      EXPECT_EQ(rec->last_applied_seq, static_cast<std::uint64_t>(2 + writes));
+    }
+  }
+  return {core::EncodeCount(), net::Buffer::DeepCopies()};
+}
+
+TEST(ZeroCopyWriteTest, OneEncodePerRequestZeroPerForward) {
+  constexpr int kWrites = 10;
+  const WriteCosts single = MeasureWrites(1, kWrites);
+  const WriteCosts chain3 = MeasureWrites(3, kWrites);
+
+  // Exactly two encodes per write — the request (once, at the switch) and
+  // the tail's ack.  Replicas forward patched views, never re-encoding, so
+  // the count is independent of chain length.
+  EXPECT_EQ(single.encodes, 2u * kWrites);
+  EXPECT_EQ(chain3.encodes, 2u * kWrites);
+
+  // The only byte copy per write is the mirror's truncated retransmit copy
+  // (header + state, never the piggybacked output).  Forwarding through two
+  // extra replicas adds zero copies.
+  EXPECT_EQ(single.deep_copies, static_cast<std::uint64_t>(kWrites));
+  EXPECT_EQ(chain3.deep_copies, static_cast<std::uint64_t>(kWrites));
+}
+
+}  // namespace
+}  // namespace redplane
