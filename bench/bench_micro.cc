@@ -7,6 +7,8 @@
 #include <new>
 
 #include "apps/sketch.h"
+#include "audit/auditor.h"
+#include "audit/taps.h"
 #include "core/protocol.h"
 #include "core/snapshot.h"
 #include "dataplane/register_array.h"
@@ -220,6 +222,73 @@ void BM_SimulatorEventThroughput(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_SimulatorEventThroughput);
+
+// --- Online auditor overhead -----------------------------------------------
+
+// Hop forwarding with the auditor armed (standard monitors installed, no
+// violations).  Hop paths carry only the armed() guard — taps publish
+// protocol milestones (lease grant, store apply, ack release), never
+// per-hop facts — so the armed cost on a hop is one global load and a
+// predictable branch.  ci/perf_smoke.py holds this within 5% of
+// BM_LinkHopForward.
+void BM_LinkHopForwardAuditorArmed(benchmark::State& state) {
+  audit::Auditor auditor;
+  auditor.ArmStandardMonitors();
+  auditor.SetEnabled(true);
+  audit::Auditor* prev = audit::SetGlobalAuditor(&auditor);
+  audit::TapHandle tap("bench-hop");
+  net::Packet pkt = SamplePacket();
+  std::vector<std::byte> body(512, std::byte{0xAB});
+  pkt.payload = std::move(body);
+  for (auto _ : state) {
+    net::Packet hop = pkt;
+    if (tap.armed()) benchmark::DoNotOptimize(&tap);
+    benchmark::DoNotOptimize(hop.payload.data());
+  }
+  audit::SetGlobalAuditor(prev);
+}
+BENCHMARK(BM_LinkHopForwardAuditorArmed);
+
+// Chain-replica hop with the auditor armed: same in-place patch-and-forward
+// as BM_ChainHopForwardZeroCopy plus the armed guard.  Held within 5% of the
+// unarmed bench by ci/perf_smoke.py.
+void BM_ChainHopForwardAuditorArmed(benchmark::State& state) {
+  audit::Auditor auditor;
+  auditor.ArmStandardMonitors();
+  auditor.SetEnabled(true);
+  audit::Auditor* prev = audit::SetGlobalAuditor(&auditor);
+  audit::TapHandle tap("bench-chain");
+  net::BufferView payload{core::EncodeMsg(SampleChainMsg())};
+  for (auto _ : state) {
+    auto v = core::MsgView::Parse(std::move(payload));
+    v->SetChainHop(static_cast<std::uint8_t>(v->chain_hop() + 1));
+    payload = v->bytes();
+    if (tap.armed()) benchmark::DoNotOptimize(&tap);
+    benchmark::DoNotOptimize(payload.data());
+  }
+  audit::SetGlobalAuditor(prev);
+}
+BENCHMARK(BM_ChainHopForwardAuditorArmed);
+
+// A full milestone publish: one Emit dispatched synchronously through all
+// four standard monitors.  Same-component lease renewals never violate, so
+// this is the steady-state (silent) per-milestone cost.
+void BM_AuditTapDispatch(benchmark::State& state) {
+  audit::Auditor auditor;
+  auditor.ArmStandardMonitors();
+  auditor.SetEnabled(true);
+  audit::Auditor* prev = audit::SetGlobalAuditor(&auditor);
+  audit::TapHandle tap("bench-switch");
+  for (auto _ : state) {
+    if (tap.armed()) {
+      tap.Emit(audit::Tap::kLeaseAcquired, 0xabcdef0123456789ull, 0,
+               /*aux=believed expiry*/ 1'000'000'000ull);
+    }
+  }
+  benchmark::DoNotOptimize(auditor.events_seen());
+  audit::SetGlobalAuditor(prev);
+}
+BENCHMARK(BM_AuditTapDispatch);
 
 // --- Observability-layer overhead -----------------------------------------
 

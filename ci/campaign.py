@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Fault-campaign CI driver: run the audited failure campaign and gate on it.
+
+Two gates, mirroring the campaign binary's own exit-code contract:
+
+ 1. Clean sweep — every scenario (switch crash, link flap, lease-expiry
+    race, store failover) across --seeds seeds with the auditor armed must
+    finish with zero invariant violations and zero linearizability
+    failures.  Any violation fails the job; the campaign's per-violation
+    causal-slice artifacts (slice JSON + text) land in --out-dir for
+    upload.
+
+ 2. Oracle self-test — re-run one scenario per protocol mutation
+    (--mutate=lease/seq/chain).  Each mutation must be *caught* by the
+    auditor: a silent mutated run means the monitors have gone blind, and
+    the job fails even though nothing "broke".
+
+Usage:
+  ci/campaign.py --campaign build/tools/campaign --out-dir campaign-out
+                 [--seeds 5] [--packets 40] [--skip-selftest]
+"""
+
+import argparse
+import pathlib
+import subprocess
+import sys
+
+# Campaign binary exit codes (tools/campaign.cc).
+EXIT_CLEAN_OR_DETECTED = 0
+EXIT_MUTATION_SILENT = 2
+
+MUTATIONS = ["lease", "seq", "chain"]
+
+
+def run(campaign, out_dir, extra, label):
+    cmd = [campaign, f"--out-dir={out_dir}"] + extra
+    print(f"\n=== {label}: {' '.join(cmd)}", flush=True)
+    proc = subprocess.run(cmd)
+    return proc.returncode
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--campaign", required=True,
+                    help="path to the built tools/campaign binary")
+    ap.add_argument("--out-dir", required=True,
+                    help="report + causal-slice artifact directory")
+    ap.add_argument("--seeds", type=int, default=5)
+    ap.add_argument("--packets", type=int, default=40)
+    ap.add_argument("--skip-selftest", action="store_true",
+                    help="skip the mutation oracle self-test runs")
+    args = ap.parse_args()
+
+    out = pathlib.Path(args.out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    failures = []
+
+    # Gate 1: clean sweep — all scenarios, auditor armed, must be silent.
+    rc = run(args.campaign, out / "clean",
+             [f"--seeds={args.seeds}", f"--packets={args.packets}"],
+             f"clean sweep ({args.seeds} seeds x all scenarios)")
+    if rc != EXIT_CLEAN_OR_DETECTED:
+        failures.append(
+            f"clean sweep exited {rc}: auditor reported violations "
+            f"(causal slices under {out / 'clean'})")
+
+    # Gate 2: each seeded protocol mutation must trip its monitor.
+    if not args.skip_selftest:
+        for mut in MUTATIONS:
+            rc = run(args.campaign, out / f"mutate-{mut}",
+                     ["--seeds=1", f"--packets={args.packets}",
+                      f"--mutate={mut}"],
+                     f"oracle self-test (mutate={mut})")
+            if rc == EXIT_MUTATION_SILENT:
+                failures.append(
+                    f"mutate={mut}: auditor stayed silent — the monitors "
+                    f"did not catch a seeded protocol bug")
+            elif rc != EXIT_CLEAN_OR_DETECTED:
+                failures.append(f"mutate={mut}: campaign exited {rc}")
+
+    if failures:
+        print("\nFAULT CAMPAIGN FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nfault campaign OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

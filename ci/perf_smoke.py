@@ -3,11 +3,14 @@
 
 Two kinds of checks:
 
- 1. Machine-independent invariants of the zero-copy core — these must hold
-    on any hardware:
+ 1. Machine-independent invariants of the zero-copy core and the online
+    auditor — these must hold on any hardware:
       * steady-state event dispatch performs zero heap allocations,
       * zero-copy hop forwarding beats the deep-copy/re-encode path by at
-        least 2x (the PR's acceptance bar).
+        least 2x (the PR's acceptance bar),
+      * an armed-but-silent auditor adds at most 5% to the hop-forward and
+        chain-hop paths (plus a small absolute epsilon to absorb timer
+        granularity on sub-10ns benches).
  2. Absolute regression against the recorded baseline (BENCH_PR2.json):
     each benchmark must stay within --tolerance (default 25%) of its
     baseline time.  Skipped with --no-absolute on hardware that does not
@@ -83,6 +86,26 @@ def main():
             failures.append(
                 f"{label}: zero-copy path ({results[fast]:.1f} ns) is not "
                 f">=2x faster than copy path ({results[slow]:.1f} ns)")
+
+    # Armed-but-silent auditor overhead on the hop paths: the tap guard is
+    # one global load + predictable branch, so the armed bench must stay
+    # within 5% of its unarmed twin.  The +0.5 ns epsilon absorbs timer
+    # granularity: on a ~5 ns bench a single tick of run-to-run noise is
+    # already >5%, and we are guarding the guard, not the scheduler.
+    for base, armed, label in [
+        ("BM_LinkHopForward", "BM_LinkHopForwardAuditorArmed", "hop-forward"),
+        ("BM_ChainHopForwardZeroCopy", "BM_ChainHopForwardAuditorArmed",
+         "chain-hop"),
+    ]:
+        if base not in results or armed not in results:
+            failures.append(f"missing auditor-overhead pair for {label}")
+            continue
+        budget = results[base] * 1.05 + 0.5
+        if results[armed] > budget:
+            failures.append(
+                f"{label}: auditor-armed path ({results[armed]:.1f} ns) "
+                f"exceeds 5% overhead budget over unarmed "
+                f"({results[base]:.1f} ns)")
 
     # --- Absolute regression vs recorded baseline ---
     if not args.no_absolute:

@@ -1,0 +1,104 @@
+#include "audit/auditor.h"
+
+#include <utility>
+
+#include "audit/monitors.h"
+#include "common/logging.h"
+
+namespace redplane::audit {
+
+Auditor::Auditor() {
+  events_counter_ = stats_.RegisterCounter("events");
+  violations_counter_ = stats_.RegisterCounter("violations");
+}
+
+Auditor::~Auditor() {
+  if (internal::g_auditor == this) SetGlobalAuditor(nullptr);
+}
+
+void Auditor::SetEnabled(bool enabled) {
+  enabled_ = enabled;
+  if (internal::g_auditor == this) internal::g_armed = enabled_;
+}
+
+void Auditor::ArmStandardMonitors() {
+  AddMonitor(std::make_unique<SingleOwnerMonitor>());
+  AddMonitor(std::make_unique<SeqMonotonicMonitor>());
+  AddMonitor(std::make_unique<ChainCommitMonitor>());
+  AddMonitor(std::make_unique<EpsilonBoundMonitor>());
+}
+
+void Auditor::AddMonitor(std::unique_ptr<Monitor> monitor) {
+  monitors_.push_back(std::move(monitor));
+}
+
+Monitor* Auditor::FindMonitor(std::string_view name) {
+  for (auto& m : monitors_) {
+    if (m->name() == name) return m.get();
+  }
+  return nullptr;
+}
+
+std::uint16_t Auditor::Intern(std::string_view name) {
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (components_[i] == name) return static_cast<std::uint16_t>(i);
+  }
+  components_.emplace_back(name);
+  return static_cast<std::uint16_t>(components_.size() - 1);
+}
+
+const std::string& Auditor::ComponentName(std::uint16_t id) const {
+  static const std::string kUnknown = "?";
+  return id < components_.size() ? components_[id] : kUnknown;
+}
+
+void Auditor::Publish(std::uint16_t component, Tap tap, std::uint64_t key,
+                      std::uint64_t seq, std::uint64_t aux, double value) {
+  if (!enabled_) return;
+  TapEvent ev;
+  ev.t = NowOrZero();
+  ev.tap = tap;
+  ev.component = component;
+  ev.key = key;
+  ev.seq = seq;
+  ev.aux = aux;
+  ev.value = value;
+  ++events_seen_;
+  events_counter_.Add();
+  for (auto& m : monitors_) m->OnEvent(*this, ev);
+}
+
+void Auditor::ReportViolation(std::string_view monitor, const TapEvent& at,
+                              std::string detail) {
+  ++violations_total_;
+  violations_counter_.Add();
+  ++counts_by_monitor_[std::string(monitor)];
+  stats_.Add(std::string("violations.") + std::string(monitor));
+  RP_LOG(kError) << "AUDIT VIOLATION [" << monitor << "] at t=" << at.t
+                 << "ns component=" << ComponentName(at.component)
+                 << " key=0x" << std::hex << at.key << std::dec
+                 << " seq=" << at.seq << ": " << detail;
+  if (violations_.size() >= kMaxStoredViolations) return;
+  Violation v;
+  v.monitor = std::string(monitor);
+  v.detail = std::move(detail);
+  v.at = at;
+  if (tracer_ != nullptr) v.slice = ExtractSlice(*tracer_, at.key, at.t);
+  violations_.push_back(std::move(v));
+}
+
+std::size_t Auditor::ViolationCount(std::string_view monitor) const {
+  const auto it = counts_by_monitor_.find(monitor);
+  return it == counts_by_monitor_.end() ? 0 : it->second;
+}
+
+void Auditor::ClearFindings() {
+  violations_.clear();
+  violations_total_ = 0;
+  counts_by_monitor_.clear();
+  events_seen_ = 0;
+  stats_.Reset();
+  for (auto& m : monitors_) m->Reset();
+}
+
+}  // namespace redplane::audit

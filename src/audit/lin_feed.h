@@ -1,0 +1,52 @@
+// LinearizabilityFeed: streams live per-flow histories into the modelcheck
+// linearizability checker.
+//
+// src/modelcheck checks counter linearizability post-hoc on histories built
+// by hand; the feed builds them *during* a simulated run — harness code
+// records each input packet as it is injected and each output (with its
+// counter value) as it leaves the system — and runs the exact checker when
+// a flow closes.  A failed check is reported through the auditor like any
+// other monitor violation, with a causal slice cut at the flow's last
+// event.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "audit/auditor.h"
+#include "common/types.h"
+#include "modelcheck/linearizability.h"
+
+namespace redplane::audit {
+
+class LinearizabilityFeed {
+ public:
+  /// `auditor` receives violations; may be null (check results are still
+  /// returned from CloseFlow).
+  explicit LinearizabilityFeed(Auditor* auditor = nullptr)
+      : auditor_(auditor) {}
+
+  void Input(std::uint64_t flow, std::uint64_t packet_id, SimTime t);
+  void Output(std::uint64_t flow, std::uint64_t packet_id, SimTime t,
+              std::uint64_t value);
+
+  /// Runs the counter-linearizability checker on the flow's history and
+  /// drops it.  Returns true when linearizable (or the flow was unknown).
+  bool CloseFlow(std::uint64_t flow);
+  /// Closes every open flow (deterministic order); returns the number of
+  /// flows that failed the check.
+  std::size_t CloseAll();
+
+  std::size_t OpenFlows() const { return flows_.size(); }
+
+ private:
+  struct FlowHistory {
+    modelcheck::HistoryRecorder recorder;
+    SimTime last_t = 0;
+  };
+
+  Auditor* auditor_;
+  std::map<std::uint64_t, FlowHistory> flows_;  // ordered → deterministic
+};
+
+}  // namespace redplane::audit

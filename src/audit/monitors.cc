@@ -1,0 +1,149 @@
+#include "audit/monitors.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/hash.h"
+
+namespace redplane::audit {
+
+void SingleOwnerMonitor::OnEvent(Auditor& auditor, const TapEvent& ev) {
+  switch (ev.tap) {
+    case Tap::kLeaseAcquired: {
+      auto& holders = holders_[ev.key];
+      // Prune claims whose believed expiry has certainly passed.  Switch
+      // beliefs are conservative (send-time based), so the store never
+      // grants a new lease before an old claim's believed expiry.
+      holders.erase(std::remove_if(holders.begin(), holders.end(),
+                                   [&](const Holder& h) {
+                                     return h.expiry <= ev.t &&
+                                            h.component != ev.component;
+                                   }),
+                    holders.end());
+      const auto expiry = static_cast<SimTime>(ev.aux);
+      bool updated = false;
+      for (auto& h : holders) {
+        if (h.component == ev.component) {
+          h.expiry = std::max(h.expiry, expiry);
+          updated = true;
+        } else if (h.expiry > ev.t) {
+          std::ostringstream why;
+          why << "two live lease claims on key 0x" << std::hex << ev.key
+              << std::dec << ": " << auditor.ComponentName(h.component)
+              << " (believes expiry t=" << h.expiry << "ns) and "
+              << auditor.ComponentName(ev.component)
+              << " (acquired at t=" << ev.t << "ns, expiry t=" << expiry
+              << "ns)";
+          auditor.ReportViolation(name(), ev, why.str());
+        }
+      }
+      if (!updated) holders.push_back({ev.component, expiry});
+      break;
+    }
+    case Tap::kLeaseReleased: {
+      if (ev.key == 0) {
+        // Component dropped its whole flow table (reset / fail-stop).
+        for (auto& [key, holders] : holders_) {
+          holders.erase(std::remove_if(holders.begin(), holders.end(),
+                                       [&](const Holder& h) {
+                                         return h.component == ev.component;
+                                       }),
+                        holders.end());
+        }
+      } else {
+        auto it = holders_.find(ev.key);
+        if (it == holders_.end()) break;
+        auto& holders = it->second;
+        holders.erase(std::remove_if(holders.begin(), holders.end(),
+                                     [&](const Holder& h) {
+                                       return h.component == ev.component;
+                                     }),
+                      holders.end());
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void SeqMonotonicMonitor::OnEvent(Auditor& auditor, const TapEvent& ev) {
+  switch (ev.tap) {
+    case Tap::kStoreApplied: {
+      const std::uint64_t slot = HashCombine(
+          HashCombine(ev.key, static_cast<std::uint64_t>(ev.component)),
+          epoch_[ev.component]);
+      auto [it, inserted] = last_applied_.try_emplace(slot, ev.seq);
+      if (!inserted) {
+        if (ev.seq <= it->second) {
+          std::ostringstream why;
+          why << auditor.ComponentName(ev.component) << " applied seq "
+              << ev.seq << " for key 0x" << std::hex << ev.key << std::dec
+              << " but already applied seq " << it->second
+              << " — the sequence filter regressed";
+          auditor.ReportViolation(name(), ev, why.str());
+        }
+        it->second = std::max(it->second, ev.seq);
+      }
+      break;
+    }
+    case Tap::kStoreReset: {
+      // The replica's DRAM records are gone; it will legitimately
+      // re-baseline from chain resync.  Bump its epoch so all its old
+      // baselines become unreachable.
+      ++epoch_[ev.component];
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void ChainCommitMonitor::OnEvent(Auditor& auditor, const TapEvent& ev) {
+  switch (ev.tap) {
+    case Tap::kTailCommit:
+    case Tap::kDupAckDurable:
+    case Tap::kResyncCommit: {
+      auto& committed = committed_[ev.key];
+      committed = std::max(committed, ev.seq);
+      break;
+    }
+    case Tap::kAckReleased: {
+      if (ev.seq == 0) break;  // reads / lease-only acks carry no write seq
+      auto it = committed_.find(ev.key);
+      const std::uint64_t committed = it == committed_.end() ? 0 : it->second;
+      if (ev.seq > committed) {
+        std::ostringstream why;
+        why << auditor.ComponentName(ev.component) << " released output for "
+            << "key 0x" << std::hex << ev.key << std::dec << " seq " << ev.seq
+            << " but the chain tail has only committed up to seq " << committed
+            << " — ack escaped before chain-wide durability";
+        auditor.ReportViolation(name(), ev, why.str());
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void EpsilonBoundMonitor::OnEvent(Auditor& auditor, const TapEvent& ev) {
+  if (ev.tap != Tap::kEpsilonSample) return;
+  const double staleness_ns = ev.value;
+  const double bound_ns = static_cast<double>(ev.aux);
+  bool& latched = in_violation_[ev.key];
+  if (staleness_ns > bound_ns && bound_ns > 0.0) {
+    if (!latched) {
+      latched = true;
+      std::ostringstream why;
+      why << "observed staleness " << staleness_ns / 1e6 << "ms exceeds ε = "
+          << bound_ns / 1e6 << "ms for key 0x" << std::hex << ev.key
+          << std::dec;
+      auditor.ReportViolation(name(), ev, why.str());
+    }
+  } else {
+    latched = false;
+  }
+}
+
+}  // namespace redplane::audit

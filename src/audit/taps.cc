@@ -1,0 +1,53 @@
+#include "audit/taps.h"
+
+#include "audit/auditor.h"
+
+namespace redplane::audit {
+
+namespace internal {
+Auditor* g_auditor = nullptr;
+bool g_armed = false;
+}  // namespace internal
+
+const char* TapName(Tap tap) {
+  switch (tap) {
+    case Tap::kLeaseAcquired: return "lease_acquired";
+    case Tap::kLeaseReleased: return "lease_released";
+    case Tap::kAckReleased: return "ack_released";
+    case Tap::kEpsilonSample: return "epsilon_sample";
+    case Tap::kStoreApplied: return "store_applied";
+    case Tap::kStoreFiltered: return "store_filtered";
+    case Tap::kDupAckDurable: return "dup_ack_durable";
+    case Tap::kTailCommit: return "tail_commit";
+    case Tap::kStoreReset: return "store_reset";
+    case Tap::kChainReconfig: return "chain_reconfig";
+    case Tap::kResyncCommit: return "resync_commit";
+    case Tap::kNodeDown: return "node_down";
+    case Tap::kNodeUp: return "node_up";
+    case Tap::kLinkCut: return "link_cut";
+    case Tap::kLinkRestored: return "link_restored";
+    case Tap::kHistoryClosed: return "history_closed";
+  }
+  return "?";
+}
+
+Auditor* SetGlobalAuditor(Auditor* auditor) {
+  Auditor* prev = internal::g_auditor;
+  internal::g_auditor = auditor;
+  internal::g_armed = auditor != nullptr && auditor->enabled();
+  return prev;
+}
+
+void TapHandle::Emit(Tap tap, std::uint64_t key, std::uint64_t seq,
+                     std::uint64_t aux, double value) const {
+  Auditor* a = internal::g_auditor;
+  if (a == nullptr || !a->enabled()) return;
+  if (cached_auditor_ != a || cached_generation_ != a->generation()) {
+    cached_auditor_ = a;
+    cached_generation_ = a->generation();
+    cached_id_ = a->Intern(name_.empty() ? std::string_view("?") : name_);
+  }
+  a->Publish(cached_id_, tap, key, seq, aux, value);
+}
+
+}  // namespace redplane::audit

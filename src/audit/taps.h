@@ -1,0 +1,107 @@
+// Audit tap points: typed protocol facts published to the online auditor.
+//
+// Components publish *protocol-level claims* through a TapHandle: "this
+// switch now holds a lease on key K until T", "this replica applied write
+// seq S", "the tail committed seq S", "this output was released against ack
+// seq S".  The auditor (src/audit/auditor.h) checks those claims against the
+// paper's safety invariants while the simulation runs.
+//
+// Dispatch mirrors obs::TraceHandle: when no auditor is armed a tap is one
+// load of a process-global flag and a predictable branch, so taps can live
+// on every protocol path with no measurable cost; when armed, events
+// dispatch synchronously to the registered invariant monitors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace redplane::audit {
+
+class Auditor;
+
+enum class Tap : std::uint8_t {
+  // --- switch side ---
+  kLeaseAcquired = 0,  // lease installed or extended; aux = believed expiry
+  kLeaseReleased,      // lease dropped (deny / give-up / reset); key 0 = all
+  kAckReleased,        // write/read ack consumed, output released; seq = ack
+  kEpsilonSample,      // observed staleness; value = ns, aux = configured ε
+  // --- state store ---
+  kStoreApplied,       // replica applied a write; aux = previous applied seq
+  kStoreFiltered,      // stale write filtered by the sequence check
+  kDupAckDurable,      // head acked a duplicate from already-durable state
+  kTailCommit,         // tail answered a decided write: committed chain-wide
+  kStoreReset,         // replica fail-stopped; its DRAM records are gone
+  // --- chain manager ---
+  kChainReconfig,      // chain membership changed; aux = new chain length
+  kResyncCommit,       // resync import re-established seq as durable
+  // --- failure injector ---
+  kNodeDown,           // node fail-stop injected; aux = node id
+  kNodeUp,             // node recovery injected; aux = node id
+  kLinkCut,            // link cut injected
+  kLinkRestored,       // link restore injected
+  // --- auditor-internal ---
+  kHistoryClosed,      // a per-flow history was closed and checked
+};
+
+inline constexpr int kNumTaps = static_cast<int>(Tap::kHistoryClosed) + 1;
+
+/// Stable display name for a tap kind (used in reports).
+const char* TapName(Tap tap);
+
+/// One published protocol fact.  `key` is the pre-hashed partition key
+/// (net::HashPartitionKey), sharing the id space of obs::TraceRecord::flow
+/// so violations can be joined against the tracer ring.
+struct TapEvent {
+  SimTime t = 0;
+  Tap tap = Tap::kLeaseAcquired;
+  std::uint16_t component = 0;
+  std::uint64_t key = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t aux = 0;
+  double value = 0.0;
+};
+
+namespace internal {
+extern Auditor* g_auditor;
+/// True iff g_auditor is set and enabled — the single load behind armed().
+extern bool g_armed;
+}  // namespace internal
+
+/// Process-global auditor (null when none installed).  Single-threaded,
+/// like the simulator and the global tracer.
+inline Auditor* GlobalAuditor() { return internal::g_auditor; }
+
+/// Installs `auditor` as the global auditor; returns the previous one.
+Auditor* SetGlobalAuditor(Auditor* auditor);
+
+/// Cached per-component tap emitter.  Copyable; re-resolves its interned
+/// component id when the global auditor or its generation changes.
+class TapHandle {
+ public:
+  TapHandle() = default;
+  explicit TapHandle(std::string name) : name_(std::move(name)) {}
+
+  void SetName(std::string name) {
+    name_ = std::move(name);
+    cached_auditor_ = nullptr;  // force re-intern
+  }
+  const std::string& name() const { return name_; }
+
+  /// True when emitting would actually dispatch — callers guard argument
+  /// computation (key hashing) behind this, exactly like TraceHandle.
+  bool armed() const { return internal::g_armed; }
+
+  /// Publishes one fact to the armed auditor (no-op when disarmed).
+  void Emit(Tap tap, std::uint64_t key, std::uint64_t seq = 0,
+            std::uint64_t aux = 0, double value = 0.0) const;
+
+ private:
+  std::string name_;
+  mutable const Auditor* cached_auditor_ = nullptr;
+  mutable std::uint64_t cached_generation_ = 0;
+  mutable std::uint16_t cached_id_ = 0;
+};
+
+}  // namespace redplane::audit

@@ -44,6 +44,7 @@ void EpsilonTracker::Check(SimTime now) {
   for (auto& [key, st] : keys_) {
     const SimDuration age =
         st.last_complete_at < 0 ? now : now - st.last_complete_at;
+    if (observer_) observer_(key, age, now);
     if (age > bound_) {
       if (!st.in_violation) {
         st.in_violation = true;

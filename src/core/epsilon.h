@@ -37,6 +37,16 @@ class EpsilonTracker {
   /// Checks all keys against the bound; invokes the callback on violations.
   void Check(SimTime now);
 
+  /// Observer invoked for every key on every Check() with the observed
+  /// staleness (not just violations) — feeds the staleness histogram and the
+  /// audit ε monitor.  A key with no complete snapshot yet conservatively
+  /// reports `now` as its age (the same value Check() tests the bound on).
+  void SetObserver(std::function<void(const net::PartitionKey& key,
+                                      SimDuration staleness, SimTime now)>
+                       observer) {
+    observer_ = std::move(observer);
+  }
+
   SimDuration bound() const { return bound_; }
   std::uint64_t violations() const { return violations_; }
 
@@ -54,6 +64,7 @@ class EpsilonTracker {
 
   SimDuration bound_;
   std::function<void(const net::PartitionKey&)> on_exceeded_;
+  std::function<void(const net::PartitionKey&, SimDuration, SimTime)> observer_;
   std::unordered_map<net::PartitionKey, KeyState> keys_;
   std::uint64_t violations_ = 0;
 };

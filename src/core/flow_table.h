@@ -63,6 +63,12 @@ class FlowTable {
   void Erase(const net::PartitionKey& key);
   std::size_t Size() const { return entries_.size(); }
 
+  /// Visits every (key, entry) pair — diagnostics and table dumps.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [key, entry] : entries_) fn(key, entry);
+  }
+
   /// Clears everything (switch failure: all SRAM state is lost).
   void Reset() { entries_.clear(); }
 

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/hash.h"
 #include "common/logging.h"
@@ -31,7 +35,10 @@ RedPlaneSwitch::RedPlaneSwitch(
       shard_for_(std::move(shard_for)),
       config_(config),
       stats_(node.name() + "/rp"),
-      trace_(node.name() + "/rp") {
+      trace_(node.name() + "/rp"),
+      atap_(node.name() + "/rp"),
+      diag_(node.name() + "/rp lease table",
+            [this](std::ostream& os) { DumpLeaseTable(os); }) {
   assert(shard_for_);
   node_.mirror().set_truncate_to(config_.mirror_truncate_bytes);
   m_.app_pkts = stats_.RegisterCounter("app_pkts");
@@ -278,9 +285,14 @@ void RedPlaneSwitch::HandleAck(dp::SwitchContext& ctx, MsgView msg) {
         e->has_state = true;
         e->cur_seq = seq;
         e->last_acked_seq = seq;
-        e->lease_expiry = sent_at + config_.lease_period;
+        e->lease_expiry = sent_at + config_.lease_period +
+                          config_.mutation_lease_extension;
         e->status = FlowStatus::kActive;
         e->init_loops = 0;
+        if (atap_.armed()) {
+          atap_.Emit(audit::Tap::kLeaseAcquired, net::HashPartitionKey(key),
+                     seq, static_cast<std::uint64_t>(e->lease_expiry));
+        }
         if (piggy.has_value()) {
           // The first packet of the flow, returned with the grant: process
           // it now on a fresh pipeline pass.
@@ -311,12 +323,21 @@ void RedPlaneSwitch::HandleAck(dp::SwitchContext& ctx, MsgView msg) {
             break;
           }
         }
-        FlowTable::NoteAck(*entry, seq, config_.lease_period);
+        FlowTable::NoteAck(*entry, seq,
+                           config_.lease_period +
+                               config_.mutation_lease_extension);
+        if (atap_.armed()) {
+          atap_.Emit(audit::Tap::kLeaseAcquired, net::HashPartitionKey(key),
+                     seq, static_cast<std::uint64_t>(entry->lease_expiry));
+        }
       }
       node_.mirror().Acknowledge(key, seq);
       retx_counts_.erase(RetxKey(key, seq));
       if (trace_.armed()) {
         trace_.Emit(obs::Ev::kAckReleased, net::HashPartitionKey(key), seq);
+      }
+      if (atap_.armed()) {
+        atap_.Emit(audit::Tap::kAckReleased, net::HashPartitionKey(key), seq);
       }
       if (msg.has_piggyback()) {
         if (auto piggy = msg.PiggybackPacket()) {
@@ -381,6 +402,10 @@ void RedPlaneSwitch::HandleAck(dp::SwitchContext& ctx, MsgView msg) {
         if (trace_.armed()) {
           trace_.Emit(obs::Ev::kAckReleased, net::HashPartitionKey(key), seq);
         }
+        if (atap_.armed()) {
+          atap_.Emit(audit::Tap::kAckReleased, net::HashPartitionKey(key),
+                     seq);
+        }
         ReleaseOutput(ctx, std::move(*piggy));
       }
       return;
@@ -394,8 +419,14 @@ void RedPlaneSwitch::HandleAck(dp::SwitchContext& ctx, MsgView msg) {
       const auto it = renew_sent_at_.find(RetxKey(key, 0));
       if (it != renew_sent_at_.end()) {
         entry->lease_expiry =
-            std::max(entry->lease_expiry, it->second + config_.lease_period);
+            std::max(entry->lease_expiry,
+                     it->second + config_.lease_period +
+                         config_.mutation_lease_extension);
         renew_sent_at_.erase(it);
+        if (atap_.armed()) {
+          atap_.Emit(audit::Tap::kLeaseAcquired, net::HashPartitionKey(key),
+                     seq, static_cast<std::uint64_t>(entry->lease_expiry));
+        }
       }
       return;
     }
@@ -405,6 +436,9 @@ void RedPlaneSwitch::HandleAck(dp::SwitchContext& ctx, MsgView msg) {
       m_.lease_denials.Add();
       if (trace_.armed()) {
         trace_.Emit(obs::Ev::kLeaseDenied, net::HashPartitionKey(key));
+      }
+      if (atap_.armed() && entry != nullptr) {
+        atap_.Emit(audit::Tap::kLeaseReleased, net::HashPartitionKey(key));
       }
       flows_.Erase(key);
       node_.mirror().Acknowledge(key, UINT64_MAX);
@@ -513,6 +547,9 @@ void RedPlaneSwitch::ScanRetransmits() {
       // acquisition — the store absorbs the duplicate Init.
       FlowEntry* entry = flows_.Find(key);
       if (entry != nullptr && entry->status == FlowStatus::kInitPending) {
+        if (atap_.armed()) {
+          atap_.Emit(audit::Tap::kLeaseReleased, net::HashPartitionKey(key));
+        }
         flows_.Erase(key);
         init_sent_at_.erase(RetxKey(key, 0));
       }
@@ -532,6 +569,21 @@ void RedPlaneSwitch::StartSnapshotReplication(Snapshottable& snap) {
           m_.epsilon_violations.Add();
         });
   }
+  // ε visibility: bound as a gauge, observed staleness as a histogram, and
+  // one audit sample per key per ε-audit tick.  Re-registering on the
+  // OnRecovery re-entry fetches the same cells, so this is idempotent.
+  m_.epsilon_bound_us = stats_.RegisterGauge("epsilon_bound_us");
+  m_.epsilon_bound_us.Set(ToMicroseconds(config_.epsilon_bound));
+  m_.epsilon_staleness_us = stats_.RegisterHistogram("epsilon_staleness_us");
+  epsilon_->SetObserver([this](const net::PartitionKey& key,
+                               SimDuration staleness, SimTime /*now*/) {
+    m_.epsilon_staleness_us.Record(ToMicroseconds(staleness));
+    if (atap_.armed()) {
+      atap_.Emit(audit::Tap::kEpsilonSample, net::HashPartitionKey(key), 0,
+                 static_cast<std::uint64_t>(config_.epsilon_bound),
+                 static_cast<double>(staleness));
+    }
+  });
   // One batch per T_snap; packet i addresses slot i (§5.4).  Generated
   // packets are spaced a pipeline-pass apart.
   node_.packet_generator().Start(
@@ -593,8 +645,31 @@ void RedPlaneSwitch::ReleaseOutput(dp::SwitchContext& ctx, net::Packet pkt) {
   node_.ForwardPacket(std::move(pkt), kInvalidPort);
 }
 
+void RedPlaneSwitch::DumpLeaseTable(std::ostream& os) const {
+  const SimTime now = node_.sim().Now();
+  std::vector<std::pair<std::string, const FlowEntry*>> rows;
+  flows_.ForEach([&](const net::PartitionKey& key, const FlowEntry& entry) {
+    rows.emplace_back(net::ToString(key), &entry);
+  });
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  os << rows.size() << " flow(s), t=" << now << "ns\n";
+  for (const auto& [name, e] : rows) {
+    os << "  " << name
+       << (e->status == FlowStatus::kActive ? " active" : " init-pending")
+       << " cur_seq=" << e->cur_seq << " acked=" << e->last_acked_seq
+       << " lease_expiry=" << e->lease_expiry
+       << (e->LeaseActive(now) ? " (live)" : " (expired)")
+       << " in_flight=" << (e->cur_seq - e->last_acked_seq) << "\n";
+  }
+}
+
 void RedPlaneSwitch::Reset() {
   ++epoch_;
+  if (atap_.armed()) {
+    // key 0 = "this component dropped every lease" (SRAM lost on failure).
+    atap_.Emit(audit::Tap::kLeaseReleased, 0);
+  }
   flows_.Reset();
   retx_counts_.clear();
   init_sent_at_.clear();

@@ -27,6 +27,8 @@
 #include <memory>
 #include <optional>
 
+#include "audit/diag.h"
+#include "audit/taps.h"
 #include "core/app.h"
 #include "core/epsilon.h"
 #include "core/flow_table.h"
@@ -68,6 +70,12 @@ struct RedPlaneConfig {
   /// Max loops through the network buffer while awaiting a lease grant
   /// before a packet is dropped (loss is permitted by the model).
   std::uint32_t max_init_loops = 64;
+  /// TEST-ONLY protocol mutation: inflates the switch's believed lease
+  /// expiry by this much beyond the conservative send-time derivation,
+  /// breaking the invariant that the switch never outlives the store's
+  /// lease.  Used to prove the audit SingleOwnerMonitor catches broken
+  /// lease handling; must stay 0 in production configs.
+  SimDuration mutation_lease_extension = 0;
 };
 
 class RedPlaneSwitch : public dp::PipelineHandler {
@@ -131,6 +139,9 @@ class RedPlaneSwitch : public dp::PipelineHandler {
   /// Releases an output packet toward its destination.
   void ReleaseOutput(dp::SwitchContext& ctx, net::Packet pkt);
 
+  /// Renders the live lease/flow table (failure diagnostics).
+  void DumpLeaseTable(std::ostream& os) const;
+
   dp::SwitchNode& node_;
   SwitchApp& app_;
   std::function<net::Ipv4Addr(const net::PartitionKey&)> shard_for_;
@@ -138,6 +149,8 @@ class RedPlaneSwitch : public dp::PipelineHandler {
   FlowTable flows_;
   obs::MetricRegistry stats_;
   obs::TraceHandle trace_;
+  audit::TapHandle atap_;
+  audit::DiagToken diag_;
 
   /// Typed handles into stats_ for every hot-path counter (registered once
   /// at construction; updated O(1) per packet).
@@ -165,6 +178,8 @@ class RedPlaneSwitch : public dp::PipelineHandler {
     obs::Counter snapshot_slots_sent;
     obs::Counter epsilon_violations;
     obs::Histogram write_rtt_us;
+    obs::Gauge epsilon_bound_us;
+    obs::Histogram epsilon_staleness_us;
   };
   Metrics m_;
 

@@ -1,9 +1,11 @@
 #include "obs/tracer.h"
 
 #include <algorithm>
+#include <array>
 #include <iomanip>
 #include <map>
 #include <ostream>
+#include <set>
 #include <sstream>
 
 #include "obs/json.h"
@@ -134,21 +136,21 @@ void Tracer::Reset() {
   ++generation_;
 }
 
-void Tracer::WriteChromeTrace(std::ostream& os, const TraceFilter& filter) const {
+void WriteChromeTraceRecords(std::ostream& os,
+                             std::span<const TraceRecord> records,
+                             std::span<const std::string> components) {
   os << "{\"traceEvents\": [";
   bool first = true;
   // Thread-name metadata: one sim "thread" per component.
-  for (std::size_t i = 0; i < components_.size(); ++i) {
+  for (std::size_t i = 0; i < components.size(); ++i) {
     if (!first) os << ",";
     first = false;
     os << "\n  {\"ph\": \"M\", \"pid\": 1, \"tid\": " << i
        << ", \"name\": \"thread_name\", \"args\": {\"name\": \""
-       << JsonEscape(components_[i]) << "\"}}";
+       << JsonEscape(components[i]) << "\"}}";
   }
   char ts_buf[48];
-  for (std::size_t i = 0; i < count_; ++i) {
-    const TraceRecord& r = ring_[(head_ + i) % ring_.size()];
-    if (!filter.Matches(r, *this)) continue;
+  for (const TraceRecord& r : records) {
     if (!first) os << ",";
     first = false;
     // Chrome trace timestamps are microseconds; keep ns precision.
@@ -159,9 +161,24 @@ void Tracer::WriteChromeTrace(std::ostream& os, const TraceFilter& filter) const
        << ts_buf << ", \"pid\": 1, \"tid\": " << r.component
        << ", \"name\": \"" << EvName(r.ev) << "\", \"args\": {\"flow\": \""
        << std::hex << r.flow << std::dec << "\", \"seq\": " << r.seq
-       << ", \"arg\": " << JsonNumber(r.arg) << "}}";
+       << ", \"arg\": " << JsonNumber(r.arg);
+    if (r.orphan) os << ", \"orphan\": true";
+    os << "}}";
   }
   os << "\n]}\n";
+}
+
+void Tracer::WriteChromeTrace(std::ostream& os, const TraceFilter& filter) const {
+  // Orphan ends must be computed over the *full* record set (a filter could
+  // otherwise hide a begin and fake an orphan), then filtered for export.
+  std::vector<TraceRecord> records = Records();
+  MarkOrphanedEnds(records);
+  std::vector<TraceRecord> selected;
+  selected.reserve(records.size());
+  for (const TraceRecord& r : records) {
+    if (filter.Matches(r, *this)) selected.push_back(r);
+  }
+  WriteChromeTraceRecords(os, selected, components_);
 }
 
 std::string Tracer::ChromeTraceJson(const TraceFilter& filter) const {
@@ -196,38 +213,96 @@ constexpr PhaseDef kPhases[] = {
     {"retx_delay", Ev::kReplicationSent, Ev::kRetransmit, true, -1},
 };
 
-}  // namespace
+constexpr std::size_t kNumPhases = sizeof(kPhases) / sizeof(kPhases[0]);
 
-std::vector<PhaseStats> Tracer::LatencyBreakdown() const {
-  constexpr std::size_t kNumPhases = sizeof(kPhases) / sizeof(kPhases[0]);
-  std::vector<PhaseStats> stats(kNumPhases);
-  // Open begin events per phase, keyed by (flow, seq) — std::map for
+/// Replays begin/end pairing over `recs` (ascending emission order).  For
+/// every completed pair, calls `on_pair(phase, t_begin, t_end)`.  For every
+/// end-kind record whose begin key was *never seen* in the set (evicted or
+/// never recorded — as opposed to consumed by an earlier end, which chain
+/// fan-out does legitimately), calls `on_orphan(record_index)`.
+template <typename PairFn, typename OrphanFn>
+void ReplayPhases(const std::vector<TraceRecord>& recs, PairFn&& on_pair,
+                  OrphanFn&& on_orphan) {
+  // Open begin events per phase, keyed by (flow, seq) — std::map/set for
   // deterministic behaviour independent of hash seeding.
   std::map<std::pair<std::uint64_t, std::uint64_t>, SimTime> open[kNumPhases];
-  for (std::size_t p = 0; p < kNumPhases; ++p) stats[p].name = kPhases[p].name;
-  for (std::size_t i = 0; i < count_; ++i) {
-    const TraceRecord& r = ring_[(head_ + i) % ring_.size()];
+  std::set<std::pair<std::uint64_t, std::uint64_t>> seen[kNumPhases];
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    const TraceRecord& r = recs[i];
+    bool is_end = false;
+    bool matched = false;
+    bool begin_seen = false;
     for (std::size_t p = 0; p < kNumPhases; ++p) {
       const PhaseDef& def = kPhases[p];
       const std::uint64_t seq_key = def.seq_matched ? r.seq : 0;
+      const auto key = std::make_pair(r.flow, seq_key);
       if (r.ev == def.begin) {
         // Keep the earliest unmatched begin for this key.
-        open[p].emplace(std::make_pair(r.flow, seq_key), r.t);
-      } else if (r.ev == def.end) {
-        auto it = open[p].find(std::make_pair(r.flow, seq_key));
+        open[p].emplace(key, r.t);
+        seen[p].insert(key);
+      }
+      if (r.ev == def.end) {
+        // A seq-0 record of an end-event kind is a control message (lease
+        // acquire / renew) — those have no begin partner by design and are
+        // never orphans.
+        if (!def.seq_matched || r.seq != 0) is_end = true;
+        auto it = open[p].find(key);
         if (it != open[p].end()) {
-          stats[p].samples_us.Add(static_cast<double>(r.t - it->second) / 1e3);
+          matched = true;
+          on_pair(p, it->second, r.t);
           open[p].erase(it);
           // A mutually-exclusive alternative phase consumed the same begin:
           // close it too so a later begin can't pair against a stale one.
           if (def.alt >= 0) {
-            open[static_cast<std::size_t>(def.alt)].erase(
-                std::make_pair(r.flow, seq_key));
+            open[static_cast<std::size_t>(def.alt)].erase(key);
           }
         }
+        if (seen[p].count(key) != 0) begin_seen = true;
       }
     }
+    if (is_end && !matched && !begin_seen) on_orphan(i);
   }
+}
+
+}  // namespace
+
+std::span<const ProtocolPair> ProtocolPairs() {
+  static const auto pairs = [] {
+    std::array<ProtocolPair, kNumPhases> out{};
+    for (std::size_t p = 0; p < kNumPhases; ++p) {
+      out[p] = ProtocolPair{kPhases[p].begin, kPhases[p].end,
+                            kPhases[p].seq_matched};
+    }
+    return out;
+  }();
+  return pairs;
+}
+
+std::size_t MarkOrphanedEnds(std::vector<TraceRecord>& records) {
+  std::size_t marked = 0;
+  ReplayPhases(
+      records, [](std::size_t, SimTime, SimTime) {},
+      [&](std::size_t i) {
+        records[i].orphan = true;
+        ++marked;
+      });
+  return marked;
+}
+
+std::size_t Tracer::CountOrphanedEnds() const {
+  std::vector<TraceRecord> records = Records();
+  return MarkOrphanedEnds(records);
+}
+
+std::vector<PhaseStats> Tracer::LatencyBreakdown() const {
+  std::vector<PhaseStats> stats(kNumPhases);
+  for (std::size_t p = 0; p < kNumPhases; ++p) stats[p].name = kPhases[p].name;
+  ReplayPhases(
+      Records(),
+      [&](std::size_t p, SimTime begin_t, SimTime end_t) {
+        stats[p].samples_us.Add(static_cast<double>(end_t - begin_t) / 1e3);
+      },
+      [](std::size_t) {});
   std::vector<PhaseStats> out;
   for (auto& s : stats) {
     if (!s.samples_us.Empty()) out.push_back(std::move(s));

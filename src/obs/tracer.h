@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -34,10 +35,40 @@ struct TraceRecord {
   std::uint64_t order = 0;  // global emission index; breaks timestamp ties
   Ev ev = Ev::kIngress;
   std::uint16_t component = 0;
+  /// End-of-span record whose begin partner is absent from the record set
+  /// (evicted from the ring, or never recorded).  Computed at export time by
+  /// MarkOrphanedEnds; never set on the hot emit path.
+  bool orphan = false;
   std::uint64_t flow = 0;
   std::uint64_t seq = 0;
   double arg = 0.0;
 };
+
+/// One begin→end protocol-span pairing (the pairings behind
+/// Tracer::LatencyBreakdown).  Exported so the auditor's causal-slice
+/// extraction can compute happens-before closure with the same rules the
+/// tracer uses.
+struct ProtocolPair {
+  Ev begin;
+  Ev end;
+  bool seq_matched;  // pair on (flow, seq); otherwise on flow alone
+};
+
+/// All begin/end pairings the tracer reconstructs protocol phases from.
+std::span<const ProtocolPair> ProtocolPairs();
+
+/// Marks every end-of-span record in `records` (ascending emission order)
+/// whose begin partner never appears earlier in the set — the signature of a
+/// begin evicted from the ring while its span was still open.  Returns the
+/// number of records marked.
+std::size_t MarkOrphanedEnds(std::vector<TraceRecord>& records);
+
+/// Writes Chrome trace_event JSON for an explicit record set.  Used by the
+/// tracer's own export and by the auditor's causal slices; `components[id]`
+/// names the component ids referenced by the records.
+void WriteChromeTraceRecords(std::ostream& os,
+                             std::span<const TraceRecord> records,
+                             std::span<const std::string> components);
 
 /// Record-selection predicate for queries and exports.  Zero/empty fields
 /// match everything.
@@ -72,6 +103,7 @@ class Tracer {
   /// Interns `name`, returning its stable component id.
   std::uint16_t Intern(std::string_view name);
   const std::string& ComponentName(std::uint16_t id) const;
+  std::size_t NumComponents() const { return components_.size(); }
   /// Bumps whenever the name table is cleared; TraceHandles revalidate
   /// their cached id against this.
   std::uint64_t generation() const { return generation_; }
@@ -87,6 +119,9 @@ class Tracer {
   std::uint64_t evicted() const { return evicted_; }
   /// Records in emission order (oldest first), optionally filtered.
   std::vector<TraceRecord> Records(const TraceFilter& filter = {}) const;
+  /// End-of-span records currently in the ring whose begin partner was
+  /// evicted (or never recorded); see MarkOrphanedEnds.
+  std::size_t CountOrphanedEnds() const;
 
   /// Drops recorded events (keeps component names and configuration).
   void Clear();

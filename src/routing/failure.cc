@@ -19,21 +19,35 @@ void FailureInjector::ScheduleLinkFailure(sim::Link* link, SimTime at,
 }
 
 void FailureInjector::FailNode(sim::Node* node) {
+  if (atap_.armed()) {
+    atap_.Emit(audit::Tap::kNodeDown, 0, 0,
+               static_cast<std::uint64_t>(node->id()));
+  }
   node->SetUp(false);
   fabric_.NotifyTopologyChange();
 }
 
 void FailureInjector::RecoverNode(sim::Node* node) {
+  if (atap_.armed()) {
+    atap_.Emit(audit::Tap::kNodeUp, 0, 0,
+               static_cast<std::uint64_t>(node->id()));
+  }
   node->SetUp(true);
   fabric_.NotifyTopologyChange();
 }
 
 void FailureInjector::FailLink(sim::Link* link) {
+  if (atap_.armed()) {
+    atap_.Emit(audit::Tap::kLinkCut, 0);
+  }
   link->SetUp(false);
   fabric_.NotifyTopologyChange();
 }
 
 void FailureInjector::RecoverLink(sim::Link* link) {
+  if (atap_.armed()) {
+    atap_.Emit(audit::Tap::kLinkRestored, 0);
+  }
   link->SetUp(true);
   fabric_.NotifyTopologyChange();
 }

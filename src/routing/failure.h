@@ -5,6 +5,7 @@
 // after the configured detection delay — the sequence behind Fig. 14.
 #pragma once
 
+#include "audit/taps.h"
 #include "routing/ecmp.h"
 #include "sim/link.h"
 #include "sim/node.h"
@@ -32,6 +33,9 @@ class FailureInjector {
  private:
   sim::Simulator& sim_;
   RoutingFabric& fabric_;
+  /// Injected faults are published as audit environment events so causal
+  /// slices can show the fault that preceded a violation.
+  audit::TapHandle atap_{"failure_injector"};
 };
 
 }  // namespace redplane::routing

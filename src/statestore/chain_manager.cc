@@ -58,6 +58,10 @@ void ChainManager::Probe() {
     active_ = std::move(survivors);
     ++reconfigurations_;
     Rewire();
+    if (atap_.armed()) {
+      atap_.Emit(audit::Tap::kChainReconfig, 0, reconfigurations_,
+                 active_.size());
+    }
     // A middle/tail splice may have lost chain-internal forwards; resync
     // every surviving downstream replica from the head to restore the
     // prefix property (management-plane copy).
@@ -69,8 +73,9 @@ void ChainManager::Probe() {
       for (std::size_t i = 1; i < active_.size(); ++i) {
         StateStoreServer* target = active_[i];
         sim_.Schedule(config_.resync_delay,
-                      [target, copy = snapshot]() mutable {
+                      [this, target, copy = snapshot]() mutable {
                         if (target->IsUp()) {
+                          EmitResyncCommits(copy);
                           target->ImportFlows(std::move(copy));
                         }
                       });
@@ -108,11 +113,25 @@ void ChainManager::Readmit(StateStoreServer* replica) {
         std::remove(rejoining_.begin(), rejoining_.end(), replica),
         rejoining_.end());
     if (!replica->IsUp()) return;  // died again during resync
+    EmitResyncCommits(snapshot);
     replica->ImportFlows(std::move(snapshot));
     active_.push_back(replica);
     ++reconfigurations_;
     Rewire();
+    if (atap_.armed()) {
+      atap_.Emit(audit::Tap::kChainReconfig, 0, reconfigurations_,
+                 active_.size());
+    }
   });
+}
+
+void ChainManager::EmitResyncCommits(
+    const std::unordered_map<net::PartitionKey, FlowRecord>& flows) {
+  if (!atap_.armed()) return;
+  for (const auto& [key, rec] : flows) {
+    atap_.Emit(audit::Tap::kResyncCommit, net::HashPartitionKey(key),
+               rec.last_applied_seq);
+  }
 }
 
 }  // namespace redplane::store

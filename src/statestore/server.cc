@@ -16,6 +16,7 @@ StateStoreServer::StateStoreServer(sim::Simulator& sim, NodeId id,
                                    std::string name, net::Ipv4Addr ip,
                                    StoreConfig config)
     : Node(sim, id, std::move(name)), ip_(ip), config_(config) {
+  atap_.SetName(this->name());
   auto& reg = counters();
   m_.non_protocol_drops = reg.RegisterCounter("non_protocol_drops");
   m_.malformed_drops = reg.RegisterCounter("malformed_drops");
@@ -75,6 +76,11 @@ void StateStoreServer::SetUp(bool up) {
     waiting_reads_.clear();
     busy_until_ = 0;
     m_.failures.Add();
+    if (atap_.armed()) {
+      // This replica's DRAM records are gone; audit baselines derived from
+      // them (sequence filter positions) must be forgotten too.
+      atap_.Emit(audit::Tap::kStoreReset, 0);
+    }
   }
 }
 
@@ -197,13 +203,22 @@ void StateStoreServer::HandleRepl(MsgView msg) {
     }
     return;
   }
-  if (msg.seq() <= rec.last_applied_seq) {
+  if (msg.seq() <= rec.last_applied_seq &&
+      !config_.mutations.disable_seq_filter) {
     // Stale or duplicate (Fig. 6b): do not apply — the stored state is at
     // least as new, and is already durable chain-wide.  Ack with the
     // applied sequence number so the switch clears its retransmit buffer,
     // and release any piggybacked output (its effects are subsumed by the
     // newer durable state).  The piggyback bytes are echoed verbatim.
     m_.stale_writes.Add();
+    if (atap_.armed()) {
+      const std::uint64_t key_hash = net::HashPartitionKey(msg.key());
+      atap_.Emit(audit::Tap::kStoreFiltered, key_hash, msg.seq(),
+                 rec.last_applied_seq);
+      // The ack about to be sent acknowledges seq already durable
+      // chain-wide — legal evidence for the chain-commit monitor.
+      atap_.Emit(audit::Tap::kDupAckDurable, key_hash, rec.last_applied_seq);
+    }
     Msg ack;
     ack.type = MsgType::kAck;
     ack.ack = AckKind::kWriteAck;
@@ -286,13 +301,20 @@ void StateStoreServer::ApplyAndContinue(MsgView msg) {
       break;
     case MsgType::kLeaseRenewReq:
       rec.exists = true;
-      if (msg.seq() > rec.last_applied_seq) {
+      if (msg.seq() > rec.last_applied_seq ||
+          config_.mutations.disable_seq_filter) {
+        const std::uint64_t prev_applied = rec.last_applied_seq;
         rec.state = msg.state().ToVector();
         rec.last_applied_seq = msg.seq();
         if (trace().armed()) {
           trace().Emit(obs::Ev::kStoreApplied,
                        net::HashPartitionKey(msg.key()), msg.seq(),
                        static_cast<double>(msg.state().size()));
+        }
+        if (atap_.armed()) {
+          atap_.Emit(audit::Tap::kStoreApplied,
+                     net::HashPartitionKey(msg.key()), msg.seq(),
+                     prev_applied);
         }
       }
       rec.owner = msg.reply_to();
@@ -341,7 +363,7 @@ void StateStoreServer::ApplyAndContinue(MsgView msg) {
 }
 
 void StateStoreServer::ForwardOrRespond(MsgView msg) {
-  if (successor_.has_value()) {
+  if (successor_.has_value() && !config_.mutations.early_chain_ack) {
     msg.SetChainHop(msg.chain_hop() + 1);
     m_.chain_forwards.Add();
     SendRaw(*successor_, msg.bytes());
@@ -366,6 +388,13 @@ void StateStoreServer::Respond(const MsgView& request) {
   if (trace().armed()) {
     trace().Emit(obs::Ev::kStoreResponded,
                  net::HashPartitionKey(request.key()), request.seq());
+  }
+  if (atap_.armed() && IsTail() && request.ack() == AckKind::kWriteAck) {
+    // The tail answering a decided write is the chain-wide commit point —
+    // emitted before the response leaves so the commit-order monitor sees
+    // commit evidence strictly before the switch's ack-released event.
+    atap_.Emit(audit::Tap::kTailCommit, net::HashPartitionKey(request.key()),
+               request.seq());
   }
   SendMsg(request.reply_to(), resp);
 }

@@ -34,6 +34,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "audit/taps.h"
 #include "core/protocol.h"
 #include "net/packet.h"
 #include "sim/node.h"
@@ -52,6 +53,19 @@ struct StoreConfig {
   /// flow (e.g. a NAT allocation from the shared port pool, §6).  When
   /// empty, new flows start with empty state.
   std::function<std::vector<std::byte>(const net::PartitionKey&)> initializer;
+
+  /// TEST-ONLY protocol mutations: deliberately broken behaviors used to
+  /// prove the audit monitors detect real protocol bugs.  Both must stay
+  /// false in production configs.
+  struct ProtocolMutations {
+    /// Disables the per-flow sequence filter (Fig. 6b): a stale or duplicate
+    /// write is re-applied instead of being answered from durable state.
+    bool disable_seq_filter = false;
+    /// The head answers writes itself instead of forwarding down the chain:
+    /// acks escape before chain-wide commit.
+    bool early_chain_ack = false;
+  };
+  ProtocolMutations mutations;
 };
 
 /// Per-flow record held by every replica of a shard.
@@ -184,6 +198,7 @@ class StateStoreServer : public sim::Node {
 
   net::Ipv4Addr ip_;
   StoreConfig config_;
+  audit::TapHandle atap_;
   std::optional<net::Ipv4Addr> successor_;
   bool is_head_ = true;
   std::unordered_map<net::PartitionKey, FlowRecord> flows_;

@@ -3,6 +3,8 @@
 // store, ECMP routing with failure detection, and real workloads.
 #include <gtest/gtest.h>
 
+#include "tests/audit_diag.h"
+
 #include "apps/epc_sgw.h"
 #include "apps/heavy_hitter.h"
 #include "apps/nat.h"

@@ -4,6 +4,8 @@
 // migrates each flow from its own shard.
 #include <gtest/gtest.h>
 
+#include "tests/audit_diag.h"
+
 #include <set>
 
 #include "core/redplane_switch.h"

@@ -1,0 +1,486 @@
+// Fault-campaign runner: sweeps seeds × failure scenarios with the online
+// protocol auditor armed, and reports what it saw.
+//
+// Each run builds the paper's testbed (Appendix D), deploys a counter app
+// under RedPlane on both aggregation switches, drives traffic from an
+// external host while injecting the scenario's fault, and checks the
+// protocol live with src/audit: single lease owner, sequence monotonicity,
+// chain-commit-before-ack, ε staleness, and per-flow counter
+// linearizability (inputs recorded at injection, outputs at delivery).
+//
+// Outputs: a machine-readable JSON report, a markdown summary, and — for
+// every violation — a causal trace slice as Perfetto-loadable JSON plus a
+// human-readable text rendering.
+//
+// Exit codes: 0 = clean (or, with --mutate, the expected monitor fired);
+// 1 = invariant violation on a clean run; 2 = a --mutate run where the
+// auditor stayed silent (the oracle is broken).
+//
+// Usage:
+//   campaign [--seeds=5] [--scenario=all] [--out-dir=campaign_out]
+//            [--packets=120] [--mutate=none|lease|chain|seq]
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "audit/auditor.h"
+#include "audit/lin_feed.h"
+#include "audit/slice.h"
+#include "core/redplane_switch.h"
+#include "net/codec.h"
+#include "obs/json.h"
+#include "obs/tracer.h"
+#include "routing/failure.h"
+#include "routing/topology.h"
+#include "statestore/chain_manager.h"
+
+namespace redplane {
+namespace {
+
+using routing::BuildTestbed;
+using routing::ExternalHostIp;
+using routing::RackServerIp;
+using routing::Testbed;
+using routing::TestbedConfig;
+
+/// Counter app that echoes the sender's 8-byte marker and appends the
+/// per-flow count, so the receiving host can feed (marker, observed value)
+/// pairs to the linearizability checker.  The marker travels in the payload
+/// because packet *ids* are not stable across failover: a packet buffered
+/// during lease acquisition is re-injected as a fresh packet.
+class StampedCounterApp : public core::SwitchApp {
+ public:
+  std::string_view name() const override { return "stamped_counter"; }
+  core::ProcessResult Process(core::AppContext&, net::Packet pkt,
+                              std::vector<std::byte>& state) override {
+    const std::uint64_t count =
+        core::StateAs<std::uint64_t>(state).value_or(0) + 1;
+    core::SetState(state, count);
+    std::uint64_t marker = 0;
+    if (pkt.payload.size() >= sizeof(marker)) {
+      std::memcpy(&marker, pkt.payload.data(), sizeof(marker));
+    }
+    std::vector<std::byte> stamped(2 * sizeof(std::uint64_t));
+    std::memcpy(stamped.data(), &marker, sizeof(marker));
+    std::memcpy(stamped.data() + sizeof(marker), &count, sizeof(count));
+    pkt.payload = net::BufferView(std::move(stamped));
+    core::ProcessResult result;
+    result.state_modified = true;
+    result.outputs.push_back(std::move(pkt));
+    return result;
+  }
+};
+
+std::uint64_t FlowHash(const net::FlowKey& flow) {
+  return net::HashPartitionKey(net::PartitionKey::OfFlow(flow));
+}
+
+struct MutationSpec {
+  bool lease = false;  // switch lease belief inflated past the store's
+  bool seq = false;    // store sequence filter disabled
+  bool chain = false;  // head acks before chain-wide commit
+  bool any() const { return lease || seq || chain; }
+};
+
+struct ViolationOut {
+  std::string monitor;
+  std::string detail;
+  SimTime at = 0;
+  std::size_t slice_events = 0;
+  bool slice_closed = false;
+  std::string slice_json_path;
+  std::string slice_text_path;
+};
+
+struct PhaseOut {
+  std::string name;
+  std::size_t count = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+struct RunResult {
+  std::string scenario;
+  std::uint64_t seed = 0;
+  int sent = 0;
+  int delivered = 0;
+  std::uint64_t audit_events = 0;
+  std::size_t lin_failures = 0;
+  std::vector<ViolationOut> violations;
+  std::vector<PhaseOut> phases;
+  double write_rtt_p50_us = 0;
+  double write_rtt_p99_us = 0;
+};
+
+struct Scenario {
+  std::string name;
+  const char* description;
+};
+
+const std::vector<Scenario>& Scenarios() {
+  static const std::vector<Scenario> kScenarios = {
+      {"switch_crash",
+       "fail the aggregation switch carrying the flows; recover it later"},
+      {"link_flap",
+       "cut the fabric link to the active switch; traffic reroutes, then the "
+       "link returns"},
+      {"lease_race",
+       "short leases; the active switch dies right at a lease boundary"},
+      {"store_failover",
+       "kill a mid-chain store replica; the chain manager splices and later "
+       "readmits it"},
+  };
+  return kScenarios;
+}
+
+RunResult RunOne(const Scenario& sc, std::uint64_t seed,
+                 const MutationSpec& mut, const std::string& out_dir,
+                 int packets_per_flow) {
+  RunResult out;
+  out.scenario = sc.name;
+  out.seed = seed;
+
+  const bool short_lease = sc.name == "lease_race";
+  const SimDuration lease =
+      short_lease ? Milliseconds(10) : Milliseconds(50);
+
+  net::ResetPacketIds();
+  sim::Simulator sim;
+  TestbedConfig cfg;
+  cfg.seed = seed;
+  cfg.store.lease_period = lease;
+  cfg.store.mutations.disable_seq_filter = mut.seq;
+  cfg.store.mutations.early_chain_ack = mut.chain;
+  cfg.fabric.failure_detection_delay = Milliseconds(2);
+  Testbed tb = BuildTestbed(sim, cfg);
+
+  obs::Tracer tracer;
+  tracer.SetClock([&sim] { return sim.Now(); });
+  tracer.SetEnabled(true);
+  obs::Tracer* prev_tracer = obs::SetGlobalTracer(&tracer);
+
+  audit::Auditor auditor;
+  auditor.SetClock([&sim] { return sim.Now(); });
+  auditor.ArmStandardMonitors();
+  auditor.SetTracer(&tracer);
+  audit::SetGlobalAuditor(&auditor);
+  auditor.SetEnabled(true);
+  audit::LinearizabilityFeed feed(&auditor);
+
+  store::ChainManager mgr(sim, tb.store,
+                          store::ChainManagerConfig{
+                              .probe_interval = Milliseconds(5),
+                              .resync_delay = Milliseconds(2),
+                              .readmit_recovered = true,
+                          });
+  mgr.Start();
+
+  StampedCounterApp app;
+  core::RedPlaneConfig rp_cfg;
+  rp_cfg.lease_period = lease;
+  rp_cfg.renew_interval = lease / 2;
+  if (mut.lease) rp_cfg.mutation_lease_extension = Seconds(10);
+  auto shard_for = [&mgr](const net::PartitionKey&) { return mgr.HeadIp(); };
+  std::array<std::unique_ptr<core::RedPlaneSwitch>, 2> rp;
+  for (int i = 0; i < 2; ++i) {
+    rp[i] = std::make_unique<core::RedPlaneSwitch>(*tb.agg[i], app, shard_for,
+                                                   rp_cfg);
+    tb.agg[i]->SetPipeline(rp[i].get());
+  }
+  routing::FailureInjector injector(sim, *tb.fabric);
+
+  // Receiver: record every delivered (marker, stamped count).
+  tb.rack_servers[0][0]->SetHandler([&](sim::HostNode&, net::Packet pkt) {
+    ++out.delivered;
+    auto flow = pkt.Flow();
+    if (!flow.has_value() ||
+        pkt.payload.size() < 2 * sizeof(std::uint64_t)) {
+      return;
+    }
+    std::uint64_t marker = 0, value = 0;
+    std::memcpy(&marker, pkt.payload.data(), sizeof(marker));
+    std::memcpy(&value, pkt.payload.data() + sizeof(marker), sizeof(value));
+    // The receiver sees the flow as sent; hash the same key the switch used.
+    feed.Output(FlowHash(*flow), marker, sim.Now(), value);
+  });
+
+  constexpr int kFlows = 4;
+  auto flow_key = [seed](int f) {
+    return net::FlowKey{ExternalHostIp(0), RackServerIp(0, 0),
+                        static_cast<std::uint16_t>(20000 + 17 * f +
+                                                   (seed % 7) * 101),
+                        80, net::IpProto::kUdp};
+  };
+  std::uint64_t next_marker = 0;
+  auto send_round = [&]() {
+    for (int f = 0; f < kFlows; ++f) {
+      net::Packet pkt = net::MakeUdpPacket(flow_key(f), 0);
+      const std::uint64_t marker = ++next_marker;
+      std::vector<std::byte> payload(sizeof(marker));
+      std::memcpy(payload.data(), &marker, sizeof(marker));
+      pkt.payload = net::BufferView(std::move(payload));
+      feed.Input(FlowHash(flow_key(f)), marker, sim.Now());
+      ++out.sent;
+      tb.external[0]->Send(std::move(pkt));
+    }
+  };
+
+  // Warmup: establish leases and find the switch actually carrying traffic.
+  const int warmup_rounds = std::min(5, packets_per_flow);
+  for (int i = 0; i < warmup_rounds; ++i) {
+    send_round();
+    sim.RunUntil(sim.Now() + Microseconds(500));
+  }
+  sim.RunUntil(sim.Now() + Milliseconds(3));
+  const bool agg0_active =
+      rp[0]->stats().Get("app_pkts") >= rp[1]->stats().Get("app_pkts");
+  dp::SwitchNode* active = agg0_active ? tb.agg[0] : tb.agg[1];
+
+  // Inject the scenario's fault.
+  const SimTime t0 = sim.Now();
+  if (sc.name == "switch_crash") {
+    injector.ScheduleNodeFailure(active, t0 + Milliseconds(2),
+                                 t0 + Milliseconds(60));
+  } else if (sc.name == "link_flap") {
+    sim::Link* link = tb.network->FindLink(tb.core, active);
+    if (link != nullptr) {
+      injector.ScheduleLinkFailure(link, t0 + Milliseconds(2),
+                                   t0 + Milliseconds(60));
+    }
+  } else if (sc.name == "lease_race") {
+    // Die just as the current leases are about to lapse.
+    injector.ScheduleNodeFailure(active, t0 + lease - Microseconds(200),
+                                 t0 + lease + Milliseconds(40));
+  } else if (sc.name == "store_failover") {
+    store::StateStoreServer* victim =
+        tb.store.size() > 1 ? tb.store[1] : tb.store[0];
+    injector.ScheduleNodeFailure(victim, t0 + Milliseconds(2),
+                                 t0 + Milliseconds(40));
+  }
+
+  // Keep traffic flowing across the fault window and the recovery.
+  for (int i = warmup_rounds; i < packets_per_flow; ++i) {
+    send_round();
+    sim.RunUntil(sim.Now() + Microseconds(800));
+  }
+  // Bounded drain: the chain manager's periodic probe keeps the event queue
+  // non-empty forever, so run to a horizon rather than to quiescence.
+  sim.RunUntil(sim.Now() + Milliseconds(150));
+  out.lin_failures = feed.CloseAll();
+
+  // Harvest results.
+  out.audit_events = auditor.events_seen();
+  std::filesystem::create_directories(out_dir);
+  int vi = 0;
+  for (const auto& v : auditor.violations()) {
+    ViolationOut vo;
+    vo.monitor = v.monitor;
+    vo.detail = v.detail;
+    vo.at = v.at.t;
+    vo.slice_events = v.slice.events.size();
+    vo.slice_closed = audit::IsHappensBeforeClosed(v.slice);
+    const std::string stem = out_dir + "/" + sc.name + "_s" +
+                             std::to_string(seed) + "_v" + std::to_string(vi);
+    vo.slice_json_path = stem + ".slice.json";
+    vo.slice_text_path = stem + ".slice.txt";
+    std::ofstream(vo.slice_json_path) << v.slice.PerfettoJson();
+    std::ofstream(vo.slice_text_path) << v.slice.Text();
+    out.violations.push_back(std::move(vo));
+    ++vi;
+  }
+  for (const auto& phase : tracer.LatencyBreakdown()) {
+    PhaseOut po;
+    po.name = phase.name;
+    po.count = phase.samples_us.Count();
+    po.p50_us = phase.samples_us.Percentile(50);
+    po.p99_us = phase.samples_us.Percentile(99);
+    out.phases.push_back(std::move(po));
+  }
+  for (const auto& reg : {rp[0].get(), rp[1].get()}) {
+    for (const auto& mv : reg->stats().Snapshot().values) {
+      if (mv.name == "write_rtt_us" && mv.value > 0) {
+        out.write_rtt_p50_us = std::max(out.write_rtt_p50_us, mv.hist_p50);
+        out.write_rtt_p99_us = std::max(out.write_rtt_p99_us, mv.hist_p99);
+      }
+    }
+  }
+
+  obs::SetGlobalTracer(prev_tracer);
+  // `auditor` uninstalls itself from the global slot on destruction.
+  return out;
+}
+
+void WriteJsonReport(std::ostream& os, const std::vector<RunResult>& runs,
+                     const MutationSpec& mut) {
+  os << "{\"mutation\": {\"lease\": " << (mut.lease ? "true" : "false")
+     << ", \"seq\": " << (mut.seq ? "true" : "false")
+     << ", \"chain\": " << (mut.chain ? "true" : "false") << "},\n";
+  os << " \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& r = runs[i];
+    os << "  {\"scenario\": \"" << obs::JsonEscape(r.scenario)
+       << "\", \"seed\": " << r.seed << ", \"sent\": " << r.sent
+       << ", \"delivered\": " << r.delivered
+       << ", \"audit_events\": " << r.audit_events
+       << ", \"lin_failures\": " << r.lin_failures
+       << ", \"write_rtt_p50_us\": " << obs::JsonNumber(r.write_rtt_p50_us)
+       << ", \"write_rtt_p99_us\": " << obs::JsonNumber(r.write_rtt_p99_us)
+       << ",\n   \"phases\": [";
+    for (std::size_t p = 0; p < r.phases.size(); ++p) {
+      const PhaseOut& ph = r.phases[p];
+      os << (p ? ", " : "") << "{\"name\": \"" << obs::JsonEscape(ph.name)
+         << "\", \"count\": " << ph.count
+         << ", \"p50_us\": " << obs::JsonNumber(ph.p50_us)
+         << ", \"p99_us\": " << obs::JsonNumber(ph.p99_us) << "}";
+    }
+    os << "],\n   \"violations\": [";
+    for (std::size_t v = 0; v < r.violations.size(); ++v) {
+      const ViolationOut& vo = r.violations[v];
+      os << (v ? ", " : "") << "{\"monitor\": \"" << obs::JsonEscape(vo.monitor)
+         << "\", \"t_ns\": " << vo.at
+         << ", \"slice_events\": " << vo.slice_events
+         << ", \"slice_hb_closed\": " << (vo.slice_closed ? "true" : "false")
+         << ", \"slice_json\": \"" << obs::JsonEscape(vo.slice_json_path)
+         << "\", \"detail\": \"" << obs::JsonEscape(vo.detail) << "\"}";
+    }
+    os << "]}" << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  os << "]}\n";
+}
+
+void WriteMarkdownReport(std::ostream& os, const std::vector<RunResult>& runs) {
+  os << "# Fault campaign report\n\n";
+  os << "| scenario | seed | sent | delivered | audit events | violations | "
+        "lin failures | write RTT p99 (µs) |\n";
+  os << "|---|---|---|---|---|---|---|---|\n";
+  std::size_t total_violations = 0;
+  for (const RunResult& r : runs) {
+    total_violations += r.violations.size() + r.lin_failures;
+    os << "| " << r.scenario << " | " << r.seed << " | " << r.sent << " | "
+       << r.delivered << " | " << r.audit_events << " | "
+       << r.violations.size() << " | " << r.lin_failures << " | "
+       << obs::JsonNumber(r.write_rtt_p99_us) << " |\n";
+  }
+  os << "\nTotal violations (monitors + linearizability): " << total_violations
+     << "\n";
+  for (const RunResult& r : runs) {
+    for (const auto& v : r.violations) {
+      os << "\n## " << r.scenario << " seed " << r.seed << ": " << v.monitor
+         << "\n\n"
+         << v.detail << "\n\nslice: `" << v.slice_json_path << "` ("
+         << v.slice_events << " events, happens-before "
+         << (v.slice_closed ? "closed" : "NOT CLOSED") << ")\n";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace redplane
+
+int main(int argc, char** argv) {
+  using namespace redplane;
+
+  int seeds = 5;
+  int packets = 120;
+  std::string out_dir = "campaign_out";
+  std::string scenario_filter = "all";
+  std::string mutate = "none";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* prefix) -> const char* {
+      const std::size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--seeds=")) {
+      seeds = std::max(1, std::atoi(v));
+    } else if (const char* v = value("--packets=")) {
+      packets = std::max(10, std::atoi(v));
+    } else if (const char* v = value("--out-dir=")) {
+      out_dir = v;
+    } else if (const char* v = value("--scenario=")) {
+      scenario_filter = v;
+    } else if (const char* v = value("--mutate=")) {
+      mutate = v;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return 64;
+    }
+  }
+
+  MutationSpec mut;
+  if (mutate == "lease") {
+    mut.lease = true;
+  } else if (mutate == "seq") {
+    mut.seq = true;
+  } else if (mutate == "chain") {
+    mut.chain = true;
+  } else if (mutate != "none") {
+    std::cerr << "unknown --mutate mode: " << mutate << "\n";
+    return 64;
+  }
+
+  std::vector<RunResult> runs;
+  for (const Scenario& sc : Scenarios()) {
+    if (scenario_filter != "all" && scenario_filter != sc.name) continue;
+    for (int s = 0; s < seeds; ++s) {
+      const std::uint64_t seed = 42 + 1000ull * static_cast<std::uint64_t>(s);
+      std::cout << "[campaign] " << sc.name << " seed=" << seed << " ..."
+                << std::flush;
+      RunResult r = RunOne(sc, seed, mut, out_dir, packets);
+      std::cout << " sent=" << r.sent << " delivered=" << r.delivered
+                << " violations=" << r.violations.size()
+                << " lin_failures=" << r.lin_failures << "\n";
+      runs.push_back(std::move(r));
+    }
+  }
+  if (runs.empty()) {
+    std::cerr << "no scenario matched --scenario=" << scenario_filter << "\n";
+    return 64;
+  }
+
+  std::filesystem::create_directories(out_dir);
+  {
+    std::ofstream json(out_dir + "/report.json");
+    WriteJsonReport(json, runs, mut);
+    std::ofstream md(out_dir + "/report.md");
+    WriteMarkdownReport(md, runs);
+  }
+  std::cout << "[campaign] wrote " << out_dir << "/report.json and report.md\n";
+
+  std::size_t violations = 0;
+  int delivered = 0;
+  for (const RunResult& r : runs) {
+    violations += r.violations.size() + r.lin_failures;
+    delivered += r.delivered;
+  }
+  if (delivered == 0) {
+    std::cerr << "[campaign] FAIL: no traffic delivered in any run\n";
+    return 1;
+  }
+  if (mut.any()) {
+    if (violations == 0) {
+      std::cerr << "[campaign] FAIL: protocol mutation active but the "
+                   "auditor stayed silent\n";
+      return 2;
+    }
+    std::cout << "[campaign] OK: mutation detected (" << violations
+              << " violation(s))\n";
+    return 0;
+  }
+  if (violations > 0) {
+    std::cerr << "[campaign] FAIL: " << violations
+              << " invariant violation(s) on clean runs (see " << out_dir
+              << ")\n";
+    return 1;
+  }
+  std::cout << "[campaign] OK: all scenarios clean across " << runs.size()
+            << " runs\n";
+  return 0;
+}
