@@ -15,9 +15,14 @@ Two gates, mirroring the campaign binary's own exit-code contract:
     auditor: a silent mutated run means the monitors have gone blind, and
     the job fails even though nothing "broke".
 
+Both gates run twice: once per-packet and once with replication batching on
+(--batching=16), so the monitors are proven to see through batch envelopes
+— clean batched runs stay silent and mutated batched runs are still caught.
+
 Usage:
   ci/campaign.py --campaign build/tools/campaign --out-dir campaign-out
                  [--seeds 5] [--packets 40] [--skip-selftest]
+                 [--skip-batching]
 """
 
 import argparse
@@ -49,34 +54,45 @@ def main():
     ap.add_argument("--packets", type=int, default=40)
     ap.add_argument("--skip-selftest", action="store_true",
                     help="skip the mutation oracle self-test runs")
+    ap.add_argument("--skip-batching", action="store_true",
+                    help="skip the batching-enabled (--batching=16) passes")
     args = ap.parse_args()
 
     out = pathlib.Path(args.out_dir)
     out.mkdir(parents=True, exist_ok=True)
     failures = []
 
-    # Gate 1: clean sweep — all scenarios, auditor armed, must be silent.
-    rc = run(args.campaign, out / "clean",
-             [f"--seeds={args.seeds}", f"--packets={args.packets}"],
-             f"clean sweep ({args.seeds} seeds x all scenarios)")
-    if rc != EXIT_CLEAN_OR_DETECTED:
-        failures.append(
-            f"clean sweep exited {rc}: auditor reported violations "
-            f"(causal slices under {out / 'clean'})")
+    batch_axes = [("", [])]
+    if not args.skip_batching:
+        batch_axes.append(("-batched", ["--batching=16"]))
 
-    # Gate 2: each seeded protocol mutation must trip its monitor.
-    if not args.skip_selftest:
-        for mut in MUTATIONS:
-            rc = run(args.campaign, out / f"mutate-{mut}",
-                     ["--seeds=1", f"--packets={args.packets}",
-                      f"--mutate={mut}"],
-                     f"oracle self-test (mutate={mut})")
-            if rc == EXIT_MUTATION_SILENT:
-                failures.append(
-                    f"mutate={mut}: auditor stayed silent — the monitors "
-                    f"did not catch a seeded protocol bug")
-            elif rc != EXIT_CLEAN_OR_DETECTED:
-                failures.append(f"mutate={mut}: campaign exited {rc}")
+    for suffix, batch_args in batch_axes:
+        axis = "batching on" if batch_args else "per-packet"
+
+        # Gate 1: clean sweep — all scenarios, auditor armed, must be silent.
+        rc = run(args.campaign, out / f"clean{suffix}",
+                 [f"--seeds={args.seeds}", f"--packets={args.packets}"]
+                 + batch_args,
+                 f"clean sweep ({args.seeds} seeds x all scenarios, {axis})")
+        if rc != EXIT_CLEAN_OR_DETECTED:
+            failures.append(
+                f"clean sweep ({axis}) exited {rc}: auditor reported "
+                f"violations (causal slices under {out / f'clean{suffix}'})")
+
+        # Gate 2: each seeded protocol mutation must trip its monitor.
+        if not args.skip_selftest:
+            for mut in MUTATIONS:
+                rc = run(args.campaign, out / f"mutate-{mut}{suffix}",
+                         ["--seeds=1", f"--packets={args.packets}",
+                          f"--mutate={mut}"] + batch_args,
+                         f"oracle self-test (mutate={mut}, {axis})")
+                if rc == EXIT_MUTATION_SILENT:
+                    failures.append(
+                        f"mutate={mut} ({axis}): auditor stayed silent — "
+                        f"the monitors did not catch a seeded protocol bug")
+                elif rc != EXIT_CLEAN_OR_DETECTED:
+                    failures.append(
+                        f"mutate={mut} ({axis}): campaign exited {rc}")
 
     if failures:
         print("\nFAULT CAMPAIGN FAILED:")

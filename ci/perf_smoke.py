@@ -87,6 +87,24 @@ def main():
                 f"{label}: zero-copy path ({results[fast]:.1f} ns) is not "
                 f">=2x faster than copy path ({results[slow]:.1f} ns)")
 
+    # Batch envelope invariants: the envelope is framing, not serialization.
+    # Wrapping a sub-message into a batch (BM_BatchEncode, per item) must be
+    # cheaper than encoding a message from scratch (BM_ProtocolEncode) — if
+    # it is not, EncodeBatchEnvelope has started re-serializing its subs.
+    batch_benches = ["BM_BatchEncode/4", "BM_BatchEncode/16",
+                     "BM_BatchChainHop/4", "BM_BatchChainHop/16"]
+    missing = [b for b in batch_benches if b not in results]
+    if missing:
+        failures.append(f"missing batch benchmarks: {', '.join(missing)}")
+    elif "BM_ProtocolEncode" in results:
+        per_sub = results["BM_BatchEncode/16"] / 16
+        if per_sub >= results["BM_ProtocolEncode"]:
+            failures.append(
+                f"batch encode per sub-message ({per_sub:.1f} ns) costs as "
+                f"much as a full message encode "
+                f"({results['BM_ProtocolEncode']:.1f} ns) — the envelope is "
+                f"re-serializing")
+
     # Armed-but-silent auditor overhead on the hop paths: the tap guard is
     # one global load + predictable branch, so the armed bench must stay
     # within 5% of its unarmed twin.  The +0.5 ns epsilon absorbs timer

@@ -176,10 +176,13 @@ net::Packet MakeProtocolPacketRaw(net::Ipv4Addr src_ip, net::Ipv4Addr dst_ip,
 }
 
 bool IsProtocolPacket(const net::Packet& pkt) {
-  return pkt.udp.has_value() && pkt.udp->dst_port == kRedPlaneUdpPort &&
-         pkt.payload.size() >= 2 &&
-         static_cast<std::uint8_t>(pkt.payload[0]) == (kMagic >> 8) &&
-         static_cast<std::uint8_t>(pkt.payload[1]) == (kMagic & 0xff);
+  if (!pkt.udp.has_value() || pkt.udp->dst_port != kRedPlaneUdpPort ||
+      pkt.payload.size() < 2) {
+    return false;
+  }
+  // Either a single message or a batch envelope of messages.
+  const std::uint16_t magic = pkt.payload.U16At(0);
+  return magic == kMagic || magic == net::kBatchMagic;
 }
 
 std::optional<Msg> DecodeFromPacket(const net::Packet& pkt) {

@@ -59,6 +59,11 @@ RedPlaneSwitch::RedPlaneSwitch(
   m_.lease_denials = stats_.RegisterCounter("lease_denials");
   m_.retransmits = stats_.RegisterCounter("retransmits");
   m_.retx_give_ups = stats_.RegisterCounter("retx_give_ups");
+  m_.renew_timeouts = stats_.RegisterCounter("renew_timeouts");
+  m_.batch_envelopes = stats_.RegisterCounter("batch_envelopes");
+  m_.batch_msgs = stats_.RegisterHistogram("batch_msgs");
+  m_.batch_bytes = stats_.RegisterHistogram("batch_bytes");
+  m_.coalesce_wait_us = stats_.RegisterHistogram("coalesce_wait_us");
   m_.outputs_released = stats_.RegisterCounter("outputs_released");
   m_.malformed_acks = stats_.RegisterCounter("malformed_acks");
   m_.snapshot_slots_sent = stats_.RegisterCounter("snapshot_slots_sent");
@@ -104,6 +109,18 @@ void RedPlaneSwitch::HandleAppPacket(dp::SwitchContext& ctx, net::Packet pkt) {
 
   FlowEntry* entry = flows_.Find(*key);
   if (entry != nullptr && entry->LeaseActive(now)) {
+    // Un-wedge a renewal whose request or ack was lost: renewals are sent
+    // unmirrored, so without this the flag would pin renew_in_flight
+    // forever and the lease would silently expire.
+    if (entry->renew_in_flight) {
+      const auto sent_it = renew_sent_at_.find(RetxKey(*key, 0));
+      if (sent_it == renew_sent_at_.end() ||
+          now - sent_it->second > config_.request_timeout) {
+        entry->renew_in_flight = false;
+        if (sent_it != renew_sent_at_.end()) renew_sent_at_.erase(sent_it);
+        m_.renew_timeouts.Add();
+      }
+    }
     // Proactive renewal for read-centric flows (§5.3): writes renew
     // implicitly, so only renew explicitly when the lease is aging and no
     // write is about to do it for us.
@@ -461,9 +478,7 @@ void RedPlaneSwitch::HandleAck(dp::SwitchContext& ctx, MsgView msg) {
 void RedPlaneSwitch::SendRequest(const Msg& msg, bool mirror) {
   // Encode once; the wire packet and the mirror copy share the buffer.
   net::Buffer payload = EncodeMsg(msg);
-  net::Packet pkt =
-      MakeProtocolPacketRaw(node_.ip(), shard_for_(msg.key), payload);
-  m_.req_bytes.Add(static_cast<double>(pkt.WireSize()));
+  const net::Ipv4Addr shard = shard_for_(msg.key);
   m_.reqs_sent.Add();
   if (mirror) {
     net::BufferView mdata{payload};
@@ -490,6 +505,68 @@ void RedPlaneSwitch::SendRequest(const Msg& msg, bool mirror) {
       });
     }
   }
+  // Replication traffic (writes and renewals) coalesces per shard when
+  // enabled; everything else — and everything when coalesce_delay is 0 —
+  // leaves immediately as its own packet.
+  if (config_.coalesce_delay > 0 && (msg.type == MsgType::kLeaseRenewReq ||
+                                     msg.type == MsgType::kLeaseRenewOnly)) {
+    EnqueueForBatch(shard, net::BufferView{std::move(payload)});
+    return;
+  }
+  net::Packet pkt = MakeProtocolPacketRaw(node_.ip(), shard, payload);
+  m_.req_bytes.Add(static_cast<double>(pkt.WireSize()));
+  node_.ForwardPacket(std::move(pkt), kInvalidPort);
+}
+
+void RedPlaneSwitch::EnqueueForBatch(net::Ipv4Addr shard,
+                                     net::BufferView msg) {
+  PendingBatch& b = coalesce_[shard.value];
+  if (b.msgs.empty()) {
+    b.opened_at = node_.sim().Now();
+    const std::uint64_t epoch = epoch_;
+    const std::uint64_t gen = b.gen;
+    node_.sim().Schedule(config_.coalesce_delay, [this, shard, epoch, gen]() {
+      if (epoch != epoch_) return;
+      const auto it = coalesce_.find(shard.value);
+      if (it == coalesce_.end() || it->second.gen != gen) return;
+      FlushBatch(shard);
+    });
+  }
+  b.bytes += msg.size();
+  b.msgs.push_back(std::move(msg));
+  if (b.msgs.size() >= config_.coalesce_max_msgs ||
+      b.bytes >= config_.coalesce_max_bytes) {
+    FlushBatch(shard);
+  }
+}
+
+void RedPlaneSwitch::FlushBatch(net::Ipv4Addr shard) {
+  const auto it = coalesce_.find(shard.value);
+  if (it == coalesce_.end()) return;
+  PendingBatch& b = it->second;
+  ++b.gen;  // invalidates any delayed flush still scheduled
+  if (b.msgs.empty()) return;
+  m_.coalesce_wait_us.Record(
+      static_cast<double>(node_.sim().Now() - b.opened_at) / 1e3);
+  net::Packet pkt;
+  if (b.msgs.size() == 1) {
+    // A lone message goes out unwrapped: same bytes as per-packet mode.
+    pkt = MakeProtocolPacketRaw(node_.ip(), shard, std::move(b.msgs.front()));
+  } else {
+    net::BufferView env = net::EncodeBatchEnvelope(b.msgs);
+    m_.batch_envelopes.Add();
+    m_.batch_msgs.Record(static_cast<double>(b.msgs.size()));
+    m_.batch_bytes.Record(static_cast<double>(env.size()));
+    if (trace_.armed()) {
+      trace_.Emit(obs::Ev::kBatchFlushed, shard.value,
+                  static_cast<std::uint64_t>(b.msgs.size()),
+                  static_cast<double>(env.size()));
+    }
+    pkt = MakeProtocolPacketRaw(node_.ip(), shard, std::move(env));
+  }
+  b.msgs.clear();
+  b.bytes = 0;
+  m_.req_bytes.Add(static_cast<double>(pkt.WireSize()));
   node_.ForwardPacket(std::move(pkt), kInvalidPort);
 }
 
@@ -500,6 +577,9 @@ void RedPlaneSwitch::ScanRetransmits() {
   }
   const SimTime now = node_.sim().Now();
   std::vector<std::pair<net::PartitionKey, std::uint64_t>> give_up;
+  // With coalescing on, due write-replication resends to the same shard are
+  // regrouped into a fresh envelope holding only still-unacked mirrors.
+  std::unordered_map<std::uint32_t, std::vector<net::BufferView>> rebatch;
   node_.mirror().ForEach([&](dp::MirroredEntry& e) {
     if (now - e.last_sent_at < config_.request_timeout) return;
     // Give-up horizon: a write is abandoned after max_retransmissions
@@ -528,11 +608,33 @@ void RedPlaneSwitch::ScanRetransmits() {
       trace_.Emit(obs::Ev::kRetransmit, net::HashPartitionKey(e.key), e.seq,
                   static_cast<double>(retx_counts_[RetxKey(e.key, e.seq)]));
     }
-    net::Packet pkt =
-        MakeProtocolPacketRaw(node_.ip(), shard_for_(msg->key()), e.data);
+    const net::Ipv4Addr shard = shard_for_(msg->key());
+    if (config_.coalesce_delay > 0 &&
+        (msg->type() == MsgType::kLeaseRenewReq ||
+         msg->type() == MsgType::kLeaseRenewOnly)) {
+      rebatch[shard.value].push_back(e.data);
+      return;
+    }
+    net::Packet pkt = MakeProtocolPacketRaw(node_.ip(), shard, e.data);
     m_.req_bytes.Add(static_cast<double>(pkt.WireSize()));
     node_.ForwardPacket(std::move(pkt), kInvalidPort);
   });
+  for (auto& [shard_ip, msgs] : rebatch) {
+    net::Packet pkt;
+    if (msgs.size() == 1) {
+      pkt = MakeProtocolPacketRaw(node_.ip(), net::Ipv4Addr(shard_ip),
+                                  std::move(msgs.front()));
+    } else {
+      net::BufferView env = net::EncodeBatchEnvelope(msgs);
+      m_.batch_envelopes.Add();
+      m_.batch_msgs.Record(static_cast<double>(msgs.size()));
+      m_.batch_bytes.Record(static_cast<double>(env.size()));
+      pkt = MakeProtocolPacketRaw(node_.ip(), net::Ipv4Addr(shard_ip),
+                                  std::move(env));
+    }
+    m_.req_bytes.Add(static_cast<double>(pkt.WireSize()));
+    node_.ForwardPacket(std::move(pkt), kInvalidPort);
+  }
   for (const auto& [key, seq] : give_up) {
     m_.retx_give_ups.Add();
     if (trace_.armed()) {
@@ -554,6 +656,12 @@ void RedPlaneSwitch::ScanRetransmits() {
         init_sent_at_.erase(RetxKey(key, 0));
       }
     }
+  }
+  // Re-check after the give-up loop: if it drained the table, stop now
+  // instead of burning a no-op timer event per scan interval forever.
+  if (node_.mirror().NumEntries() == 0) {
+    retx_scan_running_ = false;
+    return;
   }
   const std::uint64_t epoch = epoch_;
   node_.sim().Schedule(config_.retx_scan_interval, [this, epoch]() {
@@ -674,12 +782,14 @@ void RedPlaneSwitch::Reset() {
   retx_counts_.clear();
   init_sent_at_.clear();
   renew_sent_at_.clear();
+  coalesce_.clear();  // pending batches are lost with the SRAM
   retx_scan_running_ = false;
   app_.Reset();
 }
 
 void RedPlaneSwitch::OnRecovery() {
   ++epoch_;
+  coalesce_.clear();
   retx_scan_running_ = false;
   if (snapshottable_ != nullptr) {
     StartSnapshotReplication(*snapshottable_);

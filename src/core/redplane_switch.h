@@ -70,6 +70,16 @@ struct RedPlaneConfig {
   /// Max loops through the network buffer while awaiting a lease grant
   /// before a packet is dropped (loss is permitted by the model).
   std::uint32_t max_init_loops = 64;
+  /// --- replication coalescing (batch envelope, DESIGN.md §10) ---
+  /// Hold outgoing write-replication (kLeaseRenewReq) and renew-only
+  /// requests to the same shard for up to this long, then flush them as one
+  /// batch envelope.  0 (the default) disables coalescing: every request
+  /// leaves immediately as its own packet, bit-for-bit today's behaviour.
+  SimDuration coalesce_delay = 0;
+  /// Flush a pending batch early once it holds this many sub-messages...
+  std::size_t coalesce_max_msgs = 16;
+  /// ...or this many encoded payload bytes.
+  std::size_t coalesce_max_bytes = 4096;
   /// TEST-ONLY protocol mutation: inflates the switch's believed lease
   /// expiry by this much beyond the conservative send-time derivation,
   /// breaking the invariant that the switch never outlives the store's
@@ -127,6 +137,14 @@ class RedPlaneSwitch : public dp::PipelineHandler {
   /// for retransmission.
   void SendRequest(const Msg& msg, bool mirror);
 
+  /// Appends an encoded request to the shard's pending batch, scheduling a
+  /// flush after coalesce_delay (or flushing now on a count/byte cap).
+  void EnqueueForBatch(net::Ipv4Addr shard, net::BufferView msg);
+
+  /// Sends the shard's pending batch: a lone message goes out unwrapped,
+  /// two or more as one batch envelope.
+  void FlushBatch(net::Ipv4Addr shard);
+
   /// The periodic mirror-recirculation scan (retransmission loop).
   void ScanRetransmits();
 
@@ -173,6 +191,11 @@ class RedPlaneSwitch : public dp::PipelineHandler {
     obs::Counter lease_denials;
     obs::Counter retransmits;
     obs::Counter retx_give_ups;
+    obs::Counter renew_timeouts;
+    obs::Counter batch_envelopes;
+    obs::Histogram batch_msgs;
+    obs::Histogram batch_bytes;
+    obs::Histogram coalesce_wait_us;
     obs::Counter outputs_released;
     obs::Counter malformed_acks;
     obs::Counter snapshot_slots_sent;
@@ -196,6 +219,17 @@ class RedPlaneSwitch : public dp::PipelineHandler {
   std::unordered_map<std::uint64_t, SimTime> renew_sent_at_;
   bool retx_scan_running_ = false;
   std::uint64_t epoch_ = 0;
+
+  /// Per-shard replication coalescer (active only when coalesce_delay > 0).
+  /// `gen` invalidates the delayed flush when a cap-triggered flush (or a
+  /// Reset) beats the timer.
+  struct PendingBatch {
+    std::vector<net::BufferView> msgs;
+    std::size_t bytes = 0;
+    SimTime opened_at = 0;
+    std::uint64_t gen = 0;
+  };
+  std::unordered_map<std::uint32_t, PendingBatch> coalesce_;  // by shard IP
 };
 
 }  // namespace redplane::core

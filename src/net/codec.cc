@@ -138,6 +138,43 @@ std::vector<std::byte> Serialize(const Packet& p) {
   return out;
 }
 
+bool IsBatchFrame(const BufferView& payload) {
+  return payload.size() >= 2 && payload.U16At(0) == kBatchMagic;
+}
+
+BufferView EncodeBatchEnvelope(std::span<const BufferView> msgs) {
+  std::size_t total = BatchOverheadBytes(msgs.size());
+  for (const BufferView& m : msgs) total += m.size();
+  std::vector<std::byte> out;
+  out.reserve(total);
+  ByteWriter w(out);
+  w.U16(kBatchMagic);
+  w.U16(static_cast<std::uint16_t>(msgs.size()));
+  for (const BufferView& m : msgs) {
+    w.U32(static_cast<std::uint32_t>(m.size()));
+    w.Bytes(m);
+  }
+  return Buffer::FromVector(std::move(out));
+}
+
+std::optional<BatchView> BatchView::Parse(BufferView frame) {
+  if (frame.size() < 4 || frame.U16At(0) != kBatchMagic) return std::nullopt;
+  const std::size_t count = frame.U16At(2);
+  BatchView v;
+  v.subs_.reserve(count);
+  std::size_t pos = 4;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (pos + 4 > frame.size()) return std::nullopt;
+    const std::size_t len = frame.U32At(pos);
+    pos += 4;
+    if (pos + len > frame.size()) return std::nullopt;
+    v.subs_.push_back(frame.Slice(pos, len));
+    pos += len;
+  }
+  if (pos != frame.size()) return std::nullopt;  // trailing garbage
+  return v;
+}
+
 std::optional<Packet> Parse(std::span<const std::byte> wire) {
   ByteReader r(wire);
   Packet p;

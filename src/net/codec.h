@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "net/buffer.h"
 #include "net/packet.h"
 
 namespace redplane::net {
@@ -68,5 +69,52 @@ std::vector<std::byte> Serialize(const Packet& p);
 /// bytes are not distinguishable from payload on the wire, so they come back
 /// inside `payload`).  Returns nullopt on malformed input or bad checksums.
 std::optional<Packet> Parse(std::span<const std::byte> wire);
+
+/// --- batch envelope (DESIGN.md §10) ---
+///
+/// Frames N already-encoded messages as one payload:
+///
+///   magic(u16) | count(u16) | { len(u32) | bytes }*count
+///
+/// The envelope is payload-agnostic: sub-messages are opaque byte runs, so
+/// the net layer never re-serializes (or even understands) what it wraps.
+/// The magic is distinct from any inner protocol's so a one-lookahead
+/// classifier can tell envelope from single message.
+
+/// First two payload bytes of a batch envelope frame.
+constexpr std::uint16_t kBatchMagic = 0xB47C;
+
+/// Number of framing bytes for an envelope of `count` sub-messages (header
+/// plus per-sub length prefixes); used for bandwidth accounting.
+constexpr std::size_t BatchOverheadBytes(std::size_t count) {
+  return 4 + 4 * count;
+}
+
+/// True if `payload` starts with the batch magic.
+bool IsBatchFrame(const BufferView& payload);
+
+/// Concatenates already-encoded sub-messages into one envelope frame.  One
+/// backing-store allocation; each sub-message is memcpy'd verbatim — no
+/// re-serialization of its contents.  An empty span yields a valid empty
+/// envelope (count 0).
+BufferView EncodeBatchEnvelope(std::span<const BufferView> msgs);
+
+/// Zero-copy view of a parsed envelope: `at(i)` slices share the frame's
+/// backing buffer, so unpacking a batch allocates nothing but the offset
+/// table.
+class BatchView {
+ public:
+  /// Validates the magic, the count, and every sub-message length against
+  /// the frame bounds; nullopt on truncation or trailing garbage.
+  static std::optional<BatchView> Parse(BufferView frame);
+
+  std::size_t size() const { return subs_.size(); }
+  bool empty() const { return subs_.empty(); }
+  const BufferView& at(std::size_t i) const { return subs_[i]; }
+  const std::vector<BufferView>& subs() const { return subs_; }
+
+ private:
+  std::vector<BufferView> subs_;
+};
 
 }  // namespace redplane::net

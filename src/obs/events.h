@@ -57,12 +57,15 @@ enum class Ev : std::uint8_t {
   kStoreReadParked,   // buffered read parked behind in-flight writes
   kStoreDenied,       // store rejected a request (stale / misdirected)
   kStoreResponded,    // store sent its response/ack
+  // --- replication batching (DESIGN.md §10) ---
+  kBatchFlushed,      // coalescer flushed a batch envelope toward a shard
+  kStoreBatchRecv,    // store received a batch envelope (per-sub events follow)
 };
 
 /// Stable display name for an event kind (used in trace exports).
 const char* EvName(Ev ev);
 
 /// Total number of event kinds (for tables indexed by Ev).
-inline constexpr int kNumEvents = static_cast<int>(Ev::kStoreResponded) + 1;
+inline constexpr int kNumEvents = static_cast<int>(Ev::kStoreBatchRecv) + 1;
 
 }  // namespace redplane::obs

@@ -48,6 +48,8 @@ const char* EvName(Ev ev) {
     case Ev::kStoreReadParked: return "store_read_parked";
     case Ev::kStoreDenied: return "store_denied";
     case Ev::kStoreResponded: return "store_responded";
+    case Ev::kBatchFlushed: return "batch_flushed";
+    case Ev::kStoreBatchRecv: return "store_batch_recv";
   }
   return "?";
 }

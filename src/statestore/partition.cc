@@ -1,16 +1,25 @@
 #include "statestore/partition.h"
 
-#include <cassert>
+#include <stdexcept>
 
 namespace redplane::store {
 
 PartitionMap::PartitionMap(std::vector<net::Ipv4Addr> shard_ips)
     : shard_ips_(std::move(shard_ips)) {
-  assert(!shard_ips_.empty());
+  // A throw, not an assert: an empty shard list must be rejected in release
+  // (NDEBUG) builds too, or ShardFor would divide by zero / index an empty
+  // vector at some arbitrarily later lookup.
+  if (shard_ips_.empty()) {
+    throw std::invalid_argument("PartitionMap requires at least one shard");
+  }
 }
 
 std::size_t PartitionMap::ShardIndexFor(const net::PartitionKey& key) const {
-  assert(!shard_ips_.empty());
+  if (shard_ips_.empty()) {
+    // Reachable only via the default constructor; fail loudly rather than
+    // dividing by zero.
+    throw std::logic_error("PartitionMap::ShardIndexFor on an empty map");
+  }
   return static_cast<std::size_t>(net::HashPartitionKey(key) %
                                   shard_ips_.size());
 }

@@ -37,6 +37,8 @@ StateStoreServer::StateStoreServer(sim::Simulator& sim, NodeId id,
   m_.reads_parked = reg.RegisterCounter("reads_parked");
   m_.chain_forwards = reg.RegisterCounter("chain_forwards");
   m_.responses = reg.RegisterCounter("responses");
+  m_.batch_envelopes = reg.RegisterCounter("batch_envelopes");
+  m_.batch_subs = reg.RegisterCounter("batch_subs");
   reg.AddCallbackGauge(
       "num_flows", [this] { return static_cast<double>(flows_.size()); });
 }
@@ -45,6 +47,20 @@ void StateStoreServer::HandlePacket(net::Packet pkt, PortId in_port) {
   (void)in_port;
   if (!core::IsProtocolPacket(pkt)) {
     m_.non_protocol_drops.Add();
+    return;
+  }
+  if (net::IsBatchFrame(pkt.payload)) {
+    // A batch envelope occupies the CPU once regardless of how many
+    // sub-messages it carries — the requests/sec win of coalescing.
+    const SimTime start = std::max(sim_.Now(), busy_until_);
+    busy_until_ = start + config_.service_time;
+    busy_time_ += config_.service_time;
+    const std::uint64_t epoch = epoch_;
+    sim_.ScheduleAt(busy_until_,
+                    [this, epoch, frame = std::move(pkt.payload)]() mutable {
+                      if (epoch != epoch_ || !IsUp()) return;
+                      ProcessBatchEnvelope(std::move(frame));
+                    });
     return;
   }
   // View-parse in place: header + bounds validation without copying the
@@ -74,6 +90,8 @@ void StateStoreServer::SetUp(bool up) {
     flows_.clear();
     pending_inits_.clear();
     waiting_reads_.clear();
+    batch_forward_.clear();
+    in_batch_ = false;
     busy_until_ = 0;
     m_.failures.Add();
     if (atap_.armed()) {
@@ -114,6 +132,50 @@ void StateStoreServer::ProcessMsg(MsgView msg) {
       m_.unexpected_acks.Add();
       break;
   }
+}
+
+void StateStoreServer::ProcessBatchEnvelope(net::BufferView frame) {
+  auto batch = net::BatchView::Parse(frame);
+  if (!batch.has_value()) {
+    m_.malformed_drops.Add();
+    return;
+  }
+  m_.batch_envelopes.Add();
+  m_.batch_subs.Add(static_cast<double>(batch->size()));
+  if (trace().armed()) {
+    trace().Emit(obs::Ev::kStoreBatchRecv, 0, batch->size(),
+                 static_cast<double>(frame.size()));
+  }
+  in_batch_ = true;
+  batch_forward_.clear();
+  for (std::size_t i = 0; i < batch->size(); ++i) {
+    auto msg = MsgView::Parse(batch->at(i));
+    if (!msg.has_value()) {
+      m_.malformed_drops.Add();
+      continue;
+    }
+    // Each sub-message runs the regular handler, so seq filtering, lease
+    // checks, taps, and per-flow acks are exactly per-packet semantics.
+    ProcessMsg(std::move(*msg));
+  }
+  in_batch_ = false;
+  if (batch_forward_.empty()) return;
+  // One chain traversal per batch.  If every sub-message survived
+  // untouched (a pure replica pass never patches), the received envelope
+  // bytes go out verbatim — zero-copy.  Otherwise (head stamping CoW'd the
+  // decided subs, or the seq filter answered some directly) rebuild once.
+  bool verbatim = batch_forward_.size() == batch->size();
+  for (const net::BufferView& v : batch_forward_) {
+    verbatim = verbatim && v.buffer().data() == frame.buffer().data();
+  }
+  if (verbatim) {
+    SendRaw(*successor_, std::move(frame));
+  } else if (batch_forward_.size() == 1) {
+    SendRaw(*successor_, std::move(batch_forward_.front()));
+  } else {
+    SendRaw(*successor_, net::EncodeBatchEnvelope(batch_forward_));
+  }
+  batch_forward_.clear();
 }
 
 FlowRecord& StateStoreServer::GetOrCreate(const net::PartitionKey& key) {
@@ -364,8 +426,16 @@ void StateStoreServer::ApplyAndContinue(MsgView msg) {
 
 void StateStoreServer::ForwardOrRespond(MsgView msg) {
   if (successor_.has_value() && !config_.mutations.early_chain_ack) {
-    msg.SetChainHop(msg.chain_hop() + 1);
     m_.chain_forwards.Add();
+    if (in_batch_) {
+      // Defer into the envelope-wide forward.  The per-hop chain_hop
+      // increment is skipped for batched subs: any hop > 0 already means
+      // "decided", and not patching is what lets a pure replica forward
+      // the whole envelope verbatim without a per-sub CoW.
+      batch_forward_.push_back(msg.bytes());
+      return;
+    }
+    msg.SetChainHop(msg.chain_hop() + 1);
     SendRaw(*successor_, msg.bytes());
     return;
   }

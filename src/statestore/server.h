@@ -133,6 +133,15 @@ class StateStoreServer : public sim::Node {
   };
 
   void ProcessMsg(core::MsgView msg);
+
+  /// Unpacks a batch envelope and applies its sub-messages in order through
+  /// the regular per-message handlers (so every tap/trace/metric fires per
+  /// sub-message), then performs one chain traversal for the whole batch:
+  /// a pure replica pass forwards the received envelope bytes verbatim; the
+  /// head (whose decision stamps CoW the decided subs) rebuilds the
+  /// envelope once from the surviving sub views.
+  void ProcessBatchEnvelope(net::BufferView frame);
+
   void HandleInit(core::Msg msg);
   void HandleRepl(core::MsgView msg);
   void HandleRenewOnly(core::MsgView msg);
@@ -193,6 +202,8 @@ class StateStoreServer : public sim::Node {
     obs::Counter reads_parked;
     obs::Counter chain_forwards;
     obs::Counter responses;
+    obs::Counter batch_envelopes;
+    obs::Counter batch_subs;
   };
   Metrics m_;
 
@@ -211,6 +222,11 @@ class StateStoreServer : public sim::Node {
   SimDuration busy_time_ = 0;
   /// Bumped on failure so queued service completions are invalidated.
   std::uint64_t epoch_ = 0;
+  /// True while ProcessBatchEnvelope drains sub-messages: ForwardOrRespond
+  /// then defers chain forwarding into batch_forward_ instead of sending a
+  /// packet per sub-message.
+  bool in_batch_ = false;
+  std::vector<net::BufferView> batch_forward_;
 };
 
 }  // namespace redplane::store

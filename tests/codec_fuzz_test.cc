@@ -225,6 +225,97 @@ TEST_P(CodecFuzz, InPlaceHeaderPatchMatchesFullReencode) {
   }
 }
 
+// --- batch envelope framing (DESIGN.md §10) --------------------------------
+
+TEST(BatchCodec, EmptyBatchIsValid) {
+  const net::BufferView env = net::EncodeBatchEnvelope({});
+  EXPECT_TRUE(net::IsBatchFrame(env));
+  const auto batch = net::BatchView::Parse(env);
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_TRUE(batch->empty());
+  EXPECT_EQ(env.size(), net::BatchOverheadBytes(0));
+}
+
+TEST(BatchCodec, EnvelopeMagicDistinctFromMessageMagic) {
+  // A batch frame must not parse as a protocol message, and vice versa —
+  // the store's one-lookahead classifier depends on it.
+  core::Msg msg;
+  msg.type = core::MsgType::kLeaseRenewOnly;
+  msg.key = net::PartitionKey::OfObject(7);
+  const net::BufferView encoded{core::EncodeMsg(msg)};
+  EXPECT_FALSE(net::IsBatchFrame(encoded));
+  const net::BufferView env = net::EncodeBatchEnvelope({});
+  EXPECT_FALSE(core::MsgView::Parse(env).has_value());
+}
+
+TEST_P(CodecFuzz, BatchEnvelopeRoundTripsSubMessages) {
+  Rng rng(GetParam() + 7000);
+  for (int i = 0; i < 300; ++i) {
+    std::vector<net::BufferView> subs;
+    const std::size_t n = rng.NextBounded(9);
+    for (std::size_t s = 0; s < n; ++s) {
+      core::Msg msg;
+      msg.type = static_cast<core::MsgType>(1 + rng.NextBounded(6));
+      msg.seq = rng.Next();
+      msg.key = net::PartitionKey::OfObject(rng.Next());
+      msg.state.resize(rng.NextBounded(64));
+      for (auto& b : msg.state) {
+        b = std::byte{static_cast<std::uint8_t>(rng.Next())};
+      }
+      subs.push_back(net::BufferView(core::EncodeMsg(msg)));
+    }
+    const net::BufferView env = net::EncodeBatchEnvelope(subs);
+    EXPECT_TRUE(net::IsBatchFrame(env));
+    const auto batch = net::BatchView::Parse(env);
+    ASSERT_TRUE(batch.has_value());
+    ASSERT_EQ(batch->size(), subs.size());
+    for (std::size_t s = 0; s < subs.size(); ++s) {
+      // Bit-for-bit sub-message recovery, and each sub still view-parses as
+      // the protocol message it was.
+      EXPECT_TRUE(batch->at(s) == subs[s]);
+      EXPECT_TRUE(core::MsgView::Parse(batch->at(s)).has_value());
+      // The recovered slice shares the envelope's backing store (zero-copy).
+      EXPECT_EQ(batch->at(s).buffer().data(), env.buffer().data());
+    }
+  }
+}
+
+TEST_P(CodecFuzz, TruncatedOrMutatedBatchesNeverCrash) {
+  Rng rng(GetParam() + 8000);
+  for (int i = 0; i < 300; ++i) {
+    std::vector<net::BufferView> subs;
+    const std::size_t n = 1 + rng.NextBounded(6);
+    for (std::size_t s = 0; s < n; ++s) {
+      core::Msg msg;
+      msg.type = core::MsgType::kLeaseRenewReq;
+      msg.seq = rng.Next();
+      msg.key = net::PartitionKey::OfObject(rng.Next());
+      msg.state.resize(rng.NextBounded(32));
+      subs.push_back(net::BufferView(core::EncodeMsg(msg)));
+    }
+    auto bytes = net::EncodeBatchEnvelope(subs).ToVector();
+    // A truncated envelope (sub-message cut mid-body or mid-length-prefix)
+    // must be rejected whole, never partially applied.
+    auto truncated = bytes;
+    truncated.resize(rng.NextBounded(bytes.size()));  // strictly shorter
+    EXPECT_FALSE(
+        net::BatchView::Parse(net::Buffer::CopyOf(truncated)).has_value());
+    // Trailing garbage is rejected too.
+    auto padded = bytes;
+    padded.resize(bytes.size() + 1 + rng.NextBounded(8), std::byte{0x5a});
+    EXPECT_FALSE(
+        net::BatchView::Parse(net::Buffer::CopyOf(padded)).has_value());
+    // Random byte flips must never crash the parser.
+    auto flipped = bytes;
+    const int flips = 1 + static_cast<int>(rng.NextBounded(4));
+    for (int f = 0; f < flips; ++f) {
+      flipped[rng.NextBounded(flipped.size())] ^=
+          std::byte{static_cast<std::uint8_t>(rng.Next() | 1)};
+    }
+    (void)net::BatchView::Parse(net::Buffer::CopyOf(flipped));
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzz,
                          ::testing::Values(11, 22, 33, 44, 55));
 

@@ -2,6 +2,7 @@
 
 #include <map>
 #include <set>
+#include <stdexcept>
 
 #include "core/protocol.h"
 #include "sim/host.h"
@@ -328,6 +329,15 @@ TEST(PartitionMapTest, StableAndCoversAllShards) {
     seen.insert(idx);
   }
   EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(PartitionMapTest, EmptyShardListThrowsInAllBuildModes) {
+  // A throw, not an assert: the misconfiguration must be rejected in release
+  // (NDEBUG) builds too, not only when assertions are compiled in.
+  EXPECT_THROW(PartitionMap(std::vector<net::Ipv4Addr>{}),
+               std::invalid_argument);
+  PartitionMap empty;  // default-constructed: no shards either
+  EXPECT_THROW(empty.ShardIndexFor(Key(1)), std::logic_error);
 }
 
 TEST(PortPoolTest, AllocateReleaseExhaustion) {

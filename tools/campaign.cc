@@ -19,6 +19,7 @@
 // Usage:
 //   campaign [--seeds=5] [--scenario=all] [--out-dir=campaign_out]
 //            [--packets=120] [--mutate=none|lease|chain|seq]
+//            [--batching=<coalesce delay in us; 0 = off>]
 #include <algorithm>
 #include <cstring>
 #include <filesystem>
@@ -142,7 +143,7 @@ const std::vector<Scenario>& Scenarios() {
 
 RunResult RunOne(const Scenario& sc, std::uint64_t seed,
                  const MutationSpec& mut, const std::string& out_dir,
-                 int packets_per_flow) {
+                 int packets_per_flow, SimDuration coalesce_delay) {
   RunResult out;
   out.scenario = sc.name;
   out.seed = seed;
@@ -186,6 +187,7 @@ RunResult RunOne(const Scenario& sc, std::uint64_t seed,
   core::RedPlaneConfig rp_cfg;
   rp_cfg.lease_period = lease;
   rp_cfg.renew_interval = lease / 2;
+  rp_cfg.coalesce_delay = coalesce_delay;
   if (mut.lease) rp_cfg.mutation_lease_extension = Seconds(10);
   auto shard_for = [&mgr](const net::PartitionKey&) { return mgr.HeadIp(); };
   std::array<std::unique_ptr<core::RedPlaneSwitch>, 2> rp;
@@ -389,6 +391,7 @@ int main(int argc, char** argv) {
 
   int seeds = 5;
   int packets = 120;
+  int batching_us = 0;
   std::string out_dir = "campaign_out";
   std::string scenario_filter = "all";
   std::string mutate = "none";
@@ -408,6 +411,8 @@ int main(int argc, char** argv) {
       scenario_filter = v;
     } else if (const char* v = value("--mutate=")) {
       mutate = v;
+    } else if (const char* v = value("--batching=")) {
+      batching_us = std::max(0, std::atoi(v));
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
       return 64;
@@ -431,9 +436,11 @@ int main(int argc, char** argv) {
     if (scenario_filter != "all" && scenario_filter != sc.name) continue;
     for (int s = 0; s < seeds; ++s) {
       const std::uint64_t seed = 42 + 1000ull * static_cast<std::uint64_t>(s);
-      std::cout << "[campaign] " << sc.name << " seed=" << seed << " ..."
+      std::cout << "[campaign] " << sc.name << " seed=" << seed
+                << (batching_us > 0 ? " batching=on" : "") << " ..."
                 << std::flush;
-      RunResult r = RunOne(sc, seed, mut, out_dir, packets);
+      RunResult r = RunOne(sc, seed, mut, out_dir, packets,
+                           Microseconds(batching_us));
       std::cout << " sent=" << r.sent << " delivered=" << r.delivered
                 << " violations=" << r.violations.size()
                 << " lin_failures=" << r.lin_failures << "\n";
