@@ -97,7 +97,7 @@ SampleSet RunNatVariant(Variant variant, ObsSession* obs) {
         obs->AttachTracer(sim);
         obs->Watch(deploy.redplane(0)->stats());
         for (auto* server : tb.store) obs->Watch(server->counters());
-        obs->StartSampling(sim, Milliseconds(100), Seconds(4));
+        obs->StartSampling(sim, obs->metrics_period(), Seconds(4));
       }
       break;
     }

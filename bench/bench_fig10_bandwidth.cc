@@ -172,13 +172,28 @@ BandwidthResult RunHeavyHitter() {
   return h.Collect();
 }
 
-BandwidthResult RunSyncCounter() {
+BandwidthResult RunSyncCounter(ObsSession* obs) {
   Harness h;
   h.Build();
   apps::SyncCounterApp counter;
   h.deploy.DeployRedPlane(counter);
+  if (obs != nullptr) {
+    // Sync-Counter is the observability showcase: every packet's write
+    // traverses the full switch → store chain → ack lifecycle, so its spans
+    // exercise every segment kind.
+    obs->AttachTracer(h.deploy.sim());
+    obs->Watch(h.deploy.redplane(0)->stats());
+    for (auto* server : h.tb->store) obs->Watch(server->counters());
+    obs->StartSampling(h.deploy.sim(), obs->metrics_period(), Seconds(2));
+  }
   h.Inject(/*flows=*/200);
-  return h.Collect();
+  BandwidthResult r = h.Collect();
+  if (obs != nullptr) {
+    obs->SampleOnce(h.deploy.sim().Now());
+    obs->UnwatchAll();
+    obs->DetachTracer();
+  }
+  return r;
 }
 
 // --- Replication batching at the write-heavy operating point ----------------
@@ -221,6 +236,8 @@ BatchingResult RunSyncCounterBatching(SimDuration coalesce_delay) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  ObsSession obs(argc, argv);
+  ObsSession* obs_ptr = obs.enabled() ? &obs : nullptr;
   std::printf("=== Fig. 10: RedPlane replication bandwidth overhead ===\n");
   std::printf("(64 B packets, 1000 flows, %zu packets per app)\n\n", kPackets);
   struct Row {
@@ -233,7 +250,7 @@ int main(int argc, char** argv) {
       {"Load balancer", RunReadCentric("lb")},
       {"EPC-SGW", RunEpc()},
       {"HH-detector", RunHeavyHitter()},
-      {"Sync-Counter", RunSyncCounter()},
+      {"Sync-Counter", RunSyncCounter(obs_ptr)},
   };
   TablePrinter table({"Application", "Original %", "RedPlane req %",
                       "RedPlane resp %", "Overhead %"});
@@ -300,5 +317,6 @@ int main(int argc, char** argv) {
       std::printf("\nWrote %s\n", argv[1]);
     }
   }
+  obs.Finish();
   return 0;
 }

@@ -15,7 +15,8 @@ namespace {
 
 /// Runs snapshot replication for `duration` and returns the measured
 /// protocol bandwidth in Mbps.
-double MeasureSnapshotBandwidth(int num_sketches, double frequency_hz) {
+double MeasureSnapshotBandwidth(int num_sketches, double frequency_hz,
+                                bench::ObsSession* obs = nullptr) {
   bench::Deployment deploy;
   deploy.Build();
 
@@ -33,16 +34,27 @@ double MeasureSnapshotBandwidth(int num_sketches, double frequency_hz) {
   deploy.redplane(0)->StartSnapshotReplication(hh);
 
   const SimDuration duration = Milliseconds(200);
+  if (obs != nullptr) {
+    obs->AttachTracer(deploy.sim());
+    obs->Watch(deploy.redplane(0)->stats());
+    for (auto* server : deploy.testbed().store) obs->Watch(server->counters());
+    obs->StartSampling(deploy.sim(), obs->metrics_period(), duration);
+  }
   deploy.sim().RunUntil(duration);
   // Count replication requests (the paper's replication-message bandwidth;
   // acks are accounted by the Fig. 10 experiment).
   const double bytes = deploy.redplane(0)->protocol_request_bytes();
+  if (obs != nullptr) {
+    obs->UnwatchAll();
+    obs->DetachTracer();
+  }
   return bytes * 8.0 / ToSeconds(duration) / 1e6;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ObsSession obs(argc, argv);
   std::printf("=== Fig. 11: snapshot replication bandwidth ===\n");
   std::printf("(heavy-hitter detector, 64x32-bit slots per sketch; measured "
               "request+response bytes)\n\n");
@@ -51,10 +63,15 @@ int main() {
   for (double hz : {32.0, 64.0, 128.0, 256.0, 512.0, 1024.0}) {
     std::vector<std::string> row{FormatDouble(hz, 0)};
     for (int sketches : {3, 4, 5}) {
-      row.push_back(FormatDouble(MeasureSnapshotBandwidth(sketches, hz), 2));
+      // Instrument the paper's headline operating point (1 kHz, 3 sketches).
+      bench::ObsSession* obs_ptr =
+          obs.enabled() && hz == 1024.0 && sketches == 3 ? &obs : nullptr;
+      row.push_back(
+          FormatDouble(MeasureSnapshotBandwidth(sketches, hz, obs_ptr), 2));
     }
     table.Row(row);
   }
+  obs.Finish();
   std::printf("\nPaper anchor: ~34 Mbps at 1 kHz with 3 sketches; bandwidth "
               "scales linearly with frequency and\nsub-linearly with sketch "
               "count (one message per slot carries one value per sketch).\n");

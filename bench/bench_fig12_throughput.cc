@@ -25,7 +25,10 @@ struct AppProfile {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Analytic-model bench: no simulator run, so the session only consumes the
+  // shared observability flags (a profile covers the model evaluation).
+  ObsSession obs(argc, argv);
   std::printf("=== Fig. 12: throughput with and without RedPlane ===\n");
   std::printf("(offered 207.6 Mpps of 64 B packets; fabric bottleneck "
               "~122.5 Mpps; 2 store servers x 30 Mrps)\n\n");

@@ -14,13 +14,20 @@ using namespace redplane;
 
 namespace {
 
-double PacketLevelGoodput(double update_ratio, SimDuration store_service) {
+double PacketLevelGoodput(double update_ratio, SimDuration store_service,
+                          bench::ObsSession* obs = nullptr) {
   bench::Deployment deploy;
   routing::TestbedConfig cfg;
   cfg.store.service_time = store_service;
   deploy.Build(cfg);
   apps::KvStoreApp kv;
   deploy.DeployRedPlane(kv);
+  if (obs != nullptr) {
+    obs->AttachTracer(deploy.sim());
+    obs->Watch(deploy.redplane(0)->stats());
+    for (auto* server : deploy.testbed().store) obs->Watch(server->counters());
+    obs->StartSampling(deploy.sim(), obs->metrics_period(), Milliseconds(20));
+  }
 
   std::uint64_t replies = 0;
   deploy.testbed().external[0]->SetHandler(
@@ -43,12 +50,18 @@ double PacketLevelGoodput(double update_ratio, SimDuration store_service) {
     });
   }
   deploy.sim().Run();
+  if (obs != nullptr) {
+    obs->SampleOnce(deploy.sim().Now());
+    obs->UnwatchAll();
+    obs->DetachTracer();
+  }
   return static_cast<double>(replies) / ToSeconds(last) / 1e6;  // Mops/s
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ObsSession obs(argc, argv);
   std::printf("=== Fig. 13: KV-store throughput vs update ratio ===\n\n");
   std::printf("-- analytic model, paper scale (Mpps) --\n");
   bench::TablePrinter table(
@@ -70,9 +83,13 @@ int main() {
               "single store, 2 us service) --\n");
   bench::TablePrinter small({"Update ratio", "Goodput"});
   for (double u : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    // Instrument the all-updates point: every op pays a store round trip.
+    bench::ObsSession* obs_ptr = obs.enabled() && u == 1.0 ? &obs : nullptr;
     small.Row({FormatDouble(u, 2),
-               FormatDouble(PacketLevelGoodput(u, Microseconds(2)), 3)});
+               FormatDouble(PacketLevelGoodput(u, Microseconds(2), obs_ptr),
+                            3)});
   }
+  obs.Finish();
   std::printf("\nShape check: throughput falls as the update ratio grows "
               "(every update pays a store round trip);\nadding store shards "
               "shifts the curve up — matching the paper's Fig. 13.\n");

@@ -81,7 +81,7 @@ std::vector<double> RunTimeline(Mode mode, ObsSession* obs = nullptr) {
     obs->Watch(deploy.redplane(0)->stats());
     obs->Watch(deploy.redplane(1)->stats());
     for (auto* server : tb.store) obs->Watch(server->counters());
-    obs->StartSampling(sim, Milliseconds(100), kEnd);
+    obs->StartSampling(sim, obs->metrics_period(), kEnd);
   }
 
   // TCP endpoints: sender inside rack 0, receiver outside the DC.

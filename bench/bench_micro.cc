@@ -15,6 +15,7 @@
 #include "net/buffer.h"
 #include "net/codec.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/tracer.h"
 #include "sim/simulator.h"
 
@@ -314,6 +315,47 @@ void BM_ChainHopForwardAuditorArmed(benchmark::State& state) {
   audit::SetGlobalAuditor(prev);
 }
 BENCHMARK(BM_ChainHopForwardAuditorArmed);
+
+// Hop forwarding with the profiler armed: a stride-256 ProfScope on the hop
+// (the discipline per-packet sites like net.serialize use), so 255 of 256
+// entries cost one countdown decrement and the 256th pays the two clock
+// reads.  ci/perf_smoke.py holds this within 5% of BM_LinkHopForward.
+void BM_LinkHopForwardProfilerArmed(benchmark::State& state) {
+  obs::Profiler profiler;
+  profiler.SetEnabled(true);
+  obs::Profiler* prev = obs::SetGlobalProfiler(&profiler);
+  static obs::ProfSite site("bench.hop", /*stride=*/256);
+  net::Packet pkt = SamplePacket();
+  std::vector<std::byte> body(512, std::byte{0xAB});
+  pkt.payload = std::move(body);
+  for (auto _ : state) {
+    obs::ProfScope prof(site);
+    net::Packet hop = pkt;
+    benchmark::DoNotOptimize(hop.payload.data());
+  }
+  obs::SetGlobalProfiler(prev);
+}
+BENCHMARK(BM_LinkHopForwardProfilerArmed);
+
+// Chain-replica hop with the profiler armed: same patch-and-forward as
+// BM_ChainHopForwardZeroCopy under a sampled ProfScope.  Held within 5% of
+// the unarmed bench by ci/perf_smoke.py.
+void BM_ChainHopForwardProfilerArmed(benchmark::State& state) {
+  obs::Profiler profiler;
+  profiler.SetEnabled(true);
+  obs::Profiler* prev = obs::SetGlobalProfiler(&profiler);
+  static obs::ProfSite site("bench.chain_hop", /*stride=*/256);
+  net::BufferView payload{core::EncodeMsg(SampleChainMsg())};
+  for (auto _ : state) {
+    obs::ProfScope prof(site);
+    auto v = core::MsgView::Parse(std::move(payload));
+    v->SetChainHop(static_cast<std::uint8_t>(v->chain_hop() + 1));
+    payload = v->bytes();
+    benchmark::DoNotOptimize(payload.data());
+  }
+  obs::SetGlobalProfiler(prev);
+}
+BENCHMARK(BM_ChainHopForwardProfilerArmed);
 
 // A full milestone publish: one Emit dispatched synchronously through all
 // four standard monitors.  Same-component lease renewals never violate, so

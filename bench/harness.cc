@@ -6,6 +6,7 @@
 #include <set>
 
 #include "net/codec.h"
+#include "obs/spans.h"
 
 namespace redplane::bench {
 
@@ -174,16 +175,60 @@ std::string TakeFlag(int& argc, char** argv, const std::string& flag) {
   return value;
 }
 
+/// Parses "100us" / "10ms" / "1s" (also bare nanoseconds); 0 on failure.
+SimDuration ParseDurationFlag(const std::string& text) {
+  if (text.empty()) return 0;
+  std::size_t pos = 0;
+  long long n = 0;
+  try {
+    n = std::stoll(text, &pos);
+  } catch (...) {
+    return 0;
+  }
+  if (n < 0) return 0;
+  const std::string unit = text.substr(pos);
+  if (unit == "us") return Microseconds(n);
+  if (unit == "ms") return Milliseconds(n);
+  if (unit == "s") return Seconds(n);
+  if (unit.empty() || unit == "ns") return n;
+  return 0;
+}
+
 }  // namespace
 
 ObsSession::ObsSession(int& argc, char** argv) : tracer_(1u << 18) {
   trace_path_ = TakeFlag(argc, argv, "trace-out");
   metrics_path_ = TakeFlag(argc, argv, "metrics-out");
+  spans_path_ = TakeFlag(argc, argv, "spans-out");
+  profile_path_ = TakeFlag(argc, argv, "profile-out");
+  const std::string every = TakeFlag(argc, argv, "metrics-every");
+  if (!every.empty()) {
+    const SimDuration period = ParseDurationFlag(every);
+    if (period > 0) {
+      metrics_period_ = period;
+    } else {
+      std::fprintf(stderr, "[obs] ignoring unparsable --metrics-every=%s\n",
+                   every.c_str());
+    }
+  }
+  if (profile_enabled()) {
+    // Wall-clock profiling is independent of the simulator; arm it for the
+    // whole process lifetime so setup cost is attributed too.
+    profiler_.SetEnabled(true);
+    prev_profiler_ = obs::SetGlobalProfiler(&profiler_);
+    profiler_installed_ = true;
+  }
 }
 
 ObsSession::~ObsSession() {
   Finish();
   DetachTracer();
+  if (profiler_installed_) {
+    profiler_.SetEnabled(false);
+    obs::SetGlobalProfiler(prev_profiler_);
+    prev_profiler_ = nullptr;
+    profiler_installed_ = false;
+  }
 }
 
 void ObsSession::AttachTracer(sim::Simulator& sim) {
@@ -193,7 +238,7 @@ void ObsSession::AttachTracer(sim::Simulator& sim) {
     prev_tracer_ = obs::SetGlobalTracer(&tracer_);
     attached_ = true;
   }
-  tracer_.SetEnabled(trace_enabled());
+  tracer_.SetEnabled(trace_enabled() || spans_enabled());
 }
 
 void ObsSession::DetachTracer() {
@@ -256,6 +301,41 @@ void ObsSession::Finish() {
     } else {
       std::fprintf(stderr, "[obs] ERROR: failed to write metrics to %s\n",
                    metrics_path_.c_str());
+    }
+  }
+  if (spans_enabled()) {
+    const std::vector<obs::SpanTree> spans = obs::BuildSpanTrees(tracer_);
+    std::ofstream os(spans_path_);
+    obs::WriteSpansJson(os, spans);
+    os.flush();
+    if (os) {
+      std::printf("[obs] wrote %zu request spans to %s\n", spans.size(),
+                  spans_path_.c_str());
+    } else {
+      std::fprintf(stderr, "[obs] ERROR: failed to write spans to %s\n",
+                   spans_path_.c_str());
+    }
+    std::printf("[obs] per-segment latency breakdown:\n");
+    for (const obs::PhaseStats& ph : obs::SummarizeSegments(spans)) {
+      std::printf("  %-28s n=%-8zu p50=%10.1f us  p99=%10.1f us\n",
+                  ph.name.c_str(), ph.samples_us.Count(),
+                  ph.samples_us.Percentile(50), ph.samples_us.Percentile(99));
+    }
+  }
+  if (profile_enabled()) {
+    std::ofstream os(profile_path_);
+    profiler_.WriteJson(os);
+    os.flush();
+    const std::string folded_path = profile_path_ + ".folded";
+    std::ofstream folded(folded_path);
+    profiler_.WriteCollapsed(folded);
+    folded.flush();
+    if (os && folded) {
+      std::printf("[obs] wrote profile (%zu call-path nodes) to %s (+.folded)\n",
+                  profiler_.NumNodes(), profile_path_.c_str());
+    } else {
+      std::fprintf(stderr, "[obs] ERROR: failed to write profile to %s\n",
+                   profile_path_.c_str());
     }
   }
 }

@@ -26,6 +26,7 @@
 #include "common/stats.h"
 #include "core/redplane_switch.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/tracer.h"
 #include "routing/failure.h"
 #include "routing/topology.h"
@@ -115,10 +116,18 @@ void PrintCdf(const std::string& name, const SampleSet& samples,
 void ShapeFlowChurn(std::vector<trace::TracePacket>& packets,
                     SimDuration min_gap);
 
-/// Observability session for benches: owns a Tracer, a MetricsHub and a
-/// time-series log, driven by the `--trace-out=FILE` / `--metrics-out=FILE`
-/// command-line flags (both `--flag=value` and `--flag value` forms).
-/// When neither flag is given the session is inert and adds no overhead.
+/// Observability session for benches: owns a Tracer, a MetricsHub, a
+/// time-series log and a Profiler, driven by command-line flags (both
+/// `--flag=value` and `--flag value` forms):
+///   --trace-out=FILE     Chrome-trace event dump + per-phase breakdown
+///   --metrics-out=FILE   periodic metric snapshots (JSON)
+///   --metrics-every=DUR  snapshot period (e.g. 50us, 10ms, 1s; default
+///                        100ms)
+///   --spans-out=FILE     per-request span trees reconstructed from the
+///                        trace (implies tracing; see obs/spans.h)
+///   --profile-out=FILE   wall-clock subsystem profile: JSON to FILE plus
+///                        collapsed stacks to FILE.folded
+/// When no flag is given the session is inert and adds no overhead.
 ///
 /// Lifecycle per experiment run:
 ///   AttachTracer(sim)  — clock the tracer off the simulator, install it as
@@ -140,7 +149,15 @@ class ObsSession {
 
   bool trace_enabled() const { return !trace_path_.empty(); }
   bool metrics_enabled() const { return !metrics_path_.empty(); }
-  bool enabled() const { return trace_enabled() || metrics_enabled(); }
+  bool spans_enabled() const { return !spans_path_.empty(); }
+  bool profile_enabled() const { return !profile_path_.empty(); }
+  bool enabled() const {
+    return trace_enabled() || metrics_enabled() || spans_enabled() ||
+           profile_enabled();
+  }
+
+  /// Snapshot period for StartSampling (from --metrics-every; 100ms default).
+  SimDuration metrics_period() const { return metrics_period_; }
 
   void AttachTracer(sim::Simulator& sim);
   void DetachTracer();
@@ -160,11 +177,17 @@ class ObsSession {
  private:
   std::string trace_path_;
   std::string metrics_path_;
+  std::string spans_path_;
+  std::string profile_path_;
+  SimDuration metrics_period_ = Milliseconds(100);
   obs::Tracer tracer_;
   obs::MetricsHub hub_;
   obs::TimeSeriesLog series_;
+  obs::Profiler profiler_;
   obs::Tracer* prev_tracer_ = nullptr;
+  obs::Profiler* prev_profiler_ = nullptr;
   bool attached_ = false;
+  bool profiler_installed_ = false;
   bool finished_ = false;
 };
 

@@ -4,8 +4,15 @@
 
 #include "audit/monitors.h"
 #include "common/logging.h"
+#include "obs/profiler.h"
 
 namespace redplane::audit {
+
+namespace {
+// Stride > 1: Publish fires on every tapped protocol step when armed, and a
+// sampled scope is enough to attribute monitor cost without inflating it.
+obs::ProfSite g_prof_publish("audit.publish", /*stride=*/16);
+}  // namespace
 
 Auditor::Auditor() {
   events_counter_ = stats_.RegisterCounter("events");
@@ -55,6 +62,7 @@ const std::string& Auditor::ComponentName(std::uint16_t id) const {
 void Auditor::Publish(std::uint16_t component, Tap tap, std::uint64_t key,
                       std::uint64_t seq, std::uint64_t aux, double value) {
   if (!enabled_) return;
+  obs::ProfScope prof(g_prof_publish);
   TapEvent ev;
   ev.t = NowOrZero();
   ev.tap = tap;

@@ -55,14 +55,15 @@ bool DecodeKey(net::ByteReader& r, net::PartitionKey& key) {
 
 std::size_t HeaderWireSize(const net::PartitionKey& key) {
   // magic(2) + type(1) + ack(1) + seq(8) + snapshot_index(4) + reply_to(4) +
-  // chain_hop(1) + key-kind(1) + key body + state-len(2) + piggy-len(2).
+  // chain_hop(1) + span_id(8) + key-kind(1) + key body + state-len(2) +
+  // piggy-len(2).
   std::size_t key_size = 0;
   switch (key.kind) {
     case net::PartitionKey::Kind::kFlow: key_size = 13; break;
     case net::PartitionKey::Kind::kVlan: key_size = 2; break;
     case net::PartitionKey::Kind::kObject: key_size = 8; break;
   }
-  return 2 + 1 + 1 + 8 + 4 + 4 + 1 + 1 + key_size + 2 + 2;
+  return 2 + 1 + 1 + 8 + 4 + 4 + 1 + 8 + 1 + key_size + 2 + 2;
 }
 
 net::Buffer EncodeMsg(const Msg& msg) {
@@ -76,6 +77,7 @@ net::Buffer EncodeMsg(const Msg& msg) {
   w.U32(msg.snapshot_index);
   w.U32(msg.reply_to.value);
   w.U8(msg.chain_hop);
+  w.U64(msg.span_id);
   EncodeKey(w, msg.key);
   w.U16(static_cast<std::uint16_t>(msg.state.size()));
   if (msg.piggyback.has_value()) {
@@ -127,6 +129,7 @@ Msg MsgView::ToMsg() const {
   msg.snapshot_index = snapshot_index();
   msg.reply_to = reply_to();
   msg.chain_hop = chain_hop();
+  msg.span_id = span_id();
   msg.key = key_;
   msg.state = state().ToVector();
   msg.piggyback_raw = piggyback_bytes();

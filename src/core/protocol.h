@@ -88,7 +88,8 @@ constexpr std::size_t kOffSeq = 4;            // u64
 constexpr std::size_t kOffSnapshotIndex = 12; // u32
 constexpr std::size_t kOffReplyTo = 16;       // u32
 constexpr std::size_t kOffChainHop = 20;      // u8
-constexpr std::size_t kOffKeyKind = 21;       // u8, then the key body
+constexpr std::size_t kOffSpanId = 21;        // u64
+constexpr std::size_t kOffKeyKind = 29;       // u8, then the key body
 }  // namespace wire
 
 /// A RedPlane protocol message (header + optional state + optional
@@ -109,6 +110,11 @@ struct Msg {
   net::Ipv4Addr reply_to;
   /// 0 for a request from a switch; incremented per chain-internal hop.
   std::uint8_t chain_hop = 0;
+  /// Observability span id (0 = untraced).  Stamped by the originating
+  /// switch, carried verbatim through chain forwarding, and echoed in the
+  /// store's response so every trace record of one request's lifecycle
+  /// shares an id (obs/spans.h).  Not part of the protocol state machine.
+  std::uint64_t span_id = 0;
   /// Piggybacked output packet, if any.
   std::optional<net::Packet> piggyback;
   /// Already-serialized piggyback bytes, spliced verbatim into the encoding
@@ -155,6 +161,7 @@ class MsgView {
     return net::Ipv4Addr(bytes_.U32At(wire::kOffReplyTo));
   }
   std::uint8_t chain_hop() const { return bytes_.U8At(wire::kOffChainHop); }
+  std::uint64_t span_id() const { return bytes_.U64At(wire::kOffSpanId); }
   const net::PartitionKey& key() const { return key_; }
 
   /// The state value, as a zero-copy slice of the message bytes.
@@ -180,6 +187,7 @@ class MsgView {
     bytes_.PatchU32(wire::kOffSnapshotIndex, i);
   }
   void SetChainHop(std::uint8_t h) { bytes_.PatchU8(wire::kOffChainHop, h); }
+  void SetSpanId(std::uint64_t s) { bytes_.PatchU64(wire::kOffSpanId, s); }
 
   /// The full encoded message — forward these bytes verbatim.
   const net::BufferView& bytes() const { return bytes_; }

@@ -9,10 +9,17 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "obs/profiler.h"
 
 namespace redplane::core {
 
 namespace {
+
+// Profiler sites for the switch's hot paths (namespace scope: no
+// function-local-static guard on the per-packet path).
+obs::ProfSite g_prof_process("switch.process");
+obs::ProfSite g_prof_handle_ack("switch.handle_ack");
+obs::ProfSite g_prof_send_request("switch.send_request");
 
 /// Mirror-buffer sequence for one snapshot slot: unique per (round, index)
 /// and ordered so that acknowledging a slot clears superseded rounds too.
@@ -79,6 +86,7 @@ RedPlaneSwitch::RedPlaneSwitch(
 RedPlaneSwitch::~RedPlaneSwitch() = default;
 
 void RedPlaneSwitch::Process(dp::SwitchContext& ctx, net::Packet pkt) {
+  obs::ProfScope prof(g_prof_process);
   if (IsProtocolPacket(pkt)) {
     if (pkt.ip.has_value() && pkt.ip->dst == node_.ip()) {
       m_.resp_bytes.Add(static_cast<double>(pkt.WireSize()));
@@ -131,11 +139,12 @@ void RedPlaneSwitch::HandleAppPacket(dp::SwitchContext& ctx, net::Packet pkt) {
       renew.key = *key;
       renew.seq = entry->cur_seq;
       renew.reply_to = node_.ip();
+      renew.span_id = NewSpanId();
       entry->renew_in_flight = true;
       m_.renewals_sent.Add();
       if (trace_.armed()) {
         trace_.Emit(obs::Ev::kRenewSent, net::HashPartitionKey(*key),
-                    entry->cur_seq);
+                    entry->cur_seq, 0.0, renew.span_id);
       }
       SendRequest(renew, /*mirror=*/false);
       // Record the send time for expiry extension on kRenewAck.
@@ -158,10 +167,11 @@ void RedPlaneSwitch::HandleAppPacket(dp::SwitchContext& ctx, net::Packet pkt) {
     buf.snapshot_index = 0;
     buf.reply_to = node_.ip();
     buf.piggyback = std::move(pkt);
+    buf.span_id = NewSpanId();
     m_.init_loop_buffered.Add();
     if (trace_.armed()) {
       trace_.Emit(obs::Ev::kBufferedReadLoop, net::HashPartitionKey(*key), 0,
-                  static_cast<double>(entry->init_loops));
+                  static_cast<double>(entry->init_loops), buf.span_id);
     }
     SendRequest(buf, /*mirror=*/false);
     return;
@@ -179,9 +189,11 @@ void RedPlaneSwitch::HandleAppPacket(dp::SwitchContext& ctx, net::Packet pkt) {
   init.seq = 0;
   init.reply_to = node_.ip();
   init.piggyback = std::move(pkt);
+  init.span_id = NewSpanId();
   m_.inits_sent.Add();
   if (trace_.armed()) {
-    trace_.Emit(obs::Ev::kLeaseMiss, net::HashPartitionKey(*key));
+    trace_.Emit(obs::Ev::kLeaseMiss, net::HashPartitionKey(*key), 0, 0.0,
+                init.span_id);
   }
   SendRequest(init, /*mirror=*/true);
 }
@@ -215,12 +227,14 @@ void RedPlaneSwitch::RunApp(dp::SwitchContext& ctx,
       }
       repl.piggyback = std::move(result.outputs.front());
     }
+    repl.span_id = NewSpanId();
     FlowTable::NoteSend(entry, entry.cur_seq, ctx.Now());
     m_.writes_replicated.Add();
     if (trace_.armed()) {
+      last_write_span_[net::HashPartitionKey(key)] = repl.span_id;
       trace_.Emit(obs::Ev::kReplicationSent, net::HashPartitionKey(key),
                   entry.cur_seq,
-                  static_cast<double>(repl.state.size()));
+                  static_cast<double>(repl.state.size()), repl.span_id);
     }
     SendRequest(repl, /*mirror=*/true);
     return;
@@ -237,10 +251,16 @@ void RedPlaneSwitch::RunApp(dp::SwitchContext& ctx,
       buf.seq = entry.cur_seq;
       buf.reply_to = node_.ip();
       buf.piggyback = std::move(out);
+      buf.span_id = NewSpanId();
       m_.reads_buffered.Add();
       if (trace_.armed()) {
+        // Parent the read's span under the write it waits on, so the span
+        // tree shows the dependency.
+        const auto parent_it = last_write_span_.find(net::HashPartitionKey(key));
         trace_.Emit(obs::Ev::kBufferedRead, net::HashPartitionKey(key),
-                    entry.cur_seq);
+                    entry.cur_seq, 0.0, buf.span_id,
+                    parent_it == last_write_span_.end() ? 0
+                                                        : parent_it->second);
       }
       SendRequest(buf, /*mirror=*/false);
     }
@@ -255,8 +275,10 @@ void RedPlaneSwitch::RunApp(dp::SwitchContext& ctx,
 }
 
 void RedPlaneSwitch::HandleAck(dp::SwitchContext& ctx, MsgView msg) {
+  obs::ProfScope prof(g_prof_handle_ack);
   const net::PartitionKey key = msg.key();
   const std::uint64_t seq = msg.seq();
+  const std::uint64_t span = msg.span_id();
   FlowEntry* entry = flows_.Find(key);
   switch (msg.ack()) {
     case AckKind::kLeaseGrantNew:
@@ -285,7 +307,7 @@ void RedPlaneSwitch::HandleAck(dp::SwitchContext& ctx, MsgView msg) {
       }
       if (trace_.armed()) {
         trace_.Emit(migrate ? obs::Ev::kFailoverRehome : obs::Ev::kLeaseGrant,
-                    net::HashPartitionKey(key), seq);
+                    net::HashPartitionKey(key), seq, 0.0, span);
       }
       const auto sent_it = init_sent_at_.find(RetxKey(key, 0));
       const SimTime sent_at =
@@ -351,7 +373,8 @@ void RedPlaneSwitch::HandleAck(dp::SwitchContext& ctx, MsgView msg) {
       node_.mirror().Acknowledge(key, seq);
       retx_counts_.erase(RetxKey(key, seq));
       if (trace_.armed()) {
-        trace_.Emit(obs::Ev::kAckReleased, net::HashPartitionKey(key), seq);
+        trace_.Emit(obs::Ev::kAckReleased, net::HashPartitionKey(key), seq,
+                    0.0, span);
       }
       if (atap_.armed()) {
         atap_.Emit(audit::Tap::kAckReleased, net::HashPartitionKey(key), seq);
@@ -376,7 +399,7 @@ void RedPlaneSwitch::HandleAck(dp::SwitchContext& ctx, MsgView msg) {
             m_.init_loop_drops.Add();
             if (trace_.armed()) {
               trace_.Emit(obs::Ev::kOutputDropped, net::HashPartitionKey(key),
-                          0, static_cast<double>(msg.snapshot_index()));
+                          0, static_cast<double>(msg.snapshot_index()), span);
             }
             return;  // permitted input loss
           }
@@ -389,10 +412,13 @@ void RedPlaneSwitch::HandleAck(dp::SwitchContext& ctx, MsgView msg) {
           buf.snapshot_index = msg.snapshot_index() + 1;
           buf.reply_to = node_.ip();
           buf.piggyback_raw = msg.piggyback_bytes();
+          // The re-loop keeps the request's span: every lap through the
+          // network buffer accumulates in one lifecycle.
+          buf.span_id = span;
           m_.init_loop_buffered.Add();
           if (trace_.armed()) {
             trace_.Emit(obs::Ev::kBufferedReadLoop, net::HashPartitionKey(key),
-                        0, static_cast<double>(msg.snapshot_index() + 1));
+                        0, static_cast<double>(msg.snapshot_index() + 1), span);
           }
           SendRequest(buf, /*mirror=*/false);
           return;
@@ -417,7 +443,8 @@ void RedPlaneSwitch::HandleAck(dp::SwitchContext& ctx, MsgView msg) {
           return;
         }
         if (trace_.armed()) {
-          trace_.Emit(obs::Ev::kAckReleased, net::HashPartitionKey(key), seq);
+          trace_.Emit(obs::Ev::kAckReleased, net::HashPartitionKey(key), seq,
+                      0.0, span);
         }
         if (atap_.armed()) {
           atap_.Emit(audit::Tap::kAckReleased, net::HashPartitionKey(key),
@@ -431,7 +458,8 @@ void RedPlaneSwitch::HandleAck(dp::SwitchContext& ctx, MsgView msg) {
       if (entry == nullptr) return;
       entry->renew_in_flight = false;
       if (trace_.armed()) {
-        trace_.Emit(obs::Ev::kRenewAck, net::HashPartitionKey(key), seq);
+        trace_.Emit(obs::Ev::kRenewAck, net::HashPartitionKey(key), seq, 0.0,
+                    span);
       }
       const auto it = renew_sent_at_.find(RetxKey(key, 0));
       if (it != renew_sent_at_.end()) {
@@ -452,7 +480,8 @@ void RedPlaneSwitch::HandleAck(dp::SwitchContext& ctx, MsgView msg) {
       // re-init if routing brings them back).
       m_.lease_denials.Add();
       if (trace_.armed()) {
-        trace_.Emit(obs::Ev::kLeaseDenied, net::HashPartitionKey(key));
+        trace_.Emit(obs::Ev::kLeaseDenied, net::HashPartitionKey(key), 0, 0.0,
+                    span);
       }
       if (atap_.armed() && entry != nullptr) {
         atap_.Emit(audit::Tap::kLeaseReleased, net::HashPartitionKey(key));
@@ -476,6 +505,7 @@ void RedPlaneSwitch::HandleAck(dp::SwitchContext& ctx, MsgView msg) {
 }
 
 void RedPlaneSwitch::SendRequest(const Msg& msg, bool mirror) {
+  obs::ProfScope prof(g_prof_send_request);
   // Encode once; the wire packet and the mirror copy share the buffer.
   net::Buffer payload = EncodeMsg(msg);
   const net::Ipv4Addr shard = shard_for_(msg.key);
@@ -605,8 +635,10 @@ void RedPlaneSwitch::ScanRetransmits() {
     e.last_sent_at = now;
     m_.retransmits.Add();
     if (trace_.armed()) {
+      // The mirrored bytes carry the original request's span id verbatim.
       trace_.Emit(obs::Ev::kRetransmit, net::HashPartitionKey(e.key), e.seq,
-                  static_cast<double>(retx_counts_[RetxKey(e.key, e.seq)]));
+                  static_cast<double>(retx_counts_[RetxKey(e.key, e.seq)]),
+                  msg->span_id());
     }
     const net::Ipv4Addr shard = shard_for_(msg->key());
     if (config_.coalesce_delay > 0 &&
@@ -733,11 +765,12 @@ void RedPlaneSwitch::SnapshotBurstSlot(std::uint32_t index) {
     msg.snapshot_index = index;
     msg.reply_to = node_.ip();
     msg.state = snapshottable_->ReadSnapshotSlot(key, index);
+    msg.span_id = NewSpanId();
     m_.snapshot_slots_sent.Add();
     if (trace_.armed()) {
       trace_.Emit(obs::Ev::kSnapshotSent, net::HashPartitionKey(key),
                   SnapSeq(snapshot_round_, index),
-                  static_cast<double>(msg.state.size()));
+                  static_cast<double>(msg.state.size()), msg.span_id);
     }
     SendRequest(msg, /*mirror=*/true);
   }
@@ -782,6 +815,7 @@ void RedPlaneSwitch::Reset() {
   retx_counts_.clear();
   init_sent_at_.clear();
   renew_sent_at_.clear();
+  last_write_span_.clear();
   coalesce_.clear();  // pending batches are lost with the SRAM
   retx_scan_running_ = false;
   app_.Reset();

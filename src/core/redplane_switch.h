@@ -160,6 +160,14 @@ class RedPlaneSwitch : public dp::PipelineHandler {
   /// Renders the live lease/flow table (failure diagnostics).
   void DumpLeaseTable(std::ostream& os) const;
 
+  /// Fresh observability span id for a request this switch originates.
+  /// Derived from the switch IP and a per-switch counter, so ids are unique
+  /// across switches yet fully deterministic (byte-identical traces for
+  /// identical seeds).
+  std::uint64_t NewSpanId() {
+    return (static_cast<std::uint64_t>(node_.ip().value) << 32) | ++next_span_;
+  }
+
   dp::SwitchNode& node_;
   SwitchApp& app_;
   std::function<net::Ipv4Addr(const net::PartitionKey&)> shard_for_;
@@ -219,6 +227,10 @@ class RedPlaneSwitch : public dp::PipelineHandler {
   std::unordered_map<std::uint64_t, SimTime> renew_sent_at_;
   bool retx_scan_running_ = false;
   std::uint64_t epoch_ = 0;
+  std::uint64_t next_span_ = 0;
+  /// hash(key) -> span of the flow's newest replicated write; buffered reads
+  /// emit it as their parent span (maintained only while tracing is armed).
+  std::unordered_map<std::uint64_t, std::uint64_t> last_write_span_;
 
   /// Per-shard replication coalescer (active only when coalesce_delay > 0).
   /// `gen` invalidates the delayed flush when a cap-triggered flush (or a

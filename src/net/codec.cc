@@ -2,7 +2,16 @@
 
 #include <cassert>
 
+#include "obs/profiler.h"
+
 namespace redplane::net {
+
+namespace {
+// Serialize/Parse run per packet on every link hop; sample 1-in-64 so the
+// armed cost is a countdown decrement on the other 63.
+obs::ProfSite g_prof_serialize("net.serialize", /*stride=*/64);
+obs::ProfSite g_prof_parse("net.parse", /*stride=*/64);
+}  // namespace
 
 void ByteWriter::U8(std::uint8_t v) { out_.push_back(std::byte{v}); }
 
@@ -96,6 +105,7 @@ void WriteIpv4(ByteWriter& w, const Ipv4Header& ip, std::size_t l4_size,
 }  // namespace
 
 std::vector<std::byte> Serialize(const Packet& p) {
+  obs::ProfScope prof(g_prof_serialize);
   std::vector<std::byte> out;
   ByteWriter w(out);
 
@@ -176,6 +186,7 @@ std::optional<BatchView> BatchView::Parse(BufferView frame) {
 }
 
 std::optional<Packet> Parse(std::span<const std::byte> wire) {
+  obs::ProfScope prof(g_prof_parse);
   ByteReader r(wire);
   Packet p;
   p.id = NextPacketId();

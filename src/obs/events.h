@@ -4,7 +4,8 @@
 // the RedPlane protocol lifecycle: a packet enters the fabric (kIngress),
 // misses or hits its lease at a switch (kLeaseMiss / kLeaseGrant), gets its
 // write replicated to the state store (kReplicationSent -> kStoreRecv ->
-// kStoreApplied -> kStoreResponded -> kAckReleased), may loop through the
+// kStoreServiceStart -> kStoreApplied -> kStoreResponded -> kAckReleased),
+// splitting queue wait from service time at the store, may loop through the
 // network-buffering read path (kBufferedRead / kBufferedReadLoop), may be
 // retransmitted from the mirror buffer (kMirrored / kRetransmit), and on
 // switch failure re-homes its flow state at a standby (kFailoverRehome).
@@ -52,6 +53,7 @@ enum class Ev : std::uint8_t {
   kOutputDropped,     // held output dropped (reset / failure)
   // --- state store ---
   kStoreRecv,         // protocol request received by a store replica
+  kStoreServiceStart, // request left the service queue; CPU work begins
   kStoreApplied,      // write applied to the store's flow record
   kStoreBuffered,     // init buffered behind an unexpired lease
   kStoreReadParked,   // buffered read parked behind in-flight writes

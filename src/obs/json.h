@@ -8,8 +8,12 @@
 // parse.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace redplane::obs {
 
@@ -25,5 +29,50 @@ std::string JsonNumber(double v);
 /// Strict JSON syntax check over a complete document.  Returns true iff
 /// `text` is one valid JSON value (with surrounding whitespace allowed).
 bool ValidateJson(std::string_view text);
+
+/// Parsed JSON value.  Objects keep insertion order (a vector of pairs, not
+/// a map) so round-trips stay byte-stable; duplicate keys keep the first.
+/// Just enough JSON for tools/report.cc and ci artifacts to read the
+/// exporters' own output back — not a general-purpose library.
+struct JsonValue {
+  enum class Type : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool IsNull() const { return type == Type::kNull; }
+  bool IsNumber() const { return type == Type::kNumber; }
+  bool IsString() const { return type == Type::kString; }
+  bool IsArray() const { return type == Type::kArray; }
+  bool IsObject() const { return type == Type::kObject; }
+
+  /// Object member lookup; null for missing keys or non-objects.
+  const JsonValue* Find(std::string_view key) const {
+    if (type != Type::kObject) return nullptr;
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  /// Find(key) as a number, with `fallback` for missing/mistyped members.
+  double NumberOr(std::string_view key, double fallback) const {
+    const JsonValue* v = Find(key);
+    return v != nullptr && v->type == Type::kNumber ? v->number : fallback;
+  }
+  /// Find(key) as a string, with `fallback` for missing/mistyped members.
+  std::string StringOr(std::string_view key, std::string fallback) const {
+    const JsonValue* v = Find(key);
+    return v != nullptr && v->type == Type::kString ? v->str
+                                                    : std::move(fallback);
+  }
+};
+
+/// Parses one complete JSON document (surrounding whitespace allowed).
+/// Returns nullopt on any syntax error.
+std::optional<JsonValue> ParseJson(std::string_view text);
 
 }  // namespace redplane::obs

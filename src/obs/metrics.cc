@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <ostream>
 #include <sstream>
 
@@ -75,6 +76,27 @@ double HistogramCell::Percentile(double p) const {
     seen += in_bucket;
   }
   return max;
+}
+
+void HistogramCell::Merge(const HistogramCell& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    if (other.min < min) min = other.min;
+    if (other.max > max) max = other.max;
+  }
+  count += other.count;
+  sum += other.sum;
+  zero_or_less += other.zero_or_less;
+  if (!other.buckets.empty()) {
+    if (buckets.empty()) buckets.assign(kNumBuckets, 0);
+    for (int i = 0; i < kNumBuckets; ++i) {
+      buckets[static_cast<std::size_t>(i)] +=
+          other.buckets[static_cast<std::size_t>(i)];
+    }
+  }
 }
 
 void HistogramCell::Reset() {
@@ -259,6 +281,134 @@ std::string TimeSeriesLog::Json() const {
   std::ostringstream oss;
   WriteJson(oss);
   return oss.str();
+}
+
+namespace {
+
+void WriteCsvField(std::ostream& os, const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) {
+    os << s;
+    return;
+  }
+  os << '"';
+  for (char c : s) {
+    if (c == '"') os << '"';
+    os << c;
+  }
+  os << '"';
+}
+
+// Splits one CSV line into fields (RFC 4180 quoting).  Returns false on a
+// dangling quote.
+bool SplitCsvLine(std::string_view line, std::vector<std::string>& out) {
+  out.clear();
+  std::string field;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"' && field.empty()) {
+      quoted = true;
+    } else if (c == ',') {
+      out.push_back(std::move(field));
+      field.clear();
+    } else {
+      field += c;
+    }
+  }
+  if (quoted) return false;
+  out.push_back(std::move(field));
+  return true;
+}
+
+}  // namespace
+
+void TimeSeriesLog::WriteCsv(std::ostream& os) const {
+  // Column set: sorted union of metric names across all snapshots (late
+  // registrations would otherwise shift columns mid-file).
+  std::vector<std::string> columns;
+  for (const MetricsSnapshot& snap : snapshots_) {
+    for (const MetricValue& v : snap.values) columns.push_back(v.name);
+  }
+  std::sort(columns.begin(), columns.end());
+  columns.erase(std::unique(columns.begin(), columns.end()), columns.end());
+  os << "t_ns";
+  for (const std::string& c : columns) {
+    os << ',';
+    WriteCsvField(os, c);
+  }
+  os << '\n';
+  for (const MetricsSnapshot& snap : snapshots_) {
+    os << snap.at;
+    // Snapshot values are sorted by name, so a two-pointer walk lines each
+    // row up against the column union.
+    std::size_t vi = 0;
+    for (const std::string& c : columns) {
+      os << ',';
+      while (vi < snap.values.size() && snap.values[vi].name < c) ++vi;
+      if (vi < snap.values.size() && snap.values[vi].name == c) {
+        os << JsonNumber(snap.values[vi].value);
+      }
+    }
+    os << '\n';
+  }
+}
+
+std::string TimeSeriesLog::Csv() const {
+  std::ostringstream oss;
+  WriteCsv(oss);
+  return oss.str();
+}
+
+std::optional<TimeSeriesLog> TimeSeriesLog::ParseCsv(std::string_view csv) {
+  TimeSeriesLog log;
+  std::vector<std::string> header;
+  std::vector<std::string> fields;
+  std::size_t pos = 0;
+  bool first_line = true;
+  while (pos <= csv.size()) {
+    const std::size_t eol = csv.find('\n', pos);
+    std::string_view line = csv.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos : eol - pos);
+    pos = eol == std::string_view::npos ? csv.size() + 1 : eol + 1;
+    if (line.empty()) continue;
+    if (first_line) {
+      if (!SplitCsvLine(line, header) || header.empty() ||
+          header[0] != "t_ns") {
+        return std::nullopt;
+      }
+      first_line = false;
+      continue;
+    }
+    if (!SplitCsvLine(line, fields) || fields.size() != header.size()) {
+      return std::nullopt;
+    }
+    MetricsSnapshot snap;
+    char* endp = nullptr;
+    snap.at = static_cast<SimTime>(std::strtoll(fields[0].c_str(), &endp, 10));
+    if (endp == fields[0].c_str()) return std::nullopt;
+    for (std::size_t i = 1; i < fields.size(); ++i) {
+      if (fields[i].empty()) continue;
+      MetricValue v;
+      v.name = header[i];
+      v.kind = MetricKind::kGauge;
+      v.value = std::strtod(fields[i].c_str(), &endp);
+      if (endp == fields[i].c_str()) return std::nullopt;
+      snap.values.push_back(std::move(v));
+    }
+    log.Append(std::move(snap));
+  }
+  return log;
 }
 
 std::string MetricsSnapshot::Json() const {

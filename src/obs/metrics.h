@@ -15,7 +15,9 @@
 #include <deque>
 #include <functional>
 #include <iosfwd>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -45,6 +47,9 @@ struct HistogramCell {
   /// clamped to the exact observed [min, max].
   double Percentile(double p) const;
   double Mean() const { return count ? sum / static_cast<double>(count) : 0.0; }
+  /// Accumulates `other` into this cell (bucket-wise sum, [min, max] union)
+  /// — snapshot merging across shards loses no percentile resolution.
+  void Merge(const HistogramCell& other);
   void Reset();
 };
 
@@ -206,6 +211,18 @@ class TimeSeriesLog {
   /// Writes `{"series": [ {...}, ... ]}`.
   void WriteJson(std::ostream& os) const;
   std::string Json() const;
+
+  /// Writes CSV: header `t_ns,<sorted union of metric names>`, one row per
+  /// snapshot.  Histogram metrics export their count; metrics absent from a
+  /// snapshot export as empty cells.  Metric names containing commas or
+  /// quotes are double-quoted per RFC 4180.
+  void WriteCsv(std::ostream& os) const;
+  std::string Csv() const;
+
+  /// Parses WriteCsv output back into a log.  Scalar kinds collapse to
+  /// gauges (CSV carries no kind column); empty cells are skipped.  Returns
+  /// nullopt on malformed input.
+  static std::optional<TimeSeriesLog> ParseCsv(std::string_view csv);
 
  private:
   std::vector<MetricsSnapshot> snapshots_;

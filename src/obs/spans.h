@@ -1,0 +1,83 @@
+// Cross-layer request spans: one write's lifecycle as a segment tree.
+//
+// The switch stamps a fresh span id into every protocol request it
+// originates; the wire format carries the id through the store chain and the
+// ack (see core/protocol.h), and every trace record along the way repeats it.
+// Grouping records by span id and sorting by (t, order) yields a telescoping
+// sequence: the interval between consecutive records is one *segment* of the
+// request's end-to-end latency, classified by its boundary event pair —
+// switch→store network, per-shard queue wait, service time, chain hop, ack
+// return.  Segments tile the span by construction, so their durations sum
+// exactly to the end-to-end latency (pinned by tests/spans_test.cc).
+//
+// Exports: span-tree JSON (consumed by tools/report.cc) and Chrome
+// trace_event flow/slice events that overlay the segments on the tracer's
+// instant-event timeline (load both in Perfetto to follow one write across
+// components).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "obs/tracer.h"
+
+namespace redplane::obs {
+
+/// One latency segment of a span: the interval between two consecutive
+/// records of the same span, classified by its boundary events.
+struct SpanSegment {
+  std::string kind;        // classification, e.g. "queue_wait" (see .cc table)
+  std::string from;        // component that emitted the segment-opening record
+  std::string to;          // component that emitted the segment-closing record
+  Ev ev_begin = Ev::kIngress;
+  Ev ev_end = Ev::kIngress;
+  SimTime begin = 0;
+  SimTime end = 0;
+  SimTime DurationNs() const { return end - begin; }
+};
+
+/// One reconstructed request span.
+struct SpanTree {
+  std::uint64_t span = 0;
+  std::uint64_t parent_span = 0;  // 0 = root
+  std::uint64_t flow = 0;
+  std::uint64_t seq = 0;
+  SimTime begin = 0;
+  SimTime end = 0;
+  std::vector<SpanSegment> segments;
+  /// Indexes (into the BuildSpanTrees result) of spans whose parent_span is
+  /// this span.
+  std::vector<std::size_t> children;
+  SimTime TotalNs() const { return end - begin; }
+};
+
+/// Groups `records` by span id and reconstructs one SpanTree per id, sorted
+/// by first-record time for deterministic output.  `components[id]` names the
+/// component ids referenced by the records (as in WriteChromeTraceRecords).
+std::vector<SpanTree> BuildSpanTrees(std::span<const TraceRecord> records,
+                                     std::span<const std::string> components);
+
+/// Convenience: BuildSpanTrees over everything currently in `tracer`'s ring.
+std::vector<SpanTree> BuildSpanTrees(const Tracer& tracer);
+
+/// Per-segment-kind latency summary across all spans (same PhaseStats shape
+/// as Tracer::LatencyBreakdown, aggregated per `SpanSegment::kind` and —
+/// for store-side segments — per closing component, e.g.
+/// "queue_wait@store0").
+std::vector<PhaseStats> SummarizeSegments(std::span<const SpanTree> spans);
+
+/// Writes `{"spans": [...]}` JSON: per span its ids, bounds, total, and the
+/// classified segment list.
+void WriteSpansJson(std::ostream& os, std::span<const SpanTree> spans);
+std::string SpansJson(std::span<const SpanTree> spans);
+
+/// Writes Chrome trace_event JSON rendering each span's segments as "X"
+/// slices on the closing component's track, chained by flow events
+/// (ph s/t/f, id = span id) so Perfetto draws arrows across components.
+void WriteChromeSpans(std::ostream& os, std::span<const SpanTree> spans);
+
+}  // namespace redplane::obs

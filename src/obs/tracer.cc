@@ -43,6 +43,7 @@ const char* EvName(Ev ev) {
     case Ev::kSnapshotSent: return "snapshot_sent";
     case Ev::kOutputDropped: return "output_dropped";
     case Ev::kStoreRecv: return "store_recv";
+    case Ev::kStoreServiceStart: return "store_service_start";
     case Ev::kStoreApplied: return "store_applied";
     case Ev::kStoreBuffered: return "store_buffered";
     case Ev::kStoreReadParked: return "store_read_parked";
@@ -72,10 +73,19 @@ bool TraceFilter::Matches(const TraceRecord& r, const Tracer& tracer) const {
   return true;
 }
 
-Tracer::Tracer(std::size_t capacity) {
+Tracer::Tracer(std::size_t capacity) : metrics_("tracer") {
   if (capacity == 0) capacity = 1;
   ring_.resize(capacity);
   components_.emplace_back("?");  // id 0 = unknown
+  // Ring-truncation visibility (sampled alongside component metrics so a
+  // trace-derived artifact can be cross-checked against eviction pressure).
+  metrics_.AddCallbackGauge("evicted_records",
+                            [this] { return static_cast<double>(evicted_); });
+  metrics_.AddCallbackGauge("orphaned_ends", [this] {
+    return static_cast<double>(CountOrphanedEnds());
+  });
+  metrics_.AddCallbackGauge("live_records",
+                            [this] { return static_cast<double>(count_); });
 }
 
 std::uint16_t Tracer::Intern(std::string_view name) {
@@ -93,7 +103,8 @@ const std::string& Tracer::ComponentName(std::uint16_t id) const {
 }
 
 void Tracer::Emit(std::uint16_t component, Ev ev, std::uint64_t flow,
-                  std::uint64_t seq, double arg) {
+                  std::uint64_t seq, double arg, std::uint64_t span,
+                  std::uint64_t parent_span) {
   if (!enabled_) return;
   if (flow_filter_ != 0 && flow != 0 && flow != flow_filter_) return;
   TraceRecord rec;
@@ -104,6 +115,8 @@ void Tracer::Emit(std::uint16_t component, Ev ev, std::uint64_t flow,
   rec.flow = flow;
   rec.seq = seq;
   rec.arg = arg;
+  rec.span = span;
+  rec.parent_span = parent_span;
   if (count_ < ring_.size()) {
     ring_[(head_ + count_) % ring_.size()] = rec;
     ++count_;
@@ -164,6 +177,13 @@ void WriteChromeTraceRecords(std::ostream& os,
        << ", \"name\": \"" << EvName(r.ev) << "\", \"args\": {\"flow\": \""
        << std::hex << r.flow << std::dec << "\", \"seq\": " << r.seq
        << ", \"arg\": " << JsonNumber(r.arg);
+    if (r.span != 0) {
+      os << ", \"span\": \"" << std::hex << r.span << std::dec << '"';
+    }
+    if (r.parent_span != 0) {
+      os << ", \"parent_span\": \"" << std::hex << r.parent_span << std::dec
+         << '"';
+    }
     if (r.orphan) os << ", \"orphan\": true";
     os << "}}";
   }
@@ -208,7 +228,8 @@ constexpr PhaseDef kPhases[] = {
     {"failover_rehome", Ev::kLeaseMiss, Ev::kFailoverRehome, false, 0},
     {"write_replication_rtt", Ev::kReplicationSent, Ev::kAckReleased, true, -1},
     {"switch_to_store", Ev::kReplicationSent, Ev::kStoreRecv, true, -1},
-    {"store_apply", Ev::kStoreRecv, Ev::kStoreApplied, true, -1},
+    {"store_queue_wait", Ev::kStoreRecv, Ev::kStoreServiceStart, true, -1},
+    {"store_apply", Ev::kStoreServiceStart, Ev::kStoreApplied, true, -1},
     {"store_respond", Ev::kStoreApplied, Ev::kStoreResponded, true, -1},
     {"store_to_switch", Ev::kStoreResponded, Ev::kAckReleased, true, -1},
     {"buffered_read_rtt", Ev::kBufferedRead, Ev::kAckReleased, true, -1},

@@ -23,6 +23,7 @@
 #include "common/stats.h"
 #include "common/types.h"
 #include "obs/events.h"
+#include "obs/metrics.h"
 
 namespace redplane::obs {
 
@@ -42,6 +43,13 @@ struct TraceRecord {
   std::uint64_t flow = 0;
   std::uint64_t seq = 0;
   double arg = 0.0;
+  /// Cross-layer request span this record belongs to (0 = none).  The switch
+  /// stamps a fresh span id into each protocol request; the store echoes it
+  /// through the chain and the ack, so one write's whole lifecycle shares
+  /// one id across components (see obs/spans.h).
+  std::uint64_t span = 0;
+  /// Enclosing span, for lifecycles spawned by another (0 = root).
+  std::uint64_t parent_span = 0;
 };
 
 /// One begin→end protocol-span pairing (the pairings behind
@@ -110,7 +118,8 @@ class Tracer {
 
   // --- recording ---
   void Emit(std::uint16_t component, Ev ev, std::uint64_t flow = 0,
-            std::uint64_t seq = 0, double arg = 0.0);
+            std::uint64_t seq = 0, double arg = 0.0, std::uint64_t span = 0,
+            std::uint64_t parent_span = 0);
 
   // --- inspection ---
   std::size_t size() const { return count_; }
@@ -122,6 +131,12 @@ class Tracer {
   /// End-of-span records currently in the ring whose begin partner was
   /// evicted (or never recorded); see MarkOrphanedEnds.
   std::size_t CountOrphanedEnds() const;
+
+  /// The tracer's own health metrics ("tracer.evicted_records",
+  /// "tracer.orphaned_ends", "tracer.live_records" callback gauges) — register
+  /// with a MetricsHub to make ring truncation visible in every sampled run
+  /// instead of silently losing span begins.
+  const MetricRegistry& metrics() const { return metrics_; }
 
   /// Drops recorded events (keeps component names and configuration).
   void Clear();
@@ -151,6 +166,7 @@ class Tracer {
   std::function<SimTime()> clock_;
   std::vector<std::string> components_;
   std::uint64_t generation_ = 1;
+  MetricRegistry metrics_;  // callback gauges over ring state; see metrics()
 };
 
 namespace internal {
@@ -185,7 +201,8 @@ class TraceHandle {
   }
 
   void Emit(Ev ev, std::uint64_t flow = 0, std::uint64_t seq = 0,
-            double arg = 0.0) const {
+            double arg = 0.0, std::uint64_t span = 0,
+            std::uint64_t parent_span = 0) const {
     Tracer* t = internal::g_tracer;
     if (t == nullptr || !t->enabled()) return;
     if (cached_tracer_ != t || cached_generation_ != t->generation()) {
@@ -193,7 +210,7 @@ class TraceHandle {
       cached_generation_ = t->generation();
       cached_id_ = t->Intern(name_.empty() ? std::string_view("?") : name_);
     }
-    t->Emit(cached_id_, ev, flow, seq, arg);
+    t->Emit(cached_id_, ev, flow, seq, arg, span, parent_span);
   }
 
  private:

@@ -4,8 +4,15 @@
 #include <cassert>
 
 #include "common/logging.h"
+#include "obs/profiler.h"
 
 namespace redplane::sim {
+
+namespace {
+// Sampled wall-clock accounting of event dispatch: the "everything else"
+// bucket that callee ProfScopes (switch/store/codec) subtract from.
+obs::ProfSite g_prof_dispatch("sim.dispatch");
+}  // namespace
 
 Simulator::Simulator() {
   SetLogClock(this, [this] { return now_; });
@@ -40,7 +47,10 @@ bool Simulator::PopAndRunOne(SimTime limit) {
     assert(top.time >= now_);
     now_ = top.time;
     ++processed_;
-    InvokeSlot(top.slot);  // may schedule more events; slab blocks never move
+    {
+      obs::ProfScope prof(g_prof_dispatch);
+      InvokeSlot(top.slot);  // may schedule more events; slab blocks never move
+    }
     ReleaseSlot(top.slot);
     return true;
   }

@@ -4,8 +4,14 @@
 #include <cassert>
 
 #include "common/logging.h"
+#include "obs/profiler.h"
 
 namespace redplane::store {
+
+namespace {
+obs::ProfSite g_prof_probe("chain_mgr.probe");
+obs::ProfSite g_prof_rewire("chain_mgr.rewire");
+}  // namespace
 
 ChainManager::ChainManager(sim::Simulator& sim,
                            std::vector<StateStoreServer*> replicas,
@@ -30,6 +36,7 @@ net::Ipv4Addr ChainManager::HeadIp() const {
 }
 
 void ChainManager::Rewire() {
+  obs::ProfScope prof(g_prof_rewire);
   for (std::size_t i = 0; i < active_.size(); ++i) {
     active_[i]->SetIsHead(i == 0);
     if (i + 1 < active_.size()) {
@@ -41,6 +48,7 @@ void ChainManager::Rewire() {
 }
 
 void ChainManager::Probe() {
+  obs::ProfScope prof(g_prof_probe);
   // Detect failed replicas and splice them out.
   std::vector<StateStoreServer*> survivors;
   survivors.reserve(active_.size());

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/logging.h"
+#include "obs/profiler.h"
 
 namespace redplane::store {
 
@@ -11,6 +12,11 @@ using core::AckKind;
 using core::Msg;
 using core::MsgType;
 using core::MsgView;
+
+namespace {
+obs::ProfSite g_prof_handle_packet("store.handle_packet");
+obs::ProfSite g_prof_process("store.process");
+}  // namespace
 
 StateStoreServer::StateStoreServer(sim::Simulator& sim, NodeId id,
                                    std::string name, net::Ipv4Addr ip,
@@ -39,17 +45,54 @@ StateStoreServer::StateStoreServer(sim::Simulator& sim, NodeId id,
   m_.responses = reg.RegisterCounter("responses");
   m_.batch_envelopes = reg.RegisterCounter("batch_envelopes");
   m_.batch_subs = reg.RegisterCounter("batch_subs");
+  // Replication wire bytes received, split per request type (Fig. 10-style
+  // bandwidth attribution, sampled into per-shard time series).
+  m_.init_bytes_rx = reg.RegisterCounter("init_bytes_rx");
+  m_.repl_bytes_rx = reg.RegisterCounter("repl_bytes_rx");
+  m_.renew_bytes_rx = reg.RegisterCounter("renew_bytes_rx");
+  m_.read_buffer_bytes_rx = reg.RegisterCounter("read_buffer_bytes_rx");
+  m_.snapshot_bytes_rx = reg.RegisterCounter("snapshot_bytes_rx");
+  m_.chain_bytes_rx = reg.RegisterCounter("chain_bytes_rx");
+  m_.batch_bytes_rx = reg.RegisterCounter("batch_bytes_rx");
+  m_.resp_bytes_tx = reg.RegisterCounter("resp_bytes_tx");
   reg.AddCallbackGauge(
       "num_flows", [this] { return static_cast<double>(flows_.size()); });
+  // Occupancy gauges for the periodic sampler: how deep the FIFO service
+  // queue is (in service-time units), fraction of sim time spent busy, and
+  // table sizes that bound memory.
+  reg.AddCallbackGauge("queue_depth", [this] {
+    const SimTime now = sim_.Now();
+    if (busy_until_ <= now || config_.service_time <= 0) return 0.0;
+    return static_cast<double>(busy_until_ - now) /
+           static_cast<double>(config_.service_time);
+  });
+  reg.AddCallbackGauge("busy_frac", [this] {
+    const SimTime now = sim_.Now();
+    return now > 0 ? static_cast<double>(busy_time_) / static_cast<double>(now)
+                   : 0.0;
+  });
+  reg.AddCallbackGauge("pending_inits", [this] {
+    std::size_t n = 0;
+    for (const auto& [key, queue] : pending_inits_) n += queue.size();
+    return static_cast<double>(n);
+  });
+  reg.AddCallbackGauge("waiting_reads", [this] {
+    std::size_t n = 0;
+    for (const auto& [key, reads] : waiting_reads_) n += reads.size();
+    return static_cast<double>(n);
+  });
 }
 
 void StateStoreServer::HandlePacket(net::Packet pkt, PortId in_port) {
+  obs::ProfScope prof(g_prof_handle_packet);
   (void)in_port;
   if (!core::IsProtocolPacket(pkt)) {
     m_.non_protocol_drops.Add();
     return;
   }
+  const double wire_bytes = static_cast<double>(pkt.WireSize());
   if (net::IsBatchFrame(pkt.payload)) {
+    m_.batch_bytes_rx.Add(wire_bytes);
     // A batch envelope occupies the CPU once regardless of how many
     // sub-messages it carries — the requests/sec win of coalescing.
     const SimTime start = std::max(sim_.Now(), busy_until_);
@@ -70,6 +113,29 @@ void StateStoreServer::HandlePacket(net::Packet pkt, PortId in_port) {
   if (!msg.has_value()) {
     m_.malformed_drops.Add();
     return;
+  }
+  // Wire-byte attribution per request type.  Chain-internal traffic is
+  // accounted separately: it is replication fan-out, not switch load.
+  if (msg->chain_hop() > 0) {
+    m_.chain_bytes_rx.Add(wire_bytes);
+  } else {
+    switch (msg->type()) {
+      case MsgType::kLeaseNewReq: m_.init_bytes_rx.Add(wire_bytes); break;
+      case MsgType::kLeaseRenewReq: m_.repl_bytes_rx.Add(wire_bytes); break;
+      case MsgType::kLeaseRenewOnly: m_.renew_bytes_rx.Add(wire_bytes); break;
+      case MsgType::kReadBufferReq:
+        m_.read_buffer_bytes_rx.Add(wire_bytes);
+        break;
+      case MsgType::kSnapshotRepl: m_.snapshot_bytes_rx.Add(wire_bytes); break;
+      case MsgType::kAck: break;
+    }
+  }
+  // Arrival instant: begins the request's queue-wait segment (service start
+  // is emitted by ProcessMsg when the FIFO drains to it).
+  if (trace().armed()) {
+    trace().Emit(obs::Ev::kStoreRecv, net::HashPartitionKey(msg->key()),
+                 msg->seq(), static_cast<double>(msg->chain_hop()),
+                 msg->span_id());
   }
   // FIFO service: one CPU core draining a kernel-bypass queue.
   const SimTime start = std::max(sim_.Now(), busy_until_);
@@ -103,9 +169,13 @@ void StateStoreServer::SetUp(bool up) {
 }
 
 void StateStoreServer::ProcessMsg(MsgView msg) {
+  obs::ProfScope prof(g_prof_process);
+  // Service start: closes the queue-wait segment opened by the arrival
+  // kStoreRecv in HandlePacket.
   if (trace().armed()) {
-    trace().Emit(obs::Ev::kStoreRecv, net::HashPartitionKey(msg.key()),
-                 msg.seq(), static_cast<double>(msg.chain_hop()));
+    trace().Emit(obs::Ev::kStoreServiceStart, net::HashPartitionKey(msg.key()),
+                 msg.seq(), static_cast<double>(msg.chain_hop()),
+                 msg.span_id());
   }
   if (msg.chain_hop() > 0) {
     // Chain-internal: the head already decided; apply and continue.
@@ -118,7 +188,7 @@ void StateStoreServer::ProcessMsg(MsgView msg) {
     m_.misdirected_drops.Add();
     if (trace().armed()) {
       trace().Emit(obs::Ev::kStoreDenied, net::HashPartitionKey(msg.key()),
-                   msg.seq());
+                   msg.seq(), 0.0, msg.span_id());
     }
     return;
   }
@@ -153,6 +223,15 @@ void StateStoreServer::ProcessBatchEnvelope(net::BufferView frame) {
     if (!msg.has_value()) {
       m_.malformed_drops.Add();
       continue;
+    }
+    // Batched subs arrive and start service at the same instant (the
+    // envelope's arrival already paid the queue wait); emit the per-sub
+    // arrival here so every span still carries a (zero-length) queue-wait
+    // segment and pairs symmetrically with the single-message path.
+    if (trace().armed()) {
+      trace().Emit(obs::Ev::kStoreRecv, net::HashPartitionKey(msg->key()),
+                   msg->seq(), static_cast<double>(msg->chain_hop()),
+                   msg->span_id());
     }
     // Each sub-message runs the regular handler, so seq filtering, lease
     // checks, taps, and per-flow acks are exactly per-packet semantics.
@@ -190,12 +269,14 @@ bool StateStoreServer::LeaseActiveByOther(const FlowRecord& rec,
 
 void StateStoreServer::SendDeny(const net::PartitionKey& key,
                                 net::Ipv4Addr requester,
-                                std::uint64_t last_applied_seq) {
+                                std::uint64_t last_applied_seq,
+                                std::uint64_t span) {
   Msg deny;
   deny.type = MsgType::kAck;
   deny.ack = AckKind::kLeaseDenied;
   deny.key = key;
   deny.seq = last_applied_seq;
+  deny.span_id = span;
   SendMsg(requester, deny);
   m_.lease_denied.Add();
 }
@@ -215,19 +296,21 @@ void StateStoreServer::HandleInit(Msg msg) {
       }
     }
     if (queue.size() >= config_.max_buffered_inits) {
-      SendDeny(msg.key, msg.reply_to, rec.last_applied_seq);
+      SendDeny(msg.key, msg.reply_to, rec.last_applied_seq, msg.span_id);
       if (trace().armed()) {
-        trace().Emit(obs::Ev::kStoreDenied, net::HashPartitionKey(msg.key), 0);
+        trace().Emit(obs::Ev::kStoreDenied, net::HashPartitionKey(msg.key), 0,
+                     0.0, msg.span_id);
       }
       return;
     }
     const net::PartitionKey key = msg.key;
+    const std::uint64_t span = msg.span_id;
     const SimTime retry_at = rec.lease_expiry + Microseconds(1);
     queue.push_back(PendingInit{std::move(msg)});
     m_.init_buffered.Add();
     if (trace().armed()) {
       trace().Emit(obs::Ev::kStoreBuffered, net::HashPartitionKey(key), 0,
-                   static_cast<double>(queue.size()));
+                   static_cast<double>(queue.size()), span);
     }
     sim_.ScheduleAt(retry_at, [this, key]() { PumpPendingInits(key); });
     return;
@@ -258,10 +341,10 @@ void StateStoreServer::HandleRepl(MsgView msg) {
   m_.repl_reqs.Add();
   FlowRecord& rec = GetOrCreate(msg.key());
   if (LeaseActiveByOther(rec, msg.reply_to())) {
-    SendDeny(msg.key(), msg.reply_to(), rec.last_applied_seq);
+    SendDeny(msg.key(), msg.reply_to(), rec.last_applied_seq, msg.span_id());
     if (trace().armed()) {
       trace().Emit(obs::Ev::kStoreDenied, net::HashPartitionKey(msg.key()),
-                   msg.seq());
+                   msg.seq(), 0.0, msg.span_id());
     }
     return;
   }
@@ -286,6 +369,7 @@ void StateStoreServer::HandleRepl(MsgView msg) {
     ack.ack = AckKind::kWriteAck;
     ack.key = msg.key();
     ack.seq = rec.last_applied_seq;
+    ack.span_id = msg.span_id();
     ack.piggyback_raw = msg.piggyback_bytes();
     SendMsg(msg.reply_to(), ack);
     return;
@@ -301,10 +385,10 @@ void StateStoreServer::HandleRenewOnly(MsgView msg) {
   m_.renew_reqs.Add();
   FlowRecord& rec = GetOrCreate(msg.key());
   if (LeaseActiveByOther(rec, msg.reply_to())) {
-    SendDeny(msg.key(), msg.reply_to(), rec.last_applied_seq);
+    SendDeny(msg.key(), msg.reply_to(), rec.last_applied_seq, msg.span_id());
     if (trace().armed()) {
       trace().Emit(obs::Ev::kStoreDenied, net::HashPartitionKey(msg.key()),
-                   msg.seq());
+                   msg.seq(), 0.0, msg.span_id());
     }
     return;
   }
@@ -336,6 +420,7 @@ void StateStoreServer::HandleSnapshot(MsgView msg) {
     ack.key = msg.key();
     ack.seq = msg.seq();
     ack.snapshot_index = msg.snapshot_index();
+    ack.span_id = msg.span_id();
     SendMsg(msg.reply_to(), ack);
     return;
   }
@@ -371,7 +456,8 @@ void StateStoreServer::ApplyAndContinue(MsgView msg) {
         if (trace().armed()) {
           trace().Emit(obs::Ev::kStoreApplied,
                        net::HashPartitionKey(msg.key()), msg.seq(),
-                       static_cast<double>(msg.state().size()));
+                       static_cast<double>(msg.state().size()),
+                       msg.span_id());
         }
         if (atap_.armed()) {
           atap_.Emit(audit::Tap::kStoreApplied,
@@ -399,7 +485,8 @@ void StateStoreServer::ApplyAndContinue(MsgView msg) {
         // permitted by the correctness model).
         if (trace().armed()) {
           trace().Emit(obs::Ev::kStoreReadParked,
-                       net::HashPartitionKey(msg.key()), msg.seq());
+                       net::HashPartitionKey(msg.key()), msg.seq(), 0.0,
+                       msg.span_id());
         }
         waiting_reads_[msg.key()].push_back(std::move(msg));
         m_.reads_parked.Add();
@@ -449,6 +536,7 @@ void StateStoreServer::Respond(const MsgView& request) {
   resp.key = request.key();
   resp.seq = request.seq();
   resp.snapshot_index = request.snapshot_index();
+  resp.span_id = request.span_id();
   resp.piggyback_raw = request.piggyback_bytes();
   if (request.ack() == AckKind::kLeaseGrantNew ||
       request.ack() == AckKind::kLeaseGrantMigrate) {
@@ -457,7 +545,8 @@ void StateStoreServer::Respond(const MsgView& request) {
   m_.responses.Add();
   if (trace().armed()) {
     trace().Emit(obs::Ev::kStoreResponded,
-                 net::HashPartitionKey(request.key()), request.seq());
+                 net::HashPartitionKey(request.key()), request.seq(), 0.0,
+                 request.span_id());
   }
   if (atap_.armed() && IsTail() && request.ack() == AckKind::kWriteAck) {
     // The tail answering a decided write is the chain-wide commit point —
@@ -471,6 +560,9 @@ void StateStoreServer::Respond(const MsgView& request) {
 
 void StateStoreServer::SendMsg(net::Ipv4Addr dst, const Msg& msg) {
   net::Packet pkt = core::MakeProtocolPacket(ip_, dst, msg);
+  if (msg.type == MsgType::kAck) {
+    m_.resp_bytes_tx.Add(static_cast<double>(pkt.WireSize()));
+  }
   SendTo(0, std::move(pkt));
 }
 

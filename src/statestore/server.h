@@ -170,9 +170,10 @@ class StateStoreServer : public sim::Node {
   FlowRecord& GetOrCreate(const net::PartitionKey& key);
   bool LeaseActiveByOther(const FlowRecord& rec, net::Ipv4Addr requester) const;
 
-  /// Sends a kLeaseDenied ack for `key` to `requester`.
+  /// Sends a kLeaseDenied ack for `key` to `requester`, echoing the denied
+  /// request's observability span id.
   void SendDeny(const net::PartitionKey& key, net::Ipv4Addr requester,
-                std::uint64_t last_applied_seq);
+                std::uint64_t last_applied_seq, std::uint64_t span = 0);
 
   /// Re-examines buffered Inits for `key` (called when a lease lapses).
   void PumpPendingInits(const net::PartitionKey& key);
@@ -204,6 +205,14 @@ class StateStoreServer : public sim::Node {
     obs::Counter responses;
     obs::Counter batch_envelopes;
     obs::Counter batch_subs;
+    obs::Counter init_bytes_rx;
+    obs::Counter repl_bytes_rx;
+    obs::Counter renew_bytes_rx;
+    obs::Counter read_buffer_bytes_rx;
+    obs::Counter snapshot_bytes_rx;
+    obs::Counter chain_bytes_rx;
+    obs::Counter batch_bytes_rx;
+    obs::Counter resp_bytes_tx;
   };
   Metrics m_;
 

@@ -3,6 +3,8 @@
 // phase pairing, and end-to-end trace determinism on the full testbed.
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -13,8 +15,10 @@
 #include "net/flow.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/tracer.h"
 #include "routing/topology.h"
+#include "sim/simulator.h"
 
 namespace redplane {
 namespace {
@@ -284,6 +288,234 @@ TEST(MetricsTest, TimeSeriesJsonRoundTrips) {
   EXPECT_TRUE(obs::ValidateJson(json)) << json;
   EXPECT_NE(json.find("\"t_ns\": 1000"), std::string::npos);
   EXPECT_NE(json.find("comp.lat_us"), std::string::npos);
+}
+
+TEST(TracerTest, RingHealthGaugesTrackEvictionAndOrphans) {
+  Tracer tracer(4);
+  tracer.SetEnabled(true);
+  const std::uint16_t comp = tracer.Intern("c");
+  // Overflow the ring so some span begins are evicted while their ends
+  // survive: each (begin, end) pair shares a seq; ring holds only 4 records.
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    tracer.Emit(comp, Ev::kStoreRecv, /*flow=*/1, /*seq=*/i);
+  }
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    tracer.Emit(comp, Ev::kStoreApplied, /*flow=*/1, /*seq=*/i);
+  }
+  const auto& metrics = tracer.metrics();
+  EXPECT_EQ(metrics.component(), "tracer");
+  const auto snap = metrics.Snapshot(0);
+  double evicted = -1, orphaned = -1, live = -1;
+  for (const auto& v : snap.values) {
+    if (v.name == "evicted_records") evicted = v.value;
+    if (v.name == "orphaned_ends") orphaned = v.value;
+    if (v.name == "live_records") live = v.value;
+  }
+  EXPECT_DOUBLE_EQ(evicted, 8.0);   // 12 emitted into a 4-slot ring
+  EXPECT_DOUBLE_EQ(live, 4.0);
+  // The surviving records are all kStoreApplied ends (seq 2..5) whose
+  // kStoreRecv begins were evicted.
+  EXPECT_DOUBLE_EQ(orphaned, 4.0);
+  EXPECT_EQ(tracer.evicted(), 8u);
+}
+
+TEST(MetricsTest, HistogramCellMergeMatchesCombinedRecording) {
+  obs::HistogramCell a, b, combined;
+  std::uint64_t lcg = 99;
+  for (int i = 0; i < 5000; ++i) {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    const double v = 0.5 + static_cast<double>(lcg >> 40) / 1000.0;
+    (i % 2 ? a : b).Record(v);
+    combined.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count, combined.count);
+  EXPECT_DOUBLE_EQ(a.sum, combined.sum);
+  EXPECT_DOUBLE_EQ(a.min, combined.min);
+  EXPECT_DOUBLE_EQ(a.max, combined.max);
+  for (double p : {1.0, 50.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(a.Percentile(p), combined.Percentile(p)) << "p" << p;
+  }
+}
+
+TEST(MetricsTest, TimeSeriesCsvRoundTrips) {
+  obs::MetricRegistry registry("shard");
+  auto depth = registry.RegisterGauge("queue_depth");
+  auto lat = registry.RegisterHistogram("lat_us");
+  obs::MetricsHub hub;
+  hub.Register(&registry);
+  obs::TimeSeriesLog log;
+  depth.Set(3);
+  lat.Record(12.5);
+  log.Append(hub.Snapshot(1000));
+  depth.Set(7);
+  lat.Record(20.0);
+  log.Append(hub.Snapshot(2000));
+
+  const std::string csv = log.Csv();
+  auto parsed = obs::TimeSeriesLog::ParseCsv(csv);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->Size(), 2u);
+  EXPECT_EQ(parsed->At(0).at, 1000);
+  EXPECT_EQ(parsed->At(1).at, 2000);
+  auto value_of = [](const obs::MetricsSnapshot& snap,
+                     const std::string& name) {
+    for (const auto& v : snap.values) {
+      if (v.name == name) return v.value;
+    }
+    return -1.0;
+  };
+  EXPECT_DOUBLE_EQ(value_of(parsed->At(0), "shard.queue_depth"), 3.0);
+  EXPECT_DOUBLE_EQ(value_of(parsed->At(1), "shard.queue_depth"), 7.0);
+  // Histograms export their count into CSV.
+  EXPECT_DOUBLE_EQ(value_of(parsed->At(0), "shard.lat_us"), 1.0);
+  EXPECT_DOUBLE_EQ(value_of(parsed->At(1), "shard.lat_us"), 2.0);
+  EXPECT_FALSE(obs::TimeSeriesLog::ParseCsv("not,a\nvalid").has_value());
+}
+
+TEST(MetricsTest, PeriodicHubSamplingUnderSimulatorIsDeterministic) {
+  // The same shape ObsSession::StartSampling uses: a self-rescheduling sim
+  // event snapshots the hub; timestamps must land exactly on the period grid.
+  sim::Simulator sim;
+  obs::MetricRegistry registry("comp");
+  auto ctr = registry.RegisterCounter("events");
+  obs::MetricsHub hub;
+  hub.Register(&registry);
+  obs::TimeSeriesLog log;
+
+  const SimDuration period = Microseconds(10);
+  std::function<void()> sample = [&]() {
+    log.Append(hub.Snapshot(sim.Now()));
+    if (sim.Now() < Microseconds(50)) {
+      sim.ScheduleAt(sim.Now() + period, sample);
+    }
+  };
+  sim.ScheduleAt(period, sample);
+  for (int i = 0; i < 42; ++i) {
+    sim.ScheduleAt(Microseconds(1) * (i + 1), [&ctr]() { ctr.Add(); });
+  }
+  sim.Run();
+
+  ASSERT_EQ(log.Size(), 5u);
+  for (std::size_t i = 0; i < log.Size(); ++i) {
+    EXPECT_EQ(log.At(i).at, static_cast<SimTime>(period) *
+                                static_cast<SimTime>(i + 1));
+  }
+  // Counter value at each snapshot is exact: 1 event per us, sampled every
+  // 10 us.  At the 10 us tie the sampler fires first (it was scheduled
+  // first; equal timestamps dispatch in scheduling order), so it sees 9.
+  EXPECT_DOUBLE_EQ(log.At(0).values[0].value, 9.0);
+  EXPECT_DOUBLE_EQ(log.At(4).values[0].value, 42.0);
+}
+
+// --- profiler ---------------------------------------------------------------
+
+/// RAII guard for the process-global profiler.
+struct GlobalProfilerGuard {
+  explicit GlobalProfilerGuard(obs::Profiler* p)
+      : prev(obs::SetGlobalProfiler(p)) {}
+  ~GlobalProfilerGuard() { obs::SetGlobalProfiler(prev); }
+  obs::Profiler* prev;
+};
+
+TEST(ProfilerTest, BuildsCallPathTreeWithPerPathNodes) {
+  obs::Profiler profiler;
+  profiler.SetEnabled(true);
+  GlobalProfilerGuard guard(&profiler);
+  obs::ProfSite outer("outer");
+  obs::ProfSite inner("inner");
+  {
+    obs::ProfScope a(outer);
+    { obs::ProfScope b(inner); }
+    { obs::ProfScope c(inner); }
+  }
+  { obs::ProfScope d(inner); }  // same site, different path => new node
+  ASSERT_EQ(profiler.NumNodes(), 3u);
+  const auto& nodes = profiler.Nodes();
+  EXPECT_EQ(profiler.SiteName(nodes[0].site), "outer");
+  EXPECT_EQ(nodes[0].parent, -1);
+  EXPECT_EQ(nodes[0].count, 1u);
+  EXPECT_EQ(profiler.SiteName(nodes[1].site), "inner");
+  EXPECT_EQ(nodes[1].parent, 0);
+  EXPECT_EQ(nodes[1].count, 2u);  // both nested scopes share one node
+  EXPECT_EQ(profiler.SiteName(nodes[2].site), "inner");
+  EXPECT_EQ(nodes[2].parent, -1);
+  // Totals telescope: the parent's total covers its children's.
+  EXPECT_GE(nodes[0].total_ns, nodes[1].total_ns);
+  EXPECT_EQ(profiler.SelfNs(0),
+            nodes[0].total_ns - nodes[1].total_ns);
+}
+
+TEST(ProfilerTest, StrideSamplesOneInNAndScalesCounts) {
+  obs::Profiler profiler;
+  profiler.SetEnabled(true);
+  GlobalProfilerGuard guard(&profiler);
+  obs::ProfSite site("strided", /*stride=*/8);
+  int sampled = 0;
+  for (int i = 0; i < 64; ++i) {
+    obs::ProfScope scope(site);
+    sampled += scope.sampled() ? 1 : 0;
+  }
+  EXPECT_EQ(sampled, 8);  // 1 in 8 entries measured
+  ASSERT_EQ(profiler.NumNodes(), 1u);
+  // Counts are scaled back by the stride so totals stay unbiased.
+  EXPECT_EQ(profiler.Nodes()[0].count, 64u);
+}
+
+TEST(ProfilerTest, DisarmedAndDisabledScopesRecordNothing) {
+  obs::ProfSite site("idle");
+  { obs::ProfScope scope(site); }  // no profiler installed
+  obs::Profiler profiler;          // installed but not enabled
+  GlobalProfilerGuard guard(&profiler);
+  { obs::ProfScope scope(site); }
+  EXPECT_EQ(profiler.NumNodes(), 0u);
+  // Arming via SetEnabled takes effect on the already-installed profiler.
+  profiler.SetEnabled(true);
+  { obs::ProfScope scope(site); }
+  EXPECT_EQ(profiler.NumNodes(), 1u);
+  profiler.SetEnabled(false);
+  { obs::ProfScope scope(site); }
+  EXPECT_EQ(profiler.Nodes()[0].count, 1u);
+}
+
+TEST(ProfilerTest, ExportsValidJsonAndCollapsedStacks) {
+  obs::Profiler profiler;
+  profiler.SetEnabled(true);
+  GlobalProfilerGuard guard(&profiler);
+  obs::ProfSite outer("sim.dispatch");
+  obs::ProfSite inner("store.process");
+  {
+    obs::ProfScope a(outer);
+    obs::ProfScope b(inner);
+  }
+  const std::string json = profiler.Json();
+  EXPECT_TRUE(obs::ValidateJson(json)) << json;
+  auto doc = obs::ParseJson(json);
+  ASSERT_TRUE(doc.has_value());
+  const auto* sites = doc->Find("sites");
+  ASSERT_NE(sites, nullptr);
+  ASSERT_EQ(sites->array.size(), 2u);
+  std::ostringstream collapsed;
+  profiler.WriteCollapsed(collapsed);
+  EXPECT_NE(collapsed.str().find("sim.dispatch;store.process "),
+            std::string::npos)
+      << collapsed.str();
+  profiler.Reset();
+  EXPECT_EQ(profiler.NumNodes(), 0u);
+}
+
+TEST(JsonTest, ParserRoundTripsExports) {
+  auto doc = obs::ParseJson(
+      "{\"a\": [1, 2.5, -3e2], \"b\": {\"c\": \"x\\ny\", \"d\": true}}");
+  ASSERT_TRUE(doc.has_value());
+  const auto* a = doc->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->IsArray());
+  EXPECT_DOUBLE_EQ(a->array[2].number, -300.0);
+  const auto* b = doc->Find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->StringOr("c", ""), "x\ny");
+  EXPECT_FALSE(obs::ParseJson("{\"a\": }").has_value());
 }
 
 TEST(JsonTest, ValidatorAcceptsAndRejects) {

@@ -1,0 +1,263 @@
+// Cross-layer request spans: a traced write's lifecycle reconstructs as a
+// span tree whose segments tile the span — switch→store network, per-shard
+// queue wait, service, chain hops, and the ack return sum *exactly* to the
+// measured end-to-end write latency (the PR's acceptance pin).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/redplane_switch.h"
+#include "net/codec.h"
+#include "obs/json.h"
+#include "obs/spans.h"
+#include "obs/tracer.h"
+#include "sim/host.h"
+#include "sim/network.h"
+#include "statestore/server.h"
+
+namespace redplane {
+namespace {
+
+using obs::Ev;
+using obs::SpanTree;
+using obs::Tracer;
+
+constexpr net::Ipv4Addr kSrcIp(10, 0, 0, 1);
+constexpr net::Ipv4Addr kDstIp(192, 168, 10, 1);
+constexpr net::Ipv4Addr kSwIp(172, 16, 0, 1);
+
+/// RAII guard that installs a tracer as the process-global one.
+struct GlobalTracerGuard {
+  explicit GlobalTracerGuard(Tracer* t) : prev(obs::SetGlobalTracer(t)) {}
+  ~GlobalTracerGuard() { obs::SetGlobalTracer(prev); }
+  Tracer* prev;
+};
+
+class CounterApp : public core::SwitchApp {
+ public:
+  std::string_view name() const override { return "counter"; }
+  core::ProcessResult Process(core::AppContext&, net::Packet pkt,
+                              std::vector<std::byte>& state) override {
+    core::ProcessResult result;
+    core::SetState(state,
+                   core::StateAs<std::uint64_t>(state).value_or(0) + 1);
+    result.state_modified = true;
+    result.outputs.push_back(std::move(pkt));
+    return result;
+  }
+};
+
+/// One RedPlane switch in front of a 3-replica store chain, traced: every
+/// data packet is a write, so each one produces a replication request that
+/// traverses head → mid → tail and acks back to the switch.
+struct TracedChainHarness {
+  TracedChainHarness() {
+    tracer.SetClock([this]() { return sim.Now(); });
+    tracer.SetEnabled(true);
+
+    net = std::make_unique<sim::Network>(sim, 11);
+    src = net->AddNode<sim::HostNode>("src", kSrcIp);
+    dst = net->AddNode<sim::HostNode>("dst", kDstIp);
+    dp::SwitchConfig sc;
+    sc.switch_ip = kSwIp;
+    sw = net->AddNode<dp::SwitchNode>("sw", sc);
+    hub = net->AddNode<sim::HostNode>("hub", net::Ipv4Addr(9, 9, 9, 9));
+    net->Connect(src, 0, sw, 0);
+    net->Connect(dst, 0, sw, 1);
+    net->Connect(sw, 2, hub, 0);
+
+    store::StoreConfig store_cfg;
+    store_cfg.lease_period = Milliseconds(10);
+    for (int i = 0; i < 3; ++i) {
+      auto* server = net->AddNode<store::StateStoreServer>(
+          "store" + std::to_string(i), net::Ipv4Addr(172, 16, 1, 1 + i),
+          store_cfg);
+      net->Connect(server, 0, hub, static_cast<PortId>(1 + i));
+      stores.push_back(server);
+    }
+    for (int i = 0; i < 3; ++i) {
+      stores[i]->SetIsHead(i == 0);
+      if (i + 1 < 3) stores[i]->SetChainSuccessor(stores[i + 1]->ip());
+    }
+
+    hub->SetHandler([this](sim::HostNode& self, net::Packet pkt) {
+      if (!pkt.ip.has_value()) return;
+      if (pkt.ip->dst == kSwIp) {
+        self.SendTo(0, std::move(pkt));
+        return;
+      }
+      for (std::size_t i = 0; i < stores.size(); ++i) {
+        if (pkt.ip->dst == stores[i]->ip()) {
+          self.SendTo(static_cast<PortId>(1 + i), std::move(pkt));
+          return;
+        }
+      }
+    });
+    sw->SetForwarder([](const net::Packet& pkt,
+                        PortId) -> std::optional<PortId> {
+      if (!pkt.ip.has_value()) return std::nullopt;
+      if (pkt.ip->dst == kSrcIp) return PortId{0};
+      if (pkt.ip->dst == kDstIp) return PortId{1};
+      return PortId{2};
+    });
+
+    core::RedPlaneConfig rp_cfg;
+    rp_cfg.lease_period = Milliseconds(10);
+    rp = std::make_unique<core::RedPlaneSwitch>(
+        *sw, app, [this](const net::PartitionKey&) { return stores[0]->ip(); },
+        rp_cfg);
+    sw->SetPipeline(rp.get());
+    dst->SetHandler([this](sim::HostNode&, net::Packet) { ++delivered; });
+  }
+
+  net::FlowKey FlowI(int i) {
+    return {kSrcIp, kDstIp, static_cast<std::uint16_t>(2000 + i), 80,
+            net::IpProto::kUdp};
+  }
+
+  /// Sends `packets` paced packets per flow and runs to quiescence.
+  void RunWrites(int flows, int packets) {
+    GlobalTracerGuard guard(&tracer);
+    for (int p = 0; p < packets; ++p) {
+      for (int i = 0; i < flows; ++i) {
+        src->SendTo(0, net::MakeUdpPacket(FlowI(i), 64));
+        sim.RunUntil(sim.Now() + Microseconds(150));
+      }
+    }
+    sim.Run();
+  }
+
+  Tracer tracer;
+  sim::Simulator sim;
+  std::unique_ptr<sim::Network> net;
+  sim::HostNode* src;
+  sim::HostNode* dst;
+  sim::HostNode* hub;
+  dp::SwitchNode* sw;
+  std::vector<store::StateStoreServer*> stores;
+  CounterApp app;
+  std::unique_ptr<core::RedPlaneSwitch> rp;
+  int delivered = 0;
+};
+
+/// Write spans: those that begin at the switch's replication send and close
+/// with the ack returning (complete request lifecycles).
+bool IsCompleteWriteSpan(const SpanTree& span) {
+  return !span.segments.empty() &&
+         span.segments.front().ev_begin == Ev::kReplicationSent &&
+         span.segments.back().ev_end == Ev::kAckReleased;
+}
+
+TEST(SpansTest, SegmentsTileEachSpanExactly) {
+  TracedChainHarness h;
+  h.RunWrites(/*flows=*/4, /*packets=*/3);
+  ASSERT_GT(h.delivered, 0);
+  const auto spans = obs::BuildSpanTrees(h.tracer);
+  ASSERT_FALSE(spans.empty());
+  for (const SpanTree& span : spans) {
+    ASSERT_FALSE(span.segments.empty()) << "span " << span.span;
+    EXPECT_EQ(span.segments.front().begin, span.begin);
+    EXPECT_EQ(span.segments.back().end, span.end);
+    SimTime sum = 0;
+    for (std::size_t i = 0; i < span.segments.size(); ++i) {
+      if (i > 0) {
+        // Consecutive segments share a boundary: no gaps, no overlap.
+        EXPECT_EQ(span.segments[i].begin, span.segments[i - 1].end)
+            << "span " << span.span << " segment " << i;
+      }
+      sum += span.segments[i].DurationNs();
+    }
+    // Telescoping: the segment durations sum exactly to end-to-end latency.
+    EXPECT_EQ(sum, span.TotalNs()) << "span " << span.span;
+  }
+}
+
+TEST(SpansTest, WriteSpanDecomposesIntoProtocolSegments) {
+  TracedChainHarness h;
+  h.RunWrites(/*flows=*/4, /*packets=*/3);
+  const auto spans = obs::BuildSpanTrees(h.tracer);
+  int write_spans = 0;
+  for (const SpanTree& span : spans) {
+    if (!IsCompleteWriteSpan(span)) continue;
+    ++write_spans;
+    std::set<std::string> kinds;
+    int chain_hops = 0;
+    for (const auto& seg : span.segments) {
+      kinds.insert(seg.kind);
+      chain_hops += seg.kind == "chain_hop" ? 1 : 0;
+    }
+    // The full lifecycle: switch→store network, per-shard queue wait and
+    // service, the two replica hops of a 3-chain, the tail's respond, and
+    // the ack's way back.
+    for (const char* kind : {"switch_to_store", "queue_wait", "service",
+                             "chain_hop", "respond", "ack_return"}) {
+      EXPECT_TRUE(kinds.count(kind)) << "span " << span.span << " lacks "
+                                     << kind;
+    }
+    EXPECT_EQ(chain_hops, 2) << "span " << span.span;
+  }
+  EXPECT_GT(write_spans, 0);
+}
+
+TEST(SpansTest, WriteSpanTotalsMatchMeasuredWriteRtt) {
+  TracedChainHarness h;
+  h.RunWrites(/*flows=*/4, /*packets=*/3);
+  // The tracer's own breakdown measures write RTT from the same records
+  // (kReplicationSent → kAckReleased pairs); the span totals must reproduce
+  // that sample set exactly — same count, same extremes.
+  SampleSet span_totals_us;
+  for (const SpanTree& span : obs::BuildSpanTrees(h.tracer)) {
+    if (IsCompleteWriteSpan(span)) {
+      span_totals_us.Add(static_cast<double>(span.TotalNs()) / 1e3);
+    }
+  }
+  ASSERT_FALSE(span_totals_us.Empty());
+  for (const auto& phase : h.tracer.LatencyBreakdown()) {
+    if (phase.name != "write_replication_rtt") continue;
+    EXPECT_EQ(span_totals_us.Count(), phase.samples_us.Count());
+    EXPECT_DOUBLE_EQ(span_totals_us.Percentile(0),
+                     phase.samples_us.Percentile(0));
+    EXPECT_DOUBLE_EQ(span_totals_us.Percentile(50),
+                     phase.samples_us.Percentile(50));
+    EXPECT_DOUBLE_EQ(span_totals_us.Percentile(100),
+                     phase.samples_us.Percentile(100));
+    return;
+  }
+  FAIL() << "write_replication_rtt phase missing from LatencyBreakdown";
+}
+
+TEST(SpansTest, SummaryGroupsStoreSegmentsByShardAndExportsValidJson) {
+  TracedChainHarness h;
+  h.RunWrites(/*flows=*/2, /*packets=*/2);
+  const auto spans = obs::BuildSpanTrees(h.tracer);
+  ASSERT_FALSE(spans.empty());
+
+  std::set<std::string> names;
+  for (const auto& stat : obs::SummarizeSegments(spans)) {
+    names.insert(stat.name);
+  }
+  // Store-side segments split per closing shard on top of the aggregate.
+  EXPECT_TRUE(names.count("queue_wait"));
+  EXPECT_TRUE(names.count("queue_wait@store0"));
+  EXPECT_TRUE(names.count("service@store0"));
+  EXPECT_TRUE(names.count("chain_hop"));
+
+  const std::string json = obs::SpansJson(spans);
+  EXPECT_TRUE(obs::ValidateJson(json));
+  auto doc = obs::ParseJson(json);
+  ASSERT_TRUE(doc.has_value());
+  const auto* parsed = doc->Find("spans");
+  ASSERT_NE(parsed, nullptr);
+  EXPECT_EQ(parsed->array.size(), spans.size());
+
+  std::ostringstream chrome;
+  obs::WriteChromeSpans(chrome, spans);
+  EXPECT_TRUE(obs::ValidateJson(chrome.str()));
+}
+
+}  // namespace
+}  // namespace redplane

@@ -1,0 +1,470 @@
+// rpreport: joins a bench run's observability artifacts — wall-clock profile
+// (--profile), request spans (--spans) and the periodic metrics time series
+// (--metrics) — into one performance report.
+//
+// The report answers "where did the time go" at three layers:
+//   * host CPU: top call-path sites by self time, rolled up per subsystem
+//     (the prefix before the first '.', e.g. store/switch/net/sim) — the
+//     attribution key ci/perf_smoke.py diffs on a regression,
+//   * request latency: per-segment-kind breakdown of the reconstructed span
+//     trees (switch→store network, per-shard queue wait, service, chain
+//     hops, ack return),
+//   * shard load: per-store occupancy (peak queue depth, busy fraction) and
+//     the wire-byte mix by request type.
+//
+// Output is markdown (default) or JSON (--format=json), to stdout or --out.
+// Any subset of the inputs may be given; absent sections are omitted.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "obs/json.h"
+
+using redplane::SampleSet;
+using redplane::obs::JsonEscape;
+using redplane::obs::JsonNumber;
+using redplane::obs::JsonValue;
+using redplane::obs::ParseJson;
+
+namespace {
+
+struct Options {
+  std::string profile_path;
+  std::string spans_path;
+  std::string metrics_path;
+  std::string out_path;
+  std::string format = "md";
+  std::size_t top = 15;
+};
+
+std::optional<JsonValue> LoadJsonFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    std::fprintf(stderr, "rpreport: cannot open %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  auto parsed = ParseJson(buf.str());
+  if (!parsed.has_value()) {
+    std::fprintf(stderr, "rpreport: %s is not valid JSON\n", path.c_str());
+  }
+  return parsed;
+}
+
+/// The subsystem a profile site belongs to: the prefix before the first '.'
+/// ("store.process" -> "store"); sites without a dot are their own subsystem.
+std::string SubsystemOf(const std::string& site) {
+  const std::size_t dot = site.find('.');
+  return dot == std::string::npos ? site : site.substr(0, dot);
+}
+
+// --- profile section --------------------------------------------------------
+
+struct SiteRow {
+  std::string name;
+  double count = 0;
+  double total_ns = 0;
+  double self_ns = 0;
+};
+
+struct ProfileReport {
+  std::vector<SiteRow> sites;       // sorted by self_ns desc
+  std::vector<SiteRow> subsystems;  // rolled up, sorted by self_ns desc
+  double total_self_ns = 0;
+};
+
+std::optional<ProfileReport> BuildProfileReport(const JsonValue& doc) {
+  const JsonValue* sites = doc.Find("sites");
+  if (sites == nullptr || !sites->IsArray()) return std::nullopt;
+  ProfileReport report;
+  std::map<std::string, SiteRow> rollup;
+  for (const JsonValue& site : sites->array) {
+    SiteRow row;
+    row.name = site.StringOr("name", "?");
+    row.count = site.NumberOr("count", 0);
+    row.total_ns = site.NumberOr("total_ns", 0);
+    row.self_ns = site.NumberOr("self_ns", 0);
+    report.total_self_ns += row.self_ns;
+    SiteRow& sub = rollup[SubsystemOf(row.name)];
+    sub.name = SubsystemOf(row.name);
+    sub.count += row.count;
+    sub.total_ns += row.total_ns;
+    sub.self_ns += row.self_ns;
+    report.sites.push_back(std::move(row));
+  }
+  auto by_self = [](const SiteRow& a, const SiteRow& b) {
+    return a.self_ns != b.self_ns ? a.self_ns > b.self_ns : a.name < b.name;
+  };
+  std::sort(report.sites.begin(), report.sites.end(), by_self);
+  for (auto& [name, row] : rollup) report.subsystems.push_back(row);
+  std::sort(report.subsystems.begin(), report.subsystems.end(), by_self);
+  return report;
+}
+
+// --- spans section ----------------------------------------------------------
+
+struct SegmentRow {
+  std::string kind;
+  SampleSet dur_us;
+  double total_ns = 0;
+};
+
+struct SpansReport {
+  std::size_t num_spans = 0;
+  SampleSet span_total_us;
+  std::vector<SegmentRow> segments;  // sorted by total_ns desc
+  double segments_total_ns = 0;
+};
+
+std::optional<SpansReport> BuildSpansReport(const JsonValue& doc) {
+  const JsonValue* spans = doc.Find("spans");
+  if (spans == nullptr || !spans->IsArray()) return std::nullopt;
+  SpansReport report;
+  std::map<std::string, SegmentRow> by_kind;
+  for (const JsonValue& span : spans->array) {
+    ++report.num_spans;
+    report.span_total_us.Add(span.NumberOr("total_ns", 0) / 1000.0);
+    const JsonValue* segments = span.Find("segments");
+    if (segments == nullptr || !segments->IsArray()) continue;
+    for (const JsonValue& seg : segments->array) {
+      std::string kind = seg.StringOr("kind", "?");
+      // Store-side waits and service are per-shard facts; key them by the
+      // closing component so a hot shard stands out.
+      if (kind == "queue_wait" || kind == "service") {
+        kind.append("@");
+        kind.append(seg.StringOr("to", "?"));
+      }
+      const double dur = seg.NumberOr("dur_ns", 0);
+      SegmentRow& row = by_kind[kind];
+      row.kind = kind;
+      row.dur_us.Add(dur / 1000.0);
+      row.total_ns += dur;
+      report.segments_total_ns += dur;
+    }
+  }
+  for (auto& [kind, row] : by_kind) report.segments.push_back(std::move(row));
+  std::sort(report.segments.begin(), report.segments.end(),
+            [](const SegmentRow& a, const SegmentRow& b) {
+              return a.total_ns != b.total_ns ? a.total_ns > b.total_ns
+                                              : a.kind < b.kind;
+            });
+  return report;
+}
+
+// --- metrics section --------------------------------------------------------
+
+struct ShardRow {
+  std::string component;
+  double peak_queue_depth = 0;
+  double final_busy_frac = 0;
+  /// Final (cumulative) wire-byte counters by request type, plus responses.
+  std::map<std::string, double> bytes;
+};
+
+struct MetricsReport {
+  std::size_t num_snapshots = 0;
+  std::vector<ShardRow> shards;  // sorted by component name
+};
+
+const char* const kByteCounters[] = {
+    "init_bytes_rx",     "repl_bytes_rx",  "renew_bytes_rx",
+    "read_buffer_bytes_rx", "snapshot_bytes_rx", "chain_bytes_rx",
+    "batch_bytes_rx",    "resp_bytes_tx"};
+
+std::optional<MetricsReport> BuildMetricsReport(const JsonValue& doc) {
+  const JsonValue* series = doc.Find("series");
+  if (series == nullptr || !series->IsArray()) return std::nullopt;
+  MetricsReport report;
+  report.num_snapshots = series->array.size();
+  std::map<std::string, ShardRow> shards;
+  for (const JsonValue& snap : series->array) {
+    const JsonValue* metrics = snap.Find("metrics");
+    if (metrics == nullptr || !metrics->IsObject()) continue;
+    for (const auto& [name, value] : metrics->object) {
+      if (!value.IsNumber()) continue;
+      const std::size_t dot = name.rfind('.');
+      if (dot == std::string::npos) continue;
+      const std::string component = name.substr(0, dot);
+      const std::string metric = name.substr(dot + 1);
+      if (metric == "queue_depth") {
+        ShardRow& row = shards[component];
+        row.component = component;
+        row.peak_queue_depth = std::max(row.peak_queue_depth, value.number);
+      } else if (metric == "busy_frac") {
+        ShardRow& row = shards[component];
+        row.component = component;
+        row.final_busy_frac = value.number;  // last snapshot wins
+      } else {
+        for (const char* counter : kByteCounters) {
+          if (metric == counter) {
+            ShardRow& row = shards[component];
+            row.component = component;
+            row.bytes[metric] = value.number;  // cumulative; last wins
+            break;
+          }
+        }
+      }
+    }
+  }
+  for (auto& [name, row] : shards) {
+    // Only report components that look like stores (have occupancy or byte
+    // counters) — switch registries also flow through the hub.
+    if (row.peak_queue_depth > 0 || row.final_busy_frac > 0 ||
+        !row.bytes.empty()) {
+      report.shards.push_back(std::move(row));
+    }
+  }
+  return report;
+}
+
+// --- rendering --------------------------------------------------------------
+
+std::string Pct(double part, double whole) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%",
+                whole > 0 ? 100.0 * part / whole : 0.0);
+  return buf;
+}
+
+std::string Num(double v, int decimals = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+void RenderMarkdown(std::ostream& os, const Options& opt,
+                    const std::optional<ProfileReport>& profile,
+                    const std::optional<SpansReport>& spans,
+                    const std::optional<MetricsReport>& metrics) {
+  os << "# RedPlane performance report\n";
+  if (profile.has_value()) {
+    os << "\n## CPU attribution (wall-clock self time per subsystem)\n\n";
+    os << "| Subsystem | Self (ms) | Share | Entries |\n";
+    os << "|---|---:|---:|---:|\n";
+    for (const SiteRow& row : profile->subsystems) {
+      os << "| " << row.name << " | " << Num(row.self_ns / 1e6, 3) << " | "
+         << Pct(row.self_ns, profile->total_self_ns) << " | "
+         << Num(row.count, 0) << " |\n";
+    }
+    os << "\n### Top sites by self time\n\n";
+    os << "| Site | Self (ms) | Total (ms) | Share | Entries |\n";
+    os << "|---|---:|---:|---:|---:|\n";
+    std::size_t shown = 0;
+    for (const SiteRow& row : profile->sites) {
+      if (shown++ >= opt.top) break;
+      os << "| " << row.name << " | " << Num(row.self_ns / 1e6, 3) << " | "
+         << Num(row.total_ns / 1e6, 3) << " | "
+         << Pct(row.self_ns, profile->total_self_ns) << " | "
+         << Num(row.count, 0) << " |\n";
+    }
+  }
+  if (spans.has_value()) {
+    os << "\n## Request latency decomposition (" << spans->num_spans
+       << " spans)\n\n";
+    if (!spans->span_total_us.Empty()) {
+      os << "End-to-end: p50=" << Num(spans->span_total_us.Percentile(50))
+         << " us, p99=" << Num(spans->span_total_us.Percentile(99))
+         << " us over " << spans->span_total_us.Count() << " requests.\n\n";
+    }
+    os << "| Segment | Share of total | p50 (us) | p99 (us) | n |\n";
+    os << "|---|---:|---:|---:|---:|\n";
+    for (const SegmentRow& row : spans->segments) {
+      os << "| " << row.kind << " | "
+         << Pct(row.total_ns, spans->segments_total_ns) << " | "
+         << Num(row.dur_us.Percentile(50)) << " | "
+         << Num(row.dur_us.Percentile(99)) << " | " << row.dur_us.Count()
+         << " |\n";
+    }
+  }
+  if (metrics.has_value()) {
+    os << "\n## Shard occupancy and wire bytes (" << metrics->num_snapshots
+       << " snapshots)\n\n";
+    os << "| Shard | Peak queue depth | Busy frac |";
+    for (const char* counter : kByteCounters) os << " " << counter << " |";
+    os << "\n|---|---:|---:|";
+    for (std::size_t i = 0; i < std::size(kByteCounters); ++i) os << "---:|";
+    os << "\n";
+    for (const ShardRow& row : metrics->shards) {
+      os << "| " << row.component << " | " << Num(row.peak_queue_depth) << " | "
+         << Num(row.final_busy_frac, 4) << " |";
+      for (const char* counter : kByteCounters) {
+        auto it = row.bytes.find(counter);
+        os << " " << Num(it == row.bytes.end() ? 0 : it->second, 0) << " |";
+      }
+      os << "\n";
+    }
+  }
+  if (!profile.has_value() && !spans.has_value() && !metrics.has_value()) {
+    os << "\n(no inputs given — pass --profile/--spans/--metrics)\n";
+  }
+}
+
+void RenderJson(std::ostream& os, const Options& opt,
+                const std::optional<ProfileReport>& profile,
+                const std::optional<SpansReport>& spans,
+                const std::optional<MetricsReport>& metrics) {
+  os << "{";
+  bool first_section = true;
+  auto section = [&](const char* name) {
+    if (!first_section) os << ",";
+    first_section = false;
+    os << "\n\"" << name << "\": ";
+  };
+  if (profile.has_value()) {
+    section("profile");
+    os << "{\"total_self_ns\": " << JsonNumber(profile->total_self_ns)
+       << ", \"subsystems\": [";
+    for (std::size_t i = 0; i < profile->subsystems.size(); ++i) {
+      const SiteRow& row = profile->subsystems[i];
+      if (i) os << ",";
+      os << "\n  {\"name\": \"" << JsonEscape(row.name) << "\", \"self_ns\": "
+         << JsonNumber(row.self_ns) << ", \"total_ns\": "
+         << JsonNumber(row.total_ns) << ", \"count\": "
+         << JsonNumber(row.count) << "}";
+    }
+    os << "\n], \"top_sites\": [";
+    for (std::size_t i = 0; i < std::min(opt.top, profile->sites.size());
+         ++i) {
+      const SiteRow& row = profile->sites[i];
+      if (i) os << ",";
+      os << "\n  {\"name\": \"" << JsonEscape(row.name) << "\", \"self_ns\": "
+         << JsonNumber(row.self_ns) << ", \"total_ns\": "
+         << JsonNumber(row.total_ns) << ", \"count\": "
+         << JsonNumber(row.count) << "}";
+    }
+    os << "\n]}";
+  }
+  if (spans.has_value()) {
+    section("spans");
+    os << "{\"num_spans\": " << spans->num_spans;
+    if (!spans->span_total_us.Empty()) {
+      os << ", \"total_p50_us\": "
+         << JsonNumber(spans->span_total_us.Percentile(50))
+         << ", \"total_p99_us\": "
+         << JsonNumber(spans->span_total_us.Percentile(99));
+    }
+    os << ", \"segments\": [";
+    for (std::size_t i = 0; i < spans->segments.size(); ++i) {
+      const SegmentRow& row = spans->segments[i];
+      if (i) os << ",";
+      os << "\n  {\"kind\": \"" << JsonEscape(row.kind) << "\", \"total_ns\": "
+         << JsonNumber(row.total_ns) << ", \"p50_us\": "
+         << JsonNumber(row.dur_us.Percentile(50)) << ", \"p99_us\": "
+         << JsonNumber(row.dur_us.Percentile(99)) << ", \"n\": "
+         << row.dur_us.Count() << "}";
+    }
+    os << "\n]}";
+  }
+  if (metrics.has_value()) {
+    section("shards");
+    os << "[";
+    for (std::size_t i = 0; i < metrics->shards.size(); ++i) {
+      const ShardRow& row = metrics->shards[i];
+      if (i) os << ",";
+      os << "\n  {\"component\": \"" << JsonEscape(row.component)
+         << "\", \"peak_queue_depth\": " << JsonNumber(row.peak_queue_depth)
+         << ", \"busy_frac\": " << JsonNumber(row.final_busy_frac);
+      for (const auto& [name, value] : row.bytes) {
+        os << ", \"" << JsonEscape(name) << "\": " << JsonNumber(value);
+      }
+      os << "}";
+    }
+    os << "\n]";
+  }
+  os << "\n}\n";
+}
+
+std::optional<Options> ParseArgs(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const std::string& flag) -> std::optional<std::string> {
+      const std::string prefix = "--" + flag + "=";
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+      if (arg == "--" + flag && i + 1 < argc) return std::string(argv[++i]);
+      return std::nullopt;
+    };
+    if (auto v = value_of("profile")) {
+      opt.profile_path = *v;
+    } else if (auto v = value_of("spans")) {
+      opt.spans_path = *v;
+    } else if (auto v = value_of("metrics")) {
+      opt.metrics_path = *v;
+    } else if (auto v = value_of("out")) {
+      opt.out_path = *v;
+    } else if (auto v = value_of("format")) {
+      opt.format = *v;
+    } else if (auto v = value_of("top")) {
+      opt.top = static_cast<std::size_t>(std::stoul(*v));
+    } else {
+      std::fprintf(
+          stderr,
+          "usage: rpreport [--profile=FILE] [--spans=FILE] [--metrics=FILE]\n"
+          "                [--out=FILE] [--format=md|json] [--top=N]\n");
+      return std::nullopt;
+    }
+  }
+  if (opt.format != "md" && opt.format != "json") {
+    std::fprintf(stderr, "rpreport: unknown --format=%s (md or json)\n",
+                 opt.format.c_str());
+    return std::nullopt;
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opt = ParseArgs(argc, argv);
+  if (!opt.has_value()) return 2;
+
+  std::optional<ProfileReport> profile;
+  std::optional<SpansReport> spans;
+  std::optional<MetricsReport> metrics;
+  bool input_error = false;
+  if (!opt->profile_path.empty()) {
+    auto doc = LoadJsonFile(opt->profile_path);
+    if (doc.has_value()) profile = BuildProfileReport(*doc);
+    input_error = input_error || !profile.has_value();
+  }
+  if (!opt->spans_path.empty()) {
+    auto doc = LoadJsonFile(opt->spans_path);
+    if (doc.has_value()) spans = BuildSpansReport(*doc);
+    input_error = input_error || !spans.has_value();
+  }
+  if (!opt->metrics_path.empty()) {
+    auto doc = LoadJsonFile(opt->metrics_path);
+    if (doc.has_value()) metrics = BuildMetricsReport(*doc);
+    input_error = input_error || !metrics.has_value();
+  }
+
+  std::ostringstream out;
+  if (opt->format == "json") {
+    RenderJson(out, *opt, profile, spans, metrics);
+  } else {
+    RenderMarkdown(out, *opt, profile, spans, metrics);
+  }
+  if (opt->out_path.empty()) {
+    std::cout << out.str();
+  } else {
+    std::ofstream os(opt->out_path);
+    os << out.str();
+    os.flush();
+    if (!os) {
+      std::fprintf(stderr, "rpreport: failed to write %s\n",
+                   opt->out_path.c_str());
+      return 1;
+    }
+    std::printf("rpreport: wrote %s report to %s\n", opt->format.c_str(),
+                opt->out_path.c_str());
+  }
+  return input_error ? 1 : 0;
+}
