@@ -150,10 +150,6 @@ void TablePrinter::Row(const std::vector<std::string>& cells) {
   std::printf("\n");
 }
 
-namespace {
-
-/// Consumes `--<flag>=value` or `--<flag> value` from argv; returns the
-/// value (empty when absent).
 std::string TakeFlag(int& argc, char** argv, const std::string& flag) {
   const std::string prefix = "--" + flag + "=";
   const std::string bare = "--" + flag;
@@ -174,6 +170,8 @@ std::string TakeFlag(int& argc, char** argv, const std::string& flag) {
   argc = out;
   return value;
 }
+
+namespace {
 
 /// Parses "100us" / "10ms" / "1s" (also bare nanoseconds); 0 on failure.
 SimDuration ParseDurationFlag(const std::string& text) {

@@ -191,6 +191,11 @@ class ObsSession {
   bool finished_ = false;
 };
 
+/// Consumes `--<flag>=value` or `--<flag> value` from argv; returns the
+/// value (empty when absent).  Benches use this for their own axes (e.g.
+/// `--flows`) before handing the remaining argv to ObsSession.
+std::string TakeFlag(int& argc, char** argv, const std::string& flag);
+
 /// Markdown-ish table printer.
 class TablePrinter {
  public:

@@ -3,18 +3,23 @@
 
 Two kinds of checks:
 
- 1. Machine-independent invariants of the zero-copy core and the online
-    auditor — these must hold on any hardware:
+ 1. Machine-independent invariants of the zero-copy core, the online
+    auditor, and the timing-wheel retransmit path — these must hold on any
+    hardware:
       * steady-state event dispatch performs zero heap allocations,
       * zero-copy hop forwarding beats the deep-copy/re-encode path by at
         least 2x (the PR's acceptance bar),
       * an armed-but-silent auditor adds at most 5% to the hop-forward and
         chain-hop paths (plus a small absolute epsilon to absorb timer
-        granularity on sub-10ns benches).
- 2. Absolute regression against the recorded baseline (BENCH_PR2.json):
-    each benchmark must stay within --tolerance (default 25%) of its
-    baseline time.  Skipped with --no-absolute on hardware that does not
-    match the baseline machine.
+        granularity on sub-10ns benches),
+      * the per-tick retransmit check is O(due entries), not O(table):
+        BM_MirrorDueScan per-item cost at 1M parked flows stays within 10%
+        of the 10k-flow cost, and beats the whole-table-walk before-twin
+        (BM_MirrorFullScan) by at least 50x at 1M flows.
+ 2. Absolute regression against the recorded baselines (BENCH_PR2.json,
+    BENCH_PR7.json; --baseline is repeatable): each benchmark must stay
+    within --tolerance (default 25%) of its baseline time.  Skipped with
+    --no-absolute on hardware that does not match the baseline machine.
 
 When a regression fires, --profile (a profile JSON written by a bench run's
 --profile-out, or by rpreport) turns the failure from "something got slower"
@@ -24,9 +29,14 @@ last good run — the share diff, sorted by who grew the most.
 
 Usage:
   ci/perf_smoke.py --bench build/bench/bench_micro [--baseline BENCH_PR2.json]
-                   [--tolerance 0.25] [--no-absolute]
+                   [--baseline BENCH_PR7.json] [--tolerance 0.25]
+                   [--no-absolute] [--table-out perf-report/timer_table.md]
                    [--profile run/profile.json]
                    [--profile-baseline good/profile.json]
+
+--table-out writes a markdown before/after table for the timing-wheel
+retransmit path (whole-table walk vs due-slot pop at 10k and 1M flows, plus
+the wheel primitives) — CI uploads it as an artifact.
 """
 
 import argparse
@@ -110,18 +120,79 @@ def run_bench(bench_path):
             continue
         name = b["run_name"]
         results[name] = b["real_time"]
-        for key in ("heap_allocs_per_dispatch",):
+        for key in ("heap_allocs_per_dispatch", "items_per_second"):
             if key in b:
                 counters.setdefault(name, {})[key] = b[key]
     return results, counters
 
 
+def write_timer_table(path, results, counters):
+    """Markdown before/after table for the retransmit-check refactor."""
+
+    def fmt(name):
+        ns = results.get(name)
+        return f"{ns:,.1f} ns" if ns is not None else "n/a"
+
+    lines = [
+        "# Retransmit check: whole-table walk vs per-entry wheel timers",
+        "",
+        "Per-tick cost of finding due retransmissions.  'Before' walks every",
+        "mirror entry comparing its last-send time (the retired"
+        " ScanRetransmits",
+        "design, kept as the BM_MirrorFullScan before-twin); 'after' pops the",
+        "earliest due timing-wheel slot while the parked majority never gets",
+        "touched.",
+        "",
+        "| Flows | Before: full walk | After: due-slot pop | Ratio |",
+        "|---|---|---|---|",
+    ]
+    for flows, arg in [("10k", "10240"), ("1M", "1048576")]:
+        before = results.get(f"BM_MirrorFullScan/{arg}")
+        after = results.get(f"BM_MirrorDueScan/{arg}")
+        ratio = (f"{before / after:,.0f}x"
+                 if before is not None and after is not None else "n/a")
+        lines.append(f"| {flows} | {fmt(f'BM_MirrorFullScan/{arg}')} "
+                     f"| {fmt(f'BM_MirrorDueScan/{arg}')} | {ratio} |")
+    rate_10k = counters.get("BM_MirrorDueScan/10240", {}).get(
+        "items_per_second")
+    rate_1m = counters.get("BM_MirrorDueScan/1048576", {}).get(
+        "items_per_second")
+    if rate_10k and rate_1m:
+        lines += [
+            "",
+            f"Due-scan throughput: {rate_10k / 1e6:.1f} M items/s at 10k "
+            f"flows vs {rate_1m / 1e6:.1f} M items/s at 1M flows "
+            f"({abs(rate_10k / rate_1m - 1) * 100:.1f}% apart — the check "
+            "is flat in table size).",
+        ]
+    lines += [
+        "",
+        "## Wheel and table primitives",
+        "",
+        "| Benchmark | Time |",
+        "|---|---|",
+    ]
+    for name in ["BM_TimerWheelSchedule", "BM_TimerWheelAdvance",
+                 "BM_TimerWheelCancel", "BM_FlowTableLookup/10240",
+                 "BM_FlowTableLookup/1048576"]:
+        lines.append(f"| {name} | {fmt(name)} |")
+    lines.append("")
+    with open(path, "w") as f:
+        f.write("\n".join(lines))
+    print(f"wrote before/after table to {path}")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--bench", required=True)
-    ap.add_argument("--baseline", default="BENCH_PR2.json")
+    ap.add_argument("--baseline", action="append", default=None,
+                    help="baseline JSON with a reference_ns map; repeatable "
+                         "(default: BENCH_PR2.json and BENCH_PR7.json)")
     ap.add_argument("--tolerance", type=float, default=0.25)
     ap.add_argument("--no-absolute", action="store_true")
+    ap.add_argument("--table-out", default=None,
+                    help="write the timing-wheel before/after markdown "
+                         "table here")
     ap.add_argument("--profile", default=None,
                     help="profile JSON from this run; on failure, prints "
                          "per-subsystem attribution")
@@ -218,10 +289,46 @@ def main():
                 f"exceeds 5% + 3 ns overhead budget over unarmed "
                 f"({results[base]:.1f} ns)")
 
-    # --- Absolute regression vs recorded baseline ---
+    # Timing-wheel retransmit-check invariants (the PR 7 acceptance bar).
+    # Flatness: the per-item due-scan cost must not depend on how many
+    # non-due entries sit in the table — 1M parked flows vs 10k within 10%.
+    due_rates = {}
+    for arg in ("10240", "1048576"):
+        rate = counters.get(f"BM_MirrorDueScan/{arg}", {}).get(
+            "items_per_second")
+        if rate is None:
+            failures.append(
+                f"BM_MirrorDueScan/{arg} did not report items_per_second")
+        else:
+            due_rates[arg] = rate
+    if len(due_rates) == 2:
+        ratio = due_rates["10240"] / due_rates["1048576"]
+        if abs(ratio - 1.0) > 0.10:
+            failures.append(
+                f"retransmit check is not flat in table size: "
+                f"{due_rates['10240'] / 1e6:.1f} M items/s at 10k flows vs "
+                f"{due_rates['1048576'] / 1e6:.1f} M items/s at 1M "
+                f"({abs(ratio - 1) * 100:.0f}% apart, budget 10%)")
+    # O(due) vs O(table): at 1M flows the due-slot pop must beat the
+    # whole-table walk by orders of magnitude; 50x is a loose floor (the
+    # measured gap is ~27000x) that still catches any accidental
+    # reintroduction of a full scan on the due path.
+    full_1m = results.get("BM_MirrorFullScan/1048576")
+    due_1m = results.get("BM_MirrorDueScan/1048576")
+    if full_1m is None or due_1m is None:
+        failures.append("missing BM_MirrorFullScan/BM_MirrorDueScan at 1M")
+    elif due_1m * 50 > full_1m:
+        failures.append(
+            f"due scan at 1M flows ({due_1m:.1f} ns) is not >=50x faster "
+            f"than the full-table walk ({full_1m:.1f} ns)")
+
+    # --- Absolute regression vs recorded baselines ---
     if not args.no_absolute:
-        with open(args.baseline) as f:
-            baseline = json.load(f)["reference_ns"]
+        baseline_paths = args.baseline or ["BENCH_PR2.json", "BENCH_PR7.json"]
+        baseline = {}
+        for path in baseline_paths:
+            with open(path) as f:
+                baseline.update(json.load(f)["reference_ns"])
         for name, base_ns in baseline.items():
             got = results.get(name)
             if got is None:
@@ -234,6 +341,8 @@ def main():
 
     for name in sorted(results):
         print(f"  {name}: {results[name]:.2f} ns")
+    if args.table_out:
+        write_timer_table(args.table_out, results, counters)
     if failures:
         print("\nPERF SMOKE FAILED:")
         for f in failures:

@@ -27,10 +27,6 @@ std::uint64_t SnapSeq(std::uint64_t round, std::uint32_t index) {
   return (round << 20) | index;
 }
 
-std::uint64_t RetxKey(const net::PartitionKey& key, std::uint64_t seq) {
-  return HashCombine(net::HashPartitionKey(key), seq);
-}
-
 }  // namespace
 
 RedPlaneSwitch::RedPlaneSwitch(
@@ -115,51 +111,46 @@ void RedPlaneSwitch::HandleAppPacket(dp::SwitchContext& ctx, net::Packet pkt) {
   m_.app_pkts.Add();
   const SimTime now = ctx.Now();
 
-  FlowEntry* entry = flows_.Find(*key);
-  if (entry != nullptr && entry->LeaseActive(now)) {
-    // Un-wedge a renewal whose request or ack was lost: renewals are sent
-    // unmirrored, so without this the flag would pin renew_in_flight
-    // forever and the lease would silently expire.
-    if (entry->renew_in_flight) {
-      const auto sent_it = renew_sent_at_.find(RetxKey(*key, 0));
-      if (sent_it == renew_sent_at_.end() ||
-          now - sent_it->second > config_.request_timeout) {
-        entry->renew_in_flight = false;
-        if (sent_it != renew_sent_at_.end()) renew_sent_at_.erase(sent_it);
-        m_.renew_timeouts.Add();
-      }
-    }
+  std::uint32_t slot = flows_.FindSlot(*key);
+  if (slot != FlowTable::kNilSlot && flows_.LeaseActive(slot, now)) {
+    // A renewal whose request or ack was lost is un-wedged by the flow's
+    // renew timer (OnRenewTimeout), not here on the packet path.
+    FlowTable::Cold& cold = flows_.cold(slot);
     // Proactive renewal for read-centric flows (§5.3): writes renew
     // implicitly, so only renew explicitly when the lease is aging and no
     // write is about to do it for us.
-    if (!entry->renew_in_flight && !entry->WritesInFlight() &&
-        entry->lease_expiry - now < config_.renew_interval) {
+    if (!cold.renew_in_flight && !flows_.WritesInFlight(slot) &&
+        flows_.lease_expiry(slot) - now < config_.renew_interval) {
       Msg renew;
       renew.type = MsgType::kLeaseRenewOnly;
       renew.key = *key;
-      renew.seq = entry->cur_seq;
+      renew.seq = flows_.cur_seq(slot);
       renew.reply_to = node_.ip();
       renew.span_id = NewSpanId();
-      entry->renew_in_flight = true;
+      cold.renew_in_flight = true;
       m_.renewals_sent.Add();
       if (trace_.armed()) {
         trace_.Emit(obs::Ev::kRenewSent, net::HashPartitionKey(*key),
-                    entry->cur_seq, 0.0, renew.span_id);
+                    flows_.cur_seq(slot), 0.0, renew.span_id);
       }
       SendRequest(renew, /*mirror=*/false);
-      // Record the send time for expiry extension on kRenewAck.
-      renew_sent_at_[RetxKey(*key, 0)] = now;
+      // Record the send time for expiry extension on kRenewAck, and arm
+      // the un-wedge timer in case the renewal (or its ack) is lost.
+      cold.renew_sent_at = now;
+      ArmRenewTimer(slot);
     }
-    RunApp(ctx, *key, *entry, std::move(pkt));
+    RunApp(ctx, *key, slot, std::move(pkt));
     return;
   }
 
-  if (entry != nullptr && entry->status == FlowStatus::kInitPending) {
+  if (slot != FlowTable::kNilSlot &&
+      flows_.status(slot) == FlowStatus::kInitPending) {
     // Lease grant still pending: buffer this packet through the network
     // (§5.1): it loops store-and-back until the grant lands.  Each packet
     // carries its own loop count (in the otherwise-unused snapshot_index
     // field) so a busy flow cannot exhaust a shared budget.
-    ++entry->init_loops;  // statistics only
+    FlowTable::Cold& cold = flows_.cold(slot);
+    ++cold.init_loops;  // statistics only
     Msg buf;
     buf.type = MsgType::kReadBufferReq;
     buf.key = *key;
@@ -171,7 +162,7 @@ void RedPlaneSwitch::HandleAppPacket(dp::SwitchContext& ctx, net::Packet pkt) {
     m_.init_loop_buffered.Add();
     if (trace_.armed()) {
       trace_.Emit(obs::Ev::kBufferedReadLoop, net::HashPartitionKey(*key), 0,
-                  static_cast<double>(entry->init_loops), buf.span_id);
+                  static_cast<double>(cold.init_loops), buf.span_id);
     }
     SendRequest(buf, /*mirror=*/false);
     return;
@@ -179,10 +170,15 @@ void RedPlaneSwitch::HandleAppPacket(dp::SwitchContext& ctx, net::Packet pkt) {
 
   // No lease (new flow here, or an expired one): acquire it.  The packet
   // rides along as the piggyback and comes back with the grant.
-  FlowEntry& fresh = flows_.GetOrCreate(*key);
-  fresh = FlowEntry{};  // expired entries are re-initialized from scratch
-  fresh.status = FlowStatus::kInitPending;
-  init_sent_at_[RetxKey(*key, 0)] = now;
+  if (slot == FlowTable::kNilSlot) {
+    slot = flows_.GetOrCreateSlot(*key);
+  } else {
+    // Expired entries are re-initialized from scratch; any renew timer
+    // still pending for the stale lease dies with it.
+    CancelRenewTimer(slot);
+    flows_.Reinit(slot);
+  }
+  flows_.cold(slot).init_sent_at = now;
   Msg init;
   init.type = MsgType::kLeaseNewReq;
   init.key = *key;
@@ -199,24 +195,25 @@ void RedPlaneSwitch::HandleAppPacket(dp::SwitchContext& ctx, net::Packet pkt) {
 }
 
 void RedPlaneSwitch::RunApp(dp::SwitchContext& ctx,
-                            const net::PartitionKey& key, FlowEntry& entry,
+                            const net::PartitionKey& key, std::uint32_t slot,
                             net::Packet pkt) {
   AppContext actx;
   actx.now = ctx.Now();
   actx.switch_ip = node_.ip();
-  ProcessResult result = app_.Process(actx, std::move(pkt), entry.state);
+  ProcessResult result =
+      app_.Process(actx, std::move(pkt), flows_.cold(slot).state);
 
   if (result.state_modified && config_.linearizable) {
     // Synchronous replication: the write leaves as a replication request
     // carrying the new state; the output rides piggybacked and is released
     // by the ack (never before the update is durable).
-    ++entry.cur_seq;
+    const std::uint64_t seq = flows_.NextSeq(slot);
     Msg repl;
     repl.type = MsgType::kLeaseRenewReq;
     repl.key = key;
-    repl.seq = entry.cur_seq;
+    repl.seq = seq;
     repl.reply_to = node_.ip();
-    repl.state = entry.state;
+    repl.state = flows_.cold(slot).state;
     if (!result.outputs.empty()) {
       if (result.outputs.size() > 1) {
         // Protocol carries one piggyback; multi-output writes are not used
@@ -228,19 +225,22 @@ void RedPlaneSwitch::RunApp(dp::SwitchContext& ctx,
       repl.piggyback = std::move(result.outputs.front());
     }
     repl.span_id = NewSpanId();
-    FlowTable::NoteSend(entry, entry.cur_seq, ctx.Now());
+    // Pending-send records older than the retransmit give-up horizon are
+    // dead (their request was acked or abandoned); NoteSend compacts them.
+    flows_.NoteSend(slot, seq, ctx.Now(),
+                    static_cast<SimDuration>(config_.max_retransmissions) *
+                        config_.request_timeout);
     m_.writes_replicated.Add();
     if (trace_.armed()) {
-      last_write_span_[net::HashPartitionKey(key)] = repl.span_id;
-      trace_.Emit(obs::Ev::kReplicationSent, net::HashPartitionKey(key),
-                  entry.cur_seq,
+      flows_.cold(slot).last_write_span = repl.span_id;
+      trace_.Emit(obs::Ev::kReplicationSent, net::HashPartitionKey(key), seq,
                   static_cast<double>(repl.state.size()), repl.span_id);
     }
     SendRequest(repl, /*mirror=*/true);
     return;
   }
 
-  if (config_.linearizable && entry.WritesInFlight()) {
+  if (config_.linearizable && flows_.WritesInFlight(slot)) {
     // A read while writes are in flight: its output may depend on state not
     // yet durable, so it buffers through the network until the newest write
     // is acknowledged (§5.1).
@@ -248,7 +248,7 @@ void RedPlaneSwitch::RunApp(dp::SwitchContext& ctx,
       Msg buf;
       buf.type = MsgType::kReadBufferReq;
       buf.key = key;
-      buf.seq = entry.cur_seq;
+      buf.seq = flows_.cur_seq(slot);
       buf.reply_to = node_.ip();
       buf.piggyback = std::move(out);
       buf.span_id = NewSpanId();
@@ -256,11 +256,9 @@ void RedPlaneSwitch::RunApp(dp::SwitchContext& ctx,
       if (trace_.armed()) {
         // Parent the read's span under the write it waits on, so the span
         // tree shows the dependency.
-        const auto parent_it = last_write_span_.find(net::HashPartitionKey(key));
         trace_.Emit(obs::Ev::kBufferedRead, net::HashPartitionKey(key),
-                    entry.cur_seq, 0.0, buf.span_id,
-                    parent_it == last_write_span_.end() ? 0
-                                                        : parent_it->second);
+                    flows_.cur_seq(slot), 0.0, buf.span_id,
+                    flows_.cold(slot).last_write_span);
       }
       SendRequest(buf, /*mirror=*/false);
     }
@@ -279,11 +277,18 @@ void RedPlaneSwitch::HandleAck(dp::SwitchContext& ctx, MsgView msg) {
   const net::PartitionKey key = msg.key();
   const std::uint64_t seq = msg.seq();
   const std::uint64_t span = msg.span_id();
-  FlowEntry* entry = flows_.Find(key);
+  const std::uint32_t slot = flows_.FindSlot(key);
+  // Releasing a mirrored entry cancels its retransmit timer in the same
+  // pass (O(1) in the timing wheel).
+  const auto cancel_retx = [this](dp::MirrorTable::Handle,
+                                  std::uint64_t timer) {
+    if (timer != 0) node_.sim().Cancel(timer);
+  };
   switch (msg.ack()) {
     case AckKind::kLeaseGrantNew:
     case AckKind::kLeaseGrantMigrate: {
-      if (entry == nullptr || entry->status != FlowStatus::kInitPending) {
+      if (slot == FlowTable::kNilSlot ||
+          flows_.status(slot) != FlowStatus::kInitPending) {
         m_.stale_grants.Add();
         return;
       }
@@ -298,7 +303,7 @@ void RedPlaneSwitch::HandleAck(dp::SwitchContext& ctx, MsgView msg) {
           return;
         }
       }
-      node_.mirror().Acknowledge(key, seq);
+      node_.mirror().Acknowledge(key, seq, cancel_retx);
       const bool migrate = msg.ack() == AckKind::kLeaseGrantMigrate;
       if (migrate) {
         m_.grants_migrate.Add();
@@ -309,28 +314,32 @@ void RedPlaneSwitch::HandleAck(dp::SwitchContext& ctx, MsgView msg) {
         trace_.Emit(migrate ? obs::Ev::kFailoverRehome : obs::Ev::kLeaseGrant,
                     net::HashPartitionKey(key), seq, 0.0, span);
       }
-      const auto sent_it = init_sent_at_.find(RetxKey(key, 0));
-      const SimTime sent_at =
-          sent_it == init_sent_at_.end() ? ctx.Now() : sent_it->second;
-      if (sent_it != init_sent_at_.end()) init_sent_at_.erase(sent_it);
-      retx_counts_.erase(RetxKey(key, 0));
+      const SimTime init_sent = flows_.cold(slot).init_sent_at;
+      const SimTime sent_at = init_sent != 0 ? init_sent : ctx.Now();
+      flows_.cold(slot).init_sent_at = 0;
 
       const std::size_t state_size = msg.state().size();
       auto install = [this, key, state = msg.state().ToVector(), seq, sent_at,
                       piggy = std::move(piggy)]() mutable {
-        FlowEntry* e = flows_.Find(key);
-        if (e == nullptr || e->status != FlowStatus::kInitPending) return;
-        e->state = std::move(state);
-        e->has_state = true;
-        e->cur_seq = seq;
-        e->last_acked_seq = seq;
-        e->lease_expiry = sent_at + config_.lease_period +
-                          config_.mutation_lease_extension;
-        e->status = FlowStatus::kActive;
-        e->init_loops = 0;
+        // Re-resolve by key: a control-plane install may be delayed past an
+        // erase that recycled the slot.
+        const std::uint32_t s = flows_.FindSlot(key);
+        if (s == FlowTable::kNilSlot ||
+            flows_.status(s) != FlowStatus::kInitPending) {
+          return;
+        }
+        flows_.cold(s).state = std::move(state);
+        flows_.cold(s).has_state = true;
+        flows_.set_cur_seq(s, seq);
+        flows_.set_last_acked_seq(s, seq);
+        flows_.set_lease_expiry(s, sent_at + config_.lease_period +
+                                       config_.mutation_lease_extension);
+        flows_.set_status(s, FlowStatus::kActive);
+        flows_.cold(s).init_loops = 0;
         if (atap_.armed()) {
           atap_.Emit(audit::Tap::kLeaseAcquired, net::HashPartitionKey(key),
-                     seq, static_cast<std::uint64_t>(e->lease_expiry));
+                     seq,
+                     static_cast<std::uint64_t>(flows_.lease_expiry(s)));
         }
         if (piggy.has_value()) {
           // The first packet of the flow, returned with the grant: process
@@ -352,26 +361,23 @@ void RedPlaneSwitch::HandleAck(dp::SwitchContext& ctx, MsgView msg) {
       return;
     }
     case AckKind::kWriteAck: {
-      if (entry != nullptr) {
+      if (slot != FlowTable::kNilSlot) {
         // Write replication RTT, measured send-to-ack from the pending-send
         // record the ack is about to consume.
-        for (const auto& [pseq, sent_at] : entry->pending_sends) {
-          if (pseq == seq) {
-            m_.write_rtt_us.Record(
-                static_cast<double>(ctx.Now() - sent_at) / 1e3);
-            break;
-          }
+        const SimTime sent_at = flows_.SendTimeOf(slot, seq);
+        if (sent_at != 0) {
+          m_.write_rtt_us.Record(
+              static_cast<double>(ctx.Now() - sent_at) / 1e3);
         }
-        FlowTable::NoteAck(*entry, seq,
-                           config_.lease_period +
-                               config_.mutation_lease_extension);
+        flows_.NoteAck(slot, seq,
+                       config_.lease_period + config_.mutation_lease_extension);
         if (atap_.armed()) {
           atap_.Emit(audit::Tap::kLeaseAcquired, net::HashPartitionKey(key),
-                     seq, static_cast<std::uint64_t>(entry->lease_expiry));
+                     seq,
+                     static_cast<std::uint64_t>(flows_.lease_expiry(slot)));
         }
       }
-      node_.mirror().Acknowledge(key, seq);
-      retx_counts_.erase(RetxKey(key, seq));
+      node_.mirror().Acknowledge(key, seq, cancel_retx);
       if (trace_.armed()) {
         trace_.Emit(obs::Ev::kAckReleased, net::HashPartitionKey(key), seq,
                     0.0, span);
@@ -392,7 +398,8 @@ void RedPlaneSwitch::HandleAck(dp::SwitchContext& ctx, MsgView msg) {
       if (!msg.has_piggyback()) return;
       if (seq == 0) {
         // An unprocessed input that looped while the grant was pending.
-        if (entry != nullptr && entry->status == FlowStatus::kInitPending) {
+        if (slot != FlowTable::kNilSlot &&
+            flows_.status(slot) == FlowStatus::kInitPending) {
           // Still no lease (e.g. a control-plane install in progress):
           // loop again, bounded per packet.
           if (msg.snapshot_index() >= config_.max_init_loops) {
@@ -455,22 +462,24 @@ void RedPlaneSwitch::HandleAck(dp::SwitchContext& ctx, MsgView msg) {
       return;
     }
     case AckKind::kRenewAck: {
-      if (entry == nullptr) return;
-      entry->renew_in_flight = false;
+      if (slot == FlowTable::kNilSlot) return;
+      FlowTable::Cold& cold = flows_.cold(slot);
+      CancelRenewTimer(slot);
+      cold.renew_in_flight = false;
       if (trace_.armed()) {
         trace_.Emit(obs::Ev::kRenewAck, net::HashPartitionKey(key), seq, 0.0,
                     span);
       }
-      const auto it = renew_sent_at_.find(RetxKey(key, 0));
-      if (it != renew_sent_at_.end()) {
-        entry->lease_expiry =
-            std::max(entry->lease_expiry,
-                     it->second + config_.lease_period +
-                         config_.mutation_lease_extension);
-        renew_sent_at_.erase(it);
+      if (cold.renew_sent_at != 0) {
+        flows_.set_lease_expiry(
+            slot, std::max(flows_.lease_expiry(slot),
+                           cold.renew_sent_at + config_.lease_period +
+                               config_.mutation_lease_extension));
+        cold.renew_sent_at = 0;
         if (atap_.armed()) {
           atap_.Emit(audit::Tap::kLeaseAcquired, net::HashPartitionKey(key),
-                     seq, static_cast<std::uint64_t>(entry->lease_expiry));
+                     seq,
+                     static_cast<std::uint64_t>(flows_.lease_expiry(slot)));
         }
       }
       return;
@@ -483,19 +492,25 @@ void RedPlaneSwitch::HandleAck(dp::SwitchContext& ctx, MsgView msg) {
         trace_.Emit(obs::Ev::kLeaseDenied, net::HashPartitionKey(key), 0, 0.0,
                     span);
       }
-      if (atap_.armed() && entry != nullptr) {
-        atap_.Emit(audit::Tap::kLeaseReleased, net::HashPartitionKey(key));
+      if (slot != FlowTable::kNilSlot) {
+        if (atap_.armed()) {
+          atap_.Emit(audit::Tap::kLeaseReleased, net::HashPartitionKey(key));
+        }
+        CancelRenewTimer(slot);
       }
       flows_.Erase(key);
-      node_.mirror().Acknowledge(key, UINT64_MAX);
+      // Cumulative release: drops every mirrored request of the flow,
+      // cancelling each one's retransmit timer (and with it the per-entry
+      // retransmit count that used to leak from a side map here).
+      node_.mirror().Acknowledge(key, UINT64_MAX, cancel_retx);
       return;
     }
     case AckKind::kSnapshotAck: {
       if (epsilon_ != nullptr) {
         epsilon_->SlotAcked(key, seq, ctx.Now());
       }
-      node_.mirror().Acknowledge(key, SnapSeq(seq, msg.snapshot_index()));
-      retx_counts_.erase(RetxKey(key, SnapSeq(seq, msg.snapshot_index())));
+      node_.mirror().Acknowledge(key, SnapSeq(seq, msg.snapshot_index()),
+                                 cancel_retx);
       return;
     }
     case AckKind::kNone:
@@ -525,15 +540,9 @@ void RedPlaneSwitch::SendRequest(const Msg& msg, bool mirror) {
         msg.type == MsgType::kSnapshotRepl
             ? SnapSeq(msg.seq, msg.snapshot_index)
             : msg.seq;
-    node_.mirror().Mirror(msg.key, mirror_seq, std::move(mdata),
-                          node_.sim().Now());
-    if (!retx_scan_running_) {
-      retx_scan_running_ = true;
-      const std::uint64_t epoch = epoch_;
-      node_.sim().Schedule(config_.retx_scan_interval, [this, epoch]() {
-        if (epoch == epoch_) ScanRetransmits();
-      });
-    }
+    const dp::MirrorTable::Handle h = node_.mirror().Mirror(
+        msg.key, mirror_seq, std::move(mdata), node_.sim().Now());
+    ArmMirrorTimer(h);
   }
   // Replication traffic (writes and renewals) coalesces per shard when
   // enabled; everything else — and everything when coalesce_delay is 0 —
@@ -600,105 +609,122 @@ void RedPlaneSwitch::FlushBatch(net::Ipv4Addr shard) {
   node_.ForwardPacket(std::move(pkt), kInvalidPort);
 }
 
-void RedPlaneSwitch::ScanRetransmits() {
-  if (node_.mirror().NumEntries() == 0) {
-    retx_scan_running_ = false;
-    return;
-  }
-  const SimTime now = node_.sim().Now();
-  std::vector<std::pair<net::PartitionKey, std::uint64_t>> give_up;
-  // With coalescing on, due write-replication resends to the same shard are
-  // regrouped into a fresh envelope holding only still-unacked mirrors.
-  std::unordered_map<std::uint32_t, std::vector<net::BufferView>> rebatch;
-  node_.mirror().ForEach([&](dp::MirroredEntry& e) {
-    if (now - e.last_sent_at < config_.request_timeout) return;
-    // Give-up horizon: a write is abandoned after max_retransmissions
-    // timeouts; a lease acquisition (seq 0) legitimately waits out another
-    // switch's lease at the store, so it lives for two lease periods.
-    const SimDuration horizon =
-        e.seq == 0 ? 2 * config_.lease_period
-                   : static_cast<SimDuration>(config_.max_retransmissions) *
-                         config_.request_timeout;
-    if (now - e.enqueued_at > horizon) {
-      give_up.emplace_back(e.key, e.seq);
-      return;
-    }
-    ++retx_counts_[RetxKey(e.key, e.seq)];
-    // Resend the mirrored bytes verbatim — no decode/re-encode.  A copy
-    // truncated below its own header cannot be resent (it would be dropped
-    // by the store anyway), so it is abandoned like a dead request.
-    auto msg = MsgView::Parse(e.data);
-    if (!msg.has_value()) {
-      give_up.emplace_back(e.key, e.seq);
-      return;
-    }
-    e.last_sent_at = now;
-    m_.retransmits.Add();
-    if (trace_.armed()) {
-      // The mirrored bytes carry the original request's span id verbatim.
-      trace_.Emit(obs::Ev::kRetransmit, net::HashPartitionKey(e.key), e.seq,
-                  static_cast<double>(retx_counts_[RetxKey(e.key, e.seq)]),
-                  msg->span_id());
-    }
-    const net::Ipv4Addr shard = shard_for_(msg->key());
-    if (config_.coalesce_delay > 0 &&
-        (msg->type() == MsgType::kLeaseRenewReq ||
-         msg->type() == MsgType::kLeaseRenewOnly)) {
-      rebatch[shard.value].push_back(e.data);
-      return;
-    }
-    net::Packet pkt = MakeProtocolPacketRaw(node_.ip(), shard, e.data);
-    m_.req_bytes.Add(static_cast<double>(pkt.WireSize()));
-    node_.ForwardPacket(std::move(pkt), kInvalidPort);
-  });
-  for (auto& [shard_ip, msgs] : rebatch) {
-    net::Packet pkt;
-    if (msgs.size() == 1) {
-      pkt = MakeProtocolPacketRaw(node_.ip(), net::Ipv4Addr(shard_ip),
-                                  std::move(msgs.front()));
-    } else {
-      net::BufferView env = net::EncodeBatchEnvelope(msgs);
-      m_.batch_envelopes.Add();
-      m_.batch_msgs.Record(static_cast<double>(msgs.size()));
-      m_.batch_bytes.Record(static_cast<double>(env.size()));
-      pkt = MakeProtocolPacketRaw(node_.ip(), net::Ipv4Addr(shard_ip),
-                                  std::move(env));
-    }
-    m_.req_bytes.Add(static_cast<double>(pkt.WireSize()));
-    node_.ForwardPacket(std::move(pkt), kInvalidPort);
-  }
-  for (const auto& [key, seq] : give_up) {
-    m_.retx_give_ups.Add();
-    if (trace_.armed()) {
-      trace_.Emit(obs::Ev::kRetxGiveUp, net::HashPartitionKey(key), seq);
-    }
-    node_.mirror().Acknowledge(key, seq);
-    retx_counts_.erase(RetxKey(key, seq));
-    if (seq == 0) {
-      // An abandoned lease acquisition must not leave a zombie
-      // kInitPending entry behind (it would drop the flow's packets
-      // forever); forget the flow so its next packet restarts the
-      // acquisition — the store absorbs the duplicate Init.
-      FlowEntry* entry = flows_.Find(key);
-      if (entry != nullptr && entry->status == FlowStatus::kInitPending) {
-        if (atap_.armed()) {
-          atap_.Emit(audit::Tap::kLeaseReleased, net::HashPartitionKey(key));
-        }
-        flows_.Erase(key);
-        init_sent_at_.erase(RetxKey(key, 0));
-      }
-    }
-  }
-  // Re-check after the give-up loop: if it drained the table, stop now
-  // instead of burning a no-op timer event per scan interval forever.
-  if (node_.mirror().NumEntries() == 0) {
-    retx_scan_running_ = false;
-    return;
-  }
+void RedPlaneSwitch::ArmMirrorTimer(dp::MirrorTable::Handle h) {
   const std::uint64_t epoch = epoch_;
-  node_.sim().Schedule(config_.retx_scan_interval, [this, epoch]() {
-    if (epoch == epoch_) ScanRetransmits();
+  const std::uint64_t id =
+      node_.sim().Schedule(config_.request_timeout, [this, h, epoch]() {
+        if (epoch == epoch_) OnMirrorTimeout(h);
+      });
+  node_.mirror().set_timer(h, id);
+}
+
+void RedPlaneSwitch::OnMirrorTimeout(dp::MirrorTable::Handle h) {
+  dp::MirrorTable& mirror = node_.mirror();
+  if (!mirror.Alive(h)) return;
+  // This timer has fired: clear the stored id *before* anything that could
+  // release the entry, so release paths never cancel a dead event.
+  mirror.set_timer(h, 0);
+  const SimTime now = node_.sim().Now();
+  // Give-up horizon: a write is abandoned after max_retransmissions
+  // timeouts; a lease acquisition (seq 0) legitimately waits out another
+  // switch's lease at the store, so it lives for two lease periods.
+  const SimDuration horizon =
+      mirror.seq(h) == 0
+          ? 2 * config_.lease_period
+          : static_cast<SimDuration>(config_.max_retransmissions) *
+                config_.request_timeout;
+  if (now - mirror.enqueued_at(h) > horizon) {
+    GiveUpMirror(h);
+    return;
+  }
+  // Resend the mirrored bytes verbatim — no decode/re-encode.  A copy
+  // truncated below its own header cannot be resent (it would be dropped
+  // by the store anyway), so it is abandoned like a dead request.
+  const auto msg = MsgView::Parse(mirror.data(h));
+  if (!msg.has_value()) {
+    GiveUpMirror(h);
+    return;
+  }
+  mirror.set_last_sent_at(h, now);
+  mirror.BumpRetx(h);
+  m_.retransmits.Add();
+  if (trace_.armed()) {
+    // The mirrored bytes carry the original request's span id verbatim.
+    trace_.Emit(obs::Ev::kRetransmit, net::HashPartitionKey(mirror.key(h)),
+                mirror.seq(h), static_cast<double>(mirror.retx_count(h)),
+                msg->span_id());
+  }
+  const net::Ipv4Addr shard = shard_for_(msg->key());
+  if (config_.coalesce_delay > 0 && (msg->type() == MsgType::kLeaseRenewReq ||
+                                     msg->type() == MsgType::kLeaseRenewOnly)) {
+    EnqueueForBatch(shard, mirror.data(h));
+  } else {
+    net::Packet pkt = MakeProtocolPacketRaw(node_.ip(), shard, mirror.data(h));
+    m_.req_bytes.Add(static_cast<double>(pkt.WireSize()));
+    node_.ForwardPacket(std::move(pkt), kInvalidPort);
+  }
+  ArmMirrorTimer(h);
+}
+
+void RedPlaneSwitch::GiveUpMirror(dp::MirrorTable::Handle h) {
+  const net::PartitionKey key = node_.mirror().key(h);
+  const std::uint64_t seq = node_.mirror().seq(h);
+  m_.retx_give_ups.Add();
+  if (trace_.armed()) {
+    trace_.Emit(obs::Ev::kRetxGiveUp, net::HashPartitionKey(key), seq);
+  }
+  // Releases h itself (its timer lane is already 0 — the fired timer
+  // cleared it) and any earlier mirrors of the flow, whose pending timers
+  // are cancelled by the visitor.
+  node_.mirror().Acknowledge(key, seq, [this](dp::MirrorTable::Handle,
+                                              std::uint64_t timer) {
+    if (timer != 0) node_.sim().Cancel(timer);
   });
+  if (seq == 0) {
+    // An abandoned lease acquisition must not leave a zombie kInitPending
+    // entry behind (it would drop the flow's packets forever); forget the
+    // flow so its next packet restarts the acquisition — the store absorbs
+    // the duplicate Init.
+    const std::uint32_t slot = flows_.FindSlot(key);
+    if (slot != FlowTable::kNilSlot &&
+        flows_.status(slot) == FlowStatus::kInitPending) {
+      if (atap_.armed()) {
+        atap_.Emit(audit::Tap::kLeaseReleased, net::HashPartitionKey(key));
+      }
+      CancelRenewTimer(slot);
+      flows_.Erase(key);
+    }
+  }
+}
+
+void RedPlaneSwitch::ArmRenewTimer(std::uint32_t slot) {
+  const std::uint32_t gen = flows_.gen(slot);
+  const std::uint64_t epoch = epoch_;
+  flows_.cold(slot).renew_timer =
+      node_.sim().Schedule(config_.request_timeout, [this, slot, gen, epoch]() {
+        if (epoch == epoch_) OnRenewTimeout(slot, gen);
+      });
+}
+
+void RedPlaneSwitch::OnRenewTimeout(std::uint32_t slot, std::uint32_t gen) {
+  if (!flows_.Alive(slot, gen)) return;
+  FlowTable::Cold& cold = flows_.cold(slot);
+  cold.renew_timer = 0;  // fired; release paths must not cancel it
+  if (!cold.renew_in_flight) return;
+  // The renewal (or its ack) was lost: un-wedge so the next packet can
+  // renew again, and forget the send time so a very late ack does not
+  // extend the lease from it.
+  cold.renew_in_flight = false;
+  cold.renew_sent_at = 0;
+  m_.renew_timeouts.Add();
+}
+
+void RedPlaneSwitch::CancelRenewTimer(std::uint32_t slot) {
+  FlowTable::Cold& cold = flows_.cold(slot);
+  if (cold.renew_timer != 0) {
+    node_.sim().Cancel(cold.renew_timer);
+    cold.renew_timer = 0;
+  }
 }
 
 void RedPlaneSwitch::StartSnapshotReplication(Snapshottable& snap) {
@@ -788,20 +814,20 @@ void RedPlaneSwitch::ReleaseOutput(dp::SwitchContext& ctx, net::Packet pkt) {
 
 void RedPlaneSwitch::DumpLeaseTable(std::ostream& os) const {
   const SimTime now = node_.sim().Now();
-  std::vector<std::pair<std::string, const FlowEntry*>> rows;
-  flows_.ForEach([&](const net::PartitionKey& key, const FlowEntry& entry) {
-    rows.emplace_back(net::ToString(key), &entry);
+  std::vector<std::pair<std::string, FlowRef>> rows;
+  flows_.ForEach([&](const net::PartitionKey& key, FlowRef ref) {
+    rows.emplace_back(net::ToString(key), ref);
   });
   std::sort(rows.begin(), rows.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   os << rows.size() << " flow(s), t=" << now << "ns\n";
   for (const auto& [name, e] : rows) {
     os << "  " << name
-       << (e->status == FlowStatus::kActive ? " active" : " init-pending")
-       << " cur_seq=" << e->cur_seq << " acked=" << e->last_acked_seq
-       << " lease_expiry=" << e->lease_expiry
-       << (e->LeaseActive(now) ? " (live)" : " (expired)")
-       << " in_flight=" << (e->cur_seq - e->last_acked_seq) << "\n";
+       << (e.status() == FlowStatus::kActive ? " active" : " init-pending")
+       << " cur_seq=" << e.cur_seq() << " acked=" << e.last_acked_seq()
+       << " lease_expiry=" << e.lease_expiry()
+       << (e.LeaseActive(now) ? " (live)" : " (expired)")
+       << " in_flight=" << (e.cur_seq() - e.last_acked_seq()) << "\n";
   }
 }
 
@@ -811,20 +837,27 @@ void RedPlaneSwitch::Reset() {
     // key 0 = "this component dropped every lease" (SRAM lost on failure).
     atap_.Emit(audit::Tap::kLeaseReleased, 0);
   }
+  // Cancel every per-entry timer before the tables forget the entries; the
+  // epoch bump alone would keep the events pending (and their payload slots
+  // pinned) until they fire as no-ops.
+  flows_.ForEach([this](const net::PartitionKey&, FlowRef ref) {
+    CancelRenewTimer(ref.slot());
+  });
   flows_.Reset();
-  retx_counts_.clear();
-  init_sent_at_.clear();
-  renew_sent_at_.clear();
-  last_write_span_.clear();
+  node_.mirror().ForEach([this](dp::MirrorTable::Handle h) {
+    const std::uint64_t timer = node_.mirror().timer(h);
+    if (timer != 0) {
+      node_.sim().Cancel(timer);
+      node_.mirror().set_timer(h, 0);
+    }
+  });
   coalesce_.clear();  // pending batches are lost with the SRAM
-  retx_scan_running_ = false;
   app_.Reset();
 }
 
 void RedPlaneSwitch::OnRecovery() {
   ++epoch_;
   coalesce_.clear();
-  retx_scan_running_ = false;
   if (snapshottable_ != nullptr) {
     StartSnapshotReplication(*snapshottable_);
   }

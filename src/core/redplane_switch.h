@@ -26,6 +26,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 
 #include "audit/diag.h"
 #include "audit/taps.h"
@@ -47,7 +48,9 @@ struct RedPlaneConfig {
   SimDuration renew_interval = Milliseconds(500);
   /// Retransmit an unacknowledged request after this long.
   SimDuration request_timeout = Microseconds(500);
-  /// Cadence of the mirror recirculation loop that checks timeouts.
+  /// Unused since retransmission moved to per-entry timers (each mirrored
+  /// request carries its own deadline in the simulator's timing wheel);
+  /// retained so existing configs keep compiling.
   SimDuration retx_scan_interval = Microseconds(100);
   /// Mirror truncation: bytes of a request kept for retransmission
   /// (replication header + state value; never the piggybacked output
@@ -129,9 +132,9 @@ class RedPlaneSwitch : public dp::PipelineHandler {
   void HandleAppPacket(dp::SwitchContext& ctx, net::Packet pkt);
 
   /// Runs the app on `pkt` under an active lease and replicates/releases
-  /// per the consistency mode.
+  /// per the consistency mode.  `slot` is the flow's table slot.
   void RunApp(dp::SwitchContext& ctx, const net::PartitionKey& key,
-              FlowEntry& entry, net::Packet pkt);
+              std::uint32_t slot, net::Packet pkt);
 
   /// Sends `msg` to the store shard for its key, optionally mirroring it
   /// for retransmission.
@@ -145,8 +148,23 @@ class RedPlaneSwitch : public dp::PipelineHandler {
   /// two or more as one batch envelope.
   void FlushBatch(net::Ipv4Addr shard);
 
-  /// The periodic mirror-recirculation scan (retransmission loop).
-  void ScanRetransmits();
+  /// Arms (or re-arms) the mirrored entry's retransmit deadline: one timer
+  /// per in-flight request, stored in the entry's timer lane.  Firing cost
+  /// is O(1) per due entry — there is no whole-table scan.
+  void ArmMirrorTimer(dp::MirrorTable::Handle h);
+  /// A mirrored request's retransmit deadline fired: resend the mirrored
+  /// bytes (or give up past the horizon) and re-arm.
+  void OnMirrorTimeout(dp::MirrorTable::Handle h);
+  /// Abandons a mirrored request past its give-up horizon (and, for an
+  /// Init, forgets the zombie kInitPending flow).
+  void GiveUpMirror(dp::MirrorTable::Handle h);
+
+  /// Arms the flow's renew-timeout timer when an explicit renewal leaves;
+  /// fires to un-wedge renew_in_flight if the renewal or its ack was lost.
+  void ArmRenewTimer(std::uint32_t slot);
+  void OnRenewTimeout(std::uint32_t slot, std::uint32_t gen);
+  /// Cancels the flow's pending renew timer, if any.
+  void CancelRenewTimer(std::uint32_t slot);
 
   /// Periodic ε-bound audit in bounded-inconsistency mode.
   void EpsilonAuditTick(std::uint64_t epoch);
@@ -219,18 +237,11 @@ class RedPlaneSwitch : public dp::PipelineHandler {
   std::unique_ptr<EpsilonTracker> epsilon_;
   std::uint64_t snapshot_round_ = 0;
 
-  // Retransmission bookkeeping: hash(key,seq) -> resend count.
-  std::unordered_map<std::uint64_t, std::uint32_t> retx_counts_;
-  // hash(key,0) -> send time of the outstanding Init / RenewOnly, consulted
-  // on the matching ack to derive a conservative lease expiry.
-  std::unordered_map<std::uint64_t, SimTime> init_sent_at_;
-  std::unordered_map<std::uint64_t, SimTime> renew_sent_at_;
-  bool retx_scan_running_ = false;
+  // Retransmission, init/renew send-time, and write-span bookkeeping all
+  // live in the flow/mirror tables' per-entry lanes now — released with
+  // their entry, so there are no side maps to leak.
   std::uint64_t epoch_ = 0;
   std::uint64_t next_span_ = 0;
-  /// hash(key) -> span of the flow's newest replicated write; buffered reads
-  /// emit it as their parent span (maintained only while tracing is armed).
-  std::unordered_map<std::uint64_t, std::uint64_t> last_write_span_;
 
   /// Per-shard replication coalescer (active only when coalesce_delay > 0).
   /// `gen` invalidates the delayed flush when a cap-triggered flush (or a

@@ -107,7 +107,7 @@ class SwitchNode : public sim::Node {
 
   ControlPlane& control_plane() { return control_plane_; }
   PacketGenerator& packet_generator() { return pktgen_; }
-  MirrorSession& mirror() { return mirror_; }
+  MirrorTable& mirror() { return mirror_; }
   const SwitchConfig& config() const { return config_; }
   net::Ipv4Addr ip() const { return config_.switch_ip; }
 
@@ -119,7 +119,7 @@ class SwitchNode : public sim::Node {
   SwitchConfig config_;
   ControlPlane control_plane_;
   PacketGenerator pktgen_;
-  MirrorSession mirror_;
+  MirrorTable mirror_;
   PipelineHandler* handler_ = nullptr;
   std::function<std::optional<PortId>(const net::Packet&, PortId)> forwarder_;
   std::uint64_t epoch_ = 0;

@@ -26,15 +26,56 @@ Simulator::~Simulator() {
     ReleaseSlot(queue_.top().slot);
     queue_.pop();
   }
+  due_buf_.clear();
+  wheel_.DrainAll(due_buf_);
+  for (const TimerWheel::Due& d : due_buf_) ReleaseSlot(d.payload);
 }
 
 void Simulator::Cancel(EventId id) {
-  if (id == 0 || id >= next_id_) return;
+  const EventId seq = id & kSeqMask;
+  if (seq == 0 || seq >= next_id_) return;
+  if ((id & kWheelFlag) != 0) {
+    const auto idx = static_cast<std::uint32_t>((id & ~kWheelFlag)
+                                                >> kWheelIdxShift);
+    std::uint32_t slot;
+    if (wheel_.Cancel(idx, seq, &slot)) {
+      // Still parked in the wheel: free the callable immediately — O(1),
+      // no tombstone to carry.
+      ReleaseSlot(slot);
+      --pending_;
+      return;
+    }
+    // Already spilled into the heap (or long fired): tombstone the packed
+    // id, which is what the spilled QueuedEvent carries.
+  }
   cancelled_.insert(id);
 }
 
+void Simulator::SpillDueWheelSlots(SimTime limit) {
+  while (!wheel_.Empty()) {
+    const SimTime at = wheel_.NextSlotTime();  // lower bound on earliest
+    if (at > limit) return;
+    if (!queue_.empty() && queue_.top().time < at) return;
+    due_buf_.clear();
+    wheel_.PopNextSlot(due_buf_);
+    for (const TimerWheel::Due& d : due_buf_) {
+      queue_.push(QueuedEvent{
+          d.time,
+          kWheelFlag | (static_cast<EventId>(d.idx) << kWheelIdxShift) |
+              d.seq,
+          d.payload});
+    }
+  }
+}
+
 bool Simulator::PopAndRunOne(SimTime limit) {
-  while (!queue_.empty()) {
+  for (;;) {
+    // Re-spill each iteration: skipping a tombstoned heap event can move
+    // the heap top past wheel slots that were not due a moment ago.  The
+    // inline empty check keeps the wheel entirely off the dispatch path
+    // when no coarse timers are pending (the packet-burst common case).
+    if (!wheel_.Empty()) SpillDueWheelSlots(limit);
+    if (queue_.empty()) return false;
     const QueuedEvent top = queue_.top();
     if (top.time > limit) return false;
     queue_.pop();
@@ -54,7 +95,6 @@ bool Simulator::PopAndRunOne(SimTime limit) {
     ReleaseSlot(top.slot);
     return true;
   }
-  return false;
 }
 
 std::size_t Simulator::Run(std::size_t limit) {

@@ -18,6 +18,7 @@
 // under the callable being invoked).
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -29,10 +30,16 @@
 #include <vector>
 
 #include "common/types.h"
+#include "sim/timer_wheel.h"
 
 namespace redplane::sim {
 
 /// Handle to a scheduled event; allows cancellation.
+///
+/// Packing: bit 63 set means the event lives in the timer wheel; bits 62:39
+/// then hold the wheel node index and bits 38:0 the scheduling sequence
+/// number (the determinism tiebreak).  Heap-resident events are just the
+/// sequence number.  Callers treat the id as opaque either way.
 using EventId = std::uint64_t;
 
 class Simulator {
@@ -45,6 +52,14 @@ class Simulator {
   /// Captures at or below this size use the small slab, whose slots fit a
   /// single cache line including their dispatch metadata.
   static constexpr std::size_t kSmallCallableSize = 32;
+
+  /// Events at least this far in the future are coarse timers: they go to
+  /// the hierarchical timing wheel (O(1) schedule/cancel) instead of the
+  /// binary heap, and spill into the heap just in time to dispatch.  The
+  /// default clears the dense band of packet-propagation events (hundreds
+  /// of ns to a few µs) while catching protocol timers (retransmit, renew,
+  /// lease expiry: hundreds of µs to seconds).
+  static constexpr SimDuration kDefaultCoarseThreshold = Microseconds(64);
 
   /// Construction registers this simulator's clock with the logger, so
   /// RP_LOG lines carry simulated time (`[t=1.234ms]`); destruction
@@ -78,10 +93,23 @@ class Simulator {
       large_slab_.Emplace(slot, std::forward<F>(fn));
       slot |= kLargeSlot;
     }
-    const EventId id = next_id_++;
-    queue_.push(QueuedEvent{t > now_ ? t : now_, id, slot});
+    const EventId seq = next_id_++;
+    assert(seq <= kSeqMask);
+    const SimTime at = t > now_ ? t : now_;
+    if (at - now_ >= coarse_threshold_) {
+      // The wheel refuses times its cursor already passed (it can run a
+      // little ahead of now_ when a due slot was spilled early) and slab
+      // exhaustion; both fall back to the heap.
+      const std::uint32_t idx = wheel_.Schedule(at, seq, slot);
+      if (idx != TimerWheel::kNil) {
+        ++pending_;
+        return kWheelFlag | (static_cast<EventId>(idx) << kWheelIdxShift) |
+               seq;
+      }
+    }
+    queue_.push(QueuedEvent{at, seq, slot});
     ++pending_;
-    return id;
+    return seq;
   }
 
   /// Cancels a pending event.  Cancelling an already-fired or unknown event
@@ -102,6 +130,19 @@ class Simulator {
   /// Number of pending (non-cancelled) events.
   std::size_t PendingEvents() const { return pending_; }
 
+  /// Number of pending coarse timers currently parked in the timing wheel
+  /// (excludes due slots already spilled into the heap).
+  std::size_t CoarseTimersPending() const { return wheel_.Size(); }
+
+  /// Sets the delay at or beyond which events are stored in the timing
+  /// wheel rather than the binary heap.  The backing store never changes
+  /// firing times or tie order, so traces stay bit-identical across
+  /// thresholds — the property the determinism tests pin.  INT64_MAX
+  /// disables the wheel entirely.
+  void SetCoarseTimerThreshold(SimDuration threshold) {
+    coarse_threshold_ = threshold;
+  }
+
  private:
   static constexpr std::uint32_t kNoSlot = UINT32_MAX;
   /// Slot-index tag bit selecting the large slab.
@@ -110,6 +151,11 @@ class Simulator {
   /// O(events / block) rather than per-event.
   static constexpr std::uint32_t kSlotsPerBlock = 64;
 
+  /// EventId packing (see the EventId comment).
+  static constexpr EventId kWheelFlag = 1ull << 63;
+  static constexpr int kWheelIdxShift = 39;
+  static constexpr EventId kSeqMask = (1ull << kWheelIdxShift) - 1;
+
   struct QueuedEvent {
     SimTime time;
     EventId id;
@@ -117,7 +163,11 @@ class Simulator {
 
     bool operator>(const QueuedEvent& other) const {
       if (time != other.time) return time > other.time;
-      return id > other.id;
+      // Compare by scheduling sequence only: events spilled from the wheel
+      // carry their packed id (wheel flag + node index in the high bits)
+      // but must keep their original schedule-order tiebreak against
+      // heap-resident peers.
+      return (id & kSeqMask) > (other.id & kSeqMask);
     }
   };
 
@@ -215,9 +265,15 @@ class Simulator {
   }
 
   bool PopAndRunOne(SimTime limit);
+  /// Moves every wheel slot due at or before `limit` and not after the
+  /// current heap top into the heap, preserving (time, sequence) order.
+  void SpillDueWheelSlots(SimTime limit);
 
   SimTime now_ = 0;
   EventId next_id_ = 1;
+  /// Lives with the other hot scalars (read on every ScheduleAt), not
+  /// after the ~1.6 KB wheel where it would cost its own cache line.
+  SimDuration coarse_threshold_ = kDefaultCoarseThreshold;
   std::uint64_t processed_ = 0;
   std::size_t pending_ = 0;
   std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, std::greater<>>
@@ -227,6 +283,11 @@ class Simulator {
   /// Tombstones for cancelled-but-not-yet-popped events (O(1) insert/erase;
   /// the old linear-scanned vector degraded under retransmit-heavy runs).
   std::unordered_set<EventId> cancelled_;
+  /// Coarse timers (wheel node payload = the callable's slot index).
+  TimerWheel wheel_;
+  /// Scratch for PopNextSlot/DrainAll output; reused to stay allocation-free
+  /// in steady state.
+  std::vector<TimerWheel::Due> due_buf_;
 };
 
 }  // namespace redplane::sim

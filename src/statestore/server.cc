@@ -156,6 +156,7 @@ void StateStoreServer::SetUp(bool up) {
     flows_.clear();
     pending_inits_.clear();
     waiting_reads_.clear();
+    CancelPumps();
     batch_forward_.clear();
     in_batch_ = false;
     busy_until_ = 0;
@@ -312,7 +313,7 @@ void StateStoreServer::HandleInit(Msg msg) {
       trace().Emit(obs::Ev::kStoreBuffered, net::HashPartitionKey(key), 0,
                    static_cast<double>(queue.size()), span);
     }
-    sim_.ScheduleAt(retry_at, [this, key]() { PumpPendingInits(key); });
+    ArmInitPump(key, retry_at);
     return;
   }
 
@@ -579,8 +580,7 @@ void StateStoreServer::PumpPendingInits(const net::PartitionKey& key) {
   // retried when this new lease lapses in turn.
   while (!it->second.empty()) {
     if (LeaseActiveByOther(rec, it->second.front().msg.reply_to)) {
-      const SimTime retry_at = rec.lease_expiry + Microseconds(1);
-      sim_.ScheduleAt(retry_at, [this, key]() { PumpPendingInits(key); });
+      ArmInitPump(key, rec.lease_expiry + Microseconds(1));
       return;
     }
     Msg msg = std::move(it->second.front().msg);
@@ -617,9 +617,35 @@ void StateStoreServer::PumpWaitingReads(const net::PartitionKey& key) {
     // Re-examine when the blocking lease lapses (the owner may never
     // return; the parked packets are then released toward the requester,
     // which re-evaluates under its own — possibly absent — lease).
-    const SimTime retry_at = rec.lease_expiry + Microseconds(1);
-    sim_.ScheduleAt(retry_at, [this, key]() { PumpWaitingReads(key); });
+    ArmReadPump(key, rec.lease_expiry + Microseconds(1));
   }
+}
+
+void StateStoreServer::ArmInitPump(const net::PartitionKey& key, SimTime at) {
+  if (init_pump_timers_.count(key) != 0) return;
+  const std::uint64_t epoch = epoch_;
+  init_pump_timers_[key] = sim_.ScheduleAt(at, [this, key, epoch]() {
+    if (epoch != epoch_) return;
+    init_pump_timers_.erase(key);
+    if (IsUp()) PumpPendingInits(key);
+  });
+}
+
+void StateStoreServer::ArmReadPump(const net::PartitionKey& key, SimTime at) {
+  if (read_pump_timers_.count(key) != 0) return;
+  const std::uint64_t epoch = epoch_;
+  read_pump_timers_[key] = sim_.ScheduleAt(at, [this, key, epoch]() {
+    if (epoch != epoch_) return;
+    read_pump_timers_.erase(key);
+    if (IsUp()) PumpWaitingReads(key);
+  });
+}
+
+void StateStoreServer::CancelPumps() {
+  for (const auto& [key, id] : init_pump_timers_) sim_.Cancel(id);
+  init_pump_timers_.clear();
+  for (const auto& [key, id] : read_pump_timers_) sim_.Cancel(id);
+  read_pump_timers_.clear();
 }
 
 const FlowRecord* StateStoreServer::Find(const net::PartitionKey& key) const {

@@ -181,6 +181,15 @@ class StateStoreServer : public sim::Node {
   /// Releases buffered reads whose awaited sequence number has been applied.
   void PumpWaitingReads(const net::PartitionKey& key);
 
+  /// Arms the per-key lease-expiry pump timers (deduplicated: at most one
+  /// pending timer per key and kind, since the blocking lease's expiry only
+  /// moves forward — an early fire just re-arms).  The timer ids live in
+  /// the maps below so failure cancels them instead of letting a stale
+  /// lease-lapse check fire into a recovered replica.
+  void ArmInitPump(const net::PartitionKey& key, SimTime at);
+  void ArmReadPump(const net::PartitionKey& key, SimTime at);
+  void CancelPumps();
+
   /// Typed handles into counters() for every hot-path counter (registered
   /// once at construction; updated O(1) per request).
   struct Metrics {
@@ -227,6 +236,9 @@ class StateStoreServer : public sim::Node {
   /// their awaited write is durable (or the blocking lease lapses).
   std::unordered_map<net::PartitionKey, std::vector<core::MsgView>>
       waiting_reads_;
+  /// Pending lease-expiry pump timers, one per key (see ArmInitPump).
+  std::unordered_map<net::PartitionKey, std::uint64_t> init_pump_timers_;
+  std::unordered_map<net::PartitionKey, std::uint64_t> read_pump_timers_;
   SimTime busy_until_ = 0;
   SimDuration busy_time_ = 0;
   /// Bumped on failure so queued service completions are invalidated.

@@ -362,9 +362,9 @@ TEST(BatchingTest, DroppedRenewDoesNotWedgeTheFlow) {
   EXPECT_GE(h.SwitchStat("renew_timeouts"), 1.0);
   EXPECT_GE(h.SwitchStat("renewals_sent"), 2.0);
   const auto key = net::PartitionKey::OfFlow(TheFlow());
-  const core::FlowEntry* entry = h.rp->flow_table().Find(key);
-  ASSERT_NE(entry, nullptr);
-  EXPECT_TRUE(entry->LeaseActive(h.sim.Now()));
+  const core::FlowRef entry = h.rp->flow_table().Find(key);
+  ASSERT_TRUE(entry);
+  EXPECT_TRUE(entry.LeaseActive(h.sim.Now()));
 }
 
 // --- retransmit scan idle-stop regression -----------------------------------

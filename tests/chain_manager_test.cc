@@ -267,9 +267,9 @@ TEST(ChainManagerTest, WritesDuringReconfigurationEventuallyDurable) {
   // All processed writes are durable at the current head; the mirror is
   // drained.
   const auto key = net::PartitionKey::OfFlow(TheFlow());
-  const auto* entry = h.rp->flow_table().Find(key);
-  ASSERT_NE(entry, nullptr);
-  EXPECT_EQ(h.StoreSeqAtHead(), entry->cur_seq);
+  const auto entry = h.rp->flow_table().Find(key);
+  ASSERT_TRUE(entry);
+  EXPECT_EQ(h.StoreSeqAtHead(), entry.cur_seq());
   EXPECT_EQ(h.sw->mirror().NumEntries(), 0u);
 }
 

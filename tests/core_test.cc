@@ -179,9 +179,9 @@ TEST(RedPlaneSwitchTest, FirstPacketAcquiresLeaseAndIsReleased) {
   EXPECT_EQ(h.arrivals[0].count, 1u);
   EXPECT_DOUBLE_EQ(h.rp1->stats().Get("inits_sent"), 1.0);
   const auto key = net::PartitionKey::OfFlow(TestFlow());
-  const FlowEntry* entry = h.rp1->flow_table().Find(key);
-  ASSERT_NE(entry, nullptr);
-  EXPECT_EQ(entry->status, FlowStatus::kActive);
+  const FlowRef entry = h.rp1->flow_table().Find(key);
+  ASSERT_TRUE(entry);
+  EXPECT_EQ(entry.status(), FlowStatus::kActive);
   // The store durably holds the write before the output was released.
   const auto* rec = h.store->Find(key);
   ASSERT_NE(rec, nullptr);
@@ -236,7 +236,7 @@ TEST(RedPlaneSwitchTest, SequenceNumbersIncreaseMonotonically) {
   EXPECT_EQ(counts, (std::set<std::uint64_t>{1, 2, 3, 4, 5}));
   const auto key = net::PartitionKey::OfFlow(TestFlow());
   EXPECT_EQ(h.store->Find(key)->last_applied_seq, 5u);
-  EXPECT_EQ(h.rp1->flow_table().Find(key)->last_acked_seq, 5u);
+  EXPECT_EQ(h.rp1->flow_table().Find(key).last_acked_seq(), 5u);
 }
 
 TEST(RedPlaneSwitchTest, RetransmissionRecoversFromRequestLoss) {
@@ -259,9 +259,9 @@ TEST(RedPlaneSwitchTest, RetransmissionRecoversFromRequestLoss) {
   const auto key = net::PartitionKey::OfFlow(TestFlow());
   const auto* rec = h.store->Find(key);
   ASSERT_NE(rec, nullptr);
-  const FlowEntry* entry = h.rp1->flow_table().Find(key);
-  ASSERT_NE(entry, nullptr);
-  EXPECT_EQ(rec->last_applied_seq, entry->cur_seq);
+  const FlowRef entry = h.rp1->flow_table().Find(key);
+  ASSERT_TRUE(entry);
+  EXPECT_EQ(rec->last_applied_seq, entry.cur_seq());
   EXPECT_GT(rec->last_applied_seq, 20u);  // most packets got through
   EXPECT_GT(h.rp1->stats().Get("retransmits"), 0.0);
   EXPECT_EQ(h.sw1->mirror().NumEntries(), 0u);
@@ -296,6 +296,40 @@ TEST(RedPlaneSwitchTest, LeaseMigratesBetweenSwitches) {
   // sw2 had to wait for sw1's lease to lapse before the grant.
   const auto key = net::PartitionKey::OfFlow(TestFlow());
   EXPECT_EQ(h.store->Find(key)->owner, kSw2Ip);
+}
+
+TEST(RedPlaneSwitchTest, LeaseDenialReleasesEveryMirrorAndRetxTimer) {
+  // Regression: a kLeaseDenied triggers a *cumulative* mirror release
+  // (Acknowledge with UINT64_MAX).  The per-(key, seq) retransmit counters
+  // used to live in a side map that this path never erased — they now live
+  // in the mirror entries' own lanes and must vanish with them, along with
+  // every per-entry retransmit timer.
+  CountingEchoApp app;
+  RedPlaneConfig config;
+  config.lease_period = Milliseconds(2);
+  config.request_timeout = Microseconds(200);
+  // Test-only mutation: sw1 believes its lease outlives the store's, so it
+  // keeps writing after sw2 takes ownership — the denial path.
+  config.mutation_lease_extension = Milliseconds(100);
+  sim::LinkConfig slow;
+  slow.propagation = Microseconds(400);  // several timeouts per store RTT
+  CoreHarness h(app, config, slow);
+  h.SendVia(1);
+  h.sim.RunUntil(h.sim.Now() + Milliseconds(3));  // sw1's store lease lapses
+  h.SendVia(2);
+  h.sim.RunUntil(h.sim.Now() + Milliseconds(1));  // sw2 owns the flow now
+  // Burst of writes from sw1 under its (mutated) stale lease: several
+  // mirrored requests in flight at once, all retransmitting.
+  for (int i = 0; i < 3; ++i) h.SendVia(1);
+  h.sim.Run();
+  EXPECT_GE(h.rp1->stats().Get("lease_denials"), 1.0);
+  EXPECT_GE(h.rp1->stats().Get("retransmits"), 1.0);
+  // The one denial released every mirrored entry of the flow and cancelled
+  // every retransmit timer; nothing lingers.
+  EXPECT_EQ(h.sw1->mirror().NumEntries(), 0u);
+  EXPECT_FALSE(h.rp1->flow_table().Find(net::PartitionKey::OfFlow(TestFlow())));
+  EXPECT_EQ(h.sim.PendingEvents(), 0u);
+  EXPECT_EQ(h.sim.CoarseTimersPending(), 0u);
 }
 
 TEST(RedPlaneSwitchTest, FailoverPreservesLinearizability) {

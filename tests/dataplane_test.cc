@@ -70,7 +70,7 @@ TEST(MatchTableTest, InsertLookupEraseCapacity) {
 }
 
 TEST(MirrorTest, OccupancyTracksEntriesAndAcks) {
-  MirrorSession mirror("m", 64);
+  MirrorTable mirror("m", 64);
   const auto key = net::PartitionKey::OfObject(1);
   mirror.Mirror(key, 1, std::vector<std::byte>(40), 0);
   mirror.Mirror(key, 2, std::vector<std::byte>(40), 0);
@@ -85,14 +85,14 @@ TEST(MirrorTest, OccupancyTracksEntriesAndAcks) {
 }
 
 TEST(MirrorTest, TruncationCapsStoredBytes) {
-  MirrorSession mirror("m", 64);
+  MirrorTable mirror("m", 64);
   mirror.Mirror(net::PartitionKey::OfObject(1), 1,
                 std::vector<std::byte>(1500), 0);
   EXPECT_EQ(mirror.OccupancyBytes(), 64u);
 }
 
 TEST(MirrorTest, AckOnlyAffectsMatchingKey) {
-  MirrorSession mirror("m", 64);
+  MirrorTable mirror("m", 64);
   mirror.Mirror(net::PartitionKey::OfObject(1), 5, std::vector<std::byte>(10),
                 0);
   mirror.Mirror(net::PartitionKey::OfObject(2), 5, std::vector<std::byte>(10),

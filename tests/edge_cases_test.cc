@@ -18,40 +18,82 @@ namespace redplane {
 namespace {
 
 TEST(FlowTableTest, NoteAckAdvancesLeaseFromSendTime) {
-  core::FlowEntry entry;
-  core::FlowTable::NoteSend(entry, 1, Milliseconds(10));
-  core::FlowTable::NoteSend(entry, 2, Milliseconds(20));
-  core::FlowTable::NoteAck(entry, 2, Milliseconds(100));
-  EXPECT_EQ(entry.last_acked_seq, 2u);
+  core::FlowTable table;
+  const auto key = net::PartitionKey::OfObject(1);
+  const std::uint32_t slot = table.GetOrCreateSlot(key);
+  table.NoteSend(slot, 1, Milliseconds(10));
+  table.NoteSend(slot, 2, Milliseconds(20));
+  table.NoteAck(slot, 2, Milliseconds(100));
+  EXPECT_EQ(table.last_acked_seq(slot), 2u);
   // Expiry anchored at the newest acked *send* time (20 ms), not receipt.
-  EXPECT_EQ(entry.lease_expiry, Milliseconds(120));
-  EXPECT_TRUE(entry.pending_sends.empty());
+  EXPECT_EQ(table.lease_expiry(slot), Milliseconds(120));
+  EXPECT_EQ(table.Find(key).pending_send_count(), 0u);
 }
 
 TEST(FlowTableTest, NoteAckOutOfOrderKeepsNewerPendings) {
-  core::FlowEntry entry;
-  core::FlowTable::NoteSend(entry, 1, Milliseconds(10));
-  core::FlowTable::NoteSend(entry, 2, Milliseconds(20));
-  core::FlowTable::NoteSend(entry, 3, Milliseconds(30));
-  core::FlowTable::NoteAck(entry, 1, Milliseconds(50));
-  EXPECT_EQ(entry.pending_sends.size(), 2u);
-  EXPECT_EQ(entry.last_acked_seq, 1u);
+  core::FlowTable table;
+  const auto key = net::PartitionKey::OfObject(2);
+  const std::uint32_t slot = table.GetOrCreateSlot(key);
+  table.NoteSend(slot, 1, Milliseconds(10));
+  table.NoteSend(slot, 2, Milliseconds(20));
+  table.NoteSend(slot, 3, Milliseconds(30));
+  table.NoteAck(slot, 1, Milliseconds(50));
+  EXPECT_EQ(table.Find(key).pending_send_count(), 2u);
+  EXPECT_EQ(table.last_acked_seq(slot), 1u);
   // A stale (already covered) ack does not regress anything.
-  core::FlowTable::NoteAck(entry, 1, Milliseconds(50));
-  EXPECT_EQ(entry.last_acked_seq, 1u);
-  EXPECT_EQ(entry.pending_sends.size(), 2u);
+  table.NoteAck(slot, 1, Milliseconds(50));
+  EXPECT_EQ(table.last_acked_seq(slot), 1u);
+  EXPECT_EQ(table.Find(key).pending_send_count(), 2u);
 }
 
 TEST(FlowTableTest, WritesInFlightAndLeaseActive) {
-  core::FlowEntry entry;
-  EXPECT_FALSE(entry.WritesInFlight());
-  entry.cur_seq = 3;
-  entry.last_acked_seq = 2;
-  EXPECT_TRUE(entry.WritesInFlight());
-  entry.status = core::FlowStatus::kActive;
-  entry.lease_expiry = Milliseconds(10);
-  EXPECT_TRUE(entry.LeaseActive(Milliseconds(9)));
-  EXPECT_FALSE(entry.LeaseActive(Milliseconds(10)));
+  core::FlowTable table;
+  const std::uint32_t slot =
+      table.GetOrCreateSlot(net::PartitionKey::OfObject(3));
+  EXPECT_FALSE(table.WritesInFlight(slot));
+  table.set_cur_seq(slot, 3);
+  table.set_last_acked_seq(slot, 2);
+  EXPECT_TRUE(table.WritesInFlight(slot));
+  table.set_status(slot, core::FlowStatus::kActive);
+  table.set_lease_expiry(slot, Milliseconds(10));
+  EXPECT_TRUE(table.LeaseActive(slot, Milliseconds(9)));
+  EXPECT_FALSE(table.LeaseActive(slot, Milliseconds(10)));
+}
+
+TEST(FlowTableTest, NoteSendCompactsPastHorizonAndCapsDeque) {
+  core::FlowTable table;
+  const auto key = net::PartitionKey::OfObject(4);
+  const std::uint32_t slot = table.GetOrCreateSlot(key);
+  // Horizon compaction: sends older than now - horizon drop off the front.
+  table.NoteSend(slot, 1, Milliseconds(1), Milliseconds(5));
+  table.NoteSend(slot, 2, Milliseconds(2), Milliseconds(5));
+  table.NoteSend(slot, 3, Milliseconds(10), Milliseconds(5));
+  // Sends at 1 ms and 2 ms are older than 10 ms - 5 ms: both compacted.
+  EXPECT_EQ(table.Find(key).pending_send_count(), 1u);
+  // Hard cap: even with no horizon the deque stays bounded.
+  for (std::uint64_t seq = 4; seq < 4 + 10'000; ++seq) {
+    table.NoteSend(slot, seq, Milliseconds(11));
+  }
+  EXPECT_LE(table.Find(key).pending_send_count(), 256u);
+}
+
+TEST(FlowTableTest, SlotsAreStableAndGenerationsDetectReuse) {
+  core::FlowTable table;
+  const auto a = net::PartitionKey::OfObject(10);
+  const auto b = net::PartitionKey::OfObject(11);
+  const std::uint32_t sa = table.GetOrCreateSlot(a);
+  const std::uint32_t sb = table.GetOrCreateSlot(b);
+  ASSERT_NE(sa, sb);
+  const std::uint32_t gen_a = table.gen(sa);
+  EXPECT_TRUE(table.Alive(sa, gen_a));
+  table.Erase(a);
+  EXPECT_FALSE(table.Alive(sa, gen_a));
+  // The freed slot is recycled with a bumped generation.
+  const std::uint32_t sc = table.GetOrCreateSlot(net::PartitionKey::OfObject(12));
+  EXPECT_EQ(sc, sa);
+  EXPECT_FALSE(table.Alive(sa, gen_a));
+  EXPECT_TRUE(table.Alive(sc, table.gen(sc)));
+  EXPECT_EQ(table.FindSlot(b), sb);
 }
 
 TEST(StoreEdgeTest, NonProtocolAndMalformedPacketsCounted) {

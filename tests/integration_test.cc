@@ -378,8 +378,8 @@ TEST(IntegrationTest, TracedNatFailoverEmitsRehomeSequence) {
   // gives the other switch app packets too, so consult the flow table),
   // then keep traffic flowing so the standby rehomes the mapping.
   const auto key = net::PartitionKey::OfFlow(flow);
-  const int active = deploy.rp[0]->flow_table().Find(key) != nullptr ? 0 : 1;
-  ASSERT_NE(deploy.rp[active]->flow_table().Find(key), nullptr);
+  const int active = deploy.rp[0]->flow_table().Find(key) ? 0 : 1;
+  ASSERT_TRUE(deploy.rp[active]->flow_table().Find(key));
   injector.FailNode(tb.agg[active]);
   tb.fabric->AssignAddress(tb.agg[1 - active], kNatIp);
   for (int i = 0; i < 30; ++i) {

@@ -200,10 +200,10 @@ TEST_P(ProtocolFuzz, AdversarialScheduleStaysLinearizable) {
 
   // The durable count equals each live switch's view of the flow.
   for (auto* rp : {&rp1, &rp2}) {
-    const auto* entry =
+    const auto entry =
         rp->flow_table().Find(net::PartitionKey::OfFlow(TheFlow()));
-    if (entry != nullptr && entry->has_state) {
-      EXPECT_LE(entry->last_acked_seq, rec->last_applied_seq);
+    if (entry && entry.has_state()) {
+      EXPECT_LE(entry.last_acked_seq(), rec->last_applied_seq);
     }
   }
 }
