@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Fault-campaign CI driver: run the audited failure campaign and gate on it.
 
-Two gates, mirroring the campaign binary's own exit-code contract:
+Three gates, mirroring the campaign binary's own exit-code contract:
 
  1. Clean sweep — every scenario (switch crash, link flap, lease-expiry
     race, store failover) across --seeds seeds with the auditor armed must
@@ -15,7 +15,14 @@ Two gates, mirroring the campaign binary's own exit-code contract:
     auditor: a silent mutated run means the monitors have gone blind, and
     the job fails even though nothing "broke".
 
-Both gates run twice: once per-packet and once with replication batching on
+ 3. Recovery forensics — the campaign binary additionally fails any clean
+    run whose fault injection did not produce exactly one detected,
+    complete recovery episode with phase durations summing to the measured
+    downtime (DESIGN.md section 13).  Per-run recovery timelines
+    (<scenario>_s<seed>.recovery.json) and fleet time-series (.fleet.csv)
+    land in --out-dir alongside the campaign report.
+
+All gates run twice: once per-packet and once with replication batching on
 (--batching=16), so the monitors are proven to see through batch envelopes
 — clean batched runs stay silent and mutated batched runs are still caught.
 

@@ -73,6 +73,7 @@ void Auditor::Publish(std::uint16_t component, Tap tap, std::uint64_t key,
   ev.value = value;
   ++events_seen_;
   events_counter_.Add();
+  if (tap_observer_) tap_observer_(ev);
   for (auto& m : monitors_) m->OnEvent(*this, ev);
 }
 

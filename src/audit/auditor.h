@@ -73,6 +73,13 @@ class Auditor {
   bool enabled() const { return enabled_; }
   /// Tracer to cut causal slices from on violation (optional).
   void SetTracer(const obs::Tracer* tracer) { tracer_ = tracer; }
+  /// Raw tap-stream observer, called with every published event before the
+  /// monitors run.  This is how passive consumers that must not depend on
+  /// the audit library's monitors (e.g. obs::RecoveryTracker) subscribe to
+  /// the fact stream; pass an empty function to detach.
+  void SetTapObserver(std::function<void(const TapEvent&)> observer) {
+    tap_observer_ = std::move(observer);
+  }
 
   /// Installs the four standard protocol monitors (see audit/monitors.h).
   void ArmStandardMonitors();
@@ -115,6 +122,7 @@ class Auditor {
   bool enabled_ = false;
   std::function<SimTime()> clock_;
   const obs::Tracer* tracer_ = nullptr;
+  std::function<void(const TapEvent&)> tap_observer_;
   std::vector<std::unique_ptr<Monitor>> monitors_;
   std::vector<std::string> components_;
   std::uint64_t generation_ = 1;

@@ -27,6 +27,10 @@ const char* TapName(Tap tap) {
     case Tap::kLinkCut: return "link_cut";
     case Tap::kLinkRestored: return "link_restored";
     case Tap::kHistoryClosed: return "history_closed";
+    case Tap::kRouteReconverged: return "route_reconverged";
+    case Tap::kLeaseRequested: return "lease_requested";
+    case Tap::kLeaseGranted: return "lease_granted";
+    case Tap::kOutputServed: return "output_served";
   }
   return "?";
 }

@@ -43,9 +43,15 @@ enum class Tap : std::uint8_t {
   kLinkRestored,       // link restore injected
   // --- auditor-internal ---
   kHistoryClosed,      // a per-flow history was closed and checked
+  // --- recovery forensics (obs/recovery.h consumes these) ---
+  kRouteReconverged,   // fabric routes rebuilt after a topology change;
+                       //   aux = node count
+  kLeaseRequested,     // switch sent a lease Init request for a key
+  kLeaseGranted,       // switch received a lease grant; aux = 1 if migrate
+  kOutputServed,       // an output packet was released toward its destination
 };
 
-inline constexpr int kNumTaps = static_cast<int>(Tap::kHistoryClosed) + 1;
+inline constexpr int kNumTaps = static_cast<int>(Tap::kOutputServed) + 1;
 
 /// Stable display name for a tap kind (used in reports).
 const char* TapName(Tap tap);

@@ -187,4 +187,18 @@ SimTime FlowTable::SendTimeOf(std::uint32_t slot, std::uint64_t seq) const {
   return 0;
 }
 
+FlowTable::IndexStats FlowTable::IndexStatsNow() const {
+  IndexStats s;
+  s.capacity = idx_slot_.size();
+  s.used = idx_used_;
+  if (s.capacity == 0) return s;
+  const std::size_t mask = s.capacity - 1;
+  for (std::size_t i = 0; i < idx_slot_.size(); ++i) {
+    if (idx_slot_[i] == kNilSlot) continue;
+    const std::size_t home = idx_digest_[i] & mask;
+    s.max_probe = std::max(s.max_probe, ((i - home) & mask) + 1);
+  }
+  return s;
+}
+
 }  // namespace redplane::core

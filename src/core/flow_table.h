@@ -184,6 +184,16 @@ class FlowTable {
   /// Send time recorded for `seq`, or 0 (write RTT accounting).
   SimTime SendTimeOf(std::uint32_t slot, std::uint64_t seq) const;
 
+  /// Digest-index health for the load-factor / max-probe gauges.
+  struct IndexStats {
+    std::size_t capacity = 0;
+    std::size_t used = 0;
+    std::size_t max_probe = 0;  // longest probe chain over occupied cells
+  };
+  /// O(index capacity); sampled by the fleet time-series exporter, never on
+  /// the packet path.
+  IndexStats IndexStatsNow() const;
+
  private:
   friend class FlowRef;
 

@@ -77,6 +77,26 @@ RedPlaneSwitch::RedPlaneSwitch(
   stats_.AddCallbackGauge("mirror_occupancy_bytes", [this] {
     return static_cast<double>(node_.mirror().OccupancyBytes());
   });
+  // PR 7 SoA-table health: digest-index load factor and worst probe chain,
+  // sampled on demand by the fleet time-series exporter (obs/timeseries.h).
+  stats_.AddCallbackGauge("flow_idx_load", [this] {
+    const auto s = flows_.IndexStatsNow();
+    return s.capacity == 0 ? 0.0
+                           : static_cast<double>(s.used) /
+                                 static_cast<double>(s.capacity);
+  });
+  stats_.AddCallbackGauge("flow_idx_max_probe", [this] {
+    return static_cast<double>(flows_.IndexStatsNow().max_probe);
+  });
+  stats_.AddCallbackGauge("mirror_idx_load", [this] {
+    const auto s = node_.mirror().IndexStatsNow();
+    return s.capacity == 0 ? 0.0
+                           : static_cast<double>(s.used) /
+                                 static_cast<double>(s.capacity);
+  });
+  stats_.AddCallbackGauge("mirror_idx_max_probe", [this] {
+    return static_cast<double>(node_.mirror().IndexStatsNow().max_probe);
+  });
 }
 
 RedPlaneSwitch::~RedPlaneSwitch() = default;
@@ -191,6 +211,9 @@ void RedPlaneSwitch::HandleAppPacket(dp::SwitchContext& ctx, net::Packet pkt) {
     trace_.Emit(obs::Ev::kLeaseMiss, net::HashPartitionKey(*key), 0, 0.0,
                 init.span_id);
   }
+  if (atap_.armed()) {
+    atap_.Emit(audit::Tap::kLeaseRequested, net::HashPartitionKey(*key));
+  }
   SendRequest(init, /*mirror=*/true);
 }
 
@@ -268,7 +291,7 @@ void RedPlaneSwitch::RunApp(dp::SwitchContext& ctx,
   // Read with nothing in flight (or any packet in bounded-inconsistency
   // mode): release immediately.
   for (auto& out : result.outputs) {
-    ReleaseOutput(ctx, std::move(out));
+    ReleaseOutput(ctx, key, std::move(out));
   }
 }
 
@@ -313,6 +336,10 @@ void RedPlaneSwitch::HandleAck(dp::SwitchContext& ctx, MsgView msg) {
       if (trace_.armed()) {
         trace_.Emit(migrate ? obs::Ev::kFailoverRehome : obs::Ev::kLeaseGrant,
                     net::HashPartitionKey(key), seq, 0.0, span);
+      }
+      if (atap_.armed()) {
+        atap_.Emit(audit::Tap::kLeaseGranted, net::HashPartitionKey(key), seq,
+                   migrate ? 1 : 0);
       }
       const SimTime init_sent = flows_.cold(slot).init_sent_at;
       const SimTime sent_at = init_sent != 0 ? init_sent : ctx.Now();
@@ -387,7 +414,7 @@ void RedPlaneSwitch::HandleAck(dp::SwitchContext& ctx, MsgView msg) {
       }
       if (msg.has_piggyback()) {
         if (auto piggy = msg.PiggybackPacket()) {
-          ReleaseOutput(ctx, std::move(*piggy));
+          ReleaseOutput(ctx, key, std::move(*piggy));
         } else {
           m_.malformed_acks.Add();
         }
@@ -457,7 +484,7 @@ void RedPlaneSwitch::HandleAck(dp::SwitchContext& ctx, MsgView msg) {
           atap_.Emit(audit::Tap::kAckReleased, net::HashPartitionKey(key),
                      seq);
         }
-        ReleaseOutput(ctx, std::move(*piggy));
+        ReleaseOutput(ctx, key, std::move(*piggy));
       }
       return;
     }
@@ -802,13 +829,18 @@ void RedPlaneSwitch::SnapshotBurstSlot(std::uint32_t index) {
   }
 }
 
-void RedPlaneSwitch::ReleaseOutput(dp::SwitchContext& ctx, net::Packet pkt) {
+void RedPlaneSwitch::ReleaseOutput(dp::SwitchContext& ctx,
+                                   const net::PartitionKey& key,
+                                   net::Packet pkt) {
   (void)ctx;
   m_.outputs_released.Add();
   // Bandwidth accounting counts what the switch sends and receives (the
   // paper's Fig. 10 methodology), so the released output counts as original
   // traffic alongside its arrival.
   m_.orig_bytes.Add(static_cast<double>(pkt.WireSize()));
+  if (atap_.armed()) {
+    atap_.Emit(audit::Tap::kOutputServed, net::HashPartitionKey(key));
+  }
   node_.ForwardPacket(std::move(pkt), kInvalidPort);
 }
 

@@ -172,8 +172,11 @@ class RedPlaneSwitch : public dp::PipelineHandler {
   /// Emits one snapshot replication burst.
   void SnapshotBurstSlot(std::uint32_t index);
 
-  /// Releases an output packet toward its destination.
-  void ReleaseOutput(dp::SwitchContext& ctx, net::Packet pkt);
+  /// Releases an output packet toward its destination.  `key` identifies
+  /// the flow the output belongs to, for the kOutputServed recovery tap
+  /// (per-flow downtime is measured between served outputs).
+  void ReleaseOutput(dp::SwitchContext& ctx, const net::PartitionKey& key,
+                     net::Packet pkt);
 
   /// Renders the live lease/flow table (failure diagnostics).
   void DumpLeaseTable(std::ostream& os) const;

@@ -140,4 +140,18 @@ void MirrorTable::ReleaseSlot(std::uint32_t slot, std::size_t cell) {
   --count_;
 }
 
+MirrorTable::IndexStats MirrorTable::IndexStatsNow() const {
+  IndexStats s;
+  s.capacity = idx_head_.size();
+  s.used = idx_used_;
+  if (s.capacity == 0) return s;
+  const std::size_t mask = s.capacity - 1;
+  for (std::size_t i = 0; i < idx_head_.size(); ++i) {
+    if (idx_head_[i] == kNilSlot) continue;
+    const std::size_t home = idx_digest_[i] & mask;
+    s.max_probe = std::max(s.max_probe, ((i - home) & mask) + 1);
+  }
+  return s;
+}
+
 }  // namespace redplane::dp

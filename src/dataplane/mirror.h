@@ -122,6 +122,16 @@ class MirrorTable {
   std::uint64_t timer(Handle h) const { return timer_[h.slot]; }
   void set_timer(Handle h, std::uint64_t id) { timer_[h.slot] = id; }
 
+  /// Digest-index health for the load-factor / max-probe gauges.
+  struct IndexStats {
+    std::size_t capacity = 0;
+    std::size_t used = 0;
+    std::size_t max_probe = 0;  // longest probe chain over occupied cells
+  };
+  /// O(index capacity); sampled by the fleet time-series exporter, never on
+  /// the packet path.
+  IndexStats IndexStatsNow() const;
+
   /// Current buffer occupancy in bytes.
   std::size_t OccupancyBytes() const { return occupancy_; }
   /// High-water mark since construction/reset.

@@ -1,0 +1,53 @@
+#include "obs/timeseries.h"
+
+namespace redplane::obs {
+
+void FleetSampler::Sample(SimTime now) {
+  const MetricsSnapshot raw = hub_->Snapshot(now);
+  MetricsSnapshot derived;
+  derived.at = now;
+  const double dt_s = have_prev_ && now > prev_at_
+                          ? static_cast<double>(now - prev_at_) / 1e9
+                          : 0.0;
+  for (const MetricValue& mv : raw.values) {
+    switch (mv.kind) {
+      case MetricKind::kGauge:
+      case MetricKind::kCallbackGauge: {
+        MetricValue out;
+        out.name = mv.name;
+        out.kind = MetricKind::kGauge;
+        out.value = mv.value;
+        derived.values.push_back(std::move(out));
+        break;
+      }
+      case MetricKind::kCounter:
+      case MetricKind::kHistogram: {
+        // Histograms export their count in `value`, so both kinds rate the
+        // same way: delta since the previous sample, scaled to one second.
+        if (dt_s > 0) {
+          const auto it = prev_.find(mv.name);
+          const double before = it == prev_.end() ? 0.0 : it->second;
+          MetricValue out;
+          out.name = mv.name + ".per_sec";
+          out.kind = MetricKind::kGauge;
+          out.value = (mv.value - before) / dt_s;
+          derived.values.push_back(std::move(out));
+        }
+        prev_[mv.name] = mv.value;
+        break;
+      }
+    }
+  }
+  prev_at_ = now;
+  have_prev_ = true;
+  log_.Append(std::move(derived));
+}
+
+void FleetSampler::Reset() {
+  log_.Clear();
+  prev_.clear();
+  prev_at_ = 0;
+  have_prev_ = false;
+}
+
+}  // namespace redplane::obs

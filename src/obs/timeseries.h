@@ -1,0 +1,59 @@
+// Continuous fleet time-series telemetry.
+//
+// The MetricsHub snapshots raw monotonic counters; operators (and the
+// rpreport recovery section) want *rates*: per-second per-switch goodput,
+// lease churn (acquire/renew/handoff/deny per second), per-link replication
+// bytes, store-shard queue depth, and timer-wheel / SoA-table occupancy.
+// FleetSampler turns hub snapshots into that view: sampled once per period,
+// each counter metric becomes a `<name>.per_sec` rate (delta over the
+// sampling interval, scaled to one second), each gauge / callback gauge
+// passes through as a level, and each histogram contributes a
+// `<name>.per_sec` of its count.  The derived series accumulate in a
+// TimeSeriesLog, exported as CSV or JSON with the same schema the rest of
+// the obs stack uses (metrics.h), so rpreport and ci scripts parse it with
+// the machinery they already have.
+//
+// All derived values are emitted as gauges: a rate is a level, not a
+// monotonic count.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "obs/metrics.h"
+
+namespace redplane::obs {
+
+class FleetSampler {
+ public:
+  /// `hub` must outlive the sampler; register every registry to export
+  /// (switch stats, store stats, wheel/table gauges) before sampling.
+  explicit FleetSampler(const MetricsHub* hub) : hub_(hub) {}
+
+  /// Takes one sample at `now`.  The first call establishes the baseline
+  /// (rates need a previous snapshot) and emits levels only.
+  void Sample(SimTime now);
+
+  const TimeSeriesLog& log() const { return log_; }
+  std::size_t NumSamples() const { return log_.Size(); }
+
+  /// Drops accumulated samples and the rate baseline.
+  void Reset();
+
+  void WriteCsv(std::ostream& os) const { log_.WriteCsv(os); }
+  void WriteJson(std::ostream& os) const { log_.WriteJson(os); }
+  std::string Csv() const { return log_.Csv(); }
+  std::string Json() const { return log_.Json(); }
+
+ private:
+  const MetricsHub* hub_;
+  TimeSeriesLog log_;
+  /// Previous counter/histogram-count values by metric name (rate baseline).
+  std::unordered_map<std::string, double> prev_;
+  SimTime prev_at_ = 0;
+  bool have_prev_ = false;
+};
+
+}  // namespace redplane::obs

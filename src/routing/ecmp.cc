@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "audit/taps.h"
 #include "common/hash.h"
 #include "common/logging.h"
 #include "net/flow.h"
@@ -52,6 +53,13 @@ void RoutingFabric::Rebuild() {
   if (trace.armed()) {
     trace.Emit(obs::Ev::kReroute, 0, 0,
                static_cast<double>(network_.NumNodes()));
+  }
+  // Recovery forensics: route re-convergence closes the failure-detection
+  // phase of an episode (obs/recovery.h).
+  static audit::TapHandle atap("fabric");
+  if (atap.armed()) {
+    atap.Emit(audit::Tap::kRouteReconverged, 0, 0,
+              static_cast<std::uint64_t>(network_.NumNodes()));
   }
   const std::size_t n = network_.NumNodes();
   routes_.assign(n, {});

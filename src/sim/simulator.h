@@ -134,6 +134,9 @@ class Simulator {
   /// (excludes due slots already spilled into the heap).
   std::size_t CoarseTimersPending() const { return wheel_.Size(); }
 
+  /// Read-only view of the timing wheel (per-level occupancy gauges).
+  const TimerWheel& wheel() const { return wheel_; }
+
   /// Sets the delay at or beyond which events are stored in the timing
   /// wheel rather than the binary heap.  The backing store never changes
   /// firing times or tie order, so traces stay bit-identical across

@@ -222,4 +222,17 @@ void TimerWheel::DrainAll(std::vector<Due>& out) {
   size_ = 0;
 }
 
+std::array<std::size_t, TimerWheel::kLevels + 1> TimerWheel::CountPerLevel()
+    const {
+  std::array<std::size_t, kLevels + 1> counts{};
+  for (std::uint16_t b = 0; b <= kOverflowBucket; ++b) {
+    std::size_t n = 0;
+    for (std::uint32_t idx = heads_[b]; idx != kNil; idx = nodes_[idx].next) {
+      ++n;
+    }
+    counts[b == kOverflowBucket ? kLevels : b >> kSlotBits] += n;
+  }
+  return counts;
+}
+
 }  // namespace redplane::sim

@@ -29,6 +29,7 @@
 // side table — the sequence number is the generation.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -87,6 +88,12 @@ class TimerWheel {
   /// Removes every pending timer, appending each to `out` (destruction
   /// and mass-reset paths: the owner frees the payloads).
   void DrainAll(std::vector<Due>& out);
+
+  /// Pending timers per level ([0..kLevels-1]) plus the overflow-list
+  /// length in the final element.  O(pending): walks bucket lists, for the
+  /// occupancy gauges the fleet time-series exporter samples per second —
+  /// never called on a hot path.
+  std::array<std::size_t, kLevels + 1> CountPerLevel() const;
 
  private:
   struct Node {

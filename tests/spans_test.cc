@@ -55,7 +55,7 @@ class CounterApp : public core::SwitchApp {
 /// data packet is a write, so each one produces a replication request that
 /// traverses head → mid → tail and acks back to the switch.
 struct TracedChainHarness {
-  TracedChainHarness() {
+  explicit TracedChainHarness(SimDuration coalesce_delay = 0) {
     tracer.SetClock([this]() { return sim.Now(); });
     tracer.SetEnabled(true);
 
@@ -107,6 +107,7 @@ struct TracedChainHarness {
 
     core::RedPlaneConfig rp_cfg;
     rp_cfg.lease_period = Milliseconds(10);
+    rp_cfg.coalesce_delay = coalesce_delay;
     rp = std::make_unique<core::RedPlaneSwitch>(
         *sw, app, [this](const net::PartitionKey&) { return stores[0]->ip(); },
         rp_cfg);
@@ -228,6 +229,42 @@ TEST(SpansTest, WriteSpanTotalsMatchMeasuredWriteRtt) {
     return;
   }
   FAIL() << "write_replication_rtt phase missing from LatencyBreakdown";
+}
+
+TEST(SpansTest, SpanIdsSurviveBatchEnvelopes) {
+  // With write coalescing on, replication requests travel inside batch
+  // envelopes (PR 4); each sub-message's span id must survive the envelope
+  // and echo back on the (piggybacked) acks so the span trees reconstruct
+  // exactly as in the unbatched case.
+  TracedChainHarness h(/*coalesce_delay=*/Microseconds(500));
+  h.RunWrites(/*flows=*/4, /*packets=*/3);
+  ASSERT_GT(h.delivered, 0);
+  // Batching actually engaged.
+  EXPECT_GT(h.rp->stats().Get("batch_envelopes"), 0);
+
+  const auto spans = obs::BuildSpanTrees(h.tracer);
+  int write_spans = 0;
+  for (const SpanTree& span : spans) {
+    if (!IsCompleteWriteSpan(span)) continue;
+    ++write_spans;
+    SimTime sum = 0;
+    for (std::size_t i = 0; i < span.segments.size(); ++i) {
+      if (i > 0) {
+        EXPECT_EQ(span.segments[i].begin, span.segments[i - 1].end)
+            << "span " << span.span << " segment " << i;
+      }
+      sum += span.segments[i].DurationNs();
+    }
+    EXPECT_EQ(sum, span.TotalNs()) << "span " << span.span;
+  }
+  // Every write's lifecycle still reconstructs end to end.
+  EXPECT_GT(write_spans, 0);
+  for (const auto& phase : h.tracer.LatencyBreakdown()) {
+    if (phase.name == "write_replication_rtt") {
+      EXPECT_EQ(static_cast<std::size_t>(write_spans),
+                phase.samples_us.Count());
+    }
+  }
 }
 
 TEST(SpansTest, SummaryGroupsStoreSegmentsByShardAndExportsValidJson) {

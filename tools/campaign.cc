@@ -37,9 +37,13 @@
 #include "core/redplane_switch.h"
 #include "net/codec.h"
 #include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/recovery.h"
+#include "obs/timeseries.h"
 #include "obs/tracer.h"
 #include "routing/failure.h"
 #include "routing/topology.h"
+#include "sim/timer_wheel.h"
 #include "statestore/chain_manager.h"
 
 namespace redplane {
@@ -107,6 +111,21 @@ struct PhaseOut {
   double p99_us = 0;
 };
 
+/// Flattened view of one obs::RecoveryEpisode for the campaign report.
+struct EpisodeOut {
+  std::uint64_t id = 0;
+  std::string trigger;
+  bool complete = false;
+  bool phase_sum_ok = false;
+  SimDuration downtime = 0;
+  std::array<SimDuration, obs::kNumRecoveryPhases> phase{};
+  std::size_t flows = 0;
+  double flow_p50_us = 0;
+  double flow_p99_us = 0;
+  double flow_max_us = 0;
+  std::uint32_t extra_faults = 0;
+};
+
 struct RunResult {
   std::string scenario;
   std::uint64_t seed = 0;
@@ -118,6 +137,10 @@ struct RunResult {
   std::vector<PhaseOut> phases;
   double write_rtt_p50_us = 0;
   double write_rtt_p99_us = 0;
+  std::vector<EpisodeOut> episodes;
+  std::string recovery_json_path;
+  std::string fleet_csv_path;
+  std::size_t fleet_samples = 0;
 };
 
 struct Scenario {
@@ -175,6 +198,13 @@ RunResult RunOne(const Scenario& sc, std::uint64_t seed,
   auditor.SetEnabled(true);
   audit::LinearizabilityFeed feed(&auditor);
 
+  // Recovery forensics: every tap the auditor publishes also feeds the
+  // episode tracker, which decomposes the injected fault's recovery into
+  // causally ordered phases (obs/recovery.h).
+  obs::RecoveryTracker recovery(&tracer);
+  auditor.SetTapObserver(
+      [&recovery](const audit::TapEvent& ev) { recovery.OnTapEvent(ev); });
+
   store::ChainManager mgr(sim, tb.store,
                           store::ChainManagerConfig{
                               .probe_interval = Milliseconds(5),
@@ -197,6 +227,29 @@ RunResult RunOne(const Scenario& sc, std::uint64_t seed,
     tb.agg[i]->SetPipeline(rp[i].get());
   }
   routing::FailureInjector injector(sim, *tb.fabric);
+
+  // Fleet time-series: per-sample goodput / lease churn / replication-byte
+  // rates plus store, timer-wheel, and SoA-table occupancy levels
+  // (obs/timeseries.h).  The wheel gauges live here because obs must not
+  // depend on sim.
+  obs::MetricRegistry wheel_reg("wheel");
+  for (int l = 0; l <= sim::TimerWheel::kLevels; ++l) {
+    const std::string gauge_name =
+        l == sim::TimerWheel::kLevels ? "overflow" : "level" + std::to_string(l);
+    wheel_reg.AddCallbackGauge(gauge_name, [&sim, l] {
+      return static_cast<double>(
+          sim.wheel().CountPerLevel()[static_cast<std::size_t>(l)]);
+    });
+  }
+  obs::MetricsHub hub;
+  hub.Register(&rp[0]->stats());
+  hub.Register(&rp[1]->stats());
+  for (store::StateStoreServer* server : tb.store) {
+    hub.Register(&server->counters());
+  }
+  hub.Register(&wheel_reg);
+  obs::FleetSampler fleet(&hub);
+  fleet.Sample(sim.Now());  // rate baseline
 
   // Receiver: record every delivered (marker, stamped count).
   tb.rack_servers[0][0]->SetHandler([&](sim::HostNode&, net::Packet pkt) {
@@ -271,11 +324,17 @@ RunResult RunOne(const Scenario& sc, std::uint64_t seed,
   for (int i = warmup_rounds; i < packets_per_flow; ++i) {
     send_round();
     sim.RunUntil(sim.Now() + Microseconds(800));
+    fleet.Sample(sim.Now());
   }
   // Bounded drain: the chain manager's periodic probe keeps the event queue
   // non-empty forever, so run to a horizon rather than to quiescence.
-  sim.RunUntil(sim.Now() + Milliseconds(150));
+  // Stepped so the time series covers the recovery tail.
+  for (int i = 0; i < 15; ++i) {
+    sim.RunUntil(sim.Now() + Milliseconds(10));
+    fleet.Sample(sim.Now());
+  }
   out.lin_failures = feed.CloseAll();
+  recovery.Finalize(sim.Now());
 
   // Harvest results.
   out.audit_events = auditor.events_seen();
@@ -314,6 +373,39 @@ RunResult RunOne(const Scenario& sc, std::uint64_t seed,
     }
   }
 
+  // Recovery-forensics artifacts: one episode-timeline JSON and one fleet
+  // time-series CSV per injected fault.
+  const std::string run_stem =
+      out_dir + "/" + sc.name + "_s" + std::to_string(seed);
+  out.recovery_json_path = run_stem + ".recovery.json";
+  std::ofstream(out.recovery_json_path) << recovery.Json();
+  out.fleet_csv_path = run_stem + ".fleet.csv";
+  {
+    std::ofstream fleet_csv(out.fleet_csv_path);
+    fleet.WriteCsv(fleet_csv);
+  }
+  out.fleet_samples = fleet.NumSamples();
+  for (const obs::RecoveryEpisode& e : recovery.episodes()) {
+    EpisodeOut eo;
+    eo.id = e.id;
+    eo.trigger = e.trigger;
+    eo.complete = e.complete;
+    eo.phase_sum_ok = obs::PhaseSumOk(e);
+    eo.downtime = e.phase_end.back() - e.fault_at;
+    for (int p = 0; p < obs::kNumRecoveryPhases; ++p) {
+      eo.phase[static_cast<std::size_t>(p)] =
+          e.PhaseDuration(static_cast<obs::RecoveryPhase>(p));
+    }
+    eo.flows = e.flow_downtime_us.Count();
+    if (!e.flow_downtime_us.Empty()) {
+      eo.flow_p50_us = e.flow_downtime_us.Percentile(50);
+      eo.flow_p99_us = e.flow_downtime_us.Percentile(99);
+      eo.flow_max_us = e.flow_downtime_us.Max();
+    }
+    eo.extra_faults = e.extra_faults;
+    out.episodes.push_back(std::move(eo));
+  }
+
   obs::SetGlobalTracer(prev_tracer);
   // `auditor` uninstalls itself from the global slot on destruction.
   return out;
@@ -342,6 +434,25 @@ void WriteJsonReport(std::ostream& os, const std::vector<RunResult>& runs,
          << ", \"p50_us\": " << obs::JsonNumber(ph.p50_us)
          << ", \"p99_us\": " << obs::JsonNumber(ph.p99_us) << "}";
     }
+    os << "],\n   \"recovery_json\": \""
+       << obs::JsonEscape(r.recovery_json_path) << "\", \"fleet_csv\": \""
+       << obs::JsonEscape(r.fleet_csv_path)
+       << "\", \"fleet_samples\": " << r.fleet_samples
+       << ",\n   \"episodes\": [";
+    for (std::size_t e = 0; e < r.episodes.size(); ++e) {
+      const EpisodeOut& eo = r.episodes[e];
+      os << (e ? ", " : "") << "{\"id\": " << eo.id << ", \"trigger\": \""
+         << obs::JsonEscape(eo.trigger)
+         << "\", \"complete\": " << (eo.complete ? "true" : "false")
+         << ", \"phase_sum_ok\": " << (eo.phase_sum_ok ? "true" : "false")
+         << ", \"downtime_ns\": " << eo.downtime << ", \"phases_ns\": [";
+      for (int p = 0; p < obs::kNumRecoveryPhases; ++p) {
+        os << (p ? ", " : "") << eo.phase[static_cast<std::size_t>(p)];
+      }
+      os << "], \"flows\": " << eo.flows
+         << ", \"flow_p99_us\": " << obs::JsonNumber(eo.flow_p99_us)
+         << ", \"extra_faults\": " << eo.extra_faults << "}";
+    }
     os << "],\n   \"violations\": [";
     for (std::size_t v = 0; v < r.violations.size(); ++v) {
       const ViolationOut& vo = r.violations[v];
@@ -360,18 +471,50 @@ void WriteJsonReport(std::ostream& os, const std::vector<RunResult>& runs,
 void WriteMarkdownReport(std::ostream& os, const std::vector<RunResult>& runs) {
   os << "# Fault campaign report\n\n";
   os << "| scenario | seed | sent | delivered | audit events | violations | "
-        "lin failures | write RTT p99 (µs) |\n";
-  os << "|---|---|---|---|---|---|---|---|\n";
+        "lin failures | write RTT p99 (µs) | episodes | downtime (ms) | "
+        "phase sum |\n";
+  os << "|---|---|---|---|---|---|---|---|---|---|---|\n";
   std::size_t total_violations = 0;
   for (const RunResult& r : runs) {
     total_violations += r.violations.size() + r.lin_failures;
+    double downtime_ms = 0;
+    bool sum_ok = !r.episodes.empty();
+    for (const EpisodeOut& eo : r.episodes) {
+      downtime_ms += static_cast<double>(eo.downtime) / 1e6;
+      sum_ok = sum_ok && eo.phase_sum_ok;
+    }
     os << "| " << r.scenario << " | " << r.seed << " | " << r.sent << " | "
        << r.delivered << " | " << r.audit_events << " | "
        << r.violations.size() << " | " << r.lin_failures << " | "
-       << obs::JsonNumber(r.write_rtt_p99_us) << " |\n";
+       << obs::JsonNumber(r.write_rtt_p99_us) << " | " << r.episodes.size()
+       << " | " << obs::JsonNumber(downtime_ms) << " | "
+       << (r.episodes.empty() ? "n/a" : (sum_ok ? "ok" : "VIOLATED"))
+       << " |\n";
   }
   os << "\nTotal violations (monitors + linearizability): " << total_violations
      << "\n";
+  os << "\n## Recovery episodes\n\n";
+  os << "| scenario | seed | trigger | " ;
+  for (int p = 0; p < obs::kNumRecoveryPhases; ++p) {
+    os << obs::RecoveryPhaseName(static_cast<obs::RecoveryPhase>(p))
+       << " (ms) | ";
+  }
+  os << "downtime (ms) | flows | flow p99 (µs) |\n";
+  os << "|---|---|---|---|---|---|---|---|---|---|---|\n";
+  for (const RunResult& r : runs) {
+    for (const EpisodeOut& eo : r.episodes) {
+      os << "| " << r.scenario << " | " << r.seed << " | " << eo.trigger
+         << (eo.complete ? "" : " (incomplete)") << " | ";
+      for (int p = 0; p < obs::kNumRecoveryPhases; ++p) {
+        os << obs::JsonNumber(
+                  static_cast<double>(eo.phase[static_cast<std::size_t>(p)]) /
+                  1e6)
+           << " | ";
+      }
+      os << obs::JsonNumber(static_cast<double>(eo.downtime) / 1e6) << " | "
+         << eo.flows << " | " << obs::JsonNumber(eo.flow_p99_us) << " |\n";
+    }
+  }
   for (const RunResult& r : runs) {
     for (const auto& v : r.violations) {
       os << "\n## " << r.scenario << " seed " << r.seed << ": " << v.monitor
@@ -487,7 +630,31 @@ int main(int argc, char** argv) {
               << ")\n";
     return 1;
   }
+  // Recovery-forensics gate: every injected fault must yield exactly one
+  // detected episode, complete (service resumed), whose phase durations sum
+  // to the measured downtime (DESIGN.md §13 invariant).
+  for (const RunResult& r : runs) {
+    if (r.episodes.size() != 1) {
+      std::cerr << "[campaign] FAIL: " << r.scenario << " seed " << r.seed
+                << ": expected exactly one recovery episode, got "
+                << r.episodes.size() << "\n";
+      return 1;
+    }
+    const EpisodeOut& eo = r.episodes.front();
+    if (!eo.complete) {
+      std::cerr << "[campaign] FAIL: " << r.scenario << " seed " << r.seed
+                << ": recovery episode incomplete (service never resumed)\n";
+      return 1;
+    }
+    if (!eo.phase_sum_ok) {
+      std::cerr << "[campaign] FAIL: " << r.scenario << " seed " << r.seed
+                << ": phase durations do not sum to measured downtime (see "
+                << r.recovery_json_path << ")\n";
+      return 1;
+    }
+  }
   std::cout << "[campaign] OK: all scenarios clean across " << runs.size()
-            << " runs\n";
+            << " runs; every fault produced one phase-consistent recovery "
+               "episode\n";
   return 0;
 }

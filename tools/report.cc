@@ -1,6 +1,7 @@
 // rpreport: joins a bench run's observability artifacts — wall-clock profile
-// (--profile), request spans (--spans) and the periodic metrics time series
-// (--metrics) — into one performance report.
+// (--profile), request spans (--spans), the periodic metrics time series
+// (--metrics) and a recovery-episode dump (--recovery, from
+// obs::RecoveryTracker::WriteJson) — into one performance report.
 //
 // The report answers "where did the time go" at three layers:
 //   * host CPU: top call-path sites by self time, rolled up per subsystem
@@ -39,6 +40,7 @@ struct Options {
   std::string profile_path;
   std::string spans_path;
   std::string metrics_path;
+  std::string recovery_path;
   std::string out_path;
   std::string format = "md";
   std::size_t top = 15;
@@ -225,6 +227,76 @@ std::optional<MetricsReport> BuildMetricsReport(const JsonValue& doc) {
   return report;
 }
 
+// --- recovery section -------------------------------------------------------
+
+struct PhaseRow {
+  std::string name;
+  double start_ns = 0;
+  double end_ns = 0;
+  double duration_ns = 0;
+};
+
+struct EpisodeRow {
+  double id = 0;
+  std::string trigger;
+  double fault_at_ns = 0;
+  double downtime_ns = 0;
+  bool complete = false;
+  bool phase_sum_ok = false;
+  std::vector<PhaseRow> phases;
+  double flow_count = 0;
+  double flow_p50_us = 0;
+  double flow_p99_us = 0;
+  double flow_max_us = 0;
+  double evicted_during = 0;
+  double trace_records = 0;
+};
+
+struct RecoveryReport {
+  std::vector<EpisodeRow> episodes;
+};
+
+std::optional<RecoveryReport> BuildRecoveryReport(const JsonValue& doc) {
+  const JsonValue* episodes = doc.Find("episodes");
+  if (episodes == nullptr || !episodes->IsArray()) return std::nullopt;
+  RecoveryReport report;
+  for (const JsonValue& ep : episodes->array) {
+    EpisodeRow row;
+    row.id = ep.NumberOr("id", 0);
+    row.trigger = ep.StringOr("trigger", "?");
+    row.fault_at_ns = ep.NumberOr("fault_at_ns", 0);
+    row.downtime_ns = ep.NumberOr("downtime_ns", 0);
+    auto bool_of = [&ep](std::string_view key) {
+      const JsonValue* v = ep.Find(key);
+      return v != nullptr && v->type == JsonValue::Type::kBool && v->boolean;
+    };
+    row.complete = bool_of("complete");
+    row.phase_sum_ok = bool_of("phase_sum_ok");
+    if (const JsonValue* phases = ep.Find("phases");
+        phases != nullptr && phases->IsArray()) {
+      for (const JsonValue& ph : phases->array) {
+        PhaseRow pr;
+        pr.name = ph.StringOr("name", "?");
+        pr.start_ns = ph.NumberOr("start_ns", 0);
+        pr.end_ns = ph.NumberOr("end_ns", 0);
+        pr.duration_ns = ph.NumberOr("duration_ns", 0);
+        row.phases.push_back(std::move(pr));
+      }
+    }
+    if (const JsonValue* flows = ep.Find("flows");
+        flows != nullptr && flows->IsObject()) {
+      row.flow_count = flows->NumberOr("count", 0);
+      row.flow_p50_us = flows->NumberOr("p50_us", 0);
+      row.flow_p99_us = flows->NumberOr("p99_us", 0);
+      row.flow_max_us = flows->NumberOr("max_us", 0);
+    }
+    row.evicted_during = ep.NumberOr("evicted_during", 0);
+    row.trace_records = ep.NumberOr("trace_records", 0);
+    report.episodes.push_back(std::move(row));
+  }
+  return report;
+}
+
 // --- rendering --------------------------------------------------------------
 
 std::string Pct(double part, double whole) {
@@ -243,8 +315,37 @@ std::string Num(double v, int decimals = 1) {
 void RenderMarkdown(std::ostream& os, const Options& opt,
                     const std::optional<ProfileReport>& profile,
                     const std::optional<SpansReport>& spans,
-                    const std::optional<MetricsReport>& metrics) {
+                    const std::optional<MetricsReport>& metrics,
+                    const std::optional<RecoveryReport>& recovery) {
   os << "# RedPlane performance report\n";
+  if (recovery.has_value()) {
+    os << "\n## Recovery episodes (" << recovery->episodes.size()
+       << " detected)\n";
+    for (const EpisodeRow& ep : recovery->episodes) {
+      os << "\n### Episode " << Num(ep.id, 0) << ": " << ep.trigger
+         << " at t=" << Num(ep.fault_at_ns / 1e6, 3) << " ms\n\n";
+      os << "Downtime " << Num(ep.downtime_ns / 1e6, 3) << " ms"
+         << (ep.complete ? "" : " (INCOMPLETE: service never resumed)")
+         << "; phase-sum invariant "
+         << (ep.phase_sum_ok ? "holds" : "**VIOLATED**") << ".\n\n";
+      os << "| Phase | Start (ms) | End (ms) | Duration (ms) | Share |\n";
+      os << "|---|---:|---:|---:|---:|\n";
+      for (const PhaseRow& ph : ep.phases) {
+        os << "| " << ph.name << " | " << Num(ph.start_ns / 1e6, 3) << " | "
+           << Num(ph.end_ns / 1e6, 3) << " | " << Num(ph.duration_ns / 1e6, 3)
+           << " | " << Pct(ph.duration_ns, ep.downtime_ns) << " |\n";
+      }
+      if (ep.flow_count > 0) {
+        os << "\nFlows interrupted: " << Num(ep.flow_count, 0)
+           << "; per-flow downtime p50=" << Num(ep.flow_p50_us / 1e3, 2)
+           << " ms, p99=" << Num(ep.flow_p99_us / 1e3, 2)
+           << " ms, max=" << Num(ep.flow_max_us / 1e3, 2) << " ms.\n";
+      }
+      os << "\nFlight recorder: " << Num(ep.trace_records, 0)
+         << " trace records preserved, " << Num(ep.evicted_during, 0)
+         << " evicted during the episode.\n";
+    }
+  }
   if (profile.has_value()) {
     os << "\n## CPU attribution (wall-clock self time per subsystem)\n\n";
     os << "| Subsystem | Self (ms) | Share | Entries |\n";
@@ -302,15 +403,18 @@ void RenderMarkdown(std::ostream& os, const Options& opt,
       os << "\n";
     }
   }
-  if (!profile.has_value() && !spans.has_value() && !metrics.has_value()) {
-    os << "\n(no inputs given — pass --profile/--spans/--metrics)\n";
+  if (!profile.has_value() && !spans.has_value() && !metrics.has_value() &&
+      !recovery.has_value()) {
+    os << "\n(no inputs given — pass --profile/--spans/--metrics/"
+          "--recovery)\n";
   }
 }
 
 void RenderJson(std::ostream& os, const Options& opt,
                 const std::optional<ProfileReport>& profile,
                 const std::optional<SpansReport>& spans,
-                const std::optional<MetricsReport>& metrics) {
+                const std::optional<MetricsReport>& metrics,
+                const std::optional<RecoveryReport>& recovery) {
   os << "{";
   bool first_section = true;
   auto section = [&](const char* name) {
@@ -379,6 +483,30 @@ void RenderJson(std::ostream& os, const Options& opt,
     }
     os << "\n]";
   }
+  if (recovery.has_value()) {
+    section("recovery");
+    os << "[";
+    for (std::size_t i = 0; i < recovery->episodes.size(); ++i) {
+      const EpisodeRow& ep = recovery->episodes[i];
+      if (i) os << ",";
+      os << "\n  {\"id\": " << JsonNumber(ep.id) << ", \"trigger\": \""
+         << JsonEscape(ep.trigger)
+         << "\", \"fault_at_ns\": " << JsonNumber(ep.fault_at_ns)
+         << ", \"downtime_ns\": " << JsonNumber(ep.downtime_ns)
+         << ", \"complete\": " << (ep.complete ? "true" : "false")
+         << ", \"phase_sum_ok\": " << (ep.phase_sum_ok ? "true" : "false")
+         << ", \"phases\": [";
+      for (std::size_t p = 0; p < ep.phases.size(); ++p) {
+        const PhaseRow& ph = ep.phases[p];
+        os << (p ? ", " : "") << "{\"name\": \"" << JsonEscape(ph.name)
+           << "\", \"duration_ns\": " << JsonNumber(ph.duration_ns) << "}";
+      }
+      os << "], \"flows\": " << JsonNumber(ep.flow_count)
+         << ", \"flow_p99_us\": " << JsonNumber(ep.flow_p99_us)
+         << ", \"evicted_during\": " << JsonNumber(ep.evicted_during) << "}";
+    }
+    os << "\n]";
+  }
   os << "\n}\n";
 }
 
@@ -398,6 +526,8 @@ std::optional<Options> ParseArgs(int argc, char** argv) {
       opt.spans_path = *v;
     } else if (auto v = value_of("metrics")) {
       opt.metrics_path = *v;
+    } else if (auto v = value_of("recovery")) {
+      opt.recovery_path = *v;
     } else if (auto v = value_of("out")) {
       opt.out_path = *v;
     } else if (auto v = value_of("format")) {
@@ -408,7 +538,8 @@ std::optional<Options> ParseArgs(int argc, char** argv) {
       std::fprintf(
           stderr,
           "usage: rpreport [--profile=FILE] [--spans=FILE] [--metrics=FILE]\n"
-          "                [--out=FILE] [--format=md|json] [--top=N]\n");
+          "                [--recovery=FILE] [--out=FILE] [--format=md|json]\n"
+          "                [--top=N]\n");
       return std::nullopt;
     }
   }
@@ -429,6 +560,7 @@ int main(int argc, char** argv) {
   std::optional<ProfileReport> profile;
   std::optional<SpansReport> spans;
   std::optional<MetricsReport> metrics;
+  std::optional<RecoveryReport> recovery;
   bool input_error = false;
   if (!opt->profile_path.empty()) {
     auto doc = LoadJsonFile(opt->profile_path);
@@ -445,12 +577,17 @@ int main(int argc, char** argv) {
     if (doc.has_value()) metrics = BuildMetricsReport(*doc);
     input_error = input_error || !metrics.has_value();
   }
+  if (!opt->recovery_path.empty()) {
+    auto doc = LoadJsonFile(opt->recovery_path);
+    if (doc.has_value()) recovery = BuildRecoveryReport(*doc);
+    input_error = input_error || !recovery.has_value();
+  }
 
   std::ostringstream out;
   if (opt->format == "json") {
-    RenderJson(out, *opt, profile, spans, metrics);
+    RenderJson(out, *opt, profile, spans, metrics, recovery);
   } else {
-    RenderMarkdown(out, *opt, profile, spans, metrics);
+    RenderMarkdown(out, *opt, profile, spans, metrics, recovery);
   }
   if (opt->out_path.empty()) {
     std::cout << out.str();
