@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "harness.h"
+#include "net/codec.h"
 
 using namespace redplane;
 using namespace redplane::bench;
@@ -61,7 +62,7 @@ struct Harness {
   void Inject(std::size_t flows, std::uint16_t vlan = 0,
               std::size_t data_per_signaling = 0, std::size_t num_users = 0,
               SimDuration interarrival = Microseconds(4),
-              SimDuration churn_gap = Milliseconds(1)) {
+              SimDuration churn_gap = Milliseconds(1), bool stamp = false) {
     Rng rng(41);
     auto& sim = deploy.sim();
     std::vector<net::Ipv4Addr> users;
@@ -101,9 +102,18 @@ struct Harness {
       flow.dst_ip = dst;
       flow.dst_port = data_per_signaling > 0 ? apps::kSgwDataPort
                                              : std::uint16_t{80};
-      sim.ScheduleAt(inject_end, [this, flow, vlan]() {
+      sim.ScheduleAt(inject_end, [this, flow, vlan, stamp]() {
         net::Packet pkt = net::MakeUdpPacket(flow, 0);  // min-size frame
         pkt.vlan = vlan;
+        if (stamp) {
+          // Send time in the payload: the delivery handler turns it into a
+          // one-way switch-traversal latency (payload bytes survive
+          // RedPlane's piggybacking, as in RttProbe).
+          std::vector<std::byte> buf;
+          net::ByteWriter w(buf);
+          w.U64(static_cast<std::uint64_t>(deploy.sim().Now()));
+          pkt.payload = std::move(buf);
+        }
         tb->external[0]->Send(std::move(pkt));
       });
     }
@@ -233,6 +243,46 @@ BatchingResult RunSyncCounterBatching(SimDuration coalesce_delay) {
   return r;
 }
 
+// --- Consistency-mode spectrum at the write-heavy operating point -----------
+//
+// Sync-Counter is where the consistency mode matters most: every packet is a
+// write, so single-owner holds every output behind a store round trip while
+// mergeable (DESIGN.md §14) releases at zero RTT and durably merges on a
+// timer.  Replicated-read only relaxes reads, so on an all-writes workload it
+// tracks the single-owner point (the residual gap is the store's subscriber
+// pushes, which exist only in that mode).
+
+struct ModeResult {
+  BandwidthResult bw;
+  SampleSet oneway_us;  // injection -> delivery, through the owner switch
+  double delivered = 0;
+  double merge_deltas = 0;
+};
+
+ModeResult RunSyncCounterMode(core::ConsistencyMode mode) {
+  Harness h;
+  h.Build();
+  apps::SyncCounterApp counter;
+  core::RedPlaneConfig rp;
+  rp.mode_override = mode;
+  h.deploy.DeployRedPlane(counter, rp);
+  ModeResult r;
+  sim::HostNode* sink = h.tb->rack_servers[0][1];
+  sink->SetHandler([&r, sink](sim::HostNode&, net::Packet pkt) {
+    ++r.delivered;
+    if (pkt.payload.size() < 8) return;
+    net::ByteReader rd(pkt.payload);
+    const auto sent_at = static_cast<SimTime>(rd.U64());
+    const SimTime now = sink->sim().Now();
+    if (now >= sent_at) r.oneway_us.Add(ToMicroseconds(now - sent_at));
+  });
+  h.Inject(/*flows=*/200, 0, 0, 0, Microseconds(4), Milliseconds(1),
+           /*stamp=*/true);
+  r.bw = h.Collect();
+  r.merge_deltas = h.deploy.redplane(0)->stats().Get("merge_deltas_sent");
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -289,6 +339,33 @@ int main(int argc, char** argv) {
               "coalescing window's worth of writes (bytes on the wire and\n"
               "store occupancies both drop).\n");
 
+  std::printf("\n=== Consistency-mode spectrum (Sync-Counter, DESIGN.md "
+              "section 14) ===\n\n");
+  const ModeResult single =
+      RunSyncCounterMode(core::ConsistencyMode::kSingleOwner);
+  const ModeResult replicated =
+      RunSyncCounterMode(core::ConsistencyMode::kReplicatedRead);
+  const ModeResult mergeable =
+      RunSyncCounterMode(core::ConsistencyMode::kMergeable);
+  TablePrinter mode_table({"Mode", "Overhead %", "Delivered", "One-way p50 us",
+                           "One-way p99 us", "Merge deltas"});
+  auto mode_row = [&](const char* name, const ModeResult& r) {
+    mode_table.Row({name, FormatDouble(r.bw.OverheadPct(), 1),
+                    FormatDouble(r.delivered, 0),
+                    FormatDouble(r.oneway_us.Percentile(50), 1),
+                    FormatDouble(r.oneway_us.Percentile(99), 1),
+                    FormatDouble(r.merge_deltas, 0)});
+  };
+  mode_row("single-owner", single);
+  mode_row("replicated-read", replicated);
+  mode_row("mergeable", mergeable);
+  std::printf("\nEvery Sync-Counter packet is a write, so single-owner holds "
+              "each output behind a store\nround trip; replicated-read only "
+              "relaxes reads and tracks it to within the store's\nsubscriber "
+              "pushes; mergeable releases at zero RTT and durably merges its "
+              "local state on\na timer, so both the delivery latency and the "
+              "replication overhead collapse.\n");
+
   if (argc > 1) {
     if (std::FILE* f = std::fopen(argv[1], "w")) {
       std::fprintf(
@@ -302,7 +379,16 @@ int main(int argc, char** argv) {
           "\"reqs_served\": %.0f, \"envelopes\": %.0f, "
           "\"overhead_pct\": %.2f},\n"
           "  \"req_bytes_drop_pct\": %.2f,\n"
-          "  \"store_slots_drop_pct\": %.2f\n"
+          "  \"store_slots_drop_pct\": %.2f,\n"
+          "  \"consistency_modes\": {\n"
+          "    \"single_owner\": {\"overhead_pct\": %.2f, \"delivered\": "
+          "%.0f, \"oneway_p50_us\": %.2f, \"oneway_p99_us\": %.2f},\n"
+          "    \"replicated_read\": {\"overhead_pct\": %.2f, \"delivered\": "
+          "%.0f, \"oneway_p50_us\": %.2f, \"oneway_p99_us\": %.2f},\n"
+          "    \"mergeable\": {\"overhead_pct\": %.2f, \"delivered\": %.0f, "
+          "\"oneway_p50_us\": %.2f, \"oneway_p99_us\": %.2f, "
+          "\"merge_deltas\": %.0f}\n"
+          "  }\n"
           "}\n",
           off.req_bytes, off.store_slots, off.store_subs,
           off.bw.OverheadPct(), on.req_bytes, on.store_slots, on.store_subs,
@@ -312,7 +398,14 @@ int main(int argc, char** argv) {
               : 0,
           off.store_slots > 0
               ? 100.0 * (off.store_slots - on.store_slots) / off.store_slots
-              : 0);
+              : 0,
+          single.bw.OverheadPct(), single.delivered,
+          single.oneway_us.Percentile(50), single.oneway_us.Percentile(99),
+          replicated.bw.OverheadPct(), replicated.delivered,
+          replicated.oneway_us.Percentile(50),
+          replicated.oneway_us.Percentile(99), mergeable.bw.OverheadPct(),
+          mergeable.delivered, mergeable.oneway_us.Percentile(50),
+          mergeable.oneway_us.Percentile(99), mergeable.merge_deltas);
       std::fclose(f);
       std::printf("\nWrote %s\n", argv[1]);
     }

@@ -12,6 +12,8 @@
 #include "core/protocol.h"
 #include "core/snapshot.h"
 #include "dataplane/register_array.h"
+#include "core/app.h"
+#include "core/consistency.h"
 #include "net/buffer.h"
 #include "net/codec.h"
 #include "obs/metrics.h"
@@ -374,6 +376,93 @@ void BM_FlowTableLookup(benchmark::State& state) {
   benchmark::DoNotOptimize(live);
 }
 BENCHMARK(BM_FlowTableLookup)->Arg(10240)->Arg(1 << 20);
+
+// --- Consistency-policy single-owner A/B (DESIGN.md §14) -------------------
+//
+// The pluggable ConsistencyPolicy layer must not tax the default mode.  Both
+// benches run the same single-owner per-packet sequencing core: flow lookup,
+// lease check, seq bump on writes, writes-in-flight check on reads (a
+// quarter of the flows have an un-acked write pending, so the contended-read
+// branch is exercised).  The "Inline" twin is the pre-refactor shape with
+// the single-owner decisions hard-wired; the "Policy" twin consults the
+// resolved policy object exactly the way RedPlaneSwitch does — a cached mode
+// enum branched per packet, plus the AllowLocalRead virtual call on the
+// contended-read path.  ci/perf_smoke.py gates the pair at 2%.
+
+namespace {
+
+constexpr std::uint64_t kSeqFlows = 1024;
+
+void FillSequencingTable(core::FlowTable& table) {
+  for (std::uint64_t i = 0; i < kSeqFlows; ++i) {
+    const std::uint32_t slot =
+        table.GetOrCreateSlot(net::PartitionKey::OfObject(i));
+    table.set_status(slot, core::FlowStatus::kActive);
+    table.set_lease_expiry(slot, Seconds(10));
+    if ((i & 3) == 0) {
+      // An un-acked write: reads on this flow hit the in-flight branch.
+      table.NoteSend(slot, 1, Seconds(0), Seconds(100));
+    }
+  }
+}
+
+}  // namespace
+
+void BM_SingleOwnerSequencingInline(benchmark::State& state) {
+  core::FlowTable table;
+  FillSequencingTable(table);
+  std::uint64_t i = 0;
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    const std::uint32_t slot =
+        table.FindSlot(net::PartitionKey::OfObject(i % kSeqFlows));
+    if (table.LeaseActive(slot, Seconds(1))) {
+      if ((i & 1) != 0) {  // write: bump the sequence (Sync-Counter shape)
+        acc += table.NextSeq(slot);
+      } else if (table.WritesInFlight(slot)) {
+        acc += table.cur_seq(slot);  // read buffers behind the write
+      } else {
+        ++acc;  // read releases immediately
+      }
+    }
+    i += 7919;
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_SingleOwnerSequencingInline);
+
+void BM_SingleOwnerSequencingPolicy(benchmark::State& state) {
+  core::FlowTable table;
+  FillSequencingTable(table);
+  core::StateTraits traits;  // defaults to single-owner
+  const auto policy = core::ConsistencyPolicy::Make(traits);
+  const core::ConsistencyMode mode = policy->mode();
+  std::uint64_t i = 0;
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    const std::uint32_t slot =
+        table.FindSlot(net::PartitionKey::OfObject(i % kSeqFlows));
+    if (mode == core::ConsistencyMode::kMergeable) {
+      ++acc;  // never taken under single-owner; the branch is the cost
+    } else if (table.LeaseActive(slot, Seconds(1))) {
+      if ((i & 1) != 0) {
+        acc += table.NextSeq(slot);
+      } else if (table.WritesInFlight(slot)) {
+        if (mode == core::ConsistencyMode::kReplicatedRead &&
+            policy->AllowLocalRead(0)) {
+          ++acc;
+        } else {
+          acc += table.cur_seq(slot);
+        }
+      } else {
+        ++acc;
+      }
+    }
+    i += 7919;
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_SingleOwnerSequencingPolicy);
 
 namespace {
 

@@ -22,14 +22,25 @@ Three gates, mirroring the campaign binary's own exit-code contract:
     (<scenario>_s<seed>.recovery.json) and fleet time-series (.fleet.csv)
     land in --out-dir alongside the campaign report.
 
-All gates run twice: once per-packet and once with replication batching on
-(--batching=16), so the monitors are proven to see through batch envelopes
-— clean batched runs stay silent and mutated batched runs are still caught.
+ 4. Consistency-mode spectrum (DESIGN.md section 14) — the clean sweep
+    re-runs under --consistency=replicated (local reads within a staleness
+    bound) and --consistency=mergeable (zero-RTT multi-writer CRDT counts),
+    each judged by its own monitors and offline oracles.  The mutation
+    self-test then checks the mode-aware mapping: --mutate=stale must trip
+    bounded_staleness under replicated but is *legal* (auditor silent)
+    under mergeable; --mutate=merge must trip merge_convergence under
+    mergeable and is a no-op under single-owner.  The campaign binary
+    encodes the expectations; a wrong outcome either way fails the job.
+
+The single-owner gates run twice: once per-packet and once with replication
+batching on (--batching=16), so the monitors are proven to see through
+batch envelopes — clean batched runs stay silent and mutated batched runs
+are still caught.
 
 Usage:
   ci/campaign.py --campaign build/tools/campaign --out-dir campaign-out
                  [--seeds 5] [--packets 40] [--skip-selftest]
-                 [--skip-batching]
+                 [--skip-batching] [--skip-modes]
 """
 
 import argparse
@@ -42,6 +53,15 @@ EXIT_CLEAN_OR_DETECTED = 0
 EXIT_MUTATION_SILENT = 2
 
 MUTATIONS = ["lease", "seq", "chain"]
+
+# (mutation, mode, expectation label) — the binary itself decides pass/fail
+# from its mode-aware mapping; the label is for the failure message only.
+MODE_MUTATIONS = [
+    ("stale", "replicated", "bounded_staleness must fire"),
+    ("stale", "mergeable", "legal: auditor must stay silent"),
+    ("merge", "mergeable", "merge_convergence must fire"),
+    ("merge", "single", "legal: auditor must stay silent"),
+]
 
 
 def run(campaign, out_dir, extra, label):
@@ -63,6 +83,8 @@ def main():
                     help="skip the mutation oracle self-test runs")
     ap.add_argument("--skip-batching", action="store_true",
                     help="skip the batching-enabled (--batching=16) passes")
+    ap.add_argument("--skip-modes", action="store_true",
+                    help="skip the replicated/mergeable consistency passes")
     args = ap.parse_args()
 
     out = pathlib.Path(args.out_dir)
@@ -100,6 +122,34 @@ def main():
                 elif rc != EXIT_CLEAN_OR_DETECTED:
                     failures.append(
                         f"mutate={mut} ({axis}): campaign exited {rc}")
+
+    # Gate 4: the consistency-mode spectrum, per-packet.
+    if not args.skip_modes:
+        for mode in ["replicated", "mergeable"]:
+            rc = run(args.campaign, out / f"clean-{mode}",
+                     [f"--seeds={args.seeds}", f"--packets={args.packets}",
+                      f"--consistency={mode}"],
+                     f"clean sweep (consistency={mode})")
+            if rc != EXIT_CLEAN_OR_DETECTED:
+                failures.append(
+                    f"clean sweep (consistency={mode}) exited {rc}: "
+                    f"violations or oracle failures under the weaker mode "
+                    f"(see {out / f'clean-{mode}'})")
+        if not args.skip_selftest:
+            for mut, mode, expectation in MODE_MUTATIONS:
+                rc = run(args.campaign, out / f"mutate-{mut}-{mode}",
+                         ["--seeds=1", f"--packets={args.packets}",
+                          f"--mutate={mut}", f"--consistency={mode}"],
+                         f"mode-aware oracle self-test "
+                         f"(mutate={mut}, consistency={mode})")
+                if rc == EXIT_MUTATION_SILENT:
+                    failures.append(
+                        f"mutate={mut} consistency={mode}: expected monitor "
+                        f"stayed silent ({expectation})")
+                elif rc != EXIT_CLEAN_OR_DETECTED:
+                    failures.append(
+                        f"mutate={mut} consistency={mode}: campaign exited "
+                        f"{rc} ({expectation})")
 
     if failures:
         print("\nFAULT CAMPAIGN FAILED:")

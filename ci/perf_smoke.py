@@ -15,11 +15,17 @@ Two kinds of checks:
       * the per-tick retransmit check is O(due entries), not O(table):
         BM_MirrorDueScan per-item cost at 1M parked flows stays within 10%
         of the 10k-flow cost, and beats the whole-table-walk before-twin
-        (BM_MirrorFullScan) by at least 50x at 1M flows.
+        (BM_MirrorFullScan) by at least 50x at 1M flows,
+      * the pluggable ConsistencyPolicy layer does not tax the default mode:
+        the single-owner sequencing core routed through the policy object
+        (BM_SingleOwnerSequencingPolicy) stays within 2% of the hard-wired
+        before-twin (BM_SingleOwnerSequencingInline), plus a small absolute
+        epsilon for timer granularity on the ~9 ns region.
  2. Absolute regression against the recorded baselines (BENCH_PR2.json,
-    BENCH_PR7.json; --baseline is repeatable): each benchmark must stay
-    within --tolerance (default 25%) of its baseline time.  Skipped with
-    --no-absolute on hardware that does not match the baseline machine.
+    BENCH_PR7.json, BENCH_PR9.json; --baseline is repeatable): each
+    benchmark must stay within --tolerance (default 25%) of its baseline
+    time.  Skipped with --no-absolute on hardware that does not match the
+    baseline machine.
 
 When a regression fires, --profile (a profile JSON written by a bench run's
 --profile-out, or by rpreport) turns the failure from "something got slower"
@@ -309,6 +315,22 @@ def main():
                 f"{due_rates['10240'] / 1e6:.1f} M items/s at 10k flows vs "
                 f"{due_rates['1048576'] / 1e6:.1f} M items/s at 1M "
                 f"({abs(ratio - 1) * 100:.0f}% apart, budget 10%)")
+    # Consistency-policy single-owner A/B (DESIGN.md §14): selecting the
+    # single-owner policy explicitly must be free — the sequencing core
+    # routed through the ConsistencyPolicy object stays within 2% of the
+    # hard-wired before-twin.  The +0.5 ns epsilon absorbs timer granularity
+    # on a ~9 ns region, as for the auditor-overhead pairs above.
+    so_inline = results.get("BM_SingleOwnerSequencingInline")
+    so_policy = results.get("BM_SingleOwnerSequencingPolicy")
+    if so_inline is None or so_policy is None:
+        failures.append("missing single-owner consistency A/B pair "
+                        "(BM_SingleOwnerSequencing{Inline,Policy})")
+    elif so_policy > so_inline * 1.02 + 0.5:
+        failures.append(
+            f"single-owner A/B: policy-layer path ({so_policy:.2f} ns) "
+            f"exceeds the 2% budget over the hard-wired twin "
+            f"({so_inline:.2f} ns)")
+
     # O(due) vs O(table): at 1M flows the due-slot pop must beat the
     # whole-table walk by orders of magnitude; 50x is a loose floor (the
     # measured gap is ~27000x) that still catches any accidental
@@ -324,7 +346,8 @@ def main():
 
     # --- Absolute regression vs recorded baselines ---
     if not args.no_absolute:
-        baseline_paths = args.baseline or ["BENCH_PR2.json", "BENCH_PR7.json"]
+        baseline_paths = args.baseline or ["BENCH_PR2.json", "BENCH_PR7.json",
+                                           "BENCH_PR9.json"]
         baseline = {}
         for path in baseline_paths:
             with open(path) as f:

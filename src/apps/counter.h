@@ -20,6 +20,15 @@ class SyncCounterApp : public core::SwitchApp {
   std::string_view name() const override { return "sync_counter"; }
   core::ProcessResult Process(core::AppContext& ctx, net::Packet pkt,
                               std::vector<std::byte>& state) override;
+  /// Linearizable by default (the paper's evaluation mode), but the count
+  /// is a monotone u64, so deployments may elect mergeable mode: the join
+  /// is max(), lossless while a flow traverses one switch at a time.
+  core::StateTraits Traits() const override {
+    core::StateTraits t;
+    t.merge = core::MergeMaxU64;
+    t.measure = core::MeasureU64;
+    return t;
+  }
 };
 
 /// Asynchronous variant: counters live in one lazily-snapshottable register
@@ -29,6 +38,13 @@ class AsyncCounterApp : public core::SwitchApp, public core::Snapshottable {
   explicit AsyncCounterApp(std::size_t slots = 4096);
 
   std::string_view name() const override { return "async_counter"; }
+  /// Same lattice as the sync variant: per-slot monotone u64 counters.
+  core::StateTraits Traits() const override {
+    core::StateTraits t;
+    t.merge = core::MergeMaxU64;
+    t.measure = core::MeasureU64;
+    return t;
+  }
   std::optional<net::PartitionKey> KeyOf(const net::Packet& pkt) const override;
   core::ProcessResult Process(core::AppContext& ctx, net::Packet pkt,
                               std::vector<std::byte>& state) override;

@@ -31,6 +31,9 @@ class FirewallApp : public core::SwitchApp {
   core::ProcessResult Process(core::AppContext& ctx, net::Packet pkt,
                               std::vector<std::byte>& state) override;
   bool StateInMatchTable() const override { return true; }
+  /// A stale "established" bit admits packets that should be dropped:
+  /// strictly single-owner.
+  core::StateTraits Traits() const override { return {}; }
 
   bool IsInternal(net::Ipv4Addr addr) const {
     return (addr.value & internal_mask_) ==

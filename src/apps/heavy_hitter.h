@@ -31,6 +31,14 @@ class HeavyHitterApp : public core::SwitchApp, public core::Snapshottable {
 
   // SwitchApp:
   std::string_view name() const override { return "heavy_hitter"; }
+  /// Sketch rows are lane-wise monotone u32 counters: the join is per-lane
+  /// max, which preserves the count-min overestimate guarantee.
+  core::StateTraits Traits() const override {
+    core::StateTraits t;
+    t.merge = core::MergeMaxU32Lanes;
+    t.measure = core::MeasureSumU32Lanes;
+    return t;
+  }
   std::optional<net::PartitionKey> KeyOf(const net::Packet& pkt) const override;
   core::ProcessResult Process(core::AppContext& ctx, net::Packet pkt,
                               std::vector<std::byte>& state) override;

@@ -35,6 +35,17 @@ class KvStoreApp : public core::SwitchApp {
 
   core::ProcessResult Process(core::AppContext& ctx, net::Packet pkt,
                               std::vector<std::byte>& state) override;
+
+  /// Read-heavy cache semantics (DESIGN.md §14): clients tolerate reads a
+  /// bounded interval behind the durable store, so reads are served locally
+  /// instead of looping through the buffering path while writes are in
+  /// flight.  Writes stay lease-serialized.
+  core::StateTraits Traits() const override {
+    core::StateTraits t;
+    t.mode = core::ConsistencyMode::kReplicatedRead;
+    t.staleness_bound = core::kDefaultStalenessBound;
+    return t;
+  }
 };
 
 }  // namespace redplane::apps

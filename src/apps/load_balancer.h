@@ -53,6 +53,9 @@ class LoadBalancerApp : public core::SwitchApp {
   core::ProcessResult Process(core::AppContext& ctx, net::Packet pkt,
                               std::vector<std::byte>& state) override;
   bool StateInMatchTable() const override { return true; }
+  /// Connection affinity must not fork (two switches picking different
+  /// backends for one connection): strictly single-owner.
+  core::StateTraits Traits() const override { return {}; }
 
  private:
   LbGlobalState& global_;

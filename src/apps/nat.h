@@ -70,6 +70,9 @@ class NatApp : public core::SwitchApp {
   core::ProcessResult Process(core::AppContext& ctx, net::Packet pkt,
                               std::vector<std::byte>& state) override;
   bool StateInMatchTable() const override { return true; }
+  /// Port mappings must be exclusive (two switches translating one flow
+  /// differently breaks connections): strictly single-owner.
+  core::StateTraits Traits() const override { return {}; }
 
  private:
   NatGlobalState& global_;

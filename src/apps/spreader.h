@@ -30,6 +30,14 @@ class SpreaderApp : public core::SwitchApp, public core::Snapshottable {
 
   // SwitchApp:
   std::string_view name() const override { return "spreader"; }
+  /// Distinct-counting bitmaps form an OR-lattice: the union of two bitmap
+  /// observations is exactly the bitmap of the union of the destinations.
+  core::StateTraits Traits() const override {
+    core::StateTraits t;
+    t.merge = core::MergeOrBytes;
+    t.measure = core::MeasurePopcount;
+    return t;
+  }
   std::optional<net::PartitionKey> KeyOf(const net::Packet& pkt) const override;
   core::ProcessResult Process(core::AppContext& ctx, net::Packet pkt,
                               std::vector<std::byte>& state) override;

@@ -33,6 +33,8 @@ void Auditor::ArmStandardMonitors() {
   AddMonitor(std::make_unique<SeqMonotonicMonitor>());
   AddMonitor(std::make_unique<ChainCommitMonitor>());
   AddMonitor(std::make_unique<EpsilonBoundMonitor>());
+  AddMonitor(std::make_unique<BoundedStalenessMonitor>());
+  AddMonitor(std::make_unique<MergeConvergenceMonitor>());
 }
 
 void Auditor::AddMonitor(std::unique_ptr<Monitor> monitor) {

@@ -4,12 +4,26 @@
 #include <sstream>
 
 #include "common/hash.h"
+// Header-only use (the ConsistencyMode enum); audit does not link core.
+#include "core/consistency.h"
 
 namespace redplane::audit {
 
 void SingleOwnerMonitor::OnEvent(Auditor& auditor, const TapEvent& ev) {
   switch (ev.tap) {
+    case Tap::kFlowAdmitted: {
+      // Per-mode subscription: a flow admitted under a weaker mode is
+      // exempt from the single-owner invariant for good (modes are an app
+      // property, so a key never changes mode mid-run).
+      if (ev.aux != static_cast<std::uint64_t>(
+                        core::ConsistencyMode::kSingleOwner)) {
+        exempt_[ev.key] = true;
+        holders_.erase(ev.key);
+      }
+      break;
+    }
     case Tap::kLeaseAcquired: {
+      if (exempt_.count(ev.key) != 0) break;
       auto& holders = holders_[ev.key];
       // Prune claims whose believed expiry has certainly passed.  Switch
       // beliefs are conservative (send-time based), so the store never
@@ -143,6 +157,74 @@ void EpsilonBoundMonitor::OnEvent(Auditor& auditor, const TapEvent& ev) {
     }
   } else {
     latched = false;
+  }
+}
+
+void BoundedStalenessMonitor::OnEvent(Auditor& auditor, const TapEvent& ev) {
+  switch (ev.tap) {
+    case Tap::kFlowAdmitted: {
+      mode_[ev.key] = ev.aux;
+      break;
+    }
+    case Tap::kLocalReadServed: {
+      const auto it = mode_.find(ev.key);
+      // Only flows admitted under replicated-read carry a staleness
+      // contract; local reads of mergeable flows (or of unannounced keys)
+      // are legal at any staleness.
+      if (it == mode_.end() ||
+          it->second != static_cast<std::uint64_t>(
+                            core::ConsistencyMode::kReplicatedRead)) {
+        break;
+      }
+      const double staleness_ns = ev.value;
+      const double bound_ns = static_cast<double>(ev.aux);
+      bool& latched = in_violation_[ev.key];
+      if (bound_ns > 0.0 && staleness_ns > bound_ns) {
+        if (!latched) {
+          latched = true;
+          std::ostringstream why;
+          why << auditor.ComponentName(ev.component)
+              << " served a local read at staleness " << staleness_ns / 1e6
+              << "ms, beyond the declared bound " << bound_ns / 1e6
+              << "ms for key 0x" << std::hex << ev.key << std::dec;
+          auditor.ReportViolation(name(), ev, why.str());
+        }
+      } else {
+        latched = false;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void MergeConvergenceMonitor::OnEvent(Auditor& auditor, const TapEvent& ev) {
+  switch (ev.tap) {
+    case Tap::kMergeApplied: {
+      const std::uint64_t slot = HashCombine(
+          HashCombine(ev.key, static_cast<std::uint64_t>(ev.component)),
+          epoch_[ev.component]);
+      auto [it, inserted] = measure_.try_emplace(slot, ev.value);
+      if (!inserted) {
+        if (ev.value < it->second) {
+          std::ostringstream why;
+          why << auditor.ComponentName(ev.component)
+              << " merged key 0x" << std::hex << ev.key << std::dec
+              << " down the lattice: measure went " << it->second << " -> "
+              << ev.value << " — the store overwrote instead of joining";
+          auditor.ReportViolation(name(), ev, why.str());
+        }
+        it->second = std::max(it->second, ev.value);
+      }
+      break;
+    }
+    case Tap::kStoreReset: {
+      ++epoch_[ev.component];
+      break;
+    }
+    default:
+      break;
   }
 }
 

@@ -25,11 +25,22 @@ namespace redplane::audit {
 /// past means the claim is certainly dead and is pruned; a second live
 /// claim by a different component is a violation.  kLeaseReleased drops a
 /// claim (key 0 = the component dropped everything, e.g. switch reset).
+///
+/// Mode-aware (DESIGN.md §14): the invariant only holds for flows admitted
+/// under the single-owner mode.  Flows announce a weaker mode at admission
+/// via kFlowAdmitted (aux = ConsistencyMode); lease-shaped events on such
+/// keys are ignored — the monitor subscribes per-mode at flow admission,
+/// not globally.  Keys with no admission event default to single-owner
+/// (single-owner flows emit no admission tap, keeping that path
+/// bit-identical to the pre-refactor protocol).
 class SingleOwnerMonitor : public Monitor {
  public:
   SingleOwnerMonitor() : Monitor("single_owner") {}
   void OnEvent(Auditor& auditor, const TapEvent& ev) override;
-  void Reset() override { holders_.clear(); }
+  void Reset() override {
+    holders_.clear();
+    exempt_.clear();
+  }
 
  private:
   struct Holder {
@@ -37,6 +48,8 @@ class SingleOwnerMonitor : public Monitor {
     SimTime expiry;
   };
   std::unordered_map<std::uint64_t, std::vector<Holder>> holders_;
+  /// Keys admitted under a mode other than single-owner.
+  std::unordered_map<std::uint64_t, bool> exempt_;
 };
 
 /// Paper §4.3: a replica's sequence filter is monotonic — once a replica
@@ -95,6 +108,49 @@ class EpsilonBoundMonitor : public Monitor {
 
  private:
   std::unordered_map<std::uint64_t, bool> in_violation_;  // key → latched
+};
+
+/// Replicated-read mode (DESIGN.md §14): a read answered from local state
+/// must not observe staleness beyond the app's declared bound.  The switch
+/// taps every locally served read (kLocalReadServed: value = staleness ns,
+/// aux = bound ns); a sample over the bound is a violation — but only for
+/// flows admitted under replicated-read.  Mergeable flows also serve reads
+/// locally (aux = 0, and their kFlowAdmitted says kMergeable): arbitrarily
+/// stale local reads are *legal* there, so the monitor ignores them.  A
+/// per-key latch keeps one sustained excursion from flooding the report.
+class BoundedStalenessMonitor : public Monitor {
+ public:
+  BoundedStalenessMonitor() : Monitor("bounded_staleness") {}
+  void OnEvent(Auditor& auditor, const TapEvent& ev) override;
+  void Reset() override {
+    mode_.clear();
+    in_violation_.clear();
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, std::uint64_t> mode_;  // key → mode
+  std::unordered_map<std::uint64_t, bool> in_violation_;   // key → latched
+};
+
+/// Mergeable mode (DESIGN.md §14): the store's copy of a mergeable state
+/// only moves up the join lattice.  Every applied merge taps the app's
+/// declared monotone measure of the merged result (kMergeApplied, value);
+/// a decrease at the same replica means the store overwrote instead of
+/// merging — exactly the bug the `overwrite_instead_of_merge` mutation
+/// seeds.  kStoreReset bumps the replica's epoch: a fail-stopped replica
+/// lost its DRAM copy and legitimately re-baselines.
+class MergeConvergenceMonitor : public Monitor {
+ public:
+  MergeConvergenceMonitor() : Monitor("merge_convergence") {}
+  void OnEvent(Auditor& auditor, const TapEvent& ev) override;
+  void Reset() override {
+    measure_.clear();
+    epoch_.clear();
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, double> measure_;  // slot → last measure
+  std::unordered_map<std::uint16_t, std::uint64_t> epoch_;
 };
 
 }  // namespace redplane::audit

@@ -31,6 +31,11 @@ const char* TapName(Tap tap) {
     case Tap::kLeaseRequested: return "lease_requested";
     case Tap::kLeaseGranted: return "lease_granted";
     case Tap::kOutputServed: return "output_served";
+    case Tap::kFlowAdmitted: return "flow_admitted";
+    case Tap::kLocalReadServed: return "local_read_served";
+    case Tap::kMergeEmitted: return "merge_emitted";
+    case Tap::kMergeApplied: return "merge_applied";
+    case Tap::kReplicaPushed: return "replica_pushed";
   }
   return "?";
 }

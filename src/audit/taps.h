@@ -49,9 +49,18 @@ enum class Tap : std::uint8_t {
   kLeaseRequested,     // switch sent a lease Init request for a key
   kLeaseGranted,       // switch received a lease grant; aux = 1 if migrate
   kOutputServed,       // an output packet was released toward its destination
+  // --- consistency-mode spectrum (DESIGN.md §14) ---
+  kFlowAdmitted,       // flow admitted under a non-default mode;
+                       //   aux = ConsistencyMode (monitors subscribe here)
+  kLocalReadServed,    // read answered from local state without store RTT;
+                       //   value = staleness ns, aux = declared bound ns
+                       //   (0 in mergeable mode: no bound applies)
+  kMergeEmitted,       // switch pushed a merge delta; value = local measure
+  kMergeApplied,       // store joined a merge delta; value = merged measure
+  kReplicaPushed,      // store pushed state to a read-replica subscriber
 };
 
-inline constexpr int kNumTaps = static_cast<int>(Tap::kOutputServed) + 1;
+inline constexpr int kNumTaps = static_cast<int>(Tap::kReplicaPushed) + 1;
 
 /// Stable display name for a tap kind (used in reports).
 const char* TapName(Tap tap);

@@ -16,10 +16,41 @@
 #include <vector>
 
 #include "common/types.h"
+#include "core/consistency.h"
 #include "net/flow.h"
 #include "net/packet.h"
 
 namespace redplane::core {
+
+/// Defaults used when an app declares a weaker mode without tuning knobs.
+constexpr SimDuration kDefaultStalenessBound = Milliseconds(1);
+constexpr SimDuration kDefaultMergeInterval = Microseconds(100);
+
+/// An app's declared point on the consistency spectrum (DESIGN.md §14).
+///
+/// The default — single-owner, no merge — is the paper's base protocol and
+/// what every app gets unless it opts out.  Apps whose state forms a join-
+/// semilattice declare `merge`/`measure` (and may declare kMergeable as
+/// their native mode); read-heavy apps with a tolerable staleness window
+/// declare kReplicatedRead plus a bound.  Deployments can pin any mode via
+/// `RedPlaneConfig::mode_override` regardless of the declaration — the
+/// declaration says what the app *tolerates*, the deployment says what it
+/// *gets*.
+struct StateTraits {
+  ConsistencyMode mode = ConsistencyMode::kSingleOwner;
+  /// Join for mergeable state; must be commutative/associative/idempotent.
+  /// Required for kMergeable (declaring the mode without it falls back to
+  /// single-owner); harmless to declare alongside other modes — it marks
+  /// the app mergeable-*capable* for deployments that override the mode.
+  MergeFn merge = nullptr;
+  /// Monotone measure paired with `merge` (merge_convergence oracle).
+  MeasureFn measure = nullptr;
+  /// kReplicatedRead: max age of the local replica a read may observe.
+  /// 0 = kDefaultStalenessBound.
+  SimDuration staleness_bound = 0;
+  /// kMergeable: period between merge-delta pushes. 0 = default.
+  SimDuration merge_interval = 0;
+};
 
 /// Typed access helpers for POD state blobs.
 template <typename T>
@@ -65,6 +96,10 @@ class SwitchApp {
   /// packet does not touch application state (it is then plain-forwarded).
   /// Default: the IP 5-tuple.
   virtual std::optional<net::PartitionKey> KeyOf(const net::Packet& pkt) const;
+
+  /// The app's declared consistency traits (see StateTraits).  Default:
+  /// single-owner, the paper's base protocol.
+  virtual StateTraits Traits() const { return {}; }
 
   /// The transition function.  `state` is this partition's current state
   /// (empty for a flow with no state yet); mutate it and set

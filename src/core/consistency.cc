@@ -1,0 +1,171 @@
+#include "core/consistency.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "common/logging.h"
+#include "core/app.h"
+
+namespace redplane::core {
+
+const char* ConsistencyModeName(ConsistencyMode mode) {
+  switch (mode) {
+    case ConsistencyMode::kSingleOwner: return "single_owner";
+    case ConsistencyMode::kReplicatedRead: return "replicated_read";
+    case ConsistencyMode::kMergeable: return "mergeable";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::uint64_t LoadU64(std::span<const std::byte> bytes) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, bytes.data(), std::min(bytes.size(), sizeof(v)));
+  return v;
+}
+
+std::uint32_t LoadU32(std::span<const std::byte> bytes) {
+  std::uint32_t v = 0;
+  std::memcpy(&v, bytes.data(), std::min(bytes.size(), sizeof(v)));
+  return v;
+}
+
+}  // namespace
+
+void MergeMaxU64(std::vector<std::byte>& into,
+                 std::span<const std::byte> delta) {
+  // Empty-join-empty stays empty: an absent state encodes 0, and widening
+  // it to 8 zero bytes would break bytewise idempotence (merge(a, a) == a).
+  if (into.empty() && delta.empty()) return;
+  const std::uint64_t joined = std::max(LoadU64(into), LoadU64(delta));
+  into.resize(sizeof(joined));
+  std::memcpy(into.data(), &joined, sizeof(joined));
+}
+
+void MergeMaxU32Lanes(std::vector<std::byte>& into,
+                      std::span<const std::byte> delta) {
+  if (delta.size() > into.size()) into.resize(delta.size());
+  for (std::size_t off = 0; off + 4 <= delta.size(); off += 4) {
+    const std::uint32_t joined =
+        std::max(LoadU32(std::span(into).subspan(off, 4)),
+                 LoadU32(delta.subspan(off, 4)));
+    std::memcpy(into.data() + off, &joined, sizeof(joined));
+  }
+  // A trailing partial lane (state not a multiple of 4) joins bytewise so
+  // the merge stays idempotent for any blob length.
+  const std::size_t tail = delta.size() - delta.size() % 4;
+  for (std::size_t off = tail; off < delta.size(); ++off) {
+    into[off] = std::max(into[off], delta[off]);
+  }
+}
+
+void MergeOrBytes(std::vector<std::byte>& into,
+                  std::span<const std::byte> delta) {
+  if (delta.size() > into.size()) into.resize(delta.size());
+  for (std::size_t i = 0; i < delta.size(); ++i) into[i] |= delta[i];
+}
+
+double MeasureU64(std::span<const std::byte> state) {
+  return static_cast<double>(LoadU64(state));
+}
+
+double MeasureSumU32Lanes(std::span<const std::byte> state) {
+  double sum = 0.0;
+  std::size_t off = 0;
+  for (; off + 4 <= state.size(); off += 4) {
+    sum += LoadU32(state.subspan(off, 4));
+  }
+  for (; off < state.size(); ++off) {
+    sum += std::to_integer<unsigned>(state[off]);
+  }
+  return sum;
+}
+
+double MeasurePopcount(std::span<const std::byte> state) {
+  std::size_t bits = 0;
+  for (const std::byte b : state) {
+    bits += std::popcount(std::to_integer<unsigned>(b));
+  }
+  return static_cast<double>(bits);
+}
+
+void ConsistencyPolicy::Merge(std::vector<std::byte>& into,
+                              std::span<const std::byte> delta) const {
+  into.assign(delta.begin(), delta.end());
+}
+
+namespace {
+
+class SingleOwnerPolicy final : public ConsistencyPolicy {
+ public:
+  ConsistencyMode mode() const override {
+    return ConsistencyMode::kSingleOwner;
+  }
+};
+
+class ReplicatedReadPolicy final : public ConsistencyPolicy {
+ public:
+  explicit ReplicatedReadPolicy(SimDuration bound) : bound_(bound) {}
+
+  ConsistencyMode mode() const override {
+    return ConsistencyMode::kReplicatedRead;
+  }
+  bool AllowLocalRead(SimDuration staleness) const override {
+    return staleness <= bound_;
+  }
+  SimDuration staleness_bound() const override { return bound_; }
+
+ private:
+  SimDuration bound_;
+};
+
+class MergeablePolicy final : public ConsistencyPolicy {
+ public:
+  MergeablePolicy(MergeFn merge, MeasureFn measure, SimDuration interval)
+      : merge_(merge), measure_(measure), interval_(interval) {}
+
+  ConsistencyMode mode() const override { return ConsistencyMode::kMergeable; }
+  bool LeaseRequired() const override { return false; }
+  SimDuration merge_interval() const override { return interval_; }
+  void Merge(std::vector<std::byte>& into,
+             std::span<const std::byte> delta) const override {
+    merge_(into, delta);
+  }
+  double Measure(std::span<const std::byte> state) const override {
+    return measure_ != nullptr ? measure_(state) : 0.0;
+  }
+
+ private:
+  MergeFn merge_;
+  MeasureFn measure_;
+  SimDuration interval_;
+};
+
+}  // namespace
+
+std::unique_ptr<ConsistencyPolicy> ConsistencyPolicy::Make(
+    const StateTraits& traits) {
+  switch (traits.mode) {
+    case ConsistencyMode::kSingleOwner:
+      break;
+    case ConsistencyMode::kReplicatedRead:
+      return std::make_unique<ReplicatedReadPolicy>(
+          traits.staleness_bound > 0 ? traits.staleness_bound
+                                     : kDefaultStalenessBound);
+    case ConsistencyMode::kMergeable:
+      if (traits.merge == nullptr) {
+        RP_LOG(kWarn) << "mergeable mode declared without a merge function; "
+                         "falling back to single-owner";
+        break;
+      }
+      return std::make_unique<MergeablePolicy>(
+          traits.merge, traits.measure,
+          traits.merge_interval > 0 ? traits.merge_interval
+                                    : kDefaultMergeInterval);
+  }
+  return std::make_unique<SingleOwnerPolicy>();
+}
+
+}  // namespace redplane::core

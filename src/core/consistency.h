@@ -1,0 +1,140 @@
+// The consistency-mode spectrum (DESIGN.md §14).
+//
+// RedPlane's base protocol serializes every flow through one owner switch
+// behind a lease.  That is the strongest point on a spectrum the paper
+// itself opens in §4.4 (bounded-inconsistency snapshots): many in-switch
+// applications tolerate weaker guarantees in exchange for latency.  This
+// header names the spectrum and factors the per-mode decisions out of
+// `RedPlaneSwitch` into a small strategy object:
+//
+//   * kSingleOwner    — today's protocol, unchanged: lease-serialized
+//                       ownership, per-write sync replication, reads
+//                       buffered behind in-flight writes.  Selecting it
+//                       explicitly is bit-identical to the default path
+//                       (pinned by an A/B test in tests/consistency_test).
+//   * kReplicatedRead — writes stay lease-serialized, but reads that would
+//                       otherwise loop through the network buffer are
+//                       answered from local state as long as the local
+//                       replica's staleness (age of the oldest un-acked
+//                       write) is within the app's declared bound.  This is
+//                       ε-serializability: the `bounded_staleness` monitor
+//                       and modelcheck oracle enforce the bound live.
+//   * kMergeable      — multi-writer: no lease at all.  Every switch admits
+//                       the flow locally, applies writes at zero RTT, and
+//                       periodically ships its full local state to the
+//                       store as a merge delta.  The store joins deltas
+//                       with the app's declared merge function.  Merges
+//                       must be commutative, associative, and idempotent
+//                       (join-semilattice), which makes retransmission and
+//                       replay after failover safe by construction; the
+//                       `merge_convergence` monitor checks a declared
+//                       monotone measure never decreases at the store.
+//
+// Apps declare their point on the spectrum (plus merge/measure functions
+// where applicable) via `StateTraits` in core/app.h; deployments may pin a
+// different mode through `RedPlaneConfig::mode_override`.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace redplane::core {
+
+enum class ConsistencyMode : std::uint8_t {
+  kSingleOwner = 0,
+  kReplicatedRead = 1,
+  kMergeable = 2,
+};
+
+/// Number of modes; wire decoding rejects mode bytes >= this.
+constexpr std::uint8_t kNumConsistencyModes = 3;
+
+const char* ConsistencyModeName(ConsistencyMode mode);
+
+/// Joins `delta` into `into`.  Must be commutative, associative, and
+/// idempotent over the app's state encoding (property-tested per app in
+/// tests/property_test.cc).
+using MergeFn = void (*)(std::vector<std::byte>& into,
+                         std::span<const std::byte> delta);
+
+/// A monotone measure of a state blob: merging may only grow it (join
+/// dominance).  The store emits it on every applied merge so the
+/// merge_convergence monitor can check convergence online without
+/// understanding the state encoding.
+using MeasureFn = double (*)(std::span<const std::byte> state);
+
+/// --- reusable join-semilattice merges -------------------------------------
+/// All three are joins (max / bitwise-or), not sums: a join is idempotent,
+/// so a delta applied twice — retransmission, replay after failover — is a
+/// no-op, which is exactly what makes the mergeable mode safe without the
+/// per-flow sequence filter.  Max is also lossless for per-flow counters in
+/// this protocol: a flow traverses one switch at a time, so each switch's
+/// local count is a prefix of the true count and the max over switches is
+/// the true value.
+
+/// u64 little-endian max.  Shorter operand is treated as zero-extended.
+void MergeMaxU64(std::vector<std::byte>& into, std::span<const std::byte> delta);
+
+/// Lane-wise max over an array of little-endian u32 lanes (count-min sketch
+/// rows, heavy-hitter tables).  `into` grows to the longer operand.
+void MergeMaxU32Lanes(std::vector<std::byte>& into,
+                      std::span<const std::byte> delta);
+
+/// Bytewise bitwise-or (bloom filters, spreader bitmaps).
+void MergeOrBytes(std::vector<std::byte>& into, std::span<const std::byte> delta);
+
+/// Monotone measures paired with the merges above.
+double MeasureU64(std::span<const std::byte> state);
+double MeasureSumU32Lanes(std::span<const std::byte> state);
+double MeasurePopcount(std::span<const std::byte> state);
+
+struct StateTraits;  // core/app.h
+
+/// Per-mode protocol decisions, consulted by RedPlaneSwitch.  The single-
+/// owner implementation answers every question exactly as the pre-refactor
+/// hard-wired code did, so selecting it changes nothing (A/B-pinned).
+class ConsistencyPolicy {
+ public:
+  virtual ~ConsistencyPolicy() = default;
+
+  virtual ConsistencyMode mode() const = 0;
+
+  /// Does flow admission require a store-granted lease?  False only for
+  /// mergeable mode, where every switch admits locally.
+  virtual bool LeaseRequired() const { return true; }
+
+  /// May a read be answered from local state that is `staleness` behind the
+  /// durable store view (oldest un-acked write age)?  Only replicated-read
+  /// answers yes, and only within the declared bound.
+  virtual bool AllowLocalRead(SimDuration staleness) const {
+    (void)staleness;
+    return false;
+  }
+
+  /// Staleness bound local reads must respect (0 = mode never reads
+  /// locally against a bound).
+  virtual SimDuration staleness_bound() const { return 0; }
+
+  /// Interval between merge-delta pushes to the store (mergeable only).
+  virtual SimDuration merge_interval() const { return 0; }
+
+  /// Joins `delta` into `into` (mergeable only; no-op overwrite otherwise).
+  virtual void Merge(std::vector<std::byte>& into,
+                     std::span<const std::byte> delta) const;
+
+  /// Monotone measure of `state` (mergeable only; 0 otherwise).
+  virtual double Measure(std::span<const std::byte> state) const {
+    (void)state;
+    return 0.0;
+  }
+
+  /// Builds the policy for `traits`.  A mergeable declaration without a
+  /// merge function is invalid and falls back to single-owner (warned).
+  static std::unique_ptr<ConsistencyPolicy> Make(const StateTraits& traits);
+};
+
+}  // namespace redplane::core

@@ -117,6 +117,8 @@ void FlowTable::Reinit(std::uint32_t slot) {
   c.init_loops = 0;
   c.has_state = false;
   c.renew_in_flight = false;
+  c.merge_dirty = false;
+  c.replica_subscribed = false;
 }
 
 void FlowTable::Erase(const net::PartitionKey& key) {

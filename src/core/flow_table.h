@@ -63,6 +63,11 @@ class FlowTable {
     bool has_state = false;
     /// True while an explicit kLeaseRenewOnly is outstanding.
     bool renew_in_flight = false;
+    /// --- consistency-mode spectrum lanes (DESIGN.md §14) ---
+    /// Mergeable mode: local state changed since the last merge-delta push.
+    bool merge_dirty = false;
+    /// Replicated-read mode: kReplicaSubscribe already sent for this flow.
+    bool replica_subscribed = false;
   };
 
   /// Read-only view of one flow for tests, dumps, and diagnostics; the hot
@@ -183,6 +188,14 @@ class FlowTable {
 
   /// Send time recorded for `seq`, or 0 (write RTT accounting).
   SimTime SendTimeOf(std::uint32_t slot, std::uint64_t seq) const;
+
+  /// Send time of the oldest outstanding lease-renewing request, or 0 when
+  /// none: how long the durable store view may trail this switch's local
+  /// state (the replicated-read staleness measure, DESIGN.md §14).
+  SimTime OldestPendingSendTime(std::uint32_t slot) const {
+    const auto& pending = cold_[slot].pending_sends;
+    return pending.empty() ? 0 : pending.front().second;
+  }
 
   /// Digest-index health for the load-factor / max-probe gauges.
   struct IndexStats {

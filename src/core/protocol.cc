@@ -55,15 +55,15 @@ bool DecodeKey(net::ByteReader& r, net::PartitionKey& key) {
 
 std::size_t HeaderWireSize(const net::PartitionKey& key) {
   // magic(2) + type(1) + ack(1) + seq(8) + snapshot_index(4) + reply_to(4) +
-  // chain_hop(1) + span_id(8) + key-kind(1) + key body + state-len(2) +
-  // piggy-len(2).
+  // chain_hop(1) + span_id(8) + mode(1) + key-kind(1) + key body +
+  // state-len(2) + piggy-len(2).
   std::size_t key_size = 0;
   switch (key.kind) {
     case net::PartitionKey::Kind::kFlow: key_size = 13; break;
     case net::PartitionKey::Kind::kVlan: key_size = 2; break;
     case net::PartitionKey::Kind::kObject: key_size = 8; break;
   }
-  return 2 + 1 + 1 + 8 + 4 + 4 + 1 + 8 + 1 + key_size + 2 + 2;
+  return 2 + 1 + 1 + 8 + 4 + 4 + 1 + 8 + 1 + 1 + key_size + 2 + 2;
 }
 
 net::Buffer EncodeMsg(const Msg& msg) {
@@ -78,6 +78,7 @@ net::Buffer EncodeMsg(const Msg& msg) {
   w.U32(msg.reply_to.value);
   w.U8(msg.chain_hop);
   w.U64(msg.span_id);
+  w.U8(static_cast<std::uint8_t>(msg.mode));
   EncodeKey(w, msg.key);
   w.U16(static_cast<std::uint16_t>(msg.state.size()));
   if (msg.piggyback.has_value()) {
@@ -97,6 +98,7 @@ net::Buffer EncodeMsg(const Msg& msg) {
 std::optional<MsgView> MsgView::Parse(net::BufferView payload) {
   if (payload.size() < wire::kOffKeyKind + 1) return std::nullopt;
   if (payload.U16At(wire::kOffMagic) != kMagic) return std::nullopt;
+  if (payload.U8At(wire::kOffMode) >= kNumConsistencyModes) return std::nullopt;
   MsgView v;
   // Decode the key eagerly (it is read on every dispatch) and derive the
   // fixed section offsets from its size.
@@ -130,6 +132,7 @@ Msg MsgView::ToMsg() const {
   msg.reply_to = reply_to();
   msg.chain_hop = chain_hop();
   msg.span_id = span_id();
+  msg.mode = mode();
   msg.key = key_;
   msg.state = state().ToVector();
   msg.piggyback_raw = piggyback_bytes();

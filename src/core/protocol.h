@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/types.h"
+#include "core/consistency.h"
 #include "net/buffer.h"
 #include "net/codec.h"
 #include "net/flow.h"
@@ -55,6 +56,13 @@ enum class MsgType : std::uint8_t {
   kSnapshotRepl = 5,
   /// Any response from the state store.
   kAck = 6,
+  /// Mergeable multi-writer mode: the sender's full local state, to be
+  /// joined into the store's copy with the app's declared merge function
+  /// (idempotent, so retransmission/replay is safe without a seq filter).
+  kMergeDelta = 7,
+  /// Replicated-read mode: subscribe the sending switch to replica pushes
+  /// for this flow (the store pushes state on every applied write).
+  kReplicaSubscribe = 8,
 };
 
 enum class AckKind : std::uint8_t {
@@ -74,6 +82,11 @@ enum class AckKind : std::uint8_t {
   /// Lease denied: another switch holds it.  (The store normally buffers
   /// instead of denying; deny is used when buffering capacity is exceeded.)
   kLeaseDenied = 7,
+  /// Merge delta joined at the store; carries the merged global state back
+  /// so the sending switch can fold remote writers into its local copy.
+  kMergeAck = 8,
+  /// Unsolicited replica push to a subscribed switch (replicated-read).
+  kReplicaPush = 9,
 };
 
 /// Fixed byte offsets of the RedPlane header within an encoded message.
@@ -89,7 +102,8 @@ constexpr std::size_t kOffSnapshotIndex = 12; // u32
 constexpr std::size_t kOffReplyTo = 16;       // u32
 constexpr std::size_t kOffChainHop = 20;      // u8
 constexpr std::size_t kOffSpanId = 21;        // u64
-constexpr std::size_t kOffKeyKind = 29;       // u8, then the key body
+constexpr std::size_t kOffMode = 29;          // u8 (ConsistencyMode)
+constexpr std::size_t kOffKeyKind = 30;       // u8, then the key body
 }  // namespace wire
 
 /// A RedPlane protocol message (header + optional state + optional
@@ -115,6 +129,10 @@ struct Msg {
   /// store's response so every trace record of one request's lifecycle
   /// shares an id (obs/spans.h).  Not part of the protocol state machine.
   std::uint64_t span_id = 0;
+  /// Consistency mode of the flow this message belongs to (DESIGN.md §14).
+  /// Stamped by the originating switch; the store uses it to pick the
+  /// apply path (overwrite vs merge) without per-flow app knowledge.
+  ConsistencyMode mode = ConsistencyMode::kSingleOwner;
   /// Piggybacked output packet, if any.
   std::optional<net::Packet> piggyback;
   /// Already-serialized piggyback bytes, spliced verbatim into the encoding
@@ -162,6 +180,9 @@ class MsgView {
   }
   std::uint8_t chain_hop() const { return bytes_.U8At(wire::kOffChainHop); }
   std::uint64_t span_id() const { return bytes_.U64At(wire::kOffSpanId); }
+  ConsistencyMode mode() const {
+    return static_cast<ConsistencyMode>(bytes_.U8At(wire::kOffMode));
+  }
   const net::PartitionKey& key() const { return key_; }
 
   /// The state value, as a zero-copy slice of the message bytes.
@@ -188,6 +209,9 @@ class MsgView {
   }
   void SetChainHop(std::uint8_t h) { bytes_.PatchU8(wire::kOffChainHop, h); }
   void SetSpanId(std::uint64_t s) { bytes_.PatchU64(wire::kOffSpanId, s); }
+  void SetMode(ConsistencyMode m) {
+    bytes_.PatchU8(wire::kOffMode, static_cast<std::uint8_t>(m));
+  }
 
   /// The full encoded message — forward these bytes verbatim.
   const net::BufferView& bytes() const { return bytes_; }

@@ -72,6 +72,20 @@ RedPlaneSwitch::RedPlaneSwitch(
   m_.snapshot_slots_sent = stats_.RegisterCounter("snapshot_slots_sent");
   m_.epsilon_violations = stats_.RegisterCounter("epsilon_violations");
   m_.write_rtt_us = stats_.RegisterHistogram("write_rtt_us");
+  m_.local_reads_served = stats_.RegisterCounter("local_reads_served");
+  m_.merge_deltas_sent = stats_.RegisterCounter("merge_deltas_sent");
+  m_.merge_acks = stats_.RegisterCounter("merge_acks");
+  m_.replica_pushes_rx = stats_.RegisterCounter("replica_pushes_rx");
+  m_.local_read_staleness_us =
+      stats_.RegisterHistogram("local_read_staleness_us");
+  // Resolve the deployment's consistency policy: the app's declaration,
+  // with the deployment override winning (DESIGN.md §14).
+  StateTraits traits = app_.Traits();
+  if (config_.mode_override.has_value()) traits.mode = *config_.mode_override;
+  if (config_.staleness_bound > 0) traits.staleness_bound = config_.staleness_bound;
+  if (config_.merge_interval > 0) traits.merge_interval = config_.merge_interval;
+  policy_ = ConsistencyPolicy::Make(traits);
+  mode_ = policy_->mode();
   stats_.AddCallbackGauge(
       "active_flows", [this] { return static_cast<double>(flows_.Size()); });
   stats_.AddCallbackGauge("mirror_occupancy_bytes", [this] {
@@ -131,6 +145,13 @@ void RedPlaneSwitch::HandleAppPacket(dp::SwitchContext& ctx, net::Packet pkt) {
   m_.app_pkts.Add();
   const SimTime now = ctx.Now();
 
+  if (mode_ == ConsistencyMode::kMergeable) {
+    // Multi-writer mode: no lease machinery at all — the flow is admitted
+    // locally and the single-owner protocol below never runs for it.
+    HandleMergeablePacket(ctx, *key, std::move(pkt));
+    return;
+  }
+
   std::uint32_t slot = flows_.FindSlot(*key);
   if (slot != FlowTable::kNilSlot && flows_.LeaseActive(slot, now)) {
     // A renewal whose request or ack was lost is un-wedged by the flow's
@@ -146,6 +167,7 @@ void RedPlaneSwitch::HandleAppPacket(dp::SwitchContext& ctx, net::Packet pkt) {
       renew.key = *key;
       renew.seq = flows_.cur_seq(slot);
       renew.reply_to = node_.ip();
+      renew.mode = mode_;
       renew.span_id = NewSpanId();
       cold.renew_in_flight = true;
       m_.renewals_sent.Add();
@@ -177,6 +199,7 @@ void RedPlaneSwitch::HandleAppPacket(dp::SwitchContext& ctx, net::Packet pkt) {
     buf.seq = 0;  // marks an unprocessed input looping pre-grant
     buf.snapshot_index = 0;
     buf.reply_to = node_.ip();
+    buf.mode = mode_;
     buf.piggyback = std::move(pkt);
     buf.span_id = NewSpanId();
     m_.init_loop_buffered.Add();
@@ -204,6 +227,7 @@ void RedPlaneSwitch::HandleAppPacket(dp::SwitchContext& ctx, net::Packet pkt) {
   init.key = *key;
   init.seq = 0;
   init.reply_to = node_.ip();
+  init.mode = mode_;
   init.piggyback = std::move(pkt);
   init.span_id = NewSpanId();
   m_.inits_sent.Add();
@@ -236,6 +260,7 @@ void RedPlaneSwitch::RunApp(dp::SwitchContext& ctx,
     repl.key = key;
     repl.seq = seq;
     repl.reply_to = node_.ip();
+    repl.mode = mode_;
     repl.state = flows_.cold(slot).state;
     if (!result.outputs.empty()) {
       if (result.outputs.size() > 1) {
@@ -264,6 +289,30 @@ void RedPlaneSwitch::RunApp(dp::SwitchContext& ctx,
   }
 
   if (config_.linearizable && flows_.WritesInFlight(slot)) {
+    // Replicated-read mode (DESIGN.md §14): answer the read from local
+    // state instead of looping it through the store, as long as the local
+    // replica's staleness — how long the oldest un-acked write has been in
+    // flight — is within the app's declared bound.  Beyond the bound the
+    // read falls through to the buffering path below (ε-serializability is
+    // preserved by waiting, never by serving stale).
+    if (mode_ == ConsistencyMode::kReplicatedRead) {
+      const SimTime oldest = flows_.OldestPendingSendTime(slot);
+      const SimDuration staleness = oldest != 0 ? ctx.Now() - oldest : 0;
+      if (config_.mutation_stale_reads || policy_->AllowLocalRead(staleness)) {
+        for (auto& out : result.outputs) {
+          m_.local_reads_served.Add();
+          m_.local_read_staleness_us.Record(ToMicroseconds(staleness));
+          if (atap_.armed()) {
+            atap_.Emit(audit::Tap::kLocalReadServed, net::HashPartitionKey(key),
+                       flows_.cur_seq(slot),
+                       static_cast<std::uint64_t>(policy_->staleness_bound()),
+                       static_cast<double>(staleness));
+          }
+          ReleaseOutput(ctx, key, std::move(out));
+        }
+        return;
+      }
+    }
     // A read while writes are in flight: its output may depend on state not
     // yet durable, so it buffers through the network until the newest write
     // is acknowledged (§5.1).
@@ -273,6 +322,7 @@ void RedPlaneSwitch::RunApp(dp::SwitchContext& ctx,
       buf.key = key;
       buf.seq = flows_.cur_seq(slot);
       buf.reply_to = node_.ip();
+      buf.mode = mode_;
       buf.piggyback = std::move(out);
       buf.span_id = NewSpanId();
       m_.reads_buffered.Add();
@@ -292,6 +342,94 @@ void RedPlaneSwitch::RunApp(dp::SwitchContext& ctx,
   // mode): release immediately.
   for (auto& out : result.outputs) {
     ReleaseOutput(ctx, key, std::move(out));
+  }
+}
+
+void RedPlaneSwitch::HandleMergeablePacket(dp::SwitchContext& ctx,
+                                           const net::PartitionKey& key,
+                                           net::Packet pkt) {
+  std::uint32_t slot = flows_.FindSlot(key);
+  if (slot == FlowTable::kNilSlot) {
+    // Local admission: no lease, no store round trip.  The admission tap
+    // exempts the key from the single-owner invariant — several switches
+    // admitting the same mergeable key concurrently is the whole point.
+    slot = flows_.GetOrCreateSlot(key);
+    flows_.set_status(slot, FlowStatus::kActive);
+    if (atap_.armed()) {
+      atap_.Emit(audit::Tap::kFlowAdmitted, net::HashPartitionKey(key), 0,
+                 static_cast<std::uint64_t>(mode_));
+    }
+  }
+  AppContext actx;
+  actx.now = ctx.Now();
+  actx.switch_ip = node_.ip();
+  ProcessResult result =
+      app_.Process(actx, std::move(pkt), flows_.cold(slot).state);
+
+  if (result.state_modified) {
+    FlowTable::Cold& cold = flows_.cold(slot);
+    if (!cold.merge_dirty) {
+      cold.merge_dirty = true;
+      merge_dirty_.emplace_back(slot, flows_.gen(slot));
+    }
+    EnsureMergeTick();
+  } else if (atap_.armed() && !result.outputs.empty()) {
+    // A locally served read with no staleness contract (aux 0): legal at
+    // any staleness in this mode, and tapped so the mode-aware monitors
+    // can prove they know that.
+    atap_.Emit(audit::Tap::kLocalReadServed, net::HashPartitionKey(key),
+               flows_.cur_seq(slot), 0, 0.0);
+  }
+  // Zero-RTT writes: every output releases immediately; durability comes
+  // from the periodic idempotent merge push, not from an ack.
+  for (auto& out : result.outputs) {
+    ReleaseOutput(ctx, key, std::move(out));
+  }
+}
+
+void RedPlaneSwitch::EnsureMergeTick() {
+  if (merge_tick_armed_) return;
+  merge_tick_armed_ = true;
+  const std::uint64_t epoch = epoch_;
+  node_.sim().Schedule(policy_->merge_interval(),
+                       [this, epoch]() { MergeTick(epoch); });
+}
+
+void RedPlaneSwitch::MergeTick(std::uint64_t epoch) {
+  if (epoch != epoch_) return;
+  merge_tick_armed_ = false;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> dirty;
+  dirty.swap(merge_dirty_);
+  const SimTime now = node_.sim().Now();
+  for (const auto& [slot, gen] : dirty) {
+    if (!flows_.Alive(slot, gen)) continue;
+    FlowTable::Cold& cold = flows_.cold(slot);
+    if (!cold.merge_dirty) continue;
+    cold.merge_dirty = false;
+    // The delta is the full local state: joining a superset is idempotent,
+    // so a retransmitted or replayed delta can never double-count.
+    const std::uint64_t seq = flows_.NextSeq(slot);
+    Msg delta;
+    delta.type = MsgType::kMergeDelta;
+    delta.key = cold.key;
+    delta.seq = seq;
+    delta.reply_to = node_.ip();
+    delta.mode = mode_;
+    delta.state = cold.state;
+    delta.span_id = NewSpanId();
+    flows_.NoteSend(slot, seq, now,
+                    static_cast<SimDuration>(config_.max_retransmissions) *
+                        config_.request_timeout);
+    m_.merge_deltas_sent.Add();
+    if (atap_.armed()) {
+      atap_.Emit(audit::Tap::kMergeEmitted, net::HashPartitionKey(cold.key),
+                 seq, 0, policy_->Measure(cold.state));
+    }
+    if (trace_.armed()) {
+      trace_.Emit(obs::Ev::kReplicationSent, net::HashPartitionKey(cold.key),
+                  seq, static_cast<double>(delta.state.size()), delta.span_id);
+    }
+    SendRequest(delta, /*mirror=*/true);
   }
 }
 
@@ -367,6 +505,26 @@ void RedPlaneSwitch::HandleAck(dp::SwitchContext& ctx, MsgView msg) {
           atap_.Emit(audit::Tap::kLeaseAcquired, net::HashPartitionKey(key),
                      seq,
                      static_cast<std::uint64_t>(flows_.lease_expiry(s)));
+        }
+        if (mode_ == ConsistencyMode::kReplicatedRead) {
+          // Announce the weaker mode to the mode-aware monitors and
+          // subscribe this switch to the store's replica pushes.  (Single-
+          // owner flows announce nothing: their path stays bit-identical.)
+          if (atap_.armed()) {
+            atap_.Emit(audit::Tap::kFlowAdmitted, net::HashPartitionKey(key),
+                       0, static_cast<std::uint64_t>(mode_));
+          }
+          FlowTable::Cold& cold = flows_.cold(s);
+          if (!cold.replica_subscribed) {
+            cold.replica_subscribed = true;
+            Msg sub;
+            sub.type = MsgType::kReplicaSubscribe;
+            sub.key = key;
+            sub.reply_to = node_.ip();
+            sub.mode = mode_;
+            sub.span_id = NewSpanId();
+            SendRequest(sub, /*mirror=*/false);
+          }
         }
         if (piggy.has_value()) {
           // The first packet of the flow, returned with the grant: process
@@ -538,6 +696,37 @@ void RedPlaneSwitch::HandleAck(dp::SwitchContext& ctx, MsgView msg) {
       }
       node_.mirror().Acknowledge(key, SnapSeq(seq, msg.snapshot_index()),
                                  cancel_retx);
+      return;
+    }
+    case AckKind::kMergeAck: {
+      // A merge delta was joined at the store.  The ack carries the merged
+      // global state: fold remote writers' contributions into the local
+      // copy (the merge is idempotent, so re-folding our own is harmless).
+      node_.mirror().Acknowledge(key, seq, cancel_retx);
+      if (slot != FlowTable::kNilSlot) {
+        flows_.NoteAck(slot, seq, config_.lease_period);
+        const net::BufferView merged = msg.state();
+        if (merged.size() > 0) {
+          policy_->Merge(flows_.cold(slot).state, merged.span());
+        }
+        m_.merge_acks.Add();
+      }
+      return;
+    }
+    case AckKind::kReplicaPush: {
+      // Unsolicited store push (replicated-read): refresh the local replica
+      // — but never clobber local writes that are still in flight, and
+      // never regress to a push older than what this switch already acked.
+      if (slot == FlowTable::kNilSlot ||
+          flows_.status(slot) != FlowStatus::kActive ||
+          flows_.WritesInFlight(slot) || seq < flows_.cur_seq(slot)) {
+        return;
+      }
+      flows_.cold(slot).state = msg.state().ToVector();
+      flows_.cold(slot).has_state = true;
+      flows_.set_cur_seq(slot, seq);
+      flows_.set_last_acked_seq(slot, seq);
+      m_.replica_pushes_rx.Add();
       return;
     }
     case AckKind::kNone:
@@ -884,12 +1073,16 @@ void RedPlaneSwitch::Reset() {
     }
   });
   coalesce_.clear();  // pending batches are lost with the SRAM
+  merge_dirty_.clear();
+  merge_tick_armed_ = false;  // the epoch bump killed any scheduled tick
   app_.Reset();
 }
 
 void RedPlaneSwitch::OnRecovery() {
   ++epoch_;
   coalesce_.clear();
+  merge_dirty_.clear();
+  merge_tick_armed_ = false;
   if (snapshottable_ != nullptr) {
     StartSnapshotReplication(*snapshottable_);
   }

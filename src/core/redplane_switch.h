@@ -89,6 +89,21 @@ struct RedPlaneConfig {
   /// lease.  Used to prove the audit SingleOwnerMonitor catches broken
   /// lease handling; must stay 0 in production configs.
   SimDuration mutation_lease_extension = 0;
+  /// --- consistency-mode spectrum (DESIGN.md §14) ---
+  /// Pins the deployment's consistency mode regardless of the app's
+  /// declared StateTraits.  nullopt (the default) uses the app's
+  /// declaration; pinning kSingleOwner explicitly is bit-identical to the
+  /// default for single-owner apps (A/B-tested in tests/consistency_test).
+  std::optional<ConsistencyMode> mode_override;
+  /// Replicated-read: staleness-bound override (0 = app traits/default).
+  SimDuration staleness_bound = 0;
+  /// Mergeable: merge-delta push period override (0 = app traits/default).
+  SimDuration merge_interval = 0;
+  /// TEST-ONLY protocol mutation: replicated-read serves local reads
+  /// without checking the staleness bound (the served staleness is still
+  /// honestly tapped), so stale reads beyond the bound escape.  Proves the
+  /// bounded_staleness monitor catches them; must stay false in production.
+  bool mutation_stale_reads = false;
 };
 
 class RedPlaneSwitch : public dp::PipelineHandler {
@@ -115,6 +130,9 @@ class RedPlaneSwitch : public dp::PipelineHandler {
   obs::MetricRegistry& stats() { return stats_; }
   EpsilonTracker* epsilon_tracker() { return epsilon_.get(); }
   const RedPlaneConfig& config() const { return config_; }
+  /// The resolved consistency mode this deployment runs under.
+  ConsistencyMode consistency_mode() const { return mode_; }
+  const ConsistencyPolicy& policy() const { return *policy_; }
 
   /// Bandwidth accounting: bytes of protocol requests/responses vs original
   /// packets seen, for the Fig. 10 bench.
@@ -130,6 +148,17 @@ class RedPlaneSwitch : public dp::PipelineHandler {
 
   /// Handles a normal application packet.
   void HandleAppPacket(dp::SwitchContext& ctx, net::Packet pkt);
+
+  /// Mergeable multi-writer path (DESIGN.md §14): local admission, zero-RTT
+  /// writes, outputs released immediately; modified state is marked dirty
+  /// and shipped to the store by the periodic merge tick.
+  void HandleMergeablePacket(dp::SwitchContext& ctx,
+                             const net::PartitionKey& key, net::Packet pkt);
+
+  /// Arms the periodic merge-delta push if not already pending.
+  void EnsureMergeTick();
+  /// Ships every dirty mergeable flow's state as a kMergeDelta.
+  void MergeTick(std::uint64_t epoch);
 
   /// Runs the app on `pkt` under an active lease and replicates/releases
   /// per the consistency mode.  `slot` is the flow's table slot.
@@ -232,8 +261,24 @@ class RedPlaneSwitch : public dp::PipelineHandler {
     obs::Histogram write_rtt_us;
     obs::Gauge epsilon_bound_us;
     obs::Histogram epsilon_staleness_us;
+    // Consistency-mode spectrum (DESIGN.md §14).
+    obs::Counter local_reads_served;
+    obs::Counter merge_deltas_sent;
+    obs::Counter merge_acks;
+    obs::Counter replica_pushes_rx;
+    obs::Histogram local_read_staleness_us;
   };
   Metrics m_;
+
+  /// Resolved consistency policy (app traits, possibly pinned by
+  /// config_.mode_override); mode_ caches policy_->mode() for the
+  /// per-packet branch.
+  std::unique_ptr<ConsistencyPolicy> policy_;
+  ConsistencyMode mode_ = ConsistencyMode::kSingleOwner;
+  /// Mergeable mode: (slot, gen) of flows with un-pushed local writes, and
+  /// whether the periodic push is scheduled.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> merge_dirty_;
+  bool merge_tick_armed_ = false;
 
   // Bounded-inconsistency mode.
   Snapshottable* snapshottable_ = nullptr;

@@ -225,4 +225,46 @@ bool BruteForceCheck(
   return false;
 }
 
+bool CheckBoundedStaleness(const std::vector<StalenessSample>& samples,
+                           std::string* why) {
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const StalenessSample& s = samples[i];
+    if (s.bound_ns != 0 && s.staleness_ns > s.bound_ns) {
+      if (why != nullptr) {
+        *why = "sample " + std::to_string(i) + " key=" +
+               std::to_string(s.key) + ": locally served read was " +
+               std::to_string(s.staleness_ns) + "ns stale, bound " +
+               std::to_string(s.bound_ns) + "ns";
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+bool CheckMergeConvergence(const std::vector<MergeSample>& samples,
+                           std::string* why) {
+  // Last observed measure per (replica, key), in arrival order.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, double> last;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const MergeSample& s = samples[i];
+    auto [it, inserted] = last.try_emplace({s.component, s.key}, s.measure);
+    if (!inserted) {
+      if (s.measure < it->second) {
+        if (why != nullptr) {
+          *why = "sample " + std::to_string(i) + " key=" +
+                 std::to_string(s.key) + " replica=" +
+                 std::to_string(s.component) + ": measure went " +
+                 std::to_string(it->second) + " -> " +
+                 std::to_string(s.measure) +
+                 " (merge moved down the lattice)";
+        }
+        return false;
+      }
+      it->second = s.measure;
+    }
+  }
+  return true;
+}
+
 }  // namespace redplane::modelcheck

@@ -67,4 +67,42 @@ bool CheckCounterLinearizable(const std::vector<HistoryEvent>& history,
 bool BruteForceCheck(const std::vector<HistoryEvent>& history,
                      const std::function<std::uint64_t(std::size_t)>& program);
 
+// --- per-mode consistency oracles (DESIGN.md §14) -------------------------
+//
+// The weaker consistency modes trade linearizability for latency, but each
+// still makes a checkable promise.  These oracles are the offline analogue
+// of the online bounded_staleness / merge_convergence audit monitors: a
+// campaign run collects samples from the taps and feeds them here, so the
+// same evidence is judged by two independent implementations.
+
+/// One locally served read in replicated-read mode: how far the durable
+/// store view trailed the local state, against the app's declared bound.
+struct StalenessSample {
+  std::uint64_t key = 0;
+  std::uint64_t staleness_ns = 0;
+  /// Declared bound; 0 means no staleness contract (always legal).
+  std::uint64_t bound_ns = 0;
+};
+
+/// ε-staleness oracle: every locally served read respected its declared
+/// bound.  Returns true iff all samples pass; `why` explains the first
+/// violation.
+bool CheckBoundedStaleness(const std::vector<StalenessSample>& samples,
+                           std::string* why = nullptr);
+
+/// One merge application observed at a store replica, in arrival order.
+struct MergeSample {
+  /// Replica identity (samples from different replicas are independent).
+  std::uint64_t component = 0;
+  std::uint64_t key = 0;
+  /// Monotone measure of the replica's stored state after the merge.
+  double measure = 0.0;
+};
+
+/// Merge-convergence oracle: per (component, key), the measure of the
+/// stored state never decreases across merges — a correct join moves only
+/// up the lattice.  A decrease means a delta overwrote instead of merging.
+bool CheckMergeConvergence(const std::vector<MergeSample>& samples,
+                           std::string* why = nullptr);
+
 }  // namespace redplane::modelcheck

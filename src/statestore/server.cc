@@ -40,6 +40,9 @@ StateStoreServer::StateStoreServer(sim::Simulator& sim, NodeId id,
   m_.renew_reqs = reg.RegisterCounter("renew_reqs");
   m_.read_buffer_reqs = reg.RegisterCounter("read_buffer_reqs");
   m_.snapshot_reqs = reg.RegisterCounter("snapshot_reqs");
+  m_.merge_reqs = reg.RegisterCounter("merge_reqs");
+  m_.subscribe_reqs = reg.RegisterCounter("subscribe_reqs");
+  m_.replica_pushes_tx = reg.RegisterCounter("replica_pushes_tx");
   m_.reads_parked = reg.RegisterCounter("reads_parked");
   m_.chain_forwards = reg.RegisterCounter("chain_forwards");
   m_.responses = reg.RegisterCounter("responses");
@@ -52,6 +55,7 @@ StateStoreServer::StateStoreServer(sim::Simulator& sim, NodeId id,
   m_.renew_bytes_rx = reg.RegisterCounter("renew_bytes_rx");
   m_.read_buffer_bytes_rx = reg.RegisterCounter("read_buffer_bytes_rx");
   m_.snapshot_bytes_rx = reg.RegisterCounter("snapshot_bytes_rx");
+  m_.merge_bytes_rx = reg.RegisterCounter("merge_bytes_rx");
   m_.chain_bytes_rx = reg.RegisterCounter("chain_bytes_rx");
   m_.batch_bytes_rx = reg.RegisterCounter("batch_bytes_rx");
   m_.resp_bytes_tx = reg.RegisterCounter("resp_bytes_tx");
@@ -127,6 +131,10 @@ void StateStoreServer::HandlePacket(net::Packet pkt, PortId in_port) {
         m_.read_buffer_bytes_rx.Add(wire_bytes);
         break;
       case MsgType::kSnapshotRepl: m_.snapshot_bytes_rx.Add(wire_bytes); break;
+      case MsgType::kMergeDelta: m_.merge_bytes_rx.Add(wire_bytes); break;
+      case MsgType::kReplicaSubscribe:
+        m_.merge_bytes_rx.Add(wire_bytes);
+        break;
       case MsgType::kAck: break;
     }
   }
@@ -199,6 +207,10 @@ void StateStoreServer::ProcessMsg(MsgView msg) {
     case MsgType::kLeaseRenewOnly: HandleRenewOnly(std::move(msg)); break;
     case MsgType::kReadBufferReq: HandleReadBuffer(std::move(msg)); break;
     case MsgType::kSnapshotRepl: HandleSnapshot(std::move(msg)); break;
+    case MsgType::kMergeDelta: HandleMergeDelta(std::move(msg)); break;
+    case MsgType::kReplicaSubscribe:
+      HandleReplicaSubscribe(std::move(msg));
+      break;
     case MsgType::kAck:
       m_.unexpected_acks.Add();
       break;
@@ -431,6 +443,64 @@ void StateStoreServer::HandleSnapshot(MsgView msg) {
   ApplyAndContinue(std::move(msg));
 }
 
+void StateStoreServer::HandleMergeDelta(MsgView msg) {
+  m_.merge_reqs.Add();
+  // No LeaseActiveByOther check and no sequence filter: concurrent writers
+  // are the design point of the mergeable mode, and the join is idempotent
+  // so a replayed or retransmitted delta re-merges to the same state.
+  msg.SetAck(AckKind::kMergeAck);
+  msg.SetChainHop(msg.chain_hop() + 1);
+  ApplyAndContinue(std::move(msg));
+}
+
+void StateStoreServer::HandleReplicaSubscribe(MsgView msg) {
+  m_.subscribe_reqs.Add();
+  FlowRecord& rec = GetOrCreate(msg.key());
+  const net::Ipv4Addr sub = msg.reply_to();
+  if (std::find(rec.subscribers.begin(), rec.subscribers.end(), sub) ==
+      rec.subscribers.end()) {
+    rec.subscribers.push_back(sub);
+  }
+  // Answer with the current durable state so the replica starts warm.
+  // Subscription is head-local soft state: it rides in the FlowRecord, so a
+  // chain resync copies it, and a lost head simply stops pushing (the
+  // switch then falls back to the buffering path, which is always safe).
+  Msg push;
+  push.type = MsgType::kAck;
+  push.ack = AckKind::kReplicaPush;
+  push.key = msg.key();
+  push.seq = rec.last_applied_seq;
+  push.state = rec.state;
+  push.mode = msg.mode();
+  push.span_id = msg.span_id();
+  m_.replica_pushes_tx.Add();
+  SendMsg(sub, push);
+}
+
+void StateStoreServer::PushToSubscribers(const net::PartitionKey& key,
+                                         const FlowRecord& rec,
+                                         net::Ipv4Addr writer,
+                                         std::uint64_t span) {
+  if (!is_head_ || rec.subscribers.empty()) return;
+  for (const net::Ipv4Addr sub : rec.subscribers) {
+    if (sub == writer) continue;  // the writer already holds the newer state
+    Msg push;
+    push.type = MsgType::kAck;
+    push.ack = AckKind::kReplicaPush;
+    push.key = key;
+    push.seq = rec.last_applied_seq;
+    push.state = rec.state;
+    push.mode = core::ConsistencyMode::kReplicatedRead;
+    push.span_id = span;
+    m_.replica_pushes_tx.Add();
+    if (atap_.armed()) {
+      atap_.Emit(audit::Tap::kReplicaPushed, net::HashPartitionKey(key),
+                 rec.last_applied_seq, sub.value);
+    }
+    SendMsg(sub, push);
+  }
+}
+
 void StateStoreServer::ApplyAndContinue(Msg&& msg) {
   auto view = MsgView::Parse(core::EncodeMsg(msg));
   assert(view.has_value());
@@ -465,6 +535,7 @@ void StateStoreServer::ApplyAndContinue(MsgView msg) {
                      net::HashPartitionKey(msg.key()), msg.seq(),
                      prev_applied);
         }
+        PushToSubscribers(msg.key(), rec, msg.reply_to(), msg.span_id());
       }
       rec.owner = msg.reply_to();
       rec.lease_expiry = sim_.Now() + config_.lease_period;
@@ -504,6 +575,35 @@ void StateStoreServer::ApplyAndContinue(MsgView msg) {
       rec.last_snapshot_at = sim_.Now();
       break;
     }
+    case MsgType::kMergeDelta: {
+      rec.exists = true;
+      if (config_.mutations.overwrite_instead_of_merge ||
+          config_.merger == nullptr) {
+        rec.state = msg.state().ToVector();
+      } else {
+        config_.merger(rec.state, msg.state().span());
+      }
+      if (trace().armed()) {
+        trace().Emit(obs::Ev::kStoreApplied, net::HashPartitionKey(msg.key()),
+                     msg.seq(), static_cast<double>(msg.state().size()),
+                     msg.span_id());
+      }
+      if (atap_.armed()) {
+        // The measure is computed from the *post-merge* stored state: a
+        // correct join can only move up the lattice, so this series is
+        // non-decreasing per key (checked by the merge-convergence
+        // monitor).  Overwrites under the mutation honestly report the
+        // (possibly lower) measure and get caught.
+        const double measure =
+            config_.measure != nullptr ? config_.measure(rec.state) : 0.0;
+        atap_.Emit(audit::Tap::kMergeApplied, net::HashPartitionKey(msg.key()),
+                   msg.seq(), 0, measure);
+      }
+      break;
+    }
+    case MsgType::kReplicaSubscribe:
+      // Subscriptions never traverse the chain (handled at the head).
+      return;
     case MsgType::kAck:
       return;
   }
@@ -538,10 +638,16 @@ void StateStoreServer::Respond(const MsgView& request) {
   resp.seq = request.seq();
   resp.snapshot_index = request.snapshot_index();
   resp.span_id = request.span_id();
+  resp.mode = request.mode();
   resp.piggyback_raw = request.piggyback_bytes();
   if (request.ack() == AckKind::kLeaseGrantNew ||
       request.ack() == AckKind::kLeaseGrantMigrate) {
     resp.state = request.state().ToVector();
+  } else if (request.ack() == AckKind::kMergeAck) {
+    // Answer with the *merged* stored state (the request carried only the
+    // sender's local contribution): every replica applied the same joins,
+    // so the answering replica's record is the converged global value.
+    if (const FlowRecord* rec = Find(request.key())) resp.state = rec->state;
   }
   m_.responses.Add();
   if (trace().armed()) {

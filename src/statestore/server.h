@@ -53,9 +53,17 @@ struct StoreConfig {
   /// flow (e.g. a NAT allocation from the shared port pool, §6).  When
   /// empty, new flows start with empty state.
   std::function<std::vector<std::byte>(const net::PartitionKey&)> initializer;
+  /// Mergeable-mode join (DESIGN.md §14): folds an incoming kMergeDelta into
+  /// the stored state.  Must match the app's StateTraits::merge; when null,
+  /// deltas overwrite (only safe with a single writer).
+  core::MergeFn merger = nullptr;
+  /// Monotone measure of merged state, reported on the kMergeApplied tap so
+  /// the merge-convergence monitor can check the join never goes down the
+  /// lattice.  Null reports 0 (monitor sees a flat, trivially valid line).
+  core::MeasureFn measure = nullptr;
 
   /// TEST-ONLY protocol mutations: deliberately broken behaviors used to
-  /// prove the audit monitors detect real protocol bugs.  Both must stay
+  /// prove the audit monitors detect real protocol bugs.  All must stay
   /// false in production configs.
   struct ProtocolMutations {
     /// Disables the per-flow sequence filter (Fig. 6b): a stale or duplicate
@@ -64,6 +72,10 @@ struct StoreConfig {
     /// The head answers writes itself instead of forwarding down the chain:
     /// acks escape before chain-wide commit.
     bool early_chain_ack = false;
+    /// Applies kMergeDelta by overwriting instead of joining: a slower
+    /// writer's delta erases a faster writer's contribution, so the merged
+    /// measure can decrease (caught by the merge_convergence monitor).
+    bool overwrite_instead_of_merge = false;
   };
   ProtocolMutations mutations;
 };
@@ -82,6 +94,9 @@ struct FlowRecord {
   std::map<std::uint32_t, std::pair<std::vector<std::byte>, std::uint64_t>>
       snapshot_slots;
   SimTime last_snapshot_at = 0;
+  /// Replicated-read subscribers (DESIGN.md §14): switch IPs that asked for
+  /// a copy of this flow's durable state on every applied write.
+  std::vector<net::Ipv4Addr> subscribers;
 };
 
 class StateStoreServer : public sim::Node {
@@ -147,6 +162,18 @@ class StateStoreServer : public sim::Node {
   void HandleRenewOnly(core::MsgView msg);
   void HandleReadBuffer(core::MsgView msg);
   void HandleSnapshot(core::MsgView msg);
+  /// Mergeable-mode delta (DESIGN.md §14): no ownership check and no
+  /// sequence filter — the join is commutative and idempotent, so any
+  /// interleaving (or replay) of deltas converges.
+  void HandleMergeDelta(core::MsgView msg);
+  /// Replicated-read subscription: registers the switch for replica pushes
+  /// and answers immediately with the current durable state.
+  void HandleReplicaSubscribe(core::MsgView msg);
+
+  /// Pushes the (just-updated) durable state of `key` to every registered
+  /// subscriber except `writer` (head only; DESIGN.md §14).
+  void PushToSubscribers(const net::PartitionKey& key, const FlowRecord& rec,
+                         net::Ipv4Addr writer, std::uint64_t span);
 
   /// Applies the (head-stamped) decision carried by a chain-internal
   /// message, then forwards down-chain or answers the switch.
@@ -209,6 +236,9 @@ class StateStoreServer : public sim::Node {
     obs::Counter renew_reqs;
     obs::Counter read_buffer_reqs;
     obs::Counter snapshot_reqs;
+    obs::Counter merge_reqs;
+    obs::Counter subscribe_reqs;
+    obs::Counter replica_pushes_tx;
     obs::Counter reads_parked;
     obs::Counter chain_forwards;
     obs::Counter responses;
@@ -219,6 +249,7 @@ class StateStoreServer : public sim::Node {
     obs::Counter renew_bytes_rx;
     obs::Counter read_buffer_bytes_rx;
     obs::Counter snapshot_bytes_rx;
+    obs::Counter merge_bytes_rx;
     obs::Counter chain_bytes_rx;
     obs::Counter batch_bytes_rx;
     obs::Counter resp_bytes_tx;

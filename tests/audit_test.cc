@@ -15,6 +15,7 @@
 #include "audit/lin_feed.h"
 #include "audit/monitors.h"
 #include "audit/slice.h"
+#include "core/consistency.h"
 #include "core/redplane_switch.h"
 #include "net/codec.h"
 #include "obs/json.h"
@@ -89,6 +90,87 @@ TEST_F(AuditorFixture, SingleOwnerSameComponentRenewIsFine) {
   now = 500'000;
   auditor.Publish(sw1, Tap::kLeaseAcquired, kKey, 2, 1'500'000);  // renewal
   EXPECT_EQ(Total(), 0u);
+}
+
+// --- per-mode monitor subscription (DESIGN.md §14) -------------------------
+// Monitors subscribe per consistency mode: a flow admitted under a weaker
+// mode must not be judged by a stronger mode's invariant.
+
+TEST_F(AuditorFixture, SingleOwnerSkipsFlowsAdmittedUnderMergeable) {
+  const auto mergeable =
+      static_cast<std::uint64_t>(core::ConsistencyMode::kMergeable);
+  auditor.Publish(sw1, Tap::kFlowAdmitted, kKey, 0, mergeable);
+  now = 100;
+  auditor.Publish(sw1, Tap::kLeaseAcquired, kKey, 1, /*expiry=*/1'000'000);
+  now = 200;
+  auditor.Publish(sw2, Tap::kLeaseAcquired, kKey, 1, /*expiry=*/2'000'000);
+  // Two concurrent writers are the point of mergeable mode, not a violation.
+  EXPECT_EQ(Total(), 0u);
+  // The exemption is per-key: an unannounced key still gets the invariant.
+  now = 300;
+  auditor.Publish(sw1, Tap::kLeaseAcquired, kKey + 1, 1, 1'000'000);
+  auditor.Publish(sw2, Tap::kLeaseAcquired, kKey + 1, 1, 2'000'000);
+  EXPECT_EQ(auditor.ViolationCount("single_owner"), 1u);
+}
+
+TEST_F(AuditorFixture, SingleOwnerExemptionAppliesToEarlierClaims) {
+  // Admission can reach the auditor after a lease claim (taps are emitted
+  // from different components); the exemption must retroactively drop any
+  // holders already recorded for the key.
+  now = 100;
+  auditor.Publish(sw1, Tap::kLeaseAcquired, kKey, 1, /*expiry=*/1'000'000);
+  auditor.Publish(
+      sw2, Tap::kFlowAdmitted, kKey, 0,
+      static_cast<std::uint64_t>(core::ConsistencyMode::kMergeable));
+  now = 200;
+  auditor.Publish(sw2, Tap::kLeaseAcquired, kKey, 1, /*expiry=*/2'000'000);
+  EXPECT_EQ(Total(), 0u);
+}
+
+TEST_F(AuditorFixture, SingleOwnerStillBindsSingleOwnerAdmissions) {
+  auditor.Publish(
+      sw1, Tap::kFlowAdmitted, kKey, 0,
+      static_cast<std::uint64_t>(core::ConsistencyMode::kSingleOwner));
+  now = 100;
+  auditor.Publish(sw1, Tap::kLeaseAcquired, kKey, 1, /*expiry=*/1'000'000);
+  now = 200;
+  auditor.Publish(sw2, Tap::kLeaseAcquired, kKey, 1, /*expiry=*/2'000'000);
+  EXPECT_EQ(auditor.ViolationCount("single_owner"), 1u);
+}
+
+TEST_F(AuditorFixture, BoundedStalenessBindsOnlyReplicatedReadFlows) {
+  const auto replicated =
+      static_cast<std::uint64_t>(core::ConsistencyMode::kReplicatedRead);
+  const auto mergeable =
+      static_cast<std::uint64_t>(core::ConsistencyMode::kMergeable);
+  // A mergeable flow serves arbitrarily stale local reads legally.
+  auditor.Publish(sw1, Tap::kFlowAdmitted, kKey, 0, mergeable);
+  auditor.Publish(sw1, Tap::kLocalReadServed, kKey, 0, /*bound=*/1'000,
+                  /*staleness=*/9e12);
+  EXPECT_EQ(Total(), 0u);
+  // A replicated-read flow with the same staleness violates its contract.
+  auditor.Publish(sw2, Tap::kFlowAdmitted, kKey + 1, 0, replicated);
+  auditor.Publish(sw2, Tap::kLocalReadServed, kKey + 1, 0, /*bound=*/1'000,
+                  /*staleness=*/2'000.0);
+  EXPECT_EQ(auditor.ViolationCount("bounded_staleness"), 1u);
+  // Latched per episode: repeat violations don't double-count, recovery
+  // re-arms.
+  auditor.Publish(sw2, Tap::kLocalReadServed, kKey + 1, 0, 1'000, 3'000.0);
+  EXPECT_EQ(auditor.ViolationCount("bounded_staleness"), 1u);
+  auditor.Publish(sw2, Tap::kLocalReadServed, kKey + 1, 0, 1'000, 500.0);
+  auditor.Publish(sw2, Tap::kLocalReadServed, kKey + 1, 0, 1'000, 2'000.0);
+  EXPECT_EQ(auditor.ViolationCount("bounded_staleness"), 2u);
+}
+
+TEST_F(AuditorFixture, MergeConvergenceFlagsLatticeRegression) {
+  auditor.Publish(store, Tap::kMergeApplied, kKey, 1, 0, /*measure=*/5.0);
+  auditor.Publish(store, Tap::kMergeApplied, kKey, 2, 0, 7.0);
+  auditor.Publish(store, Tap::kMergeApplied, kKey, 3, 0, 6.0);  // went down
+  EXPECT_EQ(auditor.ViolationCount("merge_convergence"), 1u);
+  // A store reset re-baselines: the rebuilt state may start lower.
+  auditor.Publish(store, Tap::kStoreReset, 0);
+  auditor.Publish(store, Tap::kMergeApplied, kKey, 4, 0, 1.0);
+  EXPECT_EQ(auditor.ViolationCount("merge_convergence"), 1u);
 }
 
 TEST_F(AuditorFixture, SeqMonotonicFlagsReapply) {

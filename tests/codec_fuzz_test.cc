@@ -88,7 +88,9 @@ TEST_P(CodecFuzz, MutatedProtocolMessagesNeverCrash) {
   Rng rng(GetParam() + 4000);
   for (int i = 0; i < 500; ++i) {
     core::Msg msg;
-    msg.type = static_cast<core::MsgType>(1 + rng.NextBounded(6));
+    msg.type = static_cast<core::MsgType>(1 + rng.NextBounded(8));
+    msg.mode = static_cast<core::ConsistencyMode>(
+        rng.NextBounded(core::kNumConsistencyModes));
     msg.seq = rng.Next();
     msg.key = net::PartitionKey::OfObject(rng.Next());
     msg.state.resize(rng.NextBounded(64));
@@ -110,8 +112,10 @@ TEST_P(CodecFuzz, ProtocolMessagesAlwaysRoundTrip) {
   Rng rng(GetParam() + 5000);
   for (int i = 0; i < 500; ++i) {
     core::Msg msg;
-    msg.type = static_cast<core::MsgType>(1 + rng.NextBounded(6));
-    msg.ack = static_cast<core::AckKind>(rng.NextBounded(8));
+    msg.type = static_cast<core::MsgType>(1 + rng.NextBounded(8));
+    msg.ack = static_cast<core::AckKind>(rng.NextBounded(10));
+    msg.mode = static_cast<core::ConsistencyMode>(
+        rng.NextBounded(core::kNumConsistencyModes));
     msg.seq = rng.Next();
     msg.snapshot_index = static_cast<std::uint32_t>(rng.Next());
     msg.reply_to = net::Ipv4Addr(static_cast<std::uint32_t>(rng.Next()));
@@ -146,8 +150,110 @@ TEST_P(CodecFuzz, ProtocolMessagesAlwaysRoundTrip) {
     EXPECT_EQ(decoded->snapshot_index, msg.snapshot_index);
     EXPECT_EQ(decoded->reply_to, msg.reply_to);
     EXPECT_EQ(decoded->chain_hop, msg.chain_hop);
+    EXPECT_EQ(decoded->mode, msg.mode);
     EXPECT_EQ(decoded->key, msg.key);
     EXPECT_EQ(decoded->state, msg.state);
+  }
+}
+
+// --- consistency-mode wire extensions (DESIGN.md §14) ----------------------
+
+TEST_P(CodecFuzz, OutOfSpectrumModeBytesAreRejected) {
+  Rng rng(GetParam() + 9000);
+  for (int i = 0; i < 500; ++i) {
+    core::Msg msg;
+    msg.type = static_cast<core::MsgType>(1 + rng.NextBounded(8));
+    msg.seq = rng.Next();
+    msg.key = net::PartitionKey::OfObject(rng.Next());
+    msg.state.resize(rng.NextBounded(32));
+    auto bytes = net::BufferView(core::EncodeMsg(msg)).ToVector();
+    // Patch in a mode byte beyond the known spectrum.  The whole frame must
+    // be rejected: a store running an older binary must never apply a write
+    // under consistency rules it does not understand.
+    bytes[core::wire::kOffMode] = std::byte{static_cast<std::uint8_t>(
+        core::kNumConsistencyModes +
+        rng.NextBounded(256 - core::kNumConsistencyModes))};
+    EXPECT_FALSE(core::DecodeMsg(bytes).has_value());
+    EXPECT_FALSE(
+        core::MsgView::Parse(net::Buffer::CopyOf(bytes)).has_value());
+  }
+}
+
+TEST_P(CodecFuzz, TruncatedMergeDeltasAreRejectedWhole) {
+  Rng rng(GetParam() + 10000);
+  for (int i = 0; i < 500; ++i) {
+    core::Msg msg;
+    msg.type = core::MsgType::kMergeDelta;
+    msg.mode = core::ConsistencyMode::kMergeable;
+    msg.seq = rng.Next();
+    msg.key = net::PartitionKey::OfObject(rng.Next());
+    msg.state.resize(1 + rng.NextBounded(64));
+    for (auto& b : msg.state) {
+      b = std::byte{static_cast<std::uint8_t>(rng.Next())};
+    }
+    const auto bytes = net::BufferView(core::EncodeMsg(msg)).ToVector();
+    // A partial CRDT delta folded into the store would not be a lattice
+    // join, so every strict prefix must fail to decode — never yield a
+    // message with a shortened state.
+    auto truncated = bytes;
+    truncated.resize(rng.NextBounded(bytes.size()));
+    EXPECT_FALSE(core::DecodeMsg(truncated).has_value());
+    // Garbage in the state body still decodes (state is opaque here) but
+    // must round-trip bit-exactly, never crash.
+    auto garbled = bytes;
+    const int flips = 1 + static_cast<int>(rng.NextBounded(4));
+    for (int f = 0; f < flips; ++f) {
+      garbled[rng.NextBounded(garbled.size())] ^=
+          std::byte{static_cast<std::uint8_t>(rng.Next() | 1)};
+    }
+    (void)core::DecodeMsg(garbled);
+  }
+}
+
+TEST_P(CodecFuzz, MixedModeBatchEnvelopesRoundTrip) {
+  Rng rng(GetParam() + 11000);
+  for (int i = 0; i < 300; ++i) {
+    // One batch carrying sub-messages from all three consistency modes —
+    // the egress batcher does not segregate by mode, so the store must
+    // recover each sub-message with its own mode byte intact.
+    std::vector<core::Msg> msgs;
+    std::vector<net::BufferView> subs;
+    const std::size_t n = 1 + rng.NextBounded(8);
+    for (std::size_t s = 0; s < n; ++s) {
+      core::Msg msg;
+      msg.mode = static_cast<core::ConsistencyMode>(
+          rng.NextBounded(core::kNumConsistencyModes));
+      switch (msg.mode) {
+        case core::ConsistencyMode::kMergeable:
+          msg.type = core::MsgType::kMergeDelta;
+          break;
+        case core::ConsistencyMode::kReplicatedRead:
+          msg.type = rng.Bernoulli(0.5) ? core::MsgType::kReplicaSubscribe
+                                        : core::MsgType::kLeaseRenewReq;
+          break;
+        default:
+          msg.type = core::MsgType::kLeaseRenewReq;
+      }
+      msg.seq = rng.Next();
+      msg.key = net::PartitionKey::OfObject(rng.Next());
+      msg.state.resize(rng.NextBounded(48));
+      for (auto& b : msg.state) {
+        b = std::byte{static_cast<std::uint8_t>(rng.Next())};
+      }
+      msgs.push_back(msg);
+      subs.push_back(net::BufferView(core::EncodeMsg(msgs.back())));
+    }
+    const net::BufferView env = net::EncodeBatchEnvelope(subs);
+    const auto batch = net::BatchView::Parse(env);
+    ASSERT_TRUE(batch.has_value());
+    ASSERT_EQ(batch->size(), msgs.size());
+    for (std::size_t s = 0; s < msgs.size(); ++s) {
+      const auto view = core::MsgView::Parse(batch->at(s));
+      ASSERT_TRUE(view.has_value());
+      EXPECT_EQ(view->type(), msgs[s].type);
+      EXPECT_EQ(view->mode(), msgs[s].mode);
+      EXPECT_EQ(view->seq(), msgs[s].seq);
+    }
   }
 }
 
@@ -158,8 +264,10 @@ TEST_P(CodecFuzz, InPlaceHeaderPatchMatchesFullReencode) {
   Rng rng(GetParam() + 6000);
   for (int i = 0; i < 500; ++i) {
     core::Msg msg;
-    msg.type = static_cast<core::MsgType>(1 + rng.NextBounded(6));
-    msg.ack = static_cast<core::AckKind>(rng.NextBounded(8));
+    msg.type = static_cast<core::MsgType>(1 + rng.NextBounded(8));
+    msg.ack = static_cast<core::AckKind>(rng.NextBounded(10));
+    msg.mode = static_cast<core::ConsistencyMode>(
+        rng.NextBounded(core::kNumConsistencyModes));
     msg.seq = rng.Next();
     msg.snapshot_index = static_cast<std::uint32_t>(rng.Next());
     msg.reply_to = net::Ipv4Addr(static_cast<std::uint32_t>(rng.Next()));
@@ -198,14 +306,20 @@ TEST_P(CodecFuzz, InPlaceHeaderPatchMatchesFullReencode) {
       msg.chain_hop = v;
     }
     if (rng.Bernoulli(0.5)) {
-      const auto v = static_cast<core::AckKind>(rng.NextBounded(8));
+      const auto v = static_cast<core::AckKind>(rng.NextBounded(10));
       view->SetAck(v);
       msg.ack = v;
     }
     if (rng.Bernoulli(0.5)) {
-      const auto v = static_cast<core::MsgType>(1 + rng.NextBounded(6));
+      const auto v = static_cast<core::MsgType>(1 + rng.NextBounded(8));
       view->SetType(v);
       msg.type = v;
+    }
+    if (rng.Bernoulli(0.5)) {
+      const auto v = static_cast<core::ConsistencyMode>(
+          rng.NextBounded(core::kNumConsistencyModes));
+      view->SetMode(v);
+      msg.mode = v;
     }
     if (rng.Bernoulli(0.3)) {
       const std::uint64_t v = rng.Next();

@@ -14,8 +14,14 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <span>
+#include <string_view>
 
+#include "apps/counter.h"
+#include "apps/heavy_hitter.h"
+#include "apps/spreader.h"
 #include "common/rng.h"
+#include "core/consistency.h"
 #include "core/redplane_switch.h"
 #include "modelcheck/linearizability.h"
 #include "net/codec.h"
@@ -229,6 +235,133 @@ INSTANTIATE_TEST_SUITE_P(Schedules, ProtocolFuzz,
                                   "_jit" +
                                   std::to_string(p.reorder_jitter / 1000) +
                                   (p.failures ? "_fail" : "_nofail");
+                         });
+
+// ------------------- merge-law property tests (DESIGN.md §14) -------------
+//
+// Mergeable mode is only safe if every declared StateTraits::merge is a
+// join-semilattice operation: commutative, associative, and idempotent.
+// Idempotence is what makes retransmitted or replayed deltas (including a
+// full resync replay after store failover) harmless — re-merging bytes the
+// store already folded in must be a no-op.  These tests check the laws on
+// randomized states shaped like each app's actual encoding.
+
+/// One mergeable app's declared join plus a generator of random states in
+/// that app's wire encoding.
+struct MergeLawCase {
+  const char* name;
+  core::MergeFn merge;
+  core::MeasureFn measure;
+  std::vector<std::byte> (*gen)(Rng& rng);
+};
+
+std::vector<std::byte> GenCounterState(Rng& rng) {
+  // SyncCounter/AsyncCounter: one LE u64 (occasionally absent = brand new).
+  std::vector<std::byte> state;
+  if (rng.Bernoulli(0.1)) return state;
+  net::ByteWriter w(state);
+  w.U64(rng.NextBounded(1'000'000));
+  return state;
+}
+
+std::vector<std::byte> GenSketchState(Rng& rng) {
+  // HeavyHitter / CountMinSketch slot: one LE u32 counter per row; rows
+  // vary so the lane-wise join's length handling is exercised too.
+  std::vector<std::byte> state;
+  net::ByteWriter w(state);
+  const std::size_t rows = 1 + rng.NextBounded(4);
+  for (std::size_t i = 0; i < rows; ++i) {
+    w.U32(static_cast<std::uint32_t>(rng.NextBounded(100'000)));
+  }
+  return state;
+}
+
+std::vector<std::byte> GenBitmapState(Rng& rng) {
+  // Spreader bitmaps / Bloom filter cells: raw bit bytes.
+  std::vector<std::byte> state(4 + rng.NextBounded(29));
+  for (std::byte& b : state) {
+    b = static_cast<std::byte>(rng.NextBounded(256));
+  }
+  return state;
+}
+
+std::vector<std::byte> Join(core::MergeFn merge, std::vector<std::byte> a,
+                            const std::vector<std::byte>& b) {
+  merge(a, std::span<const std::byte>(b.data(), b.size()));
+  return a;
+}
+
+class MergeLaws : public ::testing::TestWithParam<MergeLawCase> {};
+
+TEST_P(MergeLaws, CommutativeAssociativeIdempotent) {
+  const MergeLawCase& mc = GetParam();
+  Rng rng(0x9d1a0000 + std::string_view(mc.name).size());
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto a = mc.gen(rng);
+    const auto b = mc.gen(rng);
+    const auto c = mc.gen(rng);
+    EXPECT_EQ(Join(mc.merge, a, b), Join(mc.merge, b, a))
+        << mc.name << " not commutative (trial " << trial << ")";
+    EXPECT_EQ(Join(mc.merge, Join(mc.merge, a, b), c),
+              Join(mc.merge, a, Join(mc.merge, b, c)))
+        << mc.name << " not associative (trial " << trial << ")";
+    EXPECT_EQ(Join(mc.merge, a, a), a)
+        << mc.name << " not idempotent (trial " << trial << ")";
+    // The measure must be monotone along the join: merging can only move
+    // up the lattice (what the merge_convergence monitor checks online).
+    EXPECT_GE(mc.measure(std::span<const std::byte>(Join(mc.merge, a, b))),
+              mc.measure(std::span<const std::byte>(a)))
+        << mc.name << " measure decreased across join (trial " << trial
+        << ")";
+  }
+}
+
+TEST_P(MergeLaws, ReplayAfterFailoverIsIdempotent) {
+  // A store replica that failed and resynced replays deltas it may already
+  // have folded in: folding a random prefix a second time — in any order —
+  // must leave the merged state unchanged.
+  const MergeLawCase& mc = GetParam();
+  Rng rng(0xfa110000 + std::string_view(mc.name).size());
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::vector<std::byte>> deltas;
+    for (int i = 0; i < 8; ++i) deltas.push_back(mc.gen(rng));
+    std::vector<std::byte> merged;
+    for (const auto& d : deltas) merged = Join(mc.merge, merged, d);
+    std::vector<std::byte> replayed = merged;
+    const std::size_t replay = 1 + rng.NextBounded(deltas.size());
+    for (std::size_t i = 0; i < replay; ++i) {
+      const std::size_t pick = rng.NextBounded(deltas.size());
+      replayed = Join(mc.merge, replayed, deltas[pick]);
+    }
+    EXPECT_EQ(replayed, merged)
+        << mc.name << ": replaying " << replay
+        << " already-merged deltas changed the state (trial " << trial
+        << ")";
+  }
+}
+
+std::vector<MergeLawCase> MakeMergeLawCases() {
+  // Pull the joins through the apps' actual declarations so a drifting
+  // Traits() (e.g. counter switching to a non-idempotent sum) fails here.
+  return {
+      {"sync_counter", apps::SyncCounterApp{}.Traits().merge,
+       apps::SyncCounterApp{}.Traits().measure, GenCounterState},
+      {"async_counter", apps::AsyncCounterApp{}.Traits().merge,
+       apps::AsyncCounterApp{}.Traits().measure, GenCounterState},
+      {"heavy_hitter", apps::HeavyHitterApp{}.Traits().merge,
+       apps::HeavyHitterApp{}.Traits().measure, GenSketchState},
+      {"spreader", apps::SpreaderApp{}.Traits().merge,
+       apps::SpreaderApp{}.Traits().measure, GenBitmapState},
+      // Bloom filters are cell arrays under the same OR-lattice the
+      // spreader bitmaps use; exercised against raw bit bytes.
+      {"bloom", core::MergeOrBytes, core::MeasurePopcount, GenBitmapState},
+  };
+}
+
+INSTANTIATE_TEST_SUITE_P(DeclaredMerges, MergeLaws,
+                         ::testing::ValuesIn(MakeMergeLawCases()),
+                         [](const auto& info) {
+                           return std::string(info.param.name);
                          });
 
 }  // namespace

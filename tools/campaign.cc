@@ -12,13 +12,27 @@
 // every violation — a causal trace slice as Perfetto-loadable JSON plus a
 // human-readable text rendering.
 //
-// Exit codes: 0 = clean (or, with --mutate, the expected monitor fired);
-// 1 = invariant violation on a clean run; 2 = a --mutate run where the
-// auditor stayed silent (the oracle is broken).
+// The --consistency axis (DESIGN.md §14) re-runs the whole campaign under a
+// weaker consistency mode: `replicated` serves reads locally within a
+// staleness bound (checked by the bounded_staleness monitor and the offline
+// CheckBoundedStaleness oracle), `mergeable` makes every switch a zero-RTT
+// writer whose per-flow counts converge at the store by lattice join
+// (checked by merge_convergence / CheckMergeConvergence).  Mutations map to
+// mode-aware expectations: --mutate=stale must trip bounded_staleness under
+// --consistency=replicated but is *legal* (auditor silent) under mergeable;
+// --mutate=merge must trip merge_convergence under mergeable and is a no-op
+// elsewhere.
+//
+// Exit codes: 0 = clean (or, with --mutate, the expected monitor fired — or
+// the auditor correctly stayed silent where the mutation is legal);
+// 1 = invariant violation on a clean run (or a monitor fired on a legal
+// mutation); 2 = a --mutate run where the expected monitor stayed silent
+// (the oracle is broken).
 //
 // Usage:
 //   campaign [--seeds=5] [--scenario=all] [--out-dir=campaign_out]
-//            [--packets=120] [--mutate=none|lease|chain|seq]
+//            [--packets=120] [--mutate=none|lease|chain|seq|stale|merge]
+//            [--consistency=single|replicated|mergeable]
 //            [--batching=<coalesce delay in us; 0 = off>]
 #include <algorithm>
 #include <cstring>
@@ -34,7 +48,10 @@
 #include "audit/auditor.h"
 #include "audit/lin_feed.h"
 #include "audit/slice.h"
+#include "common/hash.h"
+#include "core/consistency.h"
 #include "core/redplane_switch.h"
+#include "modelcheck/linearizability.h"
 #include "net/codec.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
@@ -60,26 +77,43 @@ using routing::TestbedConfig;
 /// pairs to the linearizability checker.  The marker travels in the payload
 /// because packet *ids* are not stable across failover: a packet buffered
 /// during lease acquisition is re-injected as a fresh packet.
+/// Markers with the high bit set are read requests: they stamp the current
+/// count without incrementing it, so the replicated-read campaign has a
+/// read-heavy op mix whose reads can legally be served from local state.
+constexpr std::uint64_t kReadMarkerBit = 1ull << 63;
+
 class StampedCounterApp : public core::SwitchApp {
  public:
   std::string_view name() const override { return "stamped_counter"; }
   core::ProcessResult Process(core::AppContext&, net::Packet pkt,
                               std::vector<std::byte>& state) override {
-    const std::uint64_t count =
-        core::StateAs<std::uint64_t>(state).value_or(0) + 1;
-    core::SetState(state, count);
     std::uint64_t marker = 0;
     if (pkt.payload.size() >= sizeof(marker)) {
       std::memcpy(&marker, pkt.payload.data(), sizeof(marker));
+    }
+    const bool is_read = (marker & kReadMarkerBit) != 0;
+    std::uint64_t count = core::StateAs<std::uint64_t>(state).value_or(0);
+    if (!is_read) {
+      ++count;
+      core::SetState(state, count);
     }
     std::vector<std::byte> stamped(2 * sizeof(std::uint64_t));
     std::memcpy(stamped.data(), &marker, sizeof(marker));
     std::memcpy(stamped.data() + sizeof(marker), &count, sizeof(count));
     pkt.payload = net::BufferView(std::move(stamped));
     core::ProcessResult result;
-    result.state_modified = true;
+    result.state_modified = !is_read;
     result.outputs.push_back(std::move(pkt));
     return result;
+  }
+  /// Mergeable-capable: per-flow counts only grow, so replicas join by max.
+  /// The app still defaults to single-owner; the campaign's --consistency
+  /// axis picks the weaker mode via RedPlaneConfig::mode_override.
+  core::StateTraits Traits() const override {
+    core::StateTraits t;
+    t.merge = core::MergeMaxU64;
+    t.measure = core::MeasureU64;
+    return t;
   }
 };
 
@@ -91,7 +125,9 @@ struct MutationSpec {
   bool lease = false;  // switch lease belief inflated past the store's
   bool seq = false;    // store sequence filter disabled
   bool chain = false;  // head acks before chain-wide commit
-  bool any() const { return lease || seq || chain; }
+  bool stale = false;  // replicated-read serves local reads past the bound
+  bool merge = false;  // store overwrites merge deltas instead of joining
+  bool any() const { return lease || seq || chain || stale || merge; }
 };
 
 struct ViolationOut {
@@ -133,6 +169,13 @@ struct RunResult {
   int delivered = 0;
   std::uint64_t audit_events = 0;
   std::size_t lin_failures = 0;
+  /// Offline per-mode oracle verdicts (modelcheck/linearizability.h):
+  /// staleness and merge-convergence samples are collected from the taps
+  /// and re-judged by an implementation independent of the online monitors.
+  std::size_t oracle_failures = 0;
+  std::string oracle_why;
+  std::size_t staleness_samples = 0;
+  std::size_t merge_samples = 0;
   std::vector<ViolationOut> violations;
   std::vector<PhaseOut> phases;
   double write_rtt_p50_us = 0;
@@ -165,8 +208,9 @@ const std::vector<Scenario>& Scenarios() {
 }
 
 RunResult RunOne(const Scenario& sc, std::uint64_t seed,
-                 const MutationSpec& mut, const std::string& out_dir,
-                 int packets_per_flow, SimDuration coalesce_delay) {
+                 core::ConsistencyMode mode, const MutationSpec& mut,
+                 const std::string& out_dir, int packets_per_flow,
+                 SimDuration coalesce_delay) {
   RunResult out;
   out.scenario = sc.name;
   out.seed = seed;
@@ -174,6 +218,8 @@ RunResult RunOne(const Scenario& sc, std::uint64_t seed,
   const bool short_lease = sc.name == "lease_race";
   const SimDuration lease =
       short_lease ? Milliseconds(10) : Milliseconds(50);
+  const bool replicated = mode == core::ConsistencyMode::kReplicatedRead;
+  const bool mergeable = mode == core::ConsistencyMode::kMergeable;
 
   net::ResetPacketIds();
   sim::Simulator sim;
@@ -182,6 +228,18 @@ RunResult RunOne(const Scenario& sc, std::uint64_t seed,
   cfg.store.lease_period = lease;
   cfg.store.mutations.disable_seq_filter = mut.seq;
   cfg.store.mutations.early_chain_ack = mut.chain;
+  cfg.store.mutations.overwrite_instead_of_merge = mut.merge;
+  // The store joins merge deltas with the app's declared CRDT join and
+  // reports the monotone measure on the kMergeApplied tap.
+  cfg.store.merger = core::MergeMaxU64;
+  cfg.store.measure = core::MeasureU64;
+  if (replicated) {
+    // Stretch the store's service time so write acks stay in flight long
+    // enough that "serve this read locally or wait?" is a real decision
+    // against the tightened 50 µs bound below — but not so long that the
+    // store queue saturates (4 writes + buffered reads per 800 µs round).
+    cfg.store.service_time = Microseconds(40);
+  }
   cfg.fabric.failure_detection_delay = Milliseconds(2);
   Testbed tb = BuildTestbed(sim, cfg);
 
@@ -200,10 +258,37 @@ RunResult RunOne(const Scenario& sc, std::uint64_t seed,
 
   // Recovery forensics: every tap the auditor publishes also feeds the
   // episode tracker, which decomposes the injected fault's recovery into
-  // causally ordered phases (obs/recovery.h).
+  // causally ordered phases (obs/recovery.h).  The same stream feeds the
+  // offline per-mode oracles: staleness samples from locally served reads
+  // and measure samples from store-side merge applications (with the store
+  // reset epoch folded into the component, mirroring the online monitor's
+  // re-baseline rule).
   obs::RecoveryTracker recovery(&tracer);
-  auditor.SetTapObserver(
-      [&recovery](const audit::TapEvent& ev) { recovery.OnTapEvent(ev); });
+  std::vector<modelcheck::StalenessSample> stale_samples;
+  std::vector<modelcheck::MergeSample> merge_samples;
+  std::map<std::uint16_t, std::uint64_t> store_epoch;
+  auditor.SetTapObserver([&](const audit::TapEvent& ev) {
+    recovery.OnTapEvent(ev);
+    switch (ev.tap) {
+      case audit::Tap::kLocalReadServed:
+        if (ev.aux != 0) {  // aux 0 = no staleness contract (mergeable)
+          stale_samples.push_back(
+              {ev.key, static_cast<std::uint64_t>(ev.value), ev.aux});
+        }
+        break;
+      case audit::Tap::kMergeApplied:
+        merge_samples.push_back(
+            {HashCombine(static_cast<std::uint64_t>(ev.component),
+                         store_epoch[ev.component]),
+             ev.key, ev.value});
+        break;
+      case audit::Tap::kStoreReset:
+        ++store_epoch[ev.component];
+        break;
+      default:
+        break;
+    }
+  });
 
   store::ChainManager mgr(sim, tb.store,
                           store::ChainManagerConfig{
@@ -218,6 +303,9 @@ RunResult RunOne(const Scenario& sc, std::uint64_t seed,
   rp_cfg.lease_period = lease;
   rp_cfg.renew_interval = lease / 2;
   rp_cfg.coalesce_delay = coalesce_delay;
+  rp_cfg.mode_override = mode;
+  rp_cfg.mutation_stale_reads = mut.stale;
+  if (replicated) rp_cfg.staleness_bound = Microseconds(50);
   if (mut.lease) rp_cfg.mutation_lease_extension = Seconds(10);
   auto shard_for = [&mgr](const net::PartitionKey&) { return mgr.HeadIp(); };
   std::array<std::unique_ptr<core::RedPlaneSwitch>, 2> rp;
@@ -251,7 +339,11 @@ RunResult RunOne(const Scenario& sc, std::uint64_t seed,
   obs::FleetSampler fleet(&hub);
   fleet.Sample(sim.Now());  // rate baseline
 
-  // Receiver: record every delivered (marker, stamped count).
+  // Receiver: record every delivered (marker, stamped count).  Reads and
+  // mergeable-mode outputs stay out of the linearizability feed: reads
+  // don't advance the counter, and zero-RTT multi-writer counts converge
+  // by lattice join, not by a single linearizable history (their promise
+  // is checked by the merge-convergence oracle instead).
   tb.rack_servers[0][0]->SetHandler([&](sim::HostNode&, net::Packet pkt) {
     ++out.delivered;
     auto flow = pkt.Flow();
@@ -262,6 +354,7 @@ RunResult RunOne(const Scenario& sc, std::uint64_t seed,
     std::uint64_t marker = 0, value = 0;
     std::memcpy(&marker, pkt.payload.data(), sizeof(marker));
     std::memcpy(&value, pkt.payload.data() + sizeof(marker), sizeof(value));
+    if (mergeable || (marker & kReadMarkerBit) != 0) return;
     // The receiver sees the flow as sent; hash the same key the switch used.
     feed.Output(FlowHash(*flow), marker, sim.Now(), value);
   });
@@ -274,18 +367,21 @@ RunResult RunOne(const Scenario& sc, std::uint64_t seed,
                         80, net::IpProto::kUdp};
   };
   std::uint64_t next_marker = 0;
-  auto send_round = [&]() {
+  auto send_marked = [&](std::uint64_t marker_bits) {
     for (int f = 0; f < kFlows; ++f) {
       net::Packet pkt = net::MakeUdpPacket(flow_key(f), 0);
-      const std::uint64_t marker = ++next_marker;
+      const std::uint64_t marker = marker_bits | ++next_marker;
       std::vector<std::byte> payload(sizeof(marker));
       std::memcpy(payload.data(), &marker, sizeof(marker));
       pkt.payload = net::BufferView(std::move(payload));
-      feed.Input(FlowHash(flow_key(f)), marker, sim.Now());
+      if (!mergeable && marker_bits == 0) {
+        feed.Input(FlowHash(flow_key(f)), marker, sim.Now());
+      }
       ++out.sent;
       tb.external[0]->Send(std::move(pkt));
     }
   };
+  auto send_round = [&] { send_marked(0); };
 
   // Warmup: establish leases and find the switch actually carrying traffic.
   const int warmup_rounds = std::min(5, packets_per_flow);
@@ -320,10 +416,25 @@ RunResult RunOne(const Scenario& sc, std::uint64_t seed,
                                  t0 + Milliseconds(40));
   }
 
-  // Keep traffic flowing across the fault window and the recovery.
+  // Keep traffic flowing across the fault window and the recovery.  Under
+  // replicated-read, chase each write round with a read round while the
+  // write's ~300 µs replication ack is still in flight: within the 50 µs
+  // bound the switch must wait (read-buffer loop), and with --mutate=stale
+  // it illegally serves them — exactly what the staleness oracles check.
   for (int i = warmup_rounds; i < packets_per_flow; ++i) {
     send_round();
-    sim.RunUntil(sim.Now() + Microseconds(800));
+    if (replicated) {
+      // First read round lands ~20 µs after the write — inside the bound,
+      // legally served from local state (the oracle sees the sample pass).
+      sim.RunUntil(sim.Now() + Microseconds(20));
+      send_marked(kReadMarkerBit);
+      // Second round lands ~150 µs in — beyond the bound, must wait.
+      sim.RunUntil(sim.Now() + Microseconds(130));
+      send_marked(kReadMarkerBit);
+      sim.RunUntil(sim.Now() + Microseconds(650));
+    } else {
+      sim.RunUntil(sim.Now() + Microseconds(800));
+    }
     fleet.Sample(sim.Now());
   }
   // Bounded drain: the chain manager's periodic probe keeps the event queue
@@ -335,6 +446,20 @@ RunResult RunOne(const Scenario& sc, std::uint64_t seed,
   }
   out.lin_failures = feed.CloseAll();
   recovery.Finalize(sim.Now());
+
+  // Offline per-mode oracles: the tap-derived samples must satisfy the
+  // mode's promise independently of the online monitors.
+  out.staleness_samples = stale_samples.size();
+  out.merge_samples = merge_samples.size();
+  std::string why;
+  if (!modelcheck::CheckBoundedStaleness(stale_samples, &why)) {
+    ++out.oracle_failures;
+    out.oracle_why = why;
+  }
+  if (!modelcheck::CheckMergeConvergence(merge_samples, &why)) {
+    ++out.oracle_failures;
+    out.oracle_why = out.oracle_why.empty() ? why : out.oracle_why + "; " + why;
+  }
 
   // Harvest results.
   out.audit_events = auditor.events_seen();
@@ -412,10 +537,13 @@ RunResult RunOne(const Scenario& sc, std::uint64_t seed,
 }
 
 void WriteJsonReport(std::ostream& os, const std::vector<RunResult>& runs,
-                     const MutationSpec& mut) {
-  os << "{\"mutation\": {\"lease\": " << (mut.lease ? "true" : "false")
+                     core::ConsistencyMode mode, const MutationSpec& mut) {
+  os << "{\"consistency\": \"" << core::ConsistencyModeName(mode) << "\",\n";
+  os << " \"mutation\": {\"lease\": " << (mut.lease ? "true" : "false")
      << ", \"seq\": " << (mut.seq ? "true" : "false")
-     << ", \"chain\": " << (mut.chain ? "true" : "false") << "},\n";
+     << ", \"chain\": " << (mut.chain ? "true" : "false")
+     << ", \"stale\": " << (mut.stale ? "true" : "false")
+     << ", \"merge\": " << (mut.merge ? "true" : "false") << "},\n";
   os << " \"runs\": [\n";
   for (std::size_t i = 0; i < runs.size(); ++i) {
     const RunResult& r = runs[i];
@@ -424,6 +552,10 @@ void WriteJsonReport(std::ostream& os, const std::vector<RunResult>& runs,
        << ", \"delivered\": " << r.delivered
        << ", \"audit_events\": " << r.audit_events
        << ", \"lin_failures\": " << r.lin_failures
+       << ", \"oracle_failures\": " << r.oracle_failures
+       << ", \"staleness_samples\": " << r.staleness_samples
+       << ", \"merge_samples\": " << r.merge_samples
+       << ", \"oracle_why\": \"" << obs::JsonEscape(r.oracle_why) << "\""
        << ", \"write_rtt_p50_us\": " << obs::JsonNumber(r.write_rtt_p50_us)
        << ", \"write_rtt_p99_us\": " << obs::JsonNumber(r.write_rtt_p99_us)
        << ",\n   \"phases\": [";
@@ -476,7 +608,8 @@ void WriteMarkdownReport(std::ostream& os, const std::vector<RunResult>& runs) {
   os << "|---|---|---|---|---|---|---|---|---|---|---|\n";
   std::size_t total_violations = 0;
   for (const RunResult& r : runs) {
-    total_violations += r.violations.size() + r.lin_failures;
+    total_violations += r.violations.size() + r.lin_failures +
+                        r.oracle_failures;
     double downtime_ms = 0;
     bool sum_ok = !r.episodes.empty();
     for (const EpisodeOut& eo : r.episodes) {
@@ -491,8 +624,14 @@ void WriteMarkdownReport(std::ostream& os, const std::vector<RunResult>& runs) {
        << (r.episodes.empty() ? "n/a" : (sum_ok ? "ok" : "VIOLATED"))
        << " |\n";
   }
-  os << "\nTotal violations (monitors + linearizability): " << total_violations
-     << "\n";
+  os << "\nTotal violations (monitors + linearizability + per-mode oracles): "
+     << total_violations << "\n";
+  for (const RunResult& r : runs) {
+    if (r.oracle_failures > 0) {
+      os << "\n- oracle failure (" << r.scenario << " seed " << r.seed
+         << "): " << r.oracle_why << "\n";
+    }
+  }
   os << "\n## Recovery episodes\n\n";
   os << "| scenario | seed | trigger | " ;
   for (int p = 0; p < obs::kNumRecoveryPhases; ++p) {
@@ -538,6 +677,7 @@ int main(int argc, char** argv) {
   std::string out_dir = "campaign_out";
   std::string scenario_filter = "all";
   std::string mutate = "none";
+  std::string consistency = "single";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&arg](const char* prefix) -> const char* {
@@ -554,6 +694,8 @@ int main(int argc, char** argv) {
       scenario_filter = v;
     } else if (const char* v = value("--mutate=")) {
       mutate = v;
+    } else if (const char* v = value("--consistency=")) {
+      consistency = v;
     } else if (const char* v = value("--batching=")) {
       batching_us = std::max(0, std::atoi(v));
     } else {
@@ -569,9 +711,44 @@ int main(int argc, char** argv) {
     mut.seq = true;
   } else if (mutate == "chain") {
     mut.chain = true;
+  } else if (mutate == "stale") {
+    mut.stale = true;
+  } else if (mutate == "merge") {
+    mut.merge = true;
   } else if (mutate != "none") {
     std::cerr << "unknown --mutate mode: " << mutate << "\n";
     return 64;
+  }
+
+  core::ConsistencyMode mode = core::ConsistencyMode::kSingleOwner;
+  if (consistency == "replicated") {
+    mode = core::ConsistencyMode::kReplicatedRead;
+  } else if (consistency == "mergeable") {
+    mode = core::ConsistencyMode::kMergeable;
+  } else if (consistency != "single") {
+    std::cerr << "unknown --consistency mode: " << consistency << "\n";
+    return 64;
+  }
+  const bool mergeable = mode == core::ConsistencyMode::kMergeable;
+
+  // Mode-aware mutation expectations (DESIGN.md §14): which monitor must
+  // fire, or whether the mutation is legal under this mode (expected
+  // silence).  Stale reads are the mergeable mode's normal operation; merge
+  // overwrites are unreachable without merge traffic; and lease/seq/chain
+  // corruptions have nothing to corrupt on the lease-free mergeable path.
+  std::string expected_monitor;
+  bool expect_silence = false;
+  if (mut.lease) expected_monitor = "single_owner";
+  if (mut.seq) expected_monitor = "seq_monotonic";
+  if (mut.chain) expected_monitor = "chain_commit";
+  if ((mut.lease || mut.seq || mut.chain) && mergeable) expect_silence = true;
+  if (mut.stale) {
+    expected_monitor = "bounded_staleness";
+    expect_silence = mode != core::ConsistencyMode::kReplicatedRead;
+  }
+  if (mut.merge) {
+    expected_monitor = "merge_convergence";
+    expect_silence = !mergeable;
   }
 
   std::vector<RunResult> runs;
@@ -580,9 +757,10 @@ int main(int argc, char** argv) {
     for (int s = 0; s < seeds; ++s) {
       const std::uint64_t seed = 42 + 1000ull * static_cast<std::uint64_t>(s);
       std::cout << "[campaign] " << sc.name << " seed=" << seed
+                << " consistency=" << consistency
                 << (batching_us > 0 ? " batching=on" : "") << " ..."
                 << std::flush;
-      RunResult r = RunOne(sc, seed, mut, out_dir, packets,
+      RunResult r = RunOne(sc, seed, mode, mut, out_dir, packets,
                            Microseconds(batching_us));
       std::cout << " sent=" << r.sent << " delivered=" << r.delivered
                 << " violations=" << r.violations.size()
@@ -598,16 +776,20 @@ int main(int argc, char** argv) {
   std::filesystem::create_directories(out_dir);
   {
     std::ofstream json(out_dir + "/report.json");
-    WriteJsonReport(json, runs, mut);
+    WriteJsonReport(json, runs, mode, mut);
     std::ofstream md(out_dir + "/report.md");
     WriteMarkdownReport(md, runs);
   }
   std::cout << "[campaign] wrote " << out_dir << "/report.json and report.md\n";
 
   std::size_t violations = 0;
+  std::size_t expected_fired = 0;
   int delivered = 0;
   for (const RunResult& r : runs) {
-    violations += r.violations.size() + r.lin_failures;
+    violations += r.violations.size() + r.lin_failures + r.oracle_failures;
+    for (const ViolationOut& v : r.violations) {
+      if (v.monitor == expected_monitor) ++expected_fired;
+    }
     delivered += r.delivered;
   }
   if (delivered == 0) {
@@ -615,13 +797,31 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (mut.any()) {
-    if (violations == 0) {
-      std::cerr << "[campaign] FAIL: protocol mutation active but the "
-                   "auditor stayed silent\n";
+    if (expect_silence) {
+      if (violations > 0) {
+        std::cerr << "[campaign] FAIL: mutation '" << mutate
+                  << "' is legal under --consistency=" << consistency
+                  << " but the auditor reported " << violations
+                  << " violation(s)\n";
+        return 1;
+      }
+      std::cout << "[campaign] OK: mutation '" << mutate
+                << "' is legal under --consistency=" << consistency
+                << "; auditor correctly stayed silent\n";
+      return 0;
+    }
+    // The mode-specific mutations must be caught by their own monitor; the
+    // legacy three keep the looser contract (any violation, e.g. a seq
+    // mutation surfacing first as a linearizability failure, still counts).
+    const bool legacy = mut.lease || mut.seq || mut.chain;
+    if (expected_fired == 0 && !(legacy && violations > 0)) {
+      std::cerr << "[campaign] FAIL: protocol mutation active but "
+                << expected_monitor << " stayed silent\n";
       return 2;
     }
     std::cout << "[campaign] OK: mutation detected (" << violations
-              << " violation(s))\n";
+              << " violation(s), " << expected_fired << " from "
+              << expected_monitor << ")\n";
     return 0;
   }
   if (violations > 0) {
@@ -632,8 +832,11 @@ int main(int argc, char** argv) {
   }
   // Recovery-forensics gate: every injected fault must yield exactly one
   // detected episode, complete (service resumed), whose phase durations sum
-  // to the measured downtime (DESIGN.md §13 invariant).
+  // to the measured downtime (DESIGN.md §13 invariant).  Mergeable mode is
+  // exempt: flows never pause on failover (local admission, zero-RTT
+  // writes), so the lease-centric episode phases don't apply.
   for (const RunResult& r : runs) {
+    if (mergeable) break;
     if (r.episodes.size() != 1) {
       std::cerr << "[campaign] FAIL: " << r.scenario << " seed " << r.seed
                 << ": expected exactly one recovery episode, got "
