@@ -37,9 +37,26 @@ batching on (--batching=16), so the monitors are proven to see through
 batch envelopes — clean batched runs stay silent and mutated batched runs
 are still caught.
 
+ 5. Adversarial fuzz (--fuzz N, DESIGN.md section 15) — N randomized
+    fault+load schedules drawn by the seeded generator, split across the
+    three consistency modes.  Any violation on an unmutated schedule fails
+    the job; the binary ddmin-minimizes the schedule first, so the
+    artifact that lands in --out-dir (minimized_<seed>.schedule.json) is a
+    replayable repro, not a 10-event haystack.  A per-class mutation
+    self-test then proves each scenario class still reaches its oracle:
+    gray schedules must trip chain_commit under --mutate=chain, churn
+    schedules single_owner under --mutate=lease, flash schedules
+    seq_monotonic under --mutate=seq, capacity schedules single_owner
+    under --mutate=lease.
+
+ 6. Repro regressions — every minimized schedule committed under
+    tests/schedules/ (one per fuzz-found-and-fixed bug class) is replayed
+    and must be clean: these are the fuzzer's trophies pinned forever.
+
 Usage:
   ci/campaign.py --campaign build/tools/campaign --out-dir campaign-out
-                 [--seeds 5] [--packets 40] [--skip-selftest]
+                 [--seeds 5] [--packets 40] [--fuzz N] [--fuzz-seed BASE]
+                 [--schedules-dir tests/schedules] [--skip-selftest]
                  [--skip-batching] [--skip-modes]
 """
 
@@ -63,6 +80,15 @@ MODE_MUTATIONS = [
     ("merge", "single", "legal: auditor must stay silent"),
 ]
 
+# (fuzz class, mutation, monitor) — each scenario class must demonstrably
+# reach its oracle when the matching protocol bug is seeded (gate 5).
+FUZZ_CLASS_MUTATIONS = [
+    ("gray", "chain", "chain_commit"),
+    ("churn", "lease", "single_owner"),
+    ("flash", "seq", "seq_monotonic"),
+    ("capacity", "lease", "single_owner"),
+]
+
 
 def run(campaign, out_dir, extra, label):
     cmd = [campaign, f"--out-dir={out_dir}"] + extra
@@ -79,6 +105,16 @@ def main():
                     help="report + causal-slice artifact directory")
     ap.add_argument("--seeds", type=int, default=5)
     ap.add_argument("--packets", type=int, default=40)
+    ap.add_argument("--fuzz", type=int, default=0,
+                    help="number of randomized fault+load schedules to run "
+                         "(split across the three consistency modes; 0 = "
+                         "skip the fuzz gates)")
+    ap.add_argument("--fuzz-seed", type=int, default=1000,
+                    help="base seed for the fuzz schedule generator")
+    ap.add_argument("--schedules-dir",
+                    default=str(pathlib.Path(__file__).resolve().parent.parent
+                                / "tests" / "schedules"),
+                    help="committed minimized repros replayed as regressions")
     ap.add_argument("--skip-selftest", action="store_true",
                     help="skip the mutation oracle self-test runs")
     ap.add_argument("--skip-batching", action="store_true",
@@ -150,6 +186,56 @@ def main():
                     failures.append(
                         f"mutate={mut} consistency={mode}: campaign exited "
                         f"{rc} ({expectation})")
+
+    # Gate 5: randomized fault+load fuzzing, budget split across the modes.
+    if args.fuzz > 0:
+        per_mode = max(1, args.fuzz // 3)
+        for i, mode in enumerate(["single", "replicated", "mergeable"]):
+            rc = run(args.campaign, out / f"fuzz-{mode}",
+                     [f"--fuzz={per_mode}", "--fuzz-class=mixed",
+                      f"--fuzz-seed={args.fuzz_seed + 10000 * i}",
+                      f"--packets={args.packets}",
+                      f"--consistency={mode}"],
+                     f"adversarial fuzz ({per_mode} schedules, "
+                     f"consistency={mode})")
+            if rc != EXIT_CLEAN_OR_DETECTED:
+                failures.append(
+                    f"fuzz (consistency={mode}) exited {rc}: a randomized "
+                    f"schedule violated an invariant — minimized repro under "
+                    f"{out / f'fuzz-{mode}'}")
+        # Each scenario class must still reach its oracle when the matching
+        # protocol bug is seeded — otherwise the fuzzer is shaking a tree
+        # the monitors cannot see.
+        if not args.skip_selftest:
+            for cls, mut, monitor in FUZZ_CLASS_MUTATIONS:
+                rc = run(args.campaign, out / f"fuzz-{cls}-{mut}",
+                         ["--fuzz=2", f"--fuzz-class={cls}",
+                          f"--fuzz-seed={args.fuzz_seed}",
+                          f"--packets={args.packets}", f"--mutate={mut}"],
+                         f"fuzz-class oracle self-test ({cls} + mutate={mut})")
+                if rc == EXIT_MUTATION_SILENT:
+                    failures.append(
+                        f"fuzz class {cls} + mutate={mut}: {monitor} stayed "
+                        f"silent — the class no longer reaches its oracle")
+                elif rc != EXIT_CLEAN_OR_DETECTED:
+                    failures.append(
+                        f"fuzz class {cls} + mutate={mut}: campaign exited {rc}")
+
+    # Gate 6: committed minimized repros replay clean, in every mode.  The
+    # schedule file does not pin a consistency mode, and some fuzz-found
+    # bugs only manifest under a weaker mode (e.g. the tail-crash commit
+    # evidence gap needs replicated-mode buffered reads), so each repro is
+    # replayed under all three.
+    schedules = sorted(pathlib.Path(args.schedules_dir).glob("*.json"))
+    for sched in schedules:
+        for mode in ["single", "replicated", "mergeable"]:
+            rc = run(args.campaign, out / "repros",
+                     [f"--schedule={sched}", f"--consistency={mode}"],
+                     f"repro regression ({sched.name}, consistency={mode})")
+            if rc != EXIT_CLEAN_OR_DETECTED:
+                failures.append(
+                    f"repro {sched.name} (consistency={mode}) exited {rc}: "
+                    f"a previously fixed fuzz-found bug is back")
 
     if failures:
         print("\nFAULT CAMPAIGN FAILED:")

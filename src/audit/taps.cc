@@ -36,6 +36,8 @@ const char* TapName(Tap tap) {
     case Tap::kMergeEmitted: return "merge_emitted";
     case Tap::kMergeApplied: return "merge_applied";
     case Tap::kReplicaPushed: return "replica_pushed";
+    case Tap::kGrayFault: return "gray_fault";
+    case Tap::kGrayCleared: return "gray_cleared";
   }
   return "?";
 }

@@ -58,9 +58,14 @@ enum class Tap : std::uint8_t {
   kMergeEmitted,       // switch pushed a merge delta; value = local measure
   kMergeApplied,       // store joined a merge delta; value = merged measure
   kReplicaPushed,      // store pushed state to a read-replica subscriber
+  // --- gray failures (fuzz campaign, DESIGN.md §15) ---
+  kGrayFault,          // gray failure injected (slow shard, asymmetric loss,
+                       //   partial partition, capacity cap, ECMP rehash);
+                       //   aux = FaultKind ordinal, value = magnitude
+  kGrayCleared,        // the matching gray failure cleared
 };
 
-inline constexpr int kNumTaps = static_cast<int>(Tap::kReplicaPushed) + 1;
+inline constexpr int kNumTaps = static_cast<int>(Tap::kGrayCleared) + 1;
 
 /// Stable display name for a tap kind (used in reports).
 const char* TapName(Tap tap);

@@ -20,15 +20,23 @@ const char* ConsistencyModeName(ConsistencyMode mode) {
 
 namespace {
 
+// The empty-span guards matter: an empty span's data() may be null, and
+// memcpy from null is UB even for zero bytes (UBSan nonnull-attribute) —
+// reachable from the wire via a kMergeDelta carrying empty state
+// (fuzz-found).
 std::uint64_t LoadU64(std::span<const std::byte> bytes) {
   std::uint64_t v = 0;
-  std::memcpy(&v, bytes.data(), std::min(bytes.size(), sizeof(v)));
+  if (!bytes.empty()) {
+    std::memcpy(&v, bytes.data(), std::min(bytes.size(), sizeof(v)));
+  }
   return v;
 }
 
 std::uint32_t LoadU32(std::span<const std::byte> bytes) {
   std::uint32_t v = 0;
-  std::memcpy(&v, bytes.data(), std::min(bytes.size(), sizeof(v)));
+  if (!bytes.empty()) {
+    std::memcpy(&v, bytes.data(), std::min(bytes.size(), sizeof(v)));
+  }
   return v;
 }
 

@@ -99,6 +99,18 @@ std::optional<MsgView> MsgView::Parse(net::BufferView payload) {
   if (payload.size() < wire::kOffKeyKind + 1) return std::nullopt;
   if (payload.U16At(wire::kOffMagic) != kMagic) return std::nullopt;
   if (payload.U8At(wire::kOffMode) >= kNumConsistencyModes) return std::nullopt;
+  // Enum-range validation: an out-of-range type or ack byte used to be
+  // silently accepted and then fall through every dispatch switch after
+  // paying full service time (fuzz-found silent-accept).  Reject at parse.
+  const std::uint8_t type_byte = payload.U8At(wire::kOffType);
+  if (type_byte < static_cast<std::uint8_t>(MsgType::kLeaseNewReq) ||
+      type_byte > static_cast<std::uint8_t>(MsgType::kReplicaSubscribe)) {
+    return std::nullopt;
+  }
+  if (payload.U8At(wire::kOffAck) >
+      static_cast<std::uint8_t>(AckKind::kReplicaPush)) {
+    return std::nullopt;
+  }
   MsgView v;
   // Decode the key eagerly (it is read on every dispatch) and derive the
   // fixed section offsets from its size.

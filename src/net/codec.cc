@@ -170,6 +170,11 @@ BufferView EncodeBatchEnvelope(std::span<const BufferView> msgs) {
 std::optional<BatchView> BatchView::Parse(BufferView frame) {
   if (frame.size() < 4 || frame.U16At(0) != kBatchMagic) return std::nullopt;
   const std::size_t count = frame.U16At(2);
+  // Bound the claimed count against the bytes actually present (each sub
+  // costs at least its 4-byte length prefix) before reserving: a 4-byte
+  // frame claiming 65535 subs used to reserve ~1.5 MB and then fail on the
+  // first sub anyway (fuzz-found allocation amplification).
+  if (frame.size() < 4 + 4 * count) return std::nullopt;
   BatchView v;
   v.subs_.reserve(count);
   std::size_t pos = 4;
@@ -238,6 +243,11 @@ std::optional<Packet> Parse(std::span<const std::byte> wire) {
     udp.length = r.U16();
     r.Skip(2);
     if (!r.ok() || udp.length < UdpHeader::kWireSize) return std::nullopt;
+    // The UDP header's own length must agree with what the IP total length
+    // leaves for L4; a mismatch used to be silently accepted, letting a
+    // crafted datagram smuggle payload bytes past length-based accounting
+    // (fuzz-found silent-accept).  Serialize always emits them equal.
+    if (udp.length != l4_len) return std::nullopt;
     p.udp = udp;
     p.payload = r.Bytes(udp.length - UdpHeader::kWireSize);
   } else if (ip.protocol == IpProto::kTcp) {

@@ -144,6 +144,7 @@ std::optional<PortId> RoutingFabric::NextHop(sim::Node* at,
     h = (static_cast<std::uint64_t>(pkt.ip->src.value) << 32) |
         pkt.ip->dst.value;
   }
+  if (config_.ecmp_salt != 0) h = Mix64(h ^ config_.ecmp_salt);
   return ports[h % ports.size()];
 }
 

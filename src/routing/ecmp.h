@@ -30,6 +30,13 @@ struct FabricConfig {
   /// EPC-SGW, keyed by user address) switch to destination-based hashing.
   enum class EcmpHash { kFiveTuple, kDstAddress } ecmp_hash =
       EcmpHash::kFiveTuple;
+  /// Extra entropy mixed into the ECMP hash.  0 (the default) leaves the
+  /// hash untouched, so existing deployments are bit-identical.  Changing
+  /// the salt mid-run re-shuffles flow→path assignments without any
+  /// topology change — the traffic-engineering / ECMP-rehash event that
+  /// makes lease handoff a steady-state path (ROADMAP item 2), and the
+  /// fuzz campaign's lease-churn attack primitive.
+  std::uint64_t ecmp_salt = 0;
 };
 
 class RoutingFabric {
@@ -49,6 +56,12 @@ class RoutingFabric {
 
   /// Immediate recompute (initial bring-up or tests).
   void RecomputeNow();
+
+  /// Changes the ECMP hash salt (see FabricConfig::ecmp_salt).  Takes
+  /// effect on the next forwarded packet — routes themselves are
+  /// salt-independent, only the choice among equal-cost ports moves.
+  void SetEcmpSalt(std::uint64_t salt) { config_.ecmp_salt = salt; }
+  std::uint64_t ecmp_salt() const { return config_.ecmp_salt; }
 
   /// The node owning `ip`, if any.
   sim::Node* NodeFor(net::Ipv4Addr ip) const;

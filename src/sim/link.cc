@@ -31,14 +31,20 @@ void Link::SetUp(bool up) {
   if (!up) ++epoch_;  // invalidate in-flight deliveries
 }
 
+void Link::SetDirectionLoss(NodeId from, double p) {
+  assert(a_ != nullptr && b_ != nullptr);
+  Direction& dir = from == a_->id() ? a_to_b_ : b_to_a_;
+  dir.loss_override = p < 0 ? -1.0 : std::min(p, 1.0);
+}
+
+double Link::DirectionLoss(NodeId from) const {
+  const Direction& dir = from == a_->id() ? a_to_b_ : b_to_a_;
+  return dir.loss_override >= 0 ? dir.loss_override : config_.loss_rate;
+}
+
 void Link::Transmit(NodeId from, net::Packet pkt) {
   assert(a_ != nullptr && b_ != nullptr);
   if (!up_) {
-    ++dropped_;
-    trace_.Emit(obs::Ev::kLinkDrop, 0, 0, static_cast<double>(pkt.WireSize()));
-    return;
-  }
-  if (config_.loss_rate > 0 && rng_.Bernoulli(config_.loss_rate)) {
     ++dropped_;
     trace_.Emit(obs::Ev::kLinkDrop, 0, 0, static_cast<double>(pkt.WireSize()));
     return;
@@ -47,6 +53,13 @@ void Link::Transmit(NodeId from, net::Packet pkt) {
   const bool from_a = (from == a_->id());
   assert(from_a || from == b_->id());
   Direction& dir = from_a ? a_to_b_ : b_to_a_;
+  const double loss =
+      dir.loss_override >= 0 ? dir.loss_override : config_.loss_rate;
+  if (loss > 0 && rng_.Bernoulli(loss)) {
+    ++dropped_;
+    trace_.Emit(obs::Ev::kLinkDrop, 0, 0, static_cast<double>(pkt.WireSize()));
+    return;
+  }
   Node* to = from_a ? b_ : a_;
   const PortId in_port = from_a ? port_b_ : port_a_;
 

@@ -55,6 +55,15 @@ class Link {
   /// Mutable for experiments that vary loss mid-run.
   void set_loss_rate(double p) { config_.loss_rate = p; }
 
+  /// Per-direction loss override for gray-failure injection: asymmetric
+  /// loss, or a one-way blackhole (p = 1) modelling a partial partition
+  /// where A still reaches B but not vice versa.  `from` names the sending
+  /// endpoint; a negative rate clears the override back to the symmetric
+  /// config value.
+  void SetDirectionLoss(NodeId from, double p);
+  /// Effective loss rate for packets sent by `from` (override or config).
+  double DirectionLoss(NodeId from) const;
+
   Node* endpoint_a() const { return a_; }
   Node* endpoint_b() const { return b_; }
 
@@ -64,6 +73,8 @@ class Link {
  private:
   struct Direction {
     SimTime busy_until = 0;
+    /// Loss override for this direction; negative = use config_.loss_rate.
+    double loss_override = -1.0;
   };
 
   void Deliver(Node* to, PortId port, net::Packet pkt, std::uint64_t epoch);

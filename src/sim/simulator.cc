@@ -22,19 +22,17 @@ Simulator::~Simulator() {
   ClearLogClock(this);
   // Destroy the callables of events still queued (cancelled-and-popped
   // slots are already back on the free list and not in the queue).
-  while (!queue_.empty()) {
-    ReleaseSlot(queue_.top().slot);
-    queue_.pop();
-  }
+  for (const QueuedEvent& ev : queue_) ReleaseSlot(ev.slot);
+  queue_.clear();
   due_buf_.clear();
   wheel_.DrainAll(due_buf_);
   for (const TimerWheel::Due& d : due_buf_) ReleaseSlot(d.payload);
 }
 
 void Simulator::Cancel(EventId id) {
-  const EventId seq = id & kSeqMask;
-  if (seq == 0 || seq >= next_id_) return;
   if ((id & kWheelFlag) != 0) {
+    const EventId seq = id & kSeqMask;
+    if (seq == 0 || seq >= next_id_) return;
     const auto idx = static_cast<std::uint32_t>((id & ~kWheelFlag)
                                                 >> kWheelIdxShift);
     std::uint32_t slot;
@@ -47,19 +45,40 @@ void Simulator::Cancel(EventId id) {
     }
     // Already spilled into the heap (or long fired): tombstone the packed
     // id, which is what the spilled QueuedEvent carries.
+  } else if (id == 0 || id >= next_id_) {
+    return;
   }
   cancelled_.insert(id);
+  // Cancelling an event that already fired (or double-cancelling) leaves a
+  // tombstone no pop will ever erase.  Under mass cancel/re-arm churn those
+  // dead tombstones used to accumulate without bound; purge them whenever
+  // they outnumber the events that could legitimately still match.
+  if (cancelled_.size() > 64 && cancelled_.size() > 2 * queue_.size()) {
+    PurgeStaleTombstones();
+  }
+}
+
+void Simulator::PurgeStaleTombstones() {
+  std::unordered_set<EventId> live;
+  live.reserve(queue_.size());
+  for (const QueuedEvent& ev : queue_) live.insert(ev.id);
+  for (auto it = cancelled_.begin(); it != cancelled_.end();) {
+    // A tombstoned wheel id whose event is still parked in the wheel cannot
+    // exist: Cancel() frees parked events directly.  So any id absent from
+    // the heap is dead — either already fired or already skipped.
+    it = live.count(*it) == 0 ? cancelled_.erase(it) : std::next(it);
+  }
 }
 
 void Simulator::SpillDueWheelSlots(SimTime limit) {
   while (!wheel_.Empty()) {
     const SimTime at = wheel_.NextSlotTime();  // lower bound on earliest
     if (at > limit) return;
-    if (!queue_.empty() && queue_.top().time < at) return;
+    if (!queue_.empty() && queue_.front().time < at) return;
     due_buf_.clear();
     wheel_.PopNextSlot(due_buf_);
     for (const TimerWheel::Due& d : due_buf_) {
-      queue_.push(QueuedEvent{
+      PushQueued(QueuedEvent{
           d.time,
           kWheelFlag | (static_cast<EventId>(d.idx) << kWheelIdxShift) |
               d.seq,
@@ -76,9 +95,8 @@ bool Simulator::PopAndRunOne(SimTime limit) {
     // when no coarse timers are pending (the packet-burst common case).
     if (!wheel_.Empty()) SpillDueWheelSlots(limit);
     if (queue_.empty()) return false;
-    const QueuedEvent top = queue_.top();
-    if (top.time > limit) return false;
-    queue_.pop();
+    if (queue_.front().time > limit) return false;
+    const QueuedEvent top = PopQueued();
     --pending_;
     // Skip tombstoned events.
     if (!cancelled_.empty() && cancelled_.erase(top.id) > 0) {

@@ -18,12 +18,13 @@
 // under the callable being invoked).
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <new>
-#include <queue>
 #include <type_traits>
 #include <unordered_set>
 #include <utility>
@@ -94,9 +95,12 @@ class Simulator {
       slot |= kLargeSlot;
     }
     const EventId seq = next_id_++;
-    assert(seq <= kSeqMask);
     const SimTime at = t > now_ ? t : now_;
-    if (at - now_ >= coarse_threshold_) {
+    // Wheel ids pack the sequence into 39 bits; past that (≈5.5e11 events)
+    // coarse timers stop using the wheel rather than corrupting the packed
+    // node index (the assert that used to guard this vanished in release
+    // builds — found by the fuzz campaign's handle audit).
+    if (at - now_ >= coarse_threshold_ && seq <= kSeqMask) {
       // The wheel refuses times its cursor already passed (it can run a
       // little ahead of now_ when a due slot was spilled early) and slab
       // exhaustion; both fall back to the heap.
@@ -107,7 +111,7 @@ class Simulator {
                seq;
       }
     }
-    queue_.push(QueuedEvent{at, seq, slot});
+    PushQueued(QueuedEvent{at, seq, slot});
     ++pending_;
     return seq;
   }
@@ -129,6 +133,12 @@ class Simulator {
 
   /// Number of pending (non-cancelled) events.
   std::size_t PendingEvents() const { return pending_; }
+
+  /// Number of cancel tombstones currently carried for events that were no
+  /// longer parked in the wheel when cancelled.  Bounded: Cancel() purges
+  /// tombstones that no longer match any queued event, so mass cancel /
+  /// re-arm churn cannot grow this without bound (pinned by a stress test).
+  std::size_t CancelTombstones() const { return cancelled_.size(); }
 
   /// Number of pending coarse timers currently parked in the timing wheel
   /// (excludes due slots already spilled into the heap).
@@ -166,11 +176,15 @@ class Simulator {
 
     bool operator>(const QueuedEvent& other) const {
       if (time != other.time) return time > other.time;
-      // Compare by scheduling sequence only: events spilled from the wheel
+      // Compare by scheduling sequence first: events spilled from the wheel
       // carry their packed id (wheel flag + node index in the high bits)
       // but must keep their original schedule-order tiebreak against
-      // heap-resident peers.
-      return (id & kSeqMask) > (other.id & kSeqMask);
+      // heap-resident peers.  The full-id fallback only matters once the
+      // 39-bit sequence space wraps for heap events (wheel ids never do);
+      // it keeps the order deterministic there too.
+      const EventId a = id & kSeqMask, b = other.id & kSeqMask;
+      if (a != b) return a > b;
+      return id > other.id;
     }
   };
 
@@ -272,6 +286,26 @@ class Simulator {
   /// current heap top into the heap, preserving (time, sequence) order.
   void SpillDueWheelSlots(SimTime limit);
 
+  /// Min-heap primitives over queue_ (same ordering std::priority_queue
+  /// used; an open vector so PurgeStaleTombstones can scan live ids).
+  void PushQueued(QueuedEvent ev) {
+    queue_.push_back(ev);
+    std::push_heap(queue_.begin(), queue_.end(), std::greater<>{});
+  }
+  QueuedEvent PopQueued() {
+    std::pop_heap(queue_.begin(), queue_.end(), std::greater<>{});
+    const QueuedEvent ev = queue_.back();
+    queue_.pop_back();
+    return ev;
+  }
+
+  /// Drops every tombstone that no longer matches a queued event.  Called
+  /// from Cancel() when the tombstone set outgrows the live queue: without
+  /// it, cancelling an id that already fired (mass cancel/re-arm churn —
+  /// the fuzz campaign's lease-churn attack) parked one dead entry in
+  /// `cancelled_` forever.
+  void PurgeStaleTombstones();
+
   SimTime now_ = 0;
   EventId next_id_ = 1;
   /// Lives with the other hot scalars (read on every ScheduleAt), not
@@ -279,8 +313,11 @@ class Simulator {
   SimDuration coarse_threshold_ = kDefaultCoarseThreshold;
   std::uint64_t processed_ = 0;
   std::size_t pending_ = 0;
-  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, std::greater<>>
-      queue_;
+  /// Binary min-heap on (time, seq), maintained with std::push_heap /
+  /// std::pop_heap — identical pop order to the std::priority_queue it
+  /// replaced, but the underlying vector stays scannable for tombstone
+  /// purging.
+  std::vector<QueuedEvent> queue_;
   Slab<kSmallCallableSize> small_slab_;
   Slab<kInlineCallableSize> large_slab_;
   /// Tombstones for cancelled-but-not-yet-popped events (O(1) insert/erase;

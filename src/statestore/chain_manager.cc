@@ -70,6 +70,16 @@ void ChainManager::Probe() {
       atap_.Emit(audit::Tap::kChainReconfig, 0, reconfigurations_,
                  active_.size());
     }
+    // The splice moved the chain's commit point: by the prefix property,
+    // everything the surviving tail has applied is also present on every
+    // upstream survivor, so it became chain-wide durable the instant the
+    // dead suffix left the chain.  Publish that evidence synchronously —
+    // the promoted tail may legally release buffered reads and acks for
+    // those sequences before the deferred head-snapshot resync below
+    // lands, and without this the commit monitor sees the release first.
+    if (!active_.empty()) {
+      EmitResyncCommits(active_.back()->ExportFlows());
+    }
     // A middle/tail splice may have lost chain-internal forwards; resync
     // every surviving downstream replica from the head to restore the
     // prefix property (management-plane copy).

@@ -99,9 +99,10 @@ void StateStoreServer::HandlePacket(net::Packet pkt, PortId in_port) {
     m_.batch_bytes_rx.Add(wire_bytes);
     // A batch envelope occupies the CPU once regardless of how many
     // sub-messages it carries — the requests/sec win of coalescing.
+    const SimDuration service = EffectiveServiceTime();
     const SimTime start = std::max(sim_.Now(), busy_until_);
-    busy_until_ = start + config_.service_time;
-    busy_time_ += config_.service_time;
+    busy_until_ = start + service;
+    busy_time_ += service;
     const std::uint64_t epoch = epoch_;
     sim_.ScheduleAt(busy_until_,
                     [this, epoch, frame = std::move(pkt.payload)]() mutable {
@@ -146,9 +147,10 @@ void StateStoreServer::HandlePacket(net::Packet pkt, PortId in_port) {
                  msg->span_id());
   }
   // FIFO service: one CPU core draining a kernel-bypass queue.
+  const SimDuration service = EffectiveServiceTime();
   const SimTime start = std::max(sim_.Now(), busy_until_);
-  busy_until_ = start + config_.service_time;
-  busy_time_ += config_.service_time;
+  busy_until_ = start + service;
+  busy_time_ += service;
   const std::uint64_t epoch = epoch_;
   sim_.ScheduleAt(busy_until_, [this, epoch, m = std::move(*msg)]() mutable {
     if (epoch != epoch_ || !IsUp()) return;
@@ -294,8 +296,25 @@ void StateStoreServer::SendDeny(const net::PartitionKey& key,
   m_.lease_denied.Add();
 }
 
+SimDuration StateStoreServer::EffectiveServiceTime() const {
+  if (service_factor_ == 1.0) return config_.service_time;
+  return static_cast<SimDuration>(
+      static_cast<double>(config_.service_time) * service_factor_);
+}
+
 void StateStoreServer::HandleInit(Msg msg) {
   m_.init_reqs.Add();
+  // Capacity pressure (gray failure): a brand-new flow arriving at a full
+  // table is denied outright — the switch's deny path, not a timeout.
+  if (max_flows_ > 0 && flows_.size() >= max_flows_ &&
+      flows_.find(msg.key) == flows_.end()) {
+    SendDeny(msg.key, msg.reply_to, 0, msg.span_id);
+    if (trace().armed()) {
+      trace().Emit(obs::Ev::kStoreDenied, net::HashPartitionKey(msg.key), 0,
+                   0.0, msg.span_id);
+    }
+    return;
+  }
   FlowRecord& rec = GetOrCreate(msg.key);
   if (LeaseActiveByOther(rec, msg.reply_to)) {
     // Another switch owns the flow: buffer the request until the lease
@@ -577,6 +596,7 @@ void StateStoreServer::ApplyAndContinue(MsgView msg) {
     }
     case MsgType::kMergeDelta: {
       rec.exists = true;
+      rec.mergeable = true;
       if (config_.mutations.overwrite_instead_of_merge ||
           config_.merger == nullptr) {
         rec.state = msg.state().ToVector();
@@ -757,6 +777,45 @@ void StateStoreServer::CancelPumps() {
 const FlowRecord* StateStoreServer::Find(const net::PartitionKey& key) const {
   auto it = flows_.find(key);
   return it == flows_.end() ? nullptr : &it->second;
+}
+
+void StateStoreServer::ImportFlows(
+    std::unordered_map<net::PartitionKey, FlowRecord>&& flows) {
+  for (auto& [key, incoming] : flows) {
+    auto [it, inserted] = flows_.try_emplace(key, std::move(incoming));
+    if (inserted) continue;
+    FlowRecord& local = it->second;
+    // The snapshot is resync_delay stale by the time it lands, so the
+    // local record may already be ahead of it.
+    if ((local.mergeable || incoming.mergeable) && config_.merger != nullptr) {
+      // Join-semilattice state: the join is idempotent and commutative, so
+      // merging the snapshot in can only move up the lattice regardless of
+      // which side is fresher.
+      config_.merger(local.state, incoming.state);
+      local.mergeable = true;
+    } else if (incoming.last_applied_seq > local.last_applied_seq) {
+      local.state = std::move(incoming.state);
+    }
+    local.last_applied_seq =
+        std::max(local.last_applied_seq, incoming.last_applied_seq);
+    local.exists = local.exists || incoming.exists;
+    if (incoming.lease_expiry > local.lease_expiry) {
+      local.lease_expiry = incoming.lease_expiry;
+      local.owner = incoming.owner;
+    }
+    for (auto& [index, slot] : incoming.snapshot_slots) {
+      auto& mine = local.snapshot_slots[index];
+      if (slot.second > mine.second) mine = std::move(slot);
+    }
+    local.last_snapshot_at =
+        std::max(local.last_snapshot_at, incoming.last_snapshot_at);
+    for (const net::Ipv4Addr sub : incoming.subscribers) {
+      if (std::find(local.subscribers.begin(), local.subscribers.end(), sub) ==
+          local.subscribers.end()) {
+        local.subscribers.push_back(sub);
+      }
+    }
+  }
 }
 
 }  // namespace redplane::store

@@ -90,6 +90,11 @@ struct FlowRecord {
   /// True once the flow has been initialized (distinguishes "new flow" from
   /// "failover to existing state", §5.1.2 cases 1 and 2).
   bool exists = false;
+  /// True once the state was built by CRDT merge deltas rather than
+  /// seq-ordered writes.  Resync import picks its reconciliation rule from
+  /// this: mergeable records are joined with the app merge function,
+  /// seq-ordered records by last_applied_seq comparison.
+  bool mergeable = false;
   /// Snapshot slots for bounded-inconsistency state (index -> value, seq).
   std::map<std::uint32_t, std::pair<std::vector<std::byte>, std::uint64_t>>
       snapshot_slots;
@@ -127,13 +132,21 @@ class StateStoreServer : public sim::Node {
   /// (re)joining replica from a live one (management-plane copy).  Export
   /// returns a reference — the caller decides if and when to copy; Import
   /// is move-only so resync transfers ownership instead of copying twice.
+  ///
+  /// Import JOINS the snapshot into the local table instead of overwriting
+  /// it.  The snapshot is taken at reconfiguration-decision time but lands
+  /// resync_delay later, racing live traffic: a survivor may have applied
+  /// newer writes (or joined newer merge deltas) in that window, and a
+  /// blind overwrite rolls them back — observed by the fuzz campaign as a
+  /// down-the-lattice merge regression on the middle replica after a tail
+  /// crash.  Per key, the record with the higher last_applied_seq wins;
+  /// mergeable records are joined with the app merge function, which is
+  /// idempotent so importing a stale snapshot is a no-op.
   const std::unordered_map<net::PartitionKey, FlowRecord>& ExportFlows()
       const {
     return flows_;
   }
-  void ImportFlows(std::unordered_map<net::PartitionKey, FlowRecord>&& flows) {
-    flows_ = std::move(flows);
-  }
+  void ImportFlows(std::unordered_map<net::PartitionKey, FlowRecord>&& flows);
 
   /// Read-only access for tests and reporting.
   const FlowRecord* Find(const net::PartitionKey& key) const;
@@ -141,6 +154,22 @@ class StateStoreServer : public sim::Node {
 
   /// Sum of wall-clock-busy time, for utilization reporting.
   SimDuration busy_time() const { return busy_time_; }
+
+  /// --- gray-failure hooks (fuzz campaign, DESIGN.md §15) ---------------
+  /// Slow shard: multiplies the per-request service time.  1.0 = nominal;
+  /// the shard keeps answering, just late — the failure detector never
+  /// fires, which is exactly what makes it gray.  Survives SetUp cycles
+  /// (it models the environment, not the replica's DRAM).
+  void SetServiceTimeFactor(double factor) {
+    service_factor_ = factor < 0 ? 0.0 : factor;
+  }
+  double service_time_factor() const { return service_factor_; }
+
+  /// Capacity pressure: caps the flow table.  An Init for a brand-new flow
+  /// while at or above the cap is answered kLeaseDenied (the switch's
+  /// give-up/retry path); existing flows keep working.  0 = unlimited.
+  void SetMaxFlows(std::size_t cap) { max_flows_ = cap; }
+  std::size_t max_flows() const { return max_flows_; }
 
  private:
   struct PendingInit {
@@ -270,8 +299,14 @@ class StateStoreServer : public sim::Node {
   /// Pending lease-expiry pump timers, one per key (see ArmInitPump).
   std::unordered_map<net::PartitionKey, std::uint64_t> init_pump_timers_;
   std::unordered_map<net::PartitionKey, std::uint64_t> read_pump_timers_;
+  /// Effective per-request CPU cost under the slow-shard factor.
+  SimDuration EffectiveServiceTime() const;
+
   SimTime busy_until_ = 0;
   SimDuration busy_time_ = 0;
+  /// Gray-failure knobs (see SetServiceTimeFactor / SetMaxFlows).
+  double service_factor_ = 1.0;
+  std::size_t max_flows_ = 0;
   /// Bumped on failure so queued service completions are invalidated.
   std::uint64_t epoch_ = 0;
   /// True while ProcessBatchEnvelope drains sub-messages: ForwardOrRespond

@@ -114,13 +114,108 @@ net::Packet MaterializePacket(const TracePacket& spec) {
   const std::uint32_t headers = 14 + 20 + 20;
   const std::uint32_t pad =
       spec.size_bytes > headers ? spec.size_bytes - headers : 0;
-  net::Packet pkt = spec.flow.proto == net::IpProto::kTcp
-                        ? net::MakeTcpPacket(spec.flow, net::TcpFlags::kAck, 0,
-                                             0, pad)
-                        : net::MakeUdpPacket(spec.flow, pad);
+  net::Packet pkt =
+      spec.flow.proto == net::IpProto::kTcp
+          ? net::MakeTcpPacket(
+                spec.flow,
+                spec.tcp_syn ? net::TcpFlags::kSyn : net::TcpFlags::kAck, 0, 0,
+                pad)
+          : net::MakeUdpPacket(spec.flow, pad);
   pkt.vlan = spec.vlan;
   pkt.created_at = spec.time;
   return pkt;
+}
+
+std::vector<TracePacket> GenerateFlashCrowd(Rng& rng,
+                                            const FlashCrowdConfig& config) {
+  std::vector<TracePacket> out;
+  out.reserve(config.num_flows * config.packets_per_flow);
+  const auto window = static_cast<std::uint64_t>(
+      config.duration > 0 ? config.duration : 1);
+  for (std::size_t f = 0; f < config.num_flows; ++f) {
+    net::FlowKey flow;
+    flow.src_ip = config.src;
+    flow.dst_ip = config.dst;
+    flow.src_port = static_cast<std::uint16_t>(config.base_port + f);
+    flow.dst_port = config.dst_port;
+    flow.proto = config.proto;
+    // The flow's first packet lands uniformly in the window's first half,
+    // follow-ups shortly after — the whole crowd arrives at once instead of
+    // Poisson-spreading.
+    SimTime t = config.start +
+                static_cast<SimTime>(rng.NextBounded(window / 2 + 1));
+    for (std::size_t p = 0; p < config.packets_per_flow; ++p) {
+      TracePacket pkt;
+      pkt.time = t;
+      pkt.flow = flow;
+      pkt.size_bytes = 64;
+      out.push_back(pkt);
+      t += static_cast<SimDuration>(
+          rng.NextBounded(window / (2 * config.packets_per_flow) + 1));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TracePacket& a, const TracePacket& b) {
+              return a.time < b.time;
+            });
+  return out;
+}
+
+std::vector<TracePacket> GenerateSynFlood(Rng& rng,
+                                          const SynFloodConfig& config) {
+  std::vector<TracePacket> out;
+  out.reserve(config.num_packets);
+  const auto window = static_cast<std::uint64_t>(
+      config.duration > 0 ? config.duration : 1);
+  SimTime now = config.start;
+  for (std::size_t i = 0; i < config.num_packets; ++i) {
+    TracePacket pkt;
+    pkt.time = now;
+    pkt.flow.src_ip = net::Ipv4Addr(static_cast<std::uint32_t>(
+        config.src_base.value + rng.NextBounded(config.src_spread)));
+    pkt.flow.dst_ip = config.dst;
+    pkt.flow.src_port =
+        static_cast<std::uint16_t>(1024 + rng.NextBounded(60000));
+    pkt.flow.dst_port = config.dst_port;
+    pkt.flow.proto = net::IpProto::kTcp;
+    pkt.tcp_syn = true;
+    pkt.size_bytes = 64;
+    out.push_back(pkt);
+    now += static_cast<SimDuration>(
+        rng.NextBounded(2 * window / config.num_packets + 1));
+  }
+  return out;
+}
+
+std::vector<TracePacket> GenerateLeaseChurn(Rng& rng,
+                                            const LeaseChurnConfig& config) {
+  std::vector<TracePacket> out;
+  const SimTime end = config.start + config.duration;
+  SimTime burst_at = config.start;
+  while (burst_at < end) {
+    for (std::size_t f = 0; f < config.num_flows; ++f) {
+      net::FlowKey flow;
+      flow.src_ip = config.src;
+      flow.dst_ip = config.dst;
+      flow.src_port = static_cast<std::uint16_t>(config.base_port + f);
+      flow.dst_port = config.dst_port;
+      flow.proto = net::IpProto::kUdp;
+      for (std::size_t p = 0; p < config.packets_per_burst; ++p) {
+        TracePacket pkt;
+        pkt.time = burst_at + static_cast<SimDuration>(
+                                  rng.NextBounded(Microseconds(50)));
+        pkt.flow = flow;
+        pkt.size_bytes = 64;
+        out.push_back(pkt);
+      }
+    }
+    burst_at += config.burst_gap > 0 ? config.burst_gap : Milliseconds(1);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TracePacket& a, const TracePacket& b) {
+              return a.time < b.time;
+            });
+  return out;
 }
 
 }  // namespace redplane::trace

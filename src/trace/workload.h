@@ -27,6 +27,8 @@ struct TracePacket {
   std::uint16_t vlan = 0;
   /// True for EPC signaling packets.
   bool signaling = false;
+  /// TCP packets materialize with SYN instead of ACK (SYN-flood phases).
+  bool tcp_syn = false;
 };
 
 struct FlowMixConfig {
@@ -87,5 +89,71 @@ std::vector<KvOpEvent> GenerateKvOps(Rng& rng, const KvOpsConfig& config);
 
 /// Materializes a trace packet (builds headers and pad bytes).
 net::Packet MaterializePacket(const TracePacket& spec);
+
+/// --- adversarial load phases (fuzz campaign, DESIGN.md §15) --------------
+/// Each generator returns a time-sorted packet list the campaign runner
+/// injects on top of its audited base traffic.  All draws come from the
+/// caller's Rng, so a (seed, schedule) pair replays bit-identically.
+
+struct FlashCrowdConfig {
+  /// Phase window: flows all arrive within [start, start + duration).
+  SimTime start = 0;
+  SimDuration duration = Milliseconds(5);
+  /// Brand-new flows opened by the crowd (each stresses the store's Init
+  /// path and the switch flow table at once).
+  std::size_t num_flows = 32;
+  std::size_t packets_per_flow = 4;
+  net::Ipv4Addr src{10, 0, 0, 10};
+  net::Ipv4Addr dst{192, 168, 10, 10};
+  std::uint16_t dst_port = 80;
+  /// Flow i uses source port base_port + i.
+  std::uint16_t base_port = 30000;
+  net::IpProto proto = net::IpProto::kUdp;
+};
+
+/// A sudden spike of brand-new flows: arrival times drawn uniformly inside
+/// the window instead of Poisson-spread, so Inits pile onto the store in a
+/// burst.
+std::vector<TracePacket> GenerateFlashCrowd(Rng& rng,
+                                            const FlashCrowdConfig& config);
+
+struct SynFloodConfig {
+  SimTime start = 0;
+  SimDuration duration = Milliseconds(5);
+  std::size_t num_packets = 256;
+  /// Spoofed sources: addresses drawn from src_base + [0, src_spread).
+  net::Ipv4Addr src_base{172, 16, 0, 1};
+  std::uint32_t src_spread = 4096;
+  net::Ipv4Addr dst{192, 168, 10, 10};
+  std::uint16_t dst_port = 80;
+};
+
+/// Line-rate TCP SYNs from spoofed sources: every packet is a distinct
+/// 5-tuple, so each one allocates flow state — the syn_defense workload's
+/// attack half, aimed here at the flow-table and store-capacity paths.
+std::vector<TracePacket> GenerateSynFlood(Rng& rng,
+                                          const SynFloodConfig& config);
+
+struct LeaseChurnConfig {
+  SimTime start = 0;
+  SimDuration duration = Milliseconds(20);
+  /// Long-lived flows whose ownership the campaign ping-pongs (the runner
+  /// flips the fabric's ECMP salt between bursts, so each burst can land
+  /// on the other switch and must re-acquire the lease).
+  std::size_t num_flows = 4;
+  /// Gap between bursts; pick near the lease period to maximize handoffs.
+  SimDuration burst_gap = Milliseconds(4);
+  std::size_t packets_per_burst = 3;
+  net::Ipv4Addr src{10, 0, 0, 10};
+  net::Ipv4Addr dst{192, 168, 10, 10};
+  std::uint16_t dst_port = 80;
+  std::uint16_t base_port = 40000;
+};
+
+/// On/off bursts over a small set of persistent flows.  The packets alone
+/// are plain traffic; the churn comes from the runner re-salting ECMP at
+/// burst boundaries (see FabricConfig::ecmp_salt).
+std::vector<TracePacket> GenerateLeaseChurn(Rng& rng,
+                                            const LeaseChurnConfig& config);
 
 }  // namespace redplane::trace

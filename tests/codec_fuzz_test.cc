@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "core/consistency.h"
 #include "core/protocol.h"
 #include "net/codec.h"
 
@@ -427,6 +428,163 @@ TEST_P(CodecFuzz, TruncatedOrMutatedBatchesNeverCrash) {
           std::byte{static_cast<std::uint8_t>(rng.Next() | 1)};
     }
     (void)net::BatchView::Parse(net::Buffer::CopyOf(flipped));
+  }
+}
+
+// --- adversarial corpus (campaign fuzz-found hardening) --------------------
+// Each case below pins a decoder fix shaken out by the fault/load fuzzer:
+// keep them even if the generic mutation loops above stop reaching the
+// offending byte patterns.
+
+TEST_P(CodecFuzz, OutOfRangeTypeAndAckBytesAreRejected) {
+  Rng rng(GetParam() + 12000);
+  for (int i = 0; i < 500; ++i) {
+    core::Msg msg;
+    msg.type = static_cast<core::MsgType>(1 + rng.NextBounded(8));
+    msg.seq = rng.Next();
+    msg.key = net::PartitionKey::OfObject(rng.Next());
+    msg.state.resize(rng.NextBounded(32));
+    const auto bytes = net::BufferView(core::EncodeMsg(msg)).ToVector();
+
+    // Type byte 0 (reserved) or past the last MsgType: a store dispatching
+    // on an unknown opcode must drop the frame, not fall into a default arm.
+    auto bad_type = bytes;
+    bad_type[core::wire::kOffType] = std::byte{static_cast<std::uint8_t>(
+        rng.Bernoulli(0.5) ? 0 : 9 + rng.NextBounded(247))};
+    EXPECT_FALSE(core::DecodeMsg(bad_type).has_value());
+    EXPECT_FALSE(
+        core::MsgView::Parse(net::Buffer::CopyOf(bad_type)).has_value());
+
+    // Ack byte past the last AckKind.
+    auto bad_ack = bytes;
+    bad_ack[core::wire::kOffAck] =
+        std::byte{static_cast<std::uint8_t>(10 + rng.NextBounded(246))};
+    EXPECT_FALSE(core::DecodeMsg(bad_ack).has_value());
+    EXPECT_FALSE(
+        core::MsgView::Parse(net::Buffer::CopyOf(bad_ack)).has_value());
+  }
+}
+
+TEST(BatchCodec, InflatedCountFieldIsRejectedBeforeAllocation) {
+  // A 4-byte frame claiming 65535 sub-messages used to reserve ~1.5 MB of
+  // offset table before failing on the first sub (allocation amplification:
+  // a one-packet attacker cost the store six orders of magnitude more
+  // memory than the frame itself).  The count must be bounded against the
+  // bytes actually present before any reservation.
+  std::vector<std::byte> raw;
+  net::ByteWriter w(raw);
+  w.U16(net::kBatchMagic);
+  w.U16(0xffff);
+  EXPECT_FALSE(net::BatchView::Parse(net::Buffer::CopyOf(raw)).has_value());
+}
+
+TEST_P(CodecFuzz, ForgedBatchCountsNeverOverReadOrOverAllocate) {
+  Rng rng(GetParam() + 13000);
+  for (int i = 0; i < 500; ++i) {
+    // Real envelope, then a forged count strictly above the true one: the
+    // parser must reject (it would either over-read a sub length prefix or
+    // see trailing bytes it cannot attribute), never crash.
+    std::vector<core::Msg> msgs(1 + rng.NextBounded(4));
+    std::vector<net::BufferView> subs;
+    for (auto& m : msgs) {
+      m.type = core::MsgType::kLeaseRenewReq;
+      m.key = net::PartitionKey::OfObject(rng.Next());
+      m.state.resize(rng.NextBounded(24));
+      subs.push_back(net::BufferView(core::EncodeMsg(m)));
+    }
+    auto bytes = net::EncodeBatchEnvelope(subs).ToVector();
+    const std::uint16_t forged = static_cast<std::uint16_t>(
+        subs.size() + 1 + rng.NextBounded(0xffff - subs.size() - 1));
+    bytes[2] = std::byte{static_cast<std::uint8_t>(forged >> 8)};
+    bytes[3] = std::byte{static_cast<std::uint8_t>(forged & 0xff)};
+    EXPECT_FALSE(
+        net::BatchView::Parse(net::Buffer::CopyOf(bytes)).has_value());
+
+    // Fully random header fields over a random body: must never crash.
+    std::vector<std::byte> junk(4 + rng.NextBounded(64));
+    for (auto& b : junk) b = std::byte{static_cast<std::uint8_t>(rng.Next())};
+    junk[0] = std::byte{0xB4};
+    junk[1] = std::byte{0x7C};
+    (void)net::BatchView::Parse(net::Buffer::CopyOf(junk));
+  }
+}
+
+TEST(MergeCodec, EmptyJoinEmptyStaysEmpty) {
+  // Absent state encodes zero.  Widening empty⊔empty to 8 zero bytes broke
+  // bytewise idempotence (merge(a, a) != a), which the mergeable-mode replay
+  // safety argument depends on.
+  std::vector<std::byte> into;
+  core::MergeMaxU64(into, {});
+  EXPECT_TRUE(into.empty());
+  core::MergeMaxU32Lanes(into, {});
+  EXPECT_TRUE(into.empty());
+  core::MergeOrBytes(into, {});
+  EXPECT_TRUE(into.empty());
+}
+
+TEST_P(CodecFuzz, MergesAreIdempotentForArbitraryBlobLengths) {
+  Rng rng(GetParam() + 14000);
+  using MergeFn = void (*)(std::vector<std::byte>&, std::span<const std::byte>);
+  const MergeFn merges[] = {core::MergeMaxU64, core::MergeMaxU32Lanes,
+                            core::MergeOrBytes};
+  for (int i = 0; i < 500; ++i) {
+    for (const MergeFn merge : merges) {
+      // Lengths deliberately off-lane (0..17 bytes): short, empty, and
+      // partial-lane blobs are what a truncating middlebox or a mid-epoch
+      // crash produces.
+      std::vector<std::byte> a(rng.NextBounded(18));
+      std::vector<std::byte> b(rng.NextBounded(18));
+      for (auto& x : a) x = std::byte{static_cast<std::uint8_t>(rng.Next())};
+      for (auto& x : b) x = std::byte{static_cast<std::uint8_t>(rng.Next())};
+
+      // Idempotence: a ⊔ a == a (after normalization, re-joining is a no-op).
+      std::vector<std::byte> aa = a;
+      merge(aa, a);
+      std::vector<std::byte> aaa = aa;
+      merge(aaa, aa);
+      EXPECT_EQ(aaa, aa);
+
+      // Replay absorption: (a ⊔ b) ⊔ b == a ⊔ b.
+      std::vector<std::byte> ab = a;
+      merge(ab, b);
+      std::vector<std::byte> abb = ab;
+      merge(abb, b);
+      EXPECT_EQ(abb, ab);
+    }
+  }
+}
+
+TEST_P(CodecFuzz, UdpLengthMustAgreeWithIpTotalLength) {
+  Rng rng(GetParam() + 15000);
+  for (int i = 0; i < 300; ++i) {
+    net::FlowKey flow;
+    flow.src_ip = net::Ipv4Addr(static_cast<std::uint32_t>(rng.Next()));
+    flow.dst_ip = net::Ipv4Addr(static_cast<std::uint32_t>(rng.Next()));
+    flow.src_port = static_cast<std::uint16_t>(rng.Next());
+    flow.dst_port = static_cast<std::uint16_t>(rng.Next());
+    flow.proto = net::IpProto::kUdp;
+    net::Packet pkt = net::MakeUdpPacket(flow, 0);
+    std::vector<std::byte> body(rng.NextBounded(48));
+    for (auto& b : body) b = std::byte{static_cast<std::uint8_t>(rng.Next())};
+    pkt.payload = std::move(body);
+    auto wire = net::Serialize(pkt);
+    ASSERT_TRUE(net::Parse(wire).has_value());
+
+    // Forge the UDP header's own length field (offset: 14 eth + 20 ip +
+    // 4 ports, big-endian u16) so it disagrees with the IP total length.
+    // Accepting it would let a crafted datagram smuggle payload bytes past
+    // length-based accounting.
+    const std::size_t kUdpLenOff = 14 + 20 + 4;
+    const std::uint16_t true_len =
+        static_cast<std::uint16_t>(8 + pkt.payload.size());
+    std::uint16_t forged;
+    do {
+      forged = static_cast<std::uint16_t>(8 + rng.NextBounded(200));
+    } while (forged == true_len);
+    auto bad = wire;
+    bad[kUdpLenOff] = std::byte{static_cast<std::uint8_t>(forged >> 8)};
+    bad[kUdpLenOff + 1] = std::byte{static_cast<std::uint8_t>(forged & 0xff)};
+    EXPECT_FALSE(net::Parse(bad).has_value());
   }
 }
 

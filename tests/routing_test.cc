@@ -191,5 +191,108 @@ TEST(FailureTest, ScheduledFailureAndRecovery) {
   EXPECT_TRUE(tb.agg[0]->IsUp());
 }
 
+// --- injector idempotency regressions (fuzz-found, DESIGN.md §15) --------
+// The delta-debugging minimizer deletes arbitrary subsets of a schedule's
+// events, so overlapping cut/heal sequences in any order must leave the
+// target in the refcount-correct state.  Before the refcount fix, the
+// second of two overlapping cuts was a lost update and the first heal
+// resurrected a link that a later schedule entry still held down.
+
+TEST(FailureIdempotencyTest, DoubleCutSingleHealKeepsLinkDown) {
+  sim::Simulator sim;
+  Testbed tb = BuildTestbed(sim);
+  FailureInjector injector(sim, *tb.fabric);
+  sim::Link* link = tb.network->FindLink(tb.core, tb.agg[0]);
+  ASSERT_NE(link, nullptr);
+
+  injector.FailLink(link);
+  injector.FailLink(link);  // overlapping second cut
+  EXPECT_EQ(injector.LinkCutDepth(link), 2);
+  injector.RecoverLink(link);  // pays off one cut only
+  EXPECT_FALSE(link->IsUp());
+  EXPECT_EQ(injector.LinkCutDepth(link), 1);
+  injector.RecoverLink(link);
+  EXPECT_TRUE(link->IsUp());
+  EXPECT_EQ(injector.LinkCutDepth(link), 0);
+}
+
+TEST(FailureIdempotencyTest, CrashDuringFlapIsNotResurrectedByFlapHeal) {
+  sim::Simulator sim;
+  Testbed tb = BuildTestbed(sim);
+  FailureInjector injector(sim, *tb.fabric);
+
+  // A link flap [1 ms, 5 ms) with a permanent crash injected mid-flap: the
+  // flap's heal timer fires at 5 ms but must not resurrect the node — it
+  // pays off the flap's cut, not the crash's.
+  injector.ScheduleNodeFailure(tb.agg[0], Milliseconds(1), Milliseconds(5));
+  injector.ScheduleNodeFailure(tb.agg[0], Milliseconds(3), -1);
+  sim.RunUntil(Milliseconds(4));
+  EXPECT_FALSE(tb.agg[0]->IsUp());
+  EXPECT_EQ(injector.NodeCutDepth(tb.agg[0]), 2);
+  sim.RunUntil(Milliseconds(10));
+  EXPECT_FALSE(tb.agg[0]->IsUp());  // the crash still holds it down
+  EXPECT_EQ(injector.NodeCutDepth(tb.agg[0]), 1);
+  injector.RecoverNode(tb.agg[0]);
+  EXPECT_TRUE(tb.agg[0]->IsUp());
+}
+
+TEST(FailureIdempotencyTest, SpuriousHealIsANoOp) {
+  sim::Simulator sim;
+  Testbed tb = BuildTestbed(sim);
+  FailureInjector injector(sim, *tb.fabric);
+
+  // A heal whose cut was deleted by the minimizer: depth never goes
+  // negative and the target stays up.
+  injector.RecoverNode(tb.agg[0]);
+  EXPECT_TRUE(tb.agg[0]->IsUp());
+  EXPECT_EQ(injector.NodeCutDepth(tb.agg[0]), 0);
+  // A real cut afterwards still needs exactly one heal.
+  injector.FailNode(tb.agg[0]);
+  EXPECT_EQ(injector.NodeCutDepth(tb.agg[0]), 1);
+  injector.RecoverNode(tb.agg[0]);
+  EXPECT_TRUE(tb.agg[0]->IsUp());
+}
+
+TEST(FailureIdempotencyTest, AsymmetricLossStacksToMaxAndClearsAtDepthZero) {
+  sim::Simulator sim;
+  Testbed tb = BuildTestbed(sim);
+  FailureInjector injector(sim, *tb.fabric);
+  sim::Link* link = tb.network->FindLink(tb.core, tb.agg[0]);
+  ASSERT_NE(link, nullptr);
+  const NodeId from = tb.core->id();
+
+  injector.ApplyAsymmetricLoss(link, from, 0.3);
+  EXPECT_DOUBLE_EQ(link->DirectionLoss(from), 0.3);
+  injector.ApplyAsymmetricLoss(link, from, 0.8);  // overlapping, stronger
+  EXPECT_DOUBLE_EQ(link->DirectionLoss(from), 0.8);
+  injector.ClearAsymmetricLoss(link, from);  // one layer peeled
+  EXPECT_DOUBLE_EQ(link->DirectionLoss(from), 0.8);
+  injector.ClearAsymmetricLoss(link, from);  // last layer: back to config
+  EXPECT_DOUBLE_EQ(link->DirectionLoss(from), link->config().loss_rate);
+  // Spurious extra clear: no underflow, still at config.
+  injector.ClearAsymmetricLoss(link, from);
+  EXPECT_DOUBLE_EQ(link->DirectionLoss(from), link->config().loss_rate);
+}
+
+TEST(FailureIdempotencyTest, PartialPartitionDropsOneDirectionOnly) {
+  sim::Simulator sim;
+  Testbed tb = BuildTestbed(sim);
+  FailureInjector injector(sim, *tb.fabric);
+  sim::Link* link = tb.network->FindLink(tb.core, tb.agg[0]);
+  ASSERT_NE(link, nullptr);
+
+  injector.SchedulePartialPartition(link, tb.core->id(), Milliseconds(1),
+                                    Milliseconds(5));
+  sim.RunUntil(Milliseconds(2));
+  EXPECT_DOUBLE_EQ(link->DirectionLoss(tb.core->id()), 1.0);
+  // Reverse direction untouched: a half-alive peer, not a cut.
+  EXPECT_DOUBLE_EQ(link->DirectionLoss(tb.agg[0]->id()),
+                   link->config().loss_rate);
+  EXPECT_TRUE(link->IsUp());
+  sim.RunUntil(Milliseconds(6));
+  EXPECT_DOUBLE_EQ(link->DirectionLoss(tb.core->id()),
+                   link->config().loss_rate);
+}
+
 }  // namespace
 }  // namespace redplane::routing

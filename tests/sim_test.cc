@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <array>
+
 #include "sim/host.h"
 #include "sim/link.h"
 #include "sim/network.h"
@@ -95,6 +97,64 @@ TEST(SimulatorTest, CancelStress100k) {
   }
   sim.Run();
   EXPECT_EQ(fired2, 1000u);
+}
+
+TEST(SimulatorTest, CancelAfterFireTombstonesStayBounded) {
+  // Regression (fuzz-found): cancelling an id that already fired inserted a
+  // tombstone into the cancelled-set that nothing ever reclaimed — the id
+  // never reappears in the queue, so under protocol-timer churn (arm, fire,
+  // cancel-on-teardown, re-arm, ...) the set grew without bound for the
+  // lifetime of the simulation.  The purge keeps it proportional to the
+  // *live* queue instead.
+  Simulator sim;
+  for (int round = 0; round < 200; ++round) {
+    std::vector<EventId> ids;
+    for (int i = 0; i < 50; ++i) {
+      ids.push_back(sim.Schedule(1, [] {}));
+    }
+    sim.Run();
+    // Teardown path cancels handles whose events already fired.
+    for (const EventId id : ids) sim.Cancel(id);
+  }
+  // 10k stale cancels total; the tombstone set must stay near-empty (the
+  // purge threshold, not the churn volume, bounds it).
+  EXPECT_LE(sim.CancelTombstones(), 128u);
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+}
+
+TEST(SimulatorTest, WheelCancelRearmChurn) {
+  // Mass cancel/re-arm churn over wheel-resident timers (far-future
+  // schedules land in the hierarchical wheel; their EventIds pack a wheel
+  // slot index + generation sequence).  A stale handle from before a
+  // re-arm must never cancel the replacement timer even though the wheel
+  // slot index is reused.
+  Simulator sim;
+  constexpr int kTimers = 64;
+  std::array<EventId, kTimers> handle{};
+  std::array<int, kTimers> fired{};
+  auto arm = [&](int t) {
+    // >= coarse threshold so the event is wheel-scheduled.
+    handle[static_cast<std::size_t>(t)] =
+        sim.ScheduleAt(sim.Now() + Milliseconds(5) + Microseconds(t),
+                       [&fired, t] { ++fired[static_cast<std::size_t>(t)]; });
+  };
+  for (int t = 0; t < kTimers; ++t) arm(t);
+  // 100 churn rounds: cancel every timer, immediately re-arm it.
+  for (int round = 0; round < 100; ++round) {
+    for (int t = 0; t < kTimers; ++t) {
+      const EventId stale = handle[static_cast<std::size_t>(t)];
+      sim.Cancel(stale);
+      arm(t);
+      sim.Cancel(stale);  // double-cancel of the old generation: no-op
+    }
+  }
+  sim.Run();
+  for (int t = 0; t < kTimers; ++t) {
+    EXPECT_EQ(fired[static_cast<std::size_t>(t)], 1)
+        << "timer " << t << " lost or double-fired under churn";
+  }
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+  EXPECT_LE(sim.CancelTombstones(), 2 * kTimers * 2u);
 }
 
 TEST(SimulatorTest, RunUntilAdvancesClockEvenWhenIdle) {

@@ -1,0 +1,88 @@
+#include "tools/campaign/minimizer.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace redplane::campaign {
+
+namespace {
+
+/// Rebuilds a schedule keeping only the events named by `keep` (indices
+/// into the combined list: faults first, then loads).  Seed and traffic
+/// shape are preserved — minimization only deletes events.
+Schedule Subset(const Schedule& full, const std::vector<std::size_t>& keep) {
+  Schedule out;
+  out.seed = full.seed;
+  out.packets_per_flow = full.packets_per_flow;
+  for (const std::size_t idx : keep) {
+    if (idx < full.faults.size()) {
+      out.faults.push_back(full.faults[idx]);
+    } else {
+      out.loads.push_back(full.loads[idx - full.faults.size()]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+MinimizeResult MinimizeSchedule(const Schedule& failing,
+                                const ScheduleOracle& oracle,
+                                int max_probes) {
+  MinimizeResult result;
+  std::vector<std::size_t> current(failing.NumEvents());
+  for (std::size_t i = 0; i < current.size(); ++i) current[i] = i;
+
+  auto probe = [&](const std::vector<std::size_t>& keep) {
+    ++result.probes;
+    return oracle(Subset(failing, keep));
+  };
+
+  // Classic ddmin: try each of n chunks alone, then each complement; on a
+  // hit recurse with finer granularity, otherwise double n until it
+  // exceeds the list size.
+  std::size_t n = 2;
+  while (current.size() >= 2 && result.probes < max_probes) {
+    const std::size_t chunk = (current.size() + n - 1) / n;
+    bool reduced = false;
+    for (std::size_t start = 0;
+         start < current.size() && result.probes < max_probes;
+         start += chunk) {
+      const std::size_t end = std::min(start + chunk, current.size());
+      std::vector<std::size_t> subset(current.begin() + start,
+                                      current.begin() + end);
+      if (subset.size() < current.size() && probe(subset)) {
+        current = std::move(subset);
+        n = 2;
+        reduced = true;
+        break;
+      }
+      std::vector<std::size_t> complement;
+      complement.reserve(current.size() - subset.size());
+      complement.insert(complement.end(), current.begin(),
+                        current.begin() + start);
+      complement.insert(complement.end(), current.begin() + end,
+                        current.end());
+      if (!complement.empty() && complement.size() < current.size() &&
+          result.probes < max_probes && probe(complement)) {
+        current = std::move(complement);
+        n = n > 2 ? n - 1 : 2;
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (n >= current.size()) {
+        result.one_minimal = true;
+        break;
+      }
+      n = std::min(2 * n, current.size());
+    }
+  }
+  if (current.size() < 2) result.one_minimal = result.probes < max_probes;
+
+  result.schedule = Subset(failing, current);
+  return result;
+}
+
+}  // namespace redplane::campaign

@@ -1,0 +1,40 @@
+// Delta-debugging schedule minimizer (DESIGN.md §15).
+//
+// Given a schedule whose run violates an invariant, shrink it to a 1-minimal
+// causal slice: a sub-schedule that still violates, from which removing any
+// single event makes the violation disappear.  The algorithm is Zeller's
+// ddmin over the schedule's combined (fault + load) event list; the oracle
+// is a re-run of the candidate schedule under the same seed and mode.
+//
+// ddmin deletes arbitrary event subsets, so it leans on two well-formedness
+// properties the rest of this PR establishes: the FailureInjector is
+// refcount-idempotent (a heal whose cut was deleted is a no-op; one of two
+// overlapping cuts can vanish without resurrecting the other), and every
+// event is self-contained (its clear time travels with it).
+#pragma once
+
+#include <functional>
+
+#include "tools/campaign/schedule.h"
+
+namespace redplane::campaign {
+
+/// Returns true iff the candidate schedule still reproduces the failure.
+/// Typically a lambda around RunSchedule(...).Clean() == false.
+using ScheduleOracle = std::function<bool(const Schedule&)>;
+
+struct MinimizeResult {
+  Schedule schedule;    ///< the minimized repro (== input if nothing shrank)
+  int probes = 0;       ///< oracle invocations spent
+  bool one_minimal = false;  ///< ddmin ran to completion (vs. probe budget)
+};
+
+/// Shrinks `failing` with ddmin.  `oracle(failing)` is assumed true (the
+/// caller observed the violation); the result's schedule also satisfies the
+/// oracle.  At most `max_probes` oracle calls are spent — each is a full
+/// simulation, so the default keeps minimization under a minute.
+MinimizeResult MinimizeSchedule(const Schedule& failing,
+                                const ScheduleOracle& oracle,
+                                int max_probes = 64);
+
+}  // namespace redplane::campaign

@@ -1,69 +1,32 @@
-// Fault-campaign runner: sweeps seeds × failure scenarios with the online
-// protocol auditor armed, and reports what it saw.
-//
-// Each run builds the paper's testbed (Appendix D), deploys a counter app
-// under RedPlane on both aggregation switches, drives traffic from an
-// external host while injecting the scenario's fault, and checks the
-// protocol live with src/audit: single lease owner, sequence monotonicity,
-// chain-commit-before-ack, ε staleness, and per-flow counter
-// linearizability (inputs recorded at injection, outputs at delivery).
-//
-// Outputs: a machine-readable JSON report, a markdown summary, and — for
-// every violation — a causal trace slice as Perfetto-loadable JSON plus a
-// human-readable text rendering.
-//
-// The --consistency axis (DESIGN.md §14) re-runs the whole campaign under a
-// weaker consistency mode: `replicated` serves reads locally within a
-// staleness bound (checked by the bounded_staleness monitor and the offline
-// CheckBoundedStaleness oracle), `mergeable` makes every switch a zero-RTT
-// writer whose per-flow counts converge at the store by lattice join
-// (checked by merge_convergence / CheckMergeConvergence).  Mutations map to
-// mode-aware expectations: --mutate=stale must trip bounded_staleness under
-// --consistency=replicated but is *legal* (auditor silent) under mergeable;
-// --mutate=merge must trip merge_convergence under mergeable and is a no-op
-// elsewhere.
-//
-// Exit codes: 0 = clean (or, with --mutate, the expected monitor fired — or
-// the auditor correctly stayed silent where the mutation is legal);
-// 1 = invariant violation on a clean run (or a monitor fired on a legal
-// mutation); 2 = a --mutate run where the expected monitor stayed silent
-// (the oracle is broken).
-//
-// Usage:
-//   campaign [--seeds=5] [--scenario=all] [--out-dir=campaign_out]
-//            [--packets=120] [--mutate=none|lease|chain|seq|stale|merge]
-//            [--consistency=single|replicated|mergeable]
-//            [--batching=<coalesce delay in us; 0 = off>]
+#include "tools/campaign/runner.h"
+
 #include <algorithm>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
-#include <iostream>
 #include <map>
 #include <memory>
-#include <sstream>
-#include <string>
-#include <vector>
+#include <ostream>
+#include <unordered_set>
 
 #include "audit/auditor.h"
 #include "audit/lin_feed.h"
 #include "audit/slice.h"
 #include "common/hash.h"
-#include "core/consistency.h"
 #include "core/redplane_switch.h"
 #include "modelcheck/linearizability.h"
 #include "net/codec.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
-#include "obs/recovery.h"
 #include "obs/timeseries.h"
 #include "obs/tracer.h"
 #include "routing/failure.h"
 #include "routing/topology.h"
 #include "sim/timer_wheel.h"
 #include "statestore/chain_manager.h"
+#include "trace/workload.h"
 
-namespace redplane {
+namespace redplane::campaign {
 namespace {
 
 using routing::BuildTestbed;
@@ -121,114 +84,48 @@ std::uint64_t FlowHash(const net::FlowKey& flow) {
   return net::HashPartitionKey(net::PartitionKey::OfFlow(flow));
 }
 
-struct MutationSpec {
-  bool lease = false;  // switch lease belief inflated past the store's
-  bool seq = false;    // store sequence filter disabled
-  bool chain = false;  // head acks before chain-wide commit
-  bool stale = false;  // replicated-read serves local reads past the bound
-  bool merge = false;  // store overwrites merge deltas instead of joining
-  bool any() const { return lease || seq || chain || stale || merge; }
-};
-
-struct ViolationOut {
-  std::string monitor;
-  std::string detail;
-  SimTime at = 0;
-  std::size_t slice_events = 0;
-  bool slice_closed = false;
-  std::string slice_json_path;
-  std::string slice_text_path;
-};
-
-struct PhaseOut {
-  std::string name;
-  std::size_t count = 0;
-  double p50_us = 0;
-  double p99_us = 0;
-};
-
-/// Flattened view of one obs::RecoveryEpisode for the campaign report.
-struct EpisodeOut {
-  std::uint64_t id = 0;
-  std::string trigger;
-  bool complete = false;
-  bool phase_sum_ok = false;
-  SimDuration downtime = 0;
-  std::array<SimDuration, obs::kNumRecoveryPhases> phase{};
-  std::size_t flows = 0;
-  double flow_p50_us = 0;
-  double flow_p99_us = 0;
-  double flow_max_us = 0;
-  std::uint32_t extra_faults = 0;
-};
-
-struct RunResult {
-  std::string scenario;
-  std::uint64_t seed = 0;
-  int sent = 0;
-  int delivered = 0;
-  std::uint64_t audit_events = 0;
-  std::size_t lin_failures = 0;
-  /// Offline per-mode oracle verdicts (modelcheck/linearizability.h):
-  /// staleness and merge-convergence samples are collected from the taps
-  /// and re-judged by an implementation independent of the online monitors.
-  std::size_t oracle_failures = 0;
-  std::string oracle_why;
-  std::size_t staleness_samples = 0;
-  std::size_t merge_samples = 0;
-  std::vector<ViolationOut> violations;
-  std::vector<PhaseOut> phases;
-  double write_rtt_p50_us = 0;
-  double write_rtt_p99_us = 0;
-  std::vector<EpisodeOut> episodes;
-  std::string recovery_json_path;
-  std::string fleet_csv_path;
-  std::size_t fleet_samples = 0;
-};
-
-struct Scenario {
-  std::string name;
-  const char* description;
-};
-
-const std::vector<Scenario>& Scenarios() {
-  static const std::vector<Scenario> kScenarios = {
-      {"switch_crash",
-       "fail the aggregation switch carrying the flows; recover it later"},
-      {"link_flap",
-       "cut the fabric link to the active switch; traffic reroutes, then the "
-       "link returns"},
-      {"lease_race",
-       "short leases; the active switch dies right at a lease boundary"},
-      {"store_failover",
-       "kill a mid-chain store replica; the chain manager splices and later "
-       "readmits it"},
-  };
-  return kScenarios;
+/// FNV-1a step over one u64 (byte-at-a-time so the hash is width-stable).
+void HashMix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 1099511628211ull;
+  }
 }
 
-RunResult RunOne(const Scenario& sc, std::uint64_t seed,
-                 core::ConsistencyMode mode, const MutationSpec& mut,
-                 const std::string& out_dir, int packets_per_flow,
-                 SimDuration coalesce_delay) {
-  RunResult out;
-  out.scenario = sc.name;
-  out.seed = seed;
+/// Internal harness options: either a legacy named scenario or a fuzz
+/// schedule drives the fault/load plan; everything else is shared.
+struct HarnessOptions {
+  std::string label;  // artifact stem and RunResult::scenario
+  std::uint64_t seed = 42;
+  core::ConsistencyMode mode = core::ConsistencyMode::kSingleOwner;
+  MutationSpec mut;
+  std::string out_dir;
+  int packets_per_flow = 120;
+  SimDuration coalesce_delay = 0;
+  const Scenario* scenario = nullptr;   // legacy path
+  const Schedule* schedule = nullptr;   // fuzz path
+};
 
-  const bool short_lease = sc.name == "lease_race";
+RunResult RunHarness(const HarnessOptions& opt) {
+  RunResult out;
+  out.scenario = opt.label;
+  out.seed = opt.seed;
+
+  const bool short_lease =
+      opt.scenario != nullptr && opt.scenario->name == "lease_race";
   const SimDuration lease =
       short_lease ? Milliseconds(10) : Milliseconds(50);
-  const bool replicated = mode == core::ConsistencyMode::kReplicatedRead;
-  const bool mergeable = mode == core::ConsistencyMode::kMergeable;
+  const bool replicated = opt.mode == core::ConsistencyMode::kReplicatedRead;
+  const bool mergeable = opt.mode == core::ConsistencyMode::kMergeable;
 
   net::ResetPacketIds();
   sim::Simulator sim;
   TestbedConfig cfg;
-  cfg.seed = seed;
+  cfg.seed = opt.seed;
   cfg.store.lease_period = lease;
-  cfg.store.mutations.disable_seq_filter = mut.seq;
-  cfg.store.mutations.early_chain_ack = mut.chain;
-  cfg.store.mutations.overwrite_instead_of_merge = mut.merge;
+  cfg.store.mutations.disable_seq_filter = opt.mut.seq;
+  cfg.store.mutations.early_chain_ack = opt.mut.chain;
+  cfg.store.mutations.overwrite_instead_of_merge = opt.mut.merge;
   // The store joins merge deltas with the app's declared CRDT join and
   // reports the monotone measure on the kMergeApplied tap.
   cfg.store.merger = core::MergeMaxU64;
@@ -302,11 +199,11 @@ RunResult RunOne(const Scenario& sc, std::uint64_t seed,
   core::RedPlaneConfig rp_cfg;
   rp_cfg.lease_period = lease;
   rp_cfg.renew_interval = lease / 2;
-  rp_cfg.coalesce_delay = coalesce_delay;
-  rp_cfg.mode_override = mode;
-  rp_cfg.mutation_stale_reads = mut.stale;
+  rp_cfg.coalesce_delay = opt.coalesce_delay;
+  rp_cfg.mode_override = opt.mode;
+  rp_cfg.mutation_stale_reads = opt.mut.stale;
   if (replicated) rp_cfg.staleness_bound = Microseconds(50);
-  if (mut.lease) rp_cfg.mutation_lease_extension = Seconds(10);
+  if (opt.mut.lease) rp_cfg.mutation_lease_extension = Seconds(10);
   auto shard_for = [&mgr](const net::PartitionKey&) { return mgr.HeadIp(); };
   std::array<std::unique_ptr<core::RedPlaneSwitch>, 2> rp;
   for (int i = 0; i < 2; ++i) {
@@ -339,33 +236,53 @@ RunResult RunOne(const Scenario& sc, std::uint64_t seed,
   obs::FleetSampler fleet(&hub);
   fleet.Sample(sim.Now());  // rate baseline
 
-  // Receiver: record every delivered (marker, stamped count).  Reads and
-  // mergeable-mode outputs stay out of the linearizability feed: reads
-  // don't advance the counter, and zero-RTT multi-writer counts converge
-  // by lattice join, not by a single linearizable history (their promise
-  // is checked by the merge-convergence oracle instead).
-  tb.rack_servers[0][0]->SetHandler([&](sim::HostNode&, net::Packet pkt) {
-    ++out.delivered;
-    auto flow = pkt.Flow();
-    if (!flow.has_value() ||
-        pkt.payload.size() < 2 * sizeof(std::uint64_t)) {
-      return;
-    }
-    std::uint64_t marker = 0, value = 0;
-    std::memcpy(&marker, pkt.payload.data(), sizeof(marker));
-    std::memcpy(&value, pkt.payload.data() + sizeof(marker), sizeof(value));
-    if (mergeable || (marker & kReadMarkerBit) != 0) return;
-    // The receiver sees the flow as sent; hash the same key the switch used.
-    feed.Output(FlowHash(*flow), marker, sim.Now(), value);
-  });
-
   constexpr int kFlows = 4;
+  const std::uint64_t seed = opt.seed;
   auto flow_key = [seed](int f) {
     return net::FlowKey{ExternalHostIp(0), RackServerIp(0, 0),
                         static_cast<std::uint16_t>(20000 + 17 * f +
                                                    (seed % 7) * 101),
                         80, net::IpProto::kUdp};
   };
+  // Only the instrumented base flows feed the linearizability checker:
+  // load-phase flows (flash crowds, SYN floods) are uninstrumented
+  // background pressure, and their app outputs carry marker 0, which the
+  // feed would treat as an input-less output.
+  std::unordered_set<std::uint64_t> base_flow_hashes;
+  for (int f = 0; f < kFlows; ++f) {
+    base_flow_hashes.insert(FlowHash(flow_key(f)));
+  }
+
+  // Receiver: record every delivered (marker, stamped count).  Reads and
+  // mergeable-mode outputs stay out of the linearizability feed: reads
+  // don't advance the counter, and zero-RTT multi-writer counts converge
+  // by lattice join, not by a single linearizable history (their promise
+  // is checked by the merge-convergence oracle instead).  Every delivery —
+  // base or load — folds into the replay fingerprint.
+  std::uint64_t trace_hash = 14695981039346656037ull;  // FNV-1a offset basis
+  tb.rack_servers[0][0]->SetHandler([&](sim::HostNode&, net::Packet pkt) {
+    ++out.delivered;
+    auto flow = pkt.Flow();
+    std::uint64_t marker = 0, value = 0;
+    if (pkt.payload.size() >= 2 * sizeof(std::uint64_t)) {
+      std::memcpy(&marker, pkt.payload.data(), sizeof(marker));
+      std::memcpy(&value, pkt.payload.data() + sizeof(marker), sizeof(value));
+    }
+    HashMix(trace_hash, static_cast<std::uint64_t>(sim.Now()));
+    HashMix(trace_hash, marker);
+    HashMix(trace_hash, value);
+    if (!flow.has_value() ||
+        pkt.payload.size() < 2 * sizeof(std::uint64_t)) {
+      return;
+    }
+    if (mergeable || (marker & kReadMarkerBit) != 0) return;
+    if (base_flow_hashes.find(FlowHash(*flow)) == base_flow_hashes.end()) {
+      return;
+    }
+    // The receiver sees the flow as sent; hash the same key the switch used.
+    feed.Output(FlowHash(*flow), marker, sim.Now(), value);
+  });
+
   std::uint64_t next_marker = 0;
   auto send_marked = [&](std::uint64_t marker_bits) {
     for (int f = 0; f < kFlows; ++f) {
@@ -384,7 +301,7 @@ RunResult RunOne(const Scenario& sc, std::uint64_t seed,
   auto send_round = [&] { send_marked(0); };
 
   // Warmup: establish leases and find the switch actually carrying traffic.
-  const int warmup_rounds = std::min(5, packets_per_flow);
+  const int warmup_rounds = std::min(5, opt.packets_per_flow);
   for (int i = 0; i < warmup_rounds; ++i) {
     send_round();
     sim.RunUntil(sim.Now() + Microseconds(500));
@@ -393,27 +310,161 @@ RunResult RunOne(const Scenario& sc, std::uint64_t seed,
   const bool agg0_active =
       rp[0]->stats().Get("app_pkts") >= rp[1]->stats().Get("app_pkts");
   dp::SwitchNode* active = agg0_active ? tb.agg[0] : tb.agg[1];
+  dp::SwitchNode* standby = agg0_active ? tb.agg[1] : tb.agg[0];
 
-  // Inject the scenario's fault.
+  // Inject the fault/load plan.
   const SimTime t0 = sim.Now();
-  if (sc.name == "switch_crash") {
-    injector.ScheduleNodeFailure(active, t0 + Milliseconds(2),
-                                 t0 + Milliseconds(60));
-  } else if (sc.name == "link_flap") {
-    sim::Link* link = tb.network->FindLink(tb.core, active);
-    if (link != nullptr) {
-      injector.ScheduleLinkFailure(link, t0 + Milliseconds(2),
+  if (opt.scenario != nullptr) {
+    const std::string& name = opt.scenario->name;
+    if (name == "switch_crash") {
+      injector.ScheduleNodeFailure(active, t0 + Milliseconds(2),
                                    t0 + Milliseconds(60));
+    } else if (name == "link_flap") {
+      sim::Link* link = tb.network->FindLink(tb.core, active);
+      if (link != nullptr) {
+        injector.ScheduleLinkFailure(link, t0 + Milliseconds(2),
+                                     t0 + Milliseconds(60));
+      }
+    } else if (name == "lease_race") {
+      // Die just as the current leases are about to lapse.
+      injector.ScheduleNodeFailure(active, t0 + lease - Microseconds(200),
+                                   t0 + lease + Milliseconds(40));
+    } else if (name == "store_failover") {
+      store::StateStoreServer* victim =
+          tb.store.size() > 1 ? tb.store[1] : tb.store[0];
+      injector.ScheduleNodeFailure(victim, t0 + Milliseconds(2),
+                                   t0 + Milliseconds(40));
     }
-  } else if (sc.name == "lease_race") {
-    // Die just as the current leases are about to lapse.
-    injector.ScheduleNodeFailure(active, t0 + lease - Microseconds(200),
-                                 t0 + lease + Milliseconds(40));
-  } else if (sc.name == "store_failover") {
-    store::StateStoreServer* victim =
-        tb.store.size() > 1 ? tb.store[1] : tb.store[0];
-    injector.ScheduleNodeFailure(victim, t0 + Milliseconds(2),
-                                 t0 + Milliseconds(40));
+  }
+  if (opt.schedule != nullptr) {
+    for (const FaultEvent& ev : opt.schedule->faults) {
+      const SimTime at = t0 + ev.at;
+      const SimTime clear = ev.clear_at >= 0 ? t0 + ev.clear_at : -1;
+      dp::SwitchNode* agg_target = ev.target % 2 == 0 ? active : standby;
+      switch (ev.kind) {
+        case FaultKind::kSwitchCrash:
+          injector.ScheduleNodeFailure(agg_target, at, clear);
+          break;
+        case FaultKind::kLinkCut: {
+          sim::Link* link = tb.network->FindLink(tb.core, agg_target);
+          if (link != nullptr) injector.ScheduleLinkFailure(link, at, clear);
+          break;
+        }
+        case FaultKind::kStoreCrash: {
+          store::StateStoreServer* victim =
+              tb.store.size() > 1
+                  ? tb.store[1 + static_cast<std::size_t>(ev.target) %
+                                     (tb.store.size() - 1)]
+                  : tb.store[0];
+          injector.ScheduleNodeFailure(victim, at, clear);
+          break;
+        }
+        case FaultKind::kSlowShard: {
+          store::StateStoreServer* shard =
+              tb.store[static_cast<std::size_t>(ev.target) % tb.store.size()];
+          const double factor = std::max(1.0, ev.magnitude);
+          sim.ScheduleAt(at,
+                         [shard, factor] { shard->SetServiceTimeFactor(factor); });
+          if (clear >= 0) {
+            sim.ScheduleAt(clear,
+                           [shard] { shard->SetServiceTimeFactor(1.0); });
+          }
+          break;
+        }
+        case FaultKind::kAsymLoss:
+        case FaultKind::kPartition: {
+          sim::Link* link = tb.network->FindLink(tb.core, agg_target);
+          const double rate = ev.kind == FaultKind::kPartition
+                                  ? 1.0
+                                  : std::clamp(ev.magnitude, 0.0, 1.0);
+          if (link != nullptr) {
+            injector.ScheduleAsymmetricLoss(link, tb.core->id(), rate, at,
+                                            clear);
+          }
+          break;
+        }
+        case FaultKind::kCapacity: {
+          store::StateStoreServer* head = tb.store.front();
+          const std::size_t cap = std::max<std::size_t>(
+              8, static_cast<std::size_t>(ev.magnitude));
+          sim.ScheduleAt(at, [head, cap] { head->SetMaxFlows(cap); });
+          if (clear >= 0) {
+            sim.ScheduleAt(clear, [head] { head->SetMaxFlows(0); });
+          }
+          break;
+        }
+        case FaultKind::kEcmpRehash: {
+          routing::RoutingFabric* fabric = tb.fabric.get();
+          const auto salt = static_cast<std::uint64_t>(ev.magnitude);
+          sim.ScheduleAt(at, [fabric, salt] { fabric->SetEcmpSalt(salt); });
+          if (clear >= 0) {
+            sim.ScheduleAt(clear, [fabric] { fabric->SetEcmpSalt(0); });
+          }
+          break;
+        }
+      }
+    }
+
+    // Load phases: pre-generate each phase's packets from a forked stream
+    // (draw counts never disturb the testbed RNG) and schedule the sends.
+    Rng base_rng(opt.schedule->seed);
+    Rng load_rng = base_rng.Fork(0x10adull);
+    std::vector<trace::TracePacket> load_pkts;
+    for (const LoadPhase& ph : opt.schedule->loads) {
+      switch (ph.kind) {
+        case LoadKind::kFlashCrowd: {
+          trace::FlashCrowdConfig c;
+          c.start = t0 + ph.at;
+          c.duration = ph.duration;
+          c.num_flows = ph.intensity;
+          c.src = ExternalHostIp(1);
+          c.dst = RackServerIp(0, 0);
+          const auto pkts = trace::GenerateFlashCrowd(load_rng, c);
+          load_pkts.insert(load_pkts.end(), pkts.begin(), pkts.end());
+          break;
+        }
+        case LoadKind::kLeaseChurn: {
+          trace::LeaseChurnConfig c;
+          c.start = t0 + ph.at;
+          c.duration = ph.duration;
+          c.num_flows = std::min<std::size_t>(ph.intensity, 8);
+          c.src = ExternalHostIp(1);
+          c.dst = RackServerIp(0, 0);
+          const auto pkts = trace::GenerateLeaseChurn(load_rng, c);
+          load_pkts.insert(load_pkts.end(), pkts.begin(), pkts.end());
+          // The churn itself: re-salt ECMP at each burst boundary so the
+          // next burst (and the base flows) can land on the other switch
+          // and must re-acquire leases — ownership ping-pong.
+          routing::RoutingFabric* fabric = tb.fabric.get();
+          const std::uint64_t churn_salt = opt.schedule->seed | 1;
+          int k = 0;
+          for (SimTime flip_at = c.start; flip_at < c.start + c.duration;
+               flip_at += c.burst_gap, ++k) {
+            const std::uint64_t salt = k % 2 == 1 ? churn_salt : 0;
+            sim.ScheduleAt(flip_at, [fabric, salt] { fabric->SetEcmpSalt(salt); });
+          }
+          sim.ScheduleAt(c.start + c.duration,
+                         [fabric] { fabric->SetEcmpSalt(0); });
+          break;
+        }
+        case LoadKind::kSynFlood: {
+          trace::SynFloodConfig c;
+          c.start = t0 + ph.at;
+          c.duration = ph.duration;
+          c.num_packets = ph.intensity;
+          c.dst = RackServerIp(0, 0);
+          const auto pkts = trace::GenerateSynFlood(load_rng, c);
+          load_pkts.insert(load_pkts.end(), pkts.begin(), pkts.end());
+          break;
+        }
+      }
+    }
+    for (const trace::TracePacket& tp : load_pkts) {
+      sim.ScheduleAt(tp.time, [&out, &tb, tp] {
+        ++out.sent;
+        tb.external[1]->Send(trace::MaterializePacket(tp));
+      });
+    }
   }
 
   // Keep traffic flowing across the fault window and the recovery.  Under
@@ -421,7 +472,7 @@ RunResult RunOne(const Scenario& sc, std::uint64_t seed,
   // write's ~300 µs replication ack is still in flight: within the 50 µs
   // bound the switch must wait (read-buffer loop), and with --mutate=stale
   // it illegally serves them — exactly what the staleness oracles check.
-  for (int i = warmup_rounds; i < packets_per_flow; ++i) {
+  for (int i = warmup_rounds; i < opt.packets_per_flow; ++i) {
     send_round();
     if (replicated) {
       // First read round lands ~20 µs after the write — inside the bound,
@@ -446,6 +497,7 @@ RunResult RunOne(const Scenario& sc, std::uint64_t seed,
   }
   out.lin_failures = feed.CloseAll();
   recovery.Finalize(sim.Now());
+  out.trace_hash = trace_hash;
 
   // Offline per-mode oracles: the tap-derived samples must satisfy the
   // mode's promise independently of the online monitors.
@@ -463,7 +515,7 @@ RunResult RunOne(const Scenario& sc, std::uint64_t seed,
 
   // Harvest results.
   out.audit_events = auditor.events_seen();
-  std::filesystem::create_directories(out_dir);
+  std::filesystem::create_directories(opt.out_dir);
   int vi = 0;
   for (const auto& v : auditor.violations()) {
     ViolationOut vo;
@@ -472,8 +524,9 @@ RunResult RunOne(const Scenario& sc, std::uint64_t seed,
     vo.at = v.at.t;
     vo.slice_events = v.slice.events.size();
     vo.slice_closed = audit::IsHappensBeforeClosed(v.slice);
-    const std::string stem = out_dir + "/" + sc.name + "_s" +
-                             std::to_string(seed) + "_v" + std::to_string(vi);
+    const std::string stem = opt.out_dir + "/" + opt.label + "_s" +
+                             std::to_string(opt.seed) + "_v" +
+                             std::to_string(vi);
     vo.slice_json_path = stem + ".slice.json";
     vo.slice_text_path = stem + ".slice.txt";
     std::ofstream(vo.slice_json_path) << v.slice.PerfettoJson();
@@ -501,7 +554,7 @@ RunResult RunOne(const Scenario& sc, std::uint64_t seed,
   // Recovery-forensics artifacts: one episode-timeline JSON and one fleet
   // time-series CSV per injected fault.
   const std::string run_stem =
-      out_dir + "/" + sc.name + "_s" + std::to_string(seed);
+      opt.out_dir + "/" + opt.label + "_s" + std::to_string(opt.seed);
   out.recovery_json_path = run_stem + ".recovery.json";
   std::ofstream(out.recovery_json_path) << recovery.Json();
   out.fleet_csv_path = run_stem + ".fleet.csv";
@@ -536,6 +589,54 @@ RunResult RunOne(const Scenario& sc, std::uint64_t seed,
   return out;
 }
 
+}  // namespace
+
+const std::vector<Scenario>& Scenarios() {
+  static const std::vector<Scenario> kScenarios = {
+      {"switch_crash",
+       "fail the aggregation switch carrying the flows; recover it later"},
+      {"link_flap",
+       "cut the fabric link to the active switch; traffic reroutes, then the "
+       "link returns"},
+      {"lease_race",
+       "short leases; the active switch dies right at a lease boundary"},
+      {"store_failover",
+       "kill a mid-chain store replica; the chain manager splices and later "
+       "readmits it"},
+  };
+  return kScenarios;
+}
+
+RunResult RunOne(const Scenario& sc, std::uint64_t seed,
+                 core::ConsistencyMode mode, const MutationSpec& mut,
+                 const std::string& out_dir, int packets_per_flow,
+                 SimDuration coalesce_delay) {
+  HarnessOptions opt;
+  opt.label = sc.name;
+  opt.seed = seed;
+  opt.mode = mode;
+  opt.mut = mut;
+  opt.out_dir = out_dir;
+  opt.packets_per_flow = packets_per_flow;
+  opt.coalesce_delay = coalesce_delay;
+  opt.scenario = &sc;
+  return RunHarness(opt);
+}
+
+RunResult RunSchedule(const Schedule& schedule, core::ConsistencyMode mode,
+                      const MutationSpec& mut, const std::string& out_dir,
+                      const std::string& label) {
+  HarnessOptions opt;
+  opt.label = label;
+  opt.seed = schedule.seed;
+  opt.mode = mode;
+  opt.mut = mut;
+  opt.out_dir = out_dir;
+  opt.packets_per_flow = std::max(10, schedule.packets_per_flow);
+  opt.schedule = &schedule;
+  return RunHarness(opt);
+}
+
 void WriteJsonReport(std::ostream& os, const std::vector<RunResult>& runs,
                      core::ConsistencyMode mode, const MutationSpec& mut) {
   os << "{\"consistency\": \"" << core::ConsistencyModeName(mode) << "\",\n";
@@ -556,6 +657,7 @@ void WriteJsonReport(std::ostream& os, const std::vector<RunResult>& runs,
        << ", \"staleness_samples\": " << r.staleness_samples
        << ", \"merge_samples\": " << r.merge_samples
        << ", \"oracle_why\": \"" << obs::JsonEscape(r.oracle_why) << "\""
+       << ", \"trace_hash\": \"" << std::to_string(r.trace_hash) << "\""
        << ", \"write_rtt_p50_us\": " << obs::JsonNumber(r.write_rtt_p50_us)
        << ", \"write_rtt_p99_us\": " << obs::JsonNumber(r.write_rtt_p99_us)
        << ",\n   \"phases\": [";
@@ -665,199 +767,4 @@ void WriteMarkdownReport(std::ostream& os, const std::vector<RunResult>& runs) {
   }
 }
 
-}  // namespace
-}  // namespace redplane
-
-int main(int argc, char** argv) {
-  using namespace redplane;
-
-  int seeds = 5;
-  int packets = 120;
-  int batching_us = 0;
-  std::string out_dir = "campaign_out";
-  std::string scenario_filter = "all";
-  std::string mutate = "none";
-  std::string consistency = "single";
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto value = [&arg](const char* prefix) -> const char* {
-      const std::size_t n = std::strlen(prefix);
-      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
-    };
-    if (const char* v = value("--seeds=")) {
-      seeds = std::max(1, std::atoi(v));
-    } else if (const char* v = value("--packets=")) {
-      packets = std::max(10, std::atoi(v));
-    } else if (const char* v = value("--out-dir=")) {
-      out_dir = v;
-    } else if (const char* v = value("--scenario=")) {
-      scenario_filter = v;
-    } else if (const char* v = value("--mutate=")) {
-      mutate = v;
-    } else if (const char* v = value("--consistency=")) {
-      consistency = v;
-    } else if (const char* v = value("--batching=")) {
-      batching_us = std::max(0, std::atoi(v));
-    } else {
-      std::cerr << "unknown argument: " << arg << "\n";
-      return 64;
-    }
-  }
-
-  MutationSpec mut;
-  if (mutate == "lease") {
-    mut.lease = true;
-  } else if (mutate == "seq") {
-    mut.seq = true;
-  } else if (mutate == "chain") {
-    mut.chain = true;
-  } else if (mutate == "stale") {
-    mut.stale = true;
-  } else if (mutate == "merge") {
-    mut.merge = true;
-  } else if (mutate != "none") {
-    std::cerr << "unknown --mutate mode: " << mutate << "\n";
-    return 64;
-  }
-
-  core::ConsistencyMode mode = core::ConsistencyMode::kSingleOwner;
-  if (consistency == "replicated") {
-    mode = core::ConsistencyMode::kReplicatedRead;
-  } else if (consistency == "mergeable") {
-    mode = core::ConsistencyMode::kMergeable;
-  } else if (consistency != "single") {
-    std::cerr << "unknown --consistency mode: " << consistency << "\n";
-    return 64;
-  }
-  const bool mergeable = mode == core::ConsistencyMode::kMergeable;
-
-  // Mode-aware mutation expectations (DESIGN.md §14): which monitor must
-  // fire, or whether the mutation is legal under this mode (expected
-  // silence).  Stale reads are the mergeable mode's normal operation; merge
-  // overwrites are unreachable without merge traffic; and lease/seq/chain
-  // corruptions have nothing to corrupt on the lease-free mergeable path.
-  std::string expected_monitor;
-  bool expect_silence = false;
-  if (mut.lease) expected_monitor = "single_owner";
-  if (mut.seq) expected_monitor = "seq_monotonic";
-  if (mut.chain) expected_monitor = "chain_commit";
-  if ((mut.lease || mut.seq || mut.chain) && mergeable) expect_silence = true;
-  if (mut.stale) {
-    expected_monitor = "bounded_staleness";
-    expect_silence = mode != core::ConsistencyMode::kReplicatedRead;
-  }
-  if (mut.merge) {
-    expected_monitor = "merge_convergence";
-    expect_silence = !mergeable;
-  }
-
-  std::vector<RunResult> runs;
-  for (const Scenario& sc : Scenarios()) {
-    if (scenario_filter != "all" && scenario_filter != sc.name) continue;
-    for (int s = 0; s < seeds; ++s) {
-      const std::uint64_t seed = 42 + 1000ull * static_cast<std::uint64_t>(s);
-      std::cout << "[campaign] " << sc.name << " seed=" << seed
-                << " consistency=" << consistency
-                << (batching_us > 0 ? " batching=on" : "") << " ..."
-                << std::flush;
-      RunResult r = RunOne(sc, seed, mode, mut, out_dir, packets,
-                           Microseconds(batching_us));
-      std::cout << " sent=" << r.sent << " delivered=" << r.delivered
-                << " violations=" << r.violations.size()
-                << " lin_failures=" << r.lin_failures << "\n";
-      runs.push_back(std::move(r));
-    }
-  }
-  if (runs.empty()) {
-    std::cerr << "no scenario matched --scenario=" << scenario_filter << "\n";
-    return 64;
-  }
-
-  std::filesystem::create_directories(out_dir);
-  {
-    std::ofstream json(out_dir + "/report.json");
-    WriteJsonReport(json, runs, mode, mut);
-    std::ofstream md(out_dir + "/report.md");
-    WriteMarkdownReport(md, runs);
-  }
-  std::cout << "[campaign] wrote " << out_dir << "/report.json and report.md\n";
-
-  std::size_t violations = 0;
-  std::size_t expected_fired = 0;
-  int delivered = 0;
-  for (const RunResult& r : runs) {
-    violations += r.violations.size() + r.lin_failures + r.oracle_failures;
-    for (const ViolationOut& v : r.violations) {
-      if (v.monitor == expected_monitor) ++expected_fired;
-    }
-    delivered += r.delivered;
-  }
-  if (delivered == 0) {
-    std::cerr << "[campaign] FAIL: no traffic delivered in any run\n";
-    return 1;
-  }
-  if (mut.any()) {
-    if (expect_silence) {
-      if (violations > 0) {
-        std::cerr << "[campaign] FAIL: mutation '" << mutate
-                  << "' is legal under --consistency=" << consistency
-                  << " but the auditor reported " << violations
-                  << " violation(s)\n";
-        return 1;
-      }
-      std::cout << "[campaign] OK: mutation '" << mutate
-                << "' is legal under --consistency=" << consistency
-                << "; auditor correctly stayed silent\n";
-      return 0;
-    }
-    // The mode-specific mutations must be caught by their own monitor; the
-    // legacy three keep the looser contract (any violation, e.g. a seq
-    // mutation surfacing first as a linearizability failure, still counts).
-    const bool legacy = mut.lease || mut.seq || mut.chain;
-    if (expected_fired == 0 && !(legacy && violations > 0)) {
-      std::cerr << "[campaign] FAIL: protocol mutation active but "
-                << expected_monitor << " stayed silent\n";
-      return 2;
-    }
-    std::cout << "[campaign] OK: mutation detected (" << violations
-              << " violation(s), " << expected_fired << " from "
-              << expected_monitor << ")\n";
-    return 0;
-  }
-  if (violations > 0) {
-    std::cerr << "[campaign] FAIL: " << violations
-              << " invariant violation(s) on clean runs (see " << out_dir
-              << ")\n";
-    return 1;
-  }
-  // Recovery-forensics gate: every injected fault must yield exactly one
-  // detected episode, complete (service resumed), whose phase durations sum
-  // to the measured downtime (DESIGN.md §13 invariant).  Mergeable mode is
-  // exempt: flows never pause on failover (local admission, zero-RTT
-  // writes), so the lease-centric episode phases don't apply.
-  for (const RunResult& r : runs) {
-    if (mergeable) break;
-    if (r.episodes.size() != 1) {
-      std::cerr << "[campaign] FAIL: " << r.scenario << " seed " << r.seed
-                << ": expected exactly one recovery episode, got "
-                << r.episodes.size() << "\n";
-      return 1;
-    }
-    const EpisodeOut& eo = r.episodes.front();
-    if (!eo.complete) {
-      std::cerr << "[campaign] FAIL: " << r.scenario << " seed " << r.seed
-                << ": recovery episode incomplete (service never resumed)\n";
-      return 1;
-    }
-    if (!eo.phase_sum_ok) {
-      std::cerr << "[campaign] FAIL: " << r.scenario << " seed " << r.seed
-                << ": phase durations do not sum to measured downtime (see "
-                << r.recovery_json_path << ")\n";
-      return 1;
-    }
-  }
-  std::cout << "[campaign] OK: all scenarios clean across " << runs.size()
-            << " runs; every fault produced one phase-consistent recovery "
-               "episode\n";
-  return 0;
-}
+}  // namespace redplane::campaign
